@@ -1,0 +1,32 @@
+// Fig 10 reproduction: number of duplicate eliminations / duplicate updates
+// / group-bys for the TPC-W queries, per schema — the price of redundancy
+// (DEEP, UNDR) and of flat schemas that group by value (SHALLOW).
+#include "bench/bench_util.h"
+
+using namespace mctdb;
+using namespace mctdb::bench;
+
+int main(int argc, char** argv) {
+  (void)ScaleFromArgs(argc, argv);
+  std::printf(
+      "=== Fig 10: Number of duplicate eliminations / duplicate updates / "
+      "group-bys for TPC-W queries ===\n\n");
+  TpcwSetup setup(0.01, /*materialize=*/false);
+
+  std::printf("%-6s", "");
+  for (const auto& schema : setup.schemas) {
+    std::printf("%9s", schema.name().c_str());
+  }
+  std::printf("\n");
+  PrintRule(6 + 9 * setup.schemas.size());
+  for (const std::string& name : setup.w.figure_queries) {
+    const query::AssociationQuery* q = setup.w.Find(name);
+    std::printf("%-6s", name.c_str());
+    for (const auto& schema : setup.schemas) {
+      auto plan = query::PlanQuery(*q, schema);
+      std::printf("%9zu", plan.ok() ? plan->Stats().dup_ops() : 0);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Fig 8 reproduction: number of structural joins for the TPC-W queries,
+// per schema (DEEP, AF, SHALLOW, EN, MCMR, DR, UNDR).
+#include "bench/bench_util.h"
+
+using namespace mctdb;
+using namespace mctdb::bench;
+
+int main(int argc, char** argv) {
+  (void)ScaleFromArgs(argc, argv);  // plan metrics are scale-independent
+  std::printf(
+      "=== Fig 8: Number of structural joins for TPC-W queries ===\n\n");
+  TpcwSetup setup(0.01, /*materialize=*/false);
+
+  std::printf("%-6s", "");
+  for (const auto& schema : setup.schemas) {
+    std::printf("%9s", schema.name().c_str());
+  }
+  std::printf("\n");
+  PrintRule(6 + 9 * setup.schemas.size());
+  for (const std::string& name : setup.w.figure_queries) {
+    const query::AssociationQuery* q = setup.w.Find(name);
+    std::printf("%-6s", name.c_str());
+    for (const auto& schema : setup.schemas) {
+      auto plan = query::PlanQuery(*q, schema);
+      std::printf("%9zu", plan.ok() ? plan->Stats().structural_joins : 0);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fig 9 reproduction: number of value joins / color crossings for the TPC-W
+// queries, per schema. The paper's headline metric: schemas with direct
+// recoverability (DEEP, DR, UNDR) minimize it; SHALLOW maximizes it.
+#include "bench/bench_util.h"
+
+using namespace mctdb;
+using namespace mctdb::bench;
+
+int main(int argc, char** argv) {
+  (void)ScaleFromArgs(argc, argv);
+  std::printf(
+      "=== Fig 9: Number of value joins / color crossings for TPC-W "
+      "queries ===\n\n");
+  TpcwSetup setup(0.01, /*materialize=*/false);
+
+  std::printf("%-6s", "");
+  for (const auto& schema : setup.schemas) {
+    std::printf("%9s", schema.name().c_str());
+  }
+  std::printf("\n");
+  PrintRule(6 + 9 * setup.schemas.size());
+  for (const std::string& name : setup.w.figure_queries) {
+    const query::AssociationQuery* q = setup.w.Find(name);
+    std::printf("%-6s", name.c_str());
+    for (const auto& schema : setup.schemas) {
+      auto plan = query::PlanQuery(*q, schema);
+      std::printf("%9zu",
+                  plan.ok() ? plan->Stats().value_joins_plus_crossings() : 0);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

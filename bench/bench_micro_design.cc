@@ -1,0 +1,69 @@
+// Ablation: design-algorithm cost and color frugality as the ER graph
+// grows. MC is near-linear; DUMC pays for eligible-path enumeration +
+// packing (the price of complete direct recoverability); color counts stay
+// small (instance independence, §3.3).
+#include <benchmark/benchmark.h>
+
+#include "design/algorithm_dumc.h"
+#include "design/algorithm_mc.h"
+#include "design/algorithm_mcmr.h"
+#include "er/er_random.h"
+
+namespace {
+
+using namespace mctdb;
+
+er::ErDiagram MakeGraph(size_t entities) {
+  Rng rng(entities * 7919);
+  er::RandomErOptions opts;
+  opts.num_entities = entities;
+  opts.num_relationships = entities + entities / 2;
+  opts.p_many_many = 0.15;
+  opts.p_one_one = 0.15;
+  return er::GenerateRandomEr(&rng, opts);
+}
+
+void BM_AlgorithmMC(benchmark::State& state) {
+  er::ErDiagram d = MakeGraph(size_t(state.range(0)));
+  er::ErGraph g(d);
+  size_t colors = 0;
+  for (auto _ : state) {
+    mct::MctSchema s = design::AlgorithmMc(g);
+    colors = s.num_colors();
+    benchmark::DoNotOptimize(colors);
+  }
+  state.counters["colors"] = double(colors);
+  state.counters["er_nodes"] = double(d.num_nodes());
+}
+
+void BM_AlgorithmMCMR(benchmark::State& state) {
+  er::ErDiagram d = MakeGraph(size_t(state.range(0)));
+  er::ErGraph g(d);
+  size_t colors = 0;
+  for (auto _ : state) {
+    mct::MctSchema s = design::AlgorithmMcmr(g);
+    colors = s.num_colors();
+    benchmark::DoNotOptimize(colors);
+  }
+  state.counters["colors"] = double(colors);
+}
+
+void BM_AlgorithmDUMC(benchmark::State& state) {
+  er::ErDiagram d = MakeGraph(size_t(state.range(0)));
+  er::ErGraph g(d);
+  size_t colors = 0;
+  for (auto _ : state) {
+    mct::MctSchema s = design::AlgorithmDumc(g);
+    colors = s.num_colors();
+    benchmark::DoNotOptimize(colors);
+  }
+  state.counters["colors"] = double(colors);
+}
+
+}  // namespace
+
+BENCHMARK(BM_AlgorithmMC)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_AlgorithmMCMR)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_AlgorithmDUMC)->Arg(8)->Arg(16)->Arg(32);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Ablation: structural joins vs value joins on the same association, at
+// growing data sizes. This is the premise the whole design methodology
+// stands on ([1,7], §3.1): "structural joins ... have been shown to be much
+// more efficient than value-based joins". We build the same TPC-W instance
+// under EN (structural, customer->make->order in one color) and SHALLOW
+// (make carries an order idref) and time the recovery of the association.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace mctdb;
+using namespace mctdb::bench;
+
+/// One setup per scale, shared across iterations.
+TpcwSetup* Setup(double scale) {
+  static std::map<double, std::unique_ptr<TpcwSetup>>* cache =
+      new std::map<double, std::unique_ptr<TpcwSetup>>();
+  auto it = cache->find(scale);
+  if (it == cache->end()) {
+    it = cache->emplace(scale, std::make_unique<TpcwSetup>(scale)).first;
+  }
+  return it->second.get();
+}
+
+query::AssociationQuery ChainQuery(const er::ErDiagram& d) {
+  query::QueryBuilder b("chain", d);
+  int c = b.Root("customer");
+  b.Via(c, {"make", "order"});
+  return b.Build();
+}
+
+void RunOn(benchmark::State& state, design::Strategy strategy) {
+  double scale = double(state.range(0)) / 100.0;
+  TpcwSetup* setup = Setup(scale);
+  size_t index = 0;
+  auto all = design::AllStrategies();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == strategy) index = i;
+  }
+  query::AssociationQuery q = ChainQuery(setup->w.diagram);
+  auto plan = query::PlanQuery(q, setup->schemas[index]);
+  if (!plan.ok()) {
+    state.SkipWithError("plan failed");
+    return;
+  }
+  size_t results = 0;
+  for (auto _ : state) {
+    query::Executor exec(setup->stores[index].get());
+    auto result = exec.Execute(*plan);
+    results = result->unique_count;
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["results"] = double(results);
+  state.counters["value_joins"] = double(plan->Stats().value_joins);
+  state.counters["structural_joins"] =
+      double(plan->Stats().structural_joins);
+}
+
+void BM_StructuralJoin_EN(benchmark::State& state) {
+  RunOn(state, design::Strategy::kEn);
+}
+void BM_ValueJoin_SHALLOW(benchmark::State& state) {
+  RunOn(state, design::Strategy::kShallow);
+}
+
+}  // namespace
+
+// range(0) is scale*100: 25 => 0.25, 100 => 1.0, 400 => 4.0.
+BENCHMARK(BM_StructuralJoin_EN)->Arg(25)->Arg(100)->Arg(400);
+BENCHMARK(BM_ValueJoin_SHALLOW)->Arg(25)->Arg(100)->Arg(400);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Ablation: holistic TwigStack [7] vs a pipeline of binary stack-tree
+// structural joins [1] on the same pattern — the two structural-join
+// primitives the paper cites. TwigStack coordinates all streams in one
+// pass and never buffers elements that cannot join (optimal for a-d
+// twigs); the binary pipeline materializes an intermediate result per
+// edge.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "query/structural_join.h"
+#include "query/twig_join.h"
+
+namespace {
+
+using namespace mctdb;
+using namespace mctdb::bench;
+
+TpcwSetup* Setup(double scale) {
+  static std::map<double, std::unique_ptr<TpcwSetup>>* cache =
+      new std::map<double, std::unique_ptr<TpcwSetup>>();
+  auto it = cache->find(scale);
+  if (it == cache->end()) {
+    it = cache->emplace(scale, std::make_unique<TpcwSetup>(scale)).first;
+  }
+  return it->second.get();
+}
+
+/// The AF store (single color, deep nesting) and the 4-level chain
+/// country // address // customer // order.
+storage::MctStore* AfStore(TpcwSetup* setup) {
+  auto all = design::AllStrategies();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == design::Strategy::kAf) return setup->stores[i].get();
+  }
+  return nullptr;
+}
+
+std::vector<er::NodeId> ChainTags(const er::ErDiagram& d) {
+  return {*d.FindNode("country"), *d.FindNode("address"),
+          *d.FindNode("customer"), *d.FindNode("order")};
+}
+
+void BM_TwigStack(benchmark::State& state) {
+  TpcwSetup* setup = Setup(double(state.range(0)) / 100.0);
+  storage::MctStore* store = AfStore(setup);
+  auto tags = ChainTags(setup->w.diagram);
+  query::TwigPattern twig;
+  for (size_t i = 0; i < tags.size(); ++i) {
+    twig.nodes.push_back({tags[i], static_cast<int>(i) - 1, {}});
+  }
+  uint64_t matched = 0;
+  for (auto _ : state) {
+    auto result = query::TwigStackJoin(*store, 0, twig);
+    matched = result.ok() ? result->matched.back().size() : 0;
+    benchmark::DoNotOptimize(matched);
+  }
+  state.counters["matched_orders"] = double(matched);
+}
+
+void BM_BinaryJoinPipeline(benchmark::State& state) {
+  TpcwSetup* setup = Setup(double(state.range(0)) / 100.0);
+  storage::MctStore* store = AfStore(setup);
+  auto tags = ChainTags(setup->w.diagram);
+  uint64_t matched = 0;
+  for (auto _ : state) {
+    std::vector<storage::LabelEntry> current;
+    {
+      const storage::PostingMeta* meta = store->Posting(0, tags[0]);
+      current = ReadAll(store->buffer_pool(), *meta);
+    }
+    for (size_t i = 1; i < tags.size(); ++i) {
+      const storage::PostingMeta* meta = store->Posting(0, tags[i]);
+      auto candidates = ReadAll(store->buffer_pool(), *meta);
+      auto joined = query::StackTreeJoin(current, candidates);
+      current = std::move(joined.descendants);
+    }
+    matched = current.size();
+    benchmark::DoNotOptimize(matched);
+  }
+  state.counters["matched_orders"] = double(matched);
+}
+
+}  // namespace
+
+BENCHMARK(BM_TwigStack)->Arg(50)->Arg(100)->Arg(200);
+BENCHMARK(BM_BinaryJoinPipeline)->Arg(50)->Arg(100)->Arg(200);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Shared helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "design/designer.h"
+#include "instance/materialize.h"
+#include "query/executor.h"
+#include "query/planner.h"
+#include "workload/metrics.h"
+#include "workload/workload.h"
+
+namespace mctdb::bench {
+
+/// TPC-W scale factor: first CLI argument, or MCTDB_SCALE env var, or 1.0.
+inline double ScaleFromArgs(int argc, char** argv) {
+  if (argc > 1) return std::atof(argv[1]);
+  if (const char* env = std::getenv("MCTDB_SCALE")) return std::atof(env);
+  return 1.0;
+}
+
+/// The seven TPC-W schemas with their materialized stores.
+struct TpcwSetup {
+  workload::Workload w;
+  std::unique_ptr<er::ErGraph> graph;
+  std::unique_ptr<design::Designer> designer;
+  std::unique_ptr<instance::LogicalInstance> logical;
+  std::vector<mct::MctSchema> schemas;
+  std::vector<std::unique_ptr<storage::MctStore>> stores;
+
+  explicit TpcwSetup(double scale, bool materialize = true)
+      : w(workload::TpcwWorkload(scale)) {
+    graph = std::make_unique<er::ErGraph>(w.diagram);
+    designer = std::make_unique<design::Designer>(*graph);
+    for (design::Strategy s : design::AllStrategies()) {
+      schemas.push_back(designer->Design(s));
+    }
+    if (materialize) {
+      logical = std::make_unique<instance::LogicalInstance>(
+          instance::GenerateInstance(*graph, w.gen));
+      for (mct::MctSchema& schema : schemas) {
+        stores.push_back(instance::Materialize(*logical, schema));
+      }
+    }
+  }
+};
+
+inline void PrintRule(size_t width) {
+  for (size_t i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace mctdb::bench

@@ -1,0 +1,65 @@
+// Domain scenario: a library catalog (the ER3 diagram) queried under three
+// competing schema designs. Shows the paper's core trade-off concretely:
+// the SAME query costs value joins on SHALLOW, color crossings on EN, and a
+// single structural join on DR — with identical results.
+//
+// Build & run:  ./build/examples/library_catalog
+#include <cstdio>
+
+#include "design/designer.h"
+#include "er/er_catalog.h"
+#include "instance/materialize.h"
+#include "query/executor.h"
+#include "query/planner.h"
+
+using namespace mctdb;
+
+int main() {
+  er::ErDiagram diagram = er::Er3Library();
+  er::ErGraph graph(diagram);
+  design::Designer designer(graph);
+
+  instance::GenOptions gen;
+  gen.base_count = 80;
+  instance::LogicalInstance logical = instance::GenerateInstance(graph, gen);
+
+  // "All loans of copies held by one branch" — a 2-hop association chain.
+  query::QueryBuilder builder("branch_loans", diagram);
+  int branch = builder.Root("branch");
+  builder.Where(branch, "id", "branch_3");
+  builder.Via(branch, {"held_by", "copy", "loan_copy", "loan"});
+  query::AssociationQuery q = builder.Build();
+
+  std::printf("query: loans of copies held by branch_3\n\n");
+  std::printf("%-8s %8s %8s %8s %8s %10s %9s\n", "schema", "sj", "vj", "cc",
+              "results", "time(ms)", "pages");
+
+  for (design::Strategy s :
+       {design::Strategy::kShallow, design::Strategy::kEn,
+        design::Strategy::kMcmr, design::Strategy::kDr,
+        design::Strategy::kDeep}) {
+    mct::MctSchema schema = designer.Design(s);
+    auto store = instance::Materialize(logical, schema);
+    auto plan = query::PlanQuery(q, schema);
+    if (!plan.ok()) {
+      std::printf("%-8s plan error: %s\n", schema.name().c_str(),
+                  plan.status().ToString().c_str());
+      continue;
+    }
+    query::Executor exec(store.get());
+    auto result = exec.Execute(*plan);
+    if (!result.ok()) continue;
+    auto stats = plan->Stats();
+    std::printf("%-8s %8zu %8zu %8zu %8zu %10.3f %9llu\n",
+                schema.name().c_str(), stats.structural_joins,
+                stats.value_joins, stats.color_crossings,
+                result->unique_count, result->elapsed_seconds * 1000.0,
+                static_cast<unsigned long long>(result->page_misses +
+                                                result->page_hits));
+  }
+  std::printf(
+      "\nSame results everywhere; the plans differ exactly as the paper "
+      "predicts\n(value joins on SHALLOW, crossings on EN, structure on "
+      "DR/DEEP).\n");
+  return 0;
+}

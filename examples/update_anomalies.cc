@@ -1,0 +1,57 @@
+// Update anomalies made visible (the paper's motivation, §1 and §6.1 U1-U3).
+//
+// One logical update — "retitle item item_1" — is applied under EN (node
+// normal: one stored element), and under DEEP (redundant: the item is
+// copied under every order line that references it). The element-write
+// counts ARE the update anomaly. ICIC bookkeeping on the multi-color DR
+// schema is shown as the (much cheaper) alternative cost.
+//
+// Build & run:  ./build/examples/update_anomalies
+#include <cstdio>
+
+#include "design/designer.h"
+#include "er/er_catalog.h"
+#include "instance/materialize.h"
+#include "query/executor.h"
+#include "query/planner.h"
+#include "workload/workload.h"
+
+using namespace mctdb;
+
+int main() {
+  workload::Workload w = workload::TpcwWorkload(0.25);
+  er::ErGraph graph(w.diagram);
+  design::Designer designer(graph);
+  instance::LogicalInstance logical =
+      instance::GenerateInstance(graph, w.gen);
+
+  query::QueryBuilder builder("retitle", w.diagram);
+  int item = builder.Root("item");
+  builder.Where(item, "id", "item_1");
+  builder.Update("title", "Designer Schemas with Colors");
+  query::AssociationQuery q = builder.Build();
+
+  std::printf("update: set title of item_1\n\n");
+  std::printf("%-8s %10s %14s %12s %6s\n", "schema", "logicals",
+              "element-writes", "icic-touches", "icics");
+
+  for (design::Strategy s : design::AllStrategies()) {
+    mct::MctSchema schema = designer.Design(s);
+    auto store = instance::Materialize(logical, schema);
+    auto plan = query::PlanQuery(q, schema);
+    if (!plan.ok()) continue;
+    query::Executor exec(store.get());
+    auto result = exec.Execute(*plan);
+    if (!result.ok()) continue;
+    std::printf("%-8s %10zu %14zu %12zu %6zu\n", schema.name().c_str(),
+                result->logicals_updated, result->elements_updated,
+                result->icic_color_touches, schema.ComputeIcics().size());
+  }
+
+  std::printf(
+      "\nDEEP/UNDR rewrite every redundant copy (the update anomaly);\n"
+      "node-normal MCT schemas write once per element, paying only the\n"
+      "per-color ICIC touch — 'this cost is lower than that of a value\n"
+      "join or un-normalized constraint maintenance' (section 6.1).\n");
+  return 0;
+}

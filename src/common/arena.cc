@@ -1,0 +1,50 @@
+#include "common/arena.h"
+
+#include <cstring>
+
+namespace mctdb {
+
+char* Arena::Allocate(size_t bytes) {
+  return AllocateAligned(bytes, alignof(max_align_t));
+}
+
+char* Arena::AllocateAligned(size_t bytes, size_t alignment) {
+  if (bytes == 0) bytes = 1;
+  uintptr_t cur = reinterpret_cast<uintptr_t>(cursor_);
+  size_t pad = (alignment - (cur & (alignment - 1))) & (alignment - 1);
+  if (pad + bytes > remaining_) {
+    // Oversized requests get a dedicated block so a huge string does not
+    // waste an entire fresh block's tail.
+    if (bytes > block_bytes_ / 4) {
+      char* block = AllocateNewBlock(bytes + alignment);
+      uintptr_t p = reinterpret_cast<uintptr_t>(block);
+      size_t pad2 = (alignment - (p & (alignment - 1))) & (alignment - 1);
+      bytes_allocated_ += bytes;
+      return block + pad2;
+    }
+    cursor_ = AllocateNewBlock(block_bytes_);
+    remaining_ = block_bytes_;
+    cur = reinterpret_cast<uintptr_t>(cursor_);
+    pad = (alignment - (cur & (alignment - 1))) & (alignment - 1);
+  }
+  char* out = cursor_ + pad;
+  cursor_ = out + bytes;
+  remaining_ -= pad + bytes;
+  bytes_allocated_ += bytes;
+  return out;
+}
+
+std::string_view Arena::CopyString(std::string_view s) {
+  if (s.empty()) return {};
+  char* mem = AllocateAligned(s.size(), 1);
+  std::memcpy(mem, s.data(), s.size());
+  return std::string_view(mem, s.size());
+}
+
+char* Arena::AllocateNewBlock(size_t bytes) {
+  blocks_.push_back(std::make_unique<char[]>(bytes));
+  bytes_reserved_ += bytes;
+  return blocks_.back().get();
+}
+
+}  // namespace mctdb

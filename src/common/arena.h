@@ -1,0 +1,65 @@
+// Arena: block bump allocator for node storage.
+//
+// The storage layer allocates millions of small node records and string
+// payloads per loaded database; an arena keeps them contiguous, cheap to
+// allocate and freed all at once when the store is dropped (the same reason
+// LevelDB/RocksDB memtables use one).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace mctdb {
+
+/// Bump allocator over geometrically growing blocks. Not thread-safe; each
+/// store owns its own arena.
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocate `bytes` with alignment suitable for any scalar type.
+  char* Allocate(size_t bytes);
+
+  /// Allocate with explicit alignment (power of two).
+  char* AllocateAligned(size_t bytes, size_t alignment = alignof(max_align_t));
+
+  /// Copy `s` into the arena; returned view lives as long as the arena.
+  std::string_view CopyString(std::string_view s);
+
+  /// Construct a T in arena memory. T must be trivially destructible (the
+  /// arena never runs destructors).
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena::New requires trivially destructible T");
+    char* mem = AllocateAligned(sizeof(T), alignof(T));
+    return new (mem) T(std::forward<Args>(args)...);
+  }
+
+  /// Total bytes handed out to callers.
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  /// Total bytes reserved from the system (>= bytes_allocated()).
+  size_t bytes_reserved() const { return bytes_reserved_; }
+  size_t num_blocks() const { return blocks_.size(); }
+
+ private:
+  char* AllocateNewBlock(size_t bytes);
+
+  size_t block_bytes_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  char* cursor_ = nullptr;
+  size_t remaining_ = 0;
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace mctdb

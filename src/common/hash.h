@@ -1,0 +1,31 @@
+// Hashing utilities used by value-join hash tables and value indexes.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mctdb {
+
+/// 64-bit FNV-1a. Stable across platforms (value-index layouts depend on it).
+inline uint64_t Hash64(std::string_view s, uint64_t seed = 0xCBF29CE484222325ull) {
+  uint64_t h = seed;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+inline uint64_t Hash64(uint64_t x) {
+  // splitmix64 finalizer: good avalanche for integer keys.
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2));
+}
+
+}  // namespace mctdb

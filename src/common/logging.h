@@ -1,0 +1,25 @@
+// Minimal assertion/logging macros (no external deps).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Fatal invariant check; active in all build types because design-algorithm
+/// invariants (NN/EN/forest-ness) are cheap relative to the work they guard.
+#define MCTDB_CHECK(cond)                                                 \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "MCTDB_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define MCTDB_CHECK_MSG(cond, msg)                                        \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "MCTDB_CHECK failed at %s:%d: %s (%s)\n",      \
+                   __FILE__, __LINE__, #cond, msg);                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,62 @@
+// Result<T>: value-or-Status, the return type for fallible producers.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace mctdb {
+
+/// Holds either a T or a non-OK Status. Analogous to absl::StatusOr /
+/// rocksdb's (Status, out-param) pairs, but keeps call sites terse.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return some_t;`
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error: `return Status::NotFound(...);`
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the contained value; caller must have checked ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace mctdb
+
+/// Evaluate a Result-returning expression; on error propagate the Status,
+/// otherwise bind the value to `lhs`.
+#define MCTDB_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto MCTDB_CONCAT_(_res_, __LINE__) = (expr);      \
+  if (!MCTDB_CONCAT_(_res_, __LINE__).ok())          \
+    return MCTDB_CONCAT_(_res_, __LINE__).status();  \
+  lhs = std::move(MCTDB_CONCAT_(_res_, __LINE__)).value()
+
+#define MCTDB_CONCAT_INNER_(a, b) a##b
+#define MCTDB_CONCAT_(a, b) MCTDB_CONCAT_INNER_(a, b)

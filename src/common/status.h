@@ -1,0 +1,102 @@
+// Status: RocksDB-style error propagation for all fallible mctdb APIs.
+//
+// Library code never throws across module boundaries; every operation that
+// can fail returns a Status (or a Result<T>, see result.h) that callers must
+// inspect.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mctdb {
+
+/// Outcome of a fallible operation: an error code plus a human-readable
+/// message. The default-constructed Status is OK and carries no allocation.
+class Status {
+ public:
+  /// Error taxonomy. Mirrors the categories used throughout the storage and
+  /// design layers; see the factory functions below for intended use.
+  enum class Code : unsigned char {
+    kOk = 0,
+    kInvalidArgument,  ///< caller passed something malformed
+    kNotFound,         ///< named entity/node/key does not exist
+    kAlreadyExists,    ///< uniqueness violated (duplicate name, duplicate id)
+    kCorruption,       ///< on-"disk" or in-memory structure is inconsistent
+    kNotSupported,     ///< requested combination of properties is infeasible
+    kOutOfRange,       ///< index/offset past the end
+    kConstraintViolation,  ///< ICIC or cardinality constraint violated
+    kIoError,          ///< pager / file-layer failure
+    kInternal,         ///< invariant broken inside mctdb itself
+  };
+
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(Code::kAlreadyExists, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(Code::kOutOfRange, msg);
+  }
+  static Status ConstraintViolation(std::string_view msg) {
+    return Status(Code::kConstraintViolation, msg);
+  }
+  static Status IoError(std::string_view msg) {
+    return Status(Code::kIoError, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(Code::kInternal, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsConstraintViolation() const {
+    return code_ == Code::kConstraintViolation;
+  }
+  bool IsIoError() const { return code_ == Code::kIoError; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>", for logs and test failure output.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+}  // namespace mctdb
+
+/// Propagate a non-OK Status to the caller. Usable in any function that
+/// itself returns Status.
+#define MCTDB_RETURN_IF_ERROR(expr)              \
+  do {                                           \
+    ::mctdb::Status _s = (expr);                 \
+    if (!_s.ok()) return _s;                     \
+  } while (0)

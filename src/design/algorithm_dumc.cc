@@ -1,0 +1,122 @@
+#include "design/algorithm_dumc.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "design/algorithm_mc.h"
+#include "design/associations.h"
+#include "design/chain_packing.h"
+#include "design/recoverability.h"
+
+namespace mctdb::design {
+
+namespace {
+
+/// A copy of `schema` with color `victim` removed (colors renumbered).
+mct::MctSchema RebuildWithout(const mct::MctSchema& schema,
+                              mct::ColorId victim) {
+  mct::MctSchema out(schema.name(), &schema.graph());
+  for (mct::ColorId c = 0; c < schema.num_colors(); ++c) {
+    if (c == victim) continue;
+    mct::ColorId nc = out.AddColor();
+    // Recursive root-first copy (children may have lower ids than parents
+    // after MC's tree merging, so plain id order is not safe).
+    struct Frame {
+      mct::OccId src;
+      mct::OccId dst_parent;
+    };
+    std::vector<Frame> stack;
+    for (mct::OccId root : schema.roots(c)) {
+      stack.push_back({root, mct::kInvalidOcc});
+    }
+    while (!stack.empty()) {
+      Frame f = stack.back();
+      stack.pop_back();
+      const mct::SchemaOcc& src = schema.occ(f.src);
+      mct::OccId dst =
+          f.dst_parent == mct::kInvalidOcc
+              ? out.AddRoot(nc, src.er_node)
+              : out.AddChild(f.dst_parent, src.er_node, src.via_edge);
+      for (mct::OccId child : src.children) stack.push_back({child, dst});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+mct::MctSchema AlgorithmDumc(const er::ErGraph& graph,
+                             std::string schema_name,
+                             const DumcOptions& options) {
+  mct::MctSchema schema = AlgorithmMc(graph, std::move(schema_name));
+
+  EnumerateOptions enum_options;
+  enum_options.max_paths = options.max_paths;
+  enum_options.max_length = options.max_path_length;
+  std::vector<AssociationPath> paths =
+      EnumerateEligiblePaths(graph, enum_options);
+  // Longest paths first: their sub-chains (and reverses) come along for
+  // free, which is what keeps the color count near the paper's.
+  std::stable_sort(paths.begin(), paths.end(),
+                   [](const AssociationPath& a, const AssociationPath& b) {
+                     return a.length() > b.length();
+                   });
+
+  std::vector<const AssociationPath*> uncovered;
+  for (const AssociationPath& p : paths) {
+    if (!IsPathDirectlyRecoverable(schema, p)) uncovered.push_back(&p);
+  }
+  // Packing predicate: a path newly covered as a side effect of earlier
+  // packs (as a sub-chain, or in reverse) must not be packed again — that
+  // is what keeps the color count near the paper's (TPC-W: 5).
+  auto covered_or_packs = [&](mct::ColorId c, const AssociationPath* p) {
+    return IsPathDirectlyRecoverable(schema, *p) ||
+           TryRealizeInColor(&schema, c, *p);
+  };
+  // First try the MC colors themselves (extra paths at no cost in colors).
+  for (mct::ColorId c = 0; c < schema.num_colors(); ++c) {
+    std::erase_if(uncovered, [&](const AssociationPath* p) {
+      return covered_or_packs(c, p);
+    });
+  }
+  while (!uncovered.empty()) {
+    mct::ColorId c = schema.AddColor();
+    size_t before = uncovered.size();
+    std::erase_if(uncovered, [&](const AssociationPath* p) {
+      return covered_or_packs(c, p);
+    });
+    // The longest uncovered path always packs into an empty color, so each
+    // round strictly shrinks the set.
+    MCTDB_CHECK(uncovered.size() < before);
+  }
+
+  if (options.reduce_colors) {
+    // Color frugality: greedily drop colors (newest first — the greedy
+    // tail is the most likely to be subsumed) whose removal keeps AR and
+    // complete DR.
+    bool dropped = true;
+    while (dropped && schema.num_colors() > 1) {
+      dropped = false;
+      for (mct::ColorId victim = schema.num_colors(); victim-- > 0;) {
+        mct::MctSchema candidate = RebuildWithout(schema, victim);
+        if (!IsAssociationRecoverable(candidate)) continue;
+        bool complete = true;
+        for (const AssociationPath& p : paths) {
+          if (!IsPathDirectlyRecoverable(candidate, p)) {
+            complete = false;
+            break;
+          }
+        }
+        if (complete) {
+          schema = std::move(candidate);
+          dropped = true;
+          break;
+        }
+      }
+    }
+  }
+  MCTDB_CHECK(schema.Validate().ok());
+  return schema;
+}
+
+}  // namespace mctdb::design

@@ -1,0 +1,39 @@
+// Algorithm DUMC (paper §5.2): the disjoint union of Algorithm MC runs,
+// yielding an MCT schema that satisfies node normal form, association
+// recoverability, AND complete direct recoverability (Theorem 5.2) — at the
+// cost of edge normal form, and without a color-minimality guarantee (the
+// paper's explicit caveat).
+//
+// Concretely: different MC runs differ in start nodes and in the orientation
+// chosen for 1:1 edges, and together realize every eligible association
+// path. We make "enough runs" constructive: start from one MC run (AR and
+// every single-edge path), then greedily open colors and pack still-missing
+// eligible paths (longest first) into each, each color being an
+// MC-compatible forest (node normal, traversable links). Every eligible
+// path packs into an empty color, so the loop always progresses and
+// terminates with complete DR.
+#pragma once
+
+#include <string>
+
+#include "er/er_graph.h"
+#include "mct/mct_schema.h"
+
+namespace mctdb::design {
+
+struct DumcOptions {
+  /// Cap on eligible-path enumeration (see EnumerateOptions); with the cap
+  /// hit, DR completeness is relative to the enumerated set.
+  size_t max_paths = 200000;
+  size_t max_path_length = 16;
+  /// Color-frugality post-pass (§3.3): drop every color whose removal
+  /// keeps the schema AR and completely DR (greedy, last color first).
+  /// This is what lands TPC-W on the paper's 5 colors.
+  bool reduce_colors = true;
+};
+
+mct::MctSchema AlgorithmDumc(const er::ErGraph& graph,
+                             std::string schema_name = "DR",
+                             const DumcOptions& options = {});
+
+}  // namespace mctdb::design

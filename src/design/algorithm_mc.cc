@@ -1,0 +1,346 @@
+#include "design/algorithm_mc.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+
+namespace mctdb::design {
+
+namespace {
+
+/// Per-run state of Algorithm MC over one ER graph.
+class McRunner {
+ public:
+  McRunner(const er::ErGraph& graph, std::string name,
+           const ConstraintSet* constraints)
+      : graph_(graph),
+        schema_(std::move(name), &graph),
+        constraints_(constraints),
+        edge_colored_(graph.num_edges(), false) {}
+
+  mct::MctSchema Run(const McOptions& options) {
+    defer_shared_edges_ = constraints_ != nullptr;
+    bool first_color = true;
+    while (true) {
+      std::vector<er::NodeId> candidates = ResidualSourceCandidates();
+      if (candidates.empty()) break;
+      er::NodeId start;
+      if (first_color && options.first_start != er::kInvalidNode &&
+          std::count(candidates.begin(), candidates.end(),
+                     options.first_start)) {
+        start = options.first_start;
+      } else {
+        start = BestCandidate(candidates);
+      }
+      OpenColor(start);
+      // Step 4: keep adding roots to this color while possible.
+      while (true) {
+        std::vector<er::NodeId> more;
+        for (er::NodeId v : ResidualSourceCandidates()) {
+          if (!in_color_.count(v) && HasColorableEdgeFromFreshRoot(v)) {
+            more.push_back(v);
+          }
+        }
+        if (more.empty()) break;
+        er::NodeId v = BestCandidate(more);
+        mct::OccId root = schema_.AddRoot(color_, v);
+        in_color_[v].push_back(root);
+        current_roots_.insert(root);
+        Sweep(root);
+      }
+      first_color = false;
+      if (options.single_color) break;
+      // The defer rule (below) may leave constrained edges uncolored when
+      // no run reached them from the relationship side; fall back to plain
+      // coloring so association recoverability is never lost.
+      if (defer_shared_edges_ && ResidualSourceCandidates().empty() &&
+          HasUncoloredEdge()) {
+        defer_shared_edges_ = false;
+      }
+    }
+    MCTDB_CHECK(schema_.Validate().ok());
+    return std::move(schema_);
+  }
+
+ private:
+  bool HasUncoloredEdge() const {
+    return std::find(edge_colored_.begin(), edge_colored_.end(), false) !=
+           edge_colored_.end();
+  }
+
+  /// Defer rule: with constraints active, the shared node must not grab a
+  /// constrained edge as its own child — the edge is reserved for the
+  /// duplicate-occurrence realization (shared node UNDER each disjoint
+  /// parent, the §3.2 shape).
+  bool DeferEdge(er::EdgeId eid, er::NodeId from) const {
+    if (!defer_shared_edges_ || constraints_ == nullptr) return false;
+    for (const DisjointParentsConstraint& c : *constraints_) {
+      if (c.shared != from) continue;
+      if (std::find(c.edges.begin(), c.edges.end(), eid) != c.edges.end()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool HasUncoloredOut(er::NodeId v) const {
+    for (er::EdgeId eid : graph_.incident(v)) {
+      if (!edge_colored_[eid] && graph_.Traversable(eid, v)) return true;
+    }
+    return false;
+  }
+
+  /// SCC ids over the residual (uncolored-edge) mixed graph.
+  std::vector<int> ResidualScc(int* num_sccs) const {
+    const size_t n = graph_.num_nodes();
+    // Kosaraju-style double DFS is overkill for graphs this small; reuse a
+    // simple iterative Tarjan specialized to the residual edge filter.
+    std::vector<int> index(n, -1), low(n, 0), scc(n, -1);
+    std::vector<bool> on_stack(n, false);
+    std::vector<er::NodeId> stack;
+    int next_index = 0, next_scc = 0;
+
+    auto successors = [&](er::NodeId u, std::vector<er::NodeId>* out) {
+      out->clear();
+      for (er::EdgeId eid : graph_.incident(u)) {
+        if (edge_colored_[eid]) continue;
+        const er::ErEdge& e = graph_.edge(eid);
+        if (e.directed()) {
+          if (u == e.node) out->push_back(e.rel);
+        } else {
+          out->push_back(e.other(u));
+        }
+      }
+    };
+
+    struct Frame {
+      er::NodeId u;
+      size_t child = 0;
+      std::vector<er::NodeId> succs;
+    };
+    for (er::NodeId s = 0; s < n; ++s) {
+      if (index[s] != -1) continue;
+      std::vector<Frame> frames;
+      frames.push_back({s, 0, {}});
+      successors(s, &frames.back().succs);
+      index[s] = low[s] = next_index++;
+      stack.push_back(s);
+      on_stack[s] = true;
+      while (!frames.empty()) {
+        Frame& fr = frames.back();
+        if (fr.child < fr.succs.size()) {
+          er::NodeId v = fr.succs[fr.child++];
+          if (index[v] == -1) {
+            index[v] = low[v] = next_index++;
+            stack.push_back(v);
+            on_stack[v] = true;
+            frames.push_back({v, 0, {}});
+            successors(v, &frames.back().succs);
+          } else if (on_stack[v]) {
+            low[fr.u] = std::min(low[fr.u], index[v]);
+          }
+        } else {
+          er::NodeId u = fr.u;
+          if (low[u] == index[u]) {
+            while (true) {
+              er::NodeId w = stack.back();
+              stack.pop_back();
+              on_stack[w] = false;
+              scc[w] = next_scc;
+              if (w == u) break;
+            }
+            ++next_scc;
+          }
+          frames.pop_back();
+          if (!frames.empty()) {
+            low[frames.back().u] = std::min(low[frames.back().u], low[u]);
+          }
+        }
+      }
+    }
+    *num_sccs = next_scc;
+    return scc;
+  }
+
+  /// Fig 7 step 2: unprocessed nodes lying in source SCCs of the residual
+  /// graph. "Unprocessed" = still has an uncolored traversable-out edge.
+  std::vector<er::NodeId> ResidualSourceCandidates() const {
+    int num_sccs = 0;
+    std::vector<int> scc = ResidualScc(&num_sccs);
+    std::vector<bool> has_incoming(static_cast<size_t>(num_sccs), false);
+    for (const er::ErEdge& e : graph_.edges()) {
+      if (edge_colored_[e.id] || !e.directed()) continue;
+      if (scc[e.node] != scc[e.rel]) has_incoming[scc[e.rel]] = true;
+    }
+    std::vector<er::NodeId> out;
+    for (er::NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      if (!has_incoming[scc[v]] && HasUncoloredOut(v)) out.push_back(v);
+    }
+    return out;
+  }
+
+  /// Number of uncolored edges reachable from `v` along uncolored
+  /// traversable edges — the color-frugality heuristic.
+  size_t ReachScore(er::NodeId v) const {
+    std::set<er::EdgeId> seen_edges;
+    std::set<er::NodeId> seen_nodes{v};
+    std::deque<er::NodeId> queue{v};
+    while (!queue.empty()) {
+      er::NodeId u = queue.front();
+      queue.pop_front();
+      for (er::EdgeId eid : graph_.incident(u)) {
+        if (edge_colored_[eid] || !graph_.Traversable(eid, u)) continue;
+        seen_edges.insert(eid);
+        er::NodeId next = graph_.edge(eid).other(u);
+        if (seen_nodes.insert(next).second) queue.push_back(next);
+      }
+    }
+    return seen_edges.size();
+  }
+
+  er::NodeId BestCandidate(const std::vector<er::NodeId>& candidates) const {
+    er::NodeId best = candidates.front();
+    size_t best_score = ReachScore(best);
+    for (size_t i = 1; i < candidates.size(); ++i) {
+      size_t score = ReachScore(candidates[i]);
+      if (score > best_score) {
+        best = candidates[i];
+        best_score = score;
+      }
+    }
+    return best;
+  }
+
+  bool HasColorableEdgeFromFreshRoot(er::NodeId v) const {
+    for (er::EdgeId eid : graph_.incident(v)) {
+      if (edge_colored_[eid] || !graph_.Traversable(eid, v)) continue;
+      er::NodeId other = graph_.edge(eid).other(v);
+      auto it = in_color_.find(other);
+      if (it == in_color_.end()) return true;
+      // Far end already colored: colorable only toward a non-start root.
+      for (mct::OccId occ : it->second) {
+        if (current_roots_.count(occ) && other != start_node_) return true;
+      }
+    }
+    return false;
+  }
+
+  void OpenColor(er::NodeId start) {
+    color_ = schema_.AddColor();
+    in_color_.clear();
+    current_roots_.clear();
+    start_node_ = start;
+    mct::OccId root = schema_.AddRoot(color_, start);
+    in_color_[start].push_back(root);
+    current_roots_.insert(root);
+    Sweep(root);
+  }
+
+  mct::OccId RootOf(mct::OccId occ) const {
+    while (!schema_.occ(occ).is_root()) occ = schema_.occ(occ).parent;
+    return occ;
+  }
+
+  /// Depth-first colorable-edge traversal from `from_occ`, then re-sweep all
+  /// in-color occurrences until fixpoint (tree merges can unlock edges whose
+  /// scan already passed).
+  void Sweep(mct::OccId from_occ) {
+    Dfs(from_occ);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      // Snapshot: Dfs appends occurrences.
+      std::vector<mct::OccId> occs;
+      for (const auto& [node, node_occs] : in_color_) {
+        occs.insert(occs.end(), node_occs.begin(), node_occs.end());
+      }
+      size_t before = NumColored();
+      for (mct::OccId occ : occs) Dfs(occ);
+      changed = NumColored() != before;
+    }
+  }
+
+  size_t NumColored() const {
+    return static_cast<size_t>(
+        std::count(edge_colored_.begin(), edge_colored_.end(), true));
+  }
+
+  void Dfs(mct::OccId occ) {
+    er::NodeId node = schema_.occ(occ).er_node;
+    for (er::EdgeId eid : graph_.incident(node)) {
+      if (edge_colored_[eid] || !graph_.Traversable(eid, node)) continue;
+      if (DeferEdge(eid, node)) continue;
+      er::NodeId other = graph_.edge(eid).other(node);
+      auto it = in_color_.find(other);
+      if (it == in_color_.end()) {
+        edge_colored_[eid] = true;
+        mct::OccId child = schema_.AddChild(occ, other, eid);
+        in_color_[other].push_back(child);
+        Dfs(child);
+        continue;
+      }
+      // Fig 7 step 3(ii) + step 4: merge another current root's tree under
+      // this occurrence — unless it is the start node or our own root
+      // (which would close a cycle).
+      bool merged = false;
+      for (mct::OccId other_occ : it->second) {
+        if (current_roots_.count(other_occ) && other != start_node_ &&
+            RootOf(occ) != other_occ) {
+          edge_colored_[eid] = true;
+          schema_.AttachRoot(other_occ, occ, eid);
+          current_roots_.erase(other_occ);
+          Dfs(other_occ);
+          merged = true;
+          break;
+        }
+      }
+      if (merged) continue;
+      // Constraint-aware extension (§3.2): when the far end's existing
+      // parent edges plus this one are declared instance-disjoint, a
+      // second occurrence in the same color duplicates no instance.
+      if (constraints_ != nullptr) {
+        std::vector<er::EdgeId> edges{eid};
+        bool any_root = false;
+        for (mct::OccId o : it->second) {
+          if (schema_.occ(o).is_root()) {
+            any_root = true;
+          } else {
+            edges.push_back(schema_.occ(o).via_edge);
+          }
+        }
+        if (!any_root && ConstraintCovers(*constraints_, other, edges)) {
+          edge_colored_[eid] = true;
+          mct::OccId child = schema_.AddChild(occ, other, eid);
+          in_color_[other].push_back(child);
+          Dfs(child);
+        }
+      }
+    }
+  }
+
+  const er::ErGraph& graph_;
+  mct::MctSchema schema_;
+  const ConstraintSet* constraints_ = nullptr;
+  std::vector<bool> edge_colored_;
+
+  // Per-color state.
+  mct::ColorId color_ = 0;
+  bool defer_shared_edges_ = false;
+  std::map<er::NodeId, std::vector<mct::OccId>> in_color_;
+  std::set<mct::OccId> current_roots_;
+  er::NodeId start_node_ = er::kInvalidNode;
+};
+
+}  // namespace
+
+mct::MctSchema AlgorithmMc(const er::ErGraph& graph, std::string schema_name,
+                           const McOptions& options) {
+  McRunner runner(graph, std::move(schema_name), options.constraints);
+  return runner.Run(options);
+}
+
+}  // namespace mctdb::design

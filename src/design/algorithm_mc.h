@@ -1,0 +1,54 @@
+// Algorithm MC (paper Fig 7): translate a simplified ER graph into an MCT
+// schema satisfying node normal form, edge normal form, and association
+// recoverability (Theorem 5.1).
+//
+// Sketch, faithful to the figure:
+//  1. Edges incident on relationship nodes are oriented by participation
+//     (MANY participation => directed entity -> relationship); the rest stay
+//     undirected. (This lives in er::ErEdge::directed().)
+//  2. Pick an unprocessed node from a source SCC of the *residual* graph
+//     (the uncolored edges) and open a new color with it as start node.
+//  3. Depth-first traverse colorable edges from the one side to the many
+//     side, coloring nodes and edges. An edge is colorable iff it is not yet
+//     colored (in any color — this yields EN) and its far end either lacks
+//     the current color, or is a current root other than the start node (in
+//     which case the two trees merge, Fig 7 step 4).
+//  4. While some unprocessed source node still has a colorable edge, add it
+//     as a further root of the *same* color and continue (a color is a
+//     forest).
+//  5. Repeat from 2 until every edge is colored.
+//
+// Color frugality: start nodes are chosen to maximize the number of
+// uncolored edges reachable, which keeps the color count at the low end
+// (TPC-W: 2 colors, matching the paper's EN schema).
+#pragma once
+
+#include <string>
+
+#include "design/constraints.h"
+#include "er/er_graph.h"
+#include "mct/mct_schema.h"
+
+namespace mctdb::design {
+
+struct McOptions {
+  /// AF mode: stop after the first color completes; remaining edges are
+  /// left uncolored for the caller to capture as id/idref edges.
+  bool single_color = false;
+  /// Optional forced start node for the first color (kInvalidNode = pick by
+  /// heuristic). Used by DUMC to diversify runs.
+  er::NodeId first_start = er::kInvalidNode;
+  /// Instance-level disjointness constraints (§3.2 / future work): edges
+  /// covered by one constraint may share a color through a second
+  /// occurrence of the shared node, yielding fewer colors. The result then
+  /// satisfies IsNodeNormalUnder(schema, *constraints) instead of plain
+  /// node normal form.
+  const ConstraintSet* constraints = nullptr;
+};
+
+/// Runs Algorithm MC. The result references `graph`, which must outlive it.
+mct::MctSchema AlgorithmMc(const er::ErGraph& graph,
+                           std::string schema_name = "EN",
+                           const McOptions& options = {});
+
+}  // namespace mctdb::design

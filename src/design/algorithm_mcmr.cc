@@ -1,0 +1,53 @@
+#include "design/algorithm_mcmr.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "design/algorithm_mc.h"
+#include "design/associations.h"
+#include "design/chain_packing.h"
+#include "design/recoverability.h"
+
+namespace mctdb::design {
+
+mct::MctSchema AlgorithmMcmr(const er::ErGraph& graph,
+                             std::string schema_name) {
+  mct::MctSchema schema = AlgorithmMc(graph, std::move(schema_name));
+
+  std::vector<AssociationPath> paths = EnumerateEligiblePaths(graph);
+  std::stable_sort(paths.begin(), paths.end(),
+                   [](const AssociationPath& a, const AssociationPath& b) {
+                     return a.length() > b.length();
+                   });
+  // Phase 1: pack missing eligible paths into existing colors (no new
+  // colors — MCMR is color minimal by construction).
+  for (const AssociationPath& p : paths) {
+    if (IsPathDirectlyRecoverable(schema, p)) continue;
+    for (mct::ColorId c = 0; c < schema.num_colors(); ++c) {
+      if (TryRealizeInColor(&schema, c, p)) break;
+    }
+  }
+  // Phase 2: saturate every color with any further traversable edge whose
+  // parent side is present and child side absent.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (mct::ColorId c = 0; c < schema.num_colors(); ++c) {
+      for (const er::ErEdge& e : graph.edges()) {
+        for (er::NodeId from : {e.node, e.rel}) {
+          if (!graph.Traversable(e, from)) continue;
+          er::NodeId to = e.other(from);
+          mct::OccId from_occ = schema.FindOcc(c, from);
+          if (from_occ == mct::kInvalidOcc) continue;
+          if (schema.FindOcc(c, to) != mct::kInvalidOcc) continue;
+          schema.AddChild(from_occ, to, e.id);
+          changed = true;
+        }
+      }
+    }
+  }
+  MCTDB_CHECK(schema.Validate().ok());
+  return schema;
+}
+
+}  // namespace mctdb::design

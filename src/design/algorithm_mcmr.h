@@ -1,0 +1,26 @@
+// MCMR — minimal color, maximal recoverable (paper §5.2, §6).
+//
+// Starts from Algorithm MC's output (whose color count is locally minimal),
+// then *re-uses* ER edges — giving up edge normal form — to maximize direct
+// recoverability within those same colors:
+//   1. every eligible association path not yet directly recoverable is
+//      packed, longest first, into whichever existing color accepts it;
+//   2. each color's forest is then greedily saturated with any remaining
+//      traversable edge ("adding as many edges as possible to each colored
+//      tree").
+// Node normal form and association recoverability are preserved; the color
+// count never grows; DR is maximized but not guaranteed complete (the §5.2
+// second toy graph is the witness).
+#pragma once
+
+#include <string>
+
+#include "er/er_graph.h"
+#include "mct/mct_schema.h"
+
+namespace mctdb::design {
+
+mct::MctSchema AlgorithmMcmr(const er::ErGraph& graph,
+                             std::string schema_name = "MCMR");
+
+}  // namespace mctdb::design

@@ -1,0 +1,97 @@
+#include "design/algorithm_undr.h"
+
+#include <set>
+
+#include "common/logging.h"
+#include "design/algorithm_dumc.h"
+
+namespace mctdb::design {
+
+namespace {
+
+/// Is traversing `e` out of `from` instance-functional (at most one child
+/// instance per parent instance)? True for rel->endpoint (each relationship
+/// instance has exactly one endpoint instance) and for entity->rel under
+/// ONE participation.
+bool IsFunctional(const er::ErEdge& e, er::NodeId from) {
+  if (from == e.rel) return true;
+  return e.participation == er::Participation::kOne;
+}
+
+/// ER nodes on the root path of `occ`, inclusive.
+std::set<er::NodeId> RootPathNodes(const mct::MctSchema& schema,
+                                   mct::OccId occ) {
+  std::set<er::NodeId> out;
+  for (mct::OccId cur = occ; cur != mct::kInvalidOcc;
+       cur = schema.occ(cur).parent) {
+    out.insert(schema.occ(cur).er_node);
+  }
+  return out;
+}
+
+void ExpandFunctionalContext(const er::ErGraph& graph, mct::MctSchema* schema,
+                             mct::OccId occ, std::set<er::NodeId>* on_path,
+                             size_t depth, const UndrOptions& options) {
+  if (depth >= options.max_context_depth) return;
+  if (schema->num_occurrences() >= options.max_occurrences) return;
+  er::NodeId node = schema->occ(occ).er_node;
+  for (er::EdgeId eid : graph.incident(node)) {
+    const er::ErEdge& e = graph.edge(eid);
+    er::NodeId other = e.other(node);
+    if (on_path->count(other)) continue;
+    if (!IsFunctional(e, node)) continue;
+    if (schema->num_occurrences() >= options.max_occurrences) return;
+    mct::OccId child = schema->AddChild(occ, other, eid);
+    on_path->insert(other);
+    ExpandFunctionalContext(graph, schema, child, on_path, depth + 1, options);
+    on_path->erase(other);
+  }
+}
+
+}  // namespace
+
+mct::MctSchema AlgorithmUndr(const er::ErGraph& graph,
+                             std::string schema_name,
+                             const UndrOptions& options) {
+  mct::MctSchema schema = AlgorithmDumc(graph, std::move(schema_name));
+
+  // Snapshot: grafting appends occurrences, which must not themselves be
+  // expanded again.
+  const size_t base_occs = schema.num_occurrences();
+  std::set<er::EdgeId> grafted_edges;
+  for (mct::OccId id = 0; id < base_occs; ++id) {
+    const mct::SchemaOcc snapshot = schema.occ(id);
+    const er::ErNode& node = graph.diagram().node(snapshot.er_node);
+    if (!node.is_relationship()) continue;
+    for (er::EdgeId eid : graph.incident(snapshot.er_node)) {
+      const er::ErEdge& e = graph.edge(eid);
+      if (e.rel != snapshot.er_node) continue;  // endpoint edges only
+      er::NodeId endpoint = e.node;
+      // Skip endpoints already realized at this occurrence (as parent or as
+      // a child via the same edge).
+      if (!snapshot.is_root() && snapshot.via_edge == eid) continue;
+      bool has_child = false;
+      for (mct::OccId child : schema.occ(id).children) {
+        if (schema.occ(child).via_edge == eid) {
+          has_child = true;
+          break;
+        }
+      }
+      if (has_child) continue;
+      std::set<er::NodeId> on_path = RootPathNodes(schema, id);
+      if (on_path.count(endpoint)) continue;
+      if (options.graft_once_per_edge && !grafted_edges.insert(eid).second) {
+        continue;
+      }
+      if (schema.num_occurrences() >= options.max_occurrences) break;
+      mct::OccId dup = schema.AddChild(id, endpoint, eid);
+      on_path.insert(endpoint);
+      ExpandFunctionalContext(graph, &schema, dup, &on_path, 1, options);
+      if (schema.num_occurrences() >= options.max_occurrences) break;
+    }
+  }
+  MCTDB_CHECK(schema.Validate().ok());
+  return schema;
+}
+
+}  // namespace mctdb::design

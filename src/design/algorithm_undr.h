@@ -1,0 +1,43 @@
+// UNDR — un-normalized direct recoverable (paper §6).
+//
+// A multi-colored schema "in which direct recoverability, without color
+// crossings, has been selectively increased at the cost of node
+// normalization". We start from DUMC's DR schema and graft *functional
+// context duplicates* into each color:
+//
+// For every relationship occurrence whose second endpoint is not realized at
+// it (it is the far, shared side — e.g. `billing` under `order` missing its
+// `address`), append a duplicated occurrence of that endpoint and extend it
+// with its functional context (steps that are instance-functional: ONE-
+// participation entity->rel, and rel->endpoint) — producing the
+// address'->in'->country' and item'->write'->author' nests that make
+// Q2-/Q12-style queries single-color, at the price Table 1 charges UNDR in
+// storage and duplicate updates.
+//
+// The paper notes un-normalization is inherently subjective ("there were too
+// many subjective ways…"); this functional-context rule is our concrete,
+// deterministic instantiation — see DESIGN.md.
+#pragma once
+
+#include <string>
+
+#include "er/er_graph.h"
+#include "mct/mct_schema.h"
+
+namespace mctdb::design {
+
+struct UndrOptions {
+  /// Maximum depth of a grafted functional-context chain.
+  size_t max_context_depth = 6;
+  size_t max_occurrences = 100000;
+  /// Selectivity: graft each missing endpoint edge in only the first color
+  /// that needs it (the paper's UNDR is *selectively* un-normalized and
+  /// stays well below DEEP in storage). Set false to graft everywhere.
+  bool graft_once_per_edge = true;
+};
+
+mct::MctSchema AlgorithmUndr(const er::ErGraph& graph,
+                             std::string schema_name = "UNDR",
+                             const UndrOptions& options = {});
+
+}  // namespace mctdb::design

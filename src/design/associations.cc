@@ -1,0 +1,93 @@
+#include "design/associations.h"
+
+#include "common/logging.h"
+
+namespace mctdb::design {
+
+std::string AssociationPath::Label(const er::ErDiagram& diagram) const {
+  std::string out;
+  for (size_t i = 1; i + 1 < nodes.size(); ++i) {
+    if (!out.empty()) out += ".";
+    out += diagram.node(nodes[i]).name;
+  }
+  if (out.empty()) out = "(direct)";
+  return out;
+}
+
+std::vector<AssociationPath> EnumerateEligiblePaths(
+    const er::ErGraph& graph, const EnumerateOptions& options,
+    bool* truncated) {
+  std::vector<AssociationPath> out;
+  if (truncated) *truncated = false;
+  const size_t n = graph.num_nodes();
+  std::vector<bool> on_path(n, false);
+
+  // Iterative DFS with an explicit edge stack, one run per source node.
+  struct Frame {
+    er::NodeId node;
+    size_t next_incident = 0;
+  };
+  std::vector<Frame> stack;
+  std::vector<er::EdgeId> path_edges;
+  std::vector<er::NodeId> path_nodes;
+
+  for (er::NodeId source = 0; source < n; ++source) {
+    stack.clear();
+    path_edges.clear();
+    path_nodes.assign(1, source);
+    std::fill(on_path.begin(), on_path.end(), false);
+    on_path[source] = true;
+    stack.push_back({source, 0});
+
+    while (!stack.empty()) {
+      Frame& fr = stack.back();
+      const auto& incident = graph.incident(fr.node);
+      if (fr.next_incident >= incident.size() ||
+          path_edges.size() >= options.max_length) {
+        on_path[fr.node] = false;
+        stack.pop_back();
+        if (!path_edges.empty()) {
+          path_edges.pop_back();
+          path_nodes.pop_back();
+        }
+        continue;
+      }
+      er::EdgeId eid = incident[fr.next_incident++];
+      const er::ErEdge& e = graph.edge(eid);
+      if (!graph.Traversable(e, fr.node)) continue;
+      er::NodeId next = e.other(fr.node);
+      if (on_path[next]) continue;
+
+      path_edges.push_back(eid);
+      path_nodes.push_back(next);
+      on_path[next] = true;
+      stack.push_back({next, 0});
+
+      AssociationPath p;
+      p.source = source;
+      p.target = next;
+      p.nodes = path_nodes;
+      p.edges = path_edges;
+      out.push_back(std::move(p));
+      if (out.size() >= options.max_paths) {
+        if (truncated) *truncated = true;
+        return out;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<er::NodeId, er::NodeId>> EligiblePairs(
+    const er::ErGraph& graph) {
+  auto closure = graph.TraversableClosure();
+  std::vector<std::pair<er::NodeId, er::NodeId>> out;
+  for (er::NodeId x = 0; x < graph.num_nodes(); ++x) {
+    for (er::NodeId y = 0; y < graph.num_nodes(); ++y) {
+      if (x != y && closure[x][y]) out.emplace_back(x, y);
+    }
+  }
+  return out;
+}
+
+}  // namespace mctdb::design

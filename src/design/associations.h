@@ -1,0 +1,61 @@
+// Associations and eligibility (paper §3.1).
+//
+// An *association* is a connected subgraph of the transitive closure of the
+// ER graph, with edge labels capturing the ER paths traversed. For
+// recoverability analysis the unit is a single labeled closure edge: an
+// ordered pair (source, target) together with its *witness path* in the ER
+// graph.
+//
+// An association is *eligible* for direct recoverability iff it is binary
+// and its composed cardinality is 1:1 or 1:N — equivalently, iff every step
+// of the witness path is traversable (endpoint->rel always; rel->endpoint
+// only under ONE participation). Any non-traversable step makes the
+// composition M:N, which cannot be directly recovered without node
+// redundancy (§3.1, condition 2).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "er/er_graph.h"
+
+namespace mctdb::design {
+
+/// One eligible association: a simple traversable path source -> target.
+struct AssociationPath {
+  er::NodeId source = er::kInvalidNode;
+  er::NodeId target = er::kInvalidNode;
+  /// Path nodes, source first, target last (size == edges.size() + 1).
+  std::vector<er::NodeId> nodes;
+  /// ER edges along the path, in traversal order.
+  std::vector<er::EdgeId> edges;
+
+  size_t length() const { return edges.size(); }
+
+  /// "has.address.in"-style label (Fig 6): the intermediate node names
+  /// joined by '.'.
+  std::string Label(const er::ErDiagram& diagram) const;
+};
+
+struct EnumerateOptions {
+  /// Maximum path length in edges. ER-graph nodes alternate entity /
+  /// relationship, so 2 ER edges ~ one conceptual hop.
+  size_t max_length = 16;
+  /// Hard cap on the number of paths returned (dense random graphs can have
+  /// exponentially many simple paths). When hit, `truncated` is set.
+  size_t max_paths = 200000;
+};
+
+/// All eligible associations: simple traversable paths of length >= 1
+/// between distinct nodes. Deterministic order (DFS by node/edge id).
+std::vector<AssociationPath> EnumerateEligiblePaths(
+    const er::ErGraph& graph, const EnumerateOptions& options = {},
+    bool* truncated = nullptr);
+
+/// The eligible *pair* relation (the closure of single steps): pairs (x, y)
+/// such that some eligible path runs x -> y. Cheaper than enumerating paths.
+std::vector<std::pair<er::NodeId, er::NodeId>> EligiblePairs(
+    const er::ErGraph& graph);
+
+}  // namespace mctdb::design

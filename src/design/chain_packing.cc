@@ -1,0 +1,51 @@
+#include "design/chain_packing.h"
+
+#include "common/logging.h"
+
+namespace mctdb::design {
+
+bool TryRealizeInColor(mct::MctSchema* schema, mct::ColorId color,
+                       const AssociationPath& path) {
+  // Dry run: find the first index at which the chain must be extended, and
+  // verify the present prefix matches and the rest is absent (appendable).
+  mct::OccId cursor = schema->FindOcc(color, path.source);
+  size_t extend_from = 0;  // first node index that needs a new occurrence
+  if (cursor == mct::kInvalidOcc) {
+    extend_from = 0;
+  } else {
+    extend_from = 1;
+    for (size_t i = 0; i < path.edges.size(); ++i) {
+      mct::OccId next = schema->FindOcc(color, path.nodes[i + 1]);
+      if (next == mct::kInvalidOcc) {
+        extend_from = i + 1;
+        break;
+      }
+      const mct::SchemaOcc& next_occ = schema->occ(next);
+      if (next_occ.parent != cursor || next_occ.via_edge != path.edges[i]) {
+        return false;  // present but attached elsewhere: chain can't form
+      }
+      cursor = next;
+      extend_from = i + 2;
+    }
+  }
+  // Everything from `extend_from` on must be absent from the color
+  // (otherwise appending would duplicate a node in this color).
+  for (size_t i = extend_from; i < path.nodes.size(); ++i) {
+    if (schema->FindOcc(color, path.nodes[i]) != mct::kInvalidOcc) {
+      return false;
+    }
+  }
+  if (extend_from >= path.nodes.size()) return true;  // already realized
+
+  // Commit.
+  if (extend_from == 0) {
+    cursor = schema->AddRoot(color, path.nodes[0]);
+    extend_from = 1;
+  }
+  for (size_t i = extend_from; i < path.nodes.size(); ++i) {
+    cursor = schema->AddChild(cursor, path.nodes[i], path.edges[i - 1]);
+  }
+  return true;
+}
+
+}  // namespace mctdb::design

@@ -1,0 +1,22 @@
+// Shared helper for MCMR and DUMC: try to realize an eligible association
+// path as a descending chain inside one color of a schema, *preserving node
+// normal form* (at most one occurrence per ER node per color, every link
+// traversable).
+#pragma once
+
+#include "design/associations.h"
+#include "mct/mct_schema.h"
+
+namespace mctdb::design {
+
+/// Attempts to realize `path` in color `color` of `schema`:
+///   * occurrences already present must line up with the path (each present
+///     node's parent must be the previous path node via the path's edge,
+///     except the path's first node, which may hang anywhere);
+///   * absent nodes are appended (the first as a new root if absent).
+/// All-or-nothing; returns true iff the path is realized afterwards (either
+/// it already was, or the needed occurrences were added).
+bool TryRealizeInColor(mct::MctSchema* schema, mct::ColorId color,
+                       const AssociationPath& path);
+
+}  // namespace mctdb::design

@@ -1,0 +1,105 @@
+#include "design/constraints.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+#include "design/associations.h"
+
+namespace mctdb::design {
+
+bool ConstraintCovers(const ConstraintSet& constraints, er::NodeId shared,
+                      const std::vector<er::EdgeId>& edges) {
+  for (const DisjointParentsConstraint& c : constraints) {
+    if (c.shared != shared) continue;
+    bool all = true;
+    for (er::EdgeId e : edges) {
+      if (std::find(c.edges.begin(), c.edges.end(), e) == c.edges.end()) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+bool IsNodeNormalUnder(const mct::MctSchema& schema,
+                       const ConstraintSet& constraints,
+                       std::string* violation) {
+  const er::ErGraph& graph = schema.graph();
+  const er::ErDiagram& diagram = schema.diagram();
+
+  // Group same-color occurrences per node.
+  std::map<std::pair<mct::ColorId, er::NodeId>, std::vector<mct::OccId>>
+      groups;
+  for (const mct::SchemaOcc& o : schema.occurrences()) {
+    groups[{o.color, o.er_node}].push_back(o.id);
+  }
+  for (const auto& [key, occs] : groups) {
+    if (occs.size() < 2) continue;
+    // All parent edges of the duplicated node must sit under one
+    // disjointness constraint; root occurrences (no parent edge) cannot be
+    // excused — a root repeats every instance.
+    std::vector<er::EdgeId> edges;
+    bool has_root = false;
+    for (mct::OccId id : occs) {
+      const mct::SchemaOcc& o = schema.occ(id);
+      if (o.is_root()) {
+        has_root = true;
+      } else {
+        edges.push_back(o.via_edge);
+      }
+    }
+    if (has_root || !ConstraintCovers(constraints, key.second, edges)) {
+      if (violation != nullptr) {
+        *violation = StringPrintf(
+            "node '%s' occurs %zu times in color %s without a covering "
+            "disjointness constraint",
+            diagram.node(key.second).name.c_str(), occs.size(),
+            schema.color_name(key.first).c_str());
+      }
+      return false;
+    }
+  }
+  // Reverse-cardinality nesting duplicates instances regardless of
+  // disjointness.
+  for (const mct::SchemaOcc& o : schema.occurrences()) {
+    if (o.is_root()) continue;
+    const er::ErEdge& e = graph.edge(o.via_edge);
+    if (!graph.Traversable(e, schema.occ(o.parent).er_node)) {
+      if (violation != nullptr) {
+        *violation = StringPrintf(
+            "'%s' nested against the cardinality under '%s'",
+            diagram.node(o.er_node).name.c_str(),
+            diagram.node(schema.occ(o.parent).er_node).name.c_str());
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<AssociationPath> FilterPathsUnder(
+    const ConstraintSet& constraints, std::vector<AssociationPath> paths) {
+  auto crosses_disjointly = [&](const AssociationPath& p) {
+    // An interior node entered via edge i-1 and left via edge i.
+    for (size_t i = 1; i + 1 < p.nodes.size(); ++i) {
+      for (const DisjointParentsConstraint& c : constraints) {
+        if (c.shared != p.nodes[i]) continue;
+        bool in_covered = std::find(c.edges.begin(), c.edges.end(),
+                                    p.edges[i - 1]) != c.edges.end();
+        bool out_covered = std::find(c.edges.begin(), c.edges.end(),
+                                     p.edges[i]) != c.edges.end();
+        if (in_covered && out_covered && p.edges[i - 1] != p.edges[i]) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  std::erase_if(paths, crosses_disjointly);
+  return paths;
+}
+
+}  // namespace mctdb::design

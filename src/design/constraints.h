@@ -1,0 +1,61 @@
+// Instance-level integrity constraints (paper §3.2 and the future-work
+// list: "Often we will be aware of constraints that apply at the instance
+// level, and knowledge of these constraints can be used to obtain better
+// MCT schema designs").
+//
+// The paper's example: `name` is shared by parents `author` and `publisher`
+// in one color; with the constraint that author names and publisher names
+// are DISJOINT, no instance is ever represented twice, so node normal form
+// holds even though the color is not a tree at the type level.
+//
+// A DisjointParentsConstraint declares a set of ER edges into one shared
+// node whose instance participations are pairwise disjoint. Two effects:
+//   * IsNodeNormalUnder() accepts multiple same-color occurrences of the
+//     shared node when all their parent edges are covered by one
+//     constraint;
+//   * Algorithm MC (McOptions::constraints) may color several of the
+//     constrained edges into the SAME color, producing strictly fewer
+//     colors than the unconstrained design.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "er/er_graph.h"
+#include "mct/mct_schema.h"
+
+namespace mctdb::design {
+
+struct DisjointParentsConstraint {
+  /// The shared node type whose instances split among the parents.
+  er::NodeId shared = er::kInvalidNode;
+  /// The ER edges (each incident on `shared`) with pairwise-disjoint
+  /// instance participation.
+  std::vector<er::EdgeId> edges;
+};
+
+using ConstraintSet = std::vector<DisjointParentsConstraint>;
+
+/// True iff some constraint on `shared` covers every edge in `edges`.
+bool ConstraintCovers(const ConstraintSet& constraints, er::NodeId shared,
+                      const std::vector<er::EdgeId>& edges);
+
+/// Node normal form modulo declared disjointness: multiple same-color
+/// occurrences of a node are allowed when all their incoming edges are
+/// covered by one constraint (reverse-cardinality nesting stays forbidden —
+/// disjointness says nothing about it).
+bool IsNodeNormalUnder(const mct::MctSchema& schema,
+                       const ConstraintSet& constraints,
+                       std::string* violation = nullptr);
+
+// Forward declaration (design/associations.h).
+struct AssociationPath;
+
+/// Drops eligible paths that pass THROUGH a shared node entering and
+/// leaving via two edges of one constraint: by disjointness such an
+/// association is empty (no name is both an author name and a publisher
+/// name), so it needs no recoverability.
+std::vector<AssociationPath> FilterPathsUnder(
+    const ConstraintSet& constraints, std::vector<AssociationPath> paths);
+
+}  // namespace mctdb::design

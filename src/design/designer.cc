@@ -1,0 +1,109 @@
+#include "design/designer.h"
+
+#include <cctype>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "design/algorithm_dumc.h"
+#include "design/algorithm_mc.h"
+#include "design/algorithm_mcmr.h"
+#include "design/algorithm_undr.h"
+#include "design/xml_design.h"
+
+namespace mctdb::design {
+
+const char* ToString(Strategy s) {
+  switch (s) {
+    case Strategy::kShallow:
+      return "SHALLOW";
+    case Strategy::kAf:
+      return "AF";
+    case Strategy::kDeep:
+      return "DEEP";
+    case Strategy::kEn:
+      return "EN";
+    case Strategy::kMcmr:
+      return "MCMR";
+    case Strategy::kDr:
+      return "DR";
+    case Strategy::kUndr:
+      return "UNDR";
+  }
+  return "?";
+}
+
+Result<Strategy> ParseStrategy(std::string_view name) {
+  std::string up;
+  for (char c : name) up += static_cast<char>(std::toupper(c));
+  if (up == "SHALLOW") return Strategy::kShallow;
+  if (up == "AF") return Strategy::kAf;
+  if (up == "DEEP") return Strategy::kDeep;
+  if (up == "EN" || up == "MC") return Strategy::kEn;
+  if (up == "MCMR") return Strategy::kMcmr;
+  if (up == "DR" || up == "DUMC") return Strategy::kDr;
+  if (up == "UNDR") return Strategy::kUndr;
+  return Status::InvalidArgument("unknown strategy '" + std::string(name) +
+                                 "'");
+}
+
+std::vector<Strategy> AllStrategies() {
+  return {Strategy::kDeep, Strategy::kAf,   Strategy::kShallow,
+          Strategy::kEn,   Strategy::kMcmr, Strategy::kDr,
+          Strategy::kUndr};
+}
+
+std::string DesignReport::ToString() const {
+  return StringPrintf(
+      "NN=%d EN=%d AR=%d DR=%d (direct %.0f%%) colors=%zu occs=%zu refs=%zu "
+      "icics=%zu",
+      node_normal, edge_normal, association_recoverable,
+      fully_direct_recoverable, 100.0 * direct_fraction, num_colors,
+      num_occurrences, num_ref_edges, num_icics);
+}
+
+mct::MctSchema Designer::Design(Strategy strategy) const {
+  switch (strategy) {
+    case Strategy::kShallow:
+      return DesignShallow(graph_);
+    case Strategy::kAf:
+      return DesignAf(graph_);
+    case Strategy::kDeep:
+      return DesignDeep(graph_);
+    case Strategy::kEn:
+      return AlgorithmMc(graph_);
+    case Strategy::kMcmr:
+      return AlgorithmMcmr(graph_);
+    case Strategy::kDr:
+      return AlgorithmDumc(graph_);
+    case Strategy::kUndr:
+      return AlgorithmUndr(graph_);
+  }
+  MCTDB_CHECK(false);
+  return DesignShallow(graph_);  // unreachable
+}
+
+const std::vector<AssociationPath>& Designer::eligible_paths() const {
+  if (!paths_ready_) {
+    paths_ = EnumerateEligiblePaths(graph_);
+    paths_ready_ = true;
+  }
+  return paths_;
+}
+
+DesignReport Designer::Report(const mct::MctSchema& schema) const {
+  DesignReport r;
+  r.node_normal = schema.IsNodeNormal();
+  r.edge_normal = schema.IsEdgeNormal();
+  RecoverabilityReport rec = AnalyzeRecoverability(schema, eligible_paths());
+  r.association_recoverable = rec.association_recoverable;
+  r.fully_direct_recoverable = rec.fully_direct();
+  r.direct_fraction = rec.direct_fraction();
+  mct::SchemaStats st = schema.Stats();
+  r.num_colors = st.num_colors;
+  r.num_occurrences = st.num_occurrences;
+  r.num_ref_edges = st.num_ref_edges;
+  r.num_icics = st.num_icics;
+  return r;
+}
+
+}  // namespace mctdb::design

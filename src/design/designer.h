@@ -1,0 +1,70 @@
+// Designer: the library's front door. Translates an ER diagram into any of
+// the paper's seven schema designs and reports which desirable properties
+// (NN, EN, AR, DR — §3) each satisfies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "design/recoverability.h"
+#include "er/er_graph.h"
+#include "mct/mct_schema.h"
+
+namespace mctdb::design {
+
+/// The seven designs of the paper's evaluation (§6).
+enum class Strategy {
+  kShallow,  ///< Fig 2: flat + id/idrefs. NN, not AR.
+  kAf,       ///< Fig 3: anomaly-free single color, leftover idrefs. NN.
+  kDeep,     ///< Fig 4: single color with redundancy. EN + AR + DR, not NN.
+  kEn,       ///< Algorithm MC. NN + EN + AR.
+  kMcmr,     ///< minimal color maximal recoverable. NN + AR, maximizes DR.
+  kDr,       ///< Algorithm DUMC. NN + AR + DR.
+  kUndr,     ///< DR + functional-context duplicates. AR + DR, not NN.
+};
+
+const char* ToString(Strategy s);
+/// Parses "SHALLOW", "AF", "DEEP", "EN", "MCMR", "DR", "UNDR"
+/// (case-insensitive).
+Result<Strategy> ParseStrategy(std::string_view name);
+/// All seven, in the order the paper's tables/figures list them:
+/// DEEP, AF, SHALLOW, EN, MCMR, DR, UNDR.
+std::vector<Strategy> AllStrategies();
+
+/// Property summary of a produced schema, for reports and tests.
+struct DesignReport {
+  bool node_normal = false;
+  bool edge_normal = false;
+  bool association_recoverable = false;
+  bool fully_direct_recoverable = false;
+  double direct_fraction = 0.0;
+  size_t num_colors = 0;
+  size_t num_occurrences = 0;
+  size_t num_ref_edges = 0;
+  size_t num_icics = 0;
+
+  std::string ToString() const;
+};
+
+class Designer {
+ public:
+  /// `graph` must outlive the Designer and every schema it produces.
+  explicit Designer(const er::ErGraph& graph) : graph_(graph) {}
+
+  /// Produce the schema for `strategy`, named after the strategy.
+  mct::MctSchema Design(Strategy strategy) const;
+
+  /// Evaluate NN/EN/AR/DR for `schema` (eligible paths are enumerated on
+  /// demand and cached per Designer).
+  DesignReport Report(const mct::MctSchema& schema) const;
+
+  const std::vector<AssociationPath>& eligible_paths() const;
+
+ private:
+  const er::ErGraph& graph_;
+  mutable std::vector<AssociationPath> paths_;
+  mutable bool paths_ready_ = false;
+};
+
+}  // namespace mctdb::design

@@ -1,0 +1,33 @@
+#include "design/feasibility.h"
+
+#include "common/string_util.h"
+
+namespace mctdb::design {
+
+FeasibilityResult CheckSingleColorNnAr(const er::ErGraph& graph) {
+  er::ErGraphStats stats = graph.Stats();
+  FeasibilityResult r;
+  r.is_forest = stats.is_forest;
+  r.many_many_relationships = stats.num_many_many;
+  r.multi_many_side_nodes = stats.num_multi_many_side_nodes;
+  r.feasible = r.is_forest && r.many_many_relationships == 0 &&
+               r.multi_many_side_nodes == 0;
+  if (r.feasible) {
+    r.explanation = "single-color XML can satisfy both NN and AR";
+  } else {
+    r.explanation = "infeasible:";
+    if (!r.is_forest) r.explanation += " ER graph is not a forest;";
+    if (r.many_many_relationships > 0) {
+      r.explanation += StringPrintf(" %zu many-many relationship type(s);",
+                                    r.many_many_relationships);
+    }
+    if (r.multi_many_side_nodes > 0) {
+      r.explanation += StringPrintf(
+          " %zu node(s) on the many side of more than one 1:N relationship;",
+          r.multi_many_side_nodes);
+    }
+  }
+  return r;
+}
+
+}  // namespace mctdb::design

@@ -1,0 +1,27 @@
+// Theorem 4.1 (paper §4.3): an ER graph translates to a *single color* XML
+// schema satisfying both node normal form and association recoverability iff
+//   (i)   the ER graph is a forest,
+//   (ii)  it has no many-many relationship types (n-ary, n > 2, is excluded
+//         by the simplified-ER precondition), and
+//   (iii) no node is on the "many" side of more than one one-many
+//         relationship type.
+#pragma once
+
+#include <string>
+
+#include "er/er_graph.h"
+
+namespace mctdb::design {
+
+struct FeasibilityResult {
+  bool feasible = false;
+  bool is_forest = false;
+  size_t many_many_relationships = 0;
+  size_t multi_many_side_nodes = 0;
+  std::string explanation;
+};
+
+/// Evaluates Theorem 4.1's conditions on `graph`.
+FeasibilityResult CheckSingleColorNnAr(const er::ErGraph& graph);
+
+}  // namespace mctdb::design

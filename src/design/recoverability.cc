@@ -1,0 +1,86 @@
+#include "design/recoverability.h"
+
+#include <functional>
+
+namespace mctdb::design {
+
+namespace {
+
+/// Can we walk `path` starting from occurrence `occ` at node index `i`?
+/// Duplicated occurrences (DEEP/UNDR) mean several children can match, hence
+/// the recursive search over matches.
+bool WalkFrom(const mct::MctSchema& schema, const AssociationPath& path,
+              mct::OccId occ, size_t i) {
+  if (i == path.edges.size()) return true;
+  const mct::SchemaOcc& o = schema.occ(occ);
+  for (mct::OccId child_id : o.children) {
+    const mct::SchemaOcc& child = schema.occ(child_id);
+    if (child.er_node == path.nodes[i + 1] &&
+        child.via_edge == path.edges[i] &&
+        WalkFrom(schema, path, child_id, i + 1)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsPathDirectlyRecoverable(const mct::MctSchema& schema,
+                               const AssociationPath& path) {
+  for (const mct::SchemaOcc& o : schema.occurrences()) {
+    if (o.er_node == path.source && WalkFrom(schema, path, o.id, 0)) {
+      return true;
+    }
+  }
+  // A chain realized in the reverse direction also yields a *single* axis
+  // step (parent / ancestor instead of child / descendant), which is all
+  // direct recoverability asks for (§3.1). This is how a 1:1 association
+  // nested one way is still directly recoverable from the other side.
+  AssociationPath reversed;
+  reversed.source = path.target;
+  reversed.target = path.source;
+  reversed.nodes.assign(path.nodes.rbegin(), path.nodes.rend());
+  reversed.edges.assign(path.edges.rbegin(), path.edges.rend());
+  for (const mct::SchemaOcc& o : schema.occurrences()) {
+    if (o.er_node == reversed.source && WalkFrom(schema, reversed, o.id, 0)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsAssociationRecoverable(const mct::MctSchema& schema,
+                              std::vector<er::EdgeId>* missing) {
+  std::vector<bool> realized(schema.graph().num_edges(), false);
+  for (const mct::SchemaOcc& o : schema.occurrences()) {
+    if (!o.is_root()) realized[o.via_edge] = true;
+  }
+  bool ok = schema.CoversAllNodes();
+  for (er::EdgeId e = 0; e < realized.size(); ++e) {
+    if (!realized[e]) {
+      ok = false;
+      if (missing) missing->push_back(e);
+    }
+  }
+  return ok;
+}
+
+RecoverabilityReport AnalyzeRecoverability(
+    const mct::MctSchema& schema, const std::vector<AssociationPath>& paths,
+    size_t max_missing_reported) {
+  RecoverabilityReport report;
+  report.association_recoverable =
+      IsAssociationRecoverable(schema, &report.unrecoverable_edges);
+  report.eligible_paths = paths.size();
+  for (const AssociationPath& p : paths) {
+    if (IsPathDirectlyRecoverable(schema, p)) {
+      ++report.directly_recoverable;
+    } else if (report.missing_paths.size() < max_missing_reported) {
+      report.missing_paths.push_back(p);
+    }
+  }
+  return report;
+}
+
+}  // namespace mctdb::design

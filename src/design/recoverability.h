@@ -1,0 +1,53 @@
+// Association recoverability (AR) and direct recoverability (DR) checkers
+// (paper §3.1) over an MctSchema.
+//
+//   * AR: every ER edge is structurally realized in at least one color and
+//     every ER node has an occurrence — so any association (connected
+//     subgraph of the closure) can be recovered by colored structural
+//     navigation alone, with no value joins.
+//   * DR: every *eligible* association path is realized as a descending
+//     parent-child chain inside one single color, so a single
+//     (parent-child or ancestor-descendant) colored axis step recovers it.
+#pragma once
+
+#include <vector>
+
+#include "design/associations.h"
+#include "mct/mct_schema.h"
+
+namespace mctdb::design {
+
+struct RecoverabilityReport {
+  bool association_recoverable = false;
+  /// ER edges with no structural realization (forced into value joins).
+  std::vector<er::EdgeId> unrecoverable_edges;
+
+  size_t eligible_paths = 0;
+  size_t directly_recoverable = 0;
+  /// Eligible paths that no single color realizes as a chain (capped).
+  std::vector<AssociationPath> missing_paths;
+
+  bool fully_direct() const { return directly_recoverable == eligible_paths; }
+  double direct_fraction() const {
+    return eligible_paths == 0
+               ? 1.0
+               : double(directly_recoverable) / double(eligible_paths);
+  }
+};
+
+/// True iff `path` appears as a descending chain (consecutive parent-child
+/// occurrence links realizing exactly the path's edges) in some one color.
+bool IsPathDirectlyRecoverable(const mct::MctSchema& schema,
+                               const AssociationPath& path);
+
+/// True iff every ER edge has a structural realization and all nodes are
+/// covered.
+bool IsAssociationRecoverable(const mct::MctSchema& schema,
+                              std::vector<er::EdgeId>* missing = nullptr);
+
+/// Full report against a precomputed eligible-path set.
+RecoverabilityReport AnalyzeRecoverability(
+    const mct::MctSchema& schema, const std::vector<AssociationPath>& paths,
+    size_t max_missing_reported = 32);
+
+}  // namespace mctdb::design

@@ -1,0 +1,198 @@
+#include "design/xml_design.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/logging.h"
+#include "design/algorithm_mc.h"
+#include "design/associations.h"
+#include "design/recoverability.h"
+
+namespace mctdb::design {
+
+namespace {
+
+/// Adds root occurrences for ER nodes with no occurrence yet, and turns
+/// every structurally unrealized ER edge into an id/idref edge hung off the
+/// relationship side's occurrence (bill_address_idref-style, Fig 3).
+void CoverRemainderWithRefs(const er::ErGraph& graph, mct::MctSchema* schema) {
+  const mct::ColorId color = 0;
+  for (er::NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (schema->FindOcc(color, v) == mct::kInvalidOcc) {
+      schema->AddRoot(color, v);
+    }
+  }
+  std::vector<bool> realized(graph.num_edges(), false);
+  for (const mct::SchemaOcc& o : schema->occurrences()) {
+    if (!o.is_root()) realized[o.via_edge] = true;
+  }
+  for (const er::ErEdge& e : graph.edges()) {
+    if (realized[e.id]) continue;
+    mct::OccId rel_occ = schema->FindOcc(color, e.rel);
+    MCTDB_CHECK(rel_occ != mct::kInvalidOcc);
+    schema->AddRefEdge(rel_occ, e.id, e.node);
+  }
+}
+
+}  // namespace
+
+mct::MctSchema DesignShallow(const er::ErGraph& graph, std::string name) {
+  const er::ErDiagram& diagram = graph.diagram();
+  mct::MctSchema schema(std::move(name), &graph);
+  mct::ColorId color = schema.AddColor();
+
+  // Entity types become roots. Relationship types nest under one
+  // participating type; nodes are created in id order, and relationship ids
+  // exceed their endpoints' (stratification), so parents always exist.
+  for (const er::ErNode& node : diagram.nodes()) {
+    if (node.is_entity()) {
+      schema.AddRoot(color, node.id);
+      continue;
+    }
+    // Prefer the endpoint with MANY participation (the "one side" owner —
+    // order_line under order, Fig 2); fall back to endpoint 0.
+    int parent_ep =
+        node.endpoints[1].participation == er::Participation::kMany &&
+                node.endpoints[0].participation == er::Participation::kOne
+            ? 1
+            : 0;
+    er::NodeId parent_node = node.endpoints[parent_ep].target;
+    er::NodeId other_node = node.endpoints[1 - parent_ep].target;
+    // Locate the ER edges for each endpoint of this relationship.
+    er::EdgeId parent_edge = er::kInvalidEdge, other_edge = er::kInvalidEdge;
+    for (er::EdgeId eid : graph.incident(node.id)) {
+      const er::ErEdge& e = graph.edge(eid);
+      if (e.rel != node.id) continue;
+      if (e.endpoint_index == parent_ep) parent_edge = eid;
+      if (e.endpoint_index == 1 - parent_ep) other_edge = eid;
+    }
+    MCTDB_CHECK(parent_edge != er::kInvalidEdge &&
+                other_edge != er::kInvalidEdge);
+    mct::OccId parent_occ = schema.FindOcc(color, parent_node);
+    MCTDB_CHECK(parent_occ != mct::kInvalidOcc);
+    mct::OccId rel_occ = schema.AddChild(parent_occ, node.id, parent_edge);
+    schema.AddRefEdge(rel_occ, other_edge, other_node);
+  }
+  MCTDB_CHECK(schema.Validate().ok());
+  return schema;
+}
+
+mct::MctSchema DesignAf(const er::ErGraph& graph, std::string name) {
+  McOptions options;
+  options.single_color = true;
+  mct::MctSchema schema = AlgorithmMc(graph, std::move(name), options);
+  CoverRemainderWithRefs(graph, &schema);
+  MCTDB_CHECK(schema.Validate().ok());
+  return schema;
+}
+
+namespace {
+
+class DeepUnfolder {
+ public:
+  DeepUnfolder(const er::ErGraph& graph, mct::MctSchema* schema,
+               const DeepOptions& options)
+      : graph_(graph), schema_(schema), options_(options) {}
+
+  void UnfoldFromRoot(er::NodeId root) {
+    if (schema_->num_occurrences() >= options_.max_occurrences) return;
+    mct::OccId occ = schema_->AddRoot(0, root);
+    std::vector<bool> on_path(graph_.num_nodes(), false);
+    on_path[root] = true;
+    Expand(occ, &on_path, /*reverse_above=*/false);
+  }
+
+ private:
+  /// Is traversing `e` out of `from` a "reverse" step — nesting the one side
+  /// under the many side, duplicating instances of the far end?
+  bool IsReverse(const er::ErEdge& e, er::NodeId from) const {
+    return !graph_.Traversable(e, from);
+  }
+  /// Is it a "forward fan-out" step — entity to relationship with MANY
+  /// participation (one parent instance, many children)?
+  static bool IsFanOut(const er::ErEdge& e, er::NodeId from) {
+    return from == e.node && e.participation == er::Participation::kMany;
+  }
+
+  void Expand(mct::OccId occ, std::vector<bool>* on_path, bool reverse_above) {
+    if (schema_->num_occurrences() >= options_.max_occurrences) return;
+    er::NodeId node = schema_->occ(occ).er_node;
+    for (er::EdgeId eid : graph_.incident(node)) {
+      const er::ErEdge& e = graph_.edge(eid);
+      er::NodeId other = e.other(node);
+      if ((*on_path)[other]) continue;  // each node once per root path
+      bool reverse = IsReverse(e, node);
+      // Below a reverse step only functional context may follow: fan-out
+      // there would nest one duplicated instance's unbounded set, which
+      // Fig 4 does not do (it duplicates address/country/item/author
+      // *context*, not whole sub-hierarchies).
+      if (reverse_above && IsFanOut(e, node)) continue;
+      if (schema_->num_occurrences() >= options_.max_occurrences) return;
+      mct::OccId child = schema_->AddChild(occ, other, eid);
+      (*on_path)[other] = true;
+      Expand(child, on_path, reverse_above || reverse);
+      (*on_path)[other] = false;
+    }
+  }
+
+  const er::ErGraph& graph_;
+  mct::MctSchema* schema_;
+  const DeepOptions& options_;
+};
+
+}  // namespace
+
+mct::MctSchema DesignDeep(const er::ErGraph& graph, std::string name,
+                          const DeepOptions& options) {
+  mct::MctSchema schema(std::move(name), &graph);
+  schema.AddColor();
+  DeepUnfolder unfolder(graph, &schema, options);
+
+  std::set<er::NodeId> rooted;
+  for (er::NodeId src : graph.SourceSccNodes()) {
+    // One root per source SCC suffices; prefer the smallest id for
+    // determinism, and skip nodes with no outgoing structure.
+    bool has_out = false;
+    for (er::EdgeId eid : graph.incident(src)) {
+      if (graph.Traversable(eid, src)) {
+        has_out = true;
+        break;
+      }
+    }
+    if (has_out || graph.incident(src).empty()) {
+      unfolder.UnfoldFromRoot(src);
+      rooted.insert(src);
+    }
+  }
+
+  // Completeness: every eligible association must be directly recoverable;
+  // add unfold roots for sources of still-missing paths. (The tree unfolded
+  // from p.source realizes every simple traversable path out of p.source,
+  // in particular p.)
+  auto paths = EnumerateEligiblePaths(graph);
+  for (const AssociationPath& p : paths) {
+    if (schema.num_occurrences() >= options.max_occurrences) break;
+    if (rooted.count(p.source)) continue;
+    if (!IsPathDirectlyRecoverable(schema, p)) {
+      unfolder.UnfoldFromRoot(p.source);
+      rooted.insert(p.source);
+    }
+  }
+  // Isolated / still-missing nodes become bare roots so the schema covers
+  // every type.
+  for (er::NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (schema.FindOcc(0, v) == mct::kInvalidOcc &&
+        std::find_if(schema.occurrences().begin(),
+                     schema.occurrences().end(),
+                     [&](const mct::SchemaOcc& o) {
+                       return o.er_node == v;
+                     }) == schema.occurrences().end()) {
+      schema.AddRoot(0, v);
+    }
+  }
+  MCTDB_CHECK(schema.Validate().ok());
+  return schema;
+}
+
+}  // namespace mctdb::design

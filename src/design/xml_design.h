@@ -1,0 +1,44 @@
+// The three single-color XML translations the paper evaluates (§6, Figs 2-4).
+//
+//   SHALLOW (Fig 2): entity types are roots, each relationship type nests
+//   under one participating type, every remaining association is an
+//   id/idref value edge. Node normal, not association recoverable.
+//
+//   AF (Fig 3): "anomaly free" — one maximal MC color (deep nesting where
+//   cardinalities allow), uncovered nodes as extra roots, uncovered edges as
+//   id/idrefs. Node normal; maximizes (but cannot complete) recoverability.
+//
+//   DEEP (Fig 4): one color with *redundant* occurrences. The forest is the
+//   full unfolding from the ER graph's source nodes: every edge may be
+//   expanded, including "reverse" edges that nest the one side under the
+//   many side (duplicating address/country/item/author-style context);
+//   forward fan-out edges are only expanded while no reverse edge lies on
+//   the root path (which is what keeps Fig 4 finite and matches its shape).
+//   Extra roots are added until every eligible association is directly
+//   recoverable. Edge normal (single color), association and direct
+//   recoverable, NOT node normal.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "er/er_graph.h"
+#include "mct/mct_schema.h"
+
+namespace mctdb::design {
+
+mct::MctSchema DesignShallow(const er::ErGraph& graph,
+                             std::string name = "SHALLOW");
+
+mct::MctSchema DesignAf(const er::ErGraph& graph, std::string name = "AF");
+
+struct DeepOptions {
+  /// Safety valve for pathological graphs; the unfold stops (and the schema
+  /// may lose completeness) once this many occurrences exist.
+  size_t max_occurrences = 100000;
+};
+
+mct::MctSchema DesignDeep(const er::ErGraph& graph, std::string name = "DEEP",
+                          const DeepOptions& options = {});
+
+}  // namespace mctdb::design

@@ -1,0 +1,254 @@
+#include "design/xml_mining.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace mctdb::design {
+
+namespace {
+
+/// Per-tag observations accumulated over the document.
+struct TagInfo {
+  std::string name;
+  bool has_key = false;
+  /// attribute name -> looks numeric everywhere.
+  std::map<std::string, bool> attrs;
+  /// idref attribute names (with the suffix stripped = target tag).
+  std::set<std::string> idref_targets;
+  /// parent tag -> max occurrences of this tag under one parent element.
+  std::map<std::string, size_t> parents_max_fanout;
+  /// parent tag -> number of parent ELEMENTS with >= 1 child of this tag
+  /// (for totality estimation).
+  std::map<std::string, size_t> parents_with_child;
+  size_t occurrences = 0;
+  /// Distinct key values (for identity-based multiplicity).
+  std::set<std::string> keys_seen;
+};
+
+class Miner {
+ public:
+  Miner(const xml::XmlNode& document, const MiningOptions& options,
+        MiningReport* report)
+      : options_(options), report_(report) {
+    const xml::XmlNode* root = &document;
+    if (options.skip_document_root) {
+      for (const auto& child : root->children()) Walk(*child, nullptr);
+    } else {
+      Walk(*root, nullptr);
+    }
+  }
+
+  Result<er::ErDiagram> Build() {
+    Classify();
+    er::ErDiagram diagram("mined");
+    // Entities first.
+    for (auto& [name, info] : tags_) {
+      if (!is_relationship_.count(name)) {
+        diagram.AddEntity(name, Attributes(info));
+        if (report_) ++report_->entity_tags;
+      }
+    }
+    // Relationships, repeated passes so higher-order ones (endpoint = an
+    // earlier relationship) resolve.
+    std::set<std::string> pending;
+    for (const std::string& name : is_relationship_) pending.insert(name);
+    bool progress = true;
+    while (!pending.empty() && progress) {
+      progress = false;
+      for (auto it = pending.begin(); it != pending.end();) {
+        auto status = TryAddRelationship(*it, &diagram);
+        if (status.ok()) {
+          it = pending.erase(it);
+          progress = true;
+          if (report_) ++report_->relationship_tags;
+        } else if (status.IsNotFound()) {
+          ++it;  // endpoint not created yet; retry next pass
+        } else {
+          return status;
+        }
+      }
+    }
+    if (!pending.empty()) {
+      return Status::InvalidArgument(
+          "unresolvable relationship tag '" + *pending.begin() + "'");
+    }
+    MCTDB_RETURN_IF_ERROR(diagram.Validate());
+    return diagram;
+  }
+
+ private:
+  void Walk(const xml::XmlNode& node, const xml::XmlNode* /*parent*/) {
+    TagInfo& info = tags_[node.tag()];
+    info.name = node.tag();
+    ++info.occurrences;
+    for (const auto& [attr, value] : node.attrs()) {
+      if (std::find(options_.ignore_attrs.begin(),
+                    options_.ignore_attrs.end(),
+                    attr) != options_.ignore_attrs.end()) {
+        continue;
+      }
+      if (attr == options_.key_attr) {
+        info.has_key = true;
+        info.keys_seen.insert(value);
+        continue;
+      }
+      if (EndsWith(attr, options_.idref_suffix)) {
+        std::string target =
+            attr.substr(0, attr.size() - options_.idref_suffix.size());
+        info.idref_targets.insert(target);
+        refs_[{node.tag(), target}].push_back(value);
+        continue;
+      }
+      bool numeric = !value.empty() &&
+                     value.find_first_not_of("0123456789") == std::string::npos;
+      auto [it, inserted] = info.attrs.emplace(attr, numeric);
+      if (!inserted) it->second = it->second && numeric;
+    }
+    // Per-parent fanout: count this node's children by tag.
+    std::map<std::string, size_t> child_counts;
+    for (const auto& child : node.children()) {
+      ++child_counts[child->tag()];
+    }
+    for (const auto& [tag, count] : child_counts) {
+      TagInfo& child_info = tags_[tag];
+      child_info.name = tag;
+      size_t& fanout = child_info.parents_max_fanout[node.tag()];
+      fanout = std::max(fanout, count);
+      ++child_info.parents_with_child[node.tag()];
+    }
+    for (const auto& child : node.children()) Walk(*child, &node);
+  }
+
+  void Classify() {
+    // A tag is a relationship iff it carries idrefs, or it is key-less and
+    // connects a parent to (at most one kind of) child — the AF connector
+    // shape. Key-less leaf tags with no idrefs default to entities.
+    for (const auto& [name, info] : tags_) {
+      if (!info.idref_targets.empty()) {
+        is_relationship_.insert(name);
+        continue;
+      }
+      if (!info.has_key && !info.parents_max_fanout.empty()) {
+        is_relationship_.insert(name);
+      }
+    }
+  }
+
+  std::vector<er::Attribute> Attributes(const TagInfo& info) const {
+    std::vector<er::Attribute> out;
+    if (info.has_key) {
+      out.push_back({options_.key_attr, er::AttrType::kString, true});
+    }
+    for (const auto& [name, numeric] : info.attrs) {
+      out.push_back(
+          {name, numeric ? er::AttrType::kInt : er::AttrType::kString,
+           false});
+    }
+    return out;
+  }
+
+  /// Participation of endpoint tag `ep` in relationship tag `rel`:
+  /// MANY iff one ep instance is observed in >1 rel instances.
+  er::Participation ParticipationOf(const std::string& rel,
+                                    const std::string& ep,
+                                    bool structural_parent) const {
+    if (structural_parent) {
+      // ep is the structural parent: fanout of rel under one ep element.
+      auto it = tags_.at(rel).parents_max_fanout.find(ep);
+      size_t fanout = it == tags_.at(rel).parents_max_fanout.end() ? 0
+                                                                   : it->second;
+      return fanout > 1 ? er::Participation::kMany : er::Participation::kOne;
+    }
+    // ep is referenced: MANY iff some key value referenced twice.
+    auto it = refs_.find({rel, ep});
+    if (it == refs_.end()) return er::Participation::kOne;
+    std::set<std::string> seen;
+    for (const std::string& v : it->second) {
+      if (!seen.insert(v).second) return er::Participation::kMany;
+    }
+    return er::Participation::kOne;
+  }
+
+  /// Totality of ep in rel: every ep instance participates. Only provable
+  /// on the structural-parent side (each parent has >=1 rel child).
+  er::Totality TotalityOf(const std::string& rel, const std::string& ep,
+                          bool structural_parent) const {
+    if (!structural_parent) return er::Totality::kPartial;
+    auto it = tags_.at(rel).parents_with_child.find(ep);
+    if (it == tags_.at(rel).parents_with_child.end()) {
+      return er::Totality::kPartial;
+    }
+    return it->second >= tags_.at(ep).occurrences ? er::Totality::kTotal
+                                                  : er::Totality::kPartial;
+  }
+
+  Status TryAddRelationship(const std::string& name, er::ErDiagram* diagram) {
+    const TagInfo& info = tags_.at(name);
+    // Endpoint 1: the structural parent tag (if nested under exactly one
+    // tag kind) — Fig 2/3 put each relationship under one participant.
+    std::string parent_tag;
+    if (info.parents_max_fanout.size() == 1) {
+      parent_tag = info.parents_max_fanout.begin()->first;
+    } else if (info.parents_max_fanout.size() > 1) {
+      return Status::InvalidArgument(
+          "relationship tag '" + name + "' nests under several tags");
+    }
+    // Remaining endpoints come from idrefs (and, for connector tags, the
+    // single child tag kind).
+    std::vector<std::string> endpoints;
+    if (!parent_tag.empty()) endpoints.push_back(parent_tag);
+    for (const std::string& target : info.idref_targets) {
+      endpoints.push_back(target);
+    }
+    // Connector form: a single structural child kind is the other side.
+    for (const auto& [tag, tag_info] : tags_) {
+      auto it = tag_info.parents_max_fanout.find(name);
+      if (it != tag_info.parents_max_fanout.end()) endpoints.push_back(tag);
+    }
+    if (endpoints.size() != 2) {
+      return Status::InvalidArgument(StringPrintf(
+          "relationship tag '%s' has %zu endpoints, want 2", name.c_str(),
+          endpoints.size()));
+    }
+    auto e0 = diagram->FindNode(endpoints[0]);
+    auto e1 = diagram->FindNode(endpoints[1]);
+    if (!e0 || !e1) return Status::NotFound("endpoint not yet created");
+
+    bool ep0_structural = endpoints[0] == parent_tag;
+    er::Participation p0 =
+        ParticipationOf(name, endpoints[0], ep0_structural);
+    er::Participation p1 = ParticipationOf(name, endpoints[1], false);
+    er::Totality t0 = TotalityOf(name, endpoints[0], ep0_structural);
+    auto rel = diagram->AddRelationship(name, *e0, p0, *e1, p1, t0,
+                                        er::Totality::kPartial,
+                                        Attributes(info));
+    if (!rel.ok()) return rel.status();
+    if (report_) {
+      if (!parent_tag.empty()) ++report_->structural_edges;
+      report_->idref_edges += info.idref_targets.size();
+    }
+    return Status::OK();
+  }
+
+  const MiningOptions& options_;
+  MiningReport* report_;
+  std::map<std::string, TagInfo> tags_;
+  /// (relationship tag, target tag) -> referenced key values (multiset).
+  std::map<std::pair<std::string, std::string>, std::vector<std::string>>
+      refs_;
+  std::set<std::string> is_relationship_;
+};
+
+}  // namespace
+
+Result<er::ErDiagram> MineErDiagram(const xml::XmlNode& document,
+                                    const MiningOptions& options,
+                                    MiningReport* report) {
+  Miner miner(document, options, report);
+  return miner.Build();
+}
+
+}  // namespace mctdb::design

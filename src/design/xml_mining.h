@@ -1,0 +1,59 @@
+// XML -> design-specification mining (the paper's closing future-work item:
+// "Another interesting direction ... is to understand how MCT models can be
+// derived from analysis of XML data, in particular the id/idref values that
+// need to encode associations in the XML model").
+//
+// Given an XML database that follows the id/idref conventions of §1's
+// schemas (Figs 2-3: entities carry an `id`-style key attribute;
+// relationship elements either nest under one participating element and/or
+// carry `<target>_idref` attributes), MineErDiagram reconstructs the
+// simplified ER diagram the document encodes:
+//
+//   * tags with a key attribute           -> entity types;
+//   * tags holding idrefs, or key-less
+//     connector tags between entities     -> relationship types;
+//   * observed fan-outs and reference
+//     multiplicities                      -> participation cardinalities;
+//   * "every instance participates"       -> totality.
+//
+// The recovered diagram can then be fed straight to design::Designer — so a
+// legacy flat XML database can be *redesigned* into a normalized, fully
+// recoverable MCT schema (see MineAndRedesign below and the mctc CLI).
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "er/er_model.h"
+#include "xml/xml_node.h"
+
+namespace mctdb::design {
+
+struct MiningOptions {
+  /// Skip this many wrapper levels at the top (our exports use a synthetic
+  /// root element).
+  bool skip_document_root = true;
+  /// Attribute names treated as keys when present.
+  std::string key_attr = "id";
+  /// Suffix marking reference attributes.
+  std::string idref_suffix = "_idref";
+  /// Attributes ignored entirely (export bookkeeping).
+  std::vector<std::string> ignore_attrs = {"_nid", "color"};
+};
+
+struct MiningReport {
+  size_t entity_tags = 0;
+  size_t relationship_tags = 0;
+  size_t structural_edges = 0;  ///< relationships seen as nesting
+  size_t idref_edges = 0;       ///< relationships seen as references
+  std::vector<std::string> notes;
+};
+
+/// Reconstructs the ER diagram encoded by `document`. Fails when the
+/// document's reference structure is not attributable (an idref pointing at
+/// an unknown tag, a relationship tag with more than two endpoints, ...).
+Result<er::ErDiagram> MineErDiagram(const xml::XmlNode& document,
+                                    const MiningOptions& options = {},
+                                    MiningReport* report = nullptr);
+
+}  // namespace mctdb::design

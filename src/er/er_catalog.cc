@@ -1,0 +1,398 @@
+#include "er/er_catalog.h"
+
+#include "common/logging.h"
+
+namespace mctdb::er {
+
+namespace {
+
+/// Key "id" plus a couple of payload attributes, shared shape for most
+/// entities in the collection.
+std::vector<Attribute> BasicAttrs(const char* payload = "name") {
+  return {{"id", AttrType::kString, true},
+          {payload, AttrType::kString, false}};
+}
+
+NodeId Rel(ErDiagram* d, const char* name, NodeId one_side, NodeId many_side,
+           Totality many_total = Totality::kPartial) {
+  auto r = d->AddOneToMany(name, one_side, many_side, many_total);
+  MCTDB_CHECK_MSG(r.ok(), name);
+  return r.value();
+}
+
+NodeId RelMN(ErDiagram* d, const char* name, NodeId a, NodeId b) {
+  auto r = d->AddManyToMany(name, a, b);
+  MCTDB_CHECK_MSG(r.ok(), name);
+  return r.value();
+}
+
+NodeId Rel11(ErDiagram* d, const char* name, NodeId a, NodeId b) {
+  auto r = d->AddOneToOne(name, a, b);
+  MCTDB_CHECK_MSG(r.ok(), name);
+  return r.value();
+}
+
+}  // namespace
+
+ErDiagram Tpcw() {
+  ErDiagram d("TPC-W");
+  NodeId country = d.AddEntity(
+      "country", {{"id", AttrType::kString, true},
+                  {"name", AttrType::kString, false},
+                  {"currency", AttrType::kString, false}});
+  NodeId address = d.AddEntity(
+      "address", {{"id", AttrType::kString, true},
+                  {"street", AttrType::kString, false},
+                  {"city", AttrType::kString, false},
+                  {"zip", AttrType::kString, false}});
+  NodeId customer = d.AddEntity(
+      "customer", {{"id", AttrType::kString, true},
+                   {"uname", AttrType::kString, false},
+                   {"since", AttrType::kString, false},
+                   {"discount", AttrType::kInt, false}});
+  NodeId order = d.AddEntity(
+      "order", {{"id", AttrType::kString, true},
+                {"date", AttrType::kString, false},
+                {"total", AttrType::kInt, false},
+                {"status", AttrType::kString, false}});
+  NodeId order_line = d.AddEntity(
+      "order_line", {{"id", AttrType::kString, true},
+                     {"qty", AttrType::kInt, false},
+                     {"discount", AttrType::kInt, false}});
+  NodeId item = d.AddEntity(
+      "item", {{"id", AttrType::kString, true},
+               {"title", AttrType::kString, false},
+               {"cost", AttrType::kInt, false},
+               {"subject", AttrType::kString, false}});
+  NodeId author = d.AddEntity(
+      "author", {{"id", AttrType::kString, true},
+                 {"lname", AttrType::kString, false},
+                 {"fname", AttrType::kString, false}});
+  NodeId cct = d.AddEntity(
+      "credit_card_transaction", {{"id", AttrType::kString, true},
+                                  {"cc_type", AttrType::kString, false},
+                                  {"auth_id", AttrType::kString, false},
+                                  {"amount", AttrType::kInt, false}});
+
+  // One country, many addresses; every address lies in a country.
+  Rel(&d, "in", country, address, Totality::kTotal);
+  // One address serves many customers; every customer has an address.
+  Rel(&d, "has", address, customer, Totality::kTotal);
+  // One customer makes many orders; every order was made by a customer.
+  Rel(&d, "make", customer, order, Totality::kTotal);
+  // One order contains many order lines; lines exist only inside an order.
+  Rel(&d, "contain", order, order_line, Totality::kTotal);
+  // One item occurs in many order lines; every line is for an item.
+  Rel(&d, "occur_in", item, order_line, Totality::kTotal);
+  // One author writes many items; every item has an author.
+  Rel(&d, "write", author, item, Totality::kTotal);
+  // One address is the billing / shipping address of many orders.
+  Rel(&d, "billing", address, order, Totality::kTotal);
+  Rel(&d, "shipping", address, order, Totality::kTotal);
+  // Each order is associated with exactly one credit-card transaction.
+  Rel11(&d, "associate", order, cct);
+  MCTDB_CHECK(d.Validate().ok());
+  return d;
+}
+
+ErDiagram ToyMcNotDr() {
+  ErDiagram d("toy-mc-not-dr");
+  NodeId a = d.AddEntity("A", BasicAttrs());
+  NodeId b = d.AddEntity("B", BasicAttrs());
+  NodeId c = d.AddEntity("C", BasicAttrs());
+  NodeId e = d.AddEntity("D", BasicAttrs());
+  Rel(&d, "r1", a, b);  // A 1:N B
+  Rel(&d, "r2", b, c);  // B 1:N C
+  Rel(&d, "r3", e, b);  // D 1:N B  (B is on the many side twice)
+  MCTDB_CHECK(d.Validate().ok());
+  return d;
+}
+
+ErDiagram ToyMcmrInsufficient() {
+  ErDiagram d("toy-mcmr-insufficient");
+  NodeId a = d.AddEntity("A", BasicAttrs());
+  NodeId b = d.AddEntity("B", BasicAttrs());
+  NodeId c = d.AddEntity("C", BasicAttrs());
+  Rel(&d, "r1", a, b);    // A 1:N B
+  Rel(&d, "r2", a, c);    // A 1:N C
+  Rel11(&d, "r3", b, c);  // B 1:1 C
+  MCTDB_CHECK(d.Validate().ok());
+  return d;
+}
+
+ErDiagram Er1Company() {
+  // Classic COMPANY schema (Elmasri-Navathe flavor). 13 nodes.
+  ErDiagram d("ER1");
+  NodeId dept = d.AddEntity("department", BasicAttrs());
+  NodeId emp = d.AddEntity(
+      "employee", {{"id", AttrType::kString, true},
+                   {"name", AttrType::kString, false},
+                   {"salary", AttrType::kInt, false}});
+  NodeId project = d.AddEntity("project", BasicAttrs());
+  NodeId dependent = d.AddEntity("dependent", BasicAttrs());
+  NodeId location = d.AddEntity("location", BasicAttrs());
+  Rel(&d, "works_for", dept, emp, Totality::kTotal);
+  Rel11(&d, "manages", emp, dept);
+  Rel(&d, "controls", dept, project, Totality::kTotal);
+  RelMN(&d, "works_on", emp, project);
+  Rel(&d, "dependents_of", emp, dependent, Totality::kTotal);
+  Rel(&d, "located_at", location, dept);
+  RelMN(&d, "project_site", project, location);
+  MCTDB_CHECK(d.Validate().ok());
+  return d;
+}
+
+ErDiagram Er2University() {
+  // 13 nodes: department/course/section/instructor/student/textbook.
+  ErDiagram d("ER2");
+  NodeId dept = d.AddEntity("department", BasicAttrs());
+  NodeId course = d.AddEntity("course", BasicAttrs("title"));
+  NodeId section = d.AddEntity(
+      "section", {{"id", AttrType::kString, true},
+                  {"term", AttrType::kString, false},
+                  {"capacity", AttrType::kInt, false}});
+  NodeId instructor = d.AddEntity("instructor", BasicAttrs());
+  NodeId student = d.AddEntity(
+      "student", {{"id", AttrType::kString, true},
+                  {"name", AttrType::kString, false},
+                  {"year", AttrType::kInt, false}});
+  NodeId textbook = d.AddEntity("textbook", BasicAttrs("title"));
+  Rel(&d, "offers", dept, course, Totality::kTotal);
+  Rel(&d, "has_section", course, section, Totality::kTotal);
+  Rel(&d, "teaches", instructor, section);
+  Rel(&d, "employs", dept, instructor, Totality::kTotal);
+  Rel(&d, "major_in", dept, student);
+  RelMN(&d, "enrolls", student, section);
+  Rel(&d, "uses_text", textbook, section);
+  MCTDB_CHECK(d.Validate().ok());
+  return d;
+}
+
+ErDiagram Er3Library() {
+  // 15 nodes with an M:N authorship and a weak loan entity.
+  ErDiagram d("ER3");
+  NodeId author = d.AddEntity("author", BasicAttrs());
+  NodeId book = d.AddEntity("book", BasicAttrs("title"));
+  NodeId publisher = d.AddEntity("publisher", BasicAttrs());
+  NodeId copy = d.AddEntity("copy", BasicAttrs("barcode"));
+  NodeId branch = d.AddEntity("branch", BasicAttrs());
+  NodeId member = d.AddEntity("member", BasicAttrs());
+  NodeId loan = d.AddEntity(
+      "loan", {{"id", AttrType::kString, true},
+               {"due", AttrType::kString, false}});
+  RelMN(&d, "writes", author, book);
+  Rel(&d, "publishes", publisher, book, Totality::kTotal);
+  Rel(&d, "copy_of", book, copy, Totality::kTotal);
+  Rel(&d, "held_by", branch, copy, Totality::kTotal);
+  Rel(&d, "borrows", member, loan, Totality::kTotal);
+  Rel(&d, "loan_copy", copy, loan, Totality::kTotal);
+  Rel(&d, "registered_at", branch, member);
+  MCTDB_CHECK(d.Validate().ok());
+  return d;
+}
+
+ErDiagram Er4Hospital() {
+  // 17 nodes; deep 1:N chains plus one higher-order relationship
+  // (a lab test ordered *for a visit's prescription*).
+  ErDiagram d("ER4");
+  NodeId ward = d.AddEntity("ward", BasicAttrs());
+  NodeId doctor = d.AddEntity("doctor", BasicAttrs());
+  NodeId patient = d.AddEntity("patient", BasicAttrs());
+  NodeId visit = d.AddEntity(
+      "visit", {{"id", AttrType::kString, true},
+                {"date", AttrType::kString, false}});
+  NodeId prescription = d.AddEntity("prescription", BasicAttrs("dose"));
+  NodeId drug = d.AddEntity("drug", BasicAttrs());
+  NodeId lab = d.AddEntity("lab", BasicAttrs());
+  Rel(&d, "assigned_to", ward, patient);
+  Rel(&d, "attends", doctor, visit, Totality::kTotal);
+  Rel(&d, "makes_visit", patient, visit, Totality::kTotal);
+  NodeId prescribes =
+      Rel(&d, "prescribes", visit, prescription, Totality::kTotal);
+  Rel(&d, "of_drug", drug, prescription, Totality::kTotal);
+  Rel(&d, "supervises", ward, doctor);
+  // Higher-order: labs verify prescription events (1 lab : many prescribes).
+  auto verify = d.AddOneToMany("verifies", lab, prescribes);
+  MCTDB_CHECK(verify.ok());
+  MCTDB_CHECK(d.Validate().ok());
+  return d;
+}
+
+ErDiagram Er5Airline() {
+  // 19 nodes; two parallel 1:N relationships between the same pair
+  // (departs/arrives), plus M:N crew staffing.
+  ErDiagram d("ER5");
+  NodeId airport = d.AddEntity("airport", BasicAttrs("code"));
+  NodeId flight = d.AddEntity(
+      "flight", {{"id", AttrType::kString, true},
+                 {"number", AttrType::kString, false},
+                 {"minutes", AttrType::kInt, false}});
+  NodeId aircraft = d.AddEntity("aircraft", BasicAttrs("model"));
+  NodeId booking = d.AddEntity("booking", BasicAttrs("seat"));
+  NodeId passenger = d.AddEntity("passenger", BasicAttrs());
+  NodeId crew = d.AddEntity("crew", BasicAttrs());
+  NodeId airline = d.AddEntity("airline", BasicAttrs());
+  Rel(&d, "departs", airport, flight, Totality::kTotal);
+  Rel(&d, "arrives", airport, flight, Totality::kTotal);
+  Rel(&d, "operates", aircraft, flight, Totality::kTotal);
+  Rel(&d, "owns", airline, aircraft, Totality::kTotal);
+  Rel(&d, "books", passenger, booking, Totality::kTotal);
+  Rel(&d, "for_flight", flight, booking, Totality::kTotal);
+  RelMN(&d, "staffed_by", flight, crew);
+  Rel(&d, "employs_crew", airline, crew, Totality::kTotal);
+  MCTDB_CHECK(d.Validate().ok());
+  return d;
+}
+
+ErDiagram Er6Star() {
+  // 17 nodes: one hub with 1:N spokes to 8 satellites. Single color
+  // suffices for every property; a sanity anchor for the figures.
+  ErDiagram d("ER6");
+  NodeId hub = d.AddEntity("hub", BasicAttrs());
+  const char* names[] = {"s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8"};
+  const char* rels[] = {"p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8"};
+  for (int i = 0; i < 8; ++i) {
+    NodeId s = d.AddEntity(names[i], BasicAttrs());
+    Rel(&d, rels[i], hub, s, Totality::kTotal);
+  }
+  MCTDB_CHECK(d.Validate().ok());
+  return d;
+}
+
+ErDiagram Er7Chain() {
+  // 15 nodes: a 1:N chain of 8 entities — deep nesting, DR trivially
+  // achievable in one color; the opposite anchor to ER8.
+  ErDiagram d("ER7");
+  NodeId prev = d.AddEntity("c1", BasicAttrs());
+  for (int i = 2; i <= 8; ++i) {
+    NodeId cur = d.AddEntity(("c" + std::to_string(i)).c_str(), BasicAttrs());
+    Rel(&d, ("l" + std::to_string(i - 1)).c_str(), prev, cur,
+        Totality::kTotal);
+    prev = cur;
+  }
+  MCTDB_CHECK(d.Validate().ok());
+  return d;
+}
+
+ErDiagram Er8Bipartite() {
+  // 11 nodes: M:N-heavy bipartite core — maximum color pressure, the
+  // anti-XML case of Theorem 4.1.
+  ErDiagram d("ER8");
+  NodeId u1 = d.AddEntity("u1", BasicAttrs());
+  NodeId u2 = d.AddEntity("u2", BasicAttrs());
+  NodeId v1 = d.AddEntity("v1", BasicAttrs());
+  NodeId v2 = d.AddEntity("v2", BasicAttrs());
+  NodeId w = d.AddEntity("w", BasicAttrs());
+  RelMN(&d, "m1", u1, v1);
+  RelMN(&d, "m2", u1, v2);
+  RelMN(&d, "m3", u2, v1);
+  RelMN(&d, "m4", u2, v2);
+  Rel(&d, "feeds", v2, w);
+  Rel(&d, "drains", v1, w);
+  MCTDB_CHECK(d.Validate().ok());
+  return d;
+}
+
+ErDiagram Er9OneOneRing() {
+  // 12 nodes: a cycle of 1:1 relationships (tests undirected-SCC handling
+  // and MC's root merging) plus a 1:N tail.
+  ErDiagram d("ER9");
+  NodeId a = d.AddEntity("a", BasicAttrs());
+  NodeId b = d.AddEntity("b", BasicAttrs());
+  NodeId c = d.AddEntity("c", BasicAttrs());
+  NodeId e = d.AddEntity("e", BasicAttrs());
+  Rel11(&d, "ab", a, b);
+  Rel11(&d, "bc", b, c);
+  Rel11(&d, "ce", c, e);
+  Rel11(&d, "ea", e, a);
+  NodeId t = d.AddEntity("tail", BasicAttrs());
+  Rel(&d, "spawns", a, t);
+  NodeId t2 = d.AddEntity("tail2", BasicAttrs());
+  Rel(&d, "forks", t, t2);
+  MCTDB_CHECK(d.Validate().ok());
+  return d;
+}
+
+ErDiagram Er10Lattice() {
+  // 16 nodes: diamond A=>{B,C}=>D plus a chain under D. SHALLOW must break
+  // the A..tail ancestor-descendant into value joins — the anomaly the
+  // paper calls out for ER10 in §6.2.
+  ErDiagram d("ER10");
+  NodeId a = d.AddEntity("a", BasicAttrs());
+  NodeId b = d.AddEntity("b", BasicAttrs());
+  NodeId c = d.AddEntity("c", BasicAttrs());
+  NodeId dd = d.AddEntity("d", BasicAttrs());
+  NodeId e = d.AddEntity("e", BasicAttrs());
+  NodeId f = d.AddEntity("f", BasicAttrs());
+  Rel(&d, "ab", a, b, Totality::kTotal);
+  Rel(&d, "ac", a, c, Totality::kTotal);
+  Rel(&d, "bd", b, dd, Totality::kTotal);
+  Rel(&d, "cd", c, dd, Totality::kTotal);  // d: many side of two 1:N rels
+  Rel(&d, "de", dd, e, Totality::kTotal);
+  Rel(&d, "ef", e, f, Totality::kTotal);
+  MCTDB_CHECK(d.Validate().ok());
+  return d;
+}
+
+ErDiagram Derby() {
+  // Registrar-style schema, 27 nodes — the collection's "real-world schema
+  // that comes with a query set" (workload in src/workload/derby.cc).
+  ErDiagram d("Derby");
+  NodeId college = d.AddEntity("college", BasicAttrs());
+  NodeId dept = d.AddEntity("department", BasicAttrs());
+  NodeId professor = d.AddEntity(
+      "professor", {{"id", AttrType::kString, true},
+                    {"name", AttrType::kString, false},
+                    {"rank", AttrType::kString, false}});
+  NodeId course = d.AddEntity("course", BasicAttrs("title"));
+  NodeId section = d.AddEntity(
+      "section", {{"id", AttrType::kString, true},
+                  {"term", AttrType::kString, false}});
+  NodeId student = d.AddEntity(
+      "student", {{"id", AttrType::kString, true},
+                  {"name", AttrType::kString, false},
+                  {"gpa", AttrType::kInt, false}});
+  NodeId enrollment = d.AddEntity(
+      "enrollment", {{"id", AttrType::kString, true},
+                     {"grade", AttrType::kString, false}});
+  NodeId building = d.AddEntity("building", BasicAttrs());
+  NodeId room = d.AddEntity("room", BasicAttrs("number"));
+  NodeId timeslot = d.AddEntity("timeslot", BasicAttrs("when"));
+  NodeId advisor_note = d.AddEntity("advisor_note", BasicAttrs("text"));
+  Rel(&d, "comprises", college, dept, Totality::kTotal);
+  Rel(&d, "dept_faculty", dept, professor, Totality::kTotal);
+  Rel(&d, "dept_course", dept, course, Totality::kTotal);
+  Rel(&d, "course_section", course, section, Totality::kTotal);
+  Rel(&d, "section_prof", professor, section, Totality::kTotal);
+  Rel(&d, "stu_enroll", student, enrollment, Totality::kTotal);
+  Rel(&d, "sec_enroll", section, enrollment, Totality::kTotal);
+  Rel(&d, "in_building", building, room, Totality::kTotal);
+  Rel(&d, "meets_in", room, section);
+  Rel(&d, "meets_at", timeslot, section);
+  Rel(&d, "advises", professor, student);
+  Rel(&d, "note_about", student, advisor_note, Totality::kTotal);
+  Rel11(&d, "dept_head", professor, dept);
+  RelMN(&d, "prereq_site", course, room);  // courses pinned to lab rooms
+  Rel(&d, "stu_college", college, student);
+  MCTDB_CHECK(d.Validate().ok());
+  return d;
+}
+
+std::vector<ErDiagram> EvaluationCollection() {
+  std::vector<ErDiagram> out;
+  out.push_back(Er1Company());
+  out.push_back(Er2University());
+  out.push_back(Er3Library());
+  out.push_back(Er4Hospital());
+  out.push_back(Er5Airline());
+  out.push_back(Er6Star());
+  out.push_back(Er7Chain());
+  out.push_back(Er8Bipartite());
+  out.push_back(Er9OneOneRing());
+  out.push_back(Er10Lattice());
+  out.push_back(Derby());
+  out.push_back(Tpcw());
+  return out;
+}
+
+}  // namespace mctdb::er

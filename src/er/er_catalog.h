@@ -1,0 +1,61 @@
+// The ER diagram collection used by the paper's evaluation (§6):
+//   * TPC-W (Fig 1) — the in-depth study and Table 1 / Figs 8-10;
+//   * the two toy graphs of §5.2 (MC-not-DR and MCMR-insufficient);
+//   * ER1..ER10 — a collection spanning 10-30 nodes with diverse topologies
+//     (the authors' exact collection lived on an offline web supplement; see
+//     DESIGN.md §5 for the substitution rationale);
+//   * Derby — a registrar-style "real-world schema with a query set".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "er/er_model.h"
+
+namespace mctdb::er {
+
+/// The TPC-W benchmark ER diagram of Fig 1. 8 entity types
+/// (author, item, order_line, order, customer, address, country,
+/// credit_card_transaction) and 9 relationship types (write, occur_in,
+/// contain, make, has, in, billing, shipping, associate).
+///
+/// NOTE on `order_line`: the paper's figure is ambiguous about whether
+/// order_line is the M:N relationship between order and item or a weak
+/// entity; we model it as a weak entity with two 1:N relationships
+/// (contain: order->order_line, occur_in: item->order_line), which yields
+/// the same composite M:N between order and item that §4.1 discusses and
+/// matches the element chains visible in Figs 2-5.
+ErDiagram Tpcw();
+
+/// §5.2 toy 1: r1: A 1:N B, r3: D 1:N B, r2: B 1:N C. Any EN schema (MC
+/// output) misses either (A,C) or (D,C) for direct recoverability; MCMR
+/// repairs it by re-using the B-r2-C edges in the second color.
+ErDiagram ToyMcNotDr();
+
+/// §5.2 toy 2: r1: A 1:N B, r2: A 1:N C, r3: B 1:1 C. MC colors everything
+/// in (nearly) one color, but complete DR needs two colors with r3 oriented
+/// both ways — unreachable by MCMR-style augmentation, reachable by DUMC.
+ErDiagram ToyMcmrInsufficient();
+
+/// The ER collection: ER1..ER10 (10-30 nodes each).
+ErDiagram Er1Company();
+ErDiagram Er2University();
+ErDiagram Er3Library();
+ErDiagram Er4Hospital();
+ErDiagram Er5Airline();
+ErDiagram Er6Star();
+ErDiagram Er7Chain();
+ErDiagram Er8Bipartite();
+ErDiagram Er9OneOneRing();
+ErDiagram Er10Lattice();
+
+/// Database-Derby-style registrar schema (the "real-world schema from the
+/// Database Derby Contest"), ~24 nodes; ships with a 20-query workload in
+/// src/workload/derby.
+ErDiagram Derby();
+
+/// The 12-diagram evaluation grid of Figs 12-14: ER1..ER10, Derby, TPC-W —
+/// in the order the figures' x-axes use.
+std::vector<ErDiagram> EvaluationCollection();
+
+}  // namespace mctdb::er

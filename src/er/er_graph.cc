@@ -1,0 +1,220 @@
+#include "er/er_graph.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mctdb::er {
+
+ErGraph::ErGraph(const ErDiagram& diagram) : diagram_(&diagram) {
+  incident_.resize(diagram.num_nodes());
+  for (const ErNode& node : diagram.nodes()) {
+    if (!node.is_relationship()) continue;
+    for (int i = 0; i < 2; ++i) {
+      const Endpoint& ep = node.endpoints[i];
+      ErEdge e;
+      e.id = static_cast<EdgeId>(edges_.size());
+      e.rel = node.id;
+      e.node = ep.target;
+      e.endpoint_index = i;
+      e.participation = ep.participation;
+      e.totality = ep.totality;
+      incident_[e.rel].push_back(e.id);
+      incident_[e.node].push_back(e.id);
+      edges_.push_back(e);
+    }
+  }
+}
+
+bool ErGraph::Traversable(const ErEdge& e, NodeId from) const {
+  if (from == e.node) return true;  // endpoint -> rel: 1:1 or 1:N
+  MCTDB_CHECK(from == e.rel);
+  return e.participation == Participation::kOne;  // rel -> endpoint
+}
+
+std::vector<int> ErGraph::ComputeSccIds(int* num_sccs) const {
+  // Iterative Tarjan over the mixed graph: directed edges go node->rel only;
+  // undirected edges go both ways.
+  const size_t n = num_nodes();
+  std::vector<int> index(n, -1), lowlink(n, 0), scc(n, -1);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  int next_index = 0, next_scc = 0;
+
+  // Successors of `u` in the mixed digraph.
+  auto for_each_succ = [&](NodeId u, const std::function<void(NodeId)>& f) {
+    for (EdgeId eid : incident_[u]) {
+      const ErEdge& e = edges_[eid];
+      NodeId v = e.other(u);
+      if (e.directed()) {
+        if (u == e.node) f(v);  // only node -> rel
+      } else {
+        f(v);
+      }
+    }
+  };
+
+  struct Frame {
+    NodeId u;
+    size_t child = 0;
+    std::vector<NodeId> succs;
+  };
+
+  for (NodeId start = 0; start < n; ++start) {
+    if (index[start] != -1) continue;
+    std::vector<Frame> frames;
+    frames.push_back({start, 0, {}});
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+    for_each_succ(start, [&](NodeId v) { frames.back().succs.push_back(v); });
+
+    while (!frames.empty()) {
+      Frame& fr = frames.back();
+      if (fr.child < fr.succs.size()) {
+        NodeId v = fr.succs[fr.child++];
+        if (index[v] == -1) {
+          index[v] = lowlink[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = true;
+          frames.push_back({v, 0, {}});
+          for_each_succ(v,
+                        [&](NodeId w) { frames.back().succs.push_back(w); });
+        } else if (on_stack[v]) {
+          lowlink[fr.u] = std::min(lowlink[fr.u], index[v]);
+        }
+      } else {
+        NodeId u = fr.u;
+        if (lowlink[u] == index[u]) {
+          while (true) {
+            NodeId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc[w] = next_scc;
+            if (w == u) break;
+          }
+          ++next_scc;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          NodeId parent = frames.back().u;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+        }
+      }
+    }
+  }
+  if (num_sccs) *num_sccs = next_scc;
+  return scc;
+}
+
+std::vector<NodeId> ErGraph::SourceSccNodes() const {
+  int num_sccs = 0;
+  std::vector<int> scc = ComputeSccIds(&num_sccs);
+  std::vector<bool> has_incoming(static_cast<size_t>(num_sccs), false);
+  for (const ErEdge& e : edges_) {
+    if (!e.directed()) continue;
+    // directed node -> rel
+    if (scc[e.node] != scc[e.rel]) has_incoming[scc[e.rel]] = true;
+  }
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (!has_incoming[scc[v]]) out.push_back(v);
+  }
+  return out;
+}
+
+bool ErGraph::IsForest() const {
+  // Union-find over undirected structure; any edge joining two already
+  // connected nodes closes a cycle.
+  std::vector<NodeId> parent(num_nodes());
+  for (NodeId i = 0; i < num_nodes(); ++i) parent[i] = i;
+  std::function<NodeId(NodeId)> find = [&](NodeId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const ErEdge& e : edges_) {
+    NodeId a = find(e.rel), b = find(e.node);
+    if (a == b) return false;
+    parent[a] = b;
+  }
+  return true;
+}
+
+std::vector<std::vector<bool>> ErGraph::TraversableClosure() const {
+  const size_t n = num_nodes();
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  // BFS from each node along traversable directions. ER graphs are small
+  // (tens of nodes); O(n * (n + m)) is fine.
+  for (NodeId s = 0; s < n; ++s) {
+    std::vector<NodeId> queue{s};
+    reach[s][s] = true;
+    while (!queue.empty()) {
+      NodeId u = queue.back();
+      queue.pop_back();
+      for (EdgeId eid : incident_[u]) {
+        const ErEdge& e = edges_[eid];
+        if (!Traversable(e, u)) continue;
+        NodeId v = e.other(u);
+        if (!reach[s][v]) {
+          reach[s][v] = true;
+          queue.push_back(v);
+        }
+      }
+    }
+    reach[s][s] = false;  // self-association is not an association
+  }
+  return reach;
+}
+
+ErGraphStats ErGraph::Stats() const {
+  ErGraphStats st;
+  st.num_nodes = num_nodes();
+  st.num_edges = num_edges();
+  st.is_forest = IsForest();
+  // Count per-relationship cardinality classes.
+  std::vector<size_t> many_side_count(num_nodes(), 0);
+  for (const ErNode& node : diagram_->nodes()) {
+    if (!node.is_relationship()) continue;
+    Participation p0 = node.endpoints[0].participation;
+    Participation p1 = node.endpoints[1].participation;
+    if (p0 == Participation::kMany && p1 == Participation::kMany) {
+      ++st.num_many_many;
+    } else if (p0 == Participation::kOne && p1 == Participation::kOne) {
+      ++st.num_one_one;
+    } else {
+      ++st.num_one_many;
+      // The "many side" of a 1:N relationship is the endpoint with ONE
+      // participation (many of them per one instance of the other side).
+      NodeId many_side = p0 == Participation::kOne ? node.endpoints[0].target
+                                                   : node.endpoints[1].target;
+      ++many_side_count[many_side];
+    }
+  }
+  for (size_t c : many_side_count) {
+    if (c > 1) ++st.num_multi_many_side_nodes;
+  }
+  return st;
+}
+
+std::string ErGraph::DebugString() const {
+  std::string out = "ErGraph(" + diagram_->name() + ")\n";
+  for (const ErEdge& e : edges_) {
+    const std::string& rel = diagram_->node(e.rel).name;
+    const std::string& node = diagram_->node(e.node).name;
+    if (e.directed()) {
+      out += StringPrintf("  %s -> %s (many participation)\n", node.c_str(),
+                          rel.c_str());
+    } else {
+      out += StringPrintf("  %s -- %s (one participation)\n", node.c_str(),
+                          rel.c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace mctdb::er

@@ -1,0 +1,110 @@
+// The ER graph view of a simplified ER diagram (paper §2.1) plus the edge
+// orientation and reachability machinery that Algorithm MC (Fig 7) and the
+// eligibility analysis (§3.1) are built on.
+//
+// Nodes are the diagram's entity and relationship types. There is one edge
+// per (relationship, endpoint) pair. Orientation (Fig 7 step 1):
+//   * participation(endpoint) = MANY  =>  edge directed endpoint -> rel
+//     (only that direction is nestable: each rel instance has exactly one
+//     endpoint instance, so rel can sit under endpoint, never vice versa
+//     without duplication);
+//   * participation(endpoint) = ONE   =>  edge undirected (1:1 at instance
+//     level; a traversal may orient it either way).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "er/er_model.h"
+
+namespace mctdb::er {
+
+using EdgeId = uint32_t;
+inline constexpr EdgeId kInvalidEdge = 0xFFFFFFFFu;
+
+/// One ER-graph edge: relationship `rel` <-> endpoint node `node`.
+struct ErEdge {
+  EdgeId id = kInvalidEdge;
+  NodeId rel = kInvalidNode;   ///< the relationship-type side
+  NodeId node = kInvalidNode;  ///< the endpoint (entity or lower-order rel)
+  int endpoint_index = 0;      ///< 0 or 1 within the relationship
+  Participation participation = Participation::kOne;  ///< of `node` in `rel`
+  Totality totality = Totality::kPartial;
+
+  /// Fig 7 step 1: MANY participation fixes the direction node -> rel.
+  bool directed() const { return participation == Participation::kMany; }
+
+  NodeId other(NodeId from) const { return from == rel ? node : rel; }
+};
+
+/// Statistics used by the Theorem 4.1 feasibility test.
+struct ErGraphStats {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  size_t num_many_many = 0;  ///< relationships with MANY on both sides
+  size_t num_one_one = 0;
+  size_t num_one_many = 0;
+  /// Entities that are on the "many" side (participation ONE endpoint of a
+  /// 1:N relationship whose other side is MANY) of more than one 1:N
+  /// relationship — condition (iii) of Theorem 4.1.
+  size_t num_multi_many_side_nodes = 0;
+  bool is_forest = false;  ///< underlying undirected graph acyclic
+};
+
+class ErGraph {
+ public:
+  /// Builds the graph; `diagram` must outlive the graph.
+  explicit ErGraph(const ErDiagram& diagram);
+
+  const ErDiagram& diagram() const { return *diagram_; }
+  size_t num_nodes() const { return diagram_->num_nodes(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  const ErEdge& edge(EdgeId id) const { return edges_[id]; }
+  const std::vector<ErEdge>& edges() const { return edges_; }
+  /// Edge ids incident on `node` (as rel side or endpoint side).
+  const std::vector<EdgeId>& incident(NodeId node) const {
+    return incident_[node];
+  }
+
+  /// May edge `e` be traversed out of `from` (i.e. nested with `from` as
+  /// parent)? endpoint -> rel: always; rel -> endpoint: only when the
+  /// endpoint's participation is ONE.
+  bool Traversable(const ErEdge& e, NodeId from) const;
+  bool Traversable(EdgeId e, NodeId from) const {
+    return Traversable(edges_[e], from);
+  }
+
+  /// Strongly connected components treating undirected edges as
+  /// bidirectional and directed edges one-way. Returns one component id in
+  /// [0, num_sccs) per node, in reverse topological order of the
+  /// condensation (component 0 has no outgoing inter-SCC edges).
+  std::vector<int> ComputeSccIds(int* num_sccs = nullptr) const;
+
+  /// Nodes lying in source SCCs of the condensation (no incoming directed
+  /// edge from another SCC) — the candidate start nodes of Fig 7 step 2.
+  std::vector<NodeId> SourceSccNodes() const;
+
+  /// True iff the underlying undirected multigraph is a forest (condition
+  /// (i) of Theorem 4.1). Parallel edges between the same pair count as a
+  /// cycle.
+  bool IsForest() const;
+
+  /// Reachability closure under Traversable(): out[x][y] == true iff a
+  /// traversable (1:1 / 1:N composed) path leads from x to y. This is the
+  /// "eligible pair" relation of §3.1.
+  std::vector<std::vector<bool>> TraversableClosure() const;
+
+  ErGraphStats Stats() const;
+
+  /// Human-readable dump for debugging and example output.
+  std::string DebugString() const;
+
+ private:
+  const ErDiagram* diagram_;
+  std::vector<ErEdge> edges_;
+  std::vector<std::vector<EdgeId>> incident_;
+};
+
+}  // namespace mctdb::er

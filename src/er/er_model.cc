@@ -1,0 +1,126 @@
+#include "er/er_model.h"
+
+#include "common/string_util.h"
+
+namespace mctdb::er {
+
+NodeId ErDiagram::AddNode(ErNode node) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  node.id = id;
+  name_index_.emplace(node.name, id);
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+NodeId ErDiagram::AddEntity(std::string_view name,
+                            std::vector<Attribute> attributes) {
+  ErNode node;
+  node.kind = NodeKind::kEntity;
+  node.name = std::string(name);
+  node.attributes = std::move(attributes);
+  ++num_entities_;
+  return AddNode(std::move(node));
+}
+
+Result<NodeId> ErDiagram::AddRelationship(std::string_view name, NodeId a,
+                                          Participation pa, NodeId b,
+                                          Participation pb, Totality ta,
+                                          Totality tb,
+                                          std::vector<Attribute> attributes) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    return Status::InvalidArgument(
+        StringPrintf("relationship '%.*s': endpoint out of range",
+                     int(name.size()), name.data()));
+  }
+  if (a == b) {
+    return Status::InvalidArgument(StringPrintf(
+        "relationship '%.*s': endpoints must be distinct types",
+        int(name.size()), name.data()));
+  }
+  if (name_index_.count(std::string(name))) {
+    return Status::AlreadyExists(
+        StringPrintf("node named '%.*s' already exists", int(name.size()),
+                     name.data()));
+  }
+  ErNode node;
+  node.kind = NodeKind::kRelationship;
+  node.name = std::string(name);
+  node.attributes = std::move(attributes);
+  node.endpoints[0] = Endpoint{a, pa, ta};
+  node.endpoints[1] = Endpoint{b, pb, tb};
+  return AddNode(std::move(node));
+}
+
+Result<NodeId> ErDiagram::AddOneToMany(std::string_view name, NodeId one_side,
+                                       NodeId many_side,
+                                       Totality many_side_totality) {
+  return AddRelationship(name, one_side, Participation::kMany, many_side,
+                         Participation::kOne, Totality::kPartial,
+                         many_side_totality);
+}
+
+Result<NodeId> ErDiagram::AddManyToMany(std::string_view name, NodeId a,
+                                        NodeId b) {
+  return AddRelationship(name, a, Participation::kMany, b,
+                         Participation::kMany);
+}
+
+Result<NodeId> ErDiagram::AddOneToOne(std::string_view name, NodeId a,
+                                      NodeId b) {
+  return AddRelationship(name, a, Participation::kOne, b, Participation::kOne);
+}
+
+Status ErDiagram::AddAttribute(NodeId node, Attribute attr) {
+  if (node >= nodes_.size()) {
+    return Status::InvalidArgument("AddAttribute: node out of range");
+  }
+  for (const auto& existing : nodes_[node].attributes) {
+    if (existing.name == attr.name) {
+      return Status::AlreadyExists("duplicate attribute " + attr.name);
+    }
+  }
+  nodes_[node].attributes.push_back(std::move(attr));
+  return Status::OK();
+}
+
+std::optional<NodeId> ErDiagram::FindNode(std::string_view name) const {
+  auto it = name_index_.find(std::string(name));
+  if (it == name_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status ErDiagram::Validate() const {
+  if (name_index_.size() != nodes_.size()) {
+    return Status::Corruption("duplicate node names in diagram " + name_);
+  }
+  for (const ErNode& node : nodes_) {
+    if (node.is_relationship()) {
+      for (const Endpoint& ep : node.endpoints) {
+        if (ep.target >= nodes_.size()) {
+          return Status::Corruption("dangling endpoint in " + node.name);
+        }
+        if (ep.target >= node.id) {
+          return Status::Corruption(
+              "relationship " + node.name +
+              " references a node declared after it (stratification)");
+        }
+      }
+      if (node.endpoints[0].target == node.endpoints[1].target) {
+        return Status::Corruption("self-loop relationship " + node.name);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+const char* ToString(NodeKind kind) {
+  return kind == NodeKind::kEntity ? "entity" : "relationship";
+}
+const char* ToString(Participation p) {
+  return p == Participation::kOne ? "1" : "m";
+}
+const char* ToString(AttrType t) {
+  return t == AttrType::kString ? "string" : "int";
+}
+
+}  // namespace mctdb::er

@@ -1,0 +1,130 @@
+// The (simplified) Entity-Relationship model of paper §2.1.
+//
+// A simplified ER diagram contains only entity types, *binary* relationship
+// types between distinct entity-or-relationship types (higher-order
+// relationships treat lower-order relationships as their entities), and
+// atomic attributes. Arbitrary ER diagrams are assumed pre-reduced to this
+// form (paper [20]).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mctdb::er {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+enum class NodeKind : uint8_t { kEntity, kRelationship };
+
+/// How many instances of a relationship type one instance of an endpoint
+/// type can participate in. For a 1:N relationship "country in-has address",
+/// a country participates in MANY `in` instances, an address in ONE.
+/// This is the quantity Fig 7 step 1 orients edges by.
+enum class Participation : uint8_t { kOne, kMany };
+
+/// Whether every instance of the endpoint type must participate (total) or
+/// may be absent (partial). Drives min-occurrence constraints (§4.2).
+enum class Totality : uint8_t { kPartial, kTotal };
+
+enum class AttrType : uint8_t { kString, kInt };
+
+/// Atomic attribute of an entity or relationship type.
+struct Attribute {
+  std::string name;
+  AttrType type = AttrType::kString;
+  bool is_key = false;
+};
+
+/// One side of a binary relationship type.
+struct Endpoint {
+  NodeId target = kInvalidNode;       ///< entity or lower-order relationship
+  Participation participation = Participation::kOne;
+  Totality totality = Totality::kPartial;
+};
+
+/// An entity type or a relationship type. Both become XML/MCT element types
+/// under every translation in this library (§4.1).
+struct ErNode {
+  NodeId id = kInvalidNode;
+  NodeKind kind = NodeKind::kEntity;
+  std::string name;
+  std::vector<Attribute> attributes;
+  /// Valid iff kind == kRelationship.
+  Endpoint endpoints[2];
+
+  bool is_entity() const { return kind == NodeKind::kEntity; }
+  bool is_relationship() const { return kind == NodeKind::kRelationship; }
+};
+
+/// A simplified ER diagram: the design specification every translation
+/// algorithm in src/design starts from.
+class ErDiagram {
+ public:
+  explicit ErDiagram(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Add an entity type. Names must be unique across the diagram; duplicate
+  /// names abort via the returned id of the existing node being unusable —
+  /// use FindNode to probe first, or the Result-returning relationship APIs.
+  NodeId AddEntity(std::string_view name,
+                   std::vector<Attribute> attributes = {});
+
+  /// Add a binary relationship type between two *distinct*, existing nodes.
+  /// `pa` / `pb` are the participations of `a` / `b` respectively.
+  Result<NodeId> AddRelationship(std::string_view name, NodeId a,
+                                 Participation pa, NodeId b, Participation pb,
+                                 Totality ta = Totality::kPartial,
+                                 Totality tb = Totality::kPartial,
+                                 std::vector<Attribute> attributes = {});
+
+  /// 1:N convenience: one `one_side` instance relates to many `many_side`
+  /// instances. (participation(one_side)=MANY, participation(many_side)=ONE.)
+  Result<NodeId> AddOneToMany(std::string_view name, NodeId one_side,
+                              NodeId many_side,
+                              Totality many_side_totality = Totality::kPartial);
+
+  /// M:N convenience.
+  Result<NodeId> AddManyToMany(std::string_view name, NodeId a, NodeId b);
+
+  /// 1:1 convenience.
+  Result<NodeId> AddOneToOne(std::string_view name, NodeId a, NodeId b);
+
+  Status AddAttribute(NodeId node, Attribute attr);
+
+  std::optional<NodeId> FindNode(std::string_view name) const;
+
+  const ErNode& node(NodeId id) const { return nodes_[id]; }
+  size_t num_nodes() const { return nodes_.size(); }
+  const std::vector<ErNode>& nodes() const { return nodes_; }
+
+  size_t num_entities() const { return num_entities_; }
+  size_t num_relationships() const { return nodes_.size() - num_entities_; }
+
+  /// All structural sanity checks: unique names, endpoints exist, endpoints
+  /// distinct, relationship ids greater than both endpoint ids (no forward
+  /// references, so higher-order relationships are stratified).
+  Status Validate() const;
+
+ private:
+  NodeId AddNode(ErNode node);
+
+  std::string name_;
+  std::vector<ErNode> nodes_;
+  std::unordered_map<std::string, NodeId> name_index_;
+  size_t num_entities_ = 0;
+};
+
+const char* ToString(NodeKind kind);
+const char* ToString(Participation p);
+const char* ToString(AttrType t);
+
+}  // namespace mctdb::er

@@ -1,0 +1,237 @@
+#include "er/er_parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace mctdb::er {
+
+namespace {
+
+Status ErrorAt(int line, const std::string& msg) {
+  return Status::InvalidArgument(StringPrintf("line %d: %s", line,
+                                              msg.c_str()));
+}
+
+/// Tokenize one logical line into whitespace/punct-separated tokens, keeping
+/// the punctuation characters {, }, :, (, ), -- as their own tokens.
+std::vector<std::string> Tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      tokens.push_back(cur);
+      cur.clear();
+    }
+  };
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      flush();
+    } else if (c == '{' || c == '}' || c == ':' || c == '(' || c == ')') {
+      flush();
+      tokens.push_back(std::string(1, c));
+    } else if (c == '-' && i + 1 < line.size() && line[i + 1] == '-') {
+      flush();
+      tokens.push_back("--");
+      ++i;
+    } else {
+      cur += c;
+    }
+  }
+  flush();
+  return tokens;
+}
+
+struct Side {
+  std::string name;
+  bool many_label = false;  ///< the side's ratio letter was 'm'
+  Totality totality = Totality::kPartial;
+};
+
+/// Parses "<name> ( 1|m[!] )" starting at *pos; advances *pos. The letter
+/// is the side's count in the ratio ("country (1) -- address (m)": one
+/// country to many addresses); participations are derived afterwards from
+/// the OPPOSITE side's letter (each address relates to 1 country, so its
+/// participation is ONE; each country to m addresses: MANY).
+Status ParseSide(const std::vector<std::string>& t, size_t* pos, int line,
+                 Side* out) {
+  if (*pos >= t.size()) return ErrorAt(line, "expected endpoint name");
+  out->name = t[(*pos)++];
+  if (*pos + 2 >= t.size() + 1 || *pos >= t.size() || t[*pos] != "(") {
+    return ErrorAt(line, "expected '(' after endpoint " + out->name);
+  }
+  ++*pos;
+  if (*pos >= t.size()) return ErrorAt(line, "expected cardinality");
+  std::string card = t[(*pos)++];
+  if (!card.empty() && card.back() == '!') {
+    out->totality = Totality::kTotal;
+    card.pop_back();
+  }
+  if (card == "1") {
+    out->many_label = false;
+  } else if (card == "m" || card == "n" || card == "M" || card == "N") {
+    out->many_label = true;
+  } else {
+    return ErrorAt(line, "bad cardinality '" + card + "' (want 1 or m)");
+  }
+  if (*pos >= t.size() || t[*pos] != ")") {
+    return ErrorAt(line, "expected ')' after cardinality");
+  }
+  ++*pos;
+  return Status::OK();
+}
+
+/// Parses attribute tokens between '{' and '}' (possibly spanning the rest
+/// of the token list). Grammar: ("key" <name> | "attr" <name> <type>)*
+Status ParseAttrBlock(const std::vector<std::string>& t, size_t* pos, int line,
+                      std::vector<Attribute>* out) {
+  if (*pos >= t.size() || t[*pos] != "{") {
+    return Status::OK();  // attribute block optional
+  }
+  ++*pos;
+  while (*pos < t.size() && t[*pos] != "}") {
+    Attribute attr;
+    const std::string& kw = t[(*pos)++];
+    if (kw == "key") {
+      attr.is_key = true;
+      if (*pos >= t.size()) return ErrorAt(line, "key needs a name");
+      attr.name = t[(*pos)++];
+      attr.type = AttrType::kString;
+    } else if (kw == "attr") {
+      if (*pos + 1 >= t.size()) return ErrorAt(line, "attr needs name+type");
+      attr.name = t[(*pos)++];
+      const std::string& ty = t[(*pos)++];
+      if (ty == "string") {
+        attr.type = AttrType::kString;
+      } else if (ty == "int") {
+        attr.type = AttrType::kInt;
+      } else {
+        return ErrorAt(line, "unknown attribute type '" + ty + "'");
+      }
+    } else {
+      return ErrorAt(line, "expected 'key' or 'attr', got '" + kw + "'");
+    }
+    out->push_back(std::move(attr));
+  }
+  if (*pos >= t.size()) return ErrorAt(line, "unterminated '{'");
+  ++*pos;  // consume '}'
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ErDiagram> ParseErDiagram(std::string_view text) {
+  ErDiagram diagram("anonymous");
+  bool have_diagram = false;
+  bool first_statement = true;
+
+  int line_no = 0;
+  for (const std::string& raw : Split(text, '\n', /*keep_empty=*/true)) {
+    ++line_no;
+    std::string line = raw;
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::vector<std::string> t = Tokenize(Trim(line));
+    if (t.empty()) continue;
+    size_t pos = 0;
+    const std::string& kw = t[pos++];
+
+    if (kw == "diagram") {
+      if (!first_statement || pos >= t.size()) {
+        return ErrorAt(line_no, "'diagram <name>' must be first");
+      }
+      diagram = ErDiagram(t[pos]);
+      have_diagram = true;
+    } else if (kw == "entity") {
+      if (pos >= t.size()) return ErrorAt(line_no, "entity needs a name");
+      std::string name = t[pos++];
+      if (diagram.FindNode(name)) {
+        return ErrorAt(line_no, "duplicate node '" + name + "'");
+      }
+      std::vector<Attribute> attrs;
+      MCTDB_RETURN_IF_ERROR(ParseAttrBlock(t, &pos, line_no, &attrs));
+      diagram.AddEntity(name, std::move(attrs));
+    } else if (kw == "rel") {
+      if (pos >= t.size()) return ErrorAt(line_no, "rel needs a name");
+      std::string name = t[pos++];
+      if (pos >= t.size() || t[pos] != ":") {
+        return ErrorAt(line_no, "expected ':' after rel name");
+      }
+      ++pos;
+      Side a, b;
+      MCTDB_RETURN_IF_ERROR(ParseSide(t, &pos, line_no, &a));
+      if (pos >= t.size() || t[pos] != "--") {
+        return ErrorAt(line_no, "expected '--' between endpoints");
+      }
+      ++pos;
+      MCTDB_RETURN_IF_ERROR(ParseSide(t, &pos, line_no, &b));
+      std::vector<Attribute> attrs;
+      MCTDB_RETURN_IF_ERROR(ParseAttrBlock(t, &pos, line_no, &attrs));
+      auto na = diagram.FindNode(a.name);
+      auto nb = diagram.FindNode(b.name);
+      if (!na) return ErrorAt(line_no, "unknown endpoint '" + a.name + "'");
+      if (!nb) return ErrorAt(line_no, "unknown endpoint '" + b.name + "'");
+      // Participation of a side = the OTHER side's ratio letter: in
+      // "a (1) -- b (m)" each a relates to m b's (MANY participation) and
+      // each b to 1 a (ONE).
+      Participation pa =
+          b.many_label ? Participation::kMany : Participation::kOne;
+      Participation pb =
+          a.many_label ? Participation::kMany : Participation::kOne;
+      auto rel = diagram.AddRelationship(name, *na, pa, *nb, pb, a.totality,
+                                         b.totality, std::move(attrs));
+      if (!rel.ok()) return ErrorAt(line_no, rel.status().message());
+    } else {
+      return ErrorAt(line_no, "unknown keyword '" + kw + "'");
+    }
+    first_statement = false;
+  }
+  if (!have_diagram) {
+    return Status::InvalidArgument("missing 'diagram <name>' header");
+  }
+  MCTDB_RETURN_IF_ERROR(diagram.Validate());
+  return diagram;
+}
+
+std::string FormatErDiagram(const ErDiagram& diagram) {
+  std::string out = "diagram " + diagram.name() + "\n\n";
+  auto format_attrs = [](const ErNode& node) {
+    if (node.attributes.empty()) return std::string();
+    std::string s = " {";
+    for (const Attribute& a : node.attributes) {
+      if (a.is_key) {
+        s += " key " + a.name;
+      } else {
+        s += " attr " + a.name + " " + ToString(a.type);
+      }
+    }
+    s += " }";
+    return s;
+  };
+  // Emit in node-id order so a reparse reproduces the exact ids; the
+  // stratification invariant (endpoint ids < relationship id) guarantees
+  // every endpoint is declared before use.
+  for (const ErNode& node : diagram.nodes()) {
+    if (node.is_entity()) {
+      out += "entity " + node.name + format_attrs(node) + "\n";
+      continue;
+    }
+    auto side = [&](const Endpoint& ep, const Endpoint& other) {
+      // Inverse of the parse rule: this side's ratio letter is 'm' iff the
+      // OTHER side participates in many relationship instances.
+      std::string card =
+          other.participation == Participation::kMany ? "m" : "1";
+      if (ep.totality == Totality::kTotal) card += "!";
+      return diagram.node(ep.target).name + " (" + card + ")";
+    };
+    out += "rel " + node.name + ": " +
+           side(node.endpoints[0], node.endpoints[1]) + " -- " +
+           side(node.endpoints[1], node.endpoints[0]) + format_attrs(node) +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace mctdb::er

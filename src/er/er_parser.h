@@ -1,0 +1,29 @@
+// A small text DSL for ER diagrams, so designs can live as data files and be
+// fed to the examples / CLI without recompiling.
+//
+// Grammar (line oriented, '#' comments):
+//
+//   diagram <name>
+//   entity <name> { key <attr>  attr <attr> <string|int> ... }
+//   rel <name>: <A> (1|m)[!] -- <B> (1|m)[!] [{ attr ... }]
+//
+// Cardinality reads as a ratio: "country (1) -- address (m)" means one
+// country relates to many addresses (so country's participation is MANY,
+// address's is ONE). '!' marks total participation of that side.
+#pragma once
+
+#include <string_view>
+
+#include "common/result.h"
+#include "er/er_model.h"
+
+namespace mctdb::er {
+
+/// Parse a diagram from DSL text. Returns InvalidArgument with a line number
+/// on malformed input.
+Result<ErDiagram> ParseErDiagram(std::string_view text);
+
+/// Render a diagram back to DSL text (round-trips through ParseErDiagram).
+std::string FormatErDiagram(const ErDiagram& diagram);
+
+}  // namespace mctdb::er

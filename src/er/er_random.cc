@@ -1,0 +1,74 @@
+#include "er/er_random.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mctdb::er {
+
+ErDiagram GenerateRandomEr(Rng* rng, const RandomErOptions& options) {
+  ErDiagram d(StringPrintf("random_%llu",
+                           static_cast<unsigned long long>(rng->Next())));
+  std::vector<NodeId> entities;
+  entities.reserve(options.num_entities);
+  for (size_t i = 0; i < options.num_entities; ++i) {
+    std::vector<Attribute> attrs;
+    attrs.push_back({"id", AttrType::kString, /*is_key=*/true});
+    attrs.push_back({StringPrintf("v%zu", i), AttrType::kInt, false});
+    entities.push_back(d.AddEntity(StringPrintf("e%zu", i), std::move(attrs)));
+  }
+
+  // Nodes eligible as relationship endpoints: entities plus already created
+  // relationships (when higher-order relationships are enabled).
+  std::vector<NodeId> endpoint_pool = entities;
+
+  for (size_t i = 0; i < options.num_relationships; ++i) {
+    // To keep the graph connected, the first (num_entities - 1)
+    // relationships attach a not-yet-connected entity to a connected one.
+    NodeId a, b;
+    if (options.ensure_connected && i + 1 < options.num_entities) {
+      a = entities[i + 1];
+      b = entities[rng->Uniform(i + 1)];
+    } else {
+      a = rng->Pick(endpoint_pool);
+      if (rng->NextDouble() < options.p_higher_order &&
+          endpoint_pool.size() > entities.size()) {
+        // Bias the other endpoint toward a relationship node.
+        b = endpoint_pool[entities.size() +
+                          rng->Uniform(endpoint_pool.size() -
+                                       entities.size())];
+      } else {
+        b = rng->Pick(endpoint_pool);
+      }
+      if (a == b) {
+        b = endpoint_pool[(b + 1) % endpoint_pool.size()];
+        if (a == b) continue;  // degenerate pool; skip this relationship
+      }
+    }
+
+    Participation pa, pb;
+    double roll = rng->NextDouble();
+    if (roll < options.p_many_many) {
+      pa = pb = Participation::kMany;
+    } else if (roll < options.p_many_many + options.p_one_one) {
+      pa = pb = Participation::kOne;
+    } else if (rng->OneIn(2)) {
+      pa = Participation::kMany;  // one a : many b
+      pb = Participation::kOne;
+    } else {
+      pa = Participation::kOne;
+      pb = Participation::kMany;
+    }
+    Totality ta = Totality::kPartial, tb = Totality::kPartial;
+    if (pa == Participation::kMany && pb == Participation::kOne &&
+        rng->NextDouble() < options.p_total) {
+      tb = Totality::kTotal;
+    }
+    auto rel = d.AddRelationship(StringPrintf("r%zu", i), a, pa, b, pb, ta, tb);
+    MCTDB_CHECK(rel.ok());
+    endpoint_pool.push_back(rel.value());
+  }
+  MCTDB_CHECK(d.Validate().ok());
+  return d;
+}
+
+}  // namespace mctdb::er

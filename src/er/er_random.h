@@ -1,0 +1,28 @@
+// Random simplified-ER-diagram generator for property tests (Theorems 4.1,
+// 5.1, 5.2 sweeps) and for the algorithm-scaling ablation benches.
+#pragma once
+
+#include "common/random.h"
+#include "er/er_model.h"
+
+namespace mctdb::er {
+
+struct RandomErOptions {
+  size_t num_entities = 8;
+  size_t num_relationships = 10;
+  /// Probability weights of each relationship cardinality class.
+  double p_many_many = 0.2;
+  double p_one_one = 0.2;  // remainder is 1:N
+  /// Probability that a relationship endpoint is a lower-order relationship
+  /// (higher-order relationship types, §4.1 footnote).
+  double p_higher_order = 0.0;
+  /// Probability a 1:N endpoint's many side is totally participating.
+  double p_total = 0.3;
+  /// If true, every node is connected to node 0's component when possible.
+  bool ensure_connected = true;
+};
+
+/// Generates a valid simplified ER diagram. Deterministic given `rng` state.
+ErDiagram GenerateRandomEr(Rng* rng, const RandomErOptions& options);
+
+}  // namespace mctdb::er

@@ -1,0 +1,149 @@
+#include "er/rich_er.h"
+
+#include "common/string_util.h"
+
+namespace mctdb::er {
+
+namespace {
+
+/// Flattens one rich attribute into atomic attributes (dotted-name join),
+/// routing multivalued ones to `multivalued` for satellite extraction.
+void Flatten(const RichAttribute& attr, const std::string& prefix,
+             std::vector<Attribute>* atomic,
+             std::vector<std::pair<std::string, AttrType>>* multivalued,
+             SimplifyReport* report) {
+  std::string name = prefix.empty() ? attr.name : prefix + "_" + attr.name;
+  if (!attr.components.empty()) {
+    if (report) ++report->composite_flattened;
+    for (const RichAttribute& sub : attr.components) {
+      Flatten(sub, name, atomic, multivalued, report);
+    }
+    return;
+  }
+  if (attr.multivalued) {
+    if (report) ++report->multivalued_extracted;
+    multivalued->emplace_back(name, attr.type);
+    return;
+  }
+  atomic->push_back({name, attr.type, attr.is_key});
+}
+
+struct FlattenResult {
+  std::vector<Attribute> atomic;
+  std::vector<std::pair<std::string, AttrType>> multivalued;
+};
+
+FlattenResult FlattenAll(const std::vector<RichAttribute>& attrs,
+                         SimplifyReport* report) {
+  FlattenResult out;
+  for (const RichAttribute& a : attrs) {
+    Flatten(a, "", &out.atomic, &out.multivalued, report);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ErDiagram> Simplify(const RichErDiagram& rich,
+                           SimplifyReport* report) {
+  ErDiagram out(rich.name);
+
+  // 1. Entities, with composite flattening and multivalued extraction.
+  struct Satellite {
+    std::string owner;
+    std::string attr_name;
+    AttrType type;
+  };
+  std::vector<Satellite> satellites;
+  for (const RichEntity& entity : rich.entities) {
+    if (out.FindNode(entity.name)) {
+      return Status::InvalidArgument("duplicate entity " + entity.name);
+    }
+    FlattenResult flat = FlattenAll(entity.attributes, report);
+    out.AddEntity(entity.name, std::move(flat.atomic));
+    for (auto& [attr_name, type] : flat.multivalued) {
+      satellites.push_back({entity.name, attr_name, type});
+    }
+  }
+  // 2. Satellite entities for multivalued attributes: E 1:N E_attr, total
+  //    on the satellite side (a value exists only with its owner).
+  for (const Satellite& sat : satellites) {
+    std::string sat_name = sat.owner + "_" + sat.attr_name;
+    NodeId sat_id = out.AddEntity(
+        sat_name, {{"id", AttrType::kString, true},
+                   {"value", sat.type, false}});
+    auto rel = out.AddOneToMany("has_" + sat_name, *out.FindNode(sat.owner),
+                                sat_id, Totality::kTotal);
+    MCTDB_RETURN_IF_ERROR(rel.status());
+  }
+
+  // 3. Relationships.
+  for (const RichRelationship& rel : rich.relationships) {
+    if (rel.endpoints.size() < 2) {
+      return Status::InvalidArgument("relationship " + rel.name +
+                                     " needs >= 2 endpoints");
+    }
+    FlattenResult flat = FlattenAll(rel.attributes, report);
+    if (!flat.multivalued.empty()) {
+      return Status::NotSupported(
+          "multivalued attributes on relationships are not reduced; move "
+          "them to a participating entity");
+    }
+
+    bool recursive = false;
+    for (size_t i = 0; i + 1 < rel.endpoints.size() && !recursive; ++i) {
+      for (size_t j = i + 1; j < rel.endpoints.size(); ++j) {
+        recursive |= rel.endpoints[i].entity == rel.endpoints[j].entity;
+      }
+    }
+
+    if (rel.endpoints.size() == 2 && !recursive) {
+      // Already binary and simple.
+      auto a = out.FindNode(rel.endpoints[0].entity);
+      auto b = out.FindNode(rel.endpoints[1].entity);
+      if (!a || !b) {
+        return Status::InvalidArgument("unknown endpoint in " + rel.name);
+      }
+      auto added = out.AddRelationship(
+          rel.name, *a, rel.endpoints[0].participation, *b,
+          rel.endpoints[1].participation, rel.endpoints[0].totality,
+          rel.endpoints[1].totality, std::move(flat.atomic));
+      MCTDB_RETURN_IF_ERROR(added.status());
+      continue;
+    }
+
+    // n-ary and/or recursive: reify as an entity, then one binary 1:N per
+    // endpoint (each reified instance has exactly one partner per slot).
+    if (report) {
+      if (rel.endpoints.size() > 2) ++report->nary_decomposed;
+      if (recursive) ++report->recursive_decomposed;
+    }
+    std::vector<Attribute> reified_attrs = std::move(flat.atomic);
+    reified_attrs.insert(reified_attrs.begin(),
+                         {"id", AttrType::kString, true});
+    NodeId reified = out.AddEntity(rel.name, std::move(reified_attrs));
+    for (size_t i = 0; i < rel.endpoints.size(); ++i) {
+      const RichEndpoint& ep = rel.endpoints[i];
+      auto target = out.FindNode(ep.entity);
+      if (!target) {
+        return Status::InvalidArgument("unknown endpoint " + ep.entity +
+                                       " in " + rel.name);
+      }
+      std::string role =
+          ep.role.empty() ? "p" + std::to_string(i + 1) : ep.role;
+      // The endpoint entity relates 1:N to the reified instances (an
+      // entity can appear in many instances of the n-ary relationship;
+      // each instance has exactly one entity per slot). The original
+      // endpoint participation survives as the many-side totality proxy:
+      // a MANY-participation endpoint keeps partial totality, a ONE
+      // endpoint with total participation keeps it.
+      auto added = out.AddOneToMany(rel.name + "_" + role, *target, reified,
+                                    Totality::kTotal);
+      MCTDB_RETURN_IF_ERROR(added.status());
+    }
+  }
+  MCTDB_RETURN_IF_ERROR(out.Validate());
+  return out;
+}
+
+}  // namespace mctdb::er

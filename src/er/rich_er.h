@@ -1,0 +1,76 @@
+// Arbitrary ("rich") ER diagrams and their reduction to the simplified form
+// the design algorithms consume (paper §2.1: "Arbitrary ER diagrams can be
+// translated into such simplified ER diagrams by applying simple
+// transformations [20]").
+//
+// Supported rich features and their reductions:
+//   * n-ary relationship types (n >= 3)  ->  a (weak) entity type plus one
+//     binary 1:N relationship per endpoint ("a higher-order relationship
+//     type treats lower-order relationship types as its entities", §4.1);
+//   * composite attributes                ->  flattened atomic attributes
+//     with dotted names joined by '_';
+//   * multivalued attributes              ->  a satellite entity with a
+//     synthesized key + value attribute, linked 1:N (total);
+//   * recursive (self-loop) relationships ->  a role entity carrying the
+//     relationship's identity, with one binary relationship per role
+//     (simplified ER forbids relationships between identical types).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "er/er_model.h"
+
+namespace mctdb::er {
+
+/// A (possibly composite / multivalued) rich attribute.
+struct RichAttribute {
+  std::string name;
+  AttrType type = AttrType::kString;
+  bool is_key = false;
+  bool multivalued = false;
+  /// Non-empty => composite; `type`/`multivalued` of the parent ignored.
+  std::vector<RichAttribute> components;
+};
+
+struct RichEntity {
+  std::string name;
+  std::vector<RichAttribute> attributes;
+};
+
+/// One endpoint of a rich relationship.
+struct RichEndpoint {
+  std::string entity;
+  /// Role label, required when the same entity appears twice (recursive
+  /// relationships); otherwise optional.
+  std::string role;
+  Participation participation = Participation::kOne;
+  Totality totality = Totality::kPartial;
+};
+
+struct RichRelationship {
+  std::string name;
+  std::vector<RichEndpoint> endpoints;  ///< 2 or more
+  std::vector<RichAttribute> attributes;
+};
+
+struct RichErDiagram {
+  std::string name;
+  std::vector<RichEntity> entities;
+  std::vector<RichRelationship> relationships;
+};
+
+struct SimplifyReport {
+  size_t nary_decomposed = 0;
+  size_t recursive_decomposed = 0;
+  size_t composite_flattened = 0;
+  size_t multivalued_extracted = 0;
+};
+
+/// Reduces `rich` to a simplified ER diagram. Fails on dangling endpoint
+/// names, < 2 endpoints, or duplicate names.
+Result<ErDiagram> Simplify(const RichErDiagram& rich,
+                           SimplifyReport* report = nullptr);
+
+}  // namespace mctdb::er

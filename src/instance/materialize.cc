@@ -1,0 +1,172 @@
+#include "instance/materialize.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace mctdb::instance {
+
+namespace {
+
+class Materializer {
+ public:
+  Materializer(const LogicalInstance& logical, const mct::MctSchema& schema,
+               const MaterializeOptions& options)
+      : logical_(logical),
+        schema_(schema),
+        graph_(schema.graph()),
+        options_(options),
+        builder_(&schema, options.store) {
+    // Ref edges grouped by ER node so idref attributes are attached when
+    // the relationship element is created.
+    for (const mct::RefEdge& ref : schema.ref_edges()) {
+      refs_by_node_[schema.occ(ref.from).er_node].push_back(&ref);
+    }
+  }
+
+  std::unique_ptr<storage::MctStore> Run() {
+    for (mct::ColorId c = 0; c < schema_.num_colors(); ++c) {
+      builder_.BeginColor(c);
+      placed_in_color_.clear();
+      placed_at_.clear();
+      for (mct::OccId root : schema_.roots(c)) {
+        er::NodeId node = schema_.occ(root).er_node;
+        for (uint32_t inst = 0; inst < logical_.count(node); ++inst) {
+          Place(root, inst);
+        }
+      }
+      // §4.2: instances without a parent (partial participation) must still
+      // be stored — "expecting instances not just rooted at X, but also
+      // allowing instances rooted at Y". Every instance not yet placed at
+      // a CLEAN occurrence of its type becomes an extra top-level tree
+      // there (with the occurrence's full subtree), so every clean
+      // occurrence covers every instance and every association pair — the
+      // invariant the planner's chain matching relies on. Completion runs
+      // shallow-first so an orphan ancestor's fragment places its
+      // descendants before they are considered on their own.
+      std::vector<std::pair<size_t, mct::OccId>> clean;
+      for (const mct::SchemaOcc& o : schema_.occurrences()) {
+        if (o.color == c && schema_.IsCleanOcc(o.id)) {
+          clean.emplace_back(schema_.Depth(o.id), o.id);
+        }
+      }
+      std::sort(clean.begin(), clean.end());
+      for (const auto& [depth, occ_id] : clean) {
+        er::NodeId node = schema_.occ(occ_id).er_node;
+        for (uint32_t inst = 0; inst < logical_.count(node); ++inst) {
+          if (placed_at_.count(PlacementKey(occ_id, inst))) continue;
+          Place(occ_id, inst);
+        }
+      }
+      builder_.EndColor();
+    }
+    return builder_.Finish();
+  }
+
+ private:
+  using Key = uint64_t;  // (er_node, instance) packed
+  static Key MakeKey(er::NodeId node, uint32_t inst) {
+    return (uint64_t(node) << 32) | inst;
+  }
+
+  storage::ElemId ObtainElement(er::NodeId node, uint32_t inst) {
+    Key key = MakeKey(node, inst);
+    auto shared = shared_elems_.find(key);
+    bool first_in_color = placed_in_color_.insert(key).second;
+    if (shared != shared_elems_.end() && first_in_color) {
+      return shared->second;  // the shared element's placement in this color
+    }
+    if (shared == shared_elems_.end()) {
+      storage::ElemId elem = NewElement(node, inst, /*is_copy=*/false);
+      shared_elems_.emplace(key, elem);
+      return elem;
+    }
+    // Already placed in this color: a redundant copy with its own records.
+    return NewElement(node, inst, /*is_copy=*/true);
+  }
+
+  storage::ElemId NewElement(er::NodeId node, uint32_t inst, bool is_copy) {
+    storage::ElemId elem = builder_.AddElement(node, inst, is_copy);
+    const er::ErNode& meta = schema_.diagram().node(node);
+    for (size_t a = 0; a < meta.attributes.size(); ++a) {
+      // Key attributes are id-valued (no separate content node); data
+      // attributes own a content node (Table 1 distinguishes the counts).
+      builder_.AddAttr(elem, meta.attributes[a].name,
+                       logical_.AttrValue(node, inst, a),
+                       /*with_content=*/!meta.attributes[a].is_key);
+    }
+    auto refs = refs_by_node_.find(node);
+    if (refs != refs_by_node_.end()) {
+      for (const mct::RefEdge* ref : refs->second) {
+        // The relationship instance's endpoint on the referenced side.
+        const er::ErEdge& e = graph_.edge(ref->er_edge);
+        uint32_t target_inst =
+            logical_.EndpointOf(e.rel, e.endpoint_index, inst);
+        builder_.AddAttr(elem, ref->attr_name,
+                         logical_.KeyValue(ref->target, target_inst),
+                         /*with_content=*/false);
+      }
+    }
+    return elem;
+  }
+
+  static uint64_t PlacementKey(mct::OccId occ, uint32_t inst) {
+    return (uint64_t(occ) << 32) | inst;
+  }
+
+  void Place(mct::OccId occ_id, uint32_t inst) {
+    if (++placements_ > options_.max_placements) {
+      MCTDB_CHECK_MSG(false, "materialization placement cap exceeded");
+    }
+    placed_at_.insert(PlacementKey(occ_id, inst));
+    const mct::SchemaOcc& occ = schema_.occ(occ_id);
+    storage::ElemId elem = ObtainElement(occ.er_node, inst);
+    builder_.Enter(elem);
+    for (mct::OccId child_id : occ.children) {
+      const mct::SchemaOcc& child = schema_.occ(child_id);
+      const er::ErEdge& edge = graph_.edge(child.via_edge);
+      if (child.er_node == edge.rel) {
+        // parent = endpoint: one child per relationship instance the parent
+        // instance participates in.
+        for (uint32_t rel_inst : logical_.RelsOf(edge.id, inst)) {
+          Place(child_id, rel_inst);
+        }
+      } else {
+        // parent = relationship: exactly one endpoint instance.
+        Place(child_id,
+              logical_.EndpointOf(edge.rel, edge.endpoint_index, inst));
+      }
+    }
+    builder_.Leave(elem);
+  }
+
+  const LogicalInstance& logical_;
+  const mct::MctSchema& schema_;
+  const er::ErGraph& graph_;
+  const MaterializeOptions& options_;
+  storage::StoreBuilder builder_;
+
+  std::unordered_map<Key, storage::ElemId> shared_elems_;
+  std::unordered_set<Key> placed_in_color_;
+  /// (occurrence, instance) pairs placed in the current color.
+  std::unordered_set<uint64_t> placed_at_;
+  std::unordered_map<er::NodeId, std::vector<const mct::RefEdge*>>
+      refs_by_node_;
+  size_t placements_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<storage::MctStore> Materialize(
+    const LogicalInstance& logical, const mct::MctSchema& schema,
+    const MaterializeOptions& options) {
+  Materializer m(logical, schema, options);
+  return m.Run();
+}
+
+}  // namespace mctdb::instance

@@ -1,0 +1,33 @@
+// Materializer: places ONE logical instance into the colored forests of an
+// MCT schema and loads the result into an MctStore.
+//
+// Identity rule (how Table 1's counts arise): a logical node's FIRST
+// placement in each color binds to its shared stored element (MCT stores a
+// multi-colored node once, Fig 5 caption); any further placement within the
+// same color is a redundant *copy* element with duplicated attribute and
+// content records — exactly the storage penalty DEEP and UNDR pay.
+#pragma once
+
+#include <memory>
+
+#include "instance/logical.h"
+#include "mct/mct_schema.h"
+#include "storage/store.h"
+
+namespace mctdb::instance {
+
+struct MaterializeOptions {
+  storage::StoreOptions store;
+  /// Guard against pathological schema x instance combinations.
+  size_t max_placements = 50000000;
+};
+
+/// Builds the store for `schema` over `logical`. The schema and the logical
+/// instance must outlive the store only during this call; the store is
+/// self-contained afterwards (but keeps a pointer to the schema for
+/// reports, so keep the schema alive for querying).
+std::unique_ptr<storage::MctStore> Materialize(
+    const LogicalInstance& logical, const mct::MctSchema& schema,
+    const MaterializeOptions& options = {});
+
+}  // namespace mctdb::instance

@@ -1,0 +1,95 @@
+#include "instance/xml_export.h"
+
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace mctdb::instance {
+
+Result<xml::XmlNodePtr> ExportColorXml(const storage::MctStore& store,
+                                       mct::ColorId color,
+                                       const ExportOptions& options) {
+  if (color >= store.schema().num_colors()) {
+    return Status::InvalidArgument("no such color");
+  }
+  auto root = std::make_unique<xml::XmlNode>(options.root_tag);
+  root->SetAttr("color", store.schema().color_name(color));
+
+  std::vector<storage::LabelEntry> entries = store.ColorEntries(color);
+  // Pre-order reconstruction: maintain the open-ancestor stack by `end`.
+  struct Open {
+    uint32_t end;
+    xml::XmlNode* node;
+  };
+  std::vector<Open> stack;
+  const er::ErDiagram& diagram = store.schema().diagram();
+  for (const storage::LabelEntry& e : entries) {
+    while (!stack.empty() && stack.back().end < e.start) stack.pop_back();
+    xml::XmlNode* parent = stack.empty() ? root.get() : stack.back().node;
+    const storage::ElementMeta& meta = store.element(e.elem);
+    xml::XmlNode* node = parent->AddChild(diagram.node(meta.er_node).name);
+    if (options.node_ids) {
+      node->SetAttr("_nid", std::to_string(e.elem));
+    }
+    for (const storage::AttrRecord& attr : store.attrs(e.elem)) {
+      node->SetAttr(store.attr_name(attr.name_id), store.value(attr.value_id));
+    }
+    stack.push_back({e.end, node});
+  }
+  return root;
+}
+
+namespace {
+
+void DigestNode(const xml::XmlNode& node, size_t depth, ColorDigest* digest) {
+  ++digest->elements;
+  if (depth > digest->max_depth) digest->max_depth = depth;
+  digest->shape_hash =
+      HashCombine(digest->shape_hash, Hash64(node.tag()));
+  for (const auto& [name, value] : node.attrs()) {
+    if (name == "_nid" || name == "color") continue;
+    ++digest->attributes;
+    digest->shape_hash = HashCombine(digest->shape_hash,
+                                     HashCombine(Hash64(name), Hash64(value)));
+  }
+  for (const auto& child : node.children()) {
+    DigestNode(*child, depth + 1, digest);
+  }
+}
+
+}  // namespace
+
+ColorDigest DigestXml(const xml::XmlNode& root) {
+  ColorDigest digest;
+  for (const auto& child : root.children()) {
+    DigestNode(*child, 1, &digest);
+  }
+  return digest;
+}
+
+ColorDigest DigestColor(const storage::MctStore& store, mct::ColorId color) {
+  // Build the digest directly from the store's document order, mirroring
+  // DigestNode's traversal.
+  ColorDigest digest;
+  std::vector<storage::LabelEntry> entries = store.ColorEntries(color);
+  const er::ErDiagram& diagram = store.schema().diagram();
+  // Depth from levels; same order as the exported document.
+  for (const storage::LabelEntry& e : entries) {
+    ++digest.elements;
+    size_t depth = size_t(e.level) + 1;
+    if (depth > digest.max_depth) digest.max_depth = depth;
+    const storage::ElementMeta& meta = store.element(e.elem);
+    digest.shape_hash = HashCombine(digest.shape_hash,
+                                    Hash64(diagram.node(meta.er_node).name));
+    for (const storage::AttrRecord& attr : store.attrs(e.elem)) {
+      ++digest.attributes;
+      digest.shape_hash = HashCombine(
+          digest.shape_hash, HashCombine(Hash64(store.attr_name(attr.name_id)),
+                                         Hash64(store.value(attr.value_id))));
+    }
+  }
+  return digest;
+}
+
+}  // namespace mctdb::instance

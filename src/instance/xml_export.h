@@ -1,0 +1,45 @@
+// XML interchange for MCT databases.
+//
+// An MCT database is "one or more colored trees over the same data nodes"
+// (§2.2); its natural exchange format is one XML document per color, with
+// every element carrying the persistent `_nid` node id so the shared
+// node identity across colors survives the round trip. Exporting the
+// single-color schemas yields plain XML databases (Figs 2-4 instances).
+#pragma once
+
+#include <memory>
+
+#include "common/result.h"
+#include "storage/store.h"
+#include "xml/xml_node.h"
+
+namespace mctdb::instance {
+
+struct ExportOptions {
+  /// Attach _nid="<elem id>" to every element, preserving cross-color node
+  /// identity (required for ImportColorXml round trips).
+  bool node_ids = true;
+  /// Root tag for the document that wraps the color's forest.
+  std::string root_tag = "mctdb";
+};
+
+/// Serializes one colored tree of `store` as an XML document. The color's
+/// top-level trees become children of a synthetic root element, in document
+/// order; attributes are emitted in schema order.
+Result<xml::XmlNodePtr> ExportColorXml(const storage::MctStore& store,
+                                       mct::ColorId color,
+                                       const ExportOptions& options = {});
+
+/// Structural summary of an exported/parsed color document, used to verify
+/// round trips without materializing a second store.
+struct ColorDigest {
+  size_t elements = 0;
+  size_t attributes = 0;  ///< excluding the synthetic _nid
+  size_t max_depth = 0;
+  uint64_t shape_hash = 0;  ///< order-sensitive hash of tags + attrs
+};
+
+ColorDigest DigestXml(const xml::XmlNode& root);
+ColorDigest DigestColor(const storage::MctStore& store, mct::ColorId color);
+
+}  // namespace mctdb::instance

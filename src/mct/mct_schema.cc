@@ -1,0 +1,390 @@
+#include "mct/mct_schema.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mctdb::mct {
+
+const char* ToString(Occurs o) {
+  switch (o) {
+    case Occurs::kOne:
+      return "1";
+    case Occurs::kOpt:
+      return "?";
+    case Occurs::kPlus:
+      return "+";
+    case Occurs::kStar:
+      return "*";
+  }
+  return "?";
+}
+
+ColorId MctSchema::AddColor() {
+  static const char* kPalette[] = {"blue", "red", "purple", "orange", "green"};
+  ColorId id = static_cast<ColorId>(color_roots_.size());
+  if (id < 5) {
+    color_names_.emplace_back(kPalette[id]);
+  } else {
+    color_names_.push_back(StringPrintf("color%d", id + 1));
+  }
+  color_roots_.emplace_back();
+  return id;
+}
+
+OccId MctSchema::AddRoot(ColorId color, er::NodeId er_node) {
+  MCTDB_CHECK(color < color_roots_.size());
+  SchemaOcc occ;
+  occ.id = static_cast<OccId>(occs_.size());
+  occ.er_node = er_node;
+  occ.color = color;
+  occs_.push_back(occ);
+  color_roots_[color].push_back(occ.id);
+  return occ.id;
+}
+
+OccId MctSchema::AddChild(OccId parent, er::NodeId er_node,
+                          er::EdgeId via_edge) {
+  MCTDB_CHECK(parent < occs_.size());
+  SchemaOcc occ;
+  occ.id = static_cast<OccId>(occs_.size());
+  occ.er_node = er_node;
+  occ.color = occs_[parent].color;
+  occ.parent = parent;
+  occ.via_edge = via_edge;
+  occs_.push_back(occ);
+  occs_[parent].children.push_back(occ.id);
+  return occ.id;
+}
+
+void MctSchema::AttachRoot(OccId root, OccId new_parent, er::EdgeId via_edge) {
+  MCTDB_CHECK(root < occs_.size() && new_parent < occs_.size());
+  SchemaOcc& r = occs_[root];
+  MCTDB_CHECK_MSG(r.is_root(), "AttachRoot target must be a root");
+  MCTDB_CHECK(occs_[new_parent].color == r.color);
+  auto& roots = color_roots_[r.color];
+  roots.erase(std::find(roots.begin(), roots.end(), root));
+  r.parent = new_parent;
+  r.via_edge = via_edge;
+  occs_[new_parent].children.push_back(root);
+}
+
+void MctSchema::AddRefEdge(OccId from, er::EdgeId er_edge,
+                           er::NodeId target) {
+  RefEdge ref;
+  ref.from = from;
+  ref.er_edge = er_edge;
+  ref.target = target;
+  ref.attr_name = diagram().node(target).name + "_idref";
+  ref_edges_.push_back(std::move(ref));
+}
+
+std::vector<OccId> MctSchema::OccurrencesOf(er::NodeId er_node) const {
+  std::vector<OccId> out;
+  for (const SchemaOcc& o : occs_) {
+    if (o.er_node == er_node) out.push_back(o.id);
+  }
+  return out;
+}
+
+OccId MctSchema::FindOcc(ColorId color, er::NodeId er_node) const {
+  for (const SchemaOcc& o : occs_) {
+    if (o.color == color && o.er_node == er_node) return o.id;
+  }
+  return kInvalidOcc;
+}
+
+size_t MctSchema::SubtreeSize(OccId id) const {
+  size_t n = 1;
+  for (OccId child : occs_[id].children) n += SubtreeSize(child);
+  return n;
+}
+
+bool MctSchema::IsCleanOcc(OccId id) const {
+  for (OccId cur = id; !occs_[cur].is_root(); cur = occs_[cur].parent) {
+    const er::ErEdge& e = graph_->edge(occs_[cur].via_edge);
+    if (!graph_->Traversable(e, occs_[occs_[cur].parent].er_node)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+OccId MctSchema::PrimaryOcc(ColorId color, er::NodeId er_node) const {
+  // Prefer occurrences whose root path is all-traversable: their
+  // placements never duplicate instances, so completing the logical
+  // instance set there is cheap and anchoring joins there is sound. A
+  // reverse link on the root path marks a denormalized context graft
+  // (DEEP/UNDR), which only covers the instances its parent context
+  // reaches — eligible as primary only when nothing better exists.
+  OccId best = kInvalidOcc;
+  bool best_clean = false;
+  size_t best_size = 0;
+  for (const SchemaOcc& o : occs_) {
+    if (o.color != color || o.er_node != er_node) continue;
+    bool clean = true;
+    for (OccId cur = o.id; !occs_[cur].is_root();
+         cur = occs_[cur].parent) {
+      const er::ErEdge& e = graph_->edge(occs_[cur].via_edge);
+      if (!graph_->Traversable(e, occs_[occs_[cur].parent].er_node)) {
+        clean = false;
+        break;
+      }
+    }
+    size_t size = SubtreeSize(o.id);
+    bool better = best == kInvalidOcc || (clean && !best_clean) ||
+                  (clean == best_clean && size > best_size);
+    if (better) {
+      best = o.id;
+      best_clean = clean;
+      best_size = size;
+    }
+  }
+  return best;
+}
+
+bool MctSchema::IsAncestor(OccId anc, OccId desc) const {
+  OccId cur = occs_[desc].parent;
+  while (cur != kInvalidOcc) {
+    if (cur == anc) return true;
+    cur = occs_[cur].parent;
+  }
+  return false;
+}
+
+Occurs MctSchema::ChildOccurs(OccId child) const {
+  const SchemaOcc& c = occs_[child];
+  MCTDB_CHECK(!c.is_root());
+  const er::ErEdge& e = graph_->edge(c.via_edge);
+  if (c.er_node == e.rel) {
+    // Parent is the endpoint: one parent instance participates in
+    // `e.participation` relationship instances; totality gives minOccurs.
+    bool total = e.totality == er::Totality::kTotal;
+    if (e.participation == er::Participation::kMany) {
+      return total ? Occurs::kPlus : Occurs::kStar;
+    }
+    return total ? Occurs::kOne : Occurs::kOpt;
+  }
+  // Parent is the relationship: each relationship instance has exactly one
+  // instance of this endpoint (traversal requires ONE participation).
+  return Occurs::kOne;
+}
+
+size_t MctSchema::Depth(OccId id) const {
+  size_t d = 0;
+  for (OccId cur = occs_[id].parent; cur != kInvalidOcc;
+       cur = occs_[cur].parent) {
+    ++d;
+  }
+  return d;
+}
+
+bool MctSchema::IsNodeNormal(std::string* violation) const {
+  // (a) (color, er_node) must be unique: no ER node has two occurrences in
+  // one colored tree.
+  std::set<std::pair<ColorId, er::NodeId>> seen;
+  for (const SchemaOcc& o : occs_) {
+    if (!seen.insert({o.color, o.er_node}).second) {
+      if (violation) {
+        *violation = StringPrintf("node '%s' occurs twice in color %s",
+                                  diagram().node(o.er_node).name.c_str(),
+                                  color_name(o.color).c_str());
+      }
+      return false;
+    }
+  }
+  // (b) Every parent link must nest from the "one" side to the "many" side
+  // (be traversable). A link the other way forces instances of the child's
+  // ER node to be replicated under each parent instance — the very
+  // redundancy node normal form forbids (§3.2), even with a single schema
+  // occurrence.
+  for (const SchemaOcc& o : occs_) {
+    if (o.is_root()) continue;
+    const er::ErEdge& e = graph_->edge(o.via_edge);
+    if (!graph_->Traversable(e, occs_[o.parent].er_node)) {
+      if (violation) {
+        *violation = StringPrintf(
+            "'%s' nested under '%s' against the cardinality (instances "
+            "would be duplicated)",
+            diagram().node(o.er_node).name.c_str(),
+            diagram().node(occs_[o.parent].er_node).name.c_str());
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MctSchema::IsEdgeNormal(std::string* violation) const {
+  std::map<er::EdgeId, ColorId> edge_color;
+  for (const SchemaOcc& o : occs_) {
+    if (o.is_root()) continue;
+    auto [it, inserted] = edge_color.emplace(o.via_edge, o.color);
+    if (!inserted && it->second != o.color) {
+      if (violation) {
+        const er::ErEdge& e = graph_->edge(o.via_edge);
+        *violation = StringPrintf(
+            "ER edge %s--%s realized in colors %s and %s",
+            diagram().node(e.rel).name.c_str(),
+            diagram().node(e.node).name.c_str(),
+            color_name(it->second).c_str(), color_name(o.color).c_str());
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MctSchema::CoversAllNodes(std::string* missing) const {
+  std::vector<bool> covered(diagram().num_nodes(), false);
+  for (const SchemaOcc& o : occs_) covered[o.er_node] = true;
+  for (er::NodeId n = 0; n < diagram().num_nodes(); ++n) {
+    if (!covered[n]) {
+      if (missing) *missing = diagram().node(n).name;
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Icic> MctSchema::ComputeIcics() const {
+  std::map<er::EdgeId, std::vector<OccId>> by_edge;
+  for (const SchemaOcc& o : occs_) {
+    if (!o.is_root()) by_edge[o.via_edge].push_back(o.id);
+  }
+  std::vector<Icic> out;
+  for (auto& [edge, realizations] : by_edge) {
+    std::set<ColorId> colors;
+    for (OccId r : realizations) colors.insert(occs_[r].color);
+    if (colors.size() < 2) continue;
+    Icic icic;
+    icic.er_edge = edge;
+    icic.realizations = std::move(realizations);
+    icic.colors.assign(colors.begin(), colors.end());
+    out.push_back(std::move(icic));
+  }
+  return out;
+}
+
+SchemaStats MctSchema::Stats() const {
+  SchemaStats st;
+  st.num_colors = num_colors();
+  st.num_occurrences = occs_.size();
+  st.num_ref_edges = ref_edges_.size();
+  st.num_icics = ComputeIcics().size();
+  for (const SchemaOcc& o : occs_) {
+    st.max_depth = std::max(st.max_depth, Depth(o.id));
+  }
+  std::map<std::pair<ColorId, er::NodeId>, size_t> per_color;
+  for (const SchemaOcc& o : occs_) ++per_color[{o.color, o.er_node}];
+  std::set<er::NodeId> dup;
+  for (const auto& [key, count] : per_color) {
+    if (count > 1) dup.insert(key.second);
+  }
+  st.num_duplicated_er_nodes = dup.size();
+  return st;
+}
+
+Status MctSchema::Validate() const {
+  for (const SchemaOcc& o : occs_) {
+    if (o.er_node >= diagram().num_nodes()) {
+      return Status::Corruption("occurrence with dangling ER node");
+    }
+    if (o.is_root()) {
+      const auto& roots = color_roots_[o.color];
+      if (std::find(roots.begin(), roots.end(), o.id) == roots.end()) {
+        return Status::Corruption("root occurrence not registered as root");
+      }
+      continue;
+    }
+    const SchemaOcc& p = occs_[o.parent];
+    if (p.color != o.color) {
+      return Status::Corruption("parent link crosses colors");
+    }
+    if (std::find(p.children.begin(), p.children.end(), o.id) ==
+        p.children.end()) {
+      return Status::Corruption("child not registered under parent");
+    }
+    const er::ErEdge& e = graph_->edge(o.via_edge);
+    // The realized edge must connect exactly the two ER nodes involved...
+    bool matches = (e.rel == p.er_node && e.node == o.er_node) ||
+                   (e.node == p.er_node && e.rel == o.er_node);
+    if (!matches) {
+      return Status::Corruption("via_edge does not connect parent and child");
+    }
+    // Note: non-traversable parent->child links are legal here — DEEP/UNDR
+    // nest the "one" side under the "many" side on purpose. That choice
+    // costs node normal form (checked by IsNodeNormal), not validity.
+  }
+  // Acyclicity: parent ids may exceed child ids after AttachRoot, so walk
+  // each occurrence's ancestor chain with a visited cap.
+  for (const SchemaOcc& o : occs_) {
+    size_t steps = 0;
+    for (OccId cur = o.parent; cur != kInvalidOcc; cur = occs_[cur].parent) {
+      if (++steps > occs_.size()) {
+        return Status::Corruption("cycle in occurrence forest");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string MctSchema::DebugString() const {
+  std::string out =
+      StringPrintf("MctSchema '%s' over %s: %zu colors, %zu occurrences\n",
+                   name_.c_str(), diagram().name().c_str(), num_colors(),
+                   occs_.size());
+  // Ref edges grouped by source occurrence for the dump.
+  std::map<OccId, std::vector<const RefEdge*>> refs;
+  for (const RefEdge& r : ref_edges_) refs[r.from].push_back(&r);
+
+  for (ColorId c = 0; c < num_colors(); ++c) {
+    out += StringPrintf("(%s)\n", color_name(c).c_str());
+    // Iterative pre-order dump.
+    struct Item {
+      OccId id;
+      size_t depth;
+    };
+    std::vector<Item> stack;
+    for (auto it = color_roots_[c].rbegin(); it != color_roots_[c].rend();
+         ++it) {
+      stack.push_back({*it, 1});
+    }
+    while (!stack.empty()) {
+      Item item = stack.back();
+      stack.pop_back();
+      const SchemaOcc& o = occs_[item.id];
+      out += std::string(2 * item.depth, ' ');
+      out += diagram().node(o.er_node).name;
+      if (!o.is_root()) {
+        out += StringPrintf(" [%s]", ToString(ChildOccurs(o.id)));
+      }
+      if (auto it = refs.find(o.id); it != refs.end()) {
+        for (const RefEdge* r : it->second) {
+          out += " @" + r->attr_name;
+        }
+      }
+      out += "\n";
+      for (auto cit = o.children.rbegin(); cit != o.children.rend(); ++cit) {
+        stack.push_back({*cit, item.depth + 1});
+      }
+    }
+  }
+  auto icics = ComputeIcics();
+  if (!icics.empty()) {
+    out += StringPrintf("ICICs: %zu\n", icics.size());
+    for (const Icic& icic : icics) {
+      const er::ErEdge& e = graph_->edge(icic.er_edge);
+      out += StringPrintf("  %s--%s in %zu colors\n",
+                          diagram().node(e.rel).name.c_str(),
+                          diagram().node(e.node).name.c_str(),
+                          icic.colors.size());
+    }
+  }
+  return out;
+}
+
+}  // namespace mctdb::mct

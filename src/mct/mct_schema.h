@@ -1,0 +1,179 @@
+// The MCT schema of paper §2.3: a tuple (N, k, E_1..E_k, ICICs) — labeled
+// nodes, k colors, one ordered forest of edges per color, and inter-color
+// integrity constraints.
+//
+// Representation: *occurrence-based*. Each color holds a forest of schema
+// occurrences, every occurrence tagged with the ER-graph node it
+// instantiates and the ER edge its parent link realizes. This single
+// representation covers:
+//   * normalized MCT schemas (MC/MCMR/DUMC): <=1 occurrence per ER node per
+//     color — node normal form;
+//   * unfolded redundant schemas (DEEP, UNDR): several occurrences of one ER
+//     node inside a color;
+//   * id/idref designs (SHALLOW, AF): occurrences plus *ref edges* carrying
+//     the value-based associations.
+// A 1-color MctSchema is exactly an XML schema, so the single-color
+// translations of §4 share this type.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "er/er_graph.h"
+
+namespace mctdb::mct {
+
+using ColorId = uint16_t;
+using OccId = uint32_t;
+inline constexpr OccId kInvalidOcc = 0xFFFFFFFFu;
+
+/// Max-occurrence class of an occurrence under its parent, as it would print
+/// in a DTD / XML Schema: exactly one, optional, one-or-more, zero-or-more.
+enum class Occurs : uint8_t { kOne, kOpt, kPlus, kStar };
+const char* ToString(Occurs o);
+
+/// One appearance of an ER node inside one color's forest.
+struct SchemaOcc {
+  OccId id = kInvalidOcc;
+  er::NodeId er_node = er::kInvalidNode;
+  ColorId color = 0;
+  OccId parent = kInvalidOcc;            ///< kInvalidOcc for tree roots
+  er::EdgeId via_edge = er::kInvalidEdge;  ///< ER edge the parent link realizes
+  std::vector<OccId> children;
+
+  bool is_root() const { return parent == kInvalidOcc; }
+};
+
+/// Value-based (id/idref) association: occurrence `from` carries an idref
+/// attribute naming instances of ER node `target`, standing in for ER edge
+/// `er_edge` (which is then *not* structurally recoverable).
+struct RefEdge {
+  OccId from = kInvalidOcc;
+  er::EdgeId er_edge = er::kInvalidEdge;
+  er::NodeId target = er::kInvalidNode;
+  std::string attr_name;  ///< e.g. "item_idref"
+};
+
+/// Inter-color integrity constraint (§2.3): the same ER edge is realized
+/// structurally in >= 2 colors; a valid instance must reflect the
+/// association in all of them or none.
+struct Icic {
+  er::EdgeId er_edge = er::kInvalidEdge;
+  /// The child occurrences realizing the edge, one or more per color.
+  std::vector<OccId> realizations;
+  /// Distinct colors involved (>= 2 by construction).
+  std::vector<ColorId> colors;
+};
+
+/// Aggregate shape statistics, used by benches and the designer reports.
+struct SchemaStats {
+  size_t num_colors = 0;
+  size_t num_occurrences = 0;
+  size_t num_ref_edges = 0;
+  size_t num_icics = 0;
+  size_t max_depth = 0;
+  size_t num_duplicated_er_nodes = 0;  ///< ER nodes with >1 occ in some color
+};
+
+class MctSchema {
+ public:
+  /// `graph` must outlive the schema.
+  MctSchema(std::string name, const er::ErGraph* graph)
+      : name_(std::move(name)), graph_(graph) {}
+
+  const std::string& name() const { return name_; }
+  const er::ErGraph& graph() const { return *graph_; }
+  const er::ErDiagram& diagram() const { return graph_->diagram(); }
+
+  // -- construction ---------------------------------------------------------
+
+  /// Adds a color; names cycle through the paper's palette (blue, red,
+  /// purple, orange, green) then "color6"...
+  ColorId AddColor();
+  /// Adds a root occurrence of `er_node` to `color`'s forest.
+  OccId AddRoot(ColorId color, er::NodeId er_node);
+  /// Adds a child occurrence realizing ER edge `via_edge` (which must be
+  /// incident on both parent's and child's ER nodes).
+  OccId AddChild(OccId parent, er::NodeId er_node, er::EdgeId via_edge);
+  /// Re-roots occurrence `root` (must be a root) under `new_parent` via
+  /// `via_edge` — used by Algorithm MC's tree merging (Fig 7 step 4).
+  void AttachRoot(OccId root, OccId new_parent, er::EdgeId via_edge);
+  /// Records a value-based idref association.
+  void AddRefEdge(OccId from, er::EdgeId er_edge, er::NodeId target);
+
+  // -- accessors ------------------------------------------------------------
+
+  size_t num_colors() const { return color_roots_.size(); }
+  const std::string& color_name(ColorId c) const { return color_names_[c]; }
+  const std::vector<OccId>& roots(ColorId c) const { return color_roots_[c]; }
+  const SchemaOcc& occ(OccId id) const { return occs_[id]; }
+  size_t num_occurrences() const { return occs_.size(); }
+  const std::vector<SchemaOcc>& occurrences() const { return occs_; }
+  const std::vector<RefEdge>& ref_edges() const { return ref_edges_; }
+
+  /// All occurrences of `er_node` (across colors).
+  std::vector<OccId> OccurrencesOf(er::NodeId er_node) const;
+  /// First occurrence of `er_node` in `color`, or kInvalidOcc.
+  OccId FindOcc(ColorId color, er::NodeId er_node) const;
+  /// The *primary* occurrence of `er_node` in `color`: the one with the
+  /// largest subtree (ties: lowest id), or kInvalidOcc. In node-normal
+  /// colors this is the unique occurrence. The materializer guarantees
+  /// every logical instance is placed at its primary occurrence, so
+  /// chain matching anchored at primary (or root) occurrences sees every
+  /// association pair — redundant graft/copy occurrences cover only the
+  /// instances their context reaches.
+  OccId PrimaryOcc(ColorId color, er::NodeId er_node) const;
+  /// Number of occurrences in the subtree rooted at `id` (inclusive).
+  size_t SubtreeSize(OccId id) const;
+  /// An occurrence is *clean* when every link on its root path nests from
+  /// the one side to the many side (all-traversable): its placements never
+  /// duplicate an instance. The materializer completes every logical
+  /// instance at every clean occurrence, so chain matching anchored at
+  /// clean (or root) occurrences sees every association pair; unclean
+  /// occurrences are denormalized context grafts with partial coverage.
+  bool IsCleanOcc(OccId id) const;
+  /// True iff `anc` is a proper ancestor of `desc` (same color implied by
+  /// the forest structure).
+  bool IsAncestor(OccId anc, OccId desc) const;
+  /// Max-occurrence class of `child` under its parent, derived from the
+  /// realized ER edge's cardinality/totality (§4.2 constraint mapping).
+  Occurs ChildOccurs(OccId child) const;
+  /// Depth of occurrence (roots are 0).
+  size_t Depth(OccId id) const;
+
+  // -- the paper's normal forms (§3.2) -------------------------------------
+
+  /// Node normal form: no ER node occurs more than once in any single color.
+  bool IsNodeNormal(std::string* violation = nullptr) const;
+  /// Edge normal form: no ER edge is structurally realized in more than one
+  /// color. (A single-color schema is trivially EN — Fig 4 discussion.)
+  bool IsEdgeNormal(std::string* violation = nullptr) const;
+  /// Every ER node has at least one occurrence somewhere.
+  bool CoversAllNodes(std::string* missing = nullptr) const;
+
+  /// The induced ICIC set: one per ER edge realized in >= 2 colors. An edge
+  /// normal schema has an empty ICIC set.
+  std::vector<Icic> ComputeIcics() const;
+
+  SchemaStats Stats() const;
+
+  /// Structural invariants: parent/child ids consistent, via_edge incident
+  /// on both ER endpoints and traversable parent->child, colors consistent,
+  /// forests acyclic.
+  Status Validate() const;
+
+  /// Per-color indented tree dump with *,+,? markers and @idref attributes.
+  std::string DebugString() const;
+
+ private:
+  std::string name_;
+  const er::ErGraph* graph_;
+  std::vector<SchemaOcc> occs_;
+  std::vector<std::string> color_names_;
+  std::vector<std::vector<OccId>> color_roots_;
+  std::vector<RefEdge> ref_edges_;
+};
+
+}  // namespace mctdb::mct

@@ -1,0 +1,99 @@
+#include "mct/schema_export.h"
+
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace mctdb::mct {
+
+std::string ExportDtd(const MctSchema& schema) {
+  const er::ErDiagram& diagram = schema.diagram();
+  std::string out;
+  std::map<OccId, std::vector<const RefEdge*>> refs;
+  for (const RefEdge& r : schema.ref_edges()) refs[r.from].push_back(&r);
+
+  for (ColorId c = 0; c < schema.num_colors(); ++c) {
+    out += StringPrintf("<!-- color: %s -->\n",
+                        schema.color_name(c).c_str());
+    for (const SchemaOcc& occ : schema.occurrences()) {
+      if (occ.color != c) continue;
+      const er::ErNode& node = diagram.node(occ.er_node);
+      // Content model.
+      std::string model;
+      for (OccId child : occ.children) {
+        if (!model.empty()) model += ", ";
+        model += diagram.node(schema.occ(child).er_node).name;
+        Occurs o = schema.ChildOccurs(child);
+        if (o != Occurs::kOne) model += ToString(o);
+      }
+      if (model.empty()) model = "EMPTY";
+      out += StringPrintf("<!ELEMENT %s (%s)>\n", node.name.c_str(),
+                          model.c_str());
+      // Attributes: declared attrs + idrefs held here.
+      std::string attlist;
+      for (const er::Attribute& a : node.attributes) {
+        attlist += StringPrintf("  %s %s #%s\n", a.name.c_str(),
+                                a.is_key ? "ID" : "CDATA",
+                                a.is_key ? "REQUIRED" : "IMPLIED");
+      }
+      if (auto it = refs.find(occ.id); it != refs.end()) {
+        for (const RefEdge* r : it->second) {
+          attlist +=
+              StringPrintf("  %s IDREF #REQUIRED\n", r->attr_name.c_str());
+        }
+      }
+      if (!attlist.empty()) {
+        out += StringPrintf("<!ATTLIST %s\n%s>\n", node.name.c_str(),
+                            attlist.c_str());
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string ExportDot(const MctSchema& schema) {
+  const er::ErDiagram& diagram = schema.diagram();
+  std::string out = "digraph \"" + schema.name() + "\" {\n";
+  out += "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  // ICIC-constrained ER edges, for dashed styling.
+  std::set<er::EdgeId> constrained;
+  for (const Icic& icic : schema.ComputeIcics()) {
+    constrained.insert(icic.er_edge);
+  }
+  static const char* kDotColors[] = {"blue",   "red",    "purple",
+                                     "orange", "green",  "brown",
+                                     "cyan",   "magenta"};
+  for (ColorId c = 0; c < schema.num_colors(); ++c) {
+    const char* dot_color = kDotColors[c % 8];
+    out += StringPrintf("  subgraph cluster_%u {\n", unsigned(c));
+    out += StringPrintf("    label=\"%s\"; color=%s;\n",
+                        schema.color_name(c).c_str(), dot_color);
+    for (const SchemaOcc& occ : schema.occurrences()) {
+      if (occ.color != c) continue;
+      out += StringPrintf("    o%u [label=\"%s\"];\n", occ.id,
+                          diagram.node(occ.er_node).name.c_str());
+    }
+    for (const SchemaOcc& occ : schema.occurrences()) {
+      if (occ.color != c || occ.is_root()) continue;
+      bool dashed = constrained.count(occ.via_edge) > 0;
+      out += StringPrintf("    o%u -> o%u [color=%s%s, label=\"%s\"];\n",
+                          occ.parent, occ.id, dot_color,
+                          dashed ? ", style=dashed" : "",
+                          ToString(schema.ChildOccurs(occ.id)));
+    }
+    out += "  }\n";
+  }
+  for (const RefEdge& r : schema.ref_edges()) {
+    // Ref edges point to the first occurrence of the target.
+    OccId target = schema.FindOcc(schema.occ(r.from).color, r.target);
+    if (target == kInvalidOcc) continue;
+    out += StringPrintf("  o%u -> o%u [style=dotted, label=\"%s\"];\n",
+                        r.from, target, r.attr_name.c_str());
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace mctdb::mct

@@ -1,0 +1,23 @@
+// Rendering MCT schemas as conventional schema artifacts:
+//   * a DTD-like content-model listing per color (element declarations with
+//     ?, *, + occurrence markers and idref attributes), and
+//   * a GraphViz dot rendering of the colored forests (one cluster per
+//     color, ICIC-constrained edges dashed) — handy for eyeballing our
+//     regenerated Fig 5.
+#pragma once
+
+#include <string>
+
+#include "mct/mct_schema.h"
+
+namespace mctdb::mct {
+
+/// DTD-flavored text: one ELEMENT declaration per occurrence's content
+/// model per color, ATTLIST lines for keys, data attributes and idrefs.
+std::string ExportDtd(const MctSchema& schema);
+
+/// GraphViz source: subgraph cluster per color; nodes labeled with the ER
+/// type; edges labeled with occurrence cardinality; ref edges dotted.
+std::string ExportDot(const MctSchema& schema);
+
+}  // namespace mctdb::mct

@@ -1,0 +1,410 @@
+#include "query/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "query/structural_join.h"
+
+namespace mctdb::query {
+
+namespace {
+
+using storage::ElemId;
+using storage::LabelEntry;
+
+void SortByStart(std::vector<LabelEntry>* v) {
+  std::sort(v->begin(), v->end(),
+            [](const LabelEntry& a, const LabelEntry& b) {
+              return a.start < b.start;
+            });
+}
+
+/// The name of a node type's key attribute ("id" in the catalog; the first
+/// declared key otherwise).
+const std::string* KeyAttrName(const er::ErDiagram& d, er::NodeId node) {
+  for (const er::Attribute& a : d.node(node).attributes) {
+    if (a.is_key) return &a.name;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Executor::Binding Executor::ScanTag(mct::ColorId color, er::NodeId tag,
+                                    const AttrPredicate* predicate) {
+  Binding out;
+  const storage::PostingMeta* meta = store_->Posting(color, tag);
+  if (meta == nullptr) return out;
+  storage::PostingCursor cursor(store_->buffer_pool(), meta);
+  LabelEntry e;
+  while (cursor.Next(&e)) {
+    if (predicate != nullptr) {
+      const std::string* v = store_->AttrValue(e.elem, predicate->attr);
+      if (v == nullptr || *v != predicate->value) continue;
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+Executor::Binding Executor::FilterPredicate(Binding in,
+                                            const AttrPredicate& predicate) {
+  Binding out;
+  out.reserve(in.size());
+  for (const LabelEntry& e : in) {
+    const std::string* v = store_->AttrValue(e.elem, predicate.attr);
+    if (v != nullptr && *v == predicate.value) out.push_back(e);
+  }
+  return out;
+}
+
+Executor::Binding Executor::CrossTo(const Binding& in,
+                                    mct::ColorId from_color,
+                                    mct::ColorId color) {
+  if (from_color == color) return in;
+  Binding out;
+  std::unordered_set<uint64_t> seen;
+  for (const LabelEntry& e : in) {
+    // Re-anchor through the logical instance to EVERY placement in the
+    // target color: the shared element's own placement there may be a
+    // context graft with no substructure, while a copy sits at the primary
+    // position — both must join.
+    const storage::ElementMeta& meta = store_->element(e.elem);
+    for (ElemId sibling : store_->ElementsFor(meta.er_node, meta.logical)) {
+      LabelEntry label;
+      if (store_->Label(color, sibling, &label) &&
+          seen.insert(label.elem).second) {
+        out.push_back(label);
+      }
+    }
+  }
+  SortByStart(&out);
+  return out;
+}
+
+Executor::Binding Executor::EvalEdge(const EdgePlan& edge,
+                                     const PatternNode& node,
+                                     Binding* parent,
+                                     mct::ColorId* parent_color,
+                                     bool reduce_parent,
+                                     mct::ColorId* out_color) {
+  const er::ErDiagram& diagram = store_->schema().diagram();
+  const auto& path = node.path_from_parent;
+
+  // Intermediate bindings per path position, for the backward reduction.
+  struct Stage {
+    Binding binding;
+    mct::ColorId color = 0;
+    bool structural = false;
+  };
+  std::vector<Stage> stages;  // one entry PER SEGMENT BOUNDARY (start incl.)
+
+  Binding current = *parent;
+  mct::ColorId current_color = *parent_color;
+  stages.push_back({current, current_color, false});
+
+  for (const Segment& seg : edge.segments) {
+    if (seg.kind == SegmentKind::kValueJoin) {
+      const er::ErEdge& e = store_->schema().graph().edge(seg.ref_edge);
+      er::NodeId from_type = path[seg.from_index];
+      er::NodeId to_type = path[seg.to_index];
+      // The rel side holds the "<target>_idref" attribute.
+      std::string idref_attr = diagram.node(e.node).name + "_idref";
+      // Value joins only arise in single-color schemas; the probe/build
+      // side is scanned wherever the tag lives (color 0).
+      mct::ColorId c = 0;
+      Binding next;
+      if (from_type == e.rel) {
+        // rel -> endpoint: build hash endpoint-key -> entries, probe with
+        // idref values.
+        const std::string* key_attr = KeyAttrName(diagram, to_type);
+        MCTDB_CHECK(key_attr != nullptr);
+        Binding endpoints = ScanTag(c, to_type, nullptr);
+        std::unordered_map<std::string, std::vector<size_t>> by_key;
+        for (size_t i = 0; i < endpoints.size(); ++i) {
+          const std::string* k =
+              store_->AttrValue(endpoints[i].elem, *key_attr);
+          if (k != nullptr) by_key[*k].push_back(i);
+        }
+        std::unordered_set<ElemId> taken;
+        for (const LabelEntry& relem : current) {
+          const std::string* ref =
+              store_->AttrValue(relem.elem, idref_attr);
+          if (ref == nullptr) continue;
+          auto hit = by_key.find(*ref);
+          if (hit == by_key.end()) continue;
+          for (size_t i : hit->second) {
+            if (taken.insert(endpoints[i].elem).second) {
+              next.push_back(endpoints[i]);
+            }
+          }
+        }
+      } else {
+        // endpoint -> rel: build hash over rel idrefs, probe with endpoint
+        // keys.
+        const std::string* key_attr = KeyAttrName(diagram, from_type);
+        MCTDB_CHECK(key_attr != nullptr);
+        Binding rels = ScanTag(c, to_type, nullptr);
+        std::unordered_map<std::string, std::vector<size_t>> by_ref;
+        for (size_t i = 0; i < rels.size(); ++i) {
+          const std::string* ref = store_->AttrValue(rels[i].elem, idref_attr);
+          if (ref != nullptr) by_ref[*ref].push_back(i);
+        }
+        std::unordered_set<ElemId> taken;
+        for (const LabelEntry& elem : current) {
+          const std::string* k = store_->AttrValue(elem.elem, *key_attr);
+          if (k == nullptr) continue;
+          auto hit = by_ref.find(*k);
+          if (hit == by_ref.end()) continue;
+          for (size_t i : hit->second) {
+            if (taken.insert(rels[i].elem).second) next.push_back(rels[i]);
+          }
+        }
+      }
+      SortByStart(&next);
+      current = std::move(next);
+      current_color = c;
+      stages.push_back({current, current_color, false});
+      continue;
+    }
+
+    // Structural segment: cross into the segment color first.
+    current = CrossTo(current, current_color, seg.color);
+    current_color = seg.color;
+    size_t steps = seg.kind == SegmentKind::kAncDesc
+                       ? 1
+                       : seg.to_index - seg.from_index;
+    for (size_t step = 0; step < steps; ++step) {
+      er::NodeId next_type =
+          seg.kind == SegmentKind::kAncDesc
+              ? path[seg.to_index]
+              : path[seg.from_index + step + 1];
+      Binding candidates = ScanTag(seg.color, next_type, nullptr);
+      StructuralJoinOptions opts;
+      opts.parent_child_only =
+          seg.kind == SegmentKind::kStepChain ||
+          (seg.to_index - seg.from_index) == 1;
+      StructuralJoinResult joined;
+      if (!seg.reversed) {
+        joined = StackTreeJoin(current, candidates, opts);
+        current = std::move(joined.descendants);
+      } else {
+        joined = StackTreeJoin(candidates, current, opts);
+        current = std::move(joined.ancestors);
+      }
+    }
+    stages.push_back({current, current_color, true});
+  }
+
+  // Child predicate.
+  if (node.predicate.has_value()) {
+    current = FilterPredicate(std::move(current), *node.predicate);
+  }
+
+  if (reduce_parent && !current.empty()) {
+    // Walk the segments backward, reducing each stage to members that
+    // reach the surviving children; the final stage reduces *parent.
+    Binding survivors = current;
+    mct::ColorId survivor_color = current_color;
+    for (size_t si = edge.segments.size(); si-- > 0;) {
+      const Segment& seg = edge.segments[si];
+      Binding& upper = stages[si].binding;
+      mct::ColorId upper_color = stages[si].color;
+      if (seg.kind == SegmentKind::kValueJoin) {
+        // Reverse the value join: survivors' keys/refs back to upper.
+        const er::ErEdge& e = store_->schema().graph().edge(seg.ref_edge);
+        std::string idref_attr = diagram.node(e.node).name + "_idref";
+        er::NodeId from_type = path[seg.from_index];
+        Binding reduced;
+        if (from_type == e.rel) {
+          // upper = rel side; survivor keys identify endpoints.
+          const std::string* key_attr =
+              KeyAttrName(diagram, path[seg.to_index]);
+          std::unordered_set<std::string> keys;
+          for (const LabelEntry& s : survivors) {
+            const std::string* k = store_->AttrValue(s.elem, *key_attr);
+            if (k != nullptr) keys.insert(*k);
+          }
+          for (const LabelEntry& u : upper) {
+            const std::string* ref = store_->AttrValue(u.elem, idref_attr);
+            if (ref != nullptr && keys.count(*ref)) reduced.push_back(u);
+          }
+        } else {
+          const std::string* key_attr =
+              KeyAttrName(diagram, path[seg.from_index]);
+          std::unordered_set<std::string> refs;
+          for (const LabelEntry& s : survivors) {
+            const std::string* r = store_->AttrValue(s.elem, idref_attr);
+            if (r != nullptr) refs.insert(*r);
+          }
+          for (const LabelEntry& u : upper) {
+            const std::string* k = store_->AttrValue(u.elem, *key_attr);
+            if (k != nullptr && refs.count(*k)) reduced.push_back(u);
+          }
+        }
+        survivors = std::move(reduced);
+        survivor_color = upper_color;
+        continue;
+      }
+      // Structural: join upper (crossed into the segment color) against
+      // survivors and keep the matched side.
+      Binding upper_in_color = CrossTo(upper, upper_color, seg.color);
+      Binding surv_in_color = CrossTo(survivors, survivor_color, seg.color);
+      SortByStart(&upper_in_color);
+      SortByStart(&surv_in_color);
+      StructuralJoinOptions opts;  // a-d suffices for reduction
+      StructuralJoinResult joined;
+      if (!seg.reversed) {
+        joined = StackTreeJoin(upper_in_color, surv_in_color, opts);
+        survivors = std::move(joined.ancestors);
+      } else {
+        joined = StackTreeJoin(surv_in_color, upper_in_color, opts);
+        survivors = std::move(joined.descendants);
+      }
+      survivor_color = seg.color;
+    }
+    // Map survivors back to the parent's identity set BY LOGICAL INSTANCE:
+    // in a redundant schema the filter branch may have matched one stored
+    // copy of the parent while the output branch navigates another, and
+    // the semantics of the filter is about the logical node.
+    std::unordered_set<uint64_t> keep;
+    auto logical_key = [&](ElemId elem) {
+      const storage::ElementMeta& meta = store_->element(elem);
+      return (uint64_t(meta.er_node) << 32) | meta.logical;
+    };
+    for (const LabelEntry& e : survivors) keep.insert(logical_key(e.elem));
+    Binding reduced_parent;
+    for (const LabelEntry& e : *parent) {
+      if (keep.count(logical_key(e.elem))) reduced_parent.push_back(e);
+    }
+    *parent = std::move(reduced_parent);
+  } else if (reduce_parent) {
+    parent->clear();
+  }
+
+  *out_color = current_color;
+  return current;
+}
+
+Result<ExecResult> Executor::Execute(const QueryPlan& plan) {
+  const AssociationQuery& query = *plan.query;
+  auto start_time = std::chrono::steady_clock::now();
+  uint64_t misses0 = store_->buffer_pool()->misses();
+  uint64_t hits0 = store_->buffer_pool()->hits();
+
+  const size_t n = query.nodes.size();
+  std::vector<Binding> bindings(n);
+  std::vector<mct::ColorId> colors(n, 0);
+  std::vector<bool> evaluated(n, false);
+
+  // Spine: root .. output.
+  std::vector<bool> on_spine(n, false);
+  for (int cur = query.output; cur >= 0; cur = query.nodes[cur].parent) {
+    on_spine[cur] = true;
+  }
+
+  // Anchor.
+  const PatternNode& root = query.nodes[0];
+  const AttrPredicate* root_pred =
+      root.predicate.has_value() ? &*root.predicate : nullptr;
+  bindings[0] = ScanTag(plan.anchor_color, root.er_node, root_pred);
+  colors[0] = plan.anchor_color;
+  evaluated[0] = true;
+
+  // Children of each pattern node, in declaration order, filter branches
+  // before the spine child.
+  std::vector<std::vector<int>> children(n);
+  for (size_t i = 1; i < n; ++i) {
+    children[query.nodes[i].parent].push_back(static_cast<int>(i));
+  }
+  for (auto& c : children) {
+    std::stable_sort(c.begin(), c.end(), [&](int a, int b) {
+      return !on_spine[a] && on_spine[b];
+    });
+  }
+
+  // The edge plan for pattern node i.
+  std::vector<const EdgePlan*> edge_of(n, nullptr);
+  for (const EdgePlan& e : plan.edges) edge_of[e.pattern_node] = &e;
+
+  // Depth-first evaluation; non-spine children reduce their parent.
+  std::vector<int> order;
+  std::vector<int> stack{0};
+  while (!stack.empty()) {
+    int u = stack.back();
+    stack.pop_back();
+    order.push_back(u);
+    for (auto it = children[u].rbegin(); it != children[u].rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  for (int u : order) {
+    if (u == 0) continue;
+    const PatternNode& node = query.nodes[u];
+    int p = node.parent;
+    MCTDB_CHECK(evaluated[p]);
+    mct::ColorId out_color = colors[p];
+    bool reduce = !on_spine[u];
+    bindings[u] = EvalEdge(*edge_of[u], node, &bindings[p], &colors[p],
+                           reduce, &out_color);
+    colors[u] = out_color;
+    evaluated[u] = true;
+  }
+
+  // If filter branches reduced ancestors of the output AFTER the output's
+  // branch ran, the query's edge ordering was wrong; queries are declared
+  // filters-first, and the DFS respects it, so the output binding is final.
+  ExecResult result;
+  const Binding& out_binding = bindings[query.output];
+  result.raw_count = out_binding.size();
+  std::set<uint32_t> unique;
+  for (const LabelEntry& e : out_binding) {
+    unique.insert(store_->element(e.elem).logical);
+  }
+  result.unique_count = unique.size();
+  result.logicals.assign(unique.begin(), unique.end());
+
+  if (query.group_by.has_value()) {
+    for (uint32_t logical : result.logicals) {
+      auto elems = store_->ElementsFor(
+          query.nodes[query.output].er_node, logical);
+      if (elems.empty()) continue;
+      const std::string* v =
+          store_->AttrValue(elems[0], query.group_by->attr);
+      if (v != nullptr) ++result.groups[*v];
+    }
+  }
+
+  if (query.is_update()) {
+    er::NodeId type = query.nodes[query.output].er_node;
+    uint32_t name_id = store_->FindAttrName(query.update->attr);
+    MCTDB_CHECK(name_id != UINT32_MAX);
+    for (uint32_t logical : result.logicals) {
+      std::vector<ElemId> elems = store_->ElementsFor(type, logical);
+      for (ElemId elem : elems) {
+        store_->UpdateAttrValue(elem, name_id, query.update->new_value);
+        ++result.elements_updated;
+        // ICIC/color maintenance: touch the element's label in every color
+        // it participates in (the non-EN price §6.1 describes).
+        for (mct::ColorId c = 0; c < store_->schema().num_colors(); ++c) {
+          LabelEntry tmp;
+          if (store_->Label(c, elem, &tmp)) ++result.icic_color_touches;
+        }
+      }
+      ++result.logicals_updated;
+    }
+  }
+
+  auto end_time = std::chrono::steady_clock::now();
+  result.elapsed_seconds =
+      std::chrono::duration<double>(end_time - start_time).count();
+  result.page_misses = store_->buffer_pool()->misses() - misses0;
+  result.page_hits = store_->buffer_pool()->hits() - hits0;
+  return result;
+}
+
+}  // namespace mctdb::query

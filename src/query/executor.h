@@ -1,0 +1,78 @@
+// Executor: runs a QueryPlan against an MctStore.
+//
+// Evaluation is binding-set based (TIMBER-style twig evaluation): the
+// anchor tag is scanned in the plan's anchor color, then each pattern edge
+// is evaluated segment by segment — stack-tree structural joins for
+// structural segments, hash joins on id/idref values for value segments,
+// logical-identity re-anchoring for color crossings. Filter branches (below
+// pattern nodes off the root-to-output spine) reduce their parent binding
+// by joining back up, so every schema returns the same logical result set.
+//
+// Costs are real: posting scans go through the buffer pool (page misses
+// counted), value joins build their hash table from a full scan of the
+// build side, and updates rewrite every redundant copy.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/plan.h"
+#include "storage/store.h"
+
+namespace mctdb::query {
+
+struct ExecResult {
+  /// Output logical instance ids after duplicate elimination (the
+  /// canonical result, equal across schemas of one logical instance).
+  std::vector<uint32_t> logicals;
+  /// Stored-element matches before elimination (Table 1 reports the
+  /// parenthesized duplicate counts for DEEP/UNDR from this).
+  size_t raw_count = 0;
+  size_t unique_count = 0;
+  size_t duplicates() const { return raw_count - unique_count; }
+
+  /// Group-by output (value -> count), when the query groups.
+  std::map<std::string, size_t> groups;
+
+  // Updates.
+  size_t logicals_updated = 0;
+  size_t elements_updated = 0;  ///< includes redundant copies
+  size_t icic_color_touches = 0;
+
+  double elapsed_seconds = 0.0;
+  uint64_t page_misses = 0;
+  uint64_t page_hits = 0;
+};
+
+class Executor {
+ public:
+  explicit Executor(storage::MctStore* store) : store_(store) {}
+
+  Result<ExecResult> Execute(const QueryPlan& plan);
+
+ private:
+  using Binding = std::vector<storage::LabelEntry>;
+
+  /// Scan a tag's posting list in a color, optionally filtering by an
+  /// attribute predicate.
+  Binding ScanTag(mct::ColorId color, er::NodeId tag,
+                  const AttrPredicate* predicate);
+  Binding FilterPredicate(Binding in, const AttrPredicate& predicate);
+  /// Re-anchor a binding into `color` via shared node identity (the color
+  /// crossing primitive).
+  Binding CrossTo(const Binding& in, mct::ColorId from_color,
+                  mct::ColorId color);
+
+  /// Evaluate one edge: parent binding (labeled in `parent_color`) to child
+  /// binding. When `reduce_parent`, also shrink *parent to members with at
+  /// least one match (filter-branch semantics).
+  Binding EvalEdge(const EdgePlan& edge, const PatternNode& node,
+                   Binding* parent, mct::ColorId* parent_color,
+                   bool reduce_parent, mct::ColorId* out_color);
+
+  storage::MctStore* store_;
+};
+
+}  // namespace mctdb::query

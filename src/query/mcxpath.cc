@@ -1,0 +1,173 @@
+#include "query/mcxpath.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "query/structural_join.h"
+
+namespace mctdb::query {
+
+std::string McXPath::ToString() const {
+  std::string out;
+  for (const McXPathStep& s : steps) {
+    out += s.descendant ? "//" : "/";
+    if (!s.color.empty()) out += "(" + s.color + ")";
+    out += s.tag;
+    if (!s.pred_attr.empty()) {
+      out += "[@" + s.pred_attr + "='" + s.pred_value + "']";
+    }
+  }
+  return out;
+}
+
+Result<McXPath> ParseMcXPath(std::string_view text) {
+  McXPath path;
+  size_t pos = 0;
+  auto error = [&](const std::string& msg) {
+    return Status::InvalidArgument(
+        StringPrintf("offset %zu: %s", pos, msg.c_str()));
+  };
+  auto name_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-';
+  };
+  while (pos < text.size()) {
+    McXPathStep step;
+    if (text[pos] != '/') return error("expected '/'");
+    ++pos;
+    if (pos < text.size() && text[pos] == '/') {
+      step.descendant = true;
+      ++pos;
+    }
+    if (pos < text.size() && text[pos] == '(') {
+      ++pos;
+      size_t start = pos;
+      while (pos < text.size() && text[pos] != ')') ++pos;
+      if (pos == text.size()) return error("unterminated color");
+      step.color = std::string(text.substr(start, pos - start));
+      ++pos;
+    }
+    size_t start = pos;
+    while (pos < text.size() && name_char(text[pos])) ++pos;
+    if (pos == start) return error("expected tag name");
+    step.tag = std::string(text.substr(start, pos - start));
+    if (pos < text.size() && text[pos] == '[') {
+      ++pos;
+      if (pos >= text.size() || text[pos] != '@') {
+        return error("expected '@attr' predicate");
+      }
+      ++pos;
+      start = pos;
+      while (pos < text.size() && name_char(text[pos])) ++pos;
+      step.pred_attr = std::string(text.substr(start, pos - start));
+      if (pos + 1 >= text.size() || text[pos] != '=' || text[pos + 1] != '\'') {
+        return error("expected ='value'");
+      }
+      pos += 2;
+      start = pos;
+      while (pos < text.size() && text[pos] != '\'') ++pos;
+      if (pos == text.size()) return error("unterminated value");
+      step.pred_value = std::string(text.substr(start, pos - start));
+      ++pos;
+      if (pos >= text.size() || text[pos] != ']') return error("expected ']'");
+      ++pos;
+    }
+    path.steps.push_back(std::move(step));
+  }
+  if (path.steps.empty()) return Status::InvalidArgument("empty path");
+  return path;
+}
+
+namespace {
+
+using storage::ElemId;
+using storage::LabelEntry;
+
+Result<mct::ColorId> ResolveColor(const mct::MctSchema& schema,
+                                  const std::string& name) {
+  for (mct::ColorId c = 0; c < schema.num_colors(); ++c) {
+    if (schema.color_name(c) == name) return c;
+  }
+  return Status::NotFound("no color named '" + name + "'");
+}
+
+Result<er::NodeId> ResolveTag(const er::ErDiagram& diagram,
+                              const std::string& name) {
+  auto node = diagram.FindNode(name);
+  if (!node.has_value()) {
+    return Status::NotFound("no element type named '" + name + "'");
+  }
+  return *node;
+}
+
+}  // namespace
+
+Result<McXPathResult> EvalMcXPath(const McXPath& path,
+                                  const storage::MctStore& store) {
+  const mct::MctSchema& schema = store.schema();
+  McXPathResult result;
+  std::vector<LabelEntry> binding;
+  mct::ColorId color = 0;
+  bool first = true;
+
+  for (const McXPathStep& step : path.steps) {
+    mct::ColorId step_color = color;
+    if (!step.color.empty()) {
+      MCTDB_ASSIGN_OR_RETURN(step_color, ResolveColor(schema, step.color));
+    }
+    MCTDB_ASSIGN_OR_RETURN(er::NodeId tag,
+                           ResolveTag(schema.diagram(), step.tag));
+    // Scan the step tag's posting in the step color.
+    std::vector<LabelEntry> candidates;
+    const storage::PostingMeta* meta = store.Posting(step_color, tag);
+    if (meta != nullptr) {
+      storage::PostingCursor cursor(store.buffer_pool(), meta);
+      LabelEntry e;
+      while (cursor.Next(&e)) {
+        if (!step.pred_attr.empty()) {
+          const std::string* v = store.AttrValue(e.elem, step.pred_attr);
+          if (v == nullptr || *v != step.pred_value) continue;
+        }
+        candidates.push_back(e);
+      }
+    }
+    if (first) {
+      binding = std::move(candidates);
+      first = false;
+    } else {
+      // Color crossing: re-anchor the current binding.
+      if (step_color != color) {
+        ++result.color_crossings;
+        std::vector<LabelEntry> crossed;
+        std::unordered_set<ElemId> seen;
+        for (const LabelEntry& e : binding) {
+          const storage::ElementMeta& meta2 = store.element(e.elem);
+          for (ElemId sibling :
+               store.ElementsFor(meta2.er_node, meta2.logical)) {
+            LabelEntry label;
+            if (store.Label(step_color, sibling, &label) &&
+                seen.insert(label.elem).second) {
+              crossed.push_back(label);
+            }
+          }
+        }
+        std::sort(crossed.begin(), crossed.end(),
+                  [](const LabelEntry& a, const LabelEntry& b) {
+                    return a.start < b.start;
+                  });
+        binding = std::move(crossed);
+      }
+      StructuralJoinOptions opts;
+      opts.parent_child_only = !step.descendant;
+      ++result.structural_joins;
+      binding = StackTreeJoin(binding, candidates, opts).descendants;
+    }
+    color = step_color;
+  }
+  result.elements.reserve(binding.size());
+  for (const LabelEntry& e : binding) result.elements.push_back(e.elem);
+  return result;
+}
+
+}  // namespace mctdb::query

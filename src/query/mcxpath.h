@@ -1,0 +1,59 @@
+// Multi-colored XPath (paper §2.2): "each axis step in a path expression
+// needs to be augmented with a color, identifying the colored tree in which
+// the navigation is desired."
+//
+// Supported grammar (enough for the paper's examples):
+//
+//   path   := step+
+//   step   := ('/' | '//') [ '(' color ')' ] tag [ '[' pred ']' ]
+//   pred   := '@' attr '=' '\'' value '\''
+//
+// Examples:
+//   /country[@name='Japan']//order                   (single-color schema)
+//   /(blue)country[@name='Japan']//(blue)order       (Q1 on the EN schema)
+//   /(red)address//(red)billing/(blue)order          (color crossing at the
+//                                                      shared billing node)
+//
+// A step with no color inherits the previous step's color (the first step
+// defaults to the schema's first color). Evaluation runs directly on an
+// MctStore: '/' is a parent-child structural join, '//' ancestor-
+// descendant, and a color change re-anchors via shared node identity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/store.h"
+
+namespace mctdb::query {
+
+struct McXPathStep {
+  bool descendant = false;  ///< '//' vs '/'
+  std::string color;        ///< empty = inherit
+  std::string tag;
+  std::string pred_attr;    ///< empty = no predicate
+  std::string pred_value;
+};
+
+struct McXPath {
+  std::vector<McXPathStep> steps;
+  std::string ToString() const;
+};
+
+/// Parses an expression; InvalidArgument with offset info on bad syntax.
+Result<McXPath> ParseMcXPath(std::string_view text);
+
+struct McXPathResult {
+  std::vector<storage::ElemId> elements;
+  size_t structural_joins = 0;
+  size_t color_crossings = 0;
+};
+
+/// Evaluates against a store. Tags and colors must exist in the store's
+/// schema. Results are the final step's matching elements in document order
+/// of the final color.
+Result<McXPathResult> EvalMcXPath(const McXPath& path,
+                                  const storage::MctStore& store);
+
+}  // namespace mctdb::query

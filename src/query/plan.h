@@ -1,0 +1,80 @@
+// Query plans and the complexity surrogates the paper measures.
+//
+// A plan records, per pattern edge, how its association path is recovered
+// against the chosen schema: as one ancestor-descendant structural join
+// (direct recoverability), as a chain of parent-child structural joins (the
+// path exists in one color but an a-d step would be ambiguous among
+// redundant occurrences), via color crossings between per-color segments,
+// or via id/idref value joins. The op counts are exactly the §6 metrics:
+// structural joins (Fig 8/12), value joins + color crossings (Fig 9/13),
+// duplicate eliminations / duplicate updates / group-bys (Fig 10/14).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mct/mct_schema.h"
+#include "query/query_spec.h"
+
+namespace mctdb::query {
+
+enum class SegmentKind : uint8_t {
+  kAncDesc,    ///< one ancestor-descendant structural join in one color
+  kStepChain,  ///< parent-child structural join per path step, one color
+  kValueJoin,  ///< one id/idref value join for one ER edge
+};
+const char* ToString(SegmentKind k);
+
+struct Segment {
+  SegmentKind kind = SegmentKind::kAncDesc;
+  mct::ColorId color = 0;       ///< structural kinds only
+  size_t from_index = 0;        ///< node index range into path_from_parent
+  size_t to_index = 0;
+  /// Chain realized with the pattern-child side as the tree ancestor
+  /// (recovered with a parent/ancestor axis step).
+  bool reversed = false;
+  er::EdgeId ref_edge = er::kInvalidEdge;  ///< kValueJoin only
+  size_t num_structural_joins = 0;
+  /// A fan-out step above a reverse step on the matched occurrence chain
+  /// (or the anchor occurrence's root path): the same logical pair can
+  /// match several stored element pairs.
+  bool dup_risk = false;
+};
+
+struct EdgePlan {
+  int pattern_node = -1;  ///< the child pattern node this edge leads to
+  std::vector<Segment> segments;
+  size_t color_crossings = 0;
+};
+
+struct PlanStats {
+  size_t structural_joins = 0;
+  size_t value_joins = 0;
+  size_t color_crossings = 0;
+  size_t dup_elims = 0;
+  size_t group_bys = 0;
+  size_t dup_updates = 0;  ///< update queries: redundant copies rewritten
+
+  /// Fig 9/13's combined metric.
+  size_t value_joins_plus_crossings() const {
+    return value_joins + color_crossings;
+  }
+  /// Fig 10/14's combined metric.
+  size_t dup_ops() const { return dup_elims + group_bys + dup_updates; }
+};
+
+struct QueryPlan {
+  const AssociationQuery* query = nullptr;
+  const mct::MctSchema* schema = nullptr;
+  /// One per non-root pattern node, in pattern order.
+  std::vector<EdgePlan> edges;
+  mct::ColorId anchor_color = 0;
+  bool needs_dup_elim = false;
+  bool needs_group_by = false;
+  bool dup_update_risk = false;
+
+  PlanStats Stats() const;
+  std::string DebugString() const;
+};
+
+}  // namespace mctdb::query

@@ -1,0 +1,416 @@
+#include "query/planner.h"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mctdb::query {
+
+namespace {
+
+using mct::MctSchema;
+using mct::OccId;
+using mct::SchemaOcc;
+
+/// One matched occurrence chain for a (sub)path: the sequence of
+/// occurrences, top (tree-ancestor) first.
+using OccChain = std::vector<OccId>;
+
+/// Is the parent->child occurrence link a fan-out step (one parent
+/// instance, many child instances)?
+bool IsFanOutLink(const MctSchema& schema, OccId child) {
+  const SchemaOcc& c = schema.occ(child);
+  const er::ErEdge& e = schema.graph().edge(c.via_edge);
+  return c.er_node == e.rel && e.participation == er::Participation::kMany;
+}
+
+/// Is it a reverse step (the same child instance shared by many parents —
+/// placements duplicate it)?
+bool IsReverseLink(const MctSchema& schema, OccId child) {
+  const SchemaOcc& c = schema.occ(child);
+  const er::ErEdge& e = schema.graph().edge(c.via_edge);
+  return c.er_node == e.node && e.participation == er::Participation::kMany;
+}
+
+/// Fan-out step strictly above a reverse step within the link sequence =>
+/// one logical pair can appear as several element pairs.
+bool HasFanOutAboveReverse(const MctSchema& schema,
+                           const std::vector<OccId>& links) {
+  bool fan_out_seen = false;
+  for (OccId link : links) {
+    if (IsFanOutLink(schema, link)) fan_out_seen = true;
+    if (IsReverseLink(schema, link) && fan_out_seen) return true;
+  }
+  return false;
+}
+
+/// Root-path links of an occurrence (top-down order).
+std::vector<OccId> RootPathLinks(const MctSchema& schema, OccId occ) {
+  std::vector<OccId> links;
+  for (OccId cur = occ; !schema.occ(cur).is_root();
+       cur = schema.occ(cur).parent) {
+    links.push_back(cur);
+  }
+  std::reverse(links.begin(), links.end());
+  return links;
+}
+
+/// All occurrence chains in `color` matching `path` (a node-id sequence)
+/// downward from its first element. Chain tops must be root or *clean*
+/// occurrences: the materializer completes every logical instance exactly
+/// there, so those are the placements guaranteed to cover every
+/// association pair (graft/copy occurrences only cover the instances their
+/// parent context reaches, and a join anchored at one could silently miss
+/// pairs).
+std::vector<OccChain> FindChains(const MctSchema& schema, mct::ColorId color,
+                                 const er::NodeId* path, size_t len) {
+  std::vector<OccChain> out;
+  for (const SchemaOcc& o : schema.occurrences()) {
+    if (o.color != color || o.er_node != path[0]) continue;
+    if (!o.is_root() && !schema.IsCleanOcc(o.id)) continue;
+    // DFS over matching children (duplicated occurrences can branch).
+    struct Frame {
+      OccId occ;
+      size_t depth;
+    };
+    std::vector<OccId> chain{o.id};
+    std::vector<Frame> stack{{o.id, 0}};
+    // Simple recursive expansion via explicit lambda.
+    std::function<void(OccId, size_t)> walk = [&](OccId occ, size_t depth) {
+      if (depth + 1 == len) {
+        out.push_back(chain);
+        return;
+      }
+      for (OccId child : schema.occ(occ).children) {
+        if (schema.occ(child).er_node == path[depth + 1]) {
+          chain.push_back(child);
+          walk(child, depth + 1);
+          chain.pop_back();
+        }
+      }
+    };
+    walk(o.id, 0);
+  }
+  return out;
+}
+
+/// Does every ancestor-descendant (top_tag, bottom_tag) occurrence pair in
+/// `color` connect via exactly `path`? If yes, a single a-d axis step is
+/// unambiguous.
+bool AdStepUnambiguous(const MctSchema& schema, mct::ColorId color,
+                       const er::NodeId* path, size_t len) {
+  er::NodeId top = path[0], bottom = path[len - 1];
+  for (const SchemaOcc& ob : schema.occurrences()) {
+    if (ob.color != color || ob.er_node != bottom) continue;
+    // Walk up; every `top` ancestor must be exactly `len-1` links away with
+    // matching intermediate types.
+    std::vector<er::NodeId> up{ob.er_node};
+    for (OccId cur = ob.parent; cur != mct::kInvalidOcc;
+         cur = schema.occ(cur).parent) {
+      up.push_back(schema.occ(cur).er_node);
+      if (schema.occ(cur).er_node == top) {
+        if (up.size() != len) return false;
+        for (size_t i = 0; i < len; ++i) {
+          if (up[len - 1 - i] != path[i]) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+struct Candidate {
+  mct::ColorId color;
+  size_t path_end;  // index into the edge path (inclusive)
+  bool reversed;
+  bool unambiguous;
+  bool dup_risk;
+};
+
+class EdgePlanner {
+ public:
+  EdgePlanner(const MctSchema& schema, const PatternNode& node)
+      : schema_(schema), path_(node.path_from_parent) {}
+
+  Result<EdgePlan> Plan(int pattern_node_index,
+                        std::optional<mct::ColorId> incoming_color,
+                        bool* edge_dup_risk,
+                        mct::ColorId* out_color) {
+    EdgePlan plan;
+    plan.pattern_node = pattern_node_index;
+    size_t pos = 0;
+    std::optional<mct::ColorId> prev_color = incoming_color;
+    while (pos + 1 < path_.size()) {
+      std::optional<Candidate> best = BestCandidate(pos, prev_color);
+      if (!best.has_value()) {
+        // Value join: the single edge must be covered by a ref edge.
+        er::EdgeId eid = EdgeBetween(path_[pos], path_[pos + 1]);
+        bool has_ref = false;
+        for (const mct::RefEdge& ref : schema_.ref_edges()) {
+          if (ref.er_edge == eid) has_ref = true;
+        }
+        if (!has_ref) {
+          return Status::InvalidArgument(StringPrintf(
+              "edge %u-%u neither structural nor ref in schema %s",
+              path_[pos], path_[pos + 1], schema_.name().c_str()));
+        }
+        Segment seg;
+        seg.kind = SegmentKind::kValueJoin;
+        seg.from_index = pos;
+        seg.to_index = pos + 1;
+        seg.ref_edge = eid;
+        plan.segments.push_back(seg);
+        ++pos;
+        // A value join re-anchors by value; no crossing is charged and the
+        // previous color no longer binds the next segment.
+        prev_color.reset();
+        continue;
+      }
+      Segment seg;
+      seg.kind = best->unambiguous ? SegmentKind::kAncDesc
+                                   : SegmentKind::kStepChain;
+      seg.color = best->color;
+      seg.from_index = pos;
+      seg.to_index = best->path_end;
+      seg.reversed = best->reversed;
+      seg.num_structural_joins =
+          best->unambiguous ? 1 : best->path_end - pos;
+      seg.dup_risk = best->dup_risk;
+      *edge_dup_risk |= best->dup_risk;
+      if (prev_color.has_value() && *prev_color != best->color) {
+        ++plan.color_crossings;
+      }
+      prev_color = best->color;
+      plan.segments.push_back(seg);
+      pos = best->path_end;
+    }
+    if (prev_color.has_value()) *out_color = *prev_color;
+    return plan;
+  }
+
+  /// Color of the first structural segment (for the anchor scan).
+  std::optional<mct::ColorId> FirstStructuralColor(const EdgePlan& plan) {
+    for (const Segment& seg : plan.segments) {
+      if (seg.kind != SegmentKind::kValueJoin) return seg.color;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  er::EdgeId EdgeBetween(er::NodeId a, er::NodeId b) const {
+    for (er::EdgeId eid : schema_.graph().incident(a)) {
+      const er::ErEdge& e = schema_.graph().edge(eid);
+      if (e.other(a) == b) return eid;
+    }
+    MCTDB_CHECK_MSG(false, "path nodes not adjacent in ER graph");
+    return er::kInvalidEdge;
+  }
+
+  std::optional<Candidate> BestCandidate(
+      size_t pos, std::optional<mct::ColorId> prev_color) const {
+    std::optional<Candidate> best;
+    for (size_t end = path_.size() - 1; end > pos; --end) {
+      size_t len = end - pos + 1;
+      std::vector<er::NodeId> forward(path_.begin() + pos,
+                                      path_.begin() + end + 1);
+      std::vector<er::NodeId> backward(forward.rbegin(), forward.rend());
+      for (mct::ColorId c = 0; c < schema_.num_colors(); ++c) {
+        for (bool reversed : {false, true}) {
+          const auto& p = reversed ? backward : forward;
+          auto chains = FindChains(schema_, c, p.data(), len);
+          if (chains.empty()) continue;
+          Candidate cand;
+          cand.color = c;
+          cand.path_end = end;
+          cand.reversed = reversed;
+          cand.unambiguous = AdStepUnambiguous(schema_, c, p.data(), len);
+          // Duplicate risk: several matched chains, a fan-out-above-reverse
+          // inside any chain, or on the chain top's own root path.
+          cand.dup_risk = chains.size() > 1;
+          for (const OccChain& chain : chains) {
+            std::vector<OccId> links(chain.begin() + 1, chain.end());
+            std::vector<OccId> context = RootPathLinks(schema_, chain[0]);
+            context.insert(context.end(), links.begin(), links.end());
+            cand.dup_risk |= HasFanOutAboveReverse(schema_, context);
+          }
+          if (Better(cand, best, prev_color)) best = cand;
+        }
+      }
+      if (best.has_value()) return best;  // longest-first: stop at this end
+    }
+    return best;
+  }
+
+  bool Better(const Candidate& cand, const std::optional<Candidate>& best,
+              std::optional<mct::ColorId> prev_color) const {
+    if (!best.has_value()) return true;
+    // Same length by construction; prefer unambiguous, then color
+    // continuity, then fewer duplicates, then forward, then lower color.
+    auto rank = [&](const Candidate& x) {
+      int r = 0;
+      if (x.unambiguous) r += 8;
+      if (prev_color.has_value() && x.color == *prev_color) r += 4;
+      if (!x.dup_risk) r += 2;
+      if (!x.reversed) r += 1;
+      return r;
+    };
+    int rc = rank(cand), rb = rank(*best);
+    if (rc != rb) return rc > rb;
+    return cand.color < best->color;
+  }
+
+  const MctSchema& schema_;
+  const std::vector<er::NodeId>& path_;
+};
+
+}  // namespace
+
+const char* ToString(SegmentKind k) {
+  switch (k) {
+    case SegmentKind::kAncDesc:
+      return "anc-desc";
+    case SegmentKind::kStepChain:
+      return "step-chain";
+    case SegmentKind::kValueJoin:
+      return "value-join";
+  }
+  return "?";
+}
+
+PlanStats QueryPlan::Stats() const {
+  PlanStats st;
+  for (const EdgePlan& edge : edges) {
+    st.color_crossings += edge.color_crossings;
+    for (const Segment& seg : edge.segments) {
+      if (seg.kind == SegmentKind::kValueJoin) {
+        ++st.value_joins;
+      } else {
+        st.structural_joins += seg.num_structural_joins;
+      }
+    }
+  }
+  if (needs_dup_elim) ++st.dup_elims;
+  if (needs_group_by) ++st.group_bys;
+  if (dup_update_risk) ++st.dup_updates;
+  return st;
+}
+
+std::string QueryPlan::DebugString() const {
+  std::string out = StringPrintf("Plan(%s on %s): anchor color %u\n",
+                                 query->name.c_str(), schema->name().c_str(),
+                                 unsigned(anchor_color));
+  const er::ErDiagram& d = schema->diagram();
+  for (const EdgePlan& edge : edges) {
+    const PatternNode& node = query->nodes[edge.pattern_node];
+    out += "  -> " + d.node(node.er_node).name + ":";
+    for (const Segment& seg : edge.segments) {
+      if (seg.kind == SegmentKind::kValueJoin) {
+        out += " [value-join]";
+      } else {
+        out += StringPrintf(
+            " [%s %s %s joins=%zu%s]", ToString(seg.kind),
+            schema->color_name(seg.color).c_str(),
+            seg.reversed ? "rev" : "fwd", seg.num_structural_joins,
+            seg.dup_risk ? " dup" : "");
+      }
+    }
+    if (edge.color_crossings > 0) {
+      out += StringPrintf(" crossings=%zu", edge.color_crossings);
+    }
+    out += "\n";
+  }
+  PlanStats st = Stats();
+  out += StringPrintf(
+      "  stats: sj=%zu vj=%zu cc=%zu dup=%zu grp=%zu dupupd=%zu\n",
+      st.structural_joins, st.value_joins, st.color_crossings, st.dup_elims,
+      st.group_bys, st.dup_updates);
+  return out;
+}
+
+Result<QueryPlan> PlanQuery(const AssociationQuery& query,
+                            const mct::MctSchema& schema) {
+  QueryPlan plan;
+  plan.query = &query;
+  plan.schema = &schema;
+  bool any_dup_risk = false;
+
+  // Per-pattern-node color context: the color its binding is labeled in
+  // after its edge plan runs.
+  std::vector<std::optional<mct::ColorId>> node_color(query.nodes.size());
+
+  for (size_t i = 0; i < query.nodes.size(); ++i) {
+    const PatternNode& node = query.nodes[i];
+    if (node.parent < 0) {
+      // Anchor: color chosen after its first outgoing edge is planned; put
+      // a placeholder for now.
+      continue;
+    }
+    EdgePlanner planner(schema, node);
+    bool edge_dup = false;
+    mct::ColorId out_color = 0;
+    std::optional<mct::ColorId> incoming = node_color[node.parent];
+    MCTDB_ASSIGN_OR_RETURN(
+        EdgePlan edge,
+        planner.Plan(static_cast<int>(i), incoming, &edge_dup, &out_color));
+    any_dup_risk |= edge_dup;
+    // Anchor scan color = first structural segment's color of the first
+    // edge from the root.
+    if (node.parent == 0 && !node_color[0].has_value()) {
+      auto first = planner.FirstStructuralColor(edge);
+      node_color[0] = first.value_or(0);
+      plan.anchor_color = *node_color[0];
+      // Charge a crossing if the first segment had assumed a different
+      // incoming color — cannot happen since incoming was unset.
+    }
+    node_color[i] = out_color;
+    plan.edges.push_back(std::move(edge));
+  }
+  if (query.nodes.size() == 1) {
+    // Anchor in the first color that actually holds the tag.
+    mct::ColorId anchor = 0;
+    for (mct::ColorId c = 0; c < schema.num_colors(); ++c) {
+      if (schema.FindOcc(c, query.nodes[0].er_node) != mct::kInvalidOcc) {
+        anchor = c;
+        break;
+      }
+    }
+    node_color[0] = anchor;
+    plan.anchor_color = anchor;
+    // Single-node queries are schema-indifferent except for copy dups.
+    for (const SchemaOcc& o : schema.occurrences()) {
+      if (o.er_node != query.nodes[0].er_node) continue;
+      any_dup_risk |=
+          HasFanOutAboveReverse(schema, RootPathLinks(schema, o.id));
+    }
+    // Several occurrences in one color also duplicate a bare tag scan.
+    for (mct::ColorId c = 0; c < schema.num_colors(); ++c) {
+      size_t occs = 0;
+      for (const SchemaOcc& o : schema.occurrences()) {
+        if (o.er_node == query.nodes[0].er_node && o.color == c) ++occs;
+      }
+      if (c == plan.anchor_color && occs > 1) any_dup_risk = true;
+    }
+  }
+
+  plan.needs_dup_elim = any_dup_risk && (query.distinct || query.is_update());
+  plan.dup_update_risk = any_dup_risk && query.is_update();
+  if (query.group_by.has_value()) {
+    // Group-by is free when the grouping parent structurally nests the
+    // output in one forward segment ("groupings by value" otherwise).
+    plan.needs_group_by = true;
+    if (!plan.edges.empty()) {
+      const EdgePlan& last = plan.edges.back();
+      if (last.segments.size() == 1 &&
+          last.segments[0].kind != SegmentKind::kValueJoin &&
+          !last.segments[0].reversed && last.color_crossings == 0) {
+        plan.needs_group_by = false;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace mctdb::query

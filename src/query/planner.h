@@ -1,0 +1,29 @@
+// The planner: compiles an AssociationQuery against one MctSchema.
+//
+// Per pattern edge, the path is segmented greedily, longest-realized-first:
+//   1. the longest sub-path realized as an occurrence chain in some color
+//      (forward, or reversed — a parent/ancestor axis step) becomes one
+//      segment; it costs ONE structural join when the (from, to) tag pair's
+//      containment in that color is unambiguous (every descendant pair
+//      connects via exactly this path — always true in node-normal colors),
+//      and one parent-child join per step otherwise (redundant occurrences,
+//      DEEP-style, make a bare a-d step ambiguous);
+//   2. consecutive structural segments in different colors cost one color
+//      crossing (node identity is shared across colors — the MCT property
+//      that makes this cheap);
+//   3. an ER edge with no structural realization anywhere must be an
+//      id/idref ref edge and costs one value join (SHALLOW/AF).
+#pragma once
+
+#include "common/result.h"
+#include "query/plan.h"
+
+namespace mctdb::query {
+
+/// Compiles `query` against `schema`. Fails with InvalidArgument when an
+/// edge is neither structurally realized nor covered by a ref edge (cannot
+/// happen for schemas produced by the Designer).
+Result<QueryPlan> PlanQuery(const AssociationQuery& query,
+                            const mct::MctSchema& schema);
+
+}  // namespace mctdb::query

@@ -1,0 +1,64 @@
+#include "query/query_spec.h"
+
+#include "common/logging.h"
+
+namespace mctdb::query {
+
+int QueryBuilder::Root(std::string_view type_name) {
+  auto node = diagram_->FindNode(type_name);
+  MCTDB_CHECK_MSG(node.has_value(), std::string(type_name).c_str());
+  PatternNode pn;
+  pn.er_node = *node;
+  pn.parent = -1;
+  query_.nodes.push_back(pn);
+  query_.output = static_cast<int>(query_.nodes.size()) - 1;
+  return query_.output;
+}
+
+int QueryBuilder::Via(int parent, const std::vector<std::string>& path_names) {
+  MCTDB_CHECK(parent >= 0 &&
+              parent < static_cast<int>(query_.nodes.size()));
+  PatternNode pn;
+  pn.parent = parent;
+  pn.path_from_parent.push_back(query_.nodes[parent].er_node);
+  for (const std::string& name : path_names) {
+    auto node = diagram_->FindNode(name);
+    MCTDB_CHECK_MSG(node.has_value(), name.c_str());
+    pn.path_from_parent.push_back(*node);
+  }
+  MCTDB_CHECK(pn.path_from_parent.size() >= 2);
+  pn.er_node = pn.path_from_parent.back();
+  query_.nodes.push_back(pn);
+  query_.output = static_cast<int>(query_.nodes.size()) - 1;
+  return query_.output;
+}
+
+QueryBuilder& QueryBuilder::Where(int node, std::string_view attr,
+                                  std::string_view value) {
+  query_.nodes[node].predicate =
+      AttrPredicate{std::string(attr), std::string(value)};
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Output(int node) {
+  query_.output = node;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Distinct() {
+  query_.distinct = true;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::GroupBy(int node, std::string_view attr) {
+  query_.group_by = GroupBySpec{node, std::string(attr)};
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Update(std::string_view attr,
+                                   std::string_view value) {
+  query_.update = UpdateSpec{std::string(attr), std::string(value)};
+  return *this;
+}
+
+}  // namespace mctdb::query

@@ -1,0 +1,59 @@
+// Holistic twig join — TwigStack [Bruno, Koudas & Srivastava, SIGMOD'02],
+// the second structural-join primitive the paper cites ([7]) alongside the
+// binary stack-tree join [1].
+//
+// Matches a whole tree pattern ("twig") against one colored tree in a
+// single coordinated pass over the pattern nodes' posting lists, instead of
+// one binary join per pattern edge. For ancestor-descendant twigs TwigStack
+// is I/O optimal: it never buffers an element that cannot contribute to a
+// solution. bench_micro_twig compares it against the per-edge pipeline.
+//
+// Scope: ancestor-descendant edges (the optimality domain of the original
+// paper). Parent-child relationships can be checked by post-filtering the
+// returned matches with level arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/query_spec.h"
+#include "storage/store.h"
+
+namespace mctdb::query {
+
+struct TwigNode {
+  er::NodeId tag = er::kInvalidNode;
+  int parent = -1;  ///< -1 for the twig root (exactly one)
+  std::optional<AttrPredicate> predicate;
+};
+
+struct TwigPattern {
+  /// nodes[0] must be the root; children must follow their parents.
+  std::vector<TwigNode> nodes;
+};
+
+struct TwigResult {
+  /// Number of root-to-leaf path solutions summed over leaves (the classic
+  /// PathStack output unit).
+  uint64_t path_solutions = 0;
+  /// Per pattern node: elements that participate in at least one solution,
+  /// in document order, deduplicated.
+  std::vector<std::vector<storage::ElemId>> matched;
+};
+
+/// Runs TwigStack for `pattern` over `color` of `store`. Fails when a tag
+/// has no posting in the color (empty result is returned instead when the
+/// posting exists but nothing matches).
+Result<TwigResult> TwigStackJoin(const storage::MctStore& store,
+                                 mct::ColorId color,
+                                 const TwigPattern& pattern);
+
+/// Reference evaluator (nested containment loops) for testing: must agree
+/// with TwigStackJoin on matched element sets.
+TwigResult NaiveTwigJoin(const storage::MctStore& store, mct::ColorId color,
+                         const TwigPattern& pattern);
+
+}  // namespace mctdb::query

@@ -1,0 +1,54 @@
+#include "storage/pager.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace mctdb::storage {
+
+PageId Pager::Allocate() {
+  auto page = std::make_unique<char[]>(kPageSize);
+  std::memset(page.get(), 0, kPageSize);
+  pages_.push_back(std::move(page));
+  ++disk_writes_;
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+void Pager::Write(PageId id, const char* data) {
+  MCTDB_CHECK(id < pages_.size());
+  std::memcpy(pages_[id].get(), data, kPageSize);
+  ++disk_writes_;
+}
+
+void Pager::Read(PageId id, char* out) const {
+  MCTDB_CHECK(id < pages_.size());
+  std::memcpy(out, pages_[id].get(), kPageSize);
+  ++disk_reads_;
+}
+
+const char* BufferPool::Fetch(PageId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++hits_;
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(id);
+    it->second.lru_pos = lru_.begin();
+    return it->second.data.get();
+  }
+  ++misses_;
+  if (frames_.size() >= capacity_) {
+    PageId victim = lru_.back();
+    lru_.pop_back();
+    frames_.erase(victim);
+  }
+  Frame frame;
+  frame.data = std::make_unique<char[]>(kPageSize);
+  pager_->Read(id, frame.data.get());
+  lru_.push_front(id);
+  frame.lru_pos = lru_.begin();
+  auto [pos, inserted] = frames_.emplace(id, std::move(frame));
+  MCTDB_CHECK(inserted);
+  return pos->second.data.get();
+}
+
+}  // namespace mctdb::storage

@@ -1,0 +1,79 @@
+// Page-level storage: a pager (the "disk") and an LRU buffer pool, modeled
+// on the TIMBER setup the paper measured on (8 KB data pages, bounded
+// buffer pool). Queries read posting pages strictly through the buffer
+// pool, so page-miss counts and cache behavior are real, not simulated.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mctdb::storage {
+
+inline constexpr size_t kPageSize = 8192;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPage = 0xFFFFFFFFu;
+
+/// The backing store. Allocation and writes happen at load time; reads are
+/// counted as disk I/O (they are served from a separate heap area and
+/// copied, so the buffer pool is the only fast path).
+class Pager {
+ public:
+  /// Allocates a zeroed page.
+  PageId Allocate();
+  /// Overwrites a full page.
+  void Write(PageId id, const char* data);
+  /// Copies a page out; counted as one disk read.
+  void Read(PageId id, char* out) const;
+  /// Raw page bytes for persistence (not counted as query I/O).
+  const char* RawPage(PageId id) const { return pages_[id].get(); }
+
+  size_t num_pages() const { return pages_.size(); }
+  size_t bytes() const { return pages_.size() * kPageSize; }
+  uint64_t disk_reads() const { return disk_reads_; }
+  uint64_t disk_writes() const { return disk_writes_; }
+
+ private:
+  std::vector<std::unique_ptr<char[]>> pages_;
+  mutable uint64_t disk_reads_ = 0;
+  uint64_t disk_writes_ = 0;
+};
+
+/// Fixed-capacity LRU page cache over a Pager.
+class BufferPool {
+ public:
+  BufferPool(const Pager* pager, size_t capacity_pages)
+      : pager_(pager), capacity_(capacity_pages == 0 ? 1 : capacity_pages) {}
+
+  /// Returns a pointer to the cached frame for `id`, faulting it in (and
+  /// evicting the least recently used frame) if needed. The pointer is
+  /// valid until the next Fetch.
+  const char* Fetch(PageId id);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t resident() const { return frames_.size(); }
+  size_t capacity() const { return capacity_; }
+  void ResetStats() { hits_ = misses_ = 0; }
+
+ private:
+  struct Frame {
+    std::unique_ptr<char[]> data;
+    std::list<PageId>::iterator lru_pos;
+  };
+
+  const Pager* pager_;
+  size_t capacity_;
+  std::unordered_map<PageId, Frame> frames_;
+  std::list<PageId> lru_;  // front = most recent
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace mctdb::storage

@@ -1,0 +1,270 @@
+#include "storage/persist.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace mctdb::storage {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'C', 'T', 'D', 'B', '1', '\n', '\0'};
+
+/// Minimal buffered binary writer over stdio.
+class Writer {
+ public:
+  explicit Writer(std::FILE* f) : f_(f) {}
+  void U32(uint32_t v) { Bytes(&v, sizeof(v)); }
+  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Bytes(s.data(), s.size());
+  }
+  void Bytes(const void* data, size_t n) {
+    if (std::fwrite(data, 1, n, f_) != n) ok_ = false;
+  }
+  bool ok() const { return ok_; }
+
+ private:
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::FILE* f) : f_(f) {}
+  uint32_t U32() {
+    uint32_t v = 0;
+    Bytes(&v, sizeof(v));
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Bytes(&v, sizeof(v));
+    return v;
+  }
+  std::string Str() {
+    uint32_t n = U32();
+    if (n > (1u << 28)) {  // corrupt length guard
+      ok_ = false;
+      return {};
+    }
+    std::string s(n, '\0');
+    Bytes(s.data(), n);
+    return s;
+  }
+  void Bytes(void* out, size_t n) {
+    if (std::fread(out, 1, n, f_) != n) ok_ = false;
+  }
+  bool ok() const { return ok_; }
+
+ private:
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+uint64_t SchemaFingerprint(const mct::MctSchema& schema) {
+  uint64_t h = Hash64(schema.name());
+  h = HashCombine(h, schema.num_colors());
+  for (const mct::SchemaOcc& o : schema.occurrences()) {
+    h = HashCombine(h, Hash64(uint64_t(o.er_node)));
+    h = HashCombine(h, Hash64(uint64_t(o.color)));
+    h = HashCombine(h, Hash64(uint64_t(o.parent)));
+    h = HashCombine(h, Hash64(uint64_t(o.via_edge)));
+  }
+  for (const mct::RefEdge& r : schema.ref_edges()) {
+    h = HashCombine(h, Hash64(r.attr_name));
+    h = HashCombine(h, Hash64(uint64_t(r.from)));
+  }
+  return h;
+}
+
+Status SaveStore(const MctStore& store, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  Writer w(f);
+  w.Bytes(kMagic, sizeof(kMagic));
+  w.U64(SchemaFingerprint(*store.schema_));
+
+  // Pages.
+  w.U32(static_cast<uint32_t>(store.pager_.num_pages()));
+  for (PageId p = 0; p < store.pager_.num_pages(); ++p) {
+    w.Bytes(store.pager_.RawPage(p), kPageSize);
+  }
+  // Elements.
+  w.U32(static_cast<uint32_t>(store.elements_.size()));
+  for (const ElementMeta& m : store.elements_) {
+    w.U32(m.er_node);
+    w.U32(m.logical);
+    w.U32(m.is_copy ? 1 : 0);
+  }
+  // Attrs.
+  for (const auto& list : store.attrs_) {
+    w.U32(static_cast<uint32_t>(list.size()));
+    for (const AttrRecord& a : list) {
+      w.U32(a.name_id);
+      w.U32(a.value_id);
+      w.U32(a.has_content ? 1 : 0);
+    }
+  }
+  // Dictionaries.
+  w.U32(static_cast<uint32_t>(store.attr_names_.size()));
+  for (const std::string& s : store.attr_names_) w.Str(s);
+  w.U32(static_cast<uint32_t>(store.values_.size()));
+  for (const std::string& s : store.values_) w.Str(s);
+  // Labels and parents per color.
+  w.U32(static_cast<uint32_t>(store.labels_.size()));
+  for (size_t c = 0; c < store.labels_.size(); ++c) {
+    w.U32(static_cast<uint32_t>(store.labels_[c].size()));
+    for (const auto& [elem, label] : store.labels_[c]) {
+      w.Bytes(&label, sizeof(label));
+    }
+    w.U32(static_cast<uint32_t>(store.parents_[c].size()));
+    for (const auto& [elem, parent] : store.parents_[c]) {
+      w.U32(elem);
+      w.U32(parent);
+    }
+  }
+  // Postings.
+  for (size_t c = 0; c < store.postings_.size(); ++c) {
+    for (size_t tag = 0; tag < store.postings_[c].size(); ++tag) {
+      const auto& meta = store.postings_[c][tag];
+      if (meta == nullptr) {
+        w.U32(0xFFFFFFFFu);
+        continue;
+      }
+      w.U32(static_cast<uint32_t>(meta->count));
+      w.U32(static_cast<uint32_t>(meta->pages.size()));
+      for (PageId p : meta->pages) w.U32(p);
+    }
+  }
+  // Counters.
+  w.U64(store.num_attribute_nodes_);
+  w.U64(store.num_content_nodes_);
+
+  bool ok = w.ok();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<MctStore>> LoadStore(const mct::MctSchema& schema,
+                                            const std::string& path,
+                                            const StoreOptions& options) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  Reader r(f);
+  auto fail = [&](const std::string& msg) -> Status {
+    std::fclose(f);
+    return Status::Corruption(path + ": " + msg);
+  };
+
+  char magic[8];
+  r.Bytes(magic, sizeof(magic));
+  if (!r.ok() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return fail("bad magic");
+  }
+  if (r.U64() != SchemaFingerprint(schema)) {
+    return fail("schema fingerprint mismatch");
+  }
+
+  std::unique_ptr<MctStore> store(new MctStore());
+  store->schema_ = &schema;
+
+  uint32_t num_pages = r.U32();
+  char page[kPageSize];
+  for (uint32_t p = 0; p < num_pages; ++p) {
+    r.Bytes(page, kPageSize);
+    if (!r.ok()) return fail("truncated pages");
+    PageId id = store->pager_.Allocate();
+    store->pager_.Write(id, page);
+  }
+  uint32_t num_elements = r.U32();
+  store->elements_.reserve(num_elements);
+  store->key_index_.resize(schema.diagram().num_nodes());
+  for (uint32_t i = 0; i < num_elements; ++i) {
+    ElementMeta m;
+    m.er_node = r.U32();
+    m.logical = r.U32();
+    m.is_copy = r.U32() != 0;
+    if (!r.ok() || m.er_node >= schema.diagram().num_nodes()) {
+      return fail("bad element record");
+    }
+    store->key_index_[m.er_node][m.logical].push_back(i);
+    store->elements_.push_back(m);
+  }
+  store->attrs_.resize(num_elements);
+  for (uint32_t i = 0; i < num_elements; ++i) {
+    uint32_t n = r.U32();
+    if (!r.ok() || n > (1u << 20)) return fail("bad attr list");
+    store->attrs_[i].resize(n);
+    for (uint32_t a = 0; a < n; ++a) {
+      store->attrs_[i][a].name_id = r.U32();
+      store->attrs_[i][a].value_id = r.U32();
+      store->attrs_[i][a].has_content = r.U32() != 0;
+    }
+  }
+  uint32_t num_names = r.U32();
+  for (uint32_t i = 0; i < num_names; ++i) {
+    store->attr_names_.push_back(r.Str());
+    store->attr_name_index_.emplace(store->attr_names_.back(), i);
+  }
+  uint32_t num_values = r.U32();
+  for (uint32_t i = 0; i < num_values; ++i) {
+    store->values_.push_back(r.Str());
+    store->value_index_.emplace(store->values_.back(), i);
+  }
+  if (!r.ok()) return fail("truncated dictionaries");
+
+  uint32_t num_colors = r.U32();
+  if (num_colors != schema.num_colors()) return fail("color count mismatch");
+  store->labels_.resize(num_colors);
+  store->parents_.resize(num_colors);
+  for (uint32_t c = 0; c < num_colors; ++c) {
+    uint32_t n = r.U32();
+    for (uint32_t i = 0; i < n; ++i) {
+      LabelEntry label;
+      r.Bytes(&label, sizeof(label));
+      if (!r.ok() || label.elem >= num_elements) return fail("bad label");
+      store->labels_[c][label.elem] = label;
+    }
+    uint32_t np = r.U32();
+    for (uint32_t i = 0; i < np; ++i) {
+      uint32_t elem = r.U32();
+      uint32_t parent = r.U32();
+      if (!r.ok() || elem >= num_elements) return fail("bad parent");
+      store->parents_[c][elem] = parent;
+    }
+  }
+  store->postings_.resize(num_colors);
+  for (uint32_t c = 0; c < num_colors; ++c) {
+    store->postings_[c].resize(schema.diagram().num_nodes());
+    for (size_t tag = 0; tag < store->postings_[c].size(); ++tag) {
+      uint32_t count = r.U32();
+      if (count == 0xFFFFFFFFu) continue;
+      auto meta = std::make_unique<PostingMeta>();
+      meta->count = count;
+      uint32_t pages = r.U32();
+      if (!r.ok() || pages > num_pages) return fail("bad posting meta");
+      for (uint32_t p = 0; p < pages; ++p) {
+        uint32_t id = r.U32();
+        if (id >= num_pages) return fail("posting page out of range");
+        meta->pages.push_back(id);
+      }
+      store->postings_[c][tag] = std::move(meta);
+    }
+  }
+  store->num_attribute_nodes_ = r.U64();
+  store->num_content_nodes_ = r.U64();
+  if (!r.ok()) return fail("truncated trailer");
+  std::fclose(f);
+
+  store->pool_ = std::make_unique<BufferPool>(&store->pager_,
+                                              options.buffer_pool_pages);
+  return store;
+}
+
+}  // namespace mctdb::storage

@@ -1,0 +1,40 @@
+// Store persistence: serialize an MctStore to a single file and load it
+// back. The format is a versioned, section-tagged binary layout:
+//
+//   header  : magic "MCTDB1\n", schema fingerprint
+//   pages   : the pager's 8 KB pages verbatim (posting lists)
+//   elements: ElementMeta records
+//   attrs   : per-element AttrRecord lists
+//   dicts   : attribute-name and value dictionaries
+//   labels  : per color, (elem, LabelEntry) pairs
+//   parents : per color, (elem, parent) pairs
+//   postings: per (color, tag), page-id lists + counts
+//   keyindex: rebuilt on load (derivable)
+//
+// The schema itself is NOT serialized — the caller re-derives it (designs
+// are deterministic functions of the ER diagram) and Load verifies the
+// fingerprint, refusing to attach data to the wrong schema.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/store.h"
+
+namespace mctdb::storage {
+
+/// Stable fingerprint of a schema's shape (colors, occurrences, edges, ref
+/// edges) used to pair data files with schemas.
+uint64_t SchemaFingerprint(const mct::MctSchema& schema);
+
+/// Writes `store` to `path` (overwrites).
+Status SaveStore(const MctStore& store, const std::string& path);
+
+/// Reads a store from `path`. `schema` must outlive the result and match
+/// the fingerprint recorded at save time.
+Result<std::unique_ptr<MctStore>> LoadStore(const mct::MctSchema& schema,
+                                            const std::string& path,
+                                            const StoreOptions& options = {});
+
+}  // namespace mctdb::storage

@@ -1,0 +1,57 @@
+#include "storage/posting.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace mctdb::storage {
+
+void PostingWriter::Append(const LabelEntry& entry) {
+  if (in_buffer_ == kEntriesPerPage) {
+    PageId page = pager_->Allocate();
+    pager_->Write(page, buffer_);
+    meta_.pages.push_back(page);
+    in_buffer_ = 0;
+  }
+  std::memcpy(buffer_ + in_buffer_ * sizeof(LabelEntry), &entry,
+              sizeof(LabelEntry));
+  ++in_buffer_;
+  ++meta_.count;
+}
+
+PostingMeta PostingWriter::Finish() {
+  if (in_buffer_ > 0) {
+    std::memset(buffer_ + in_buffer_ * sizeof(LabelEntry), 0,
+                kPageSize - in_buffer_ * sizeof(LabelEntry));
+    PageId page = pager_->Allocate();
+    pager_->Write(page, buffer_);
+    meta_.pages.push_back(page);
+    in_buffer_ = 0;
+  }
+  return std::move(meta_);
+}
+
+bool PostingCursor::Next(LabelEntry* out) {
+  if (index_ >= meta_->count) return false;
+  size_t page_index = index_ / kEntriesPerPage;
+  if (page_index != current_page_index_) {
+    current_page_ = pool_->Fetch(meta_->pages[page_index]);
+    current_page_index_ = page_index;
+  }
+  size_t slot = index_ % kEntriesPerPage;
+  std::memcpy(out, current_page_ + slot * sizeof(LabelEntry),
+              sizeof(LabelEntry));
+  ++index_;
+  return true;
+}
+
+std::vector<LabelEntry> ReadAll(BufferPool* pool, const PostingMeta& meta) {
+  std::vector<LabelEntry> out;
+  out.reserve(meta.count);
+  PostingCursor cursor(pool, &meta);
+  LabelEntry e;
+  while (cursor.Next(&e)) out.push_back(e);
+  return out;
+}
+
+}  // namespace mctdb::storage

@@ -1,0 +1,87 @@
+// Posting lists of interval labels, the storage representation behind
+// structural joins [Al-Khalifa et al., ICDE'02]: for each (color, element
+// tag) the store keeps the tag's elements as (start, end, level) records in
+// document order, packed into 8 KB pages and scanned through the buffer
+// pool.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/pager.h"
+
+namespace mctdb::storage {
+
+using ElemId = uint32_t;
+inline constexpr ElemId kInvalidElem = 0xFFFFFFFFu;
+
+/// One posting record: an element's interval label within one color.
+/// 20 bytes; ~409 records per 8 KB page.
+struct LabelEntry {
+  ElemId elem = kInvalidElem;
+  uint32_t start = 0;
+  uint32_t end = 0;
+  uint16_t level = 0;
+  /// Set when this placement is a redundant copy (non-NN schemas); results
+  /// produced through copies may need duplicate elimination.
+  uint16_t is_copy = 0;
+  /// Logical instance id (er-node-scoped), used for duplicate elimination.
+  uint32_t logical = 0;
+
+  /// Interval containment: is `this` a proper ancestor of `d`?
+  bool Contains(const LabelEntry& d) const {
+    return start < d.start && d.end < end;
+  }
+};
+static_assert(sizeof(LabelEntry) == 20);
+
+inline constexpr size_t kEntriesPerPage = kPageSize / sizeof(LabelEntry);
+
+/// Page-set descriptor of one posting list.
+struct PostingMeta {
+  std::vector<PageId> pages;
+  size_t count = 0;
+
+  size_t num_pages() const { return pages.size(); }
+};
+
+/// Append-only builder; records must arrive in document (start) order.
+class PostingWriter {
+ public:
+  explicit PostingWriter(Pager* pager) : pager_(pager) {}
+
+  void Append(const LabelEntry& entry);
+  /// Flushes the tail page and returns the descriptor.
+  PostingMeta Finish();
+
+ private:
+  Pager* pager_;
+  PostingMeta meta_;
+  char buffer_[kPageSize];
+  size_t in_buffer_ = 0;
+};
+
+/// Sequential scan of a posting list through a buffer pool (every page
+/// touch is a pool fetch, so misses show up in the stats).
+class PostingCursor {
+ public:
+  PostingCursor(BufferPool* pool, const PostingMeta* meta)
+      : pool_(pool), meta_(meta) {}
+
+  /// Returns false at end of list.
+  bool Next(LabelEntry* out);
+  void Reset() { index_ = 0; }
+  size_t remaining() const { return meta_->count - index_; }
+
+ private:
+  BufferPool* pool_;
+  const PostingMeta* meta_;
+  size_t index_ = 0;
+  const char* current_page_ = nullptr;
+  size_t current_page_index_ = SIZE_MAX;
+};
+
+/// Reads a whole posting list into memory (through the pool).
+std::vector<LabelEntry> ReadAll(BufferPool* pool, const PostingMeta& meta);
+
+}  // namespace mctdb::storage

@@ -1,0 +1,236 @@
+#include "storage/store.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mctdb::storage {
+
+const std::string* MctStore::AttrValue(ElemId id,
+                                       std::string_view attr_name) const {
+  uint32_t name_id = FindAttrName(attr_name);
+  if (name_id == UINT32_MAX) return nullptr;
+  for (const AttrRecord& a : attrs_[id]) {
+    if (a.name_id == name_id) return &values_[a.value_id];
+  }
+  return nullptr;
+}
+
+uint32_t MctStore::FindAttrName(std::string_view name) const {
+  auto it = attr_name_index_.find(std::string(name));
+  return it == attr_name_index_.end() ? UINT32_MAX : it->second;
+}
+
+uint32_t MctStore::FindValue(std::string_view v) const {
+  auto it = value_index_.find(std::string(v));
+  return it == value_index_.end() ? UINT32_MAX : it->second;
+}
+
+const PostingMeta* MctStore::Posting(mct::ColorId color,
+                                     er::NodeId tag) const {
+  if (color >= postings_.size() || tag >= postings_[color].size()) {
+    return nullptr;
+  }
+  return postings_[color][tag].get();
+}
+
+bool MctStore::Label(mct::ColorId color, ElemId id, LabelEntry* out) const {
+  if (color >= labels_.size()) return false;
+  auto it = labels_[color].find(id);
+  if (it == labels_[color].end()) return false;
+  *out = it->second;
+  return true;
+}
+
+ElemId MctStore::Parent(mct::ColorId color, ElemId id) const {
+  if (color >= parents_.size()) return kInvalidElem;
+  auto it = parents_[color].find(id);
+  return it == parents_[color].end() ? kInvalidElem : it->second;
+}
+
+std::vector<LabelEntry> MctStore::ColorEntries(mct::ColorId color) const {
+  std::vector<LabelEntry> out;
+  if (color >= labels_.size()) return out;
+  out.reserve(labels_[color].size());
+  for (const auto& [elem, label] : labels_[color]) out.push_back(label);
+  std::sort(out.begin(), out.end(),
+            [](const LabelEntry& a, const LabelEntry& b) {
+              return a.start < b.start;
+            });
+  return out;
+}
+
+std::vector<ElemId> MctStore::ElementsFor(er::NodeId er_node,
+                                          uint32_t logical) const {
+  if (er_node >= key_index_.size()) return {};
+  auto it = key_index_[er_node].find(logical);
+  return it == key_index_[er_node].end() ? std::vector<ElemId>{} : it->second;
+}
+
+StoreStats MctStore::Stats() const {
+  StoreStats st;
+  st.num_elements = elements_.size();
+  st.num_attributes = num_attribute_nodes_;
+  st.num_content_nodes = num_content_nodes_;
+  st.num_colors = schema_->num_colors();
+  // Bytes: posting pages + element metadata + attribute/content records
+  // (charged with their value text per record, as a real store lays them
+  // out — dictionary compression is not assumed, so DEEP/UNDR copies pay
+  // full freight) + label and parent maps.
+  size_t bytes = pager_.bytes();
+  bytes += elements_.size() * sizeof(ElementMeta);
+  for (const auto& a : attrs_) {
+    for (const AttrRecord& rec : a) {
+      bytes += sizeof(AttrRecord) + values_[rec.value_id].size();
+      if (rec.has_content) bytes += 8 + values_[rec.value_id].size();
+    }
+  }
+  // Per-color parent pointers are part of the node record in a real
+  // layout; the label maps themselves are in-memory indexes over the
+  // posting pages already counted above.
+  for (const auto& m : parents_) bytes += m.size() * sizeof(ElemId);
+  st.data_mbytes = double(bytes) / (1024.0 * 1024.0);
+  return st;
+}
+
+void MctStore::UpdateAttrValue(ElemId id, uint32_t name_id,
+                               std::string_view value) {
+  MCTDB_CHECK(id < elements_.size());
+  auto it = value_index_.find(std::string(value));
+  uint32_t value_id;
+  if (it != value_index_.end()) {
+    value_id = it->second;
+  } else {
+    value_id = static_cast<uint32_t>(values_.size());
+    values_.emplace_back(value);
+    value_index_.emplace(values_.back(), value_id);
+  }
+  for (AttrRecord& a : attrs_[id]) {
+    if (a.name_id == name_id) {
+      a.value_id = value_id;
+      ++update_page_writes_;  // the element's attribute page is rewritten
+      return;
+    }
+  }
+  MCTDB_CHECK_MSG(false, "UpdateAttrValue: attribute not present");
+}
+
+// ---------------------------------------------------------------------------
+
+StoreBuilder::StoreBuilder(const mct::MctSchema* schema,
+                           const StoreOptions& options)
+    : store_(std::unique_ptr<MctStore>(new MctStore())), options_(options) {
+  store_->schema_ = schema;
+  size_t colors = schema->num_colors();
+  store_->postings_.resize(colors);
+  for (auto& per_color : store_->postings_) {
+    per_color.resize(schema->diagram().num_nodes());
+  }
+  store_->labels_.resize(colors);
+  store_->parents_.resize(colors);
+  store_->key_index_.resize(schema->diagram().num_nodes());
+  per_tag_entries_.resize(schema->diagram().num_nodes());
+}
+
+ElemId StoreBuilder::AddElement(er::NodeId er_node, uint32_t logical,
+                                bool is_copy) {
+  ElemId id = static_cast<ElemId>(store_->elements_.size());
+  store_->elements_.push_back({er_node, logical, is_copy});
+  store_->attrs_.emplace_back();
+  store_->key_index_[er_node][logical].push_back(id);
+  return id;
+}
+
+uint32_t StoreBuilder::InternAttrName(std::string_view name) {
+  auto it = store_->attr_name_index_.find(std::string(name));
+  if (it != store_->attr_name_index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(store_->attr_names_.size());
+  store_->attr_names_.emplace_back(name);
+  store_->attr_name_index_.emplace(store_->attr_names_.back(), id);
+  return id;
+}
+
+uint32_t StoreBuilder::InternValue(std::string_view value) {
+  auto it = store_->value_index_.find(std::string(value));
+  if (it != store_->value_index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(store_->values_.size());
+  store_->values_.emplace_back(value);
+  store_->value_index_.emplace(store_->values_.back(), id);
+  return id;
+}
+
+void StoreBuilder::AddAttr(ElemId elem, std::string_view name,
+                           std::string_view value, bool with_content) {
+  AttrRecord rec;
+  rec.name_id = InternAttrName(name);
+  rec.value_id = InternValue(value);
+  rec.has_content = with_content;
+  store_->attrs_[elem].push_back(rec);
+  ++store_->num_attribute_nodes_;
+  if (with_content) ++store_->num_content_nodes_;
+}
+
+void StoreBuilder::BeginColor(mct::ColorId color) {
+  MCTDB_CHECK(!in_color_);
+  in_color_ = true;
+  color_ = color;
+  label_counter_ = 0;
+  open_stack_.clear();
+  entries_.clear();
+  entry_tag_.clear();
+  for (auto& v : per_tag_entries_) v.clear();
+}
+
+void StoreBuilder::Enter(ElemId elem) {
+  MCTDB_CHECK(in_color_);
+  const ElementMeta& meta = store_->elements_[elem];
+  LabelEntry entry;
+  entry.elem = elem;
+  entry.start = ++label_counter_;
+  entry.level = static_cast<uint16_t>(open_stack_.size());
+  entry.is_copy = meta.is_copy ? 1 : 0;
+  entry.logical = meta.logical;
+  // Parent pointer.
+  ElemId parent = open_stack_.empty() ? kInvalidElem : open_stack_.back().elem;
+  if (parent != kInvalidElem) {
+    store_->parents_[color_][elem] = parent;
+  }
+  entries_.push_back(entry);
+  entry_tag_.push_back(meta.er_node);
+  open_stack_.push_back({elem, entries_.size() - 1});
+}
+
+void StoreBuilder::Leave(ElemId elem) {
+  MCTDB_CHECK(in_color_ && !open_stack_.empty());
+  MCTDB_CHECK(open_stack_.back().elem == elem);
+  LabelEntry& entry = entries_[open_stack_.back().entry_index];
+  entry.end = ++label_counter_;
+  open_stack_.pop_back();
+}
+
+void StoreBuilder::EndColor() {
+  MCTDB_CHECK(in_color_ && open_stack_.empty());
+  // Scatter entries to per-tag lists (Enter order == document order) and
+  // record labels.
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    per_tag_entries_[entry_tag_[i]].push_back(entries_[i]);
+    store_->labels_[color_][entries_[i].elem] = entries_[i];
+  }
+  for (size_t tag = 0; tag < per_tag_entries_.size(); ++tag) {
+    if (per_tag_entries_[tag].empty()) continue;
+    PostingWriter writer(&store_->pager_);
+    for (const LabelEntry& e : per_tag_entries_[tag]) writer.Append(e);
+    store_->postings_[color_][tag] =
+        std::make_unique<PostingMeta>(writer.Finish());
+  }
+  in_color_ = false;
+}
+
+std::unique_ptr<MctStore> StoreBuilder::Finish() {
+  MCTDB_CHECK(!in_color_);
+  store_->pool_ =
+      std::make_unique<BufferPool>(&store_->pager_, options_.buffer_pool_pages);
+  return std::move(store_);
+}
+
+}  // namespace mctdb::storage

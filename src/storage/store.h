@@ -1,0 +1,184 @@
+// MctStore: the native store for one materialized MCT database — the
+// TIMBER-stand-in the experiments run on.
+//
+// Contents:
+//   * an element table (one record per stored element; an element shared by
+//     several colors is stored once — MCT's core economy; redundant
+//     placements of non-NN schemas are separate "copy" elements);
+//   * attribute and content-node records hanging off elements;
+//   * per (color, tag) posting lists of (start, end, level) interval labels
+//     in document order, paged through Pager/BufferPool — the input to
+//     structural joins;
+//   * per-color label and parent maps for color crossings and updates;
+//   * a value dictionary and a key index (logical id -> elements).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/arena.h"
+#include "mct/mct_schema.h"
+#include "storage/pager.h"
+#include "storage/posting.h"
+
+namespace mctdb::storage {
+
+struct StoreOptions {
+  /// Buffer pool capacity in pages (default 2048 pages = 16 MB).
+  size_t buffer_pool_pages = 2048;
+};
+
+struct ElementMeta {
+  er::NodeId er_node = er::kInvalidNode;
+  /// Logical instance id, scoped per ER node; copies share it.
+  uint32_t logical = 0;
+  bool is_copy = false;
+};
+
+struct AttrRecord {
+  uint32_t name_id = 0;
+  uint32_t value_id = 0;
+  /// Data attributes carry a separate content (text) node, key and idref
+  /// attributes do not — this is what makes Table 1's attribute and
+  /// content-node counts differ.
+  bool has_content = false;
+};
+
+/// Load-time statistics in Table 1's vocabulary.
+struct StoreStats {
+  size_t num_elements = 0;
+  size_t num_attributes = 0;
+  size_t num_content_nodes = 0;
+  size_t num_colors = 0;
+  double data_mbytes = 0.0;
+};
+
+class MctStore {
+ public:
+  const mct::MctSchema& schema() const { return *schema_; }
+
+  // -- element access -------------------------------------------------------
+  size_t num_elements() const { return elements_.size(); }
+  const ElementMeta& element(ElemId id) const { return elements_[id]; }
+  const std::vector<AttrRecord>& attrs(ElemId id) const {
+    return attrs_[id];
+  }
+  /// Attribute value by name; nullptr when absent.
+  const std::string* AttrValue(ElemId id, std::string_view attr_name) const;
+
+  // -- dictionaries ----------------------------------------------------------
+  uint32_t FindAttrName(std::string_view name) const;  // UINT32_MAX if absent
+  const std::string& attr_name(uint32_t id) const { return attr_names_[id]; }
+  const std::string& value(uint32_t id) const { return values_[id]; }
+  uint32_t FindValue(std::string_view v) const;  // UINT32_MAX if absent
+
+  // -- postings & labels -----------------------------------------------------
+  /// Posting list for (color, tag); nullptr when the tag has no elements in
+  /// that color.
+  const PostingMeta* Posting(mct::ColorId color, er::NodeId tag) const;
+  /// The label of element `id` in `color`; false if the element is not in
+  /// that color.
+  bool Label(mct::ColorId color, ElemId id, LabelEntry* out) const;
+  /// Parent element in `color` (kInvalidElem for roots / absent).
+  ElemId Parent(mct::ColorId color, ElemId id) const;
+  /// Every placement in `color`, in document (start) order — the color's
+  /// full pre-order traversal. Used by exporters and validators.
+  std::vector<LabelEntry> ColorEntries(mct::ColorId color) const;
+
+  /// All stored elements (copies included) for one logical instance.
+  std::vector<ElemId> ElementsFor(er::NodeId er_node, uint32_t logical) const;
+
+  BufferPool* buffer_pool() const { return pool_.get(); }
+  Pager* pager() { return &pager_; }
+
+  StoreStats Stats() const;
+
+  // -- update support (used by query::UpdateEngine) --------------------------
+  /// Overwrite an attribute value in place. Charges one page write.
+  void UpdateAttrValue(ElemId id, uint32_t name_id, std::string_view value);
+  uint64_t update_page_writes() const { return update_page_writes_; }
+
+ private:
+  friend class StoreBuilder;
+  friend Status SaveStore(const MctStore&, const std::string&);
+  friend Result<std::unique_ptr<MctStore>> LoadStore(const mct::MctSchema&,
+                                                     const std::string&,
+                                                     const StoreOptions&);
+  MctStore() = default;
+
+  const mct::MctSchema* schema_ = nullptr;
+  Pager pager_;
+  std::unique_ptr<BufferPool> pool_;
+
+  std::vector<ElementMeta> elements_;
+  std::vector<std::vector<AttrRecord>> attrs_;
+
+  std::vector<std::string> attr_names_;
+  std::unordered_map<std::string, uint32_t> attr_name_index_;
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, uint32_t> value_index_;
+
+  /// postings_[color][tag] (tag = ER node id); empty metas pruned to null.
+  std::vector<std::vector<std::unique_ptr<PostingMeta>>> postings_;
+  /// labels_[color]: elem -> label.
+  std::vector<std::unordered_map<ElemId, LabelEntry>> labels_;
+  /// parents_[color]: elem -> parent elem.
+  std::vector<std::unordered_map<ElemId, ElemId>> parents_;
+  /// key_index_[er_node]: logical -> elements (copies included).
+  std::vector<std::unordered_map<uint32_t, std::vector<ElemId>>> key_index_;
+
+  size_t num_content_nodes_ = 0;
+  size_t num_attribute_nodes_ = 0;
+  uint64_t update_page_writes_ = 0;
+};
+
+/// Builds an MctStore. Usage (driven by instance::Materializer):
+///   StoreBuilder b(&schema, options);
+///   ElemId e = b.AddElement(type, logical, is_copy);
+///   b.AddAttr(e, "id", "c42", /*with_content=*/false);
+///   b.BeginColor(0); b.Enter(e); ... b.Leave(e); ... b.EndColor();
+///   auto store = b.Finish();
+class StoreBuilder {
+ public:
+  StoreBuilder(const mct::MctSchema* schema, const StoreOptions& options);
+
+  ElemId AddElement(er::NodeId er_node, uint32_t logical, bool is_copy);
+  void AddAttr(ElemId elem, std::string_view name, std::string_view value,
+               bool with_content);
+
+  /// Colors must be emitted in increasing order, 0 .. num_colors-1, with a
+  /// balanced Enter/Leave walk in document order per color.
+  void BeginColor(mct::ColorId color);
+  void Enter(ElemId elem);
+  void Leave(ElemId elem);
+  void EndColor();
+
+  std::unique_ptr<MctStore> Finish();
+
+ private:
+  uint32_t InternAttrName(std::string_view name);
+  uint32_t InternValue(std::string_view value);
+
+  std::unique_ptr<MctStore> store_;
+  StoreOptions options_;
+
+  // Per-color build state.
+  bool in_color_ = false;
+  mct::ColorId color_ = 0;
+  uint32_t label_counter_ = 0;
+  struct OpenNode {
+    ElemId elem;
+    size_t entry_index;  // into entries_
+  };
+  std::vector<OpenNode> open_stack_;
+  /// Pending label entries of the current color, grouped per tag, in
+  /// document order (Enter order == start order).
+  std::vector<std::vector<LabelEntry>> per_tag_entries_;
+  std::vector<LabelEntry> entries_;  // all entries, Enter order
+  std::vector<size_t> entry_tag_;    // parallel: tag of each entry
+};
+
+}  // namespace mctdb::storage

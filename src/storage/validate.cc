@@ -1,0 +1,240 @@
+#include "storage/validate.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace mctdb::storage {
+
+std::string ValidationReport::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StringPrintf("%zu problem(s):\n", problems.size());
+  for (const std::string& p : problems) out += "  " + p + "\n";
+  return out;
+}
+
+namespace {
+
+class Validator {
+ public:
+  Validator(const MctStore& store, const ValidateOptions& options,
+            ValidationReport* report)
+      : store_(store), options_(options), report_(report) {}
+
+  void Run() {
+    for (mct::ColorId c = 0; c < store_.schema().num_colors(); ++c) {
+      CheckColorForest(c);
+      CheckPostings(c);
+    }
+    CheckKeyIndex();
+    CheckIcics();
+    if (options_.check_idrefs) CheckIdrefs();
+  }
+
+ private:
+  void Problem(std::string msg) {
+    if (report_->problems.size() < options_.max_problems) {
+      report_->problems.push_back(std::move(msg));
+    }
+  }
+
+  void CheckColorForest(mct::ColorId c) {
+    auto entries = store_.ColorEntries(c);
+    struct Open {
+      LabelEntry entry;
+    };
+    std::vector<LabelEntry> stack;
+    for (const LabelEntry& e : entries) {
+      if (e.start >= e.end) {
+        Problem(StringPrintf("color %u elem %u: degenerate interval", c,
+                             e.elem));
+        continue;
+      }
+      while (!stack.empty() && stack.back().end < e.start) stack.pop_back();
+      // No partial overlap: the open top must fully contain e or be closed.
+      if (!stack.empty() && stack.back().end < e.end) {
+        Problem(StringPrintf("color %u elem %u: interval overlaps elem %u",
+                             c, e.elem, stack.back().elem));
+      }
+      uint16_t expect_level = static_cast<uint16_t>(stack.size());
+      if (e.level != expect_level) {
+        Problem(StringPrintf("color %u elem %u: level %u, expected %u", c,
+                             e.elem, e.level, expect_level));
+      }
+      ElemId expect_parent =
+          stack.empty() ? kInvalidElem : stack.back().elem;
+      if (store_.Parent(c, e.elem) != expect_parent) {
+        Problem(StringPrintf("color %u elem %u: parent pointer mismatch", c,
+                             e.elem));
+      }
+      stack.push_back(e);
+    }
+  }
+
+  void CheckPostings(mct::ColorId c) {
+    const er::ErDiagram& diagram = store_.schema().diagram();
+    for (er::NodeId tag = 0; tag < diagram.num_nodes(); ++tag) {
+      const PostingMeta* meta = store_.Posting(c, tag);
+      if (meta == nullptr) continue;
+      auto entries = ReadAll(store_.buffer_pool(), *meta);
+      uint32_t prev_start = 0;
+      for (const LabelEntry& e : entries) {
+        if (e.start <= prev_start) {
+          Problem(StringPrintf("color %u tag %s: posting out of order", c,
+                               diagram.node(tag).name.c_str()));
+          break;
+        }
+        prev_start = e.start;
+        if (e.elem >= store_.num_elements() ||
+            store_.element(e.elem).er_node != tag) {
+          Problem(StringPrintf("color %u tag %s: entry for wrong element",
+                               c, diagram.node(tag).name.c_str()));
+          break;
+        }
+        LabelEntry label;
+        if (!store_.Label(c, e.elem, &label) || label.start != e.start ||
+            label.end != e.end) {
+          Problem(StringPrintf("color %u tag %s elem %u: posting/label "
+                               "disagreement",
+                               c, diagram.node(tag).name.c_str(), e.elem));
+          break;
+        }
+      }
+    }
+  }
+
+  void CheckKeyIndex() {
+    for (ElemId e = 0; e < store_.num_elements(); ++e) {
+      const ElementMeta& meta = store_.element(e);
+      auto elems = store_.ElementsFor(meta.er_node, meta.logical);
+      if (std::find(elems.begin(), elems.end(), e) == elems.end()) {
+        Problem(StringPrintf("elem %u missing from key index", e));
+      }
+    }
+  }
+
+  /// Logical parent-child pairs realized via each ER edge, per color.
+  using PairSet = std::set<std::pair<uint32_t, uint32_t>>;
+
+  void CheckIcics() {
+    const mct::MctSchema& schema = store_.schema();
+    auto icics = schema.ComputeIcics();
+    if (icics.empty()) return;
+    // Collect realized pairs per (edge, color). The ER edge between two
+    // adjacent er nodes is unique, so (parent tag, child tag) determines
+    // it.
+    std::map<er::EdgeId, std::map<mct::ColorId, PairSet>> realized;
+    std::set<er::EdgeId> constrained;
+    for (const mct::Icic& icic : icics) constrained.insert(icic.er_edge);
+
+    const er::ErGraph& graph = schema.graph();
+    for (mct::ColorId c = 0; c < schema.num_colors(); ++c) {
+      for (const LabelEntry& e : store_.ColorEntries(c)) {
+        ElemId parent = store_.Parent(c, e.elem);
+        if (parent == kInvalidElem) continue;
+        const ElementMeta& cm = store_.element(e.elem);
+        const ElementMeta& pm = store_.element(parent);
+        // Find the ER edge between the two node types. Canonicalize the
+        // pair as (endpoint logical, relationship logical): a 1:1 edge may
+        // be realized with either side as the structural parent in
+        // different colors, and that is the same association.
+        for (er::EdgeId eid : graph.incident(cm.er_node)) {
+          const er::ErEdge& edge_meta = graph.edge(eid);
+          if (edge_meta.other(cm.er_node) != pm.er_node) continue;
+          if (!constrained.count(eid)) break;
+          uint32_t rel_logical =
+              pm.er_node == edge_meta.rel ? pm.logical : cm.logical;
+          uint32_t node_logical =
+              pm.er_node == edge_meta.rel ? cm.logical : pm.logical;
+          realized[eid][c].insert({node_logical, rel_logical});
+          break;
+        }
+      }
+    }
+    const er::ErDiagram& diagram = schema.diagram();
+    for (const auto& [edge, by_color] : realized) {
+      // Complete realizations = the maximal sets; all must be identical,
+      // and partial (graft) realizations must be subsets.
+      size_t max_size = 0;
+      for (const auto& [c, pairs] : by_color) {
+        max_size = std::max(max_size, pairs.size());
+      }
+      const PairSet* full = nullptr;
+      for (const auto& [c, pairs] : by_color) {
+        if (pairs.size() != max_size) continue;
+        if (full == nullptr) {
+          full = &pairs;
+        } else if (pairs != *full) {
+          Problem(StringPrintf(
+              "ICIC violation on edge %s--%s: complete realizations "
+              "disagree",
+              diagram.node(graph.edge(edge).rel).name.c_str(),
+              diagram.node(graph.edge(edge).node).name.c_str()));
+        }
+      }
+      for (const auto& [c, pairs] : by_color) {
+        if (pairs.size() == max_size || full == nullptr) continue;
+        for (const auto& pair : pairs) {
+          if (!full->count(pair)) {
+            Problem(StringPrintf(
+                "ICIC violation on edge %s--%s: color %u asserts a pair "
+                "absent from the complete realization",
+                diagram.node(graph.edge(edge).rel).name.c_str(),
+                diagram.node(graph.edge(edge).node).name.c_str(), c));
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  void CheckIdrefs() {
+    const er::ErDiagram& diagram = store_.schema().diagram();
+    // Key values per node type.
+    std::map<er::NodeId, std::set<std::string>> keys;
+    for (ElemId e = 0; e < store_.num_elements(); ++e) {
+      const ElementMeta& meta = store_.element(e);
+      const er::ErNode& node = diagram.node(meta.er_node);
+      for (size_t a = 0; a < node.attributes.size(); ++a) {
+        if (!node.attributes[a].is_key) continue;
+        const std::string* v =
+            store_.AttrValue(e, node.attributes[a].name);
+        if (v != nullptr) keys[meta.er_node].insert(*v);
+      }
+    }
+    for (const mct::RefEdge& ref : store_.schema().ref_edges()) {
+      er::NodeId holder = store_.schema().occ(ref.from).er_node;
+      for (ElemId e = 0; e < store_.num_elements(); ++e) {
+        if (store_.element(e).er_node != holder) continue;
+        const std::string* v = store_.AttrValue(e, ref.attr_name);
+        if (v == nullptr) {
+          Problem(StringPrintf("elem %u: missing idref %s", e,
+                               ref.attr_name.c_str()));
+          continue;
+        }
+        if (!keys[ref.target].count(*v)) {
+          Problem(StringPrintf("elem %u: dangling idref %s='%s'", e,
+                               ref.attr_name.c_str(), v->c_str()));
+        }
+      }
+    }
+  }
+
+  const MctStore& store_;
+  const ValidateOptions& options_;
+  ValidationReport* report_;
+};
+
+}  // namespace
+
+ValidationReport ValidateStore(const MctStore& store,
+                               const ValidateOptions& options) {
+  ValidationReport report;
+  Validator validator(store, options, &report);
+  validator.Run();
+  return report;
+}
+
+}  // namespace mctdb::storage

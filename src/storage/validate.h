@@ -1,0 +1,39 @@
+// Whole-store validation: structural invariants of the labeled forests and
+// the instance-level inter-color integrity constraints (ICICs, §2.3).
+//
+// An ICIC on an ER edge realized in several colors demands that "in any
+// valid database instance either the edge between the nodes u and v must be
+// present in all colors, or it must be absent in all". At instance level we
+// check, per constrained ER edge: all *complete* realizations (the
+// maximal per-color pair sets) are identical, and every partial realization
+// (a denormalized graft copy) asserts only pairs the complete ones hold.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "storage/store.h"
+
+namespace mctdb::storage {
+
+struct ValidationReport {
+  std::vector<std::string> problems;
+  bool ok() const { return problems.empty(); }
+  std::string ToString() const;
+};
+
+struct ValidateOptions {
+  /// Cap on reported problems (validation keeps running to count, but
+  /// stops recording).
+  size_t max_problems = 32;
+  /// Also verify every id/idref attribute resolves to an existing key of
+  /// its target type.
+  bool check_idrefs = true;
+};
+
+/// Validates label nesting, parent pointers, posting order, the key index,
+/// ICIC consistency and (optionally) idref integrity.
+ValidationReport ValidateStore(const MctStore& store,
+                               const ValidateOptions& options = {});
+
+}  // namespace mctdb::storage

@@ -1,0 +1,96 @@
+#include "workload/runner.h"
+
+#include <algorithm>
+
+#include "query/planner.h"
+
+namespace mctdb::workload {
+
+const Measurement* RunSummary::Find(const std::string& schema,
+                                    const std::string& query) const {
+  for (const Measurement& m : measurements) {
+    if (m.schema == schema && m.query == query) return &m;
+  }
+  return nullptr;
+}
+
+Result<RunSummary> RunWorkload(const Workload& workload,
+                               const RunnerOptions& options) {
+  RunSummary summary;
+  er::ErGraph graph(workload.diagram);
+  design::Designer designer(graph);
+  instance::LogicalInstance logical =
+      instance::GenerateInstance(graph, workload.gen);
+
+  std::vector<mct::MctSchema> schemas;
+  std::vector<std::unique_ptr<storage::MctStore>> stores;
+  for (design::Strategy s : options.strategies) {
+    schemas.push_back(designer.Design(s));
+  }
+  for (mct::MctSchema& schema : schemas) {
+    instance::MaterializeOptions mat;
+    mat.store = options.store;
+    stores.push_back(instance::Materialize(logical, schema, mat));
+    summary.storage.emplace_back(schema.name(), stores.back()->Stats());
+  }
+
+  // Reference results per read query, for the equivalence check.
+  std::map<std::string, std::vector<uint32_t>> reference;
+
+  for (size_t i = 0; i < schemas.size(); ++i) {
+    for (const std::string& name : workload.figure_queries) {
+      const query::AssociationQuery* q = workload.Find(name);
+      if (q == nullptr) {
+        summary.problems.push_back("unknown figure query " + name);
+        continue;
+      }
+      auto plan = query::PlanQuery(*q, schemas[i]);
+      if (!plan.ok()) {
+        summary.problems.push_back(name + " on " + schemas[i].name() +
+                                   ": " + plan.status().ToString());
+        continue;
+      }
+      query::Executor exec(stores[i].get());
+      std::vector<double> times;
+      query::ExecResult last;
+      bool failed = false;
+      for (size_t rep = 0; rep < std::max<size_t>(1, options.repetitions);
+           ++rep) {
+        auto result = exec.Execute(*plan);
+        if (!result.ok()) {
+          summary.problems.push_back(name + " on " + schemas[i].name() +
+                                     ": " + result.status().ToString());
+          failed = true;
+          break;
+        }
+        times.push_back(result->elapsed_seconds);
+        last = *result;
+      }
+      if (failed) continue;
+      std::sort(times.begin(), times.end());
+
+      Measurement m;
+      m.schema = schemas[i].name();
+      m.query = name;
+      m.plan = plan->Stats();
+      m.seconds = times[times.size() / 2];
+      m.unique_results =
+          q->is_update() ? last.logicals_updated : last.unique_count;
+      m.raw_results = q->is_update() ? last.elements_updated : last.raw_count;
+      m.elements_updated = last.elements_updated;
+      m.page_misses = last.page_misses;
+      summary.measurements.push_back(m);
+
+      if (options.check_equivalence && !q->is_update()) {
+        auto [it, inserted] = reference.emplace(name, last.logicals);
+        if (!inserted && it->second != last.logicals) {
+          summary.problems.push_back("equivalence violation: " + name +
+                                     " on " + schemas[i].name());
+        }
+      }
+    }
+  }
+  return summary;
+}
+
+}  // namespace mctdb::workload

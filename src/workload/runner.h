@@ -1,0 +1,60 @@
+// WorkloadRunner: the one-call evaluation harness. Given a workload, it
+// designs the requested schemas, draws one logical instance, materializes a
+// store per schema, executes every query everywhere, checks logical result
+// equivalence across schemas (the §6 "equivalent content" guarantee), and
+// returns per-(schema, query) measurements. bench_table1 and downstream
+// users build on this instead of wiring the pipeline by hand.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "design/designer.h"
+#include "instance/materialize.h"
+#include "query/executor.h"
+#include "workload/workload.h"
+
+namespace mctdb::workload {
+
+struct RunnerOptions {
+  std::vector<design::Strategy> strategies = design::AllStrategies();
+  /// Verify that every read query returns the same logical result set on
+  /// every schema; mismatches are reported in RunSummary::problems.
+  bool check_equivalence = true;
+  /// Repetitions per query; the median time is reported.
+  size_t repetitions = 1;
+  storage::StoreOptions store;
+};
+
+struct Measurement {
+  std::string schema;
+  std::string query;
+  query::PlanStats plan;
+  double seconds = 0.0;
+  size_t unique_results = 0;
+  size_t raw_results = 0;
+  size_t elements_updated = 0;
+  uint64_t page_misses = 0;
+};
+
+struct RunSummary {
+  /// Storage statistics per schema, in strategy order.
+  std::vector<std::pair<std::string, storage::StoreStats>> storage;
+  /// One row per (schema, figure query), schema-major.
+  std::vector<Measurement> measurements;
+  /// Equivalence violations and planning failures, empty when healthy.
+  std::vector<std::string> problems;
+
+  const Measurement* Find(const std::string& schema,
+                          const std::string& query) const;
+};
+
+/// Runs `workload` end to end. Fails only on setup errors; per-query
+/// problems are collected in the summary.
+Result<RunSummary> RunWorkload(const Workload& workload,
+                               const RunnerOptions& options = {});
+
+}  // namespace mctdb::workload

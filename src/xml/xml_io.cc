@@ -1,0 +1,204 @@
+#include "xml/xml_io.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace mctdb::xml {
+
+namespace {
+
+void WriteNode(const XmlNode& node, const WriteOptions& options, size_t depth,
+               std::string* out) {
+  if (options.pretty) out->append(2 * depth, ' ');
+  *out += "<" + node.tag();
+  for (const auto& [k, v] : node.attrs()) {
+    *out += " " + k + "=\"" + EscapeXml(v) + "\"";
+  }
+  if (node.children().empty() && node.text().empty()) {
+    *out += "/>";
+    if (options.pretty) *out += "\n";
+    return;
+  }
+  *out += ">";
+  if (!node.text().empty()) {
+    *out += EscapeXml(node.text());
+  }
+  if (!node.children().empty()) {
+    if (options.pretty) *out += "\n";
+    for (const auto& child : node.children()) {
+      WriteNode(*child, options, depth + 1, out);
+    }
+    if (options.pretty) out->append(2 * depth, ' ');
+  }
+  *out += "</" + node.tag() + ">";
+  if (options.pretty) *out += "\n";
+}
+
+/// Single-pass recursive-descent parser state.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<XmlNodePtr> Parse() {
+    SkipWhitespaceAndMisc();
+    MCTDB_ASSIGN_OR_RETURN(XmlNodePtr root, ParseElement());
+    SkipWhitespaceAndMisc();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after document element");
+    }
+    return root;
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(
+        StringPrintf("offset %zu: %s", pos_, msg.c_str()));
+  }
+
+  bool Eof() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  bool Consume(std::string_view token) {
+    if (text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (!Eof() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+
+  void SkipWhitespaceAndMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (Consume("<?")) {  // processing instruction / xml header
+        while (!Eof() && !Consume("?>")) ++pos_;
+      } else if (Consume("<!--")) {
+        while (!Eof() && !Consume("-->")) ++pos_;
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::string ParseName() {
+    size_t start = pos_;
+    while (!Eof() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                      Peek() == '_' || Peek() == '-' || Peek() == ':' ||
+                      Peek() == '.')) {
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  static std::string Unescape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (s[i] != '&') {
+        out += s[i];
+        continue;
+      }
+      auto rest = s.substr(i);
+      if (rest.rfind("&amp;", 0) == 0) {
+        out += '&';
+        i += 4;
+      } else if (rest.rfind("&lt;", 0) == 0) {
+        out += '<';
+        i += 3;
+      } else if (rest.rfind("&gt;", 0) == 0) {
+        out += '>';
+        i += 3;
+      } else if (rest.rfind("&quot;", 0) == 0) {
+        out += '"';
+        i += 5;
+      } else if (rest.rfind("&apos;", 0) == 0) {
+        out += '\'';
+        i += 5;
+      } else {
+        out += '&';
+      }
+    }
+    return out;
+  }
+
+  Result<XmlNodePtr> ParseElement() {
+    if (!Consume("<")) return Error("expected '<'");
+    std::string tag = ParseName();
+    if (tag.empty()) return Error("expected element name");
+    auto node = std::make_unique<XmlNode>(tag);
+
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (Eof()) return Error("unexpected end inside tag");
+      if (Consume("/>")) return node;
+      if (Consume(">")) break;
+      std::string attr = ParseName();
+      if (attr.empty()) return Error("expected attribute name");
+      SkipWhitespace();
+      if (!Consume("=")) return Error("expected '=' after attribute");
+      SkipWhitespace();
+      char quote = Eof() ? '\0' : Peek();
+      if (quote != '"' && quote != '\'') return Error("expected quote");
+      ++pos_;
+      size_t start = pos_;
+      while (!Eof() && Peek() != quote) ++pos_;
+      if (Eof()) return Error("unterminated attribute value");
+      node->SetAttr(attr, Unescape(text_.substr(start, pos_ - start)));
+      ++pos_;
+    }
+
+    // Content: text and child elements until the close tag.
+    std::string text;
+    while (true) {
+      if (Eof()) return Error("unterminated element <" + tag + ">");
+      if (text_.substr(pos_, 2) == "</") {
+        pos_ += 2;
+        std::string close = ParseName();
+        if (close != tag) {
+          return Error("mismatched close tag </" + close + "> for <" + tag +
+                       ">");
+        }
+        SkipWhitespace();
+        if (!Consume(">")) return Error("expected '>' in close tag");
+        node->set_text(std::string(Trim(Unescape(text))));
+        return node;
+      }
+      if (text_.substr(pos_, 4) == "<!--") {
+        pos_ += 4;
+        while (!Eof() && !Consume("-->")) ++pos_;
+        continue;
+      }
+      if (Peek() == '<') {
+        MCTDB_ASSIGN_OR_RETURN(XmlNodePtr child, ParseElement());
+        // Transfer ownership into the children list.
+        node->AddChildNode(std::move(child));
+        continue;
+      }
+      text += Peek();
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string WriteXml(const XmlNode& root, const WriteOptions& options) {
+  std::string out;
+  if (options.header) out += "<?xml version=\"1.0\"?>\n";
+  WriteNode(root, options, 0, &out);
+  return out;
+}
+
+Result<XmlNodePtr> ParseXml(std::string_view text) {
+  Parser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace mctdb::xml

@@ -1,0 +1,23 @@
+// XML serialization and a small parser (elements, attributes, text,
+// comments; no DTD/namespaces — enough to round-trip our own output).
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "xml/xml_node.h"
+
+namespace mctdb::xml {
+
+struct WriteOptions {
+  bool pretty = true;   ///< indent with two spaces per depth
+  bool header = true;   ///< emit <?xml version="1.0"?>
+};
+
+std::string WriteXml(const XmlNode& root, const WriteOptions& options = {});
+
+/// Parses one document. Returns InvalidArgument with an offset on malformed
+/// input.
+Result<XmlNodePtr> ParseXml(std::string_view text);
+
+}  // namespace mctdb::xml

@@ -1,0 +1,53 @@
+#include "xml/xml_node.h"
+
+namespace mctdb::xml {
+
+void XmlNode::SetAttr(std::string_view name, std::string_view value) {
+  for (auto& [k, v] : attrs_) {
+    if (k == name) {
+      v = std::string(value);
+      return;
+    }
+  }
+  attrs_.emplace_back(std::string(name), std::string(value));
+}
+
+const std::string* XmlNode::FindAttr(std::string_view name) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+XmlNode* XmlNode::AddChild(std::string tag) {
+  children_.push_back(std::make_unique<XmlNode>(std::move(tag)));
+  return children_.back().get();
+}
+
+XmlNode* XmlNode::AddChildNode(XmlNodePtr child) {
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+const XmlNode* XmlNode::FindChild(std::string_view tag) const {
+  for (const auto& c : children_) {
+    if (c->tag() == tag) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::FindChildren(std::string_view tag) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& c : children_) {
+    if (c->tag() == tag) out.push_back(c.get());
+  }
+  return out;
+}
+
+size_t XmlNode::SubtreeSize() const {
+  size_t n = 1;
+  for (const auto& c : children_) n += c->SubtreeSize();
+  return n;
+}
+
+}  // namespace mctdb::xml

@@ -1,0 +1,54 @@
+// A small XML document model, used to serialize colored trees of an MCT
+// database as plain XML (one document per color) and to round-trip schema
+// examples. This is the exchange-format layer; the query engine runs on
+// src/storage's labeled node store, not on this DOM.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mctdb::xml {
+
+class XmlNode;
+using XmlNodePtr = std::unique_ptr<XmlNode>;
+
+/// One XML element with attributes, text content and children.
+class XmlNode {
+ public:
+  explicit XmlNode(std::string tag) : tag_(std::move(tag)) {}
+
+  const std::string& tag() const { return tag_; }
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  void SetAttr(std::string_view name, std::string_view value);
+  /// Returns nullptr when absent.
+  const std::string* FindAttr(std::string_view name) const;
+  const std::vector<std::pair<std::string, std::string>>& attrs() const {
+    return attrs_;
+  }
+
+  /// Appends and returns a new child element.
+  XmlNode* AddChild(std::string tag);
+  /// Appends an already-built subtree (used by the parser).
+  XmlNode* AddChildNode(XmlNodePtr child);
+  const std::vector<XmlNodePtr>& children() const { return children_; }
+
+  /// First child with the given tag, or nullptr.
+  const XmlNode* FindChild(std::string_view tag) const;
+  /// All children with the given tag.
+  std::vector<const XmlNode*> FindChildren(std::string_view tag) const;
+
+  /// Total element count of the subtree including this node.
+  size_t SubtreeSize() const;
+
+ private:
+  std::string tag_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::vector<XmlNodePtr> children_;
+};
+
+}  // namespace mctdb::xml

@@ -1,0 +1,138 @@
+#include "design/algorithm_mc.h"
+
+#include <gtest/gtest.h>
+
+#include "design/recoverability.h"
+#include "er/er_catalog.h"
+
+namespace mctdb::design {
+namespace {
+
+using er::ErDiagram;
+using er::ErGraph;
+
+void ExpectNnEnAr(const ErDiagram& d) {
+  ErGraph g(d);
+  mct::MctSchema s = AlgorithmMc(g);
+  std::string why;
+  EXPECT_TRUE(s.IsNodeNormal(&why)) << d.name() << ": " << why;
+  EXPECT_TRUE(s.IsEdgeNormal(&why)) << d.name() << ": " << why;
+  EXPECT_TRUE(IsAssociationRecoverable(s)) << d.name();
+  EXPECT_TRUE(s.CoversAllNodes(&why)) << d.name() << ": missing " << why;
+  EXPECT_TRUE(s.ComputeIcics().empty()) << "EN => empty ICIC set";
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(AlgorithmMcTest, Theorem51HoldsOnCatalog) {
+  for (const ErDiagram& d : er::EvaluationCollection()) ExpectNnEnAr(d);
+  ExpectNnEnAr(er::ToyMcNotDr());
+  ExpectNnEnAr(er::ToyMcmrInsufficient());
+}
+
+TEST(AlgorithmMcTest, EveryEdgeColoredExactlyOnce) {
+  ErDiagram d = er::Tpcw();
+  ErGraph g(d);
+  mct::MctSchema s = AlgorithmMc(g);
+  std::vector<int> times(g.num_edges(), 0);
+  for (const auto& o : s.occurrences()) {
+    if (!o.is_root()) ++times[o.via_edge];
+  }
+  for (er::EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(times[e], 1) << "edge " << e;
+  }
+}
+
+TEST(AlgorithmMcTest, TpcwUsesTwoColors) {
+  // The paper's EN schema for TPC-W has 2 colors (Table 1).
+  ErDiagram d = er::Tpcw();
+  ErGraph g(d);
+  mct::MctSchema s = AlgorithmMc(g);
+  EXPECT_EQ(s.num_colors(), 2u) << s.DebugString();
+}
+
+TEST(AlgorithmMcTest, SingleColorSufficesForChain) {
+  ErDiagram d = er::Er7Chain();
+  ErGraph g(d);
+  mct::MctSchema s = AlgorithmMc(g);
+  EXPECT_EQ(s.num_colors(), 1u);
+}
+
+TEST(AlgorithmMcTest, SingleColorSufficesForStar) {
+  ErDiagram d = er::Er6Star();
+  ErGraph g(d);
+  mct::MctSchema s = AlgorithmMc(g);
+  EXPECT_EQ(s.num_colors(), 1u);
+}
+
+TEST(AlgorithmMcTest, ToyMcNotDrNeedsTwoColors) {
+  // B on the many side of r1 and r3: two parents, two colors.
+  ErDiagram d = er::ToyMcNotDr();
+  ErGraph g(d);
+  mct::MctSchema s = AlgorithmMc(g);
+  EXPECT_EQ(s.num_colors(), 2u);
+  // And, as §5.2 argues, EN forces some eligible association to miss DR.
+  auto paths = EnumerateEligiblePaths(g);
+  auto report = AnalyzeRecoverability(s, paths);
+  EXPECT_FALSE(report.fully_direct());
+}
+
+TEST(AlgorithmMcTest, ManyManyNeedsTwoColors) {
+  ErDiagram d("t");
+  auto a = d.AddEntity("a");
+  auto b = d.AddEntity("b");
+  ASSERT_TRUE(d.AddManyToMany("r", a, b).ok());
+  ErGraph g(d);
+  mct::MctSchema s = AlgorithmMc(g);
+  // r is on the many side of both edges: one parent per color.
+  EXPECT_EQ(s.num_colors(), 2u);
+  EXPECT_TRUE(s.IsNodeNormal());
+  EXPECT_TRUE(s.IsEdgeNormal());
+}
+
+TEST(AlgorithmMcTest, OneOneRingTerminatesAndCovers) {
+  ErDiagram d = er::Er9OneOneRing();
+  ErGraph g(d);
+  mct::MctSchema s = AlgorithmMc(g);
+  EXPECT_TRUE(IsAssociationRecoverable(s));
+  EXPECT_TRUE(s.IsNodeNormal());
+  EXPECT_TRUE(s.IsEdgeNormal());
+}
+
+TEST(AlgorithmMcTest, SingleColorModeStopsAfterOneColor) {
+  ErDiagram d = er::Tpcw();
+  ErGraph g(d);
+  McOptions opts;
+  opts.single_color = true;
+  mct::MctSchema s = AlgorithmMc(g, "AF-base", opts);
+  EXPECT_EQ(s.num_colors(), 1u);
+  // TPC-W cannot be fully covered in one color.
+  EXPECT_FALSE(IsAssociationRecoverable(s));
+  EXPECT_TRUE(s.IsNodeNormal());
+}
+
+TEST(AlgorithmMcTest, ForcedStartNodeRespected) {
+  ErDiagram d = er::Tpcw();
+  ErGraph g(d);
+  McOptions opts;
+  opts.first_start = *d.FindNode("author");
+  mct::MctSchema s = AlgorithmMc(g, "EN", opts);
+  // The first color's first root is the forced start.
+  ASSERT_FALSE(s.roots(0).empty());
+  EXPECT_EQ(s.occ(s.roots(0)[0]).er_node, *d.FindNode("author"));
+}
+
+TEST(AlgorithmMcTest, BlueTreeNestsTheNaturalChain) {
+  // country > in > address > has > customer > make > order ... (Fig 5 blue
+  // resp. Fig 3 shape).
+  ErDiagram d = er::Tpcw();
+  ErGraph g(d);
+  mct::MctSchema s = AlgorithmMc(g);
+  mct::OccId country = s.FindOcc(0, *d.FindNode("country"));
+  mct::OccId order = s.FindOcc(0, *d.FindNode("order"));
+  ASSERT_NE(country, mct::kInvalidOcc);
+  ASSERT_NE(order, mct::kInvalidOcc);
+  EXPECT_TRUE(s.IsAncestor(country, order));
+}
+
+}  // namespace
+}  // namespace mctdb::design

@@ -1,0 +1,105 @@
+#include "design/algorithm_undr.h"
+
+#include <gtest/gtest.h>
+
+#include "design/algorithm_dumc.h"
+#include "design/recoverability.h"
+#include "er/er_catalog.h"
+
+namespace mctdb::design {
+namespace {
+
+using er::ErDiagram;
+using er::ErGraph;
+
+TEST(AlgorithmUndrTest, KeepsArAndDrOnCatalog) {
+  for (const ErDiagram& d : er::EvaluationCollection()) {
+    ErGraph g(d);
+    mct::MctSchema s = AlgorithmUndr(g);
+    EXPECT_TRUE(IsAssociationRecoverable(s)) << d.name();
+    auto report = AnalyzeRecoverability(s, EnumerateEligiblePaths(g));
+    EXPECT_TRUE(report.fully_direct()) << d.name();
+    EXPECT_TRUE(s.Validate().ok());
+  }
+}
+
+TEST(AlgorithmUndrTest, TpcwBreaksNodeNormalForm) {
+  ErDiagram d = er::Tpcw();
+  ErGraph g(d);
+  mct::MctSchema s = AlgorithmUndr(g);
+  std::string why;
+  EXPECT_FALSE(s.IsNodeNormal(&why)) << "UNDR trades NN for locality";
+}
+
+TEST(AlgorithmUndrTest, SameColorsAsDr) {
+  // UNDR denormalizes within DUMC's colors, never adds any (Table 1: both 5
+  // for TPC-W).
+  for (const ErDiagram& d : er::EvaluationCollection()) {
+    ErGraph g(d);
+    EXPECT_EQ(AlgorithmUndr(g).num_colors(), AlgorithmDumc(g).num_colors())
+        << d.name();
+  }
+}
+
+TEST(AlgorithmUndrTest, BiggerThanDrSmallerBoundIsRespected) {
+  ErDiagram d = er::Tpcw();
+  ErGraph g(d);
+  mct::MctSchema dr = AlgorithmDumc(g);
+  mct::MctSchema undr = AlgorithmUndr(g);
+  EXPECT_GT(undr.num_occurrences(), dr.num_occurrences());
+
+  UndrOptions tight;
+  tight.max_occurrences = dr.num_occurrences() + 5;
+  mct::MctSchema capped = AlgorithmUndr(g, "UNDR", tight);
+  EXPECT_LE(capped.num_occurrences(), tight.max_occurrences + 1)
+      << "cap may only be overshot by the occurrence being appended";
+}
+
+TEST(AlgorithmUndrTest, GraftsBillingAddressContext) {
+  // The whole point for TPC-W: under some billing occurrence there must now
+  // be a duplicated address with its in/country context, so Q2-style
+  // queries run in one color without a crossing.
+  ErDiagram d = er::Tpcw();
+  ErGraph g(d);
+  mct::MctSchema s = AlgorithmUndr(g);
+  er::NodeId billing = *d.FindNode("billing");
+  er::NodeId address = *d.FindNode("address");
+  er::NodeId country = *d.FindNode("country");
+  bool found = false;
+  for (const auto& o : s.occurrences()) {
+    if (o.er_node != billing) continue;
+    for (mct::OccId c1 : o.children) {
+      if (s.occ(c1).er_node != address) continue;
+      // look for country two functional hops below the grafted address
+      for (mct::OccId c2 : s.occ(c1).children) {
+        for (mct::OccId c3 : s.occ(c2).children) {
+          if (s.occ(c3).er_node == country) found = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(found) << s.DebugString();
+}
+
+TEST(AlgorithmUndrTest, ContextChainsDoNotFanOut) {
+  // Functional context must never multiply: no grafted occurrence may sit
+  // below a reverse edge AND have a MANY-participation fan-out child link.
+  ErDiagram d = er::Tpcw();
+  ErGraph g(d);
+  mct::MctSchema dr = AlgorithmDumc(g);
+  mct::MctSchema s = AlgorithmUndr(g);
+  // All grafted occurrences have ids >= dr occurrence count; check their
+  // child links are functional.
+  for (size_t id = dr.num_occurrences(); id < s.num_occurrences(); ++id) {
+    const auto& o = s.occ(static_cast<mct::OccId>(id));
+    for (mct::OccId child : o.children) {
+      const er::ErEdge& e = g.edge(s.occ(child).via_edge);
+      bool functional = (o.er_node == e.rel) ||
+                        e.participation == er::Participation::kOne;
+      EXPECT_TRUE(functional);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mctdb::design

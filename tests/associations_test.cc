@@ -1,0 +1,156 @@
+#include "design/associations.h"
+
+#include <gtest/gtest.h>
+
+#include "er/er_catalog.h"
+
+namespace mctdb::design {
+namespace {
+
+using er::ErDiagram;
+using er::ErGraph;
+using er::NodeId;
+
+TEST(AssociationsTest, SingleOneToManyYieldsForwardPathsOnly) {
+  ErDiagram d("t");
+  NodeId a = d.AddEntity("a");
+  NodeId b = d.AddEntity("b");
+  ASSERT_TRUE(d.AddOneToMany("r", a, b).ok());
+  ErGraph g(d);
+  auto paths = EnumerateEligiblePaths(g);
+  // a->r, a->r->b, b->r (endpoint->rel is always traversable), r->b.
+  // NOT r->a or b->..->a (many-to-one downward).
+  bool a_to_b = false, b_to_a = false;
+  for (const auto& p : paths) {
+    if (p.source == a && p.target == b) a_to_b = true;
+    if (p.source == b && p.target == a) b_to_a = true;
+  }
+  EXPECT_TRUE(a_to_b);
+  EXPECT_FALSE(b_to_a);
+}
+
+TEST(AssociationsTest, ManyManyPairIneligible) {
+  ErDiagram d("t");
+  NodeId a = d.AddEntity("a");
+  NodeId b = d.AddEntity("b");
+  ASSERT_TRUE(d.AddManyToMany("r", a, b).ok());
+  ErGraph g(d);
+  for (const auto& p : EnumerateEligiblePaths(g)) {
+    EXPECT_FALSE(p.source == a && p.target == b);
+    EXPECT_FALSE(p.source == b && p.target == a);
+  }
+  // But a->r and b->r (each 1:N into the relationship) are eligible.
+  auto pairs = EligiblePairs(g);
+  NodeId r = *d.FindNode("r");
+  EXPECT_NE(std::find(pairs.begin(), pairs.end(), std::make_pair(a, r)),
+            pairs.end());
+}
+
+TEST(AssociationsTest, CompositionThroughChain) {
+  // a => b => c: a=>c eligible; c=>a not.
+  ErDiagram d("t");
+  NodeId a = d.AddEntity("a");
+  NodeId b = d.AddEntity("b");
+  NodeId c = d.AddEntity("c");
+  ASSERT_TRUE(d.AddOneToMany("r1", a, b).ok());
+  ASSERT_TRUE(d.AddOneToMany("r2", b, c).ok());
+  ErGraph g(d);
+  auto pairs = EligiblePairs(g);
+  auto has = [&](NodeId x, NodeId y) {
+    return std::find(pairs.begin(), pairs.end(), std::make_pair(x, y)) !=
+           pairs.end();
+  };
+  EXPECT_TRUE(has(a, c));
+  EXPECT_FALSE(has(c, a));
+  // The composite fan: b-to-a composed with a-to-... stays ineligible.
+  EXPECT_FALSE(has(b, a));
+}
+
+TEST(AssociationsTest, OneOneGoesBothWays) {
+  ErDiagram d("t");
+  NodeId a = d.AddEntity("a");
+  NodeId b = d.AddEntity("b");
+  ASSERT_TRUE(d.AddOneToOne("r", a, b).ok());
+  ErGraph g(d);
+  auto pairs = EligiblePairs(g);
+  auto has = [&](NodeId x, NodeId y) {
+    return std::find(pairs.begin(), pairs.end(), std::make_pair(x, y)) !=
+           pairs.end();
+  };
+  EXPECT_TRUE(has(a, b));
+  EXPECT_TRUE(has(b, a));
+}
+
+TEST(AssociationsTest, PathsAreSimple) {
+  er::ErDiagram d = er::Tpcw();
+  ErGraph g(d);
+  for (const auto& p : EnumerateEligiblePaths(g)) {
+    std::set<NodeId> seen(p.nodes.begin(), p.nodes.end());
+    EXPECT_EQ(seen.size(), p.nodes.size()) << "repeated node in path";
+    EXPECT_EQ(p.nodes.size(), p.edges.size() + 1);
+    EXPECT_EQ(p.nodes.front(), p.source);
+    EXPECT_EQ(p.nodes.back(), p.target);
+  }
+}
+
+TEST(AssociationsTest, TpcwKnownAssociations) {
+  er::ErDiagram d = er::Tpcw();
+  ErGraph g(d);
+  auto pairs = EligiblePairs(g);
+  auto has = [&](const char* x, const char* y) {
+    return std::find(pairs.begin(), pairs.end(),
+                     std::make_pair(*d.FindNode(x), *d.FindNode(y))) !=
+           pairs.end();
+  };
+  // 1:N compositions downward.
+  EXPECT_TRUE(has("country", "order"));
+  EXPECT_TRUE(has("country", "order_line"));
+  EXPECT_TRUE(has("customer", "order"));
+  EXPECT_TRUE(has("address", "order"));  // via billing/shipping
+  EXPECT_TRUE(has("item", "order_line"));
+  EXPECT_TRUE(has("author", "order_line"));
+  EXPECT_TRUE(has("order", "credit_card_transaction"));  // 1:1
+  EXPECT_TRUE(has("credit_card_transaction", "order"));  // 1:1 both ways
+  // M:N composites are ineligible.
+  EXPECT_FALSE(has("order", "item"));
+  EXPECT_FALSE(has("item", "order"));
+  EXPECT_FALSE(has("order", "customer"));  // many-to-one upward
+  EXPECT_FALSE(has("order_line", "country"));
+}
+
+TEST(AssociationsTest, LabelUsesIntermediateNodes) {
+  er::ErDiagram d = er::Tpcw();
+  ErGraph g(d);
+  for (const auto& p : EnumerateEligiblePaths(g)) {
+    if (d.node(p.source).name == "country" &&
+        d.node(p.target).name == "customer" && p.length() == 4) {
+      EXPECT_EQ(p.Label(d), "in.address.has");
+      return;
+    }
+  }
+  FAIL() << "expected country->customer path of length 4";
+}
+
+TEST(AssociationsTest, MaxLengthCapRespected) {
+  er::ErDiagram d = er::Er7Chain();
+  ErGraph g(d);
+  EnumerateOptions opts;
+  opts.max_length = 3;
+  for (const auto& p : EnumerateEligiblePaths(g, opts)) {
+    EXPECT_LE(p.length(), 3u);
+  }
+}
+
+TEST(AssociationsTest, MaxPathsCapSetsTruncated) {
+  er::ErDiagram d = er::Tpcw();
+  ErGraph g(d);
+  EnumerateOptions opts;
+  opts.max_paths = 5;
+  bool truncated = false;
+  auto paths = EnumerateEligiblePaths(g, opts, &truncated);
+  EXPECT_EQ(paths.size(), 5u);
+  EXPECT_TRUE(truncated);
+}
+
+}  // namespace
+}  // namespace mctdb::design

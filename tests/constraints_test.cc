@@ -1,0 +1,130 @@
+#include "design/constraints.h"
+
+#include <gtest/gtest.h>
+
+#include "design/algorithm_mc.h"
+#include "design/recoverability.h"
+
+namespace mctdb::design {
+namespace {
+
+/// The paper's §3.2 example: `name` shared by `author` and `publisher`,
+/// with the integrity constraint that author names and publisher names are
+/// disjoint.
+struct AuthorPublisherFixture {
+  er::ErDiagram diagram;
+  er::ErGraph graph;
+  er::NodeId author, publisher, name, an, pn;
+  ConstraintSet constraints;
+
+  AuthorPublisherFixture() : diagram(Make()), graph(diagram) {
+    author = *diagram.FindNode("author");
+    publisher = *diagram.FindNode("publisher");
+    name = *diagram.FindNode("name");
+    an = *diagram.FindNode("author_name");
+    pn = *diagram.FindNode("publisher_name");
+    // The two edges name--author_name and name--publisher_name are
+    // instance-disjoint.
+    DisjointParentsConstraint c;
+    c.shared = name;
+    for (er::EdgeId eid : graph.incident(name)) c.edges.push_back(eid);
+    constraints.push_back(c);
+  }
+
+  static er::ErDiagram Make() {
+    er::ErDiagram d("authorship");
+    auto author = d.AddEntity("author", {{"id", er::AttrType::kString, true}});
+    auto publisher =
+        d.AddEntity("publisher", {{"id", er::AttrType::kString, true}});
+    auto name = d.AddEntity("name", {{"id", er::AttrType::kString, true}});
+    EXPECT_TRUE(d.AddOneToMany("author_name", author, name).ok());
+    EXPECT_TRUE(d.AddOneToMany("publisher_name", publisher, name).ok());
+    return d;
+  }
+};
+
+TEST(ConstraintsTest, UnconstrainedMcNeedsTwoColors) {
+  // name is on the many side of two 1:N relationships: Theorem 4.1 fails
+  // and plain MC must split colors.
+  AuthorPublisherFixture f;
+  mct::MctSchema s = AlgorithmMc(f.graph);
+  EXPECT_EQ(s.num_colors(), 2u);
+}
+
+TEST(ConstraintsTest, ConstraintAwareMcUsesOneColor) {
+  // With the disjointness declared, both parents may hold `name` in ONE
+  // color — "knowledge of these constraints can be used to obtain better
+  // MCT schema designs".
+  AuthorPublisherFixture f;
+  McOptions options;
+  options.constraints = &f.constraints;
+  mct::MctSchema s = AlgorithmMc(f.graph, "EN+C", options);
+  EXPECT_EQ(s.num_colors(), 1u) << s.DebugString();
+  EXPECT_TRUE(s.IsEdgeNormal());
+  EXPECT_TRUE(IsAssociationRecoverable(s));
+  // Plain NN fails (name occurs twice in the color) ...
+  EXPECT_FALSE(s.IsNodeNormal());
+  // ... but NN *under the constraint* holds.
+  std::string why;
+  EXPECT_TRUE(IsNodeNormalUnder(s, f.constraints, &why)) << why;
+}
+
+TEST(ConstraintsTest, CoverageRequiresAllEdges) {
+  AuthorPublisherFixture f;
+  // A constraint covering only one of the two edges excuses nothing.
+  ConstraintSet partial;
+  DisjointParentsConstraint c;
+  c.shared = f.name;
+  c.edges.push_back(f.graph.incident(f.name)[0]);
+  partial.push_back(c);
+
+  McOptions options;
+  options.constraints = &f.constraints;
+  mct::MctSchema s = AlgorithmMc(f.graph, "EN+C", options);
+  std::string why;
+  EXPECT_FALSE(IsNodeNormalUnder(s, partial, &why));
+  EXPECT_NE(why.find("name"), std::string::npos);
+}
+
+TEST(ConstraintsTest, ConstraintOnOtherNodeDoesNotLeak) {
+  AuthorPublisherFixture f;
+  ConstraintSet wrong;
+  DisjointParentsConstraint c;
+  c.shared = f.author;  // constraint about a different node
+  for (er::EdgeId eid : f.graph.incident(f.name)) c.edges.push_back(eid);
+  wrong.push_back(c);
+  EXPECT_FALSE(ConstraintCovers(
+      wrong, f.name,
+      {f.graph.incident(f.name)[0], f.graph.incident(f.name)[1]}));
+}
+
+TEST(ConstraintsTest, ConstrainedRunStaysValidAndDirect) {
+  AuthorPublisherFixture f;
+  McOptions options;
+  options.constraints = &f.constraints;
+  mct::MctSchema s = AlgorithmMc(f.graph, "EN+C", options);
+  ASSERT_TRUE(s.Validate().ok());
+  // Every eligible association is directly recoverable in the one color —
+  // after dropping the path an => name => pn, which disjointness makes
+  // empty (no name is both an author name and a publisher name).
+  auto paths =
+      FilterPathsUnder(f.constraints, EnumerateEligiblePaths(f.graph));
+  EXPECT_LT(paths.size(), EnumerateEligiblePaths(f.graph).size())
+      << "the through-name path must have been filtered";
+  auto report = AnalyzeRecoverability(s, paths);
+  EXPECT_TRUE(report.fully_direct()) << s.DebugString();
+}
+
+TEST(ConstraintsTest, RootDuplicatesNeverExcused) {
+  // Two root occurrences of the same node in one color repeat every
+  // instance; disjointness cannot excuse that.
+  AuthorPublisherFixture f;
+  mct::MctSchema s("manual", &f.graph);
+  mct::ColorId c = s.AddColor();
+  s.AddRoot(c, f.name);
+  s.AddRoot(c, f.name);
+  EXPECT_FALSE(IsNodeNormalUnder(s, f.constraints));
+}
+
+}  // namespace
+}  // namespace mctdb::design

@@ -1,0 +1,166 @@
+// Property sweeps over random ER graphs: the paper's theorems must hold on
+// arbitrary simplified ER diagrams, not just the curated catalog.
+#include <gtest/gtest.h>
+
+#include "design/algorithm_dumc.h"
+#include "design/algorithm_mc.h"
+#include "design/algorithm_mcmr.h"
+#include "design/algorithm_undr.h"
+#include "design/feasibility.h"
+#include "design/recoverability.h"
+#include "design/xml_design.h"
+#include "er/er_random.h"
+
+namespace mctdb::design {
+namespace {
+
+struct SweepParam {
+  uint64_t seed;
+  size_t entities;
+  size_t relationships;
+  double p_many_many;
+  double p_one_one;
+  double p_higher_order;
+};
+
+std::string ParamName(const testing::TestParamInfo<SweepParam>& info) {
+  const SweepParam& p = info.param;
+  return "seed" + std::to_string(p.seed) + "_e" + std::to_string(p.entities) +
+         "_r" + std::to_string(p.relationships) + "_mm" +
+         std::to_string(int(p.p_many_many * 100)) + "_oo" +
+         std::to_string(int(p.p_one_one * 100)) + "_ho" +
+         std::to_string(int(p.p_higher_order * 100));
+}
+
+class DesignPropertyTest : public testing::TestWithParam<SweepParam> {
+ protected:
+  er::ErDiagram MakeDiagram() const {
+    const SweepParam& p = GetParam();
+    Rng rng(p.seed);
+    er::RandomErOptions opts;
+    opts.num_entities = p.entities;
+    opts.num_relationships = p.relationships;
+    opts.p_many_many = p.p_many_many;
+    opts.p_one_one = p.p_one_one;
+    opts.p_higher_order = p.p_higher_order;
+    return er::GenerateRandomEr(&rng, opts);
+  }
+};
+
+TEST_P(DesignPropertyTest, Theorem51McIsNnEnAr) {
+  er::ErDiagram d = MakeDiagram();
+  er::ErGraph g(d);
+  mct::MctSchema s = AlgorithmMc(g);
+  std::string why;
+  ASSERT_TRUE(s.Validate().ok());
+  EXPECT_TRUE(s.IsNodeNormal(&why)) << why;
+  EXPECT_TRUE(s.IsEdgeNormal(&why)) << why;
+  EXPECT_TRUE(IsAssociationRecoverable(s));
+  EXPECT_TRUE(s.CoversAllNodes(&why)) << why;
+}
+
+TEST_P(DesignPropertyTest, Theorem52DumcIsNnArDr) {
+  er::ErDiagram d = MakeDiagram();
+  er::ErGraph g(d);
+  mct::MctSchema s = AlgorithmDumc(g);
+  std::string why;
+  ASSERT_TRUE(s.Validate().ok());
+  EXPECT_TRUE(s.IsNodeNormal(&why)) << why;
+  EXPECT_TRUE(IsAssociationRecoverable(s));
+  auto report = AnalyzeRecoverability(s, EnumerateEligiblePaths(g));
+  EXPECT_TRUE(report.fully_direct())
+      << report.directly_recoverable << "/" << report.eligible_paths;
+}
+
+TEST_P(DesignPropertyTest, McmrSandwichedBetweenMcAndDumc) {
+  er::ErDiagram d = MakeDiagram();
+  er::ErGraph g(d);
+  auto paths = EnumerateEligiblePaths(g);
+  auto mc = AnalyzeRecoverability(AlgorithmMc(g), paths);
+  mct::MctSchema mcmr_schema = AlgorithmMcmr(g);
+  auto mcmr = AnalyzeRecoverability(mcmr_schema, paths);
+  EXPECT_GE(mcmr.directly_recoverable, mc.directly_recoverable);
+  EXPECT_TRUE(mcmr_schema.IsNodeNormal());
+  EXPECT_TRUE(IsAssociationRecoverable(mcmr_schema));
+}
+
+TEST_P(DesignPropertyTest, ShallowAlwaysNodeNormalSingleColor) {
+  er::ErDiagram d = MakeDiagram();
+  er::ErGraph g(d);
+  mct::MctSchema s = DesignShallow(g);
+  EXPECT_EQ(s.num_colors(), 1u);
+  EXPECT_TRUE(s.IsNodeNormal());
+  EXPECT_TRUE(s.CoversAllNodes());
+}
+
+TEST_P(DesignPropertyTest, DeepAlwaysCompletesDr) {
+  er::ErDiagram d = MakeDiagram();
+  er::ErGraph g(d);
+  mct::MctSchema s = DesignDeep(g);
+  EXPECT_EQ(s.num_colors(), 1u);
+  auto report = AnalyzeRecoverability(s, EnumerateEligiblePaths(g));
+  EXPECT_TRUE(report.fully_direct());
+}
+
+TEST_P(DesignPropertyTest, UndrKeepsDrOfDumc) {
+  er::ErDiagram d = MakeDiagram();
+  er::ErGraph g(d);
+  mct::MctSchema s = AlgorithmUndr(g);
+  auto report = AnalyzeRecoverability(s, EnumerateEligiblePaths(g));
+  EXPECT_TRUE(report.fully_direct());
+  EXPECT_TRUE(IsAssociationRecoverable(s));
+}
+
+TEST_P(DesignPropertyTest, Theorem41ForwardDirection) {
+  // When the feasibility conditions hold, AF (single color, NN) must in
+  // fact achieve AR — the constructive half of Theorem 4.1.
+  er::ErDiagram d = MakeDiagram();
+  er::ErGraph g(d);
+  auto feas = CheckSingleColorNnAr(g);
+  mct::MctSchema af = DesignAf(g);
+  EXPECT_TRUE(af.IsNodeNormal());
+  if (feas.feasible) {
+    EXPECT_TRUE(IsAssociationRecoverable(af))
+        << "feasible graph but AF left refs: " << af.DebugString();
+    EXPECT_EQ(af.ref_edges().size(), 0u);
+  } else {
+    // Converse: infeasible graphs must leave at least one value edge in any
+    // single-color NN design our AF produces.
+    EXPECT_FALSE(IsAssociationRecoverable(af));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DesignPropertyTest,
+    testing::Values(
+        // Small sparse graphs, pure 1:N.
+        SweepParam{1, 4, 3, 0.0, 0.0, 0.0},
+        SweepParam{2, 5, 4, 0.0, 0.0, 0.0},
+        SweepParam{3, 6, 5, 0.0, 0.0, 0.0},
+        // Forest-leaning shapes (exercise Theorem 4.1 feasible side).
+        SweepParam{4, 7, 6, 0.0, 0.0, 0.0},
+        SweepParam{5, 8, 7, 0.0, 0.0, 0.0},
+        // 1:1-heavy (undirected SCCs, root merging).
+        SweepParam{6, 6, 6, 0.0, 0.6, 0.0},
+        SweepParam{7, 8, 8, 0.0, 0.8, 0.0},
+        SweepParam{8, 5, 7, 0.0, 1.0, 0.0},
+        // M:N-heavy (color pressure).
+        SweepParam{9, 6, 6, 0.6, 0.0, 0.0},
+        SweepParam{10, 8, 9, 0.8, 0.1, 0.0},
+        // Mixed, denser.
+        SweepParam{11, 8, 10, 0.3, 0.2, 0.0},
+        SweepParam{12, 10, 12, 0.25, 0.25, 0.0},
+        SweepParam{13, 12, 14, 0.2, 0.2, 0.0},
+        // Higher-order relationships.
+        SweepParam{14, 6, 8, 0.2, 0.2, 0.3},
+        SweepParam{15, 8, 10, 0.1, 0.3, 0.4},
+        SweepParam{16, 10, 12, 0.3, 0.1, 0.2},
+        // Larger, paper-scale (10-30 nodes).
+        SweepParam{17, 12, 16, 0.2, 0.2, 0.1},
+        SweepParam{18, 14, 15, 0.15, 0.15, 0.1},
+        SweepParam{19, 15, 14, 0.1, 0.4, 0.0},
+        SweepParam{20, 13, 17, 0.35, 0.05, 0.15}),
+    ParamName);
+
+}  // namespace
+}  // namespace mctdb::design

@@ -1,0 +1,132 @@
+#include "design/designer.h"
+
+#include <gtest/gtest.h>
+
+#include "er/er_catalog.h"
+
+namespace mctdb::design {
+namespace {
+
+TEST(DesignerTest, StrategyNamesRoundTrip) {
+  for (Strategy s : AllStrategies()) {
+    auto parsed = ParseStrategy(ToString(s));
+    ASSERT_TRUE(parsed.ok()) << ToString(s);
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_TRUE(ParseStrategy("shallow").ok()) << "case-insensitive";
+  EXPECT_TRUE(ParseStrategy("mc").ok()) << "MC aliases EN";
+  EXPECT_TRUE(ParseStrategy("dumc").ok()) << "DUMC aliases DR";
+  EXPECT_FALSE(ParseStrategy("bogus").ok());
+}
+
+TEST(DesignerTest, SevenStrategiesInPaperOrder) {
+  auto all = AllStrategies();
+  ASSERT_EQ(all.size(), 7u);
+  EXPECT_EQ(all[0], Strategy::kDeep);
+  EXPECT_EQ(all[2], Strategy::kShallow);
+  EXPECT_EQ(all[6], Strategy::kUndr);
+}
+
+// The paper's property matrix (§6 schema descriptions), checked end to end
+// through the facade on TPC-W.
+TEST(DesignerTest, TpcwPropertyMatrix) {
+  er::ErDiagram d = er::Tpcw();
+  er::ErGraph g(d);
+  Designer designer(g);
+
+  struct Expectation {
+    Strategy strategy;
+    bool nn, en, ar, dr;
+  };
+  const Expectation expectations[] = {
+      // DEEP: single color AR+DR but not NN.
+      {Strategy::kDeep, false, true, true, true},
+      // AF: single color NN, not AR (TPC-W is Thm-4.1 infeasible).
+      {Strategy::kAf, true, true, false, false},
+      // SHALLOW: NN but not AR.
+      {Strategy::kShallow, true, true, false, false},
+      // EN (MC): NN+EN+AR, poor DR.
+      {Strategy::kEn, true, true, true, false},
+      // MCMR: NN+AR, not EN.
+      {Strategy::kMcmr, true, false, true, false},
+      // DR (DUMC): NN+AR+DR, not EN.
+      {Strategy::kDr, true, false, true, true},
+      // UNDR: AR+DR, neither NN nor EN.
+      {Strategy::kUndr, false, false, true, true},
+  };
+  for (const Expectation& e : expectations) {
+    mct::MctSchema schema = designer.Design(e.strategy);
+    DesignReport r = designer.Report(schema);
+    EXPECT_EQ(r.node_normal, e.nn) << ToString(e.strategy);
+    EXPECT_EQ(r.edge_normal, e.en) << ToString(e.strategy);
+    EXPECT_EQ(r.association_recoverable, e.ar) << ToString(e.strategy);
+    if (e.dr) {
+      EXPECT_TRUE(r.fully_direct_recoverable) << ToString(e.strategy);
+    }
+  }
+}
+
+TEST(DesignerTest, TpcwColorCountsMatchTable1) {
+  er::ErDiagram d = er::Tpcw();
+  er::ErGraph g(d);
+  Designer designer(g);
+  auto colors = [&](Strategy s) {
+    return designer.Report(designer.Design(s)).num_colors;
+  };
+  EXPECT_EQ(colors(Strategy::kDeep), 1u);
+  EXPECT_EQ(colors(Strategy::kAf), 1u);
+  EXPECT_EQ(colors(Strategy::kShallow), 1u);
+  EXPECT_EQ(colors(Strategy::kEn), 2u);
+  EXPECT_EQ(colors(Strategy::kMcmr), 2u);
+  // Paper: 5 colors for both DR and UNDR; greedy packing should land close.
+  EXPECT_GE(colors(Strategy::kDr), 4u);
+  EXPECT_LE(colors(Strategy::kDr), 7u);
+  EXPECT_EQ(colors(Strategy::kUndr), colors(Strategy::kDr));
+}
+
+TEST(DesignerTest, DirectFractionOrdering) {
+  // MCMR dominates EN on direct recoverability; DR completes it.
+  er::ErDiagram d = er::Tpcw();
+  er::ErGraph g(d);
+  Designer designer(g);
+  double en = designer.Report(designer.Design(Strategy::kEn)).direct_fraction;
+  double mcmr =
+      designer.Report(designer.Design(Strategy::kMcmr)).direct_fraction;
+  double dr = designer.Report(designer.Design(Strategy::kDr)).direct_fraction;
+  EXPECT_LE(en, mcmr);
+  EXPECT_LE(mcmr, dr);
+  EXPECT_EQ(dr, 1.0);
+}
+
+TEST(DesignerTest, MaxColorsAcrossCollectionModest) {
+  // The paper observed a maximum of 7 colors across its 66 schemas; our
+  // greedy DUMC does not minimize colors (the paper's own caveat) and our
+  // collection includes deliberately DR-hostile shapes (the ER9 1:1 ring,
+  // Derby's triple fan-in), so we bound loosely — every non-DUMC-derived
+  // strategy must stay at the paper's levels, DR/UNDR within ~2x.
+  for (const er::ErDiagram& d : er::EvaluationCollection()) {
+    er::ErGraph g(d);
+    Designer designer(g);
+    for (Strategy s : AllStrategies()) {
+      size_t colors = designer.Report(designer.Design(s)).num_colors;
+      if (s == Strategy::kDr || s == Strategy::kUndr) {
+        EXPECT_LE(colors, 13u) << d.name() << "/" << ToString(s);
+      } else {
+        EXPECT_LE(colors, 7u) << d.name() << "/" << ToString(s);
+      }
+    }
+  }
+}
+
+TEST(DesignerTest, ReportToStringMentionsEverything) {
+  er::ErDiagram d = er::Tpcw();
+  er::ErGraph g(d);
+  Designer designer(g);
+  std::string s =
+      designer.Report(designer.Design(Strategy::kEn)).ToString();
+  EXPECT_NE(s.find("NN=1"), std::string::npos);
+  EXPECT_NE(s.find("colors=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mctdb::design

@@ -1,0 +1,122 @@
+#include "er/er_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "er/er_graph.h"
+#include "er/er_random.h"
+
+namespace mctdb::er {
+namespace {
+
+TEST(ErCatalogTest, AllDiagramsValidate) {
+  for (const ErDiagram& d : EvaluationCollection()) {
+    EXPECT_TRUE(d.Validate().ok()) << d.name();
+  }
+  EXPECT_TRUE(ToyMcNotDr().Validate().ok());
+  EXPECT_TRUE(ToyMcmrInsufficient().Validate().ok());
+}
+
+TEST(ErCatalogTest, CollectionHasTwelveDiagramsInFigureOrder) {
+  auto collection = EvaluationCollection();
+  ASSERT_EQ(collection.size(), 12u);
+  EXPECT_EQ(collection[0].name(), "ER1");
+  EXPECT_EQ(collection[9].name(), "ER10");
+  EXPECT_EQ(collection[10].name(), "Derby");
+  EXPECT_EQ(collection[11].name(), "TPC-W");
+}
+
+TEST(ErCatalogTest, SizesInPaperRange) {
+  // "ranging in size from 10-30 (entity and relationship type) nodes".
+  for (const ErDiagram& d : EvaluationCollection()) {
+    EXPECT_GE(d.num_nodes(), 10u) << d.name();
+    EXPECT_LE(d.num_nodes(), 30u) << d.name();
+  }
+}
+
+TEST(ErCatalogTest, TpcwNamesMatchFigure1) {
+  ErDiagram d = Tpcw();
+  for (const char* name :
+       {"country", "address", "customer", "order", "order_line", "item",
+        "author", "credit_card_transaction", "in", "has", "make", "occur_in",
+        "write", "billing", "shipping", "associate"}) {
+    EXPECT_TRUE(d.FindNode(name).has_value()) << name;
+  }
+}
+
+TEST(ErCatalogTest, TpcwOrderIsOnManySideThrice) {
+  // The §5.1 obstruction: order is on the many side of make, billing and
+  // shipping, so single-color NN+AR must fail.
+  ErDiagram d = Tpcw();
+  ErGraph g(d);
+  NodeId order = *d.FindNode("order");
+  int one_participations = 0;
+  for (EdgeId eid : g.incident(order)) {
+    const ErEdge& e = g.edge(eid);
+    if (e.node == order && e.participation == Participation::kOne) {
+      ++one_participations;
+    }
+  }
+  EXPECT_EQ(one_participations, 4);  // make, billing, shipping, associate
+}
+
+TEST(ErCatalogTest, ToyMcNotDrShape) {
+  ErDiagram d = ToyMcNotDr();
+  EXPECT_EQ(d.num_nodes(), 7u);  // A, B, C, D + r1, r2, r3
+  ErGraph g(d);
+  // B is on the many side of both r1 and r3.
+  EXPECT_EQ(g.Stats().num_multi_many_side_nodes, 1u);
+}
+
+TEST(ErCatalogTest, ToyMcmrInsufficientHasOneOne) {
+  ErDiagram d = ToyMcmrInsufficient();
+  ErGraph g(d);
+  EXPECT_EQ(g.Stats().num_one_one, 1u);
+  EXPECT_EQ(g.Stats().num_one_many, 2u);
+}
+
+TEST(ErCatalogTest, Er8IsManyManyHeavy) {
+  ErDiagram d8 = Er8Bipartite();
+  ErGraph g(d8);
+  EXPECT_GE(g.Stats().num_many_many, 4u);
+}
+
+TEST(ErCatalogTest, Er7ChainIsForest) {
+  ErDiagram d = Er7Chain();
+  ErGraph g(d);
+  EXPECT_TRUE(g.IsForest());
+  EXPECT_EQ(g.Stats().num_many_many, 0u);
+  EXPECT_EQ(g.Stats().num_multi_many_side_nodes, 0u);
+}
+
+TEST(ErRandomTest, GeneratedDiagramsValidate) {
+  Rng rng(42);
+  for (int i = 0; i < 50; ++i) {
+    RandomErOptions opts;
+    opts.num_entities = 3 + rng.Uniform(10);
+    opts.num_relationships = 2 + rng.Uniform(12);
+    opts.p_higher_order = (i % 3 == 0) ? 0.2 : 0.0;
+    ErDiagram d = GenerateRandomEr(&rng, opts);
+    EXPECT_TRUE(d.Validate().ok());
+    EXPECT_EQ(d.num_entities(), opts.num_entities);
+    ErGraph g(d);  // graph construction must not trip any checks
+    EXPECT_EQ(g.num_edges(), d.num_relationships() * 2);
+  }
+}
+
+TEST(ErRandomTest, DeterministicForSeed) {
+  Rng r1(7), r2(7);
+  RandomErOptions opts;
+  ErDiagram a = GenerateRandomEr(&r1, opts);
+  ErDiagram b = GenerateRandomEr(&r2, opts);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (NodeId i = 0; i < a.num_nodes(); ++i) {
+    EXPECT_EQ(a.node(i).kind, b.node(i).kind);
+    if (a.node(i).is_relationship()) {
+      EXPECT_EQ(a.node(i).endpoints[0].target, b.node(i).endpoints[0].target);
+      EXPECT_EQ(a.node(i).endpoints[1].target, b.node(i).endpoints[1].target);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mctdb::er

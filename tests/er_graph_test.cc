@@ -1,0 +1,173 @@
+#include "er/er_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "er/er_catalog.h"
+
+namespace mctdb::er {
+namespace {
+
+/// a -r-> b (1:N, one a : many b).
+ErDiagram OneToManyDiagram() {
+  ErDiagram d("t");
+  NodeId a = d.AddEntity("a");
+  NodeId b = d.AddEntity("b");
+  EXPECT_TRUE(d.AddOneToMany("r", a, b).ok());
+  return d;
+}
+
+TEST(ErGraphTest, TwoEdgesPerBinaryRelationship) {
+  ErDiagram d = OneToManyDiagram();
+  ErGraph g(d);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.num_nodes(), 3u);
+}
+
+TEST(ErGraphTest, OrientationFollowsParticipation) {
+  ErDiagram d = OneToManyDiagram();
+  ErGraph g(d);
+  NodeId a = *d.FindNode("a");
+  NodeId b = *d.FindNode("b");
+  NodeId r = *d.FindNode("r");
+  for (const ErEdge& e : g.edges()) {
+    if (e.node == a) {
+      // a participates in many r's: directed a -> r (Fig 7 step 1).
+      EXPECT_TRUE(e.directed());
+    } else {
+      EXPECT_EQ(e.node, b);
+      EXPECT_FALSE(e.directed());
+    }
+    EXPECT_EQ(e.rel, r);
+  }
+}
+
+TEST(ErGraphTest, TraversabilityRules) {
+  ErDiagram d = OneToManyDiagram();
+  ErGraph g(d);
+  NodeId a = *d.FindNode("a");
+  NodeId b = *d.FindNode("b");
+  for (const ErEdge& e : g.edges()) {
+    // endpoint -> rel is always traversable.
+    EXPECT_TRUE(g.Traversable(e, e.node));
+    if (e.node == a) {
+      // rel -> a would put one a under each of its many r's: forbidden.
+      EXPECT_FALSE(g.Traversable(e, e.rel));
+    } else {
+      EXPECT_EQ(e.node, b);
+      EXPECT_TRUE(g.Traversable(e, e.rel));
+    }
+  }
+}
+
+TEST(ErGraphTest, IncidentListsBothSides) {
+  ErDiagram d = OneToManyDiagram();
+  ErGraph g(d);
+  EXPECT_EQ(g.incident(*d.FindNode("a")).size(), 1u);
+  EXPECT_EQ(g.incident(*d.FindNode("b")).size(), 1u);
+  EXPECT_EQ(g.incident(*d.FindNode("r")).size(), 2u);
+}
+
+TEST(ErGraphTest, ForestDetection) {
+  ErDiagram d = OneToManyDiagram();
+  ErGraph g1(d);
+  EXPECT_TRUE(g1.IsForest());
+
+  // Add a second relationship between the same pair: cycle a-r-b-r2-a.
+  ASSERT_TRUE(d.AddOneToMany("r2", *d.FindNode("a"), *d.FindNode("b")).ok());
+  ErGraph g2(d);
+  EXPECT_FALSE(g2.IsForest());
+}
+
+TEST(ErGraphTest, SccMergesUndirectedEdges) {
+  // a ->(many) r -- b: a alone, {r, b} merged via the undirected edge.
+  ErDiagram d = OneToManyDiagram();
+  ErGraph g(d);
+  int num = 0;
+  auto scc = g.ComputeSccIds(&num);
+  EXPECT_EQ(num, 2);
+  EXPECT_EQ(scc[*d.FindNode("r")], scc[*d.FindNode("b")]);
+  EXPECT_NE(scc[*d.FindNode("a")], scc[*d.FindNode("r")]);
+}
+
+TEST(ErGraphTest, SourceSccNodesExcludeDownstream) {
+  ErDiagram d = OneToManyDiagram();
+  ErGraph g(d);
+  auto sources = g.SourceSccNodes();
+  // Only 'a' has no incoming directed edge from another SCC.
+  ASSERT_EQ(sources.size(), 1u);
+  EXPECT_EQ(sources[0], *d.FindNode("a"));
+}
+
+TEST(ErGraphTest, TraversableClosureChains) {
+  // a => b => c through two 1:N relationships.
+  ErDiagram d("t");
+  NodeId a = d.AddEntity("a");
+  NodeId b = d.AddEntity("b");
+  NodeId c = d.AddEntity("c");
+  ASSERT_TRUE(d.AddOneToMany("r1", a, b).ok());
+  ASSERT_TRUE(d.AddOneToMany("r2", b, c).ok());
+  ErGraph g(d);
+  auto reach = g.TraversableClosure();
+  EXPECT_TRUE(reach[a][c]);
+  EXPECT_TRUE(reach[a][b]);
+  EXPECT_TRUE(reach[b][c]);
+  // Composition b->a is many-to-one: not traversable downward.
+  EXPECT_FALSE(reach[b][a]);
+  EXPECT_FALSE(reach[c][a]);
+  EXPECT_FALSE(reach[a][a]) << "self-association excluded";
+}
+
+TEST(ErGraphTest, StatsCountCardinalityClasses) {
+  ErDiagram d("t");
+  NodeId a = d.AddEntity("a");
+  NodeId b = d.AddEntity("b");
+  NodeId c = d.AddEntity("c");
+  ASSERT_TRUE(d.AddOneToMany("om", a, b).ok());
+  ASSERT_TRUE(d.AddManyToMany("mm", a, c).ok());
+  ASSERT_TRUE(d.AddOneToOne("oo", b, c).ok());
+  ErGraph g(d);
+  ErGraphStats st = g.Stats();
+  EXPECT_EQ(st.num_one_many, 1u);
+  EXPECT_EQ(st.num_many_many, 1u);
+  EXPECT_EQ(st.num_one_one, 1u);
+  EXPECT_EQ(st.num_multi_many_side_nodes, 0u);
+}
+
+TEST(ErGraphTest, MultiManySideDetected) {
+  // order-style node on the many side of two 1:N relationships.
+  ErDiagram d("t");
+  NodeId a = d.AddEntity("a");
+  NodeId b = d.AddEntity("b");
+  NodeId x = d.AddEntity("x");
+  ASSERT_TRUE(d.AddOneToMany("r1", a, x).ok());
+  ASSERT_TRUE(d.AddOneToMany("r2", b, x).ok());
+  ErGraph g(d);
+  EXPECT_EQ(g.Stats().num_multi_many_side_nodes, 1u);
+}
+
+TEST(ErGraphTest, TpcwShape) {
+  ErDiagram d = Tpcw();
+  ErGraph g(d);
+  EXPECT_EQ(g.num_nodes(), 17u);  // 8 entities + 9 relationships
+  EXPECT_EQ(g.num_edges(), 18u);
+  EXPECT_FALSE(g.IsForest());
+  auto sources = g.SourceSccNodes();
+  // country and author are the natural roots of TPC-W.
+  auto has = [&](const char* name) {
+    return std::count(sources.begin(), sources.end(), *d.FindNode(name)) > 0;
+  };
+  EXPECT_TRUE(has("country"));
+  EXPECT_TRUE(has("author"));
+  EXPECT_FALSE(has("order"));
+}
+
+TEST(ErGraphTest, DebugStringMentionsEveryEdge) {
+  ErDiagram d = OneToManyDiagram();
+  ErGraph g(d);
+  std::string s = g.DebugString();
+  EXPECT_NE(s.find("a -> r"), std::string::npos);
+  EXPECT_NE(s.find("b -- r"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mctdb::er

@@ -1,0 +1,124 @@
+#include "er/er_model.h"
+
+#include <gtest/gtest.h>
+
+namespace mctdb::er {
+namespace {
+
+TEST(ErModelTest, AddEntityAssignsSequentialIds) {
+  ErDiagram d("t");
+  NodeId a = d.AddEntity("a");
+  NodeId b = d.AddEntity("b");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(d.num_nodes(), 2u);
+  EXPECT_EQ(d.num_entities(), 2u);
+  EXPECT_EQ(d.num_relationships(), 0u);
+  EXPECT_EQ(d.node(a).name, "a");
+  EXPECT_TRUE(d.node(a).is_entity());
+}
+
+TEST(ErModelTest, AddRelationshipStoresEndpoints) {
+  ErDiagram d("t");
+  NodeId a = d.AddEntity("a");
+  NodeId b = d.AddEntity("b");
+  auto r = d.AddRelationship("r", a, Participation::kMany, b,
+                             Participation::kOne, Totality::kPartial,
+                             Totality::kTotal);
+  ASSERT_TRUE(r.ok());
+  const ErNode& rel = d.node(*r);
+  EXPECT_TRUE(rel.is_relationship());
+  EXPECT_EQ(rel.endpoints[0].target, a);
+  EXPECT_EQ(rel.endpoints[0].participation, Participation::kMany);
+  EXPECT_EQ(rel.endpoints[1].target, b);
+  EXPECT_EQ(rel.endpoints[1].totality, Totality::kTotal);
+  EXPECT_EQ(d.num_relationships(), 1u);
+}
+
+TEST(ErModelTest, SelfLoopRejected) {
+  ErDiagram d("t");
+  NodeId a = d.AddEntity("a");
+  auto r = d.AddRelationship("r", a, Participation::kOne, a,
+                             Participation::kOne);
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(ErModelTest, DanglingEndpointRejected) {
+  ErDiagram d("t");
+  NodeId a = d.AddEntity("a");
+  auto r = d.AddRelationship("r", a, Participation::kOne, 99,
+                             Participation::kOne);
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(ErModelTest, DuplicateRelationshipNameRejected) {
+  ErDiagram d("t");
+  NodeId a = d.AddEntity("a");
+  NodeId b = d.AddEntity("b");
+  ASSERT_TRUE(d.AddOneToMany("r", a, b).ok());
+  EXPECT_TRUE(d.AddOneToMany("r", a, b).status().IsAlreadyExists());
+}
+
+TEST(ErModelTest, ConvenienceCardinalities) {
+  ErDiagram d("t");
+  NodeId one = d.AddEntity("one");
+  NodeId many = d.AddEntity("many");
+  auto r = d.AddOneToMany("r", one, many, Totality::kTotal);
+  ASSERT_TRUE(r.ok());
+  // One `one` relates to many `many`: the one side participates in MANY
+  // relationship instances.
+  EXPECT_EQ(d.node(*r).endpoints[0].participation, Participation::kMany);
+  EXPECT_EQ(d.node(*r).endpoints[1].participation, Participation::kOne);
+  EXPECT_EQ(d.node(*r).endpoints[1].totality, Totality::kTotal);
+
+  auto mn = d.AddManyToMany("mn", one, many);
+  ASSERT_TRUE(mn.ok());
+  EXPECT_EQ(d.node(*mn).endpoints[0].participation, Participation::kMany);
+  EXPECT_EQ(d.node(*mn).endpoints[1].participation, Participation::kMany);
+
+  auto oo = d.AddOneToOne("oo", one, many);
+  ASSERT_TRUE(oo.ok());
+  EXPECT_EQ(d.node(*oo).endpoints[0].participation, Participation::kOne);
+  EXPECT_EQ(d.node(*oo).endpoints[1].participation, Participation::kOne);
+}
+
+TEST(ErModelTest, HigherOrderRelationship) {
+  ErDiagram d("t");
+  NodeId a = d.AddEntity("a");
+  NodeId b = d.AddEntity("b");
+  NodeId lab = d.AddEntity("lab");
+  auto r = d.AddOneToMany("r", a, b);
+  ASSERT_TRUE(r.ok());
+  auto higher = d.AddOneToMany("verifies", lab, *r);
+  ASSERT_TRUE(higher.ok());
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(ErModelTest, FindNode) {
+  ErDiagram d("t");
+  NodeId a = d.AddEntity("alpha");
+  EXPECT_EQ(d.FindNode("alpha"), std::optional<NodeId>(a));
+  EXPECT_FALSE(d.FindNode("beta").has_value());
+}
+
+TEST(ErModelTest, AttributesAndKeys) {
+  ErDiagram d("t");
+  NodeId a = d.AddEntity("a", {{"id", AttrType::kString, true}});
+  EXPECT_TRUE(d.AddAttribute(a, {"age", AttrType::kInt, false}).ok());
+  EXPECT_TRUE(
+      d.AddAttribute(a, {"age", AttrType::kInt, false}).IsAlreadyExists());
+  ASSERT_EQ(d.node(a).attributes.size(), 2u);
+  EXPECT_TRUE(d.node(a).attributes[0].is_key);
+  EXPECT_EQ(d.node(a).attributes[1].type, AttrType::kInt);
+}
+
+TEST(ErModelTest, ValidatePassesOnWellFormed) {
+  ErDiagram d("t");
+  NodeId a = d.AddEntity("a");
+  NodeId b = d.AddEntity("b");
+  ASSERT_TRUE(d.AddOneToMany("r", a, b).ok());
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+}  // namespace
+}  // namespace mctdb::er

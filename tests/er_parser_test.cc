@@ -1,0 +1,145 @@
+#include "er/er_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "er/er_catalog.h"
+
+namespace mctdb::er {
+namespace {
+
+constexpr const char* kSample = R"(
+diagram shop
+# entities
+entity country { key name attr currency string }
+entity address { key id attr city string }
+entity customer { key id attr discount int }
+
+rel in: country (1) -- address (m!)
+rel has: address (1) -- customer (m)
+)";
+
+TEST(ErParserTest, ParsesEntitiesAndRelationships) {
+  auto result = ParseErDiagram(kSample);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ErDiagram& d = *result;
+  EXPECT_EQ(d.name(), "shop");
+  EXPECT_EQ(d.num_entities(), 3u);
+  EXPECT_EQ(d.num_relationships(), 2u);
+
+  NodeId in = *d.FindNode("in");
+  // country (1) -- address (m): country participates in MANY 'in' instances.
+  EXPECT_EQ(d.node(in).endpoints[0].target, *d.FindNode("country"));
+  EXPECT_EQ(d.node(in).endpoints[0].participation, Participation::kMany);
+  EXPECT_EQ(d.node(in).endpoints[1].participation, Participation::kOne);
+  EXPECT_EQ(d.node(in).endpoints[1].totality, Totality::kTotal);
+}
+
+TEST(ErParserTest, ParsesAttributes) {
+  auto result = ParseErDiagram(kSample);
+  ASSERT_TRUE(result.ok());
+  const ErNode& customer = result->node(*result->FindNode("customer"));
+  ASSERT_EQ(customer.attributes.size(), 2u);
+  EXPECT_TRUE(customer.attributes[0].is_key);
+  EXPECT_EQ(customer.attributes[1].name, "discount");
+  EXPECT_EQ(customer.attributes[1].type, AttrType::kInt);
+}
+
+TEST(ErParserTest, ManyManyRatio) {
+  auto r = ParseErDiagram("diagram t\nentity a\nentity b\n"
+                          "rel mn: a (m) -- b (m)\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const ErNode& mn = r->node(*r->FindNode("mn"));
+  EXPECT_EQ(mn.endpoints[0].participation, Participation::kMany);
+  EXPECT_EQ(mn.endpoints[1].participation, Participation::kMany);
+}
+
+TEST(ErParserTest, OneOneRatio) {
+  auto r = ParseErDiagram("diagram t\nentity a\nentity b\n"
+                          "rel oo: a (1) -- b (1)\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const ErNode& oo = r->node(*r->FindNode("oo"));
+  EXPECT_EQ(oo.endpoints[0].participation, Participation::kOne);
+  EXPECT_EQ(oo.endpoints[1].participation, Participation::kOne);
+}
+
+TEST(ErParserTest, RelationshipAttributes) {
+  auto result = ParseErDiagram(
+      "diagram t\nentity a\nentity b\n"
+      "rel r: a (1) -- b (m) { attr qty int }\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ErNode& r = result->node(*result->FindNode("r"));
+  ASSERT_EQ(r.attributes.size(), 1u);
+  EXPECT_EQ(r.attributes[0].name, "qty");
+}
+
+TEST(ErParserTest, CommentsAndBlankLinesIgnored) {
+  auto result = ParseErDiagram(
+      "diagram t\n\n# whole line comment\nentity a # trailing\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->FindNode("a").has_value());
+}
+
+TEST(ErParserTest, MissingHeaderRejected) {
+  EXPECT_TRUE(ParseErDiagram("entity a\n").status().IsInvalidArgument());
+}
+
+TEST(ErParserTest, UnknownEndpointRejected) {
+  auto r = ParseErDiagram("diagram t\nentity a\nrel r: a (1) -- ghost (m)\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("ghost"), std::string::npos);
+}
+
+TEST(ErParserTest, BadCardinalityRejected) {
+  auto r = ParseErDiagram("diagram t\nentity a\nentity b\nrel r: a (2) -- b (m)\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("cardinality"), std::string::npos);
+}
+
+TEST(ErParserTest, DuplicateNodeRejected) {
+  auto r = ParseErDiagram("diagram t\nentity a\nentity a\n");
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(ErParserTest, ErrorsCarryLineNumbers) {
+  auto r = ParseErDiagram("diagram t\nentity a\nbogus stuff\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(ErParserTest, HigherOrderEndpoint) {
+  auto r = ParseErDiagram(
+      "diagram t\nentity a\nentity b\nentity lab\n"
+      "rel base: a (1) -- b (m)\n"
+      "rel verifies: lab (1) -- base (m)\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->Validate().ok());
+}
+
+TEST(ErParserTest, FormatRoundTripsCatalog) {
+  for (const ErDiagram& original : EvaluationCollection()) {
+    std::string text = FormatErDiagram(original);
+    auto reparsed = ParseErDiagram(text);
+    ASSERT_TRUE(reparsed.ok())
+        << original.name() << ": " << reparsed.status().ToString();
+    EXPECT_EQ(reparsed->name(), original.name());
+    ASSERT_EQ(reparsed->num_nodes(), original.num_nodes()) << original.name();
+    for (NodeId i = 0; i < original.num_nodes(); ++i) {
+      const ErNode& a = original.node(i);
+      const ErNode& b = reparsed->node(i);
+      EXPECT_EQ(a.name, b.name);
+      EXPECT_EQ(a.kind, b.kind);
+      EXPECT_EQ(a.attributes.size(), b.attributes.size());
+      if (a.is_relationship()) {
+        for (int ep = 0; ep < 2; ++ep) {
+          EXPECT_EQ(a.endpoints[ep].target, b.endpoints[ep].target);
+          EXPECT_EQ(a.endpoints[ep].participation,
+                    b.endpoints[ep].participation);
+          EXPECT_EQ(a.endpoints[ep].totality, b.endpoints[ep].totality);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mctdb::er

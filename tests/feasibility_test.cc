@@ -1,0 +1,70 @@
+#include "design/feasibility.h"
+
+#include <gtest/gtest.h>
+
+#include "er/er_catalog.h"
+
+namespace mctdb::design {
+namespace {
+
+using er::ErDiagram;
+using er::ErGraph;
+using er::NodeId;
+
+TEST(FeasibilityTest, SimpleChainFeasible) {
+  ErDiagram d = er::Er7Chain();
+  ErGraph g(d);
+  auto r = CheckSingleColorNnAr(g);
+  EXPECT_TRUE(r.feasible) << r.explanation;
+}
+
+TEST(FeasibilityTest, StarFeasible) {
+  ErDiagram d = er::Er6Star();
+  ErGraph g(d);
+  EXPECT_TRUE(CheckSingleColorNnAr(g).feasible);
+}
+
+TEST(FeasibilityTest, ManyManyInfeasible) {
+  ErDiagram d("t");
+  NodeId a = d.AddEntity("a");
+  NodeId b = d.AddEntity("b");
+  ASSERT_TRUE(d.AddManyToMany("r", a, b).ok());
+  ErGraph g(d);
+  auto r = CheckSingleColorNnAr(g);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.many_many_relationships, 1u);
+  EXPECT_NE(r.explanation.find("many-many"), std::string::npos);
+}
+
+TEST(FeasibilityTest, CycleInfeasible) {
+  ErDiagram d("t");
+  NodeId a = d.AddEntity("a");
+  NodeId b = d.AddEntity("b");
+  ASSERT_TRUE(d.AddOneToOne("r1", a, b).ok());
+  ASSERT_TRUE(d.AddOneToOne("r2", a, b).ok());
+  ErGraph g(d);
+  auto r = CheckSingleColorNnAr(g);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_FALSE(r.is_forest);
+}
+
+TEST(FeasibilityTest, MultiManySideInfeasible) {
+  // The ToyMcNotDr shape: B on the many side of r1 and r3.
+  ErDiagram d = er::ToyMcNotDr();
+  ErGraph g(d);
+  auto r = CheckSingleColorNnAr(g);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.multi_many_side_nodes, 1u);
+}
+
+TEST(FeasibilityTest, TpcwInfeasibleForSeveralReasons) {
+  ErDiagram d = er::Tpcw();
+  ErGraph g(d);
+  auto r = CheckSingleColorNnAr(g);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_FALSE(r.is_forest);
+  EXPECT_GE(r.multi_many_side_nodes, 1u);  // order, order_line
+}
+
+}  // namespace
+}  // namespace mctdb::design

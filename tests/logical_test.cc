@@ -1,0 +1,149 @@
+#include "instance/logical.h"
+
+#include <gtest/gtest.h>
+
+#include "er/er_catalog.h"
+
+namespace mctdb::instance {
+namespace {
+
+TEST(LogicalTest, CountsRespectExplicitOverrides) {
+  er::ErDiagram d = er::Tpcw();
+  er::ErGraph g(d);
+  GenOptions opts;
+  opts.explicit_counts = {{"country", 7}, {"customer", 100}};
+  LogicalInstance inst = GenerateInstance(g, opts);
+  EXPECT_EQ(inst.count(*d.FindNode("country")), 7u);
+  EXPECT_EQ(inst.count(*d.FindNode("customer")), 100u);
+}
+
+TEST(LogicalTest, FanoutScalesManySides) {
+  er::ErDiagram d("t");
+  auto a = d.AddEntity("a");
+  auto b = d.AddEntity("b");
+  ASSERT_TRUE(d.AddOneToMany("r", a, b).ok());
+  er::ErGraph g(d);
+  GenOptions opts;
+  opts.base_count = 10;
+  opts.fanout = 4.0;
+  LogicalInstance inst = GenerateInstance(g, opts);
+  EXPECT_EQ(inst.count(a), 10u);
+  EXPECT_EQ(inst.count(b), 40u);
+}
+
+TEST(LogicalTest, OneToManyCardinalityHolds) {
+  // Every many-side instance participates in at most one relationship
+  // instance; total participation means exactly one.
+  er::ErDiagram d("t");
+  auto a = d.AddEntity("a");
+  auto b = d.AddEntity("b");
+  auto r = d.AddOneToMany("r", a, b, er::Totality::kTotal);
+  ASSERT_TRUE(r.ok());
+  er::ErGraph g(d);
+  LogicalInstance inst = GenerateInstance(g, {});
+  EXPECT_EQ(inst.count(*r), inst.count(b)) << "total: one per b";
+  std::vector<int> b_count(inst.count(b), 0);
+  for (uint32_t i = 0; i < inst.count(*r); ++i) {
+    ++b_count[inst.EndpointOf(*r, 1, i)];
+  }
+  for (int c : b_count) EXPECT_EQ(c, 1);
+}
+
+TEST(LogicalTest, PartialParticipationLeavesSomeOut) {
+  er::ErDiagram d("t");
+  auto a = d.AddEntity("a");
+  auto b = d.AddEntity("b");
+  auto r = d.AddOneToMany("r", a, b);  // partial
+  ASSERT_TRUE(r.ok());
+  er::ErGraph g(d);
+  GenOptions opts;
+  opts.base_count = 200;
+  opts.partial_participation = 0.5;
+  LogicalInstance inst = GenerateInstance(g, opts);
+  EXPECT_LT(inst.count(*r), inst.count(b));
+  EXPECT_GT(inst.count(*r), 0u);
+}
+
+TEST(LogicalTest, OneOnePairsAreBijective) {
+  er::ErDiagram d("t");
+  auto a = d.AddEntity("a");
+  auto b = d.AddEntity("b");
+  auto r = d.AddOneToOne("r", a, b);
+  ASSERT_TRUE(r.ok());
+  er::ErGraph g(d);
+  GenOptions opts;
+  opts.partial_participation = 1.0;
+  LogicalInstance inst = GenerateInstance(g, opts);
+  std::set<uint32_t> as, bs;
+  for (uint32_t i = 0; i < inst.count(*r); ++i) {
+    EXPECT_TRUE(as.insert(inst.EndpointOf(*r, 0, i)).second);
+    EXPECT_TRUE(bs.insert(inst.EndpointOf(*r, 1, i)).second);
+  }
+}
+
+TEST(LogicalTest, AdjacencyConsistentWithPairs) {
+  er::ErDiagram d = er::Tpcw();
+  er::ErGraph g(d);
+  LogicalInstance inst = GenerateInstance(g, {});
+  for (const er::ErEdge& e : g.edges()) {
+    for (uint32_t x = 0; x < inst.count(e.node); ++x) {
+      for (uint32_t rel_inst : inst.RelsOf(e.id, x)) {
+        EXPECT_EQ(inst.EndpointOf(e.rel, e.endpoint_index, rel_inst), x);
+      }
+    }
+  }
+}
+
+TEST(LogicalTest, HigherOrderEndpointsInRange) {
+  er::ErDiagram d = er::Er4Hospital();  // has lab->prescribes higher-order
+  er::ErGraph g(d);
+  LogicalInstance inst = GenerateInstance(g, {});
+  er::NodeId verifies = *d.FindNode("verifies");
+  er::NodeId prescribes = *d.FindNode("prescribes");
+  const auto& vnode = d.node(verifies);
+  ASSERT_EQ(vnode.endpoints[1].target, prescribes);
+  for (uint32_t i = 0; i < inst.count(verifies); ++i) {
+    EXPECT_LT(inst.EndpointOf(verifies, 1, i), inst.count(prescribes));
+  }
+}
+
+TEST(LogicalTest, AttrValuesDeterministic) {
+  er::ErDiagram d = er::Tpcw();
+  er::ErGraph g(d);
+  LogicalInstance i1 = GenerateInstance(g, {});
+  LogicalInstance i2 = GenerateInstance(g, {});
+  er::NodeId country = *d.FindNode("country");
+  EXPECT_EQ(i1.AttrValue(country, 3, 1), i2.AttrValue(country, 3, 1));
+  EXPECT_EQ(i1.KeyValue(country, 3), "country_3");
+  // Key attribute (index 0) returns the key value.
+  EXPECT_EQ(i1.AttrValue(country, 3, 0), "country_3");
+}
+
+TEST(LogicalTest, SeedChangesInstance) {
+  er::ErDiagram d = er::Tpcw();
+  er::ErGraph g(d);
+  GenOptions o1, o2;
+  o2.seed = 777;
+  LogicalInstance i1 = GenerateInstance(g, o1);
+  LogicalInstance i2 = GenerateInstance(g, o2);
+  er::NodeId make = *d.FindNode("make");
+  ASSERT_GT(i1.count(make), 0u);
+  bool any_diff = i1.count(make) != i2.count(make);
+  for (uint32_t i = 0; !any_diff && i < std::min(i1.count(make), i2.count(make));
+       ++i) {
+    any_diff = i1.EndpointOf(make, 0, i) != i2.EndpointOf(make, 0, i);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(LogicalTest, TotalInstancesSumsCounts) {
+  er::ErDiagram d = er::Er7Chain();
+  er::ErGraph g(d);
+  LogicalInstance inst = GenerateInstance(g, {});
+  size_t sum = 0;
+  for (er::NodeId n = 0; n < d.num_nodes(); ++n) sum += inst.count(n);
+  EXPECT_EQ(inst.TotalInstances(), sum);
+}
+
+}  // namespace
+}  // namespace mctdb::instance

@@ -1,0 +1,164 @@
+#include "instance/materialize.h"
+
+#include <gtest/gtest.h>
+
+#include "design/designer.h"
+#include "er/er_catalog.h"
+
+namespace mctdb::instance {
+namespace {
+
+using design::Designer;
+using design::Strategy;
+
+struct TpcwFixture {
+  er::ErDiagram diagram = er::Tpcw();
+  er::ErGraph graph{diagram};
+  Designer designer{graph};
+  GenOptions gen;
+
+  TpcwFixture() {
+    gen.explicit_counts = {
+        {"country", 5},        {"address", 60}, {"customer", 40},
+        {"order", 50},         {"order_line", 150},
+        {"item", 30},          {"author", 10},
+        {"credit_card_transaction", 50},
+    };
+  }
+};
+
+TEST(MaterializeTest, NodeNormalSchemasShareElementCounts) {
+  // Table 1: "All node normalized MCT schemas have the same number of
+  // elements, attributes and content nodes".
+  TpcwFixture f;
+  LogicalInstance logical = GenerateInstance(f.graph, f.gen);
+
+  std::vector<storage::StoreStats> stats;
+  for (Strategy s : {Strategy::kShallow, Strategy::kAf, Strategy::kEn,
+                     Strategy::kMcmr, Strategy::kDr}) {
+    mct::MctSchema schema = f.designer.Design(s);
+    auto store = Materialize(logical, schema);
+    stats.push_back(store->Stats());
+  }
+  for (size_t i = 1; i < stats.size(); ++i) {
+    EXPECT_EQ(stats[i].num_elements, stats[0].num_elements);
+    EXPECT_EQ(stats[i].num_content_nodes, stats[0].num_content_nodes);
+  }
+}
+
+TEST(MaterializeTest, ElementCountEqualsLogicalNodesForNnSchemas) {
+  TpcwFixture f;
+  LogicalInstance logical = GenerateInstance(f.graph, f.gen);
+  mct::MctSchema en = f.designer.Design(Strategy::kEn);
+  auto store = Materialize(logical, en);
+  EXPECT_EQ(store->Stats().num_elements, logical.TotalInstances());
+}
+
+TEST(MaterializeTest, DeepAndUndrAreBigger) {
+  // Table 1 ordering: storage grows as more direct associations are
+  // covered (DR < UNDR < DEEP in elements for TPC-W at paper scale; at
+  // minimum the NN baseline is strictly below DEEP and UNDR).
+  TpcwFixture f;
+  LogicalInstance logical = GenerateInstance(f.graph, f.gen);
+  mct::MctSchema en = f.designer.Design(Strategy::kEn);
+  mct::MctSchema dr = f.designer.Design(Strategy::kDr);
+  mct::MctSchema undr = f.designer.Design(Strategy::kUndr);
+  mct::MctSchema deep = f.designer.Design(Strategy::kDeep);
+  auto s_en = Materialize(logical, en)->Stats();
+  auto s_dr = Materialize(logical, dr)->Stats();
+  auto s_undr = Materialize(logical, undr)->Stats();
+  auto s_deep = Materialize(logical, deep)->Stats();
+  EXPECT_EQ(s_dr.num_elements, s_en.num_elements) << "DR is node normal";
+  EXPECT_GT(s_undr.num_elements, s_dr.num_elements);
+  EXPECT_GT(s_deep.num_elements, s_en.num_elements);
+  // "Violating node normalization costs a great deal more in storage than
+  // violating edge normalization": DR pays only extra labels vs EN.
+  double edge_cost = s_dr.data_mbytes - s_en.data_mbytes;
+  double node_cost = s_deep.data_mbytes - s_en.data_mbytes;
+  EXPECT_GT(node_cost, edge_cost);
+}
+
+TEST(MaterializeTest, CopiesOnlyInNonNnSchemas) {
+  TpcwFixture f;
+  LogicalInstance logical = GenerateInstance(f.graph, f.gen);
+  auto count_copies = [&](Strategy s) {
+    mct::MctSchema schema = f.designer.Design(s);
+    auto store = Materialize(logical, schema);
+    size_t copies = 0;
+    for (storage::ElemId e = 0; e < store->num_elements(); ++e) {
+      copies += store->element(e).is_copy;
+    }
+    return copies;
+  };
+  EXPECT_EQ(count_copies(Strategy::kEn), 0u);
+  EXPECT_EQ(count_copies(Strategy::kDr), 0u);
+  EXPECT_EQ(count_copies(Strategy::kShallow), 0u);
+  EXPECT_GT(count_copies(Strategy::kDeep), 0u);
+  EXPECT_GT(count_copies(Strategy::kUndr), 0u);
+}
+
+TEST(MaterializeTest, ShallowHasIdrefAttributes) {
+  TpcwFixture f;
+  LogicalInstance logical = GenerateInstance(f.graph, f.gen);
+  mct::MctSchema shallow = f.designer.Design(Strategy::kShallow);
+  auto store = Materialize(logical, shallow);
+  // SHALLOW nests occur_in under its one-side owner (item), so the other
+  // endpoint (order_line) is the idref. Every occur_in element carries it
+  // and it points at a real order_line key.
+  er::NodeId occur_in = *f.diagram.FindNode("occur_in");
+  er::NodeId order_line = *f.diagram.FindNode("order_line");
+  size_t with_ref = 0, checked = 0;
+  for (storage::ElemId e = 0; e < store->num_elements(); ++e) {
+    if (store->element(e).er_node != occur_in) continue;
+    ++checked;
+    const std::string* v = store->AttrValue(e, "order_line_idref");
+    if (v == nullptr) continue;
+    ++with_ref;
+    uint32_t rel_inst = store->element(e).logical;
+    uint32_t target =
+        logical.EndpointOf(occur_in, /*order_line side=*/1, rel_inst);
+    EXPECT_EQ(*v, logical.KeyValue(order_line, target));
+  }
+  EXPECT_GT(checked, 0u);
+  EXPECT_EQ(with_ref, checked);
+}
+
+TEST(MaterializeTest, LabelsFormValidForestPerColor) {
+  TpcwFixture f;
+  LogicalInstance logical = GenerateInstance(f.graph, f.gen);
+  mct::MctSchema dr = f.designer.Design(Strategy::kDr);
+  auto store = Materialize(logical, dr);
+  for (mct::ColorId c = 0; c < dr.num_colors(); ++c) {
+    for (storage::ElemId e = 0; e < store->num_elements(); ++e) {
+      storage::LabelEntry child;
+      if (!store->Label(c, e, &child)) continue;
+      ASSERT_LT(child.start, child.end);
+      storage::ElemId p = store->Parent(c, e);
+      if (p == storage::kInvalidElem) continue;
+      storage::LabelEntry parent;
+      ASSERT_TRUE(store->Label(c, p, &parent));
+      EXPECT_TRUE(parent.Contains(child));
+      EXPECT_EQ(child.level, parent.level + 1);
+    }
+  }
+}
+
+TEST(MaterializeTest, SmallDiagramByHand) {
+  // a (2 instances) -1:N-> b (4, total): EN store must hold 2 + 4 + 4
+  // elements (a, b, and one r per b).
+  er::ErDiagram d("t");
+  auto a = d.AddEntity("a", {{"id", er::AttrType::kString, true}});
+  auto b = d.AddEntity("b", {{"id", er::AttrType::kString, true}});
+  auto r = d.AddOneToMany("r", a, b, er::Totality::kTotal);
+  ASSERT_TRUE(r.ok());
+  er::ErGraph g(d);
+  Designer designer(g);
+  GenOptions gen;
+  gen.explicit_counts = {{"a", 2}, {"b", 4}};
+  LogicalInstance logical = GenerateInstance(g, gen);
+  auto store = Materialize(logical, designer.Design(Strategy::kEn));
+  EXPECT_EQ(store->Stats().num_elements, 2u + 4u + 4u);
+}
+
+}  // namespace
+}  // namespace mctdb::instance

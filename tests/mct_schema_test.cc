@@ -1,0 +1,213 @@
+#include "mct/mct_schema.h"
+
+#include <gtest/gtest.h>
+
+#include "er/er_catalog.h"
+
+namespace mctdb::mct {
+namespace {
+
+using er::ErDiagram;
+using er::ErGraph;
+using er::NodeId;
+
+struct Fixture {
+  ErDiagram diagram;
+  ErGraph graph;
+  NodeId a, b, c, r1, r2;
+
+  Fixture() : diagram(Make()), graph(diagram) {
+    a = *diagram.FindNode("a");
+    b = *diagram.FindNode("b");
+    c = *diagram.FindNode("c");
+    r1 = *diagram.FindNode("r1");
+    r2 = *diagram.FindNode("r2");
+  }
+
+  static ErDiagram Make() {
+    ErDiagram d("t");
+    NodeId a = d.AddEntity("a");
+    NodeId b = d.AddEntity("b");
+    NodeId c = d.AddEntity("c");
+    EXPECT_TRUE(d.AddOneToMany("r1", a, b).ok());
+    EXPECT_TRUE(d.AddOneToMany("r2", b, c, er::Totality::kTotal).ok());
+    return d;
+  }
+
+  er::EdgeId EdgeBetween(NodeId rel, NodeId node) const {
+    for (er::EdgeId eid : graph.incident(rel)) {
+      if (graph.edge(eid).node == node) return eid;
+    }
+    ADD_FAILURE() << "no edge";
+    return er::kInvalidEdge;
+  }
+};
+
+TEST(MctSchemaTest, BuildChainAndNavigate) {
+  Fixture f;
+  MctSchema s("test", &f.graph);
+  ColorId blue = s.AddColor();
+  OccId oa = s.AddRoot(blue, f.a);
+  OccId or1 = s.AddChild(oa, f.r1, f.EdgeBetween(f.r1, f.a));
+  OccId ob = s.AddChild(or1, f.b, f.EdgeBetween(f.r1, f.b));
+  EXPECT_EQ(s.num_occurrences(), 3u);
+  EXPECT_TRUE(s.IsAncestor(oa, ob));
+  EXPECT_FALSE(s.IsAncestor(ob, oa));
+  EXPECT_EQ(s.Depth(ob), 2u);
+  EXPECT_EQ(s.FindOcc(blue, f.b), ob);
+  EXPECT_EQ(s.FindOcc(blue, f.c), kInvalidOcc);
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(MctSchemaTest, ColorNamesFollowPaperPalette) {
+  Fixture f;
+  MctSchema s("test", &f.graph);
+  for (int i = 0; i < 6; ++i) s.AddColor();
+  EXPECT_EQ(s.color_name(0), "blue");
+  EXPECT_EQ(s.color_name(4), "green");
+  EXPECT_EQ(s.color_name(5), "color6");
+}
+
+TEST(MctSchemaTest, ChildOccursFromCardinality) {
+  Fixture f;
+  MctSchema s("test", &f.graph);
+  ColorId blue = s.AddColor();
+  OccId oa = s.AddRoot(blue, f.a);
+  // a participates in MANY r1, partial: children r1 occur '*'.
+  OccId or1 = s.AddChild(oa, f.r1, f.EdgeBetween(f.r1, f.a));
+  EXPECT_EQ(s.ChildOccurs(or1), Occurs::kStar);
+  // b participates in ONE r1 (partial): rel -> endpoint is exactly one.
+  OccId ob = s.AddChild(or1, f.b, f.EdgeBetween(f.r1, f.b));
+  EXPECT_EQ(s.ChildOccurs(ob), Occurs::kOne);
+  // b participates in MANY r2 with c total on the many side... r2 under b is
+  // kStar/kPlus depending on b's totality (partial here -> kStar).
+  OccId or2 = s.AddChild(ob, f.r2, f.EdgeBetween(f.r2, f.b));
+  EXPECT_EQ(s.ChildOccurs(or2), Occurs::kStar);
+}
+
+TEST(MctSchemaTest, NodeNormalViolatedByDuplicateInColor) {
+  Fixture f;
+  MctSchema s("test", &f.graph);
+  ColorId blue = s.AddColor();
+  OccId oa = s.AddRoot(blue, f.a);
+  OccId or1 = s.AddChild(oa, f.r1, f.EdgeBetween(f.r1, f.a));
+  s.AddChild(or1, f.b, f.EdgeBetween(f.r1, f.b));
+  EXPECT_TRUE(s.IsNodeNormal());
+  // A second occurrence of b in the same color breaks NN.
+  s.AddRoot(blue, f.b);
+  std::string why;
+  EXPECT_FALSE(s.IsNodeNormal(&why));
+  EXPECT_NE(why.find("'b'"), std::string::npos);
+}
+
+TEST(MctSchemaTest, NodeNormalViolatedByReverseNesting) {
+  Fixture f;
+  MctSchema s("test", &f.graph);
+  ColorId blue = s.AddColor();
+  // Nest a (the one side) under r1: one occurrence, but instances of a
+  // would be duplicated under each r1 instance.
+  OccId ob = s.AddRoot(blue, f.b);
+  OccId or1 = s.AddChild(ob, f.r1, f.EdgeBetween(f.r1, f.b));
+  s.AddChild(or1, f.a, f.EdgeBetween(f.r1, f.a));
+  EXPECT_TRUE(s.Validate().ok()) << "reverse nesting is valid, just not NN";
+  std::string why;
+  EXPECT_FALSE(s.IsNodeNormal(&why));
+  EXPECT_NE(why.find("duplicated"), std::string::npos);
+}
+
+TEST(MctSchemaTest, EdgeNormalAndIcics) {
+  Fixture f;
+  MctSchema s("test", &f.graph);
+  ColorId blue = s.AddColor();
+  ColorId red = s.AddColor();
+  OccId oa = s.AddRoot(blue, f.a);
+  s.AddChild(oa, f.r1, f.EdgeBetween(f.r1, f.a));
+  EXPECT_TRUE(s.IsEdgeNormal());
+  EXPECT_TRUE(s.ComputeIcics().empty());
+  // Realize the same ER edge in red too.
+  OccId oa2 = s.AddRoot(red, f.a);
+  s.AddChild(oa2, f.r1, f.EdgeBetween(f.r1, f.a));
+  std::string why;
+  EXPECT_FALSE(s.IsEdgeNormal(&why));
+  auto icics = s.ComputeIcics();
+  ASSERT_EQ(icics.size(), 1u);
+  EXPECT_EQ(icics[0].colors.size(), 2u);
+  EXPECT_EQ(icics[0].realizations.size(), 2u);
+}
+
+TEST(MctSchemaTest, SameColorDuplicateEdgeIsNotIcic) {
+  // DEEP-style: one color, edge realized twice -> no inter-color constraint.
+  Fixture f;
+  MctSchema s("test", &f.graph);
+  ColorId blue = s.AddColor();
+  OccId oa = s.AddRoot(blue, f.a);
+  s.AddChild(oa, f.r1, f.EdgeBetween(f.r1, f.a));
+  OccId ob = s.AddRoot(blue, f.b);
+  OccId or1b = s.AddChild(ob, f.r1, f.EdgeBetween(f.r1, f.b));
+  s.AddChild(or1b, f.a, f.EdgeBetween(f.r1, f.a));
+  EXPECT_TRUE(s.ComputeIcics().empty());
+  EXPECT_TRUE(s.IsEdgeNormal());
+}
+
+TEST(MctSchemaTest, CoversAllNodesReportsMissing) {
+  Fixture f;
+  MctSchema s("test", &f.graph);
+  ColorId blue = s.AddColor();
+  s.AddRoot(blue, f.a);
+  std::string missing;
+  EXPECT_FALSE(s.CoversAllNodes(&missing));
+  EXPECT_FALSE(missing.empty());
+}
+
+TEST(MctSchemaTest, AttachRootMergesTrees) {
+  Fixture f;
+  MctSchema s("test", &f.graph);
+  ColorId blue = s.AddColor();
+  OccId oa = s.AddRoot(blue, f.a);
+  OccId ob = s.AddRoot(blue, f.b);
+  EXPECT_EQ(s.roots(blue).size(), 2u);
+  OccId or1 = s.AddChild(oa, f.r1, f.EdgeBetween(f.r1, f.a));
+  s.AttachRoot(ob, or1, f.EdgeBetween(f.r1, f.b));
+  EXPECT_EQ(s.roots(blue).size(), 1u);
+  EXPECT_TRUE(s.IsAncestor(oa, ob));
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(MctSchemaTest, RefEdgesNamedAfterTarget) {
+  Fixture f;
+  MctSchema s("test", &f.graph);
+  ColorId blue = s.AddColor();
+  OccId oa = s.AddRoot(blue, f.a);
+  OccId or1 = s.AddChild(oa, f.r1, f.EdgeBetween(f.r1, f.a));
+  s.AddRefEdge(or1, f.EdgeBetween(f.r1, f.b), f.b);
+  ASSERT_EQ(s.ref_edges().size(), 1u);
+  EXPECT_EQ(s.ref_edges()[0].attr_name, "b_idref");
+}
+
+TEST(MctSchemaTest, StatsCountDuplicates) {
+  Fixture f;
+  MctSchema s("test", &f.graph);
+  ColorId blue = s.AddColor();
+  OccId oa = s.AddRoot(blue, f.a);
+  s.AddChild(oa, f.r1, f.EdgeBetween(f.r1, f.a));
+  s.AddRoot(blue, f.a);  // duplicate a
+  SchemaStats st = s.Stats();
+  EXPECT_EQ(st.num_colors, 1u);
+  EXPECT_EQ(st.num_occurrences, 3u);
+  EXPECT_EQ(st.num_duplicated_er_nodes, 1u);
+  EXPECT_EQ(st.max_depth, 1u);
+}
+
+TEST(MctSchemaTest, DebugStringShowsColorsAndMarkers) {
+  Fixture f;
+  MctSchema s("demo", &f.graph);
+  ColorId blue = s.AddColor();
+  OccId oa = s.AddRoot(blue, f.a);
+  s.AddChild(oa, f.r1, f.EdgeBetween(f.r1, f.a));
+  std::string out = s.DebugString();
+  EXPECT_NE(out.find("(blue)"), std::string::npos);
+  EXPECT_NE(out.find("r1 [*]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mctdb::mct

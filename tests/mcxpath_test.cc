@@ -1,0 +1,125 @@
+#include "query/mcxpath.h"
+
+#include <gtest/gtest.h>
+
+#include "design/designer.h"
+#include "instance/materialize.h"
+#include "workload/workload.h"
+
+namespace mctdb::query {
+namespace {
+
+TEST(McXPathParseTest, SimplePath) {
+  auto p = ParseMcXPath("/country//order");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  ASSERT_EQ(p->steps.size(), 2u);
+  EXPECT_FALSE(p->steps[0].descendant);
+  EXPECT_TRUE(p->steps[1].descendant);
+  EXPECT_EQ(p->steps[0].tag, "country");
+}
+
+TEST(McXPathParseTest, ColorsAndPredicates) {
+  auto p = ParseMcXPath("/(blue)country[@name='Japan']//(red)order");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->steps[0].color, "blue");
+  EXPECT_EQ(p->steps[0].pred_attr, "name");
+  EXPECT_EQ(p->steps[0].pred_value, "Japan");
+  EXPECT_EQ(p->steps[1].color, "red");
+}
+
+TEST(McXPathParseTest, RoundTripsToString) {
+  const char* text = "/(blue)country[@name='Japan']//(blue)order";
+  auto p = ParseMcXPath(text);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ToString(), text);
+}
+
+TEST(McXPathParseTest, Errors) {
+  EXPECT_FALSE(ParseMcXPath("").ok());
+  EXPECT_FALSE(ParseMcXPath("country").ok());
+  EXPECT_FALSE(ParseMcXPath("/country[@name=Japan]").ok());
+  EXPECT_FALSE(ParseMcXPath("/(blue").ok());
+  EXPECT_FALSE(ParseMcXPath("//").ok());
+}
+
+class McXPathEvalTest : public testing::Test {
+ protected:
+  void SetUpSchema(design::Strategy strategy) {
+    w_ = std::make_unique<workload::Workload>(workload::TpcwWorkload(0.05));
+    graph_ = std::make_unique<er::ErGraph>(w_->diagram);
+    designer_ = std::make_unique<design::Designer>(*graph_);
+    schema_ = std::make_unique<mct::MctSchema>(designer_->Design(strategy));
+    auto logical = instance::GenerateInstance(*graph_, w_->gen);
+    store_ = instance::Materialize(logical, *schema_);
+  }
+
+  std::unique_ptr<workload::Workload> w_;
+  std::unique_ptr<er::ErGraph> graph_;
+  std::unique_ptr<design::Designer> designer_;
+  std::unique_ptr<mct::MctSchema> schema_;
+  std::unique_ptr<storage::MctStore> store_;
+};
+
+TEST_F(McXPathEvalTest, Q1OnEnSchema) {
+  SetUpSchema(design::Strategy::kEn);
+  // The paper's Q1 against the EN schema's blue tree.
+  auto p = ParseMcXPath("/(blue)country[@name='Japan']//(blue)order");
+  ASSERT_TRUE(p.ok());
+  auto r = EvalMcXPath(*p, *store_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->elements.size(), 0u);
+  EXPECT_EQ(r->structural_joins, 1u);
+  EXPECT_EQ(r->color_crossings, 0u);
+  // Every result is an order.
+  er::NodeId order = *w_->diagram.FindNode("order");
+  for (storage::ElemId e : r->elements) {
+    EXPECT_EQ(store_->element(e).er_node, order);
+  }
+}
+
+TEST_F(McXPathEvalTest, ParentChildVsDescendant) {
+  SetUpSchema(design::Strategy::kEn);
+  // country/order (parent-child) is empty: orders are deeper.
+  auto pc = ParseMcXPath("/(blue)country/(blue)order");
+  auto ad = ParseMcXPath("/(blue)country//(blue)order");
+  auto r1 = EvalMcXPath(*pc, *store_);
+  auto r2 = EvalMcXPath(*ad, *store_);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_TRUE(r1->elements.empty());
+  EXPECT_FALSE(r2->elements.empty());
+}
+
+TEST_F(McXPathEvalTest, ColorCrossingCounted) {
+  SetUpSchema(design::Strategy::kEn);
+  // In EN blue, items sit under author/write; their occur_in children live
+  // in the red tree — the crossing re-anchors the shared item nodes.
+  auto p = ParseMcXPath("/(blue)author//(blue)item/(red)occur_in");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  auto r = EvalMcXPath(*p, *store_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->color_crossings, 1u);
+  EXPECT_FALSE(r->elements.empty()) << "items have order lines";
+}
+
+TEST_F(McXPathEvalTest, UnknownColorOrTagFails) {
+  SetUpSchema(design::Strategy::kEn);
+  auto p1 = ParseMcXPath("/(chartreuse)country");
+  ASSERT_TRUE(p1.ok());
+  EXPECT_TRUE(EvalMcXPath(*p1, *store_).status().IsNotFound());
+  auto p2 = ParseMcXPath("/(blue)starship");
+  ASSERT_TRUE(p2.ok());
+  EXPECT_TRUE(EvalMcXPath(*p2, *store_).status().IsNotFound());
+}
+
+TEST_F(McXPathEvalTest, SingleColorSchemaNeedsNoColors) {
+  SetUpSchema(design::Strategy::kAf);
+  // The paper's Q1 expression verbatim (§1): color-free on 1-color AF.
+  auto p = ParseMcXPath("/country[@name='Japan']//order");
+  ASSERT_TRUE(p.ok());
+  auto r = EvalMcXPath(*p, *store_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->elements.size(), 0u);
+}
+
+}  // namespace
+}  // namespace mctdb::query

@@ -1,0 +1,160 @@
+#include "storage/pager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "storage/posting.h"
+
+namespace mctdb::storage {
+namespace {
+
+TEST(PagerTest, AllocateWriteRead) {
+  Pager pager;
+  PageId p = pager.Allocate();
+  char buf[kPageSize];
+  std::memset(buf, 0x5A, kPageSize);
+  pager.Write(p, buf);
+  char out[kPageSize];
+  pager.Read(p, out);
+  EXPECT_EQ(std::memcmp(buf, out, kPageSize), 0);
+  EXPECT_EQ(pager.num_pages(), 1u);
+  EXPECT_EQ(pager.bytes(), kPageSize);
+}
+
+TEST(PagerTest, AllocatedPagesAreZeroed) {
+  Pager pager;
+  PageId p = pager.Allocate();
+  char out[kPageSize];
+  pager.Read(p, out);
+  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(out[i], 0);
+}
+
+TEST(PagerTest, CountsDiskIo) {
+  Pager pager;
+  PageId p = pager.Allocate();
+  uint64_t w0 = pager.disk_writes();
+  char buf[kPageSize] = {};
+  pager.Write(p, buf);
+  EXPECT_EQ(pager.disk_writes(), w0 + 1);
+  uint64_t r0 = pager.disk_reads();
+  char out[kPageSize];
+  pager.Read(p, out);
+  pager.Read(p, out);
+  EXPECT_EQ(pager.disk_reads(), r0 + 2);
+}
+
+TEST(BufferPoolTest, HitAfterMiss) {
+  Pager pager;
+  PageId p = pager.Allocate();
+  BufferPool pool(&pager, 4);
+  pool.Fetch(p);
+  EXPECT_EQ(pool.misses(), 1u);
+  pool.Fetch(p);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pager.disk_reads(), 1u) << "second fetch served from cache";
+}
+
+TEST(BufferPoolTest, LruEviction) {
+  Pager pager;
+  std::vector<PageId> pages;
+  for (int i = 0; i < 4; ++i) pages.push_back(pager.Allocate());
+  BufferPool pool(&pager, 2);
+  pool.Fetch(pages[0]);
+  pool.Fetch(pages[1]);
+  pool.Fetch(pages[0]);  // 0 is now most recent
+  pool.Fetch(pages[2]);  // evicts 1
+  EXPECT_EQ(pool.resident(), 2u);
+  pool.ResetStats();
+  pool.Fetch(pages[0]);
+  EXPECT_EQ(pool.hits(), 1u) << "0 must have survived";
+  pool.Fetch(pages[1]);
+  EXPECT_EQ(pool.misses(), 1u) << "1 must have been evicted";
+}
+
+TEST(BufferPoolTest, PageContentCorrectAcrossEviction) {
+  Pager pager;
+  PageId a = pager.Allocate(), b = pager.Allocate();
+  char buf[kPageSize];
+  std::memset(buf, 1, kPageSize);
+  pager.Write(a, buf);
+  std::memset(buf, 2, kPageSize);
+  pager.Write(b, buf);
+  BufferPool pool(&pager, 1);
+  EXPECT_EQ(pool.Fetch(a)[0], 1);
+  EXPECT_EQ(pool.Fetch(b)[0], 2);
+  EXPECT_EQ(pool.Fetch(a)[0], 1);
+}
+
+TEST(PostingTest, WriteAndScan) {
+  Pager pager;
+  PostingWriter writer(&pager);
+  const size_t n = 3 * kEntriesPerPage + 17;  // spans 4 pages
+  for (uint32_t i = 0; i < n; ++i) {
+    LabelEntry e;
+    e.elem = i;
+    e.start = 2 * i + 1;
+    e.end = 2 * i + 2;
+    e.level = 3;
+    e.logical = i * 10;
+    writer.Append(e);
+  }
+  PostingMeta meta = writer.Finish();
+  EXPECT_EQ(meta.count, n);
+  EXPECT_EQ(meta.num_pages(), 4u);
+
+  BufferPool pool(&pager, 2);
+  PostingCursor cursor(&pool, &meta);
+  LabelEntry e;
+  uint32_t i = 0;
+  while (cursor.Next(&e)) {
+    ASSERT_EQ(e.elem, i);
+    ASSERT_EQ(e.start, 2 * i + 1);
+    ASSERT_EQ(e.logical, i * 10);
+    ++i;
+  }
+  EXPECT_EQ(i, n);
+  EXPECT_EQ(pool.misses(), 4u) << "one miss per page on a cold scan";
+}
+
+TEST(PostingTest, ReadAllMatchesCursor) {
+  Pager pager;
+  PostingWriter writer(&pager);
+  for (uint32_t i = 0; i < 100; ++i) {
+    LabelEntry e;
+    e.elem = i;
+    e.start = i;
+    e.end = 1000 - i;
+    writer.Append(e);
+  }
+  PostingMeta meta = writer.Finish();
+  BufferPool pool(&pager, 8);
+  auto all = ReadAll(&pool, meta);
+  ASSERT_EQ(all.size(), 100u);
+  EXPECT_EQ(all[42].elem, 42u);
+  EXPECT_EQ(all[42].end, 958u);
+}
+
+TEST(PostingTest, EmptyList) {
+  Pager pager;
+  PostingWriter writer(&pager);
+  PostingMeta meta = writer.Finish();
+  EXPECT_EQ(meta.count, 0u);
+  BufferPool pool(&pager, 2);
+  PostingCursor cursor(&pool, &meta);
+  LabelEntry e;
+  EXPECT_FALSE(cursor.Next(&e));
+}
+
+TEST(PostingTest, ContainmentHelper) {
+  LabelEntry anc{0, 1, 100, 0, 0, 0};
+  LabelEntry desc{1, 5, 50, 1, 0, 0};
+  LabelEntry sibling{2, 101, 150, 0, 0, 0};
+  EXPECT_TRUE(anc.Contains(desc));
+  EXPECT_FALSE(desc.Contains(anc));
+  EXPECT_FALSE(anc.Contains(sibling));
+  EXPECT_FALSE(anc.Contains(anc));
+}
+
+}  // namespace
+}  // namespace mctdb::storage

@@ -1,0 +1,141 @@
+#include "storage/persist.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "design/designer.h"
+#include "instance/materialize.h"
+#include "query/executor.h"
+#include "query/planner.h"
+#include "storage/validate.h"
+#include "workload/workload.h"
+
+namespace mctdb::storage {
+namespace {
+
+using design::Strategy;
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+struct Fixture {
+  workload::Workload w = workload::TpcwWorkload(0.03);
+  er::ErGraph graph{w.diagram};
+  design::Designer designer{graph};
+  instance::LogicalInstance logical = instance::GenerateInstance(graph, w.gen);
+};
+
+TEST(PersistTest, SaveLoadRoundTripPreservesEverything) {
+  Fixture f;
+  mct::MctSchema schema = f.designer.Design(Strategy::kDr);
+  auto original = instance::Materialize(f.logical, schema);
+  std::string path = TempPath("dr.mctdb");
+  ASSERT_TRUE(SaveStore(*original, path).ok());
+
+  auto loaded = LoadStore(schema, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  MctStore& store = **loaded;
+
+  auto a = original->Stats();
+  auto b = store.Stats();
+  EXPECT_EQ(a.num_elements, b.num_elements);
+  EXPECT_EQ(a.num_attributes, b.num_attributes);
+  EXPECT_EQ(a.num_content_nodes, b.num_content_nodes);
+  EXPECT_EQ(a.num_colors, b.num_colors);
+
+  // The loaded store passes full validation (including ICICs).
+  ValidationReport report = ValidateStore(store);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(PersistTest, LoadedStoreAnswersQueriesIdentically) {
+  Fixture f;
+  mct::MctSchema schema = f.designer.Design(Strategy::kEn);
+  auto original = instance::Materialize(f.logical, schema);
+  std::string path = TempPath("en.mctdb");
+  ASSERT_TRUE(SaveStore(*original, path).ok());
+  auto loaded = LoadStore(schema, path);
+  ASSERT_TRUE(loaded.ok());
+
+  for (const char* name : {"Q1", "Q2", "Q6", "Q9"}) {
+    const query::AssociationQuery* q = f.w.Find(name);
+    auto plan = query::PlanQuery(*q, schema);
+    ASSERT_TRUE(plan.ok());
+    query::Executor exec_orig(original.get());
+    query::Executor exec_loaded(loaded->get());
+    auto r1 = exec_orig.Execute(*plan);
+    auto r2 = exec_loaded.Execute(*plan);
+    ASSERT_TRUE(r1.ok() && r2.ok()) << name;
+    EXPECT_EQ(r1->logicals, r2->logicals) << name;
+    EXPECT_EQ(r1->raw_count, r2->raw_count) << name;
+  }
+}
+
+TEST(PersistTest, FingerprintMismatchRefused) {
+  Fixture f;
+  mct::MctSchema en = f.designer.Design(Strategy::kEn);
+  mct::MctSchema dr = f.designer.Design(Strategy::kDr);
+  auto store = instance::Materialize(f.logical, en);
+  std::string path = TempPath("fp.mctdb");
+  ASSERT_TRUE(SaveStore(*store, path).ok());
+  auto wrong = LoadStore(dr, path);
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_TRUE(wrong.status().IsCorruption());
+  EXPECT_NE(wrong.status().message().find("fingerprint"), std::string::npos);
+}
+
+TEST(PersistTest, TruncatedFileRefused) {
+  Fixture f;
+  mct::MctSchema schema = f.designer.Design(Strategy::kShallow);
+  auto store = instance::Materialize(f.logical, schema);
+  std::string path = TempPath("trunc.mctdb");
+  ASSERT_TRUE(SaveStore(*store, path).ok());
+  // Truncate to 100 bytes.
+  {
+    std::FILE* fp = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(fp, nullptr);
+    char buf[100];
+    ASSERT_EQ(std::fread(buf, 1, sizeof(buf), fp), sizeof(buf));
+    std::fclose(fp);
+    fp = std::fopen(path.c_str(), "wb");
+    std::fwrite(buf, 1, sizeof(buf), fp);
+    std::fclose(fp);
+  }
+  auto bad = LoadStore(schema, path);
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(PersistTest, GarbageFileRefused) {
+  std::string path = TempPath("garbage.mctdb");
+  std::FILE* fp = std::fopen(path.c_str(), "wb");
+  std::fputs("this is not a store", fp);
+  std::fclose(fp);
+  Fixture f;
+  mct::MctSchema schema = f.designer.Design(Strategy::kEn);
+  auto bad = LoadStore(schema, path);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("magic"), std::string::npos);
+}
+
+TEST(PersistTest, MissingFileIsIoError) {
+  Fixture f;
+  mct::MctSchema schema = f.designer.Design(Strategy::kEn);
+  auto bad = LoadStore(schema, TempPath("does_not_exist.mctdb"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsIoError());
+}
+
+TEST(PersistTest, FingerprintSensitiveToSchemaShape) {
+  Fixture f;
+  mct::MctSchema en = f.designer.Design(Strategy::kEn);
+  mct::MctSchema mcmr = f.designer.Design(Strategy::kMcmr);
+  mct::MctSchema en2 = f.designer.Design(Strategy::kEn);
+  EXPECT_NE(SchemaFingerprint(en), SchemaFingerprint(mcmr));
+  EXPECT_EQ(SchemaFingerprint(en), SchemaFingerprint(en2))
+      << "designs are deterministic";
+}
+
+}  // namespace
+}  // namespace mctdb::storage

@@ -1,0 +1,134 @@
+#include "query/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "design/designer.h"
+#include "workload/workload.h"
+
+namespace mctdb::query {
+namespace {
+
+using design::Designer;
+using design::Strategy;
+
+struct Fixture {
+  workload::Workload w = workload::TpcwWorkload(0.05);
+  er::ErGraph graph{w.diagram};
+  Designer designer{graph};
+
+  PlanStats Plan(const char* query, Strategy strategy) {
+    const AssociationQuery* q = w.Find(query);
+    EXPECT_NE(q, nullptr);
+    mct::MctSchema schema = designer.Design(strategy);
+    auto plan = PlanQuery(*q, schema);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan->Stats();
+  }
+};
+
+TEST(PlannerTest, EveryFigureQueryPlansOnEverySchema) {
+  Fixture f;
+  for (Strategy s : design::AllStrategies()) {
+    mct::MctSchema schema = f.designer.Design(s);
+    for (const auto& q : f.w.queries) {
+      auto plan = PlanQuery(q, schema);
+      EXPECT_TRUE(plan.ok())
+          << q.name << " on " << design::ToString(s) << ": "
+          << plan.status().ToString();
+    }
+  }
+}
+
+TEST(PlannerTest, ShallowPaysValueJoins) {
+  Fixture f;
+  // Q1's 6-step chain on SHALLOW needs a value join per relationship hop.
+  PlanStats shallow = f.Plan("Q1", Strategy::kShallow);
+  EXPECT_GE(shallow.value_joins, 2u);
+  // DEEP answers Q1 with structure alone.
+  PlanStats deep = f.Plan("Q1", Strategy::kDeep);
+  EXPECT_EQ(deep.value_joins, 0u);
+  EXPECT_EQ(deep.color_crossings, 0u);
+}
+
+TEST(PlannerTest, DirectRecoverabilityMinimizesJoins) {
+  Fixture f;
+  // DR realizes Q2's billing chain in one color: one a-d structural join,
+  // no value joins, no crossings.
+  PlanStats dr = f.Plan("Q2", Strategy::kDr);
+  EXPECT_EQ(dr.value_joins, 0u);
+  EXPECT_EQ(dr.color_crossings, 0u);
+  EXPECT_LE(dr.structural_joins, 2u);
+  // EN must cross colors (billing-order and the main chain are in
+  // different colors) or pay more joins.
+  PlanStats en = f.Plan("Q2", Strategy::kEn);
+  EXPECT_GT(en.color_crossings + en.value_joins, 0u);
+}
+
+TEST(PlannerTest, Fig9OrderingOnChainQueries) {
+  // The paper's headline: value joins + crossings are minimized by schemas
+  // with direct recoverability: SHALLOW >= EN >= MCMR >= DR, DEEP = 0.
+  Fixture f;
+  for (const char* q : {"Q1", "Q2", "Q12"}) {
+    size_t shallow = f.Plan(q, Strategy::kShallow).value_joins_plus_crossings();
+    size_t en = f.Plan(q, Strategy::kEn).value_joins_plus_crossings();
+    size_t mcmr = f.Plan(q, Strategy::kMcmr).value_joins_plus_crossings();
+    size_t dr = f.Plan(q, Strategy::kDr).value_joins_plus_crossings();
+    size_t deep = f.Plan(q, Strategy::kDeep).value_joins_plus_crossings();
+    EXPECT_GE(shallow, en) << q;
+    EXPECT_GE(en, mcmr) << q;
+    EXPECT_GE(mcmr, dr) << q;
+    EXPECT_EQ(deep, 0u) << q;
+  }
+}
+
+TEST(PlannerTest, DeepPaysDuplicateElimination) {
+  Fixture f;
+  // Q6 (distinct items of a customer) traverses the M:N composite: DEEP
+  // must deduplicate, node-normal schemas must not.
+  EXPECT_GE(f.Plan("Q6", Strategy::kDeep).dup_elims, 1u);
+  EXPECT_EQ(f.Plan("Q6", Strategy::kEn).dup_elims, 0u);
+  EXPECT_EQ(f.Plan("Q6", Strategy::kShallow).dup_elims, 0u);
+  EXPECT_EQ(f.Plan("Q6", Strategy::kDr).dup_elims, 0u);
+}
+
+TEST(PlannerTest, UpdatesChargeDupUpdatesOnRedundantSchemas) {
+  Fixture f;
+  // U1 rewrites item costs; DEEP/UNDR must also rewrite the copies.
+  EXPECT_GE(f.Plan("U1", Strategy::kDeep).dup_updates, 1u);
+  EXPECT_EQ(f.Plan("U1", Strategy::kEn).dup_updates, 0u);
+  EXPECT_EQ(f.Plan("U1", Strategy::kMcmr).dup_updates, 0u);
+}
+
+TEST(PlannerTest, SingleNodeQueriesAreSchemaIndifferent) {
+  Fixture f;
+  // Q3 (customer point lookup): identical minimal plans everywhere except
+  // DEEP-style copies.
+  for (Strategy s : {Strategy::kShallow, Strategy::kAf, Strategy::kEn,
+                     Strategy::kMcmr, Strategy::kDr}) {
+    PlanStats st = f.Plan("Q3", s);
+    EXPECT_EQ(st.structural_joins, 0u) << design::ToString(s);
+    EXPECT_EQ(st.value_joins, 0u) << design::ToString(s);
+    EXPECT_EQ(st.color_crossings, 0u) << design::ToString(s);
+  }
+}
+
+TEST(PlannerTest, GroupByFreeWhenStructurallyNested) {
+  Fixture f;
+  // Q11 groups orders; DEEP/DR nest the chain in one forward segment, so
+  // grouping needs no value grouping there, while SHALLOW pays it.
+  EXPECT_EQ(f.Plan("Q11", Strategy::kDeep).group_bys, 0u);
+  EXPECT_GE(f.Plan("Q11", Strategy::kShallow).group_bys, 1u);
+}
+
+TEST(PlannerTest, PlanDebugStringMentionsSegments) {
+  Fixture f;
+  mct::MctSchema schema = f.designer.Design(Strategy::kEn);
+  auto plan = PlanQuery(*f.w.Find("Q1"), schema);
+  ASSERT_TRUE(plan.ok());
+  std::string s = plan->DebugString();
+  EXPECT_NE(s.find("Q1"), std::string::npos);
+  EXPECT_NE(s.find("stats:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mctdb::query

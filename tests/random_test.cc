@@ -1,0 +1,115 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+namespace mctdb {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng rng(11);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) ++counts[rng.Uniform(8)];
+  EXPECT_EQ(counts.size(), 8u);
+  for (const auto& [v, c] : counts) {
+    EXPECT_GT(c, 10000 / 8 / 2) << "value " << v << " badly underrepresented";
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, OneInRoughFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.OneIn(10);
+  EXPECT_NEAR(hits, 10000, 600);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(17);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Zipf(100, 0.8)];
+  // Rank 0 must dominate the tail decisively under theta=0.8.
+  EXPECT_GT(counts[0], counts[50] * 3);
+  for (const auto& [v, c] : counts) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, ZipfThetaZeroIsUniform) {
+  Rng rng(19);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Zipf(10, 0.0)];
+  for (const auto& [v, c] : counts) {
+    EXPECT_GT(c, 1000) << "value " << v;
+    EXPECT_LT(c, 3200) << "value " << v;
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, PickReturnsMember) {
+  Rng rng(29);
+  std::vector<int> v{4, 8, 15, 16, 23, 42};
+  for (int i = 0; i < 100; ++i) {
+    int x = rng.Pick(v);
+    EXPECT_NE(std::find(v.begin(), v.end(), x), v.end());
+  }
+}
+
+}  // namespace
+}  // namespace mctdb

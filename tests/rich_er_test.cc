@@ -1,0 +1,168 @@
+#include "er/rich_er.h"
+
+#include <gtest/gtest.h>
+
+#include "design/algorithm_dumc.h"
+#include "design/recoverability.h"
+
+namespace mctdb::er {
+namespace {
+
+TEST(RichErTest, BinaryPassesThrough) {
+  RichErDiagram rich;
+  rich.name = "t";
+  rich.entities = {{"a", {{"id", AttrType::kString, true, false, {}}}},
+                   {"b", {}}};
+  RichRelationship r;
+  r.name = "r";
+  r.endpoints = {{"a", "", Participation::kMany, Totality::kPartial},
+                 {"b", "", Participation::kOne, Totality::kTotal}};
+  rich.relationships.push_back(r);
+  auto simple = Simplify(rich);
+  ASSERT_TRUE(simple.ok()) << simple.status().ToString();
+  EXPECT_EQ(simple->num_entities(), 2u);
+  EXPECT_EQ(simple->num_relationships(), 1u);
+  const ErNode& rel = simple->node(*simple->FindNode("r"));
+  EXPECT_EQ(rel.endpoints[0].participation, Participation::kMany);
+  EXPECT_EQ(rel.endpoints[1].totality, Totality::kTotal);
+}
+
+TEST(RichErTest, CompositeAttributesFlatten) {
+  RichErDiagram rich;
+  rich.name = "t";
+  RichEntity person;
+  person.name = "person";
+  RichAttribute address;
+  address.name = "address";
+  address.components = {
+      {"street", AttrType::kString, false, false, {}},
+      {"zip", AttrType::kInt, false, false, {}},
+  };
+  person.attributes = {{"id", AttrType::kString, true, false, {}}, address};
+  rich.entities.push_back(person);
+  SimplifyReport report;
+  auto simple = Simplify(rich, &report);
+  ASSERT_TRUE(simple.ok());
+  EXPECT_EQ(report.composite_flattened, 1u);
+  const ErNode& p = simple->node(*simple->FindNode("person"));
+  ASSERT_EQ(p.attributes.size(), 3u);
+  EXPECT_EQ(p.attributes[1].name, "address_street");
+  EXPECT_EQ(p.attributes[2].name, "address_zip");
+  EXPECT_EQ(p.attributes[2].type, AttrType::kInt);
+}
+
+TEST(RichErTest, MultivaluedBecomesSatelliteEntity) {
+  RichErDiagram rich;
+  rich.name = "t";
+  RichEntity person;
+  person.name = "person";
+  person.attributes = {{"id", AttrType::kString, true, false, {}},
+                       {"phone", AttrType::kString, false, true, {}}};
+  rich.entities.push_back(person);
+  SimplifyReport report;
+  auto simple = Simplify(rich, &report);
+  ASSERT_TRUE(simple.ok()) << simple.status().ToString();
+  EXPECT_EQ(report.multivalued_extracted, 1u);
+  auto sat = simple->FindNode("person_phone");
+  ASSERT_TRUE(sat.has_value());
+  auto rel = simple->FindNode("has_person_phone");
+  ASSERT_TRUE(rel.has_value());
+  const ErNode& r = simple->node(*rel);
+  // person 1:N person_phone, total on the satellite.
+  EXPECT_EQ(r.endpoints[0].participation, Participation::kMany);
+  EXPECT_EQ(r.endpoints[1].totality, Totality::kTotal);
+}
+
+TEST(RichErTest, TernaryDecomposes) {
+  // supply(supplier, part, project) — the textbook ternary.
+  RichErDiagram rich;
+  rich.name = "t";
+  rich.entities = {{"supplier", {}}, {"part", {}}, {"project", {}}};
+  RichRelationship supply;
+  supply.name = "supply";
+  supply.endpoints = {{"supplier", "", Participation::kMany, {}},
+                      {"part", "", Participation::kMany, {}},
+                      {"project", "", Participation::kMany, {}}};
+  supply.attributes = {{"qty", AttrType::kInt, false, false, {}}};
+  rich.relationships.push_back(supply);
+  SimplifyReport report;
+  auto simple = Simplify(rich, &report);
+  ASSERT_TRUE(simple.ok()) << simple.status().ToString();
+  EXPECT_EQ(report.nary_decomposed, 1u);
+  // supply reified as an entity with the qty attribute + 3 binary rels.
+  const ErNode& reified = simple->node(*simple->FindNode("supply"));
+  EXPECT_TRUE(reified.is_entity());
+  EXPECT_EQ(simple->num_relationships(), 3u);
+  ErGraph g(*simple);
+  EXPECT_TRUE(g.IsForest());
+}
+
+TEST(RichErTest, RecursiveRelationshipGetsRoles) {
+  // supervision(employee supervisor, employee supervisee).
+  RichErDiagram rich;
+  rich.name = "t";
+  rich.entities = {{"employee", {{"id", AttrType::kString, true, false, {}}}}};
+  RichRelationship sup;
+  sup.name = "supervision";
+  sup.endpoints = {{"employee", "supervisor", Participation::kMany, {}},
+                   {"employee", "supervisee", Participation::kOne, {}}};
+  rich.relationships.push_back(sup);
+  SimplifyReport report;
+  auto simple = Simplify(rich, &report);
+  ASSERT_TRUE(simple.ok()) << simple.status().ToString();
+  EXPECT_EQ(report.recursive_decomposed, 1u);
+  EXPECT_TRUE(simple->FindNode("supervision_supervisor").has_value());
+  EXPECT_TRUE(simple->FindNode("supervision_supervisee").has_value());
+  EXPECT_TRUE(simple->Validate().ok());
+}
+
+TEST(RichErTest, SimplifiedDiagramIsDesignable) {
+  // End to end: rich -> simplified -> DUMC satisfies Theorem 5.2.
+  RichErDiagram rich;
+  rich.name = "company";
+  rich.entities = {
+      {"employee",
+       {{"id", AttrType::kString, true, false, {}},
+        {"skill", AttrType::kString, false, true, {}}}},
+      {"department", {{"id", AttrType::kString, true, false, {}}}},
+      {"project", {{"id", AttrType::kString, true, false, {}}}},
+  };
+  RichRelationship works;
+  works.name = "works_on";
+  works.endpoints = {{"employee", "", Participation::kMany, {}},
+                     {"project", "", Participation::kMany, {}},
+                     {"department", "", Participation::kMany, {}}};
+  rich.relationships.push_back(works);
+  RichRelationship managed;
+  managed.name = "manages";
+  managed.endpoints = {{"department", "", Participation::kOne, {}},
+                       {"employee", "", Participation::kOne, {}}};
+  rich.relationships.push_back(managed);
+
+  auto simple = Simplify(rich);
+  ASSERT_TRUE(simple.ok()) << simple.status().ToString();
+  ErGraph graph(*simple);
+  mct::MctSchema dr = design::AlgorithmDumc(graph);
+  EXPECT_TRUE(dr.IsNodeNormal());
+  auto report = design::AnalyzeRecoverability(
+      dr, design::EnumerateEligiblePaths(graph));
+  EXPECT_TRUE(report.fully_direct());
+}
+
+TEST(RichErTest, ErrorsSurfaceCleanly) {
+  RichErDiagram rich;
+  rich.name = "t";
+  rich.entities = {{"a", {}}};
+  RichRelationship r;
+  r.name = "r";
+  r.endpoints = {{"a", "", Participation::kOne, {}}};
+  rich.relationships.push_back(r);
+  EXPECT_TRUE(Simplify(rich).status().IsInvalidArgument());
+
+  rich.relationships[0].endpoints.push_back(
+      {"ghost", "", Participation::kOne, {}});
+  EXPECT_TRUE(Simplify(rich).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace mctdb::er

@@ -1,0 +1,70 @@
+#include "workload/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "er/er_catalog.h"
+
+namespace mctdb::workload {
+namespace {
+
+TEST(RunnerTest, TpcwRunsHealthy) {
+  Workload w = TpcwWorkload(0.03);
+  RunnerOptions options;
+  options.repetitions = 2;
+  auto summary = RunWorkload(w, options);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_TRUE(summary->problems.empty())
+      << summary->problems.front() << " (+" << summary->problems.size() - 1
+      << " more)";
+  // 7 schemas x 12 figure queries.
+  EXPECT_EQ(summary->measurements.size(), 7u * 12u);
+  EXPECT_EQ(summary->storage.size(), 7u);
+}
+
+TEST(RunnerTest, FindLocatesMeasurement) {
+  Workload w = TpcwWorkload(0.06);
+  auto summary = RunWorkload(w);
+  ASSERT_TRUE(summary.ok());
+  const Measurement* m = summary->Find("EN", "Q1");
+  ASSERT_NE(m, nullptr);
+  EXPECT_GT(m->unique_results, 0u);
+  EXPECT_EQ(summary->Find("EN", "Q99"), nullptr);
+  EXPECT_EQ(summary->Find("NOPE", "Q1"), nullptr);
+}
+
+TEST(RunnerTest, StrategySubsetRespected) {
+  Workload w = TpcwWorkload(0.03);
+  RunnerOptions options;
+  options.strategies = {design::Strategy::kEn, design::Strategy::kDr};
+  auto summary = RunWorkload(w, options);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->storage.size(), 2u);
+  EXPECT_EQ(summary->storage[0].first, "EN");
+  EXPECT_EQ(summary->storage[1].first, "DR");
+}
+
+TEST(RunnerTest, XmarkWorkloadHealthyOnCollectionSample) {
+  for (auto maker : {er::Er2University, er::Er5Airline}) {
+    Workload w = XmarkEmulatedWorkload(maker());
+    w.gen.base_count = 12;
+    auto summary = RunWorkload(w);
+    ASSERT_TRUE(summary.ok());
+    EXPECT_TRUE(summary->problems.empty())
+        << w.diagram.name() << ": " << summary->problems.front();
+  }
+}
+
+TEST(RunnerTest, UpdateMeasurementsCountElementWrites) {
+  Workload w = TpcwWorkload(0.03);
+  auto summary = RunWorkload(w);
+  ASSERT_TRUE(summary.ok());
+  const Measurement* deep = summary->Find("DEEP", "U1");
+  const Measurement* en = summary->Find("EN", "U1");
+  ASSERT_NE(deep, nullptr);
+  ASSERT_NE(en, nullptr);
+  EXPECT_GT(deep->elements_updated, en->elements_updated)
+      << "DEEP rewrites copies";
+}
+
+}  // namespace
+}  // namespace mctdb::workload

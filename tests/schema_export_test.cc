@@ -1,0 +1,93 @@
+#include "mct/schema_export.h"
+
+#include <gtest/gtest.h>
+
+#include "design/designer.h"
+#include "er/er_catalog.h"
+
+namespace mctdb::mct {
+namespace {
+
+struct Fixture {
+  er::ErDiagram diagram = er::Tpcw();
+  er::ErGraph graph{diagram};
+  design::Designer designer{graph};
+};
+
+TEST(SchemaExportTest, DtdDeclaresEveryOccurrence) {
+  Fixture f;
+  MctSchema en = f.designer.Design(design::Strategy::kEn);
+  std::string dtd = ExportDtd(en);
+  // Every ER node appears as an ELEMENT declaration at least once.
+  for (const er::ErNode& node : f.diagram.nodes()) {
+    EXPECT_NE(dtd.find("<!ELEMENT " + node.name), std::string::npos)
+        << node.name;
+  }
+  // Both colors announced.
+  EXPECT_NE(dtd.find("<!-- color: blue -->"), std::string::npos);
+  EXPECT_NE(dtd.find("<!-- color: red -->"), std::string::npos);
+}
+
+TEST(SchemaExportTest, DtdContentModelsCarryOccurrenceMarkers) {
+  Fixture f;
+  MctSchema en = f.designer.Design(design::Strategy::kEn);
+  std::string dtd = ExportDtd(en);
+  // country holds many in's (total on the address side -> '+' under one
+  // country? in occurs * or + under country).
+  bool star_or_plus = dtd.find("<!ELEMENT country (in*)") != std::string::npos ||
+                      dtd.find("<!ELEMENT country (in+)") != std::string::npos;
+  EXPECT_TRUE(star_or_plus) << dtd.substr(0, 400);
+  // Keys become ID attributes.
+  EXPECT_NE(dtd.find("id ID #REQUIRED"), std::string::npos);
+}
+
+TEST(SchemaExportTest, ShallowDtdHasIdrefs) {
+  Fixture f;
+  MctSchema shallow = f.designer.Design(design::Strategy::kShallow);
+  std::string dtd = ExportDtd(shallow);
+  EXPECT_NE(dtd.find("IDREF #REQUIRED"), std::string::npos);
+  EXPECT_NE(dtd.find("_idref"), std::string::npos);
+}
+
+TEST(SchemaExportTest, DotIsWellFormedGraphviz) {
+  Fixture f;
+  MctSchema dr = f.designer.Design(design::Strategy::kDr);
+  std::string dot = ExportDot(dr);
+  EXPECT_EQ(dot.find("digraph"), 0u);
+  EXPECT_EQ(dot.back(), '\n');
+  // One cluster per color.
+  for (ColorId c = 0; c < dr.num_colors(); ++c) {
+    EXPECT_NE(dot.find("subgraph cluster_" + std::to_string(c)),
+              std::string::npos);
+  }
+  // Balanced braces.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+  // ICIC-constrained edges render dashed.
+  ASSERT_FALSE(dr.ComputeIcics().empty());
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(SchemaExportTest, DotNodesCoverOccurrences) {
+  Fixture f;
+  MctSchema en = f.designer.Design(design::Strategy::kEn);
+  std::string dot = ExportDot(en);
+  size_t node_decls = 0;
+  for (size_t pos = 0; (pos = dot.find("[label=\"", pos)) != std::string::npos;
+       pos += 8) {
+    ++node_decls;
+  }
+  EXPECT_EQ(node_decls, en.num_occurrences());
+  size_t edge_decls = 0;
+  for (size_t pos = 0; (pos = dot.find(" -> ", pos)) != std::string::npos;
+       pos += 4) {
+    ++edge_decls;
+  }
+  size_t expected_edges = 0;
+  for (const SchemaOcc& o : en.occurrences()) expected_edges += !o.is_root();
+  // EN has no ref edges, so arrows == parent links.
+  EXPECT_EQ(edge_decls, expected_edges);
+}
+
+}  // namespace
+}  // namespace mctdb::mct

@@ -1,0 +1,92 @@
+#include "query/structural_join.h"
+
+#include <gtest/gtest.h>
+
+namespace mctdb::query {
+namespace {
+
+using storage::LabelEntry;
+
+LabelEntry L(uint32_t elem, uint32_t start, uint32_t end, uint16_t level) {
+  LabelEntry e;
+  e.elem = elem;
+  e.start = start;
+  e.end = end;
+  e.level = level;
+  return e;
+}
+
+TEST(StructuralJoinTest, BasicContainment) {
+  // Tree: a1(1,10){ b1(2,3) b2(4,5) }  a2(11,20){ }  b3(21,22) top-level.
+  std::vector<LabelEntry> anc{L(1, 1, 10, 0), L(2, 11, 20, 0)};
+  std::vector<LabelEntry> desc{L(10, 2, 3, 1), L(11, 4, 5, 1),
+                               L(12, 21, 22, 0)};
+  auto r = StackTreeJoin(anc, desc);
+  ASSERT_EQ(r.descendants.size(), 2u);
+  EXPECT_EQ(r.descendants[0].elem, 10u);
+  EXPECT_EQ(r.descendants[1].elem, 11u);
+  ASSERT_EQ(r.ancestors.size(), 1u);
+  EXPECT_EQ(r.ancestors[0].elem, 1u);
+  EXPECT_EQ(r.pairs, 2u);
+}
+
+TEST(StructuralJoinTest, NestedAncestorsAllPair) {
+  // a1(1,100) contains a2(2,50) contains d(3,4): two pairs.
+  std::vector<LabelEntry> anc{L(1, 1, 100, 0), L(2, 2, 50, 1)};
+  std::vector<LabelEntry> desc{L(10, 3, 4, 2)};
+  auto r = StackTreeJoin(anc, desc);
+  EXPECT_EQ(r.pairs, 2u);
+  EXPECT_EQ(r.descendants.size(), 1u);
+  EXPECT_EQ(r.ancestors.size(), 2u);
+}
+
+TEST(StructuralJoinTest, ParentChildLevelFilter) {
+  std::vector<LabelEntry> anc{L(1, 1, 100, 0)};
+  std::vector<LabelEntry> desc{L(10, 2, 3, 1), L(11, 4, 5, 2)};
+  StructuralJoinOptions opts;
+  opts.parent_child_only = true;
+  auto r = StackTreeJoin(anc, desc, opts);
+  ASSERT_EQ(r.descendants.size(), 1u);
+  EXPECT_EQ(r.descendants[0].elem, 10u) << "level-2 node is a grandchild";
+}
+
+TEST(StructuralJoinTest, EmptyInputs) {
+  std::vector<LabelEntry> some{L(1, 1, 2, 0)};
+  EXPECT_TRUE(StackTreeJoin({}, some).descendants.empty());
+  EXPECT_TRUE(StackTreeJoin(some, {}).descendants.empty());
+  EXPECT_TRUE(StackTreeJoin({}, {}).descendants.empty());
+}
+
+TEST(StructuralJoinTest, SiblingsDoNotMatch) {
+  std::vector<LabelEntry> anc{L(1, 1, 10, 1)};
+  std::vector<LabelEntry> desc{L(10, 11, 12, 1), L(11, 13, 14, 1)};
+  auto r = StackTreeJoin(anc, desc);
+  EXPECT_TRUE(r.descendants.empty());
+  EXPECT_TRUE(r.ancestors.empty());
+}
+
+TEST(StructuralJoinTest, LargeInterleavedForest) {
+  // 100 trees: root_i contains child_i; roots are ancestors of their own
+  // children only.
+  std::vector<LabelEntry> anc, desc;
+  for (uint32_t i = 0; i < 100; ++i) {
+    anc.push_back(L(i, i * 10 + 1, i * 10 + 9, 0));
+    desc.push_back(L(1000 + i, i * 10 + 2, i * 10 + 3, 1));
+  }
+  auto r = StackTreeJoin(anc, desc);
+  EXPECT_EQ(r.pairs, 100u);
+  EXPECT_EQ(r.descendants.size(), 100u);
+  EXPECT_EQ(r.ancestors.size(), 100u);
+}
+
+TEST(StructuralJoinTest, SemiJoinAncestorsDeduplicated) {
+  // One ancestor with 3 descendants appears once on the ancestors side.
+  std::vector<LabelEntry> anc{L(1, 1, 100, 0)};
+  std::vector<LabelEntry> desc{L(10, 2, 3, 1), L(11, 4, 5, 1), L(12, 6, 7, 1)};
+  auto r = StackTreeJoin(anc, desc);
+  EXPECT_EQ(r.pairs, 3u);
+  EXPECT_EQ(r.ancestors.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mctdb::query

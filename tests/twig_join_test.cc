@@ -1,0 +1,172 @@
+#include "query/twig_join.h"
+
+#include <gtest/gtest.h>
+
+#include "design/designer.h"
+#include "er/er_random.h"
+#include "instance/materialize.h"
+#include "workload/workload.h"
+
+namespace mctdb::query {
+namespace {
+
+using design::Strategy;
+
+struct TpcwFixture {
+  workload::Workload w = workload::TpcwWorkload(0.05);
+  er::ErGraph graph{w.diagram};
+  design::Designer designer{graph};
+  std::unique_ptr<mct::MctSchema> schema;
+  std::unique_ptr<storage::MctStore> store;
+
+  explicit TpcwFixture(Strategy s = Strategy::kAf) {
+    schema = std::make_unique<mct::MctSchema>(designer.Design(s));
+    auto logical = instance::GenerateInstance(graph, w.gen);
+    store = instance::Materialize(logical, *schema);
+  }
+
+  er::NodeId Tag(const char* name) { return *w.diagram.FindNode(name); }
+};
+
+TEST(TwigJoinTest, SimpleChainMatchesNaive) {
+  TpcwFixture f;
+  TwigPattern twig;
+  twig.nodes = {{f.Tag("country"), -1, {}},
+                {f.Tag("address"), 0, {}},
+                {f.Tag("customer"), 1, {}}};
+  auto fast = TwigStackJoin(*f.store, 0, twig);
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+  TwigResult naive = NaiveTwigJoin(*f.store, 0, twig);
+  ASSERT_EQ(fast->matched.size(), naive.matched.size());
+  for (size_t q = 0; q < naive.matched.size(); ++q) {
+    EXPECT_EQ(fast->matched[q], naive.matched[q]) << "node " << q;
+  }
+  EXPECT_GT(fast->path_solutions, 0u);
+}
+
+TEST(TwigJoinTest, BranchingTwigMatchesNaive) {
+  // country with BOTH a customer below (via has) and an order billed below:
+  // a genuine twig, not a path.
+  TpcwFixture f;
+  TwigPattern twig;
+  twig.nodes = {{f.Tag("address"), -1, {}},
+                {f.Tag("customer"), 0, {}},
+                {f.Tag("billing"), 0, {}}};
+  auto fast = TwigStackJoin(*f.store, 0, twig);
+  ASSERT_TRUE(fast.ok());
+  TwigResult naive = NaiveTwigJoin(*f.store, 0, twig);
+  for (size_t q = 0; q < naive.matched.size(); ++q) {
+    EXPECT_EQ(fast->matched[q], naive.matched[q]) << "node " << q;
+  }
+  // The twig is selective: only addresses with BOTH a customer and a
+  // billed order qualify — strictly fewer than either single branch.
+  TwigPattern branch1;
+  branch1.nodes = {{f.Tag("address"), -1, {}}, {f.Tag("customer"), 0, {}}};
+  auto b1 = TwigStackJoin(*f.store, 0, branch1);
+  ASSERT_TRUE(b1.ok());
+  EXPECT_LE(fast->matched[0].size(), b1->matched[0].size());
+}
+
+TEST(TwigJoinTest, PredicatesFilter) {
+  TpcwFixture f;
+  TwigPattern twig;
+  twig.nodes = {{f.Tag("country"), -1, AttrPredicate{"name", "Japan"}},
+                {f.Tag("order"), 0, {}}};
+  auto fast = TwigStackJoin(*f.store, 0, twig);
+  ASSERT_TRUE(fast.ok());
+  TwigResult naive = NaiveTwigJoin(*f.store, 0, twig);
+  EXPECT_EQ(fast->matched[0], naive.matched[0]);
+  EXPECT_EQ(fast->matched[1], naive.matched[1]);
+  for (storage::ElemId e : fast->matched[0]) {
+    EXPECT_EQ(*f.store->AttrValue(e, "name"), "Japan");
+  }
+}
+
+TEST(TwigJoinTest, EmptyWhenNoMatch) {
+  TpcwFixture f;
+  TwigPattern twig;
+  twig.nodes = {{f.Tag("country"), -1, AttrPredicate{"name", "Atlantis"}},
+                {f.Tag("order"), 0, {}}};
+  auto fast = TwigStackJoin(*f.store, 0, twig);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(fast->path_solutions, 0u);
+  EXPECT_TRUE(fast->matched[0].empty());
+  EXPECT_TRUE(fast->matched[1].empty());
+}
+
+TEST(TwigJoinTest, MalformedPatternsRejected) {
+  TpcwFixture f;
+  TwigPattern empty;
+  EXPECT_TRUE(TwigStackJoin(*f.store, 0, empty).status().IsInvalidArgument());
+  TwigPattern bad_root;
+  bad_root.nodes = {{f.Tag("country"), 3, {}}};
+  EXPECT_TRUE(
+      TwigStackJoin(*f.store, 0, bad_root).status().IsInvalidArgument());
+  TwigPattern forward_ref;
+  forward_ref.nodes = {{f.Tag("country"), -1, {}}, {f.Tag("order"), 1, {}}};
+  EXPECT_TRUE(
+      TwigStackJoin(*f.store, 0, forward_ref).status().IsInvalidArgument());
+}
+
+TEST(TwigJoinTest, DeepSchemaWithDuplicatesMatchesNaive) {
+  // DEEP's redundant occurrences are the stress case for stack maintenance.
+  TpcwFixture f(Strategy::kDeep);
+  TwigPattern twig;
+  twig.nodes = {{f.Tag("order"), -1, {}},
+                {f.Tag("order_line"), 0, {}},
+                {f.Tag("item"), 1, {}}};
+  auto fast = TwigStackJoin(*f.store, 0, twig);
+  ASSERT_TRUE(fast.ok());
+  TwigResult naive = NaiveTwigJoin(*f.store, 0, twig);
+  for (size_t q = 0; q < naive.matched.size(); ++q) {
+    EXPECT_EQ(fast->matched[q], naive.matched[q]) << "node " << q;
+  }
+}
+
+TEST(TwigJoinTest, RandomSchemasAgreeWithNaive) {
+  // Property sweep on random designs: TwigStack == naive on matched sets.
+  Rng rng(2024);
+  for (int trial = 0; trial < 6; ++trial) {
+    er::RandomErOptions opts;
+    opts.num_entities = 5;
+    opts.num_relationships = 5;
+    er::ErDiagram d = er::GenerateRandomEr(&rng, opts);
+    er::ErGraph g(d);
+    design::Designer designer(g);
+    mct::MctSchema schema = designer.Design(Strategy::kAf);
+    instance::GenOptions gen;
+    gen.base_count = 15;
+    gen.seed = 99 + trial;
+    auto logical = instance::GenerateInstance(g, gen);
+    auto store = instance::Materialize(logical, schema);
+    // Use the first occurrence chain of depth >= 2 as the twig.
+    mct::OccId deep = mct::kInvalidOcc;
+    for (const mct::SchemaOcc& o : schema.occurrences()) {
+      if (schema.Depth(o.id) >= 2) {
+        deep = o.id;
+        break;
+      }
+    }
+    if (deep == mct::kInvalidOcc) continue;
+    TwigPattern twig;
+    std::vector<er::NodeId> chain;
+    for (mct::OccId cur = deep; cur != mct::kInvalidOcc;
+         cur = schema.occ(cur).parent) {
+      chain.push_back(schema.occ(cur).er_node);
+    }
+    std::reverse(chain.begin(), chain.end());
+    for (size_t i = 0; i < chain.size(); ++i) {
+      twig.nodes.push_back({chain[i], static_cast<int>(i) - 1, {}});
+    }
+    auto fast = TwigStackJoin(*store, 0, twig);
+    ASSERT_TRUE(fast.ok()) << d.name();
+    TwigResult naive = NaiveTwigJoin(*store, 0, twig);
+    for (size_t q = 0; q < naive.matched.size(); ++q) {
+      EXPECT_EQ(fast->matched[q], naive.matched[q])
+          << d.name() << " node " << q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mctdb::query

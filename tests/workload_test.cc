@@ -1,0 +1,111 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "design/designer.h"
+#include "er/er_catalog.h"
+#include "workload/metrics.h"
+
+namespace mctdb::workload {
+namespace {
+
+TEST(TpcwWorkloadTest, SixteenQueriesThreeUpdates) {
+  Workload w = TpcwWorkload();
+  EXPECT_EQ(w.queries.size(), 16u);  // Q1-Q13, U1-U3
+  EXPECT_EQ(w.num_updates(), 3u);
+  EXPECT_EQ(w.figure_queries.size(), 12u)
+      << "4 schema-indifferent queries excluded";
+  EXPECT_NE(w.Find("Q1"), nullptr);
+  EXPECT_NE(w.Find("U3"), nullptr);
+  EXPECT_EQ(w.Find("Q99"), nullptr);
+}
+
+TEST(TpcwWorkloadTest, ScaleMultipliesCounts) {
+  Workload w1 = TpcwWorkload(1.0);
+  Workload w2 = TpcwWorkload(2.0);
+  EXPECT_EQ(w2.gen.explicit_counts.at("customer"),
+            2 * w1.gen.explicit_counts.at("customer"));
+  EXPECT_EQ(w2.gen.explicit_counts.at("country"),
+            w1.gen.explicit_counts.at("country"))
+      << "country count is fixed (like TPC-W's)";
+}
+
+TEST(XmarkWorkloadTest, TwentyReadsEightUpdatesPerDiagram) {
+  for (const er::ErDiagram& d : er::EvaluationCollection()) {
+    Workload w = XmarkEmulatedWorkload(d);
+    size_t reads = 0, updates = 0;
+    for (const auto& q : w.queries) {
+      (q.is_update() ? updates : reads) += 1;
+    }
+    EXPECT_LE(reads, 20u) << d.name();
+    EXPECT_GE(reads, 12u) << d.name() << ": too few archetypes matched";
+    EXPECT_LE(updates, 8u) << d.name();
+    EXPECT_GE(updates, 4u) << d.name();
+  }
+}
+
+TEST(XmarkWorkloadTest, QueriesAreWellFormed) {
+  for (const er::ErDiagram& d : er::EvaluationCollection()) {
+    Workload w = XmarkEmulatedWorkload(d);
+    for (const auto& q : w.queries) {
+      EXPECT_FALSE(q.nodes.empty()) << d.name() << "/" << q.name;
+      for (size_t i = 1; i < q.nodes.size(); ++i) {
+        EXPECT_GE(q.nodes[i].parent, 0);
+        EXPECT_GE(q.nodes[i].path_from_parent.size(), 2u);
+        EXPECT_EQ(q.nodes[i].path_from_parent.front(),
+                  q.nodes[q.nodes[i].parent].er_node);
+        EXPECT_EQ(q.nodes[i].path_from_parent.back(), q.nodes[i].er_node);
+      }
+      EXPECT_GE(q.output, 0);
+      EXPECT_LT(q.output, static_cast<int>(q.nodes.size()));
+    }
+  }
+}
+
+TEST(DerbyWorkloadTest, TwentyQueriesEightUpdates) {
+  Workload w = DerbyWorkload();
+  EXPECT_EQ(w.queries.size(), 20u);
+  EXPECT_EQ(w.num_updates(), 8u);
+  EXPECT_EQ(w.figure_queries.size(), 20u);
+}
+
+TEST(MetricsTest, GeoMean1p) {
+  EXPECT_DOUBLE_EQ(GeoMean1p({}), 0.0);
+  EXPECT_DOUBLE_EQ(GeoMean1p({0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(GeoMean1p({3}), 3.0);
+  // gm1p({0, 3}) = sqrt(1*4) - 1 = 1.
+  EXPECT_NEAR(GeoMean1p({0, 3}), 1.0, 1e-12);
+  EXPECT_GT(GeoMean1p({1, 1, 10}), GeoMean1p({1, 1, 1}));
+}
+
+TEST(MetricsTest, PlanMetricsCoverFigureQueries) {
+  Workload w = TpcwWorkload(0.05);
+  er::ErGraph g(w.diagram);
+  design::Designer designer(g);
+  mct::MctSchema schema = designer.Design(design::Strategy::kEn);
+  auto rows = PlanMetrics(w, schema);
+  EXPECT_EQ(rows.size(), w.figure_queries.size());
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.schema, "EN");
+  }
+}
+
+TEST(MetricsTest, CollectionGridShape) {
+  // A 2-diagram, 3-strategy slice of the Figs 12-14 grid.
+  std::vector<Workload> workloads;
+  workloads.push_back(XmarkEmulatedWorkload(er::Er6Star()));
+  workloads.push_back(XmarkEmulatedWorkload(er::Er7Chain()));
+  auto cells = AnalyzeCollection(
+      workloads, {design::Strategy::kShallow, design::Strategy::kEn,
+                  design::Strategy::kDr});
+  ASSERT_EQ(cells.size(), 6u);
+  // SHALLOW must show the most value joins on both simple diagrams.
+  for (size_t i = 0; i < 2; ++i) {
+    double shallow = cells[3 * i + 0].gmean_value_joins_crossings;
+    double dr = cells[3 * i + 2].gmean_value_joins_crossings;
+    EXPECT_GE(shallow, dr) << workloads[i].diagram.name();
+  }
+}
+
+}  // namespace
+}  // namespace mctdb::workload

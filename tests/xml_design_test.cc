@@ -1,0 +1,166 @@
+#include "design/xml_design.h"
+
+#include <gtest/gtest.h>
+
+#include "design/recoverability.h"
+#include "er/er_catalog.h"
+
+namespace mctdb::design {
+namespace {
+
+using er::ErDiagram;
+using er::ErGraph;
+
+TEST(ShallowTest, SingleColorNodeNormalNotAr) {
+  for (const ErDiagram& d : er::EvaluationCollection()) {
+    ErGraph g(d);
+    mct::MctSchema s = DesignShallow(g);
+    EXPECT_EQ(s.num_colors(), 1u);
+    std::string why;
+    EXPECT_TRUE(s.IsNodeNormal(&why)) << d.name() << ": " << why;
+    EXPECT_TRUE(s.IsEdgeNormal());
+    EXPECT_TRUE(s.CoversAllNodes());
+    // Every relationship has exactly one structural parent edge and one
+    // idref, so refs == #relationships and AR fails whenever any exist.
+    EXPECT_EQ(s.ref_edges().size(), d.num_relationships());
+    if (d.num_relationships() > 0) {
+      EXPECT_FALSE(IsAssociationRecoverable(s)) << d.name();
+    }
+    EXPECT_TRUE(s.Validate().ok());
+  }
+}
+
+TEST(ShallowTest, EntitiesAreRoots) {
+  ErDiagram d = er::Tpcw();
+  ErGraph g(d);
+  mct::MctSchema s = DesignShallow(g);
+  for (const er::ErNode& n : d.nodes()) {
+    mct::OccId occ = s.FindOcc(0, n.id);
+    ASSERT_NE(occ, mct::kInvalidOcc);
+    EXPECT_EQ(s.occ(occ).is_root(), n.is_entity()) << n.name;
+  }
+}
+
+TEST(ShallowTest, OrderLineNestsUnderOrder) {
+  // Fig 2: order_line (via contain) sits under order with an item idref
+  // held by occur_in.
+  ErDiagram d = er::Tpcw();
+  ErGraph g(d);
+  mct::MctSchema s = DesignShallow(g);
+  mct::OccId contain = s.FindOcc(0, *d.FindNode("contain"));
+  ASSERT_NE(contain, mct::kInvalidOcc);
+  EXPECT_EQ(s.occ(s.occ(contain).parent).er_node, *d.FindNode("order"));
+}
+
+TEST(AfTest, NodeNormalMaximizesStructure) {
+  for (const ErDiagram& d : er::EvaluationCollection()) {
+    ErGraph g(d);
+    mct::MctSchema s = DesignAf(g);
+    EXPECT_EQ(s.num_colors(), 1u);
+    std::string why;
+    EXPECT_TRUE(s.IsNodeNormal(&why)) << d.name() << ": " << why;
+    EXPECT_TRUE(s.CoversAllNodes(&why)) << d.name() << ": " << why;
+    EXPECT_TRUE(s.Validate().ok());
+    // structural realizations + refs account for every ER edge.
+    std::vector<bool> covered(g.num_edges(), false);
+    for (const auto& o : s.occurrences()) {
+      if (!o.is_root()) covered[o.via_edge] = true;
+    }
+    for (const auto& r : s.ref_edges()) covered[r.er_edge] = true;
+    for (size_t e = 0; e < covered.size(); ++e) {
+      EXPECT_TRUE(covered[e]) << d.name() << " edge " << e;
+    }
+  }
+}
+
+TEST(AfTest, FewerRefsThanShallow) {
+  // AF captures strictly more associations structurally than SHALLOW on
+  // every non-trivial diagram.
+  for (const ErDiagram& d : er::EvaluationCollection()) {
+    ErGraph g(d);
+    EXPECT_LE(DesignAf(g).ref_edges().size(),
+              DesignShallow(g).ref_edges().size())
+        << d.name();
+  }
+}
+
+TEST(AfTest, TpcwMatchesFigure3Shape) {
+  ErDiagram d = er::Tpcw();
+  ErGraph g(d);
+  mct::MctSchema s = DesignAf(g);
+  // country deep chain exists.
+  mct::OccId country = s.FindOcc(0, *d.FindNode("country"));
+  mct::OccId order = s.FindOcc(0, *d.FindNode("order"));
+  ASSERT_NE(order, mct::kInvalidOcc);
+  EXPECT_TRUE(s.IsAncestor(country, order));
+  // billing exists as an element and its address association is an idref
+  // (bill_address_idref in Fig 3).
+  bool billing_ref = false;
+  for (const auto& r : s.ref_edges()) {
+    if (s.occ(r.from).er_node == *d.FindNode("billing") &&
+        r.target == *d.FindNode("address")) {
+      billing_ref = true;
+    }
+  }
+  EXPECT_TRUE(billing_ref) << s.DebugString();
+}
+
+TEST(DeepTest, SingleColorEdgeNormalNotNodeNormal) {
+  ErDiagram d = er::Tpcw();
+  ErGraph g(d);
+  mct::MctSchema s = DesignDeep(g);
+  EXPECT_EQ(s.num_colors(), 1u);
+  EXPECT_TRUE(s.IsEdgeNormal()) << "single color is trivially EN";
+  EXPECT_FALSE(s.IsNodeNormal());
+  EXPECT_TRUE(s.ComputeIcics().empty());
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(DeepTest, FullyDirectRecoverableOnCatalog) {
+  for (const ErDiagram& d : er::EvaluationCollection()) {
+    ErGraph g(d);
+    mct::MctSchema s = DesignDeep(g);
+    EXPECT_TRUE(IsAssociationRecoverable(s)) << d.name();
+    auto report = AnalyzeRecoverability(s, EnumerateEligiblePaths(g));
+    EXPECT_TRUE(report.fully_direct())
+        << d.name() << " missing "
+        << (report.eligible_paths - report.directly_recoverable);
+    EXPECT_EQ(s.ref_edges().size(), 0u) << "DEEP uses no idrefs";
+  }
+}
+
+TEST(DeepTest, DuplicatesAddressStyleContext) {
+  // Fig 4: "a great deal of redundancy in the representation of various
+  // types of address, country, item, and author elements".
+  ErDiagram d = er::Tpcw();
+  ErGraph g(d);
+  mct::MctSchema s = DesignDeep(g);
+  auto count = [&](const char* name) {
+    return s.OccurrencesOf(*d.FindNode(name)).size();
+  };
+  EXPECT_GT(count("address"), 1u);
+  EXPECT_GT(count("country"), 1u);
+  EXPECT_GT(count("item"), 1u);
+  EXPECT_GT(count("author"), 1u);
+}
+
+TEST(DeepTest, MaxOccurrenceCapHolds) {
+  ErDiagram d = er::Tpcw();
+  ErGraph g(d);
+  DeepOptions opts;
+  opts.max_occurrences = 40;
+  mct::MctSchema s = DesignDeep(g, "DEEP", opts);
+  EXPECT_LE(s.num_occurrences(), 40u + d.num_nodes());
+}
+
+TEST(DeepTest, ChainDeepEqualsChainAf) {
+  // On a pure 1:N chain there is nothing to duplicate: DEEP == AF shape.
+  ErDiagram d = er::Er7Chain();
+  ErGraph g(d);
+  mct::MctSchema deep = DesignDeep(g);
+  EXPECT_TRUE(deep.IsNodeNormal());
+  EXPECT_EQ(deep.num_occurrences(), d.num_nodes());
+}
+
+}  // namespace
+}  // namespace mctdb::design

@@ -1,0 +1,108 @@
+#include "instance/xml_export.h"
+
+#include <gtest/gtest.h>
+
+#include "design/designer.h"
+#include "instance/materialize.h"
+#include "workload/workload.h"
+#include "xml/xml_io.h"
+
+namespace mctdb::instance {
+namespace {
+
+using design::Strategy;
+
+struct Fixture {
+  workload::Workload w = workload::TpcwWorkload(0.03);
+  er::ErGraph graph{w.diagram};
+  design::Designer designer{graph};
+  LogicalInstance logical = GenerateInstance(graph, w.gen);
+
+  std::unique_ptr<storage::MctStore> Store(Strategy s) {
+    schema = std::make_unique<mct::MctSchema>(designer.Design(s));
+    return Materialize(logical, *schema);
+  }
+  std::unique_ptr<mct::MctSchema> schema;
+};
+
+TEST(XmlExportTest, ExportsEveryElementOfColorOnce) {
+  Fixture f;
+  auto store = f.Store(Strategy::kEn);
+  for (mct::ColorId c = 0; c < f.schema->num_colors(); ++c) {
+    auto doc = ExportColorXml(*store, c);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    EXPECT_EQ((*doc)->SubtreeSize() - 1, store->ColorEntries(c).size());
+  }
+}
+
+TEST(XmlExportTest, SharedNodeIdsAppearInBothColors) {
+  Fixture f;
+  auto store = f.Store(Strategy::kEn);
+  ASSERT_EQ(f.schema->num_colors(), 2u);
+  auto blue = ExportColorXml(*store, 0);
+  auto red = ExportColorXml(*store, 1);
+  ASSERT_TRUE(blue.ok() && red.ok());
+  // Collect _nid sets; an address element must appear in both documents
+  // with the same node id (stored once, two colors).
+  std::set<std::string> blue_ids, red_ids;
+  std::function<void(const xml::XmlNode&, std::set<std::string>*)> collect =
+      [&](const xml::XmlNode& n, std::set<std::string>* out) {
+        if (n.tag() == "address") {
+          const std::string* id = n.FindAttr("_nid");
+          ASSERT_NE(id, nullptr);
+          out->insert(*id);
+        }
+        for (const auto& ch : n.children()) collect(*ch, out);
+      };
+  collect(**blue, &blue_ids);
+  collect(**red, &red_ids);
+  EXPECT_FALSE(blue_ids.empty());
+  EXPECT_EQ(blue_ids, red_ids);
+}
+
+TEST(XmlExportTest, DigestMatchesBetweenStoreAndDocument) {
+  Fixture f;
+  auto store = f.Store(Strategy::kDr);
+  for (mct::ColorId c = 0; c < f.schema->num_colors(); ++c) {
+    auto doc = ExportColorXml(*store, c);
+    ASSERT_TRUE(doc.ok());
+    ColorDigest from_doc = DigestXml(**doc);
+    ColorDigest from_store = DigestColor(*store, c);
+    EXPECT_EQ(from_doc.elements, from_store.elements) << "color " << c;
+    EXPECT_EQ(from_doc.attributes, from_store.attributes);
+    EXPECT_EQ(from_doc.max_depth, from_store.max_depth);
+    EXPECT_EQ(from_doc.shape_hash, from_store.shape_hash);
+  }
+}
+
+TEST(XmlExportTest, WriteParseRoundTripPreservesDigest) {
+  Fixture f;
+  auto store = f.Store(Strategy::kAf);
+  auto doc = ExportColorXml(*store, 0);
+  ASSERT_TRUE(doc.ok());
+  std::string text = xml::WriteXml(**doc);
+  auto reparsed = xml::ParseXml(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ColorDigest a = DigestXml(**doc);
+  ColorDigest b = DigestXml(**reparsed);
+  EXPECT_EQ(a.elements, b.elements);
+  EXPECT_EQ(a.shape_hash, b.shape_hash);
+}
+
+TEST(XmlExportTest, ShallowDocumentHasIdrefs) {
+  Fixture f;
+  auto store = f.Store(Strategy::kShallow);
+  auto doc = ExportColorXml(*store, 0);
+  ASSERT_TRUE(doc.ok());
+  std::string text = xml::WriteXml(**doc, {.pretty = false, .header = false});
+  EXPECT_NE(text.find("_idref=\""), std::string::npos);
+}
+
+TEST(XmlExportTest, BadColorRejected) {
+  Fixture f;
+  auto store = f.Store(Strategy::kAf);
+  EXPECT_TRUE(ExportColorXml(*store, 7).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace mctdb::instance

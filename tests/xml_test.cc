@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "xml/xml_io.h"
+#include "xml/xml_node.h"
+
+namespace mctdb::xml {
+namespace {
+
+TEST(XmlNodeTest, AttrsSetAndOverwrite) {
+  XmlNode n("a");
+  n.SetAttr("k", "v1");
+  n.SetAttr("k", "v2");
+  n.SetAttr("j", "x");
+  ASSERT_NE(n.FindAttr("k"), nullptr);
+  EXPECT_EQ(*n.FindAttr("k"), "v2");
+  EXPECT_EQ(n.attrs().size(), 2u);
+  EXPECT_EQ(n.FindAttr("missing"), nullptr);
+}
+
+TEST(XmlNodeTest, ChildrenAndSubtreeSize) {
+  XmlNode root("root");
+  XmlNode* a = root.AddChild("a");
+  a->AddChild("b");
+  root.AddChild("a");
+  EXPECT_EQ(root.SubtreeSize(), 4u);
+  EXPECT_EQ(root.FindChildren("a").size(), 2u);
+  EXPECT_EQ(root.FindChild("a"), root.children()[0].get());
+  EXPECT_EQ(root.FindChild("zzz"), nullptr);
+}
+
+TEST(XmlIoTest, WritesWellFormed) {
+  XmlNode root("order");
+  root.SetAttr("id", "o1");
+  XmlNode* line = root.AddChild("line");
+  line->set_text("2 < 3 & \"quoted\"");
+  std::string out = WriteXml(root);
+  EXPECT_NE(out.find("<?xml"), std::string::npos);
+  EXPECT_NE(out.find("<order id=\"o1\">"), std::string::npos);
+  EXPECT_NE(out.find("&lt;"), std::string::npos);
+  EXPECT_NE(out.find("&amp;"), std::string::npos);
+}
+
+TEST(XmlIoTest, SelfClosesEmptyElements) {
+  XmlNode root("empty");
+  EXPECT_NE(WriteXml(root, {.pretty = false, .header = false}).find(
+                "<empty/>"),
+            std::string::npos);
+}
+
+TEST(XmlIoTest, ParseSimpleDocument) {
+  auto result = ParseXml(
+      "<?xml version=\"1.0\"?>\n"
+      "<root a=\"1\"><child b='two'>text</child><child/></root>");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const XmlNode& root = **result;
+  EXPECT_EQ(root.tag(), "root");
+  EXPECT_EQ(*root.FindAttr("a"), "1");
+  ASSERT_EQ(root.children().size(), 2u);
+  EXPECT_EQ(*root.children()[0]->FindAttr("b"), "two");
+  EXPECT_EQ(root.children()[0]->text(), "text");
+}
+
+TEST(XmlIoTest, ParseHandlesCommentsAndEscapes) {
+  auto result = ParseXml(
+      "<!-- header comment --><r><!-- inner --><c v=\"&lt;&amp;&gt;\"/></r>");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*(*result)->children()[0]->FindAttr("v"), "<&>");
+}
+
+TEST(XmlIoTest, ParseErrors) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("<a>").ok());
+  EXPECT_FALSE(ParseXml("<a></b>").ok());
+  EXPECT_FALSE(ParseXml("<a x></a>").ok());
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok()) << "two document elements";
+}
+
+TEST(XmlIoTest, RoundTrip) {
+  XmlNode root("db");
+  for (int i = 0; i < 5; ++i) {
+    XmlNode* c = root.AddChild("customer");
+    c->SetAttr("id", "c" + std::to_string(i));
+    c->AddChild("order")->SetAttr("total", "10");
+    c->set_text("note & <tag>");
+  }
+  std::string text = WriteXml(root);
+  auto parsed = ParseXml(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ((*parsed)->SubtreeSize(), root.SubtreeSize());
+  std::string text2 = WriteXml(**parsed);
+  EXPECT_EQ(text, text2) << "fixpoint after one round trip";
+}
+
+}  // namespace
+}  // namespace mctdb::xml

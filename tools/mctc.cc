@@ -1,0 +1,240 @@
+// mctc — the mctdb command-line designer.
+//
+//   mctc validate <file.er>                   parse + Theorem 4.1 verdict
+//   mctc report   <file.er>                   property matrix, 7 strategies
+//   mctc design   <file.er> [-s STRATEGY] [--dtd|--dot|--tree]
+//   mctc paths    <file.er> [--max N]         eligible associations
+//   mctc mine     <file.xml> [--redesign]     ER from XML id/idrefs
+//   mctc demo                                 built-in TPC-W walkthrough
+//
+// Files with the .er extension use the DSL of er/er_parser.h (see
+// examples/designs/). Exit status: 0 ok, 1 usage, 2 input error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "design/designer.h"
+#include "design/feasibility.h"
+#include "design/xml_mining.h"
+#include "er/er_catalog.h"
+#include "er/er_parser.h"
+#include "mct/schema_export.h"
+#include "xml/xml_io.h"
+
+using namespace mctdb;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: mctc <command> [args]\n"
+      "  validate <file.er>\n"
+      "  report   <file.er>\n"
+      "  design   <file.er> [-s SHALLOW|AF|DEEP|EN|MCMR|DR|UNDR]"
+      " [--dtd|--dot|--tree]\n"
+      "  paths    <file.er> [--max N]\n"
+      "  mine     <file.xml> [--redesign]\n"
+      "  demo\n");
+  return 1;
+}
+
+Result<std::string> ReadFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError(std::string("cannot open ") + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Result<er::ErDiagram> LoadEr(const char* path) {
+  MCTDB_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return er::ParseErDiagram(text);
+}
+
+int CmdValidate(const char* path) {
+  auto diagram = LoadEr(path);
+  if (!diagram.ok()) {
+    std::fprintf(stderr, "error: %s\n", diagram.status().ToString().c_str());
+    return 2;
+  }
+  er::ErGraph graph(*diagram);
+  er::ErGraphStats stats = graph.Stats();
+  std::printf("diagram '%s': %zu entities, %zu relationships "
+              "(%zu 1:N, %zu M:N, %zu 1:1), forest=%s\n",
+              diagram->name().c_str(), diagram->num_entities(),
+              diagram->num_relationships(), stats.num_one_many,
+              stats.num_many_many, stats.num_one_one,
+              stats.is_forest ? "yes" : "no");
+  auto feasibility = design::CheckSingleColorNnAr(graph);
+  std::printf("single-color XML with NN+AR (Theorem 4.1): %s\n",
+              feasibility.explanation.c_str());
+  return 0;
+}
+
+int CmdReport(const char* path) {
+  auto diagram = LoadEr(path);
+  if (!diagram.ok()) {
+    std::fprintf(stderr, "error: %s\n", diagram.status().ToString().c_str());
+    return 2;
+  }
+  er::ErGraph graph(*diagram);
+  design::Designer designer(graph);
+  std::printf("%-8s %s\n", "schema", "properties");
+  for (design::Strategy s : design::AllStrategies()) {
+    mct::MctSchema schema = designer.Design(s);
+    std::printf("%-8s %s\n", schema.name().c_str(),
+                designer.Report(schema).ToString().c_str());
+  }
+  return 0;
+}
+
+int CmdDesign(int argc, char** argv) {
+  const char* path = nullptr;
+  const char* strategy_name = "MCMR";
+  enum { kTree, kDtd, kDot } format = kTree;
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "-s") && i + 1 < argc) {
+      strategy_name = argv[++i];
+    } else if (!std::strcmp(argv[i], "--dtd")) {
+      format = kDtd;
+    } else if (!std::strcmp(argv[i], "--dot")) {
+      format = kDot;
+    } else if (!std::strcmp(argv[i], "--tree")) {
+      format = kTree;
+    } else if (path == nullptr) {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) return Usage();
+  auto diagram = LoadEr(path);
+  if (!diagram.ok()) {
+    std::fprintf(stderr, "error: %s\n", diagram.status().ToString().c_str());
+    return 2;
+  }
+  auto strategy = design::ParseStrategy(strategy_name);
+  if (!strategy.ok()) {
+    std::fprintf(stderr, "error: %s\n", strategy.status().ToString().c_str());
+    return 1;
+  }
+  er::ErGraph graph(*diagram);
+  design::Designer designer(graph);
+  mct::MctSchema schema = designer.Design(*strategy);
+  switch (format) {
+    case kTree:
+      std::printf("%s", schema.DebugString().c_str());
+      std::printf("properties: %s\n",
+                  designer.Report(schema).ToString().c_str());
+      break;
+    case kDtd:
+      std::printf("%s", mct::ExportDtd(schema).c_str());
+      break;
+    case kDot:
+      std::printf("%s", mct::ExportDot(schema).c_str());
+      break;
+  }
+  return 0;
+}
+
+int CmdPaths(int argc, char** argv) {
+  const char* path = nullptr;
+  size_t max_shown = 50;
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--max") && i + 1 < argc) {
+      max_shown = std::strtoul(argv[++i], nullptr, 10);
+    } else if (path == nullptr) {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) return Usage();
+  auto diagram = LoadEr(path);
+  if (!diagram.ok()) {
+    std::fprintf(stderr, "error: %s\n", diagram.status().ToString().c_str());
+    return 2;
+  }
+  er::ErGraph graph(*diagram);
+  auto paths = design::EnumerateEligiblePaths(graph);
+  std::printf("%zu eligible associations\n", paths.size());
+  for (size_t i = 0; i < paths.size() && i < max_shown; ++i) {
+    const auto& p = paths[i];
+    std::printf("  %s => %s  via %s\n",
+                diagram->node(p.source).name.c_str(),
+                diagram->node(p.target).name.c_str(),
+                p.Label(*diagram).c_str());
+  }
+  if (paths.size() > max_shown) {
+    std::printf("  ... (%zu more; --max to widen)\n",
+                paths.size() - max_shown);
+  }
+  return 0;
+}
+
+int CmdMine(int argc, char** argv) {
+  const char* path = nullptr;
+  bool redesign = false;
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--redesign")) {
+      redesign = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) return Usage();
+  auto text = ReadFile(path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "error: %s\n", text.status().ToString().c_str());
+    return 2;
+  }
+  auto doc = xml::ParseXml(*text);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "xml error: %s\n", doc.status().ToString().c_str());
+    return 2;
+  }
+  design::MiningReport report;
+  auto mined = design::MineErDiagram(**doc, {}, &report);
+  if (!mined.ok()) {
+    std::fprintf(stderr, "mining error: %s\n",
+                 mined.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("# mined from %s: %zu entity tags, %zu relationship tags "
+              "(%zu structural, %zu idref edges)\n",
+              path, report.entity_tags, report.relationship_tags,
+              report.structural_edges, report.idref_edges);
+  std::printf("%s", er::FormatErDiagram(*mined).c_str());
+  if (redesign) {
+    er::ErGraph graph(*mined);
+    design::Designer designer(graph);
+    mct::MctSchema dr = designer.Design(design::Strategy::kDr);
+    std::printf("\n# redesigned (DUMC):\n%s", dr.DebugString().c_str());
+  }
+  return 0;
+}
+
+int CmdDemo() {
+  er::ErDiagram diagram = er::Tpcw();
+  std::printf("%s\n", er::FormatErDiagram(diagram).c_str());
+  er::ErGraph graph(diagram);
+  design::Designer designer(graph);
+  for (design::Strategy s : design::AllStrategies()) {
+    mct::MctSchema schema = designer.Design(s);
+    std::printf("%-8s %s\n", schema.name().c_str(),
+                designer.Report(schema).ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const char* cmd = argv[1];
+  if (!std::strcmp(cmd, "validate") && argc >= 3) return CmdValidate(argv[2]);
+  if (!std::strcmp(cmd, "report") && argc >= 3) return CmdReport(argv[2]);
+  if (!std::strcmp(cmd, "design")) return CmdDesign(argc - 2, argv + 2);
+  if (!std::strcmp(cmd, "paths")) return CmdPaths(argc - 2, argv + 2);
+  if (!std::strcmp(cmd, "mine")) return CmdMine(argc - 2, argv + 2);
+  if (!std::strcmp(cmd, "demo")) return CmdDemo();
+  return Usage();
+}
