@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_design.dir/bench_micro_design.cc.o"
+  "CMakeFiles/bench_micro_design.dir/bench_micro_design.cc.o.d"
+  "bench_micro_design"
+  "bench_micro_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_twig.dir/bench_micro_twig.cc.o"
+  "CMakeFiles/bench_micro_twig.dir/bench_micro_twig.cc.o.d"
+  "bench_micro_twig"
+  "bench_micro_twig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_twig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

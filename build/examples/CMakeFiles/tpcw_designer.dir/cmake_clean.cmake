@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcw_designer.dir/tpcw_designer.cc.o"
+  "CMakeFiles/tpcw_designer.dir/tpcw_designer.cc.o.d"
+  "tpcw_designer"
+  "tpcw_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcw_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

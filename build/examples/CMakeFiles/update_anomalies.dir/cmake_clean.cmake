@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_anomalies.dir/update_anomalies.cc.o"
+  "CMakeFiles/update_anomalies.dir/update_anomalies.cc.o.d"
+  "update_anomalies"
+  "update_anomalies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_anomalies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mctdb_common.dir/arena.cc.o"
+  "CMakeFiles/mctdb_common.dir/arena.cc.o.d"
+  "CMakeFiles/mctdb_common.dir/random.cc.o"
+  "CMakeFiles/mctdb_common.dir/random.cc.o.d"
+  "CMakeFiles/mctdb_common.dir/status.cc.o"
+  "CMakeFiles/mctdb_common.dir/status.cc.o.d"
+  "CMakeFiles/mctdb_common.dir/string_util.cc.o"
+  "CMakeFiles/mctdb_common.dir/string_util.cc.o.d"
+  "libmctdb_common.a"
+  "libmctdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mctdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

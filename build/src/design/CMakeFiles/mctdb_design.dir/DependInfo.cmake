@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/design/algorithm_dumc.cc" "src/design/CMakeFiles/mctdb_design.dir/algorithm_dumc.cc.o" "gcc" "src/design/CMakeFiles/mctdb_design.dir/algorithm_dumc.cc.o.d"
+  "/root/repo/src/design/algorithm_mc.cc" "src/design/CMakeFiles/mctdb_design.dir/algorithm_mc.cc.o" "gcc" "src/design/CMakeFiles/mctdb_design.dir/algorithm_mc.cc.o.d"
+  "/root/repo/src/design/algorithm_mcmr.cc" "src/design/CMakeFiles/mctdb_design.dir/algorithm_mcmr.cc.o" "gcc" "src/design/CMakeFiles/mctdb_design.dir/algorithm_mcmr.cc.o.d"
+  "/root/repo/src/design/algorithm_undr.cc" "src/design/CMakeFiles/mctdb_design.dir/algorithm_undr.cc.o" "gcc" "src/design/CMakeFiles/mctdb_design.dir/algorithm_undr.cc.o.d"
+  "/root/repo/src/design/associations.cc" "src/design/CMakeFiles/mctdb_design.dir/associations.cc.o" "gcc" "src/design/CMakeFiles/mctdb_design.dir/associations.cc.o.d"
+  "/root/repo/src/design/chain_packing.cc" "src/design/CMakeFiles/mctdb_design.dir/chain_packing.cc.o" "gcc" "src/design/CMakeFiles/mctdb_design.dir/chain_packing.cc.o.d"
+  "/root/repo/src/design/constraints.cc" "src/design/CMakeFiles/mctdb_design.dir/constraints.cc.o" "gcc" "src/design/CMakeFiles/mctdb_design.dir/constraints.cc.o.d"
+  "/root/repo/src/design/designer.cc" "src/design/CMakeFiles/mctdb_design.dir/designer.cc.o" "gcc" "src/design/CMakeFiles/mctdb_design.dir/designer.cc.o.d"
+  "/root/repo/src/design/feasibility.cc" "src/design/CMakeFiles/mctdb_design.dir/feasibility.cc.o" "gcc" "src/design/CMakeFiles/mctdb_design.dir/feasibility.cc.o.d"
+  "/root/repo/src/design/recoverability.cc" "src/design/CMakeFiles/mctdb_design.dir/recoverability.cc.o" "gcc" "src/design/CMakeFiles/mctdb_design.dir/recoverability.cc.o.d"
+  "/root/repo/src/design/xml_design.cc" "src/design/CMakeFiles/mctdb_design.dir/xml_design.cc.o" "gcc" "src/design/CMakeFiles/mctdb_design.dir/xml_design.cc.o.d"
+  "/root/repo/src/design/xml_mining.cc" "src/design/CMakeFiles/mctdb_design.dir/xml_mining.cc.o" "gcc" "src/design/CMakeFiles/mctdb_design.dir/xml_mining.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mct/CMakeFiles/mctdb_mct.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mctdb_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/er/CMakeFiles/mctdb_er.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mctdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mctdb_design.dir/algorithm_dumc.cc.o"
+  "CMakeFiles/mctdb_design.dir/algorithm_dumc.cc.o.d"
+  "CMakeFiles/mctdb_design.dir/algorithm_mc.cc.o"
+  "CMakeFiles/mctdb_design.dir/algorithm_mc.cc.o.d"
+  "CMakeFiles/mctdb_design.dir/algorithm_mcmr.cc.o"
+  "CMakeFiles/mctdb_design.dir/algorithm_mcmr.cc.o.d"
+  "CMakeFiles/mctdb_design.dir/algorithm_undr.cc.o"
+  "CMakeFiles/mctdb_design.dir/algorithm_undr.cc.o.d"
+  "CMakeFiles/mctdb_design.dir/associations.cc.o"
+  "CMakeFiles/mctdb_design.dir/associations.cc.o.d"
+  "CMakeFiles/mctdb_design.dir/chain_packing.cc.o"
+  "CMakeFiles/mctdb_design.dir/chain_packing.cc.o.d"
+  "CMakeFiles/mctdb_design.dir/constraints.cc.o"
+  "CMakeFiles/mctdb_design.dir/constraints.cc.o.d"
+  "CMakeFiles/mctdb_design.dir/designer.cc.o"
+  "CMakeFiles/mctdb_design.dir/designer.cc.o.d"
+  "CMakeFiles/mctdb_design.dir/feasibility.cc.o"
+  "CMakeFiles/mctdb_design.dir/feasibility.cc.o.d"
+  "CMakeFiles/mctdb_design.dir/recoverability.cc.o"
+  "CMakeFiles/mctdb_design.dir/recoverability.cc.o.d"
+  "CMakeFiles/mctdb_design.dir/xml_design.cc.o"
+  "CMakeFiles/mctdb_design.dir/xml_design.cc.o.d"
+  "CMakeFiles/mctdb_design.dir/xml_mining.cc.o"
+  "CMakeFiles/mctdb_design.dir/xml_mining.cc.o.d"
+  "libmctdb_design.a"
+  "libmctdb_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mctdb_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

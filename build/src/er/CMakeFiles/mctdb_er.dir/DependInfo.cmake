@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/er/er_catalog.cc" "src/er/CMakeFiles/mctdb_er.dir/er_catalog.cc.o" "gcc" "src/er/CMakeFiles/mctdb_er.dir/er_catalog.cc.o.d"
+  "/root/repo/src/er/er_graph.cc" "src/er/CMakeFiles/mctdb_er.dir/er_graph.cc.o" "gcc" "src/er/CMakeFiles/mctdb_er.dir/er_graph.cc.o.d"
+  "/root/repo/src/er/er_model.cc" "src/er/CMakeFiles/mctdb_er.dir/er_model.cc.o" "gcc" "src/er/CMakeFiles/mctdb_er.dir/er_model.cc.o.d"
+  "/root/repo/src/er/er_parser.cc" "src/er/CMakeFiles/mctdb_er.dir/er_parser.cc.o" "gcc" "src/er/CMakeFiles/mctdb_er.dir/er_parser.cc.o.d"
+  "/root/repo/src/er/er_random.cc" "src/er/CMakeFiles/mctdb_er.dir/er_random.cc.o" "gcc" "src/er/CMakeFiles/mctdb_er.dir/er_random.cc.o.d"
+  "/root/repo/src/er/rich_er.cc" "src/er/CMakeFiles/mctdb_er.dir/rich_er.cc.o" "gcc" "src/er/CMakeFiles/mctdb_er.dir/rich_er.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mctdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mctdb_er.dir/er_catalog.cc.o"
+  "CMakeFiles/mctdb_er.dir/er_catalog.cc.o.d"
+  "CMakeFiles/mctdb_er.dir/er_graph.cc.o"
+  "CMakeFiles/mctdb_er.dir/er_graph.cc.o.d"
+  "CMakeFiles/mctdb_er.dir/er_model.cc.o"
+  "CMakeFiles/mctdb_er.dir/er_model.cc.o.d"
+  "CMakeFiles/mctdb_er.dir/er_parser.cc.o"
+  "CMakeFiles/mctdb_er.dir/er_parser.cc.o.d"
+  "CMakeFiles/mctdb_er.dir/er_random.cc.o"
+  "CMakeFiles/mctdb_er.dir/er_random.cc.o.d"
+  "CMakeFiles/mctdb_er.dir/rich_er.cc.o"
+  "CMakeFiles/mctdb_er.dir/rich_er.cc.o.d"
+  "libmctdb_er.a"
+  "libmctdb_er.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mctdb_er.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mctdb_instance.dir/logical.cc.o"
+  "CMakeFiles/mctdb_instance.dir/logical.cc.o.d"
+  "CMakeFiles/mctdb_instance.dir/materialize.cc.o"
+  "CMakeFiles/mctdb_instance.dir/materialize.cc.o.d"
+  "CMakeFiles/mctdb_instance.dir/xml_export.cc.o"
+  "CMakeFiles/mctdb_instance.dir/xml_export.cc.o.d"
+  "libmctdb_instance.a"
+  "libmctdb_instance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mctdb_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mct/mct_schema.cc" "src/mct/CMakeFiles/mctdb_mct.dir/mct_schema.cc.o" "gcc" "src/mct/CMakeFiles/mctdb_mct.dir/mct_schema.cc.o.d"
+  "/root/repo/src/mct/schema_export.cc" "src/mct/CMakeFiles/mctdb_mct.dir/schema_export.cc.o" "gcc" "src/mct/CMakeFiles/mctdb_mct.dir/schema_export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/er/CMakeFiles/mctdb_er.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mctdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mctdb_mct.dir/mct_schema.cc.o"
+  "CMakeFiles/mctdb_mct.dir/mct_schema.cc.o.d"
+  "CMakeFiles/mctdb_mct.dir/schema_export.cc.o"
+  "CMakeFiles/mctdb_mct.dir/schema_export.cc.o.d"
+  "libmctdb_mct.a"
+  "libmctdb_mct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mctdb_mct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/executor.cc" "src/query/CMakeFiles/mctdb_query.dir/executor.cc.o" "gcc" "src/query/CMakeFiles/mctdb_query.dir/executor.cc.o.d"
+  "/root/repo/src/query/mcxpath.cc" "src/query/CMakeFiles/mctdb_query.dir/mcxpath.cc.o" "gcc" "src/query/CMakeFiles/mctdb_query.dir/mcxpath.cc.o.d"
+  "/root/repo/src/query/planner.cc" "src/query/CMakeFiles/mctdb_query.dir/planner.cc.o" "gcc" "src/query/CMakeFiles/mctdb_query.dir/planner.cc.o.d"
+  "/root/repo/src/query/query_spec.cc" "src/query/CMakeFiles/mctdb_query.dir/query_spec.cc.o" "gcc" "src/query/CMakeFiles/mctdb_query.dir/query_spec.cc.o.d"
+  "/root/repo/src/query/structural_join.cc" "src/query/CMakeFiles/mctdb_query.dir/structural_join.cc.o" "gcc" "src/query/CMakeFiles/mctdb_query.dir/structural_join.cc.o.d"
+  "/root/repo/src/query/twig_join.cc" "src/query/CMakeFiles/mctdb_query.dir/twig_join.cc.o" "gcc" "src/query/CMakeFiles/mctdb_query.dir/twig_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/mctdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/mct/CMakeFiles/mctdb_mct.dir/DependInfo.cmake"
+  "/root/repo/build/src/er/CMakeFiles/mctdb_er.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mctdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mctdb_query.dir/executor.cc.o"
+  "CMakeFiles/mctdb_query.dir/executor.cc.o.d"
+  "CMakeFiles/mctdb_query.dir/mcxpath.cc.o"
+  "CMakeFiles/mctdb_query.dir/mcxpath.cc.o.d"
+  "CMakeFiles/mctdb_query.dir/planner.cc.o"
+  "CMakeFiles/mctdb_query.dir/planner.cc.o.d"
+  "CMakeFiles/mctdb_query.dir/query_spec.cc.o"
+  "CMakeFiles/mctdb_query.dir/query_spec.cc.o.d"
+  "CMakeFiles/mctdb_query.dir/structural_join.cc.o"
+  "CMakeFiles/mctdb_query.dir/structural_join.cc.o.d"
+  "CMakeFiles/mctdb_query.dir/twig_join.cc.o"
+  "CMakeFiles/mctdb_query.dir/twig_join.cc.o.d"
+  "libmctdb_query.a"
+  "libmctdb_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mctdb_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

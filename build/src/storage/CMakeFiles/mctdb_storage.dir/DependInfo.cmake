@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/pager.cc" "src/storage/CMakeFiles/mctdb_storage.dir/pager.cc.o" "gcc" "src/storage/CMakeFiles/mctdb_storage.dir/pager.cc.o.d"
+  "/root/repo/src/storage/persist.cc" "src/storage/CMakeFiles/mctdb_storage.dir/persist.cc.o" "gcc" "src/storage/CMakeFiles/mctdb_storage.dir/persist.cc.o.d"
+  "/root/repo/src/storage/posting.cc" "src/storage/CMakeFiles/mctdb_storage.dir/posting.cc.o" "gcc" "src/storage/CMakeFiles/mctdb_storage.dir/posting.cc.o.d"
+  "/root/repo/src/storage/store.cc" "src/storage/CMakeFiles/mctdb_storage.dir/store.cc.o" "gcc" "src/storage/CMakeFiles/mctdb_storage.dir/store.cc.o.d"
+  "/root/repo/src/storage/validate.cc" "src/storage/CMakeFiles/mctdb_storage.dir/validate.cc.o" "gcc" "src/storage/CMakeFiles/mctdb_storage.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mct/CMakeFiles/mctdb_mct.dir/DependInfo.cmake"
+  "/root/repo/build/src/er/CMakeFiles/mctdb_er.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mctdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mctdb_storage.dir/pager.cc.o"
+  "CMakeFiles/mctdb_storage.dir/pager.cc.o.d"
+  "CMakeFiles/mctdb_storage.dir/persist.cc.o"
+  "CMakeFiles/mctdb_storage.dir/persist.cc.o.d"
+  "CMakeFiles/mctdb_storage.dir/posting.cc.o"
+  "CMakeFiles/mctdb_storage.dir/posting.cc.o.d"
+  "CMakeFiles/mctdb_storage.dir/store.cc.o"
+  "CMakeFiles/mctdb_storage.dir/store.cc.o.d"
+  "CMakeFiles/mctdb_storage.dir/validate.cc.o"
+  "CMakeFiles/mctdb_storage.dir/validate.cc.o.d"
+  "libmctdb_storage.a"
+  "libmctdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mctdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

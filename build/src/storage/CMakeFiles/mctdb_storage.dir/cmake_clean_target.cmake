@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmctdb_storage.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mctdb_workload.dir/derby.cc.o"
+  "CMakeFiles/mctdb_workload.dir/derby.cc.o.d"
+  "CMakeFiles/mctdb_workload.dir/metrics.cc.o"
+  "CMakeFiles/mctdb_workload.dir/metrics.cc.o.d"
+  "CMakeFiles/mctdb_workload.dir/runner.cc.o"
+  "CMakeFiles/mctdb_workload.dir/runner.cc.o.d"
+  "CMakeFiles/mctdb_workload.dir/tpcw.cc.o"
+  "CMakeFiles/mctdb_workload.dir/tpcw.cc.o.d"
+  "CMakeFiles/mctdb_workload.dir/xmark.cc.o"
+  "CMakeFiles/mctdb_workload.dir/xmark.cc.o.d"
+  "libmctdb_workload.a"
+  "libmctdb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mctdb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mctdb_xml.dir/xml_io.cc.o"
+  "CMakeFiles/mctdb_xml.dir/xml_io.cc.o.d"
+  "CMakeFiles/mctdb_xml.dir/xml_node.cc.o"
+  "CMakeFiles/mctdb_xml.dir/xml_node.cc.o.d"
+  "libmctdb_xml.a"
+  "libmctdb_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mctdb_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_dumc_test.dir/algorithm_dumc_test.cc.o"
+  "CMakeFiles/algorithm_dumc_test.dir/algorithm_dumc_test.cc.o.d"
+  "algorithm_dumc_test"
+  "algorithm_dumc_test.pdb"
+  "algorithm_dumc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_dumc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

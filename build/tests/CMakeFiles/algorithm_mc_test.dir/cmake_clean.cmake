@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_mc_test.dir/algorithm_mc_test.cc.o"
+  "CMakeFiles/algorithm_mc_test.dir/algorithm_mc_test.cc.o.d"
+  "algorithm_mc_test"
+  "algorithm_mc_test.pdb"
+  "algorithm_mc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_mc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_mcmr_test.dir/algorithm_mcmr_test.cc.o"
+  "CMakeFiles/algorithm_mcmr_test.dir/algorithm_mcmr_test.cc.o.d"
+  "algorithm_mcmr_test"
+  "algorithm_mcmr_test.pdb"
+  "algorithm_mcmr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_mcmr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

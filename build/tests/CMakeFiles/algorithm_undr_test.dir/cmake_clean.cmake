@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_undr_test.dir/algorithm_undr_test.cc.o"
+  "CMakeFiles/algorithm_undr_test.dir/algorithm_undr_test.cc.o.d"
+  "algorithm_undr_test"
+  "algorithm_undr_test.pdb"
+  "algorithm_undr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_undr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

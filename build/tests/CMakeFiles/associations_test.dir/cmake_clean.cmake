@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/associations_test.dir/associations_test.cc.o"
+  "CMakeFiles/associations_test.dir/associations_test.cc.o.d"
+  "associations_test"
+  "associations_test.pdb"
+  "associations_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/associations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_property_test.dir/design_property_test.cc.o"
+  "CMakeFiles/design_property_test.dir/design_property_test.cc.o.d"
+  "design_property_test"
+  "design_property_test.pdb"
+  "design_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_catalog_test.dir/er_catalog_test.cc.o"
+  "CMakeFiles/er_catalog_test.dir/er_catalog_test.cc.o.d"
+  "er_catalog_test"
+  "er_catalog_test.pdb"
+  "er_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

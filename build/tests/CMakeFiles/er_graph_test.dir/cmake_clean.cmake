@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_graph_test.dir/er_graph_test.cc.o"
+  "CMakeFiles/er_graph_test.dir/er_graph_test.cc.o.d"
+  "er_graph_test"
+  "er_graph_test.pdb"
+  "er_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

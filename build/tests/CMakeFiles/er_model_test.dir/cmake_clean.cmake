@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_model_test.dir/er_model_test.cc.o"
+  "CMakeFiles/er_model_test.dir/er_model_test.cc.o.d"
+  "er_model_test"
+  "er_model_test.pdb"
+  "er_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

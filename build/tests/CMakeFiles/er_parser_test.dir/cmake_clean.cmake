@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_parser_test.dir/er_parser_test.cc.o"
+  "CMakeFiles/er_parser_test.dir/er_parser_test.cc.o.d"
+  "er_parser_test"
+  "er_parser_test.pdb"
+  "er_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_schema_test.dir/mct_schema_test.cc.o"
+  "CMakeFiles/mct_schema_test.dir/mct_schema_test.cc.o.d"
+  "mct_schema_test"
+  "mct_schema_test.pdb"
+  "mct_schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcxpath_test.dir/mcxpath_test.cc.o"
+  "CMakeFiles/mcxpath_test.dir/mcxpath_test.cc.o.d"
+  "mcxpath_test"
+  "mcxpath_test.pdb"
+  "mcxpath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcxpath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_collection_test.dir/planner_collection_test.cc.o"
+  "CMakeFiles/planner_collection_test.dir/planner_collection_test.cc.o.d"
+  "planner_collection_test"
+  "planner_collection_test.pdb"
+  "planner_collection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_collection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rich_er_test.dir/rich_er_test.cc.o"
+  "CMakeFiles/rich_er_test.dir/rich_er_test.cc.o.d"
+  "rich_er_test"
+  "rich_er_test.pdb"
+  "rich_er_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rich_er_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

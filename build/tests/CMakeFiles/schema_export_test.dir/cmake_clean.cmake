@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_export_test.dir/schema_export_test.cc.o"
+  "CMakeFiles/schema_export_test.dir/schema_export_test.cc.o.d"
+  "schema_export_test"
+  "schema_export_test.pdb"
+  "schema_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

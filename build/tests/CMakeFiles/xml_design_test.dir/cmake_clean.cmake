@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_design_test.dir/xml_design_test.cc.o"
+  "CMakeFiles/xml_design_test.dir/xml_design_test.cc.o.d"
+  "xml_design_test"
+  "xml_design_test.pdb"
+  "xml_design_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_design_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

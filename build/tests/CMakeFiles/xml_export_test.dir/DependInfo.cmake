@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/xml_export_test.cc" "tests/CMakeFiles/xml_export_test.dir/xml_export_test.cc.o" "gcc" "tests/CMakeFiles/xml_export_test.dir/xml_export_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/instance/CMakeFiles/mctdb_instance.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mctdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/design/CMakeFiles/mctdb_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mctdb_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/mctdb_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mctdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/mct/CMakeFiles/mctdb_mct.dir/DependInfo.cmake"
+  "/root/repo/build/src/er/CMakeFiles/mctdb_er.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mctdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

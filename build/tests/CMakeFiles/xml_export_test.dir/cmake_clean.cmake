@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_export_test.dir/xml_export_test.cc.o"
+  "CMakeFiles/xml_export_test.dir/xml_export_test.cc.o.d"
+  "xml_export_test"
+  "xml_export_test.pdb"
+  "xml_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

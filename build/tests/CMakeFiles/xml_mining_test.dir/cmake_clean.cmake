@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_mining_test.dir/xml_mining_test.cc.o"
+  "CMakeFiles/xml_mining_test.dir/xml_mining_test.cc.o.d"
+  "xml_mining_test"
+  "xml_mining_test.pdb"
+  "xml_mining_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_mining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

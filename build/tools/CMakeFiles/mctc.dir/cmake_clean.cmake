@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mctc.dir/mctc.cc.o"
+  "CMakeFiles/mctc.dir/mctc.cc.o.d"
+  "mctc"
+  "mctc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mctc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

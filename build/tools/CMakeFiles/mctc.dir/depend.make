@@ -1,0 +1,2 @@
+# Empty dependencies file for mctc.
+# This may be replaced when dependencies are built.
