@@ -1,0 +1,63 @@
+// bench_parallel — workload-grid throughput scaling through mctsvc.
+//
+// Runs the TPC-W (schema x query) measurement grid serially and with
+// N-thread parallel execution (RunnerOptions::num_threads), and reports
+// grid throughput (cells/second, setup excluded), the speedup over the
+// serial run, and whether the equivalence check stayed healthy.
+//
+//   bench_parallel [scale] [threads ...]     default: scale 0.3, threads 1 2 4
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "workload/runner.h"
+
+using namespace mctdb;
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.3;
+  if (scale <= 0) scale = 0.3;
+  std::vector<size_t> thread_counts;
+  for (int i = 2; i < argc; ++i) {
+    size_t n = std::strtoul(argv[i], nullptr, 10);
+    if (n > 0) thread_counts.push_back(n);
+  }
+  if (thread_counts.empty()) thread_counts = {1, 2, 4};
+
+  workload::Workload w = workload::TpcwWorkload(scale);
+  std::printf("TPC-W scale %.2f: %zu figure queries x 7 schemas, "
+              "3 repetitions\n\n", scale, w.figure_queries.size());
+  std::printf("%8s %12s %12s %10s %10s %9s\n", "threads", "setup(s)",
+              "grid(s)", "cells", "cells/s", "speedup");
+  bench::PrintRule(66);
+
+  double serial_grid = 0.0;
+  bool healthy = true;
+  for (size_t threads : thread_counts) {
+    workload::RunnerOptions options;
+    options.repetitions = 3;
+    options.num_threads = threads;
+    auto summary = workload::RunWorkload(w, options);
+    if (!summary.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   summary.status().ToString().c_str());
+      return 1;
+    }
+    if (!summary->problems.empty()) {
+      healthy = false;
+      std::fprintf(stderr, "problems at %zu threads: %s (+%zu more)\n",
+                   threads, summary->problems.front().c_str(),
+                   summary->problems.size() - 1);
+    }
+    size_t cells = summary->measurements.size() * options.repetitions;
+    if (threads == thread_counts.front()) serial_grid = summary->grid_seconds;
+    double speedup =
+        summary->grid_seconds > 0 ? serial_grid / summary->grid_seconds : 0;
+    std::printf("%8zu %12.3f %12.3f %10zu %10.1f %8.2fx\n", threads,
+                summary->setup_seconds, summary->grid_seconds, cells,
+                cells / summary->grid_seconds, speedup);
+  }
+  std::printf("\nequivalence check: %s\n", healthy ? "passed" : "FAILED");
+  return healthy ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+// BoundedQueue: a mutex-based multi-producer multi-consumer FIFO with an
+// optional capacity bound, close semantics (drain-then-stop), and a pause
+// switch that parks consumers without refusing producers. The building
+// block under ThreadPool and the mctsvc admission path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace mctdb {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// capacity == 0 means unbounded.
+  explicit BoundedQueue(size_t capacity = 0)
+      : capacity_(capacity == 0 ? SIZE_MAX : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking push; false when the queue is full or closed.
+  bool TryPush(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    pop_cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking push; waits for space, returns false once closed.
+  bool Push(T value) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      push_cv_.wait(lock,
+                    [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+    }
+    pop_cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop. Returns nullopt only after Close() once the backlog is
+  /// drained; while paused, consumers wait even if items are queued.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    pop_cv_.wait(lock,
+                 [&] { return closed_ || (!paused_ && !items_.empty()); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    push_cv_.notify_one();
+    return value;
+  }
+
+  /// Parks consumers (producers unaffected). No-op after Close().
+  void Pause() {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = true;
+  }
+
+  void Resume() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      paused_ = false;
+    }
+    pop_cv_.notify_all();
+  }
+
+  /// Stops producers immediately; consumers drain the backlog (a paused
+  /// queue is implicitly resumed so the drain can happen).
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+      paused_ = false;
+    }
+    pop_cv_.notify_all();
+    push_cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable pop_cv_;
+  std::condition_variable push_cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  bool paused_ = false;
+};
+
+}  // namespace mctdb

@@ -1,0 +1,51 @@
+// CountdownLatch: single-use barrier for fan-out/fan-in coordination
+// (submit N tasks, wait until all N report done).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace mctdb {
+
+class CountdownLatch {
+ public:
+  explicit CountdownLatch(size_t count) : count_(count) {}
+
+  CountdownLatch(const CountdownLatch&) = delete;
+  CountdownLatch& operator=(const CountdownLatch&) = delete;
+
+  void CountDown(size_t n = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    MCTDB_CHECK_MSG(n <= count_, "latch counted down past zero");
+    count_ -= n;
+    if (count_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return count_ == 0; });
+  }
+
+  /// Returns false on timeout.
+  bool WaitFor(double seconds) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, std::chrono::duration<double>(seconds),
+                        [&] { return count_ == 0; });
+  }
+
+  size_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t count_;
+};
+
+}  // namespace mctdb

@@ -28,6 +28,8 @@ class Status {
     kConstraintViolation,  ///< ICIC or cardinality constraint violated
     kIoError,          ///< pager / file-layer failure
     kInternal,         ///< invariant broken inside mctdb itself
+    kResourceExhausted,  ///< admission queue / capacity limit hit
+    kDeadlineExceeded,   ///< request deadline passed before completion
   };
 
   Status() = default;
@@ -60,6 +62,12 @@ class Status {
   static Status Internal(std::string_view msg) {
     return Status(Code::kInternal, msg);
   }
+  static Status ResourceExhausted(std::string_view msg) {
+    return Status(Code::kResourceExhausted, msg);
+  }
+  static Status DeadlineExceeded(std::string_view msg) {
+    return Status(Code::kDeadlineExceeded, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
@@ -73,6 +81,12 @@ class Status {
   }
   bool IsIoError() const { return code_ == Code::kIoError; }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == Code::kDeadlineExceeded;
+  }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -1,0 +1,38 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace mctdb {
+
+ThreadPool::ThreadPool(const Options& options)
+    : queue_(options.max_queue) {
+  if (options.start_paused) queue_.Pause();
+  size_t n = std::max<size_t>(1, options.num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  queue_.Close();
+  for (std::thread& w : workers_) w.join();
+}
+
+bool ThreadPool::Submit(std::function<void()> fn) {
+  return queue_.Push(std::move(fn));
+}
+
+bool ThreadPool::TrySubmit(std::function<void()> fn) {
+  return queue_.TryPush(std::move(fn));
+}
+
+void ThreadPool::Resume() { queue_.Resume(); }
+
+void ThreadPool::WorkerLoop() {
+  while (auto task = queue_.Pop()) {
+    (*task)();
+  }
+}
+
+}  // namespace mctdb

@@ -1,0 +1,54 @@
+// ThreadPool: a fixed-size worker pool over a BoundedQueue of closures.
+// Destruction drains every queued task before joining, so work submitted
+// from inside a running task (continuation-style scheduling, as the mctsvc
+// session strands do) is always executed.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+
+namespace mctdb {
+
+class ThreadPool {
+ public:
+  struct Options {
+    size_t num_threads = 4;
+    /// Queue bound for TrySubmit/Submit; 0 = unbounded.
+    size_t max_queue = 0;
+    /// Start with the workers parked; Resume() releases them. Lets an
+    /// embedder stage a batch of work deterministically before execution.
+    bool start_paused = false;
+  };
+
+  explicit ThreadPool(size_t num_threads)
+      : ThreadPool(Options{num_threads, 0, false}) {}
+  explicit ThreadPool(const Options& options);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn`; blocks while a bounded queue is full. Returns false
+  /// only after shutdown began.
+  bool Submit(std::function<void()> fn);
+  /// Non-blocking enqueue; false when the queue is full or shut down.
+  bool TrySubmit(std::function<void()> fn);
+
+  /// Releases workers of a start_paused pool (idempotent).
+  void Resume();
+
+  size_t num_threads() const { return workers_.size(); }
+  size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  BoundedQueue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mctdb

@@ -39,7 +39,7 @@ Executor::Binding Executor::ScanTag(mct::ColorId color, er::NodeId tag,
   Binding out;
   const storage::PostingMeta* meta = store_->Posting(color, tag);
   if (meta == nullptr) return out;
-  storage::PostingCursor cursor(store_->buffer_pool(), meta);
+  storage::PostingCursor cursor(pool_, meta);
   LabelEntry e;
   while (cursor.Next(&e)) {
     if (predicate != nullptr) {
@@ -293,8 +293,8 @@ Executor::Binding Executor::EvalEdge(const EdgePlan& edge,
 Result<ExecResult> Executor::Execute(const QueryPlan& plan) {
   const AssociationQuery& query = *plan.query;
   auto start_time = std::chrono::steady_clock::now();
-  uint64_t misses0 = store_->buffer_pool()->misses();
-  uint64_t hits0 = store_->buffer_pool()->hits();
+  uint64_t misses0 = pool_->misses();
+  uint64_t hits0 = pool_->hits();
 
   const size_t n = query.nodes.size();
   std::vector<Binding> bindings(n);
@@ -402,8 +402,8 @@ Result<ExecResult> Executor::Execute(const QueryPlan& plan) {
   auto end_time = std::chrono::steady_clock::now();
   result.elapsed_seconds =
       std::chrono::duration<double>(end_time - start_time).count();
-  result.page_misses = store_->buffer_pool()->misses() - misses0;
-  result.page_hits = store_->buffer_pool()->hits() - hits0;
+  result.page_misses = pool_->misses() - misses0;
+  result.page_hits = pool_->hits() - hits0;
   return result;
 }
 

@@ -48,7 +48,13 @@ struct ExecResult {
 
 class Executor {
  public:
-  explicit Executor(storage::MctStore* store) : store_(store) {}
+  /// Runs against the store's own (single-threaded) buffer pool by
+  /// default. A service session passes its own thread-safe pool handle so
+  /// many executors can read one store concurrently; page hit/miss deltas
+  /// in ExecResult are taken from whichever pool the executor uses.
+  explicit Executor(storage::MctStore* store,
+                    storage::PageCache* pool = nullptr)
+      : store_(store), pool_(pool != nullptr ? pool : store->buffer_pool()) {}
 
   Result<ExecResult> Execute(const QueryPlan& plan);
 
@@ -73,6 +79,7 @@ class Executor {
                    bool reduce_parent, mct::ColorId* out_color);
 
   storage::MctStore* store_;
+  storage::PageCache* pool_;
 };
 
 }  // namespace mctdb::query

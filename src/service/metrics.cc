@@ -1,0 +1,99 @@
+#include "service/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mctsvc {
+
+namespace {
+
+/// Bucket upper bound in microseconds: 2^i for i < kBuckets-1.
+double BucketUpperUs(size_t i) {
+  return std::ldexp(1.0, static_cast<int>(i));
+}
+
+void AppendU64(std::string* out, const char* key, uint64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%llu", key,
+                static_cast<unsigned long long>(value));
+  *out += buf;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(double seconds) {
+  if (seconds < 0) seconds = 0;
+  double us = seconds * 1e6;
+  size_t bucket = 0;
+  while (bucket + 1 < kBuckets && us >= BucketUpperUs(bucket)) ++bucket;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(static_cast<uint64_t>(seconds * 1e9),
+                         std::memory_order_relaxed);
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t rank = static_cast<uint64_t>(q * double(total - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += bucket(i);
+    if (seen >= rank) return BucketUpperUs(i) * 1e-6;
+  }
+  return BucketUpperUs(kBuckets - 1) * 1e-6;
+}
+
+std::string LatencyHistogram::ToJson() const {
+  std::string out = "{";
+  AppendU64(&out, "count", count());
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), ",\"total_seconds\":%.6f,\"p50_us\":%.1f,"
+                "\"p95_us\":%.1f,\"p99_us\":%.1f",
+                total_seconds(), Quantile(0.5) * 1e6, Quantile(0.95) * 1e6,
+                Quantile(0.99) * 1e6);
+  out += buf;
+  out += ",\"buckets_us\":[";
+  bool first = true;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    uint64_t c = bucket(i);
+    if (c == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf), "{\"le\":%.0f,\"count\":%llu}",
+                  BucketUpperUs(i), static_cast<unsigned long long>(c));
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_nanos_.store(0, std::memory_order_relaxed);
+}
+
+std::string ServiceMetrics::ToJson() const {
+  std::string out = "{";
+  AppendU64(&out, "submitted", submitted.load(std::memory_order_relaxed));
+  out += ',';
+  AppendU64(&out, "completed", completed.load(std::memory_order_relaxed));
+  out += ',';
+  AppendU64(&out, "rejected", rejected.load(std::memory_order_relaxed));
+  out += ',';
+  AppendU64(&out, "deadline_exceeded",
+            deadline_exceeded.load(std::memory_order_relaxed));
+  out += ',';
+  AppendU64(&out, "failed", failed.load(std::memory_order_relaxed));
+  out += ',';
+  AppendU64(&out, "queue_depth",
+            queue_depth.load(std::memory_order_relaxed));
+  out += ",\"latency\":" + latency.ToJson();
+  out += '}';
+  return out;
+}
+
+}  // namespace mctsvc

@@ -1,0 +1,62 @@
+// ServiceMetrics: lock-free counters and a latency histogram for the
+// mctsvc query service, exportable as JSON for scrapers and dashboards.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mctsvc {
+
+/// Power-of-two-microsecond latency buckets: bucket i counts requests with
+/// latency in [2^(i-1), 2^i) microseconds (bucket 0 is < 1 us, the last
+/// bucket is the overflow). Recording is a single relaxed atomic add, so
+/// worker threads never serialize on the histogram.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 24;  // up to ~8.4 s, then overflow
+
+  void Record(double seconds);
+
+  uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double total_seconds() const {
+    return double(total_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  /// Upper-bound estimate of the q-quantile (seconds) from the bucket
+  /// boundaries; 0 when empty.
+  double Quantile(double q) const;
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  std::string ToJson() const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_nanos_{0};
+};
+
+struct ServiceMetrics {
+  std::atomic<uint64_t> submitted{0};
+  std::atomic<uint64_t> completed{0};
+  /// Admission-queue overflow rejections (Status::ResourceExhausted).
+  std::atomic<uint64_t> rejected{0};
+  /// Requests cancelled at dequeue because their deadline had passed.
+  std::atomic<uint64_t> deadline_exceeded{0};
+  /// Requests whose executor returned a non-OK status.
+  std::atomic<uint64_t> failed{0};
+  /// Requests admitted but not yet finished (queued or running).
+  std::atomic<uint64_t> queue_depth{0};
+  LatencyHistogram latency;
+
+  /// Counters + latency histogram as one JSON object (no pool stats; the
+  /// service adds those, see QueryService::MetricsJson).
+  std::string ToJson() const;
+};
+
+}  // namespace mctsvc

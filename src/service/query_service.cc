@@ -1,0 +1,207 @@
+#include "service/query_service.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mctsvc {
+
+using mctdb::Result;
+using mctdb::Status;
+using mctdb::query::ExecResult;
+using mctdb::query::QueryPlan;
+
+QueryService::QueryService(const ServiceOptions& options)
+    : options_(options) {
+  mctdb::ThreadPool::Options popts;
+  popts.num_threads = options_.num_threads == 0 ? 1 : options_.num_threads;
+  popts.start_paused = options_.start_paused;
+  pool_ = std::make_unique<mctdb::ThreadPool>(popts);
+}
+
+QueryService::~QueryService() {
+  Resume();
+  Drain();
+  pool_.reset();  // joins workers before the store registry goes away
+}
+
+Status QueryService::AddStore(const std::string& name,
+                              mctdb::storage::MctStore* store) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("AddStore: null store");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = stores_.emplace(name, StoreEntry{});
+  if (!inserted) {
+    return Status::AlreadyExists("store '" + name + "' already registered");
+  }
+  it->second.store = store;
+  it->second.pool = std::make_unique<mctdb::storage::ShardedBufferPool>(
+      store->pager(), options_.pool_pages, options_.pool_shards);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<QueryService::Session>> QueryService::OpenSession(
+    const std::string& store) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stores_.find(store);
+  if (it == stores_.end()) {
+    return Status::NotFound("store '" + store + "' is not registered");
+  }
+  return std::shared_ptr<Session>(new Session(
+      this, store, it->second.store, it->second.pool.get()));
+}
+
+Result<ExecResult> QueryService::Execute(const std::string& store,
+                                         const QueryPlan& plan,
+                                         double timeout_seconds) {
+  if (plan.query != nullptr && plan.query->is_update()) {
+    return Status::InvalidArgument(
+        "update plans require an explicit session (one per store) so the "
+        "caller owns the write-serialization domain");
+  }
+  MCTDB_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                         OpenSession(store));
+  MCTDB_ASSIGN_OR_RETURN(QueryFuture future,
+                         session->Submit(plan, timeout_seconds));
+  return future.get();
+}
+
+void QueryService::Resume() { pool_->Resume(); }
+
+void QueryService::Drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drained_cv_.wait(lock, [&] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void QueryService::FinishOne() {
+  uint64_t left = pending_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  metrics_.queue_depth.store(left, std::memory_order_relaxed);
+  if (left == 0) {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drained_cv_.notify_all();
+  }
+}
+
+void QueryService::RunNext(const std::shared_ptr<Session>& session) {
+  Session::Task task;
+  {
+    std::lock_guard<std::mutex> lock(session->mu_);
+    MCTDB_CHECK(!session->tasks_.empty());
+    task = std::move(session->tasks_.front());
+    session->tasks_.pop_front();
+  }
+
+  if (task.has_deadline &&
+      std::chrono::steady_clock::now() > task.deadline) {
+    metrics_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    metrics_.completed.fetch_add(1, std::memory_order_relaxed);
+    task.promise.set_value(
+        Status::DeadlineExceeded("request deadline passed while queued"));
+  } else {
+    mctdb::query::Executor exec(session->store_, session->pool_);
+    Result<ExecResult> result = exec.Execute(*task.plan);
+    metrics_.completed.fetch_add(1, std::memory_order_relaxed);
+    if (result.ok()) {
+      metrics_.latency.Record(result->elapsed_seconds);
+    } else {
+      metrics_.failed.fetch_add(1, std::memory_order_relaxed);
+    }
+    task.promise.set_value(std::move(result));
+  }
+
+  bool more;
+  {
+    std::lock_guard<std::mutex> lock(session->mu_);
+    more = !session->tasks_.empty();
+    if (!more) session->scheduled_ = false;
+  }
+  if (more) {
+    std::shared_ptr<Session> next = session;
+    bool ok = pool_->Submit(
+        [this, next = std::move(next)] { RunNext(next); });
+    MCTDB_CHECK_MSG(ok, "worker pool rejected a strand continuation");
+  }
+  FinishOne();
+}
+
+Result<QueryFuture> QueryService::Session::Submit(const QueryPlan& plan,
+                                                  double timeout_seconds) {
+  QueryService* svc = service_;
+  uint64_t in_flight =
+      svc->pending_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (in_flight > svc->options_.max_queued) {
+    svc->FinishOne();
+    svc->metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(mctdb::StringPrintf(
+        "admission queue full (max_queued=%zu)", svc->options_.max_queued));
+  }
+  svc->metrics_.submitted.fetch_add(1, std::memory_order_relaxed);
+  svc->metrics_.queue_depth.store(in_flight, std::memory_order_relaxed);
+
+  double timeout = timeout_seconds > 0 ? timeout_seconds
+                                       : svc->options_.default_timeout_seconds;
+  Task task;
+  task.plan = &plan;
+  if (timeout > 0) {
+    task.has_deadline = true;
+    task.deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(timeout));
+  }
+  QueryFuture future = task.promise.get_future();
+
+  bool need_schedule;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+    need_schedule = !scheduled_;
+    if (need_schedule) scheduled_ = true;
+  }
+  if (need_schedule) {
+    bool ok = svc->pool_->Submit(
+        [svc, self = shared_from_this()] { svc->RunNext(self); });
+    MCTDB_CHECK_MSG(ok, "submit on a shut-down service");
+  }
+  return future;
+}
+
+std::string QueryService::MetricsJson() const {
+  std::string out = "{\"service\":" + metrics_.ToJson();
+  out += ",\"stores\":[";
+  std::lock_guard<std::mutex> lock(mu_);
+  bool first_store = true;
+  for (const auto& [name, entry] : stores_) {
+    if (!first_store) out += ',';
+    first_store = false;
+    out += "{\"name\":\"" + name + "\"";
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  ",\"pool\":{\"capacity_pages\":%zu,\"resident\":%zu,"
+                  "\"hits\":%llu,\"misses\":%llu,\"shards\":[",
+                  entry.pool->capacity(), entry.pool->resident(),
+                  static_cast<unsigned long long>(entry.pool->hits()),
+                  static_cast<unsigned long long>(entry.pool->misses()));
+    out += buf;
+    bool first_shard = true;
+    for (const auto& shard : entry.pool->PerShard()) {
+      if (!first_shard) out += ',';
+      first_shard = false;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"hits\":%llu,\"misses\":%llu,\"resident\":%zu}",
+                    static_cast<unsigned long long>(shard.hits),
+                    static_cast<unsigned long long>(shard.misses),
+                    shard.resident);
+      out += buf;
+    }
+    out += "]}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace mctsvc

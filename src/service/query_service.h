@@ -1,0 +1,162 @@
+// mctsvc::QueryService — an embeddable concurrent query service over one
+// or more MctStores.
+//
+// Architecture:
+//   * a fixed-size worker ThreadPool with a bounded admission window:
+//     Submit returns Status::ResourceExhausted once max_queued requests
+//     are in flight (queued or running), instead of buffering unboundedly;
+//   * per-request deadlines: a request whose deadline passes while it
+//     waits is cancelled cleanly at dequeue with Status::DeadlineExceeded
+//     (it never starts executing);
+//   * sessions: a Session's requests execute in submission order, one at a
+//     time (a strand), while distinct sessions run in parallel on the
+//     worker pool. Read-only queries may run from any number of sessions
+//     of the same store concurrently; update plans are only legal through
+//     a session, relying on "one session per store" for exclusivity;
+//   * one thread-safe ShardedBufferPool per registered store, shared by
+//     all of that store's sessions; each request gets its own Executor
+//     over that pool handle, so the single-threaded store-owned
+//     BufferPool is bypassed entirely on the service path;
+//   * a ServiceMetrics registry (latency histogram, queue depth, admission
+//     rejections, per-shard pool hit/miss) exportable as JSON.
+//
+// Stores are registered non-owning and must outlive the service. The
+// service treats store data as shared read-only state.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "query/executor.h"
+#include "query/plan.h"
+#include "service/metrics.h"
+#include "storage/sharded_pool.h"
+#include "storage/store.h"
+
+namespace mctsvc {
+
+struct ServiceOptions {
+  /// Worker threads executing requests.
+  size_t num_threads = 4;
+  /// Admission window: requests in flight (queued or running) across all
+  /// sessions. Submissions beyond it are rejected, not buffered.
+  size_t max_queued = 256;
+  /// Per-store sharded buffer pool: capacity in pages and shard count
+  /// (0 = heuristic, see ShardedBufferPool).
+  size_t pool_pages = 2048;
+  size_t pool_shards = 0;
+  /// Default per-request deadline in seconds; 0 = none.
+  double default_timeout_seconds = 0.0;
+  /// Start with the workers parked until Resume(). Lets an embedder stage
+  /// a batch deterministically (also how the admission tests drive the
+  /// queue to overflow without races).
+  bool start_paused = false;
+};
+
+using QueryFuture = std::future<mctdb::Result<mctdb::query::ExecResult>>;
+
+class QueryService {
+ public:
+  explicit QueryService(const ServiceOptions& options = {});
+  /// Drains every admitted request, then joins the workers.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Registers a store under `name` (non-owning; the store must outlive
+  /// the service) and builds its shared sharded buffer pool.
+  mctdb::Status AddStore(const std::string& name,
+                         mctdb::storage::MctStore* store);
+
+  class Session;
+  /// Opens a session on a registered store. The session must not outlive
+  /// the service.
+  mctdb::Result<std::shared_ptr<Session>> OpenSession(
+      const std::string& store);
+
+  /// One-shot convenience: submits on an ephemeral session and waits.
+  /// Rejects update plans — updates need an explicit session so the
+  /// caller owns the serialization domain.
+  mctdb::Result<mctdb::query::ExecResult> Execute(
+      const std::string& store, const mctdb::query::QueryPlan& plan,
+      double timeout_seconds = 0.0);
+
+  /// Releases workers of a start_paused service (idempotent).
+  void Resume();
+  /// Blocks until no request is queued or running.
+  void Drain();
+
+  ServiceMetrics& metrics() { return metrics_; }
+  const ServiceMetrics& metrics() const { return metrics_; }
+  /// Service counters plus per-store, per-shard pool statistics as JSON.
+  std::string MetricsJson() const;
+
+ private:
+  friend class Session;
+  struct StoreEntry {
+    mctdb::storage::MctStore* store = nullptr;
+    std::unique_ptr<mctdb::storage::ShardedBufferPool> pool;
+  };
+
+  void RunNext(const std::shared_ptr<Session>& session);
+  void FinishOne();
+
+  ServiceOptions options_;
+  ServiceMetrics metrics_;
+  mutable std::mutex mu_;  // guards stores_
+  std::map<std::string, StoreEntry> stores_;
+  std::atomic<uint64_t> pending_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drained_cv_;
+  std::unique_ptr<mctdb::ThreadPool> pool_;
+};
+
+/// A strand of requests over one store: FIFO order, no intra-session
+/// concurrency, inter-session parallelism. Obtain via OpenSession.
+class QueryService::Session
+    : public std::enable_shared_from_this<QueryService::Session> {
+ public:
+  /// Submits `plan` for execution. The plan (and whatever it references)
+  /// must stay alive until the returned future resolves. `timeout_seconds`
+  /// <= 0 falls back to the service default.
+  mctdb::Result<QueryFuture> Submit(const mctdb::query::QueryPlan& plan,
+                                    double timeout_seconds = 0.0);
+
+  const std::string& store_name() const { return store_name_; }
+  mctdb::storage::ShardedBufferPool* pool() const { return pool_; }
+
+ private:
+  friend class QueryService;
+  struct Task {
+    const mctdb::query::QueryPlan* plan = nullptr;
+    std::chrono::steady_clock::time_point deadline;
+    bool has_deadline = false;
+    std::promise<mctdb::Result<mctdb::query::ExecResult>> promise;
+  };
+
+  Session(QueryService* service, std::string store_name,
+          mctdb::storage::MctStore* store,
+          mctdb::storage::ShardedBufferPool* pool)
+      : service_(service), store_name_(std::move(store_name)),
+        store_(store), pool_(pool) {}
+
+  QueryService* service_;
+  std::string store_name_;
+  mctdb::storage::MctStore* store_;
+  mctdb::storage::ShardedBufferPool* pool_;  // owned by the service
+
+  std::mutex mu_;
+  std::deque<Task> tasks_;
+  bool scheduled_ = false;
+};
+
+}  // namespace mctsvc

@@ -10,20 +10,20 @@ PageId Pager::Allocate() {
   auto page = std::make_unique<char[]>(kPageSize);
   std::memset(page.get(), 0, kPageSize);
   pages_.push_back(std::move(page));
-  ++disk_writes_;
+  disk_writes_.fetch_add(1, std::memory_order_relaxed);
   return static_cast<PageId>(pages_.size() - 1);
 }
 
 void Pager::Write(PageId id, const char* data) {
   MCTDB_CHECK(id < pages_.size());
   std::memcpy(pages_[id].get(), data, kPageSize);
-  ++disk_writes_;
+  disk_writes_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Pager::Read(PageId id, char* out) const {
   MCTDB_CHECK(id < pages_.size());
   std::memcpy(out, pages_[id].get(), kPageSize);
-  ++disk_reads_;
+  disk_reads_.fetch_add(1, std::memory_order_relaxed);
 }
 
 const char* BufferPool::Fetch(PageId id) {

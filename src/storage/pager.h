@@ -4,6 +4,7 @@
 // pool, so page-miss counts and cache behavior are real, not simulated.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -20,33 +21,56 @@ inline constexpr size_t kPageSize = 8192;
 using PageId = uint32_t;
 inline constexpr PageId kInvalidPage = 0xFFFFFFFFu;
 
-/// The backing store. Allocation and writes happen at load time; reads are
-/// counted as disk I/O (they are served from a separate heap area and
-/// copied, so the buffer pool is the only fast path).
+/// The backing store. Allocation and writes happen at load time (single
+/// threaded); reads are counted as disk I/O (they are served from a
+/// separate heap area and copied, so the buffer pool is the only fast
+/// path) and are safe to issue from many threads concurrently.
 class Pager {
  public:
   /// Allocates a zeroed page.
   PageId Allocate();
   /// Overwrites a full page.
   void Write(PageId id, const char* data);
-  /// Copies a page out; counted as one disk read.
+  /// Copies a page out; counted as one disk read. Thread-safe.
   void Read(PageId id, char* out) const;
   /// Raw page bytes for persistence (not counted as query I/O).
   const char* RawPage(PageId id) const { return pages_[id].get(); }
 
   size_t num_pages() const { return pages_.size(); }
   size_t bytes() const { return pages_.size() * kPageSize; }
-  uint64_t disk_reads() const { return disk_reads_; }
-  uint64_t disk_writes() const { return disk_writes_; }
+  uint64_t disk_reads() const {
+    return disk_reads_.load(std::memory_order_relaxed);
+  }
+  uint64_t disk_writes() const {
+    return disk_writes_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::vector<std::unique_ptr<char[]>> pages_;
-  mutable uint64_t disk_reads_ = 0;
-  uint64_t disk_writes_ = 0;
+  mutable std::atomic<uint64_t> disk_reads_{0};
+  std::atomic<uint64_t> disk_writes_{0};
 };
 
-/// Fixed-capacity LRU page cache over a Pager.
-class BufferPool {
+/// Page-cache interface shared by the single-threaded BufferPool and the
+/// concurrent ShardedBufferPool. Fetch pins the frame; pinning caches keep
+/// it valid until the matching Unpin, single-threaded caches may no-op
+/// Unpin and only guarantee validity until the next Fetch. Every cache
+/// maintains hits() + misses() == total fetches.
+class PageCache {
+ public:
+  virtual ~PageCache() = default;
+  /// Returns the cached frame for `id`, faulting it in if needed.
+  virtual const char* Fetch(PageId id) = 0;
+  /// Releases one pin taken by Fetch for `id`.
+  virtual void Unpin(PageId id) = 0;
+  virtual uint64_t hits() const = 0;
+  virtual uint64_t misses() const = 0;
+};
+
+/// Fixed-capacity LRU page cache over a Pager. Single-threaded: the query
+/// path of one session must not share it with another thread (the
+/// concurrent path uses ShardedBufferPool, see sharded_pool.h).
+class BufferPool : public PageCache {
  public:
   BufferPool(const Pager* pager, size_t capacity_pages)
       : pager_(pager), capacity_(capacity_pages == 0 ? 1 : capacity_pages) {}
@@ -54,10 +78,11 @@ class BufferPool {
   /// Returns a pointer to the cached frame for `id`, faulting it in (and
   /// evicting the least recently used frame) if needed. The pointer is
   /// valid until the next Fetch.
-  const char* Fetch(PageId id);
+  const char* Fetch(PageId id) override;
+  void Unpin(PageId) override {}
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const override { return hits_; }
+  uint64_t misses() const override { return misses_; }
   size_t resident() const { return frames_.size(); }
   size_t capacity() const { return capacity_; }
   void ResetStats() { hits_ = misses_ = 0; }

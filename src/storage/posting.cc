@@ -35,6 +35,7 @@ bool PostingCursor::Next(LabelEntry* out) {
   if (index_ >= meta_->count) return false;
   size_t page_index = index_ / kEntriesPerPage;
   if (page_index != current_page_index_) {
+    Release();
     current_page_ = pool_->Fetch(meta_->pages[page_index]);
     current_page_index_ = page_index;
   }
@@ -45,7 +46,15 @@ bool PostingCursor::Next(LabelEntry* out) {
   return true;
 }
 
-std::vector<LabelEntry> ReadAll(BufferPool* pool, const PostingMeta& meta) {
+void PostingCursor::Release() {
+  if (current_page_ != nullptr) {
+    pool_->Unpin(meta_->pages[current_page_index_]);
+    current_page_ = nullptr;
+    current_page_index_ = SIZE_MAX;
+  }
+}
+
+std::vector<LabelEntry> ReadAll(PageCache* pool, const PostingMeta& meta) {
   std::vector<LabelEntry> out;
   out.reserve(meta.count);
   PostingCursor cursor(pool, &meta);

@@ -61,20 +61,53 @@ class PostingWriter {
   size_t in_buffer_ = 0;
 };
 
-/// Sequential scan of a posting list through a buffer pool (every page
-/// touch is a pool fetch, so misses show up in the stats).
+/// Sequential scan of a posting list through a page cache (every page
+/// touch is a pool fetch, so misses show up in the stats). Holds at most
+/// one page pinned at a time; the destructor releases the last pin, so a
+/// cursor works unchanged over the concurrent ShardedBufferPool.
 class PostingCursor {
  public:
-  PostingCursor(BufferPool* pool, const PostingMeta* meta)
+  PostingCursor(PageCache* pool, const PostingMeta* meta)
       : pool_(pool), meta_(meta) {}
+  ~PostingCursor() { Release(); }
+
+  PostingCursor(const PostingCursor&) = delete;
+  PostingCursor& operator=(const PostingCursor&) = delete;
+  /// Movable: the pin travels with the cursor, so exactly one of the two
+  /// objects releases it.
+  PostingCursor(PostingCursor&& other) noexcept
+      : pool_(other.pool_), meta_(other.meta_), index_(other.index_),
+        current_page_(other.current_page_),
+        current_page_index_(other.current_page_index_) {
+    other.current_page_ = nullptr;
+    other.current_page_index_ = SIZE_MAX;
+  }
+  PostingCursor& operator=(PostingCursor&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pool_ = other.pool_;
+      meta_ = other.meta_;
+      index_ = other.index_;
+      current_page_ = other.current_page_;
+      current_page_index_ = other.current_page_index_;
+      other.current_page_ = nullptr;
+      other.current_page_index_ = SIZE_MAX;
+    }
+    return *this;
+  }
 
   /// Returns false at end of list.
   bool Next(LabelEntry* out);
-  void Reset() { index_ = 0; }
+  void Reset() {
+    Release();
+    index_ = 0;
+  }
   size_t remaining() const { return meta_->count - index_; }
 
  private:
-  BufferPool* pool_;
+  void Release();
+
+  PageCache* pool_;
   const PostingMeta* meta_;
   size_t index_ = 0;
   const char* current_page_ = nullptr;
@@ -82,6 +115,6 @@ class PostingCursor {
 };
 
 /// Reads a whole posting list into memory (through the pool).
-std::vector<LabelEntry> ReadAll(BufferPool* pool, const PostingMeta& meta);
+std::vector<LabelEntry> ReadAll(PageCache* pool, const PostingMeta& meta);
 
 }  // namespace mctdb::storage

@@ -1,0 +1,153 @@
+#include "storage/sharded_pool.h"
+
+#include <thread>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace mctdb::storage {
+
+namespace {
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+size_t PickShardCount(size_t requested, size_t capacity_pages) {
+  size_t n = requested;
+  if (n == 0) {
+    size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 4;
+    n = 2 * hw;
+  }
+  n = NextPow2(n);
+  if (n > 64) n = 64;
+  // Every shard must own at least one page of the budget.
+  while (n > 1 && n > capacity_pages) n >>= 1;
+  return n;
+}
+
+}  // namespace
+
+ShardedBufferPool::ShardedBufferPool(const Pager* pager,
+                                     size_t capacity_pages,
+                                     size_t num_shards)
+    : pager_(pager), capacity_(capacity_pages == 0 ? 1 : capacity_pages) {
+  size_t n = PickShardCount(num_shards, capacity_);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = capacity_ / n + (i < capacity_ % n ? 1 : 0);
+    MCTDB_CHECK(shard->capacity >= 1);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedBufferPool::Shard& ShardedBufferPool::ShardFor(PageId id) {
+  return *shards_[Hash64(uint64_t(id)) & (shards_.size() - 1)];
+}
+
+const ShardedBufferPool::Shard& ShardedBufferPool::ShardFor(
+    PageId id) const {
+  return *shards_[Hash64(uint64_t(id)) & (shards_.size() - 1)];
+}
+
+const char* ShardedBufferPool::Fetch(PageId id) {
+  Shard& s = ShardFor(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.frames.find(id);
+  if (it != s.frames.end()) {
+    s.hits.fetch_add(1, std::memory_order_relaxed);
+    Frame& f = it->second;
+    if (f.in_lru) {
+      s.lru.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pins;
+    return f.data.get();
+  }
+  s.misses.fetch_add(1, std::memory_order_relaxed);
+  if (s.frames.size() >= s.capacity && !s.lru.empty()) {
+    PageId victim = s.lru.back();
+    s.lru.pop_back();
+    s.frames.erase(victim);
+  }
+  Frame f;
+  f.data = std::make_unique<char[]>(kPageSize);
+  pager_->Read(id, f.data.get());
+  f.pins = 1;
+  auto [pos, inserted] = s.frames.emplace(id, std::move(f));
+  MCTDB_CHECK(inserted);
+  return pos->second.data.get();
+}
+
+void ShardedBufferPool::Unpin(PageId id) {
+  Shard& s = ShardFor(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.frames.find(id);
+  MCTDB_CHECK_MSG(it != s.frames.end(), "unpin of non-resident page");
+  Frame& f = it->second;
+  MCTDB_CHECK_MSG(f.pins > 0, "unpin without matching fetch");
+  if (--f.pins > 0) return;
+  if (s.frames.size() > s.capacity) {
+    // The shard overflowed while everything was pinned; trim immediately.
+    s.frames.erase(it);
+    return;
+  }
+  s.lru.push_front(id);
+  f.lru_pos = s.lru.begin();
+  f.in_lru = true;
+}
+
+uint64_t ShardedBufferPool::hits() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->hits.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t ShardedBufferPool::misses() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->misses.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+size_t ShardedBufferPool::resident() const {
+  size_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total += s->frames.size();
+  }
+  return total;
+}
+
+std::vector<ShardedBufferPool::ShardStats> ShardedBufferPool::PerShard()
+    const {
+  std::vector<ShardStats> out;
+  out.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    ShardStats stats;
+    stats.hits = s->hits.load(std::memory_order_relaxed);
+    stats.misses = s->misses.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(s->mu);
+      stats.resident = s->frames.size();
+    }
+    out.push_back(stats);
+  }
+  return out;
+}
+
+void ShardedBufferPool::ResetStats() {
+  for (const auto& s : shards_) {
+    s->hits.store(0, std::memory_order_relaxed);
+    s->misses.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace mctdb::storage

@@ -1,0 +1,75 @@
+// ShardedBufferPool: the thread-safe page cache behind the mctsvc query
+// service. The total page budget is split across N independently locked
+// LRU shards; a page's shard is fixed by hashing its PageId, so threads
+// touching disjoint pages rarely contend on the same mutex.
+//
+// Unlike the single-threaded BufferPool, Fetch pins the frame: a pinned
+// frame is never evicted (and never moves), so the returned pointer stays
+// valid across other threads' fetches until the matching Unpin. If every
+// frame of a shard is pinned, the shard temporarily grows past its budget
+// rather than failing — correctness over a strict page budget — and trims
+// back as pins are released.
+#pragma once
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/pager.h"
+
+namespace mctdb::storage {
+
+class ShardedBufferPool : public PageCache {
+ public:
+  /// `num_shards` == 0 picks a heuristic: the smallest power of two >= 2x
+  /// the hardware thread count, clamped to [1, 64] and to the capacity so
+  /// every shard owns at least one page. A non-zero count is rounded up to
+  /// a power of two.
+  ShardedBufferPool(const Pager* pager, size_t capacity_pages,
+                    size_t num_shards = 0);
+
+  const char* Fetch(PageId id) override;
+  void Unpin(PageId id) override;
+
+  uint64_t hits() const override;
+  uint64_t misses() const override;
+  size_t resident() const;
+  size_t capacity() const { return capacity_; }
+  size_t num_shards() const { return shards_.size(); }
+
+  struct ShardStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    size_t resident = 0;
+  };
+  std::vector<ShardStats> PerShard() const;
+  void ResetStats();
+
+ private:
+  struct Frame {
+    std::unique_ptr<char[]> data;
+    uint32_t pins = 0;
+    std::list<PageId>::iterator lru_pos;  // valid iff in_lru
+    bool in_lru = false;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<PageId, Frame> frames;
+    std::list<PageId> lru;  // unpinned resident pages, front = most recent
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    size_t capacity = 1;
+  };
+
+  Shard& ShardFor(PageId id);
+  const Shard& ShardFor(PageId id) const;
+
+  const Pager* pager_;
+  size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;  // size is a power of two
+};
+
+}  // namespace mctdb::storage

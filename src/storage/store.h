@@ -93,6 +93,7 @@ class MctStore {
 
   BufferPool* buffer_pool() const { return pool_.get(); }
   Pager* pager() { return &pager_; }
+  const Pager* pager() const { return &pager_; }
 
   StoreStats Stats() const;
 

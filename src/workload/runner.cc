@@ -1,10 +1,207 @@
 #include "workload/runner.h"
 
 #include <algorithm>
+#include <chrono>
+#include <optional>
 
+#include "common/logging.h"
 #include "query/planner.h"
+#include "service/query_service.h"
 
 namespace mctdb::workload {
+
+namespace {
+
+Measurement MakeMeasurement(const std::string& schema,
+                            const std::string& name,
+                            const query::AssociationQuery& q,
+                            const query::PlanStats& plan_stats,
+                            std::vector<double> times,
+                            const query::ExecResult& last) {
+  std::sort(times.begin(), times.end());
+  Measurement m;
+  m.schema = schema;
+  m.query = name;
+  m.plan = plan_stats;
+  m.seconds = times[times.size() / 2];
+  m.unique_results = q.is_update() ? last.logicals_updated : last.unique_count;
+  m.raw_results = q.is_update() ? last.elements_updated : last.raw_count;
+  m.elements_updated = last.elements_updated;
+  m.page_misses = last.page_misses;
+  return m;
+}
+
+/// Record `last` for the equivalence check: the first schema to report a
+/// query becomes the reference, later schemas must match it logically.
+void CheckEquivalence(const RunnerOptions& options,
+                      const query::AssociationQuery& q,
+                      const std::string& name, const std::string& schema,
+                      const query::ExecResult& last,
+                      std::map<std::string, std::vector<uint32_t>>* reference,
+                      std::vector<std::string>* problems) {
+  if (!options.check_equivalence || q.is_update()) return;
+  auto [it, inserted] = reference->emplace(name, last.logicals);
+  if (!inserted && it->second != last.logicals) {
+    problems->push_back("equivalence violation: " + name + " on " + schema);
+  }
+}
+
+/// The classic single-threaded grid loop over the stores' own pools.
+void RunGridSerial(const Workload& workload, const RunnerOptions& options,
+                   const std::vector<mct::MctSchema>& schemas,
+                   const std::vector<std::unique_ptr<storage::MctStore>>&
+                       stores,
+                   RunSummary* summary) {
+  std::map<std::string, std::vector<uint32_t>> reference;
+  for (size_t i = 0; i < schemas.size(); ++i) {
+    for (const std::string& name : workload.figure_queries) {
+      const query::AssociationQuery* q = workload.Find(name);
+      if (q == nullptr) {
+        summary->problems.push_back("unknown figure query " + name);
+        continue;
+      }
+      auto plan = query::PlanQuery(*q, schemas[i]);
+      if (!plan.ok()) {
+        summary->problems.push_back(name + " on " + schemas[i].name() +
+                                    ": " + plan.status().ToString());
+        continue;
+      }
+      query::Executor exec(stores[i].get());
+      std::vector<double> times;
+      query::ExecResult last;
+      bool failed = false;
+      for (size_t rep = 0; rep < std::max<size_t>(1, options.repetitions);
+           ++rep) {
+        auto result = exec.Execute(*plan);
+        if (!result.ok()) {
+          summary->problems.push_back(name + " on " + schemas[i].name() +
+                                      ": " + result.status().ToString());
+          failed = true;
+          break;
+        }
+        times.push_back(result->elapsed_seconds);
+        last = *result;
+      }
+      if (failed) continue;
+      summary->measurements.push_back(MakeMeasurement(
+          schemas[i].name(), name, *q, plan->Stats(), std::move(times),
+          last));
+      CheckEquivalence(options, *q, name, schemas[i].name(), last,
+                       &reference, &summary->problems);
+    }
+  }
+}
+
+/// Fans the grid through an mctsvc::QueryService: one session per schema
+/// keeps each store's query-and-update sequence in serial order (so
+/// results, including update side effects and page-miss counts on an
+/// unpressured pool, match the serial run), while schemas proceed in
+/// parallel on the worker pool.
+void RunGridParallel(const Workload& workload, const RunnerOptions& options,
+                     const std::vector<mct::MctSchema>& schemas,
+                     const std::vector<std::unique_ptr<storage::MctStore>>&
+                         stores,
+                     RunSummary* summary) {
+  const size_t reps = std::max<size_t>(1, options.repetitions);
+
+  mctsvc::ServiceOptions sopts;
+  sopts.num_threads = options.num_threads;
+  sopts.pool_pages = options.store.buffer_pool_pages;
+  // The whole grid is staged up front; size the admission window for it.
+  sopts.max_queued =
+      schemas.size() * workload.figure_queries.size() * reps + 1;
+  mctsvc::QueryService service(sopts);
+
+  std::vector<std::shared_ptr<mctsvc::QueryService::Session>> sessions;
+  for (size_t i = 0; i < schemas.size(); ++i) {
+    Status added = service.AddStore(schemas[i].name(), stores[i].get());
+    MCTDB_CHECK_MSG(added.ok(), added.ToString().c_str());
+    auto session = service.OpenSession(schemas[i].name());
+    MCTDB_CHECK_MSG(session.ok(), session.status().ToString().c_str());
+    sessions.push_back(*session);
+  }
+
+  struct Cell {
+    const query::AssociationQuery* q = nullptr;
+    std::string name;
+    std::optional<query::QueryPlan> plan;
+    std::vector<mctsvc::QueryFuture> rep_futures;
+  };
+  std::vector<std::vector<Cell>> grid(schemas.size());
+
+  // Planning phase: plan every cell into the grid (planning problems
+  // recorded in the same schema-major order as the serial loop). Nothing
+  // is submitted yet: the service keeps a pointer to each plan, so all
+  // cells must reach their final addresses first.
+  for (size_t i = 0; i < schemas.size(); ++i) {
+    for (const std::string& name : workload.figure_queries) {
+      Cell cell;
+      cell.name = name;
+      cell.q = workload.Find(name);
+      if (cell.q == nullptr) {
+        summary->problems.push_back("unknown figure query " + name);
+        grid[i].push_back(std::move(cell));
+        continue;
+      }
+      auto plan = query::PlanQuery(*cell.q, schemas[i]);
+      if (!plan.ok()) {
+        summary->problems.push_back(name + " on " + schemas[i].name() +
+                                    ": " + plan.status().ToString());
+        cell.q = nullptr;
+        grid[i].push_back(std::move(cell));
+        continue;
+      }
+      cell.plan = std::move(*plan);
+      grid[i].push_back(std::move(cell));
+    }
+  }
+
+  // Submission phase: stage every cell's repetitions on its schema's
+  // session. The grid is fully built, so plan addresses are stable for the
+  // lifetime of the in-flight requests.
+  for (size_t i = 0; i < schemas.size(); ++i) {
+    for (Cell& cell : grid[i]) {
+      if (cell.q == nullptr) continue;
+      for (size_t rep = 0; rep < reps; ++rep) {
+        auto future = sessions[i]->Submit(*cell.plan);
+        MCTDB_CHECK_MSG(future.ok(), future.status().ToString().c_str());
+        cell.rep_futures.push_back(std::move(*future));
+      }
+    }
+  }
+
+  // Gather phase, schema-major like the serial loop, so measurements,
+  // equivalence references, and problem ordering come out identical.
+  std::map<std::string, std::vector<uint32_t>> reference;
+  for (size_t i = 0; i < schemas.size(); ++i) {
+    for (Cell& cell : grid[i]) {
+      if (cell.q == nullptr) continue;
+      std::vector<double> times;
+      query::ExecResult last;
+      bool failed = false;
+      for (auto& future : cell.rep_futures) {
+        auto result = future.get();
+        if (!result.ok()) {
+          summary->problems.push_back(cell.name + " on " +
+                                      schemas[i].name() + ": " +
+                                      result.status().ToString());
+          failed = true;
+          break;
+        }
+        times.push_back(result->elapsed_seconds);
+        last = std::move(*result);
+      }
+      if (failed) continue;
+      summary->measurements.push_back(MakeMeasurement(
+          schemas[i].name(), cell.name, *cell.q, cell.plan->Stats(),
+          std::move(times), last));
+      CheckEquivalence(options, *cell.q, cell.name, schemas[i].name(), last,
+                       &reference, &summary->problems);
+    }
+  }
+}
+
+}  // namespace
 
 const Measurement* RunSummary::Find(const std::string& schema,
                                     const std::string& query) const {
@@ -17,6 +214,7 @@ const Measurement* RunSummary::Find(const std::string& schema,
 Result<RunSummary> RunWorkload(const Workload& workload,
                                const RunnerOptions& options) {
   RunSummary summary;
+  auto setup_start = std::chrono::steady_clock::now();
   er::ErGraph graph(workload.diagram);
   design::Designer designer(graph);
   instance::LogicalInstance logical =
@@ -33,63 +231,19 @@ Result<RunSummary> RunWorkload(const Workload& workload,
     stores.push_back(instance::Materialize(logical, schema, mat));
     summary.storage.emplace_back(schema.name(), stores.back()->Stats());
   }
+  auto grid_start = std::chrono::steady_clock::now();
+  summary.setup_seconds =
+      std::chrono::duration<double>(grid_start - setup_start).count();
 
-  // Reference results per read query, for the equivalence check.
-  std::map<std::string, std::vector<uint32_t>> reference;
-
-  for (size_t i = 0; i < schemas.size(); ++i) {
-    for (const std::string& name : workload.figure_queries) {
-      const query::AssociationQuery* q = workload.Find(name);
-      if (q == nullptr) {
-        summary.problems.push_back("unknown figure query " + name);
-        continue;
-      }
-      auto plan = query::PlanQuery(*q, schemas[i]);
-      if (!plan.ok()) {
-        summary.problems.push_back(name + " on " + schemas[i].name() +
-                                   ": " + plan.status().ToString());
-        continue;
-      }
-      query::Executor exec(stores[i].get());
-      std::vector<double> times;
-      query::ExecResult last;
-      bool failed = false;
-      for (size_t rep = 0; rep < std::max<size_t>(1, options.repetitions);
-           ++rep) {
-        auto result = exec.Execute(*plan);
-        if (!result.ok()) {
-          summary.problems.push_back(name + " on " + schemas[i].name() +
-                                     ": " + result.status().ToString());
-          failed = true;
-          break;
-        }
-        times.push_back(result->elapsed_seconds);
-        last = *result;
-      }
-      if (failed) continue;
-      std::sort(times.begin(), times.end());
-
-      Measurement m;
-      m.schema = schemas[i].name();
-      m.query = name;
-      m.plan = plan->Stats();
-      m.seconds = times[times.size() / 2];
-      m.unique_results =
-          q->is_update() ? last.logicals_updated : last.unique_count;
-      m.raw_results = q->is_update() ? last.elements_updated : last.raw_count;
-      m.elements_updated = last.elements_updated;
-      m.page_misses = last.page_misses;
-      summary.measurements.push_back(m);
-
-      if (options.check_equivalence && !q->is_update()) {
-        auto [it, inserted] = reference.emplace(name, last.logicals);
-        if (!inserted && it->second != last.logicals) {
-          summary.problems.push_back("equivalence violation: " + name +
-                                     " on " + schemas[i].name());
-        }
-      }
-    }
+  if (options.num_threads > 1) {
+    RunGridParallel(workload, options, schemas, stores, &summary);
+  } else {
+    RunGridSerial(workload, options, schemas, stores, &summary);
   }
+  summary.grid_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    grid_start)
+          .count();
   return summary;
 }
 

@@ -26,6 +26,13 @@ struct RunnerOptions {
   bool check_equivalence = true;
   /// Repetitions per query; the median time is reported.
   size_t repetitions = 1;
+  /// Worker threads for the measurement grid. 1 = the classic serial
+  /// loop; > 1 fans the (schema x query) grid out through an
+  /// mctsvc::QueryService — one session per schema (so each store's
+  /// queries, updates included, keep their serial order and results)
+  /// running in parallel across schemas. Equivalence checking and
+  /// median-of-repetitions semantics are unchanged.
+  size_t num_threads = 1;
   storage::StoreOptions store;
 };
 
@@ -47,6 +54,10 @@ struct RunSummary {
   std::vector<Measurement> measurements;
   /// Equivalence violations and planning failures, empty when healthy.
   std::vector<std::string> problems;
+  /// Wall-clock split: design + instance + materialization vs. the
+  /// (schema x query) measurement grid (what num_threads parallelizes).
+  double setup_seconds = 0.0;
+  double grid_seconds = 0.0;
 
   const Measurement* Find(const std::string& schema,
                           const std::string& query) const;

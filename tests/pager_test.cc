@@ -72,6 +72,40 @@ TEST(BufferPoolTest, LruEviction) {
   EXPECT_EQ(pool.misses(), 1u) << "1 must have been evicted";
 }
 
+TEST(BufferPoolTest, CapacityOneThrashesDeterministically) {
+  // Eviction boundary: with one frame, alternating between two pages
+  // misses every time, and the accounting invariant still holds.
+  Pager pager;
+  PageId a = pager.Allocate(), b = pager.Allocate();
+  BufferPool pool(&pager, 1);
+  for (int i = 0; i < 4; ++i) {
+    pool.Fetch(a);
+    pool.Fetch(b);
+  }
+  EXPECT_EQ(pool.misses(), 8u);
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.resident(), 1u);
+  EXPECT_EQ(pool.hits() + pool.misses(), 8u) << "every fetch accounted";
+}
+
+TEST(BufferPoolTest, CapacityEqualsWorkingSetMissesOnlyOnce) {
+  // The other boundary: capacity == working set means the warmup pass is
+  // the only disk traffic; steady state is all hits.
+  Pager pager;
+  std::vector<PageId> pages;
+  for (int i = 0; i < 8; ++i) pages.push_back(pager.Allocate());
+  BufferPool pool(&pager, 8);
+  for (PageId p : pages) pool.Fetch(p);
+  EXPECT_EQ(pool.misses(), 8u);
+  uint64_t reads = pager.disk_reads();
+  for (int round = 0; round < 3; ++round) {
+    for (PageId p : pages) pool.Fetch(p);
+  }
+  EXPECT_EQ(pool.hits(), 3u * 8u);
+  EXPECT_EQ(pool.misses(), 8u);
+  EXPECT_EQ(pager.disk_reads(), reads) << "no re-eviction at capacity";
+}
+
 TEST(BufferPoolTest, PageContentCorrectAcrossEviction) {
   Pager pager;
   PageId a = pager.Allocate(), b = pager.Allocate();

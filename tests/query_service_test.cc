@@ -1,0 +1,265 @@
+#include "service/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "design/designer.h"
+#include "instance/materialize.h"
+#include "query/planner.h"
+#include "workload/runner.h"
+#include "workload/workload.h"
+
+namespace mctsvc {
+namespace {
+
+using mctdb::query::ExecResult;
+using mctdb::query::PlanQuery;
+using mctdb::query::QueryPlan;
+
+/// One small TPC-W store (EN schema) plus ready-made plans, shared across
+/// all service tests in this file.
+class QueryServiceTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    w_ = new mctdb::workload::Workload(mctdb::workload::TpcwWorkload(0.05));
+    graph_ = new mctdb::er::ErGraph(w_->diagram);
+    mctdb::design::Designer designer(*graph_);
+    schema_ = new mctdb::mct::MctSchema(
+        designer.Design(mctdb::design::Strategy::kEn));
+    logical_ = new mctdb::instance::LogicalInstance(
+        mctdb::instance::GenerateInstance(*graph_, w_->gen));
+    store_ = mctdb::instance::Materialize(*logical_, *schema_).release();
+  }
+  static void TearDownTestSuite() {
+    delete store_;
+    store_ = nullptr;
+    delete logical_;
+    delete schema_;
+    delete graph_;
+    delete w_;
+  }
+
+  static QueryPlan Plan(const char* name) {
+    const mctdb::query::AssociationQuery* q = w_->Find(name);
+    EXPECT_NE(q, nullptr) << name;
+    auto plan = PlanQuery(*q, *schema_);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return *plan;
+  }
+
+  static mctdb::workload::Workload* w_;
+  static mctdb::er::ErGraph* graph_;
+  static mctdb::mct::MctSchema* schema_;
+  static mctdb::instance::LogicalInstance* logical_;
+  static mctdb::storage::MctStore* store_;
+};
+
+mctdb::workload::Workload* QueryServiceTest::w_ = nullptr;
+mctdb::er::ErGraph* QueryServiceTest::graph_ = nullptr;
+mctdb::mct::MctSchema* QueryServiceTest::schema_ = nullptr;
+mctdb::instance::LogicalInstance* QueryServiceTest::logical_ = nullptr;
+mctdb::storage::MctStore* QueryServiceTest::store_ = nullptr;
+
+TEST_F(QueryServiceTest, SessionResultMatchesDirectExecutor) {
+  QueryPlan plan = Plan("Q1");
+  ExecResult direct;
+  {
+    mctdb::query::Executor exec(store_);
+    auto r = exec.Execute(plan);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    direct = *r;
+  }
+
+  QueryService service;
+  ASSERT_TRUE(service.AddStore("tpcw", store_).ok());
+  auto session = service.OpenSession("tpcw");
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  auto future = (*session)->Submit(plan);
+  ASSERT_TRUE(future.ok()) << future.status().ToString();
+  auto result = future->get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->logicals, direct.logicals);
+  EXPECT_EQ(result->unique_count, direct.unique_count);
+  EXPECT_EQ(result->raw_count, direct.raw_count);
+  EXPECT_EQ(service.metrics().completed.load(), 1u);
+}
+
+TEST_F(QueryServiceTest, RegistryErrors) {
+  QueryService service;
+  EXPECT_TRUE(service.AddStore("tpcw", store_).ok());
+  EXPECT_TRUE(service.AddStore("tpcw", store_).IsAlreadyExists());
+  EXPECT_TRUE(service.AddStore("null", nullptr).IsInvalidArgument());
+  EXPECT_TRUE(service.OpenSession("nope").status().IsNotFound());
+}
+
+TEST_F(QueryServiceTest, AdmissionOverflowReturnsResourceExhausted) {
+  QueryPlan plan = Plan("Q1");
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.max_queued = 2;
+  options.start_paused = true;  // park workers: staging is deterministic
+  QueryService service(options);
+  ASSERT_TRUE(service.AddStore("tpcw", store_).ok());
+  auto session = service.OpenSession("tpcw");
+  ASSERT_TRUE(session.ok());
+
+  auto f1 = (*session)->Submit(plan);
+  auto f2 = (*session)->Submit(plan);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  auto f3 = (*session)->Submit(plan);
+  ASSERT_FALSE(f3.ok());
+  EXPECT_TRUE(f3.status().IsResourceExhausted()) << f3.status().ToString();
+  EXPECT_EQ(service.metrics().rejected.load(), 1u);
+  EXPECT_EQ(service.metrics().queue_depth.load(), 2u);
+
+  service.Resume();
+  EXPECT_TRUE(f1->get().ok());
+  EXPECT_TRUE(f2->get().ok());
+  service.Drain();
+  EXPECT_EQ(service.metrics().completed.load(), 2u);
+  EXPECT_EQ(service.metrics().queue_depth.load(), 0u);
+  // The window freed up: the next submission is admitted again.
+  auto f4 = (*session)->Submit(plan);
+  ASSERT_TRUE(f4.ok());
+  EXPECT_TRUE(f4->get().ok());
+}
+
+TEST_F(QueryServiceTest, ExpiredDeadlineCancelsCleanly) {
+  QueryPlan plan = Plan("Q1");
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.start_paused = true;
+  QueryService service(options);
+  ASSERT_TRUE(service.AddStore("tpcw", store_).ok());
+  auto session = service.OpenSession("tpcw");
+  ASSERT_TRUE(session.ok());
+
+  // Stage a request whose deadline expires while the workers are parked.
+  auto doomed = (*session)->Submit(plan, 1e-3);
+  ASSERT_TRUE(doomed.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.Resume();
+  auto result = doomed->get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+  service.Drain();
+  EXPECT_EQ(service.metrics().deadline_exceeded.load(), 1u);
+  // The cancelled request must not wedge the session strand.
+  auto after = (*session)->Submit(plan);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->get().ok());
+}
+
+TEST_F(QueryServiceTest, OneShotExecuteAndUpdateRejection) {
+  QueryPlan read = Plan("Q1");
+  QueryPlan update = Plan("U1");
+  ASSERT_TRUE(update.query->is_update());
+
+  QueryService service;
+  ASSERT_TRUE(service.AddStore("tpcw", store_).ok());
+  auto ok = service.Execute("tpcw", read);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_GT(ok->unique_count, 0u);
+
+  auto rejected = service.Execute("tpcw", update);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsInvalidArgument())
+      << rejected.status().ToString();
+}
+
+TEST_F(QueryServiceTest, ConcurrentSessionsAgreeOnReadResults) {
+  QueryPlan plan = Plan("Q3");
+  mctdb::query::Executor exec(store_);
+  auto reference = exec.Execute(plan);
+  ASSERT_TRUE(reference.ok());
+
+  ServiceOptions options;
+  options.num_threads = 4;
+  QueryService service(options);
+  ASSERT_TRUE(service.AddStore("tpcw", store_).ok());
+  constexpr size_t kSessions = 6;
+  constexpr size_t kRequests = 5;
+  std::vector<std::shared_ptr<QueryService::Session>> sessions;
+  std::vector<QueryFuture> futures;
+  for (size_t s = 0; s < kSessions; ++s) {
+    auto session = service.OpenSession("tpcw");
+    ASSERT_TRUE(session.ok());
+    sessions.push_back(*session);
+  }
+  for (size_t i = 0; i < kRequests; ++i) {
+    for (auto& session : sessions) {
+      auto f = session->Submit(plan);
+      ASSERT_TRUE(f.ok()) << f.status().ToString();
+      futures.push_back(std::move(*f));
+    }
+  }
+  for (auto& f : futures) {
+    auto r = f.get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->logicals, reference->logicals);
+  }
+  service.Drain();
+  EXPECT_EQ(service.metrics().completed.load(), kSessions * kRequests);
+  EXPECT_EQ(service.metrics().latency.count(), kSessions * kRequests);
+}
+
+TEST_F(QueryServiceTest, MetricsJsonExportsServiceAndPoolStats) {
+  QueryPlan plan = Plan("Q1");
+  QueryService service;
+  ASSERT_TRUE(service.AddStore("tpcw", store_).ok());
+  ASSERT_TRUE(service.Execute("tpcw", plan).ok());
+  std::string json = service.MetricsJson();
+  for (const char* key :
+       {"\"submitted\"", "\"completed\"", "\"rejected\"",
+        "\"deadline_exceeded\"", "\"latency\"", "\"stores\"", "\"tpcw\"",
+        "\"shards\"", "\"hits\"", "\"misses\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+}
+
+TEST(ParallelRunnerTest, MatchesSerialRunMeasurementForMeasurement) {
+  // Satellite requirement: RunWorkload with num_threads=4 produces the
+  // same measurements as the serial loop — identical in everything except
+  // wall-clock timing.
+  mctdb::workload::Workload w = mctdb::workload::TpcwWorkload(0.03);
+  mctdb::workload::RunnerOptions serial;
+  serial.repetitions = 2;
+  auto a = mctdb::workload::RunWorkload(w, serial);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+
+  mctdb::workload::RunnerOptions parallel = serial;
+  parallel.num_threads = 4;
+  auto b = mctdb::workload::RunWorkload(w, parallel);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  EXPECT_TRUE(a->problems.empty());
+  EXPECT_TRUE(b->problems.empty())
+      << b->problems.front() << " (+" << b->problems.size() - 1 << " more)";
+  ASSERT_EQ(a->measurements.size(), b->measurements.size());
+  for (size_t i = 0; i < a->measurements.size(); ++i) {
+    const auto& ma = a->measurements[i];
+    const auto& mb = b->measurements[i];
+    SCOPED_TRACE(ma.schema + "/" + ma.query);
+    EXPECT_EQ(ma.schema, mb.schema);
+    EXPECT_EQ(ma.query, mb.query);
+    EXPECT_EQ(ma.unique_results, mb.unique_results);
+    EXPECT_EQ(ma.raw_results, mb.raw_results);
+    EXPECT_EQ(ma.elements_updated, mb.elements_updated);
+    EXPECT_EQ(ma.plan.structural_joins, mb.plan.structural_joins);
+    EXPECT_EQ(ma.plan.value_joins, mb.plan.value_joins);
+    EXPECT_EQ(ma.plan.dup_ops(), mb.plan.dup_ops());
+  }
+  ASSERT_EQ(a->storage.size(), b->storage.size());
+  for (size_t i = 0; i < a->storage.size(); ++i) {
+    EXPECT_EQ(a->storage[i].first, b->storage[i].first);
+  }
+}
+
+}  // namespace
+}  // namespace mctsvc

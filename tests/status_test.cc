@@ -31,6 +31,18 @@ TEST(StatusTest, EveryFactoryHasMatchingPredicate) {
   EXPECT_TRUE(Status::ConstraintViolation("").IsConstraintViolation());
   EXPECT_TRUE(Status::IoError("").IsIoError());
   EXPECT_TRUE(Status::Internal("").IsInternal());
+  EXPECT_TRUE(Status::ResourceExhausted("").IsResourceExhausted());
+  EXPECT_TRUE(Status::DeadlineExceeded("").IsDeadlineExceeded());
+}
+
+TEST(StatusTest, ServiceCodesAreDistinctAndNamed) {
+  Status full = Status::ResourceExhausted("queue full");
+  Status late = Status::DeadlineExceeded("too slow");
+  EXPECT_EQ(full.ToString(), "ResourceExhausted: queue full");
+  EXPECT_EQ(late.ToString(), "DeadlineExceeded: too slow");
+  EXPECT_FALSE(full.IsDeadlineExceeded());
+  EXPECT_FALSE(late.IsResourceExhausted());
+  EXPECT_FALSE(full == late);
 }
 
 TEST(StatusTest, Equality) {

@@ -1,0 +1,114 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/bounded_queue.h"
+#include "common/latch.h"
+
+namespace mctdb {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  CountdownLatch latch(100);
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(pool.Submit([&] {
+        counter.fetch_add(1);
+        latch.CountDown();
+      }));
+    }
+    latch.Wait();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool::Options options;
+    options.num_threads = 2;
+    options.start_paused = true;
+    ThreadPool pool(options);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&] { counter.fetch_add(1); });
+    }
+    EXPECT_EQ(counter.load(), 0) << "paused pool must not run work";
+    // Close() implies resume; the destructor drains the backlog.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitContinuations) {
+  std::atomic<int> counter{0};
+  CountdownLatch latch(2);
+  {
+    ThreadPool pool(2);
+    pool.Submit([&] {
+      counter.fetch_add(1);
+      latch.CountDown();
+      pool.Submit([&] {
+        counter.fetch_add(1);
+        latch.CountDown();
+      });
+    });
+    latch.Wait();
+  }
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, PausedPoolReleasesOnResume) {
+  std::atomic<int> counter{0};
+  ThreadPool::Options options;
+  options.num_threads = 2;
+  options.start_paused = true;
+  ThreadPool pool(options);
+  CountdownLatch latch(10);
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&] {
+      counter.fetch_add(1);
+      latch.CountDown();
+    });
+  }
+  EXPECT_EQ(pool.queue_depth(), 10u);
+  EXPECT_EQ(counter.load(), 0);
+  pool.Resume();
+  latch.Wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(BoundedQueueTest, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3)) << "full queue must reject";
+  auto v = q.Pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1);
+  EXPECT_TRUE(q.TryPush(3));
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenStops) {
+  BoundedQueue<int> q;
+  q.TryPush(1);
+  q.TryPush(2);
+  q.Close();
+  EXPECT_FALSE(q.TryPush(3));
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_EQ(*q.Pop(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(CountdownLatchTest, WaitForTimesOut) {
+  CountdownLatch latch(1);
+  EXPECT_FALSE(latch.WaitFor(0.01));
+  latch.CountDown();
+  EXPECT_TRUE(latch.WaitFor(0.01));
+  EXPECT_EQ(latch.count(), 0u);
+}
+
+}  // namespace
+}  // namespace mctdb

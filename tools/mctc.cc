@@ -5,6 +5,8 @@
 //   mctc design   <file.er> [-s STRATEGY] [--dtd|--dot|--tree]
 //   mctc paths    <file.er> [--max N]         eligible associations
 //   mctc mine     <file.xml> [--redesign]     ER from XML id/idrefs
+//   mctc workload <file.er> [--threads N] [--base N] [--reps N]
+//                                             run the emulated workload grid
 //   mctc demo                                 built-in TPC-W walkthrough
 //
 // Files with the .er extension use the DSL of er/er_parser.h (see
@@ -20,6 +22,7 @@
 #include "er/er_catalog.h"
 #include "er/er_parser.h"
 #include "mct/schema_export.h"
+#include "workload/runner.h"
 #include "xml/xml_io.h"
 
 using namespace mctdb;
@@ -36,6 +39,7 @@ int Usage() {
       " [--dtd|--dot|--tree]\n"
       "  paths    <file.er> [--max N]\n"
       "  mine     <file.xml> [--redesign]\n"
+      "  workload <file.er> [--threads N] [--base N] [--reps N]\n"
       "  demo\n");
   return 1;
 }
@@ -212,6 +216,55 @@ int CmdMine(int argc, char** argv) {
   return 0;
 }
 
+int CmdWorkload(int argc, char** argv) {
+  const char* path = nullptr;
+  size_t threads = 1;
+  size_t base_count = 0;
+  size_t reps = 1;
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      threads = std::strtoul(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--base") && i + 1 < argc) {
+      base_count = std::strtoul(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--reps") && i + 1 < argc) {
+      reps = std::strtoul(argv[++i], nullptr, 10);
+    } else if (path == nullptr) {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr || threads == 0 || reps == 0) return Usage();
+  auto diagram = LoadEr(path);
+  if (!diagram.ok()) {
+    std::fprintf(stderr, "error: %s\n", diagram.status().ToString().c_str());
+    return 2;
+  }
+  workload::Workload w = workload::XmarkEmulatedWorkload(*diagram);
+  if (base_count > 0) w.gen.base_count = base_count;
+  workload::RunnerOptions options;
+  options.num_threads = threads;
+  options.repetitions = reps;
+  auto summary = workload::RunWorkload(w, options);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "error: %s\n", summary.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("# %s: %zu queries, %zu threads, %zu reps "
+              "(setup %.3fs, grid %.3fs)\n",
+              diagram->name().c_str(), w.figure_queries.size(), threads,
+              reps, summary->setup_seconds, summary->grid_seconds);
+  std::printf("%-8s %-6s %10s %10s %10s %12s\n", "schema", "query",
+              "seconds", "unique", "raw", "page_misses");
+  for (const workload::Measurement& m : summary->measurements) {
+    std::printf("%-8s %-6s %10.6f %10zu %10zu %12llu\n", m.schema.c_str(),
+                m.query.c_str(), m.seconds, m.unique_results, m.raw_results,
+                static_cast<unsigned long long>(m.page_misses));
+  }
+  for (const std::string& p : summary->problems) {
+    std::fprintf(stderr, "problem: %s\n", p.c_str());
+  }
+  return summary->problems.empty() ? 0 : 2;
+}
+
 int CmdDemo() {
   er::ErDiagram diagram = er::Tpcw();
   std::printf("%s\n", er::FormatErDiagram(diagram).c_str());
@@ -235,6 +288,7 @@ int main(int argc, char** argv) {
   if (!std::strcmp(cmd, "design")) return CmdDesign(argc - 2, argv + 2);
   if (!std::strcmp(cmd, "paths")) return CmdPaths(argc - 2, argv + 2);
   if (!std::strcmp(cmd, "mine")) return CmdMine(argc - 2, argv + 2);
+  if (!std::strcmp(cmd, "workload")) return CmdWorkload(argc - 2, argv + 2);
   if (!std::strcmp(cmd, "demo")) return CmdDemo();
   return Usage();
 }
