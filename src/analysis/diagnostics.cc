@@ -1,0 +1,149 @@
+#include "analysis/diagnostics.h"
+
+#include "common/string_util.h"
+
+namespace mctdb::analysis {
+
+const char* ToString(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+void DiagnosticReport::Add(Severity severity, std::string code,
+                           std::string location, std::string message,
+                           std::string fixit) {
+  switch (severity) {
+    case Severity::kError:
+      ++errors_;
+      break;
+    case Severity::kWarning:
+      ++warnings_;
+      break;
+    case Severity::kNote:
+      ++notes_;
+      break;
+  }
+  if (diags_.size() >= max_diagnostics_) {
+    ++suppressed_;
+    return;
+  }
+  Diagnostic d;
+  d.severity = severity;
+  d.code = std::move(code);
+  d.location = std::move(location);
+  d.message = std::move(message);
+  d.fixit = std::move(fixit);
+  diags_.push_back(std::move(d));
+}
+
+void DiagnosticReport::MergeFrom(const DiagnosticReport& other,
+                                 std::string_view location_prefix) {
+  for (const Diagnostic& d : other.diags_) {
+    std::string location = d.location;
+    if (!location_prefix.empty()) {
+      location = location.empty()
+                     ? std::string(location_prefix)
+                     : std::string(location_prefix) + ": " + location;
+    }
+    Add(d.severity, d.code, std::move(location), d.message, d.fixit);
+  }
+  suppressed_ += other.suppressed_;
+}
+
+bool DiagnosticReport::HasCode(std::string_view code) const {
+  for (const Diagnostic& d : diags_) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+size_t DiagnosticReport::CountCode(std::string_view code) const {
+  size_t n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+std::string DiagnosticReport::ToText() const {
+  if (empty()) return "clean\n";
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += ToString(d.severity);
+    out += ' ';
+    out += d.code;
+    if (!d.location.empty()) out += " [" + d.location + "]";
+    out += ": " + d.message;
+    if (!d.fixit.empty()) out += " (fix: " + d.fixit + ")";
+    out += '\n';
+  }
+  if (suppressed_ > 0) {
+    out += StringPrintf("... %zu more diagnostic(s) suppressed\n",
+                        suppressed_);
+  }
+  out += StringPrintf("%zu error(s), %zu warning(s), %zu note(s)\n", errors_,
+                      warnings_, notes_);
+  return out;
+}
+
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StringPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DiagnosticReport::ToJson() const {
+  std::string out = StringPrintf(
+      "{\"errors\":%zu,\"warnings\":%zu,\"notes\":%zu,\"suppressed\":%zu,"
+      "\"diagnostics\":[",
+      errors_, warnings_, notes_, suppressed_);
+  bool first = true;
+  for (const Diagnostic& d : diags_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"severity\":\"";
+    out += ToString(d.severity);
+    out += "\",\"code\":\"" + JsonEscape(d.code) + "\"";
+    out += ",\"location\":\"" + JsonEscape(d.location) + "\"";
+    out += ",\"message\":\"" + JsonEscape(d.message) + "\"";
+    if (!d.fixit.empty()) out += ",\"fixit\":\"" + JsonEscape(d.fixit) + "\"";
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace mctdb::analysis

@@ -1,0 +1,86 @@
+// Shared diagnostics engine for the static-analysis passes (schema lint,
+// plan verifier, store validation).
+//
+// Every pass reports through a DiagnosticReport: an ordered list of
+// Diagnostic{severity, code, location, message, fixit} with a cap beyond
+// which further findings are counted but not recorded (so a corrupted
+// input cannot balloon the report), renderable as human text or JSON.
+// Codes are stable identifiers (SCHnnn schema lint, PLNnnn plan verifier,
+// STOnnn store validation) that tests and tooling key on; messages are
+// free to improve, codes are not.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mctdb::analysis {
+
+enum class Severity : uint8_t { kNote, kWarning, kError };
+const char* ToString(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string code;      ///< stable identifier, e.g. "SCH013"
+  std::string location;  ///< where: "schema DR", "DR/Q3 edge 1", "elem 7"
+  std::string message;   ///< what is wrong
+  std::string fixit;     ///< optional remediation hint
+};
+
+class DiagnosticReport {
+ public:
+  explicit DiagnosticReport(size_t max_diagnostics = 256)
+      : max_diagnostics_(max_diagnostics) {}
+
+  void Add(Severity severity, std::string code, std::string location,
+           std::string message, std::string fixit = "");
+  void Error(std::string code, std::string location, std::string message,
+             std::string fixit = "") {
+    Add(Severity::kError, std::move(code), std::move(location),
+        std::move(message), std::move(fixit));
+  }
+  void Warning(std::string code, std::string location, std::string message,
+               std::string fixit = "") {
+    Add(Severity::kWarning, std::move(code), std::move(location),
+        std::move(message), std::move(fixit));
+  }
+  void Note(std::string code, std::string location, std::string message,
+            std::string fixit = "") {
+    Add(Severity::kNote, std::move(code), std::move(location),
+        std::move(message), std::move(fixit));
+  }
+
+  /// Appends `other`'s diagnostics (and suppressed count), prefixing each
+  /// location with `location_prefix` when non-empty.
+  void MergeFrom(const DiagnosticReport& other,
+                 std::string_view location_prefix = "");
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  size_t errors() const { return errors_; }
+  size_t warnings() const { return warnings_; }
+  size_t notes() const { return notes_; }
+  /// Findings past the cap: counted per severity above, not recorded.
+  size_t suppressed() const { return suppressed_; }
+  bool has_errors() const { return errors_ > 0; }
+  bool empty() const { return diags_.empty() && suppressed_ == 0; }
+
+  bool HasCode(std::string_view code) const;
+  size_t CountCode(std::string_view code) const;
+
+  /// One line per diagnostic: "error SCH013 [schema DR]: message (fix: ..)";
+  /// empty reports render as "clean".
+  std::string ToText() const;
+  /// {"errors":N,"warnings":N,"notes":N,"suppressed":N,"diagnostics":[...]}
+  std::string ToJson() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  size_t max_diagnostics_;
+  size_t errors_ = 0;
+  size_t warnings_ = 0;
+  size_t notes_ = 0;
+  size_t suppressed_ = 0;
+};
+
+}  // namespace mctdb::analysis

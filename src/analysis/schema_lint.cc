@@ -1,0 +1,375 @@
+#include "analysis/schema_lint.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "design/associations.h"
+#include "design/recoverability.h"
+
+namespace mctdb::analysis {
+
+namespace {
+
+using mct::ColorId;
+using mct::Icic;
+using mct::MctSchema;
+using mct::OccId;
+using mct::SchemaOcc;
+
+class SchemaLinter {
+ public:
+  SchemaLinter(const MctSchema& schema, const SchemaLintOptions& options,
+               DiagnosticReport* report)
+      : schema_(schema), options_(options), report_(report) {}
+
+  void Run() {
+    CheckForests();
+    CheckCoverage();
+    CheckRefEdges();
+    if (options_.icics == nullptr) computed_icics_ = schema_.ComputeIcics();
+    CheckIcics(options_.icics != nullptr ? *options_.icics
+                                         : computed_icics_);
+    if (options_.claims != nullptr) CheckClaims(*options_.claims);
+  }
+
+ private:
+  std::string NodeName(er::NodeId n) const {
+    if (n >= schema_.diagram().num_nodes()) {
+      return StringPrintf("node#%u", n);
+    }
+    return schema_.diagram().node(n).name;
+  }
+
+  std::string OccLoc(const SchemaOcc& o) const {
+    std::string color = o.color < schema_.num_colors()
+                            ? schema_.color_name(o.color)
+                            : StringPrintf("color#%u", o.color);
+    return StringPrintf("occ %u (%s in %s)", o.id, NodeName(o.er_node).c_str(),
+                        color.c_str());
+  }
+
+  /// §2.2 well-formedness: each color's edge set must be a rooted forest
+  /// with consistent bookkeeping and realizable parent links.
+  void CheckForests() {
+    const size_t num_nodes = schema_.diagram().num_nodes();
+    const size_t num_edges = schema_.graph().num_edges();
+    for (const SchemaOcc& o : schema_.occurrences()) {
+      if (o.er_node >= num_nodes) {
+        report_->Error("SCH003", OccLoc(o),
+                       "occurrence references a nonexistent ER node type");
+        continue;
+      }
+      if (o.color >= schema_.num_colors()) {
+        report_->Error("SCH001", OccLoc(o),
+                       "occurrence tagged with a nonexistent color");
+        continue;
+      }
+      if (o.is_root()) {
+        const auto& roots = schema_.roots(o.color);
+        if (std::find(roots.begin(), roots.end(), o.id) == roots.end()) {
+          report_->Error("SCH001", OccLoc(o),
+                         "root occurrence not registered in its color's "
+                         "root list");
+        }
+        continue;
+      }
+      if (o.parent >= schema_.num_occurrences()) {
+        report_->Error("SCH001", OccLoc(o),
+                       "parent link points at a nonexistent occurrence");
+        continue;
+      }
+      const SchemaOcc& p = schema_.occ(o.parent);
+      if (p.color != o.color) {
+        report_->Error(
+            "SCH001", OccLoc(o),
+            StringPrintf("parent link crosses colors (%u vs %u)",
+                         unsigned(p.color), unsigned(o.color)),
+            "every tree lives inside one color; split the link into an "
+            "ICIC or a ref edge");
+      }
+      if (std::find(p.children.begin(), p.children.end(), o.id) ==
+          p.children.end()) {
+        report_->Error("SCH001", OccLoc(o),
+                       "child not registered in its parent's child list");
+      }
+      if (o.via_edge >= num_edges) {
+        report_->Error("SCH003", OccLoc(o),
+                       "parent link realizes a nonexistent ER edge");
+        continue;
+      }
+      const er::ErEdge& e = schema_.graph().edge(o.via_edge);
+      bool matches = (e.rel == p.er_node && e.node == o.er_node) ||
+                     (e.node == p.er_node && e.rel == o.er_node);
+      if (!matches) {
+        report_->Error(
+            "SCH001", OccLoc(o),
+            StringPrintf("via_edge %s--%s does not connect parent '%s' to "
+                         "child '%s'",
+                         NodeName(e.rel).c_str(), NodeName(e.node).c_str(),
+                         NodeName(p.er_node).c_str(),
+                         NodeName(o.er_node).c_str()));
+      }
+    }
+    // Acyclicity of every rooted tree: parent ids may exceed child ids
+    // after AttachRoot, so walk ancestor chains with a step cap.
+    for (const SchemaOcc& o : schema_.occurrences()) {
+      size_t steps = 0;
+      bool cyclic = false;
+      for (OccId cur = o.parent;
+           cur != mct::kInvalidOcc && cur < schema_.num_occurrences();
+           cur = schema_.occ(cur).parent) {
+        if (++steps > schema_.num_occurrences()) {
+          cyclic = true;
+          break;
+        }
+      }
+      if (cyclic) {
+        report_->Error("SCH002", OccLoc(o),
+                       "occurrence is part of a parent-link cycle — the "
+                       "color's edge set is not a tree");
+        break;  // one cycle report covers all members
+      }
+    }
+  }
+
+  /// Orphan node types: the schema must give every ER node at least one
+  /// occurrence, or its instances have nowhere to live.
+  void CheckCoverage() {
+    std::vector<bool> covered(schema_.diagram().num_nodes(), false);
+    for (const SchemaOcc& o : schema_.occurrences()) {
+      if (o.er_node < covered.size()) covered[o.er_node] = true;
+    }
+    for (er::NodeId n = 0; n < covered.size(); ++n) {
+      if (!covered[n]) {
+        report_->Error(
+            "SCH004", "schema " + schema_.name(),
+            StringPrintf("ER node '%s' has no occurrence in any color",
+                         NodeName(n).c_str()),
+            "add an occurrence (any color) or drop the node type");
+      }
+    }
+  }
+
+  void CheckRefEdges() {
+    for (size_t i = 0; i < schema_.ref_edges().size(); ++i) {
+      const mct::RefEdge& ref = schema_.ref_edges()[i];
+      std::string loc = StringPrintf("ref edge %zu (@%s)", i,
+                                     ref.attr_name.c_str());
+      if (ref.from >= schema_.num_occurrences()) {
+        report_->Error("SCH005", loc,
+                       "ref edge hangs off a nonexistent occurrence");
+        continue;
+      }
+      if (ref.er_edge >= schema_.graph().num_edges()) {
+        report_->Error("SCH005", loc,
+                       "ref edge stands in for a nonexistent ER edge");
+        continue;
+      }
+      if (ref.target >= schema_.diagram().num_nodes()) {
+        report_->Error("SCH005", loc,
+                       "ref edge targets a nonexistent ER node type");
+        continue;
+      }
+      const er::ErEdge& e = schema_.graph().edge(ref.er_edge);
+      if (e.rel != ref.target && e.node != ref.target) {
+        report_->Error(
+            "SCH005", loc,
+            StringPrintf("target '%s' is not an endpoint of ER edge %s--%s",
+                         NodeName(ref.target).c_str(),
+                         NodeName(e.rel).c_str(), NodeName(e.node).c_str()));
+      }
+    }
+  }
+
+  void CheckIcics(const std::vector<Icic>& icics) {
+    for (size_t i = 0; i < icics.size(); ++i) {
+      const Icic& icic = icics[i];
+      std::string loc = StringPrintf("ICIC %zu", i);
+      if (icic.er_edge >= schema_.graph().num_edges()) {
+        report_->Error("SCH011", loc,
+                       "constrains a nonexistent ER edge");
+        continue;
+      }
+      const er::ErEdge& e = schema_.graph().edge(icic.er_edge);
+      loc = StringPrintf("ICIC %zu (%s--%s)", i, NodeName(e.rel).c_str(),
+                         NodeName(e.node).c_str());
+      for (ColorId c : icic.colors) {
+        if (c >= schema_.num_colors()) {
+          report_->Error(
+              "SCH010", loc,
+              StringPrintf("references nonexistent color %u (schema has "
+                           "%zu colors)",
+                           unsigned(c), schema_.num_colors()),
+              "drop the dangling color or add the missing tree");
+        }
+      }
+      std::set<ColorId> realization_colors;
+      for (OccId r : icic.realizations) {
+        if (r >= schema_.num_occurrences()) {
+          report_->Error("SCH011", loc,
+                         StringPrintf("realization references nonexistent "
+                                      "occurrence %u",
+                                      r));
+          continue;
+        }
+        const SchemaOcc& o = schema_.occ(r);
+        if (o.is_root() || o.via_edge != icic.er_edge) {
+          report_->Error(
+              "SCH011", loc,
+              StringPrintf("occurrence %u does not realize the constrained "
+                           "edge",
+                           r));
+          continue;
+        }
+        realization_colors.insert(o.color);
+      }
+      if (realization_colors.size() < 2) {
+        report_->Error(
+            "SCH012", loc,
+            StringPrintf("constrains realizations in %zu distinct color(s); "
+                         "an inter-color constraint needs at least 2",
+                         realization_colors.size()),
+            "single-color realizations need no ICIC — remove it");
+      }
+    }
+    CheckIcicAcyclicity(icics);
+  }
+
+  /// SCH013: orient each constrained edge by its realized parent->child
+  /// direction over node types; edges realized in both directions impose
+  /// no net orientation and are skipped. The remaining arcs must be
+  /// acyclic, or ICIC repair has no topological order.
+  void CheckIcicAcyclicity(const std::vector<Icic>& icics) {
+    const size_t num_nodes = schema_.diagram().num_nodes();
+    // arc: parent type -> child type, one per strictly oriented edge.
+    std::map<er::EdgeId, std::pair<std::set<std::pair<er::NodeId, er::NodeId>>,
+                                   bool>>
+        per_edge;  // (directions seen, any invalid)
+    for (const Icic& icic : icics) {
+      for (OccId r : icic.realizations) {
+        if (r >= schema_.num_occurrences()) continue;
+        const SchemaOcc& o = schema_.occ(r);
+        if (o.is_root() || o.parent >= schema_.num_occurrences()) continue;
+        const SchemaOcc& p = schema_.occ(o.parent);
+        if (p.er_node >= num_nodes || o.er_node >= num_nodes) continue;
+        per_edge[icic.er_edge].first.insert({p.er_node, o.er_node});
+      }
+    }
+    std::vector<std::vector<er::NodeId>> adj(num_nodes);
+    std::map<std::pair<er::NodeId, er::NodeId>, er::EdgeId> arc_edge;
+    for (const auto& [edge, info] : per_edge) {
+      const auto& dirs = info.first;
+      if (dirs.size() != 1) continue;  // both orientations (or none): no arc
+      auto [from, to] = *dirs.begin();
+      adj[from].push_back(to);
+      arc_edge[{from, to}] = edge;
+    }
+    // Iterative DFS cycle detection with path recovery.
+    std::vector<int> state(num_nodes, 0);  // 0 white, 1 gray, 2 black
+    std::vector<er::NodeId> path;
+    for (er::NodeId start = 0; start < num_nodes; ++start) {
+      if (state[start] != 0) continue;
+      if (FindCycle(start, adj, &state, &path)) {
+        std::string cycle;
+        for (er::NodeId n : path) {
+          if (!cycle.empty()) cycle += " -> ";
+          cycle += NodeName(n);
+        }
+        cycle += " -> " + NodeName(path.front());
+        report_->Error(
+            "SCH013", "schema " + schema_.name(),
+            "cyclic ICIC dependency: " + cycle,
+            "break the cycle by realizing one edge in a single color or "
+            "as a ref edge");
+        return;  // one cycle is enough evidence
+      }
+    }
+  }
+
+  bool FindCycle(er::NodeId start,
+                 const std::vector<std::vector<er::NodeId>>& adj,
+                 std::vector<int>* state, std::vector<er::NodeId>* path) {
+    struct Frame {
+      er::NodeId node;
+      size_t next = 0;
+    };
+    std::vector<Frame> stack{{start, 0}};
+    (*state)[start] = 1;
+    path->assign(1, start);
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next < adj[f.node].size()) {
+        er::NodeId to = adj[f.node][f.next++];
+        if ((*state)[to] == 1) {
+          // Trim the recorded path to the cycle itself.
+          auto it = std::find(path->begin(), path->end(), to);
+          path->erase(path->begin(), it);
+          return true;
+        }
+        if ((*state)[to] == 0) {
+          (*state)[to] = 1;
+          stack.push_back({to, 0});
+          path->push_back(to);
+        }
+      } else {
+        (*state)[f.node] = 2;
+        stack.pop_back();
+        path->pop_back();
+      }
+    }
+    return false;
+  }
+
+  /// Re-derive NN/EN/AR/DR from the association graph and flag any
+  /// property the schema advertises but does not hold.
+  void CheckClaims(const NormalFormClaims& claims) {
+    std::string loc = "schema " + schema_.name();
+    std::string violation;
+    if (claims.node_normal && !schema_.IsNodeNormal(&violation)) {
+      report_->Error("SCH020", loc,
+                     "claims node normal form but is not: " + violation);
+    }
+    if (claims.edge_normal && !schema_.IsEdgeNormal(&violation)) {
+      report_->Error("SCH021", loc,
+                     "claims edge normal form but is not: " + violation);
+    }
+    if (claims.association_recoverable &&
+        !design::IsAssociationRecoverable(schema_)) {
+      report_->Error(
+          "SCH022", loc,
+          "claims association recoverability but some ER edge has no "
+          "structural realization (or a node type is uncovered)");
+    }
+    if (claims.fully_direct_recoverable) {
+      auto paths = design::EnumerateEligiblePaths(schema_.graph());
+      design::RecoverabilityReport rec =
+          design::AnalyzeRecoverability(schema_, paths);
+      if (!rec.fully_direct()) {
+        report_->Error(
+            "SCH023", loc,
+            StringPrintf("claims full direct recoverability but only "
+                         "%zu/%zu eligible paths are direct",
+                         rec.directly_recoverable, rec.eligible_paths));
+      }
+    }
+  }
+
+  const MctSchema& schema_;
+  const SchemaLintOptions& options_;
+  DiagnosticReport* report_;
+  std::vector<Icic> computed_icics_;
+};
+
+}  // namespace
+
+DiagnosticReport LintSchema(const MctSchema& schema,
+                            const SchemaLintOptions& options) {
+  DiagnosticReport report(options.max_diagnostics);
+  SchemaLinter linter(schema, options, &report);
+  linter.Run();
+  return report;
+}
+
+}  // namespace mctdb::analysis

@@ -1,0 +1,60 @@
+// Schema lint: offline static verification of an MctSchema (§2.2/§2.3
+// well-formedness plus the §3 normal-form claims).
+//
+// Checks, each with a stable diagnostic code:
+//   * SCH001 malformed color forest (parent/child/color bookkeeping broken)
+//   * SCH002 cycle in an occurrence forest
+//   * SCH003 dangling ER node/edge reference from an occurrence
+//   * SCH004 orphan ER node type (no occurrence in any color)
+//   * SCH005 dangling ref edge (bad occurrence, ER edge, or target)
+//   * SCH010 ICIC references a nonexistent color
+//   * SCH011 ICIC references a nonexistent occurrence/edge, or a
+//            realization that does not realize the constrained edge
+//   * SCH012 ICIC involves fewer than two distinct colors
+//   * SCH013 cyclic ICIC dependency: orienting each constrained ER edge by
+//            its realized parent->child direction (edges realized in both
+//            directions impose no net orientation and are skipped) must
+//            give an acyclic graph over node types — a cycle leaves no
+//            topological order in which ICIC maintenance can repair an
+//            update
+//   * SCH020..SCH023 false normal-form claim: a schema advertising
+//            NN/EN/AR/DR (what the designer algorithms emitted) that does
+//            not actually hold the property when re-derived from the
+//            association graph
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "mct/mct_schema.h"
+
+namespace mctdb::analysis {
+
+/// The §3 properties a schema claims to satisfy, as emitted by the
+/// designer algorithms (MC/DUMC/MCMR/UNDR). Mirrors design::DesignReport's
+/// boolean flags without depending on the design layer's report type.
+struct NormalFormClaims {
+  bool node_normal = false;                ///< NN (§3.2)
+  bool edge_normal = false;                ///< EN (§3.2)
+  bool association_recoverable = false;    ///< AR (§3.1)
+  bool fully_direct_recoverable = false;   ///< DR (§3.1)
+};
+
+struct SchemaLintOptions {
+  /// Claimed normal-form flags to cross-check against re-derived
+  /// properties; null skips the claim checks.
+  const NormalFormClaims* claims = nullptr;
+  /// Explicit ICIC set to verify; null verifies schema.ComputeIcics().
+  /// (The computed set is structurally consistent by construction, so the
+  /// explicit form is how persisted or hand-assembled constraint sets get
+  /// checked.)
+  const std::vector<mct::Icic>* icics = nullptr;
+  size_t max_diagnostics = 256;
+};
+
+/// Runs every schema-lint check; never aborts, reports all findings.
+DiagnosticReport LintSchema(const mct::MctSchema& schema,
+                            const SchemaLintOptions& options = {});
+
+}  // namespace mctdb::analysis

@@ -1,0 +1,149 @@
+// OrderedMutex: an instrumented mutex enforcing a static lock-rank order.
+//
+// Every mutex in the concurrent (mctsvc) path is assigned a rank from the
+// table below. A thread may only acquire a mutex whose rank is strictly
+// greater than every rank it already holds; acquiring out of order aborts
+// immediately, printing the offending acquisition chain — deadlock cycles
+// are caught deterministically on first occurrence instead of surfacing
+// as a rare production hang.
+//
+// Rank table (outermost first — lower ranks are taken before higher ones):
+//   kServiceRegistry (100)  QueryService::mu_ — store registry
+//   kSessionStrand   (200)  QueryService::Session::mu_ — strand queue
+//   kServiceDrain    (300)  QueryService::drain_mu_ — drain barrier
+//   kPoolShard       (400)  ShardedBufferPool::Shard::mu — page frames
+// (Pager and ServiceMetrics are lock-free — atomics only — and hold no
+// rank; the worker ThreadPool's internal queue mutex is leaf-level and
+// never held across user code.)
+//
+// Checking is compiled in when MCTDB_LOCK_ORDER_CHECKS is defined (the
+// default build sets it; configure with -DMCTDB_LOCK_ORDER_CHECKS=OFF to
+// strip the per-acquisition bookkeeping from release binaries). Without
+// it, OrderedMutex is a plain std::mutex wrapper with zero overhead.
+//
+// OrderedMutex satisfies BasicLockable, so std::lock_guard /
+// std::unique_lock / std::condition_variable_any work unchanged.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+namespace mctdb {
+
+enum class LockRank : uint32_t {
+  kServiceRegistry = 100,
+  kSessionStrand = 200,
+  kServiceDrain = 300,
+  kPoolShard = 400,
+};
+
+inline const char* ToString(LockRank r) {
+  switch (r) {
+    case LockRank::kServiceRegistry:
+      return "ServiceRegistry";
+    case LockRank::kSessionStrand:
+      return "SessionStrand";
+    case LockRank::kServiceDrain:
+      return "ServiceDrain";
+    case LockRank::kPoolShard:
+      return "PoolShard";
+  }
+  return "?";
+}
+
+#ifdef MCTDB_LOCK_ORDER_CHECKS
+
+class OrderedMutex {
+ public:
+  explicit OrderedMutex(LockRank rank) : rank_(rank) {}
+  OrderedMutex(const OrderedMutex&) = delete;
+  OrderedMutex& operator=(const OrderedMutex&) = delete;
+
+  void lock() {
+    CheckOrder();
+    mu_.lock();
+    Held().push_back(this);
+  }
+
+  bool try_lock() {
+    // try_lock cannot deadlock, but a successful out-of-order try_lock
+    // still poisons later blocking acquisitions, so it obeys the ranks
+    // too.
+    CheckOrder();
+    if (!mu_.try_lock()) return false;
+    Held().push_back(this);
+    return true;
+  }
+
+  void unlock() {
+    std::vector<const OrderedMutex*>& held = Held();
+    for (size_t i = held.size(); i > 0; --i) {
+      if (held[i - 1] == this) {
+        held.erase(held.begin() + static_cast<ptrdiff_t>(i - 1));
+        mu_.unlock();
+        return;
+      }
+    }
+    std::fprintf(stderr,
+                 "lock-order violation: unlock of %s (%u) not held by this "
+                 "thread\n",
+                 ToString(rank_), static_cast<unsigned>(rank_));
+    std::abort();
+  }
+
+  LockRank rank() const { return rank_; }
+
+ private:
+  static std::vector<const OrderedMutex*>& Held() {
+    thread_local std::vector<const OrderedMutex*> held;
+    return held;
+  }
+
+  void CheckOrder() const {
+    const std::vector<const OrderedMutex*>& held = Held();
+    for (const OrderedMutex* m : held) {
+      if (m->rank_ >= rank_) {
+        std::fprintf(
+            stderr,
+            "lock-order violation: acquiring %s (%u) while holding %s "
+            "(%u); acquisition chain:",
+            ToString(rank_), static_cast<unsigned>(rank_),
+            ToString(m->rank_), static_cast<unsigned>(m->rank_));
+        for (const OrderedMutex* h : held) {
+          std::fprintf(stderr, " %s(%u)", ToString(h->rank_),
+                       static_cast<unsigned>(h->rank_));
+        }
+        std::fprintf(stderr, " -> %s(%u)\n", ToString(rank_),
+                     static_cast<unsigned>(rank_));
+        std::abort();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  const LockRank rank_;
+};
+
+#else  // !MCTDB_LOCK_ORDER_CHECKS
+
+class OrderedMutex {
+ public:
+  explicit OrderedMutex(LockRank rank) : rank_(rank) {}
+  OrderedMutex(const OrderedMutex&) = delete;
+  OrderedMutex& operator=(const OrderedMutex&) = delete;
+
+  void lock() { mu_.lock(); }
+  bool try_lock() { return mu_.try_lock(); }
+  void unlock() { mu_.unlock(); }
+  LockRank rank() const { return rank_; }
+
+ private:
+  std::mutex mu_;
+  const LockRank rank_;
+};
+
+#endif  // MCTDB_LOCK_ORDER_CHECKS
+
+}  // namespace mctdb

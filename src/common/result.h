@@ -11,8 +11,10 @@ namespace mctdb {
 
 /// Holds either a T or a non-OK Status. Analogous to absl::StatusOr /
 /// rocksdb's (Status, out-param) pairs, but keeps call sites terse.
+/// [[nodiscard]]: silently dropping an error is always a bug (enforced by
+/// -Werror=unused-result).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: `return some_t;`
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

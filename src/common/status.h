@@ -13,7 +13,9 @@ namespace mctdb {
 
 /// Outcome of a fallible operation: an error code plus a human-readable
 /// message. The default-constructed Status is OK and carries no allocation.
-class Status {
+/// [[nodiscard]]: silently dropping an error is always a bug (enforced by
+/// -Werror=unused-result).
+class [[nodiscard]] Status {
  public:
   /// Error taxonomy. Mirrors the categories used throughout the storage and
   /// design layers; see the factory functions below for intended use.

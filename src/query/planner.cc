@@ -4,6 +4,7 @@
 #include <functional>
 #include <optional>
 
+#include "analysis/plan_verify.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -410,6 +411,17 @@ Result<QueryPlan> PlanQuery(const AssociationQuery& query,
       }
     }
   }
+#ifndef NDEBUG
+  // Debug self-check: every plan the planner emits must pass the static
+  // verifier. A diagnostic here is a planner bug, not a user error.
+  {
+    analysis::DiagnosticReport report = analysis::VerifyPlan(plan);
+    MCTDB_CHECK_MSG(!report.has_errors(),
+                    ("planner emitted a plan the verifier rejects:\n" +
+                     report.ToText())
+                        .c_str());
+  }
+#endif
   return plan;
 }
 

@@ -84,6 +84,9 @@ std::string ServiceMetrics::ToJson() const {
   out += ',';
   AppendU64(&out, "rejected", rejected.load(std::memory_order_relaxed));
   out += ',';
+  AppendU64(&out, "invalid_plans",
+            invalid_plans.load(std::memory_order_relaxed));
+  out += ',';
   AppendU64(&out, "deadline_exceeded",
             deadline_exceeded.load(std::memory_order_relaxed));
   out += ',';

@@ -46,6 +46,9 @@ struct ServiceMetrics {
   std::atomic<uint64_t> completed{0};
   /// Admission-queue overflow rejections (Status::ResourceExhausted).
   std::atomic<uint64_t> rejected{0};
+  /// Plans rejected by the static verifier at admission
+  /// (Status::InvalidArgument; never counted as submitted).
+  std::atomic<uint64_t> invalid_plans{0};
   /// Requests cancelled at dequeue because their deadline had passed.
   std::atomic<uint64_t> deadline_exceeded{0};
   /// Requests whose executor returned a non-OK status.

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "analysis/plan_verify.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -31,7 +32,7 @@ Status QueryService::AddStore(const std::string& name,
   if (store == nullptr) {
     return Status::InvalidArgument("AddStore: null store");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<mctdb::OrderedMutex> lock(mu_);
   auto [it, inserted] = stores_.emplace(name, StoreEntry{});
   if (!inserted) {
     return Status::AlreadyExists("store '" + name + "' already registered");
@@ -44,7 +45,7 @@ Status QueryService::AddStore(const std::string& name,
 
 Result<std::shared_ptr<QueryService::Session>> QueryService::OpenSession(
     const std::string& store) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<mctdb::OrderedMutex> lock(mu_);
   auto it = stores_.find(store);
   if (it == stores_.end()) {
     return Status::NotFound("store '" + store + "' is not registered");
@@ -71,7 +72,7 @@ Result<ExecResult> QueryService::Execute(const std::string& store,
 void QueryService::Resume() { pool_->Resume(); }
 
 void QueryService::Drain() {
-  std::unique_lock<std::mutex> lock(drain_mu_);
+  std::unique_lock<mctdb::OrderedMutex> lock(drain_mu_);
   drained_cv_.wait(lock, [&] {
     return pending_.load(std::memory_order_acquire) == 0;
   });
@@ -81,7 +82,7 @@ void QueryService::FinishOne() {
   uint64_t left = pending_.fetch_sub(1, std::memory_order_acq_rel) - 1;
   metrics_.queue_depth.store(left, std::memory_order_relaxed);
   if (left == 0) {
-    std::lock_guard<std::mutex> lock(drain_mu_);
+    std::lock_guard<mctdb::OrderedMutex> lock(drain_mu_);
     drained_cv_.notify_all();
   }
 }
@@ -89,7 +90,7 @@ void QueryService::FinishOne() {
 void QueryService::RunNext(const std::shared_ptr<Session>& session) {
   Session::Task task;
   {
-    std::lock_guard<std::mutex> lock(session->mu_);
+    std::lock_guard<mctdb::OrderedMutex> lock(session->mu_);
     MCTDB_CHECK(!session->tasks_.empty());
     task = std::move(session->tasks_.front());
     session->tasks_.pop_front();
@@ -115,7 +116,7 @@ void QueryService::RunNext(const std::shared_ptr<Session>& session) {
 
   bool more;
   {
-    std::lock_guard<std::mutex> lock(session->mu_);
+    std::lock_guard<mctdb::OrderedMutex> lock(session->mu_);
     more = !session->tasks_.empty();
     if (!more) session->scheduled_ = false;
   }
@@ -131,6 +132,18 @@ void QueryService::RunNext(const std::shared_ptr<Session>& session) {
 Result<QueryFuture> QueryService::Session::Submit(const QueryPlan& plan,
                                                   double timeout_seconds) {
   QueryService* svc = service_;
+  // Admission gate: statically verify the plan before it consumes an
+  // admission slot or a worker, so a malformed plan can never crash (or
+  // wedge) a worker thread.
+  if (svc->options_.verify_plans) {
+    mctdb::analysis::DiagnosticReport report =
+        mctdb::analysis::VerifyPlan(plan);
+    if (report.has_errors()) {
+      svc->metrics_.invalid_plans.fetch_add(1, std::memory_order_relaxed);
+      return Status::InvalidArgument("plan verification failed:\n" +
+                                     report.ToText());
+    }
+  }
   uint64_t in_flight =
       svc->pending_.fetch_add(1, std::memory_order_acq_rel) + 1;
   if (in_flight > svc->options_.max_queued) {
@@ -157,7 +170,7 @@ Result<QueryFuture> QueryService::Session::Submit(const QueryPlan& plan,
 
   bool need_schedule;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<mctdb::OrderedMutex> lock(mu_);
     tasks_.push_back(std::move(task));
     need_schedule = !scheduled_;
     if (need_schedule) scheduled_ = true;
@@ -173,7 +186,7 @@ Result<QueryFuture> QueryService::Session::Submit(const QueryPlan& plan,
 std::string QueryService::MetricsJson() const {
   std::string out = "{\"service\":" + metrics_.ToJson();
   out += ",\"stores\":[";
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<mctdb::OrderedMutex> lock(mu_);
   bool first_store = true;
   for (const auto& [name, entry] : stores_) {
     if (!first_store) out += ',';

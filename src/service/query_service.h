@@ -33,6 +33,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/ordered_mutex.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "query/executor.h"
@@ -59,6 +60,10 @@ struct ServiceOptions {
   /// a batch deterministically (also how the admission tests drive the
   /// queue to overflow without races).
   bool start_paused = false;
+  /// Run the static plan verifier (analysis::VerifyPlan) at admission.
+  /// Malformed plans are rejected with Status::InvalidArgument before they
+  /// consume an admission slot or a worker.
+  bool verify_plans = true;
 };
 
 using QueryFuture = std::future<mctdb::Result<mctdb::query::ExecResult>>;
@@ -110,13 +115,17 @@ class QueryService {
   void RunNext(const std::shared_ptr<Session>& session);
   void FinishOne();
 
+  // Lock ranks (see common/ordered_mutex.h): registry < strand < drain <
+  // pool shard. The rank checker aborts on any acquisition that inverts
+  // this order.
   ServiceOptions options_;
   ServiceMetrics metrics_;
-  mutable std::mutex mu_;  // guards stores_
+  mutable mctdb::OrderedMutex mu_{
+      mctdb::LockRank::kServiceRegistry};  // guards stores_
   std::map<std::string, StoreEntry> stores_;
   std::atomic<uint64_t> pending_{0};
-  std::mutex drain_mu_;
-  std::condition_variable drained_cv_;
+  mctdb::OrderedMutex drain_mu_{mctdb::LockRank::kServiceDrain};
+  std::condition_variable_any drained_cv_;
   std::unique_ptr<mctdb::ThreadPool> pool_;
 };
 
@@ -154,7 +163,7 @@ class QueryService::Session
   mctdb::storage::MctStore* store_;
   mctdb::storage::ShardedBufferPool* pool_;  // owned by the service
 
-  std::mutex mu_;
+  mctdb::OrderedMutex mu_{mctdb::LockRank::kSessionStrand};
   std::deque<Task> tasks_;
   bool scheduled_ = false;
 };

@@ -60,7 +60,9 @@ class PageCache {
  public:
   virtual ~PageCache() = default;
   /// Returns the cached frame for `id`, faulting it in if needed.
-  virtual const char* Fetch(PageId id) = 0;
+  /// [[nodiscard]]: Fetch takes a pin; dropping the frame pointer leaks
+  /// the pin (the frame is never unpinnable again by this caller).
+  [[nodiscard]] virtual const char* Fetch(PageId id) = 0;
   /// Releases one pin taken by Fetch for `id`.
   virtual void Unpin(PageId id) = 0;
   virtual uint64_t hits() const = 0;
@@ -78,7 +80,7 @@ class BufferPool : public PageCache {
   /// Returns a pointer to the cached frame for `id`, faulting it in (and
   /// evicting the least recently used frame) if needed. The pointer is
   /// valid until the next Fetch.
-  const char* Fetch(PageId id) override;
+  [[nodiscard]] const char* Fetch(PageId id) override;
   void Unpin(PageId) override {}
 
   uint64_t hits() const override { return hits_; }

@@ -56,7 +56,7 @@ const ShardedBufferPool::Shard& ShardedBufferPool::ShardFor(
 
 const char* ShardedBufferPool::Fetch(PageId id) {
   Shard& s = ShardFor(id);
-  std::lock_guard<std::mutex> lock(s.mu);
+  std::lock_guard<mctdb::OrderedMutex> lock(s.mu);
   auto it = s.frames.find(id);
   if (it != s.frames.end()) {
     s.hits.fetch_add(1, std::memory_order_relaxed);
@@ -85,7 +85,7 @@ const char* ShardedBufferPool::Fetch(PageId id) {
 
 void ShardedBufferPool::Unpin(PageId id) {
   Shard& s = ShardFor(id);
-  std::lock_guard<std::mutex> lock(s.mu);
+  std::lock_guard<mctdb::OrderedMutex> lock(s.mu);
   auto it = s.frames.find(id);
   MCTDB_CHECK_MSG(it != s.frames.end(), "unpin of non-resident page");
   Frame& f = it->second;
@@ -120,7 +120,7 @@ uint64_t ShardedBufferPool::misses() const {
 size_t ShardedBufferPool::resident() const {
   size_t total = 0;
   for (const auto& s : shards_) {
-    std::lock_guard<std::mutex> lock(s->mu);
+    std::lock_guard<mctdb::OrderedMutex> lock(s->mu);
     total += s->frames.size();
   }
   return total;
@@ -135,7 +135,7 @@ std::vector<ShardedBufferPool::ShardStats> ShardedBufferPool::PerShard()
     stats.hits = s->hits.load(std::memory_order_relaxed);
     stats.misses = s->misses.load(std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(s->mu);
+      std::lock_guard<mctdb::OrderedMutex> lock(s->mu);
       stats.resident = s->frames.size();
     }
     out.push_back(stats);

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/ordered_mutex.h"
 #include "storage/pager.h"
 
 namespace mctdb::storage {
@@ -31,7 +32,7 @@ class ShardedBufferPool : public PageCache {
   ShardedBufferPool(const Pager* pager, size_t capacity_pages,
                     size_t num_shards = 0);
 
-  const char* Fetch(PageId id) override;
+  [[nodiscard]] const char* Fetch(PageId id) override;
   void Unpin(PageId id) override;
 
   uint64_t hits() const override;
@@ -56,7 +57,9 @@ class ShardedBufferPool : public PageCache {
     bool in_lru = false;
   };
   struct Shard {
-    mutable std::mutex mu;
+    // Leaf-rank lock: held only across frame-map operations, never while
+    // calling back into service or session code (see ordered_mutex.h).
+    mutable mctdb::OrderedMutex mu{mctdb::LockRank::kPoolShard};
     std::unordered_map<PageId, Frame> frames;
     std::list<PageId> lru;  // unpinned resident pages, front = most recent
     std::atomic<uint64_t> hits{0};

@@ -4,23 +4,19 @@
 #include <map>
 #include <set>
 
+#include "analysis/schema_lint.h"
 #include "common/string_util.h"
 
 namespace mctdb::storage {
 
-std::string ValidationReport::ToString() const {
-  if (ok()) return "OK";
-  std::string out = StringPrintf("%zu problem(s):\n", problems.size());
-  for (const std::string& p : problems) out += "  " + p + "\n";
-  return out;
-}
-
 namespace {
+
+using analysis::DiagnosticReport;
 
 class Validator {
  public:
   Validator(const MctStore& store, const ValidateOptions& options,
-            ValidationReport* report)
+            DiagnosticReport* report)
       : store_(store), options_(options), report_(report) {}
 
   void Run() {
@@ -34,40 +30,34 @@ class Validator {
   }
 
  private:
-  void Problem(std::string msg) {
-    if (report_->problems.size() < options_.max_problems) {
-      report_->problems.push_back(std::move(msg));
-    }
-  }
-
   void CheckColorForest(mct::ColorId c) {
     auto entries = store_.ColorEntries(c);
-    struct Open {
-      LabelEntry entry;
-    };
     std::vector<LabelEntry> stack;
     for (const LabelEntry& e : entries) {
+      std::string loc = StringPrintf("color %u elem %u", c, e.elem);
       if (e.start >= e.end) {
-        Problem(StringPrintf("color %u elem %u: degenerate interval", c,
-                             e.elem));
+        report_->Error("STO001", loc,
+                       StringPrintf("degenerate interval [%u, %u)", e.start,
+                                    e.end));
         continue;
       }
       while (!stack.empty() && stack.back().end < e.start) stack.pop_back();
       // No partial overlap: the open top must fully contain e or be closed.
       if (!stack.empty() && stack.back().end < e.end) {
-        Problem(StringPrintf("color %u elem %u: interval overlaps elem %u",
-                             c, e.elem, stack.back().elem));
+        report_->Error(
+            "STO002", loc,
+            StringPrintf("interval overlaps elem %u", stack.back().elem));
       }
       uint16_t expect_level = static_cast<uint16_t>(stack.size());
       if (e.level != expect_level) {
-        Problem(StringPrintf("color %u elem %u: level %u, expected %u", c,
-                             e.elem, e.level, expect_level));
+        report_->Error("STO003", loc,
+                       StringPrintf("level %u, expected %u", e.level,
+                                    expect_level));
       }
       ElemId expect_parent =
           stack.empty() ? kInvalidElem : stack.back().elem;
       if (store_.Parent(c, e.elem) != expect_parent) {
-        Problem(StringPrintf("color %u elem %u: parent pointer mismatch", c,
-                             e.elem));
+        report_->Error("STO004", loc, "parent pointer mismatch");
       }
       stack.push_back(e);
     }
@@ -79,27 +69,30 @@ class Validator {
       const PostingMeta* meta = store_.Posting(c, tag);
       if (meta == nullptr) continue;
       auto entries = ReadAll(store_.buffer_pool(), *meta);
+      std::string loc =
+          StringPrintf("color %u tag %s", c, diagram.node(tag).name.c_str());
       uint32_t prev_start = 0;
       for (const LabelEntry& e : entries) {
         if (e.start <= prev_start) {
-          Problem(StringPrintf("color %u tag %s: posting out of order", c,
-                               diagram.node(tag).name.c_str()));
-          break;
+          report_->Error("STO005", loc,
+                         StringPrintf("posting out of order at elem %u",
+                                      e.elem));
         }
         prev_start = e.start;
         if (e.elem >= store_.num_elements() ||
             store_.element(e.elem).er_node != tag) {
-          Problem(StringPrintf("color %u tag %s: entry for wrong element",
-                               c, diagram.node(tag).name.c_str()));
-          break;
+          report_->Error("STO006", loc,
+                         StringPrintf("entry for wrong element %u", e.elem));
+          // Without a valid element the label cross-check is meaningless.
+          continue;
         }
         LabelEntry label;
         if (!store_.Label(c, e.elem, &label) || label.start != e.start ||
             label.end != e.end) {
-          Problem(StringPrintf("color %u tag %s elem %u: posting/label "
-                               "disagreement",
-                               c, diagram.node(tag).name.c_str(), e.elem));
-          break;
+          report_->Error(
+              "STO007", loc,
+              StringPrintf("posting/label disagreement for elem %u",
+                           e.elem));
         }
       }
     }
@@ -110,7 +103,8 @@ class Validator {
       const ElementMeta& meta = store_.element(e);
       auto elems = store_.ElementsFor(meta.er_node, meta.logical);
       if (std::find(elems.begin(), elems.end(), e) == elems.end()) {
-        Problem(StringPrintf("elem %u missing from key index", e));
+        report_->Error("STO008", StringPrintf("elem %u", e),
+                       "missing from key index");
       }
     }
   }
@@ -155,6 +149,9 @@ class Validator {
     }
     const er::ErDiagram& diagram = schema.diagram();
     for (const auto& [edge, by_color] : realized) {
+      std::string loc = StringPrintf(
+          "edge %s--%s", diagram.node(graph.edge(edge).rel).name.c_str(),
+          diagram.node(graph.edge(edge).node).name.c_str());
       // Complete realizations = the maximal sets; all must be identical,
       // and partial (graft) realizations must be subsets.
       size_t max_size = 0;
@@ -167,22 +164,21 @@ class Validator {
         if (full == nullptr) {
           full = &pairs;
         } else if (pairs != *full) {
-          Problem(StringPrintf(
-              "ICIC violation on edge %s--%s: complete realizations "
-              "disagree",
-              diagram.node(graph.edge(edge).rel).name.c_str(),
-              diagram.node(graph.edge(edge).node).name.c_str()));
+          report_->Error("STO009", loc,
+                         StringPrintf("ICIC violation: complete "
+                                      "realizations disagree (color %u)",
+                                      c));
         }
       }
       for (const auto& [c, pairs] : by_color) {
         if (pairs.size() == max_size || full == nullptr) continue;
         for (const auto& pair : pairs) {
           if (!full->count(pair)) {
-            Problem(StringPrintf(
-                "ICIC violation on edge %s--%s: color %u asserts a pair "
-                "absent from the complete realization",
-                diagram.node(graph.edge(edge).rel).name.c_str(),
-                diagram.node(graph.edge(edge).node).name.c_str(), c));
+            report_->Error(
+                "STO009", loc,
+                StringPrintf("ICIC violation: color %u asserts a pair "
+                             "absent from the complete realization",
+                             c));
             break;
           }
         }
@@ -210,13 +206,15 @@ class Validator {
         if (store_.element(e).er_node != holder) continue;
         const std::string* v = store_.AttrValue(e, ref.attr_name);
         if (v == nullptr) {
-          Problem(StringPrintf("elem %u: missing idref %s", e,
-                               ref.attr_name.c_str()));
+          report_->Error("STO010", StringPrintf("elem %u", e),
+                         StringPrintf("missing idref %s",
+                                      ref.attr_name.c_str()));
           continue;
         }
         if (!keys[ref.target].count(*v)) {
-          Problem(StringPrintf("elem %u: dangling idref %s='%s'", e,
-                               ref.attr_name.c_str(), v->c_str()));
+          report_->Error("STO011", StringPrintf("elem %u", e),
+                         StringPrintf("dangling idref %s='%s'",
+                                      ref.attr_name.c_str(), v->c_str()));
         }
       }
     }
@@ -224,14 +222,19 @@ class Validator {
 
   const MctStore& store_;
   const ValidateOptions& options_;
-  ValidationReport* report_;
+  DiagnosticReport* report_;
 };
 
 }  // namespace
 
-ValidationReport ValidateStore(const MctStore& store,
-                               const ValidateOptions& options) {
-  ValidationReport report;
+analysis::DiagnosticReport ValidateStore(const MctStore& store,
+                                         const ValidateOptions& options) {
+  DiagnosticReport report(options.max_diagnostics);
+  if (options.lint_schema) {
+    // Schema-level invariants are the lint pass's responsibility; run it
+    // once here so ValidateStore callers get one combined report.
+    report.MergeFrom(analysis::LintSchema(store.schema()), "schema");
+  }
   Validator validator(store, options, &report);
   validator.Run();
   return report;

@@ -7,33 +7,48 @@
 // check, per constrained ER edge: all *complete* realizations (the
 // maximal per-color pair sets) are identical, and every partial realization
 // (a denormalized graft copy) asserts only pairs the complete ones hold.
+//
+// Schema-level invariants (forest-ness, ICIC definitions, normal-form
+// claims) are the schema-lint pass's job (analysis/schema_lint.h); this
+// validator runs it first and then adds the instance-level checks, so one
+// report covers both without duplicating the schema checks here.
+//
+// Diagnostic codes (stable; see analysis/diagnostics.h):
+//   STO001  degenerate label interval (start >= end)
+//   STO002  partially overlapping label intervals
+//   STO003  label level disagrees with nesting depth
+//   STO004  parent pointer disagrees with interval nesting
+//   STO005  posting list out of start order
+//   STO006  posting entry for an element of the wrong type
+//   STO007  posting entry disagrees with the label store
+//   STO008  element missing from the key index
+//   STO009  ICIC instance violation (realizations disagree)
+//   STO010  missing idref attribute
+//   STO011  dangling idref (no key of the target type matches)
 #pragma once
 
-#include <string>
-#include <vector>
-
+#include "analysis/diagnostics.h"
 #include "storage/store.h"
 
 namespace mctdb::storage {
 
-struct ValidationReport {
-  std::vector<std::string> problems;
-  bool ok() const { return problems.empty(); }
-  std::string ToString() const;
-};
-
 struct ValidateOptions {
-  /// Cap on reported problems (validation keeps running to count, but
-  /// stops recording).
-  size_t max_problems = 32;
+  /// Cap on recorded diagnostics; further findings are still counted
+  /// (DiagnosticReport::suppressed) but not stored, so a corrupted store
+  /// cannot balloon the report.
+  size_t max_diagnostics = 256;
   /// Also verify every id/idref attribute resolves to an existing key of
   /// its target type.
   bool check_idrefs = true;
+  /// Run the schema-lint pass over store.schema() first and merge its
+  /// findings (location-prefixed "schema") into the report.
+  bool lint_schema = true;
 };
 
 /// Validates label nesting, parent pointers, posting order, the key index,
-/// ICIC consistency and (optionally) idref integrity.
-ValidationReport ValidateStore(const MctStore& store,
-                               const ValidateOptions& options = {});
+/// ICIC consistency and (optionally) idref integrity. Reports every
+/// violation found (up to the cap), never stopping at the first.
+analysis::DiagnosticReport ValidateStore(const MctStore& store,
+                                         const ValidateOptions& options = {});
 
 }  // namespace mctdb::storage

@@ -1,0 +1,101 @@
+#include "analysis/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+namespace mctdb::analysis {
+namespace {
+
+TEST(DiagnosticsTest, EmptyReportIsCleanEverywhere) {
+  DiagnosticReport report;
+  EXPECT_TRUE(report.empty());
+  EXPECT_FALSE(report.has_errors());
+  EXPECT_EQ(report.errors(), 0u);
+  EXPECT_EQ(report.warnings(), 0u);
+  EXPECT_EQ(report.notes(), 0u);
+  EXPECT_EQ(report.suppressed(), 0u);
+  EXPECT_NE(report.ToText().find("clean"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, SeverityCountsAndAccessors) {
+  DiagnosticReport report;
+  report.Error("SCH001", "here", "broken");
+  report.Warning("SCH002", "there", "iffy");
+  report.Note("SCH003", "everywhere", "fyi");
+  EXPECT_EQ(report.errors(), 1u);
+  EXPECT_EQ(report.warnings(), 1u);
+  EXPECT_EQ(report.notes(), 1u);
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_FALSE(report.empty());
+  ASSERT_EQ(report.diagnostics().size(), 3u);
+  EXPECT_EQ(report.diagnostics()[0].severity, Severity::kError);
+  EXPECT_EQ(report.diagnostics()[0].code, "SCH001");
+  EXPECT_EQ(report.diagnostics()[0].location, "here");
+}
+
+TEST(DiagnosticsTest, HasCodeAndCountCode) {
+  DiagnosticReport report;
+  report.Error("PLN004", "edge 0", "bad interval");
+  report.Error("PLN004", "edge 1", "bad interval");
+  report.Warning("PLN008", "edge 1", "empty predicate");
+  EXPECT_TRUE(report.HasCode("PLN004"));
+  EXPECT_TRUE(report.HasCode("PLN008"));
+  EXPECT_FALSE(report.HasCode("PLN999"));
+  EXPECT_EQ(report.CountCode("PLN004"), 2u);
+  EXPECT_EQ(report.CountCode("PLN008"), 1u);
+  EXPECT_EQ(report.CountCode("PLN999"), 0u);
+}
+
+TEST(DiagnosticsTest, CapSuppressesRecordingButKeepsCounting) {
+  DiagnosticReport report(2);
+  for (int i = 0; i < 5; ++i) {
+    report.Error("STO001", "elem", "degenerate");
+  }
+  EXPECT_EQ(report.diagnostics().size(), 2u);
+  EXPECT_EQ(report.errors(), 5u) << "severity counters ignore the cap";
+  EXPECT_EQ(report.suppressed(), 3u);
+  EXPECT_FALSE(report.empty());
+}
+
+TEST(DiagnosticsTest, MergeFromPrefixesLocations) {
+  DiagnosticReport inner;
+  inner.Error("SCH004", "schema DR", "orphan");
+  inner.Warning("SCH012", "ICIC 0", "single color");
+
+  DiagnosticReport outer;
+  outer.Error("PLN001", "plan", "unbound");
+  outer.MergeFrom(inner, "blog.er");
+
+  EXPECT_EQ(outer.errors(), 2u);
+  EXPECT_EQ(outer.warnings(), 1u);
+  ASSERT_EQ(outer.diagnostics().size(), 3u);
+  EXPECT_EQ(outer.diagnostics()[1].location, "blog.er: schema DR");
+  EXPECT_EQ(outer.diagnostics()[2].location, "blog.er: ICIC 0");
+  // No prefix: locations pass through untouched.
+  DiagnosticReport flat;
+  flat.MergeFrom(inner);
+  EXPECT_EQ(flat.diagnostics()[0].location, "schema DR");
+}
+
+TEST(DiagnosticsTest, ToTextFormatsOneLinePerDiagnostic) {
+  DiagnosticReport report;
+  report.Error("SCH013", "schema DR", "cyclic ICIC dependency",
+               "realize one edge in a single color");
+  std::string text = report.ToText();
+  EXPECT_NE(text.find("error SCH013"), std::string::npos) << text;
+  EXPECT_NE(text.find("[schema DR]"), std::string::npos) << text;
+  EXPECT_NE(text.find("cyclic ICIC dependency"), std::string::npos) << text;
+  EXPECT_NE(text.find("fix:"), std::string::npos) << text;
+}
+
+TEST(DiagnosticsTest, ToJsonEscapesAndCounts) {
+  DiagnosticReport report;
+  report.Error("STO011", "elem 7", "dangling idref b_idref='b\"GHOST\"'");
+  std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"errors\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\\\"GHOST\\\""), std::string::npos)
+      << "quotes must be escaped: " << json;
+  EXPECT_NE(json.find("\"code\":\"STO011\""), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace mctdb::analysis

@@ -1,0 +1,69 @@
+#include "common/ordered_mutex.h"
+
+#include <mutex>
+
+#include <gtest/gtest.h>
+
+namespace mctdb {
+namespace {
+
+#ifndef MCTDB_LOCK_ORDER_CHECKS
+#error "tier-1 builds must compile the lock-order checker (see CMakeLists)"
+#endif
+
+TEST(OrderedMutexTest, InOrderAcquisitionSucceeds) {
+  OrderedMutex registry(LockRank::kServiceRegistry);
+  OrderedMutex strand(LockRank::kSessionStrand);
+  OrderedMutex shard(LockRank::kPoolShard);
+  {
+    std::lock_guard<OrderedMutex> l1(registry);
+    std::lock_guard<OrderedMutex> l2(strand);
+    std::lock_guard<OrderedMutex> l3(shard);
+  }
+  // Ranks only order what a thread holds simultaneously; re-acquiring a
+  // lower rank after releasing everything is fine.
+  {
+    std::lock_guard<OrderedMutex> l(registry);
+  }
+}
+
+TEST(OrderedMutexTest, TryLockRespectsRanks) {
+  OrderedMutex strand(LockRank::kSessionStrand);
+  ASSERT_TRUE(strand.try_lock());
+  strand.unlock();
+}
+
+TEST(OrderedMutexDeathTest, OutOfOrderAcquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  OrderedMutex registry(LockRank::kServiceRegistry);
+  OrderedMutex shard(LockRank::kPoolShard);
+  EXPECT_DEATH(
+      {
+        std::lock_guard<OrderedMutex> leaf(shard);
+        std::lock_guard<OrderedMutex> outer(registry);  // rank inversion
+      },
+      "lock-order violation");
+}
+
+TEST(OrderedMutexDeathTest, SameRankReacquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  OrderedMutex a(LockRank::kPoolShard);
+  OrderedMutex b(LockRank::kPoolShard);
+  // Two shard locks at once would deadlock against a thread taking them
+  // in the opposite order; equal rank is an inversion too.
+  EXPECT_DEATH(
+      {
+        std::lock_guard<OrderedMutex> l1(a);
+        std::lock_guard<OrderedMutex> l2(b);
+      },
+      "lock-order violation");
+}
+
+TEST(OrderedMutexDeathTest, UnlockWithoutLockAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  OrderedMutex shard(LockRank::kPoolShard);
+  EXPECT_DEATH(shard.unlock(), "lock-order violation");
+}
+
+}  // namespace
+}  // namespace mctdb

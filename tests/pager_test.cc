@@ -48,9 +48,9 @@ TEST(BufferPoolTest, HitAfterMiss) {
   Pager pager;
   PageId p = pager.Allocate();
   BufferPool pool(&pager, 4);
-  pool.Fetch(p);
+  (void)pool.Fetch(p);  // warm the cache; frame not needed
   EXPECT_EQ(pool.misses(), 1u);
-  pool.Fetch(p);
+  (void)pool.Fetch(p);  // warm the cache; frame not needed
   EXPECT_EQ(pool.hits(), 1u);
   EXPECT_EQ(pager.disk_reads(), 1u) << "second fetch served from cache";
 }
@@ -60,15 +60,15 @@ TEST(BufferPoolTest, LruEviction) {
   std::vector<PageId> pages;
   for (int i = 0; i < 4; ++i) pages.push_back(pager.Allocate());
   BufferPool pool(&pager, 2);
-  pool.Fetch(pages[0]);
-  pool.Fetch(pages[1]);
-  pool.Fetch(pages[0]);  // 0 is now most recent
-  pool.Fetch(pages[2]);  // evicts 1
+  (void)pool.Fetch(pages[0]);  // warm the cache; frame not needed
+  (void)pool.Fetch(pages[1]);  // warm the cache; frame not needed
+  (void)pool.Fetch(pages[0]);  // 0 is now most recent
+  (void)pool.Fetch(pages[2]);  // evicts 1
   EXPECT_EQ(pool.resident(), 2u);
   pool.ResetStats();
-  pool.Fetch(pages[0]);
+  (void)pool.Fetch(pages[0]);  // warm the cache; frame not needed
   EXPECT_EQ(pool.hits(), 1u) << "0 must have survived";
-  pool.Fetch(pages[1]);
+  (void)pool.Fetch(pages[1]);  // warm the cache; frame not needed
   EXPECT_EQ(pool.misses(), 1u) << "1 must have been evicted";
 }
 
@@ -79,8 +79,8 @@ TEST(BufferPoolTest, CapacityOneThrashesDeterministically) {
   PageId a = pager.Allocate(), b = pager.Allocate();
   BufferPool pool(&pager, 1);
   for (int i = 0; i < 4; ++i) {
-    pool.Fetch(a);
-    pool.Fetch(b);
+    (void)pool.Fetch(a);  // warm the cache; frame not needed
+    (void)pool.Fetch(b);  // warm the cache; frame not needed
   }
   EXPECT_EQ(pool.misses(), 8u);
   EXPECT_EQ(pool.hits(), 0u);
@@ -95,11 +95,11 @@ TEST(BufferPoolTest, CapacityEqualsWorkingSetMissesOnlyOnce) {
   std::vector<PageId> pages;
   for (int i = 0; i < 8; ++i) pages.push_back(pager.Allocate());
   BufferPool pool(&pager, 8);
-  for (PageId p : pages) pool.Fetch(p);
+  for (PageId p : pages) (void)pool.Fetch(p);
   EXPECT_EQ(pool.misses(), 8u);
   uint64_t reads = pager.disk_reads();
   for (int round = 0; round < 3; ++round) {
-    for (PageId p : pages) pool.Fetch(p);
+    for (PageId p : pages) (void)pool.Fetch(p);
   }
   EXPECT_EQ(pool.hits(), 3u * 8u);
   EXPECT_EQ(pool.misses(), 8u);

@@ -46,8 +46,8 @@ TEST(PersistTest, SaveLoadRoundTripPreservesEverything) {
   EXPECT_EQ(a.num_colors, b.num_colors);
 
   // The loaded store passes full validation (including ICICs).
-  ValidationReport report = ValidateStore(store);
-  EXPECT_TRUE(report.ok()) << report.ToString();
+  analysis::DiagnosticReport report = ValidateStore(store);
+  EXPECT_TRUE(report.empty()) << report.ToText();
 }
 
 TEST(PersistTest, LoadedStoreAnswersQueriesIdentically) {

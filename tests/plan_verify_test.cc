@@ -1,0 +1,241 @@
+#include "analysis/plan_verify.h"
+
+#include <gtest/gtest.h>
+
+#include "design/designer.h"
+#include "query/planner.h"
+#include "workload/workload.h"
+
+namespace mctdb::analysis {
+namespace {
+
+using design::Strategy;
+using query::QueryPlan;
+using query::Segment;
+using query::SegmentKind;
+
+TEST(PlanVerifyTest, EveryWorkloadPlanIsCleanOnEveryStrategy) {
+  workload::Workload w = workload::TpcwWorkload(0.03);
+  er::ErGraph graph(w.diagram);
+  design::Designer designer(graph);
+  for (Strategy s : design::AllStrategies()) {
+    mct::MctSchema schema = designer.Design(s);
+    for (const query::AssociationQuery& q : w.queries) {
+      auto plan = query::PlanQuery(q, schema);
+      ASSERT_TRUE(plan.ok())
+          << q.name << " on " << schema.name() << ": "
+          << plan.status().ToString();
+      DiagnosticReport report = VerifyPlan(*plan);
+      EXPECT_TRUE(report.empty())
+          << q.name << " on " << schema.name() << ":\n" << report.ToText();
+    }
+  }
+}
+
+TEST(PlanVerifyTest, RejectsUnboundPlan) {
+  QueryPlan plan;  // not bound to query or schema
+  DiagnosticReport report = VerifyPlan(plan);
+  ASSERT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.HasCode("PLN001")) << report.ToText();
+}
+
+/// Fixture: a multi-edge TPC-W plan on DR (all-structural) to corrupt.
+struct CorruptionFixture {
+  workload::Workload w;
+  er::ErGraph graph;
+  design::Designer designer;
+  mct::MctSchema schema;
+
+  CorruptionFixture()
+      : w(workload::TpcwWorkload(0.03)), graph(w.diagram),
+        designer(graph), schema(designer.Design(Strategy::kDr)) {}
+
+  /// Returns a verified-clean plan for the named query.
+  QueryPlan Plan(const char* name) {
+    const query::AssociationQuery* q = w.Find(name);
+    EXPECT_NE(q, nullptr);
+    auto plan = query::PlanQuery(*q, schema);
+    EXPECT_TRUE(plan.ok());
+    EXPECT_TRUE(VerifyPlan(*plan).empty());
+    return *std::move(plan);
+  }
+};
+
+TEST(PlanVerifyTest, DetectsMissingEdgePlan) {
+  CorruptionFixture f;
+  QueryPlan plan = f.Plan("Q1");
+  ASSERT_FALSE(plan.edges.empty());
+  plan.edges.pop_back();  // a pattern node just lost its operator
+  DiagnosticReport report = VerifyPlan(plan);
+  ASSERT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.HasCode("PLN003")) << report.ToText();
+}
+
+TEST(PlanVerifyTest, DetectsDuplicateEdgePlan) {
+  CorruptionFixture f;
+  QueryPlan plan = f.Plan("Q1");
+  ASSERT_FALSE(plan.edges.empty());
+  plan.edges.push_back(plan.edges.back());
+  DiagnosticReport report = VerifyPlan(plan);
+  ASSERT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.HasCode("PLN002")) << report.ToText();
+}
+
+TEST(PlanVerifyTest, DetectsBadSegmentInterval) {
+  CorruptionFixture f;
+  QueryPlan plan = f.Plan("Q1");
+  ASSERT_FALSE(plan.edges.empty());
+  ASSERT_FALSE(plan.edges[0].segments.empty());
+  Segment& seg = plan.edges[0].segments[0];
+  seg.to_index = seg.from_index;  // empty interval: no join precondition
+  DiagnosticReport report = VerifyPlan(plan);
+  ASSERT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.HasCode("PLN004")) << report.ToText();
+}
+
+TEST(PlanVerifyTest, DetectsCoverageGap) {
+  CorruptionFixture f;
+  // Find a plan with a multi-step association so a tail can be uncovered.
+  QueryPlan plan = f.Plan("Q2");
+  bool corrupted = false;
+  for (auto& edge : plan.edges) {
+    if (edge.segments.empty()) continue;
+    Segment& last = edge.segments.back();
+    if (last.to_index - last.from_index >= 1 &&
+        last.kind != SegmentKind::kValueJoin) {
+      last.to_index -= 1;  // tail of the path now uncovered
+      if (last.kind == SegmentKind::kStepChain) {
+        last.num_structural_joins = last.to_index - last.from_index;
+      }
+      corrupted = true;
+      break;
+    }
+  }
+  if (!corrupted) GTEST_SKIP() << "no multi-step structural tail segment";
+  DiagnosticReport report = VerifyPlan(plan);
+  ASSERT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.HasCode("PLN005")) << report.ToText();
+}
+
+TEST(PlanVerifyTest, DetectsJoinArityMismatch) {
+  CorruptionFixture f;
+  QueryPlan plan = f.Plan("Q1");
+  ASSERT_FALSE(plan.edges.empty());
+  ASSERT_FALSE(plan.edges[0].segments.empty());
+  Segment& seg = plan.edges[0].segments[0];
+  ASSERT_NE(seg.kind, SegmentKind::kValueJoin);
+  seg.num_structural_joins += 3;  // operator arity lie
+  DiagnosticReport report = VerifyPlan(plan);
+  ASSERT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.HasCode("PLN006")) << report.ToText();
+}
+
+TEST(PlanVerifyTest, DetectsDanglingColor) {
+  CorruptionFixture f;
+  QueryPlan plan = f.Plan("Q1");
+  ASSERT_FALSE(plan.edges.empty());
+  ASSERT_FALSE(plan.edges[0].segments.empty());
+  Segment& seg = plan.edges[0].segments[0];
+  ASSERT_NE(seg.kind, SegmentKind::kValueJoin);
+  seg.color = 99;  // schema has nowhere near 100 colors
+  DiagnosticReport report = VerifyPlan(plan);
+  ASSERT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.HasCode("PLN007")) << report.ToText();
+}
+
+TEST(PlanVerifyTest, DetectsStaticallyEmptyColorPredicate) {
+  // Two-color schema where color 1 holds only an unrelated entity:
+  // retargeting a structural segment there can never match.
+  er::ErDiagram d("empty");
+  auto a = d.AddEntity("a", {{"id", er::AttrType::kString, true}});
+  auto b = d.AddEntity("b", {{"id", er::AttrType::kString, true}});
+  auto c = d.AddEntity("c", {{"id", er::AttrType::kString, true}});
+  ASSERT_TRUE(d.AddOneToMany("r1", a, b).ok());
+  er::ErGraph graph(d);
+  er::NodeId r1 = *d.FindNode("r1");
+  er::EdgeId edge_a = er::kInvalidEdge, edge_b = er::kInvalidEdge;
+  for (er::EdgeId eid : graph.incident(r1)) {
+    if (graph.edge(eid).node == a) edge_a = eid;
+    if (graph.edge(eid).node == b) edge_b = eid;
+  }
+  mct::MctSchema schema("twocolor", &graph);
+  mct::ColorId c0 = schema.AddColor();
+  mct::OccId oa = schema.AddRoot(c0, a);
+  mct::OccId orel = schema.AddChild(oa, r1, edge_a);
+  schema.AddChild(orel, b, edge_b);
+  mct::ColorId c1 = schema.AddColor();
+  schema.AddRoot(c1, c);
+
+  query::QueryBuilder builder("Qab", d);
+  int root = builder.Root("a");
+  builder.Via(root, {"r1", "b"});
+  query::AssociationQuery q = builder.Build();
+  auto plan = query::PlanQuery(q, schema);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE(VerifyPlan(*plan).empty());
+
+  ASSERT_FALSE(plan->edges.empty());
+  ASSERT_FALSE(plan->edges[0].segments.empty());
+  plan->edges[0].segments[0].color = c1;  // tags a/r1/b absent there
+  DiagnosticReport report = VerifyPlan(*plan);
+  ASSERT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.HasCode("PLN008")) << report.ToText();
+}
+
+TEST(PlanVerifyTest, DetectsValueJoinWithoutRefEdge) {
+  // SHALLOW recovers associations through id/idref value joins; pointing
+  // one at an ER edge with no ref edge must be flagged.
+  workload::Workload w = workload::TpcwWorkload(0.03);
+  er::ErGraph graph(w.diagram);
+  design::Designer designer(graph);
+  mct::MctSchema shallow = designer.Design(Strategy::kShallow);
+  QueryPlan* corrupted = nullptr;
+  std::vector<QueryPlan> plans;
+  plans.reserve(w.queries.size());
+  for (const query::AssociationQuery& q : w.queries) {
+    auto plan = query::PlanQuery(q, shallow);
+    ASSERT_TRUE(plan.ok());
+    plans.push_back(*std::move(plan));
+    for (auto& edge : plans.back().edges) {
+      for (Segment& seg : edge.segments) {
+        if (seg.kind == SegmentKind::kValueJoin && corrupted == nullptr) {
+          seg.ref_edge = er::kInvalidEdge;  // no ref edge stands in now
+          corrupted = &plans.back();
+        }
+      }
+    }
+    if (corrupted != nullptr) break;
+  }
+  ASSERT_NE(corrupted, nullptr)
+      << "fixture assumption: SHALLOW plans use value joins";
+  DiagnosticReport report = VerifyPlan(*corrupted);
+  ASSERT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.HasCode("PLN009")) << report.ToText();
+}
+
+TEST(PlanVerifyTest, DetectsEmptyAnchorScan) {
+  CorruptionFixture f;
+  QueryPlan plan = f.Plan("Q1");
+  plan.anchor_color = 98;  // nonexistent: PLN007 on the anchor
+  DiagnosticReport report = VerifyPlan(plan);
+  ASSERT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.HasCode("PLN007")) << report.ToText();
+}
+
+TEST(PlanVerifyTest, DetectsBrokenPatternParentChain) {
+  CorruptionFixture f;
+  const query::AssociationQuery* q = f.w.Find("Q1");
+  ASSERT_NE(q, nullptr);
+  query::AssociationQuery broken = *q;
+  auto plan = query::PlanQuery(broken, f.schema);
+  ASSERT_TRUE(plan.ok());
+  // Sever the chain after planning: node 1 now points outside the array.
+  ASSERT_GE(broken.nodes.size(), 2u);
+  broken.nodes[1].parent = 42;
+  DiagnosticReport report = VerifyPlan(*plan);
+  ASSERT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.HasCode("PLN003")) << report.ToText();
+}
+
+}  // namespace
+}  // namespace mctdb::analysis

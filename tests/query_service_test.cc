@@ -156,6 +156,63 @@ TEST_F(QueryServiceTest, ExpiredDeadlineCancelsCleanly) {
   EXPECT_TRUE(after->get().ok());
 }
 
+TEST_F(QueryServiceTest, MalformedPlanRejectedBeforeAdmission) {
+  // The static verifier gates admission: a corrupted plan must come back
+  // InvalidArgument without consuming an admission slot, a worker, or a
+  // submitted-count tick.
+  QueryPlan plan = Plan("Q1");
+  ASSERT_FALSE(plan.edges.empty());
+  plan.edges[0].segments.clear();  // the association path is now uncovered
+
+  ServiceOptions options;
+  options.start_paused = true;  // parked workers: execution can't race us
+  QueryService service(options);
+  ASSERT_TRUE(service.AddStore("tpcw", store_).ok());
+  auto session = service.OpenSession("tpcw");
+  ASSERT_TRUE(session.ok());
+
+  auto rejected = (*session)->Submit(plan);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsInvalidArgument())
+      << rejected.status().ToString();
+  EXPECT_NE(rejected.status().message().find("PLN"), std::string::npos)
+      << "rejection carries the diagnostics: "
+      << rejected.status().message();
+  EXPECT_EQ(service.metrics().invalid_plans.load(), 1u);
+  EXPECT_EQ(service.metrics().submitted.load(), 0u);
+  EXPECT_EQ(service.metrics().completed.load(), 0u);
+  EXPECT_EQ(service.metrics().queue_depth.load(), 0u);
+
+  // The unbound plan is caught too.
+  QueryPlan unbound;
+  auto also_rejected = (*session)->Submit(unbound);
+  ASSERT_FALSE(also_rejected.ok());
+  EXPECT_TRUE(also_rejected.status().IsInvalidArgument());
+  EXPECT_EQ(service.metrics().invalid_plans.load(), 2u);
+
+  // A healthy plan still goes through on the same session afterwards.
+  service.Resume();
+  QueryPlan good = Plan("Q1");
+  auto admitted = (*session)->Submit(good);
+  ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+  EXPECT_TRUE(admitted->get().ok());
+  EXPECT_EQ(service.metrics().submitted.load(), 1u);
+}
+
+TEST_F(QueryServiceTest, VerificationCanBeDisabled) {
+  ServiceOptions options;
+  options.verify_plans = false;
+  QueryService service(options);
+  ASSERT_TRUE(service.AddStore("tpcw", store_).ok());
+  auto session = service.OpenSession("tpcw");
+  ASSERT_TRUE(session.ok());
+  QueryPlan plan = Plan("Q1");
+  auto f = (*session)->Submit(plan);
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f->get().ok());
+  EXPECT_EQ(service.metrics().invalid_plans.load(), 0u);
+}
+
 TEST_F(QueryServiceTest, OneShotExecuteAndUpdateRejection) {
   QueryPlan read = Plan("Q1");
   QueryPlan update = Plan("U1");

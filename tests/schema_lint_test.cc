@@ -1,0 +1,253 @@
+#include "analysis/schema_lint.h"
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "design/designer.h"
+#include "er/er_catalog.h"
+#include "er/er_parser.h"
+
+namespace mctdb::analysis {
+namespace {
+
+using design::Strategy;
+
+NormalFormClaims ClaimsFrom(const design::DesignReport& report) {
+  NormalFormClaims claims;
+  claims.node_normal = report.node_normal;
+  claims.edge_normal = report.edge_normal;
+  claims.association_recoverable = report.association_recoverable;
+  claims.fully_direct_recoverable = report.fully_direct_recoverable;
+  return claims;
+}
+
+TEST(SchemaLintTest, CleanOnEveryDesignerStrategy) {
+  er::ErDiagram diagram = er::Tpcw();
+  er::ErGraph graph(diagram);
+  design::Designer designer(graph);
+  for (Strategy s : design::AllStrategies()) {
+    mct::MctSchema schema = designer.Design(s);
+    design::DesignReport dr = designer.Report(schema);
+    NormalFormClaims claims = ClaimsFrom(dr);
+    SchemaLintOptions options;
+    options.claims = &claims;
+    DiagnosticReport report = LintSchema(schema, options);
+    EXPECT_TRUE(report.empty())
+        << schema.name() << ":\n" << report.ToText();
+  }
+}
+
+TEST(SchemaLintTest, CleanOnShippedExampleFiles) {
+  for (const char* file : {"blog.er", "warehouse.er"}) {
+    std::ifstream in(std::string(MCTDB_EXAMPLES_DIR) + "/" + file);
+    ASSERT_TRUE(in) << "cannot open " << file;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto diagram = er::ParseErDiagram(buffer.str());
+    ASSERT_TRUE(diagram.ok()) << file << ": "
+                              << diagram.status().ToString();
+    er::ErGraph graph(*diagram);
+    design::Designer designer(graph);
+    for (Strategy s : design::AllStrategies()) {
+      mct::MctSchema schema = designer.Design(s);
+      design::DesignReport dr = designer.Report(schema);
+      NormalFormClaims claims = ClaimsFrom(dr);
+      SchemaLintOptions options;
+      options.claims = &claims;
+      DiagnosticReport report = LintSchema(schema, options);
+      EXPECT_TRUE(report.empty())
+          << file << " " << schema.name() << ":\n" << report.ToText();
+    }
+  }
+}
+
+/// Two-color schema over a -r1-> b realizing the edge twice, so
+/// ComputeIcics yields a constraint to corrupt.
+struct IcicFixture {
+  er::ErDiagram diagram;
+  er::ErGraph graph;
+  mct::MctSchema schema;
+  er::NodeId a, b, r1;
+  er::EdgeId edge_a, edge_b;
+
+  IcicFixture()
+      : diagram(Make()), graph(diagram), schema("inject", &graph) {
+    a = *diagram.FindNode("a");
+    b = *diagram.FindNode("b");
+    r1 = *diagram.FindNode("r1");
+    for (er::EdgeId eid : graph.incident(r1)) {
+      if (graph.edge(eid).node == a) edge_a = eid;
+      if (graph.edge(eid).node == b) edge_b = eid;
+    }
+    for (int c = 0; c < 2; ++c) {
+      mct::ColorId color = schema.AddColor();
+      mct::OccId oa = schema.AddRoot(color, a);
+      mct::OccId orel = schema.AddChild(oa, r1, edge_a);
+      schema.AddChild(orel, b, edge_b);
+    }
+  }
+
+  static er::ErDiagram Make() {
+    er::ErDiagram d("t");
+    auto a = d.AddEntity("a", {{"id", er::AttrType::kString, true}});
+    auto b = d.AddEntity("b", {{"id", er::AttrType::kString, true}});
+    EXPECT_TRUE(d.AddOneToMany("r1", a, b, er::Totality::kTotal).ok());
+    return d;
+  }
+};
+
+TEST(SchemaLintTest, ComputedIcicsAreCleanByConstruction) {
+  IcicFixture f;
+  ASSERT_FALSE(f.schema.ComputeIcics().empty());
+  DiagnosticReport report = LintSchema(f.schema);
+  EXPECT_TRUE(report.empty()) << report.ToText();
+}
+
+TEST(SchemaLintTest, DetectsDanglingIcicColor) {
+  IcicFixture f;
+  std::vector<mct::Icic> icics = f.schema.ComputeIcics();
+  ASSERT_FALSE(icics.empty());
+  icics[0].colors.push_back(99);  // dangling color reference
+  SchemaLintOptions options;
+  options.icics = &icics;
+  DiagnosticReport report = LintSchema(f.schema, options);
+  ASSERT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.HasCode("SCH010")) << report.ToText();
+}
+
+TEST(SchemaLintTest, DetectsIcicWithBadRealization) {
+  IcicFixture f;
+  std::vector<mct::Icic> icics = f.schema.ComputeIcics();
+  ASSERT_FALSE(icics.empty());
+  icics[0].realizations.push_back(9999);  // nonexistent occurrence
+  SchemaLintOptions options;
+  options.icics = &icics;
+  DiagnosticReport report = LintSchema(f.schema, options);
+  EXPECT_TRUE(report.HasCode("SCH011")) << report.ToText();
+}
+
+TEST(SchemaLintTest, DetectsSingleColorIcic) {
+  IcicFixture f;
+  std::vector<mct::Icic> icics = f.schema.ComputeIcics();
+  ASSERT_FALSE(icics.empty());
+  // Keep only realizations from one color: no longer inter-color.
+  mct::Icic& icic = icics[0];
+  std::vector<mct::OccId> one_color;
+  for (mct::OccId r : icic.realizations) {
+    if (f.schema.occ(r).color == 0) one_color.push_back(r);
+  }
+  icic.realizations = one_color;
+  SchemaLintOptions options;
+  options.icics = &icics;
+  DiagnosticReport report = LintSchema(f.schema, options);
+  EXPECT_TRUE(report.HasCode("SCH012")) << report.ToText();
+}
+
+TEST(SchemaLintTest, DetectsCyclicIcicDependency) {
+  // Three entities in a relationship cycle a -r1-> b -r2-> c -r3-> a, with
+  // every edge realized in the same orientation in both colors: the
+  // oriented ICIC dependency graph is a directed cycle, so no topological
+  // repair order exists.
+  er::ErDiagram d("cycle");
+  auto a = d.AddEntity("a", {{"id", er::AttrType::kString, true}});
+  auto b = d.AddEntity("b", {{"id", er::AttrType::kString, true}});
+  auto c = d.AddEntity("c", {{"id", er::AttrType::kString, true}});
+  ASSERT_TRUE(d.AddOneToMany("r1", a, b).ok());
+  ASSERT_TRUE(d.AddOneToMany("r2", b, c).ok());
+  ASSERT_TRUE(d.AddOneToMany("r3", c, a).ok());
+  er::ErGraph graph(d);
+  auto find_edge = [&](er::NodeId rel, er::NodeId endpoint) {
+    for (er::EdgeId eid : graph.incident(rel)) {
+      if (graph.edge(eid).node == endpoint) return eid;
+    }
+    return er::kInvalidEdge;
+  };
+  er::NodeId r1 = *d.FindNode("r1"), r2 = *d.FindNode("r2"),
+             r3 = *d.FindNode("r3");
+  mct::MctSchema schema("cyclic", &graph);
+  for (int color = 0; color < 2; ++color) {
+    mct::ColorId cid = schema.AddColor();
+    mct::OccId oa = schema.AddRoot(cid, a);
+    mct::OccId o1 = schema.AddChild(oa, r1, find_edge(r1, a));
+    mct::OccId ob = schema.AddChild(o1, b, find_edge(r1, b));
+    mct::OccId o2 = schema.AddChild(ob, r2, find_edge(r2, b));
+    mct::OccId oc = schema.AddChild(o2, c, find_edge(r2, c));
+    mct::OccId o3 = schema.AddChild(oc, r3, find_edge(r3, c));
+    schema.AddChild(o3, a, find_edge(r3, a));
+  }
+  DiagnosticReport report = LintSchema(schema);
+  ASSERT_TRUE(report.has_errors()) << report.ToText();
+  EXPECT_TRUE(report.HasCode("SCH013")) << report.ToText();
+}
+
+TEST(SchemaLintTest, DetectsOrphanNodeType) {
+  // A diagram with two relationships but a schema realizing only one of
+  // them: r2 and c never occur.
+  er::ErDiagram d("orphan");
+  auto a = d.AddEntity("a", {{"id", er::AttrType::kString, true}});
+  auto b = d.AddEntity("b", {{"id", er::AttrType::kString, true}});
+  auto c = d.AddEntity("c", {{"id", er::AttrType::kString, true}});
+  ASSERT_TRUE(d.AddOneToMany("r1", a, b).ok());
+  ASSERT_TRUE(d.AddOneToMany("r2", b, c).ok());
+  er::ErGraph graph(d);
+  er::NodeId r1 = *d.FindNode("r1");
+  er::EdgeId edge_a = er::kInvalidEdge, edge_b = er::kInvalidEdge;
+  for (er::EdgeId eid : graph.incident(r1)) {
+    if (graph.edge(eid).node == a) edge_a = eid;
+    if (graph.edge(eid).node == b) edge_b = eid;
+  }
+  mct::MctSchema schema("partial", &graph);
+  mct::ColorId c0 = schema.AddColor();
+  mct::OccId oa = schema.AddRoot(c0, a);
+  mct::OccId orel = schema.AddChild(oa, r1, edge_a);
+  schema.AddChild(orel, b, edge_b);
+  DiagnosticReport report = LintSchema(schema);
+  ASSERT_TRUE(report.has_errors());
+  EXPECT_GE(report.CountCode("SCH004"), 2u)
+      << "both 'c' and 'r2' are orphans:\n" << report.ToText();
+}
+
+TEST(SchemaLintTest, DetectsFalseNormalFormClaim) {
+  // DEEP duplicates node types inside one color, so it is not node normal;
+  // claiming NN must be flagged (and the honest claims must not be).
+  er::ErDiagram diagram = er::Tpcw();
+  er::ErGraph graph(diagram);
+  design::Designer designer(graph);
+  mct::MctSchema deep = designer.Design(Strategy::kDeep);
+  design::DesignReport honest = designer.Report(deep);
+  ASSERT_FALSE(honest.node_normal)
+      << "fixture assumption: DEEP is not node normal";
+
+  NormalFormClaims claims = ClaimsFrom(honest);
+  claims.node_normal = true;  // the lie
+  SchemaLintOptions options;
+  options.claims = &claims;
+  DiagnosticReport report = LintSchema(deep, options);
+  ASSERT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.HasCode("SCH020")) << report.ToText();
+}
+
+TEST(SchemaLintTest, DetectsFalseRecoverabilityClaim) {
+  // SHALLOW keeps every color single-level, so association recovery needs
+  // value joins: claiming full direct recoverability must be flagged.
+  er::ErDiagram diagram = er::Tpcw();
+  er::ErGraph graph(diagram);
+  design::Designer designer(graph);
+  mct::MctSchema shallow = designer.Design(Strategy::kShallow);
+  design::DesignReport honest = designer.Report(shallow);
+  ASSERT_FALSE(honest.fully_direct_recoverable)
+      << "fixture assumption: SHALLOW is not fully direct";
+
+  NormalFormClaims claims = ClaimsFrom(honest);
+  claims.fully_direct_recoverable = true;  // the lie
+  SchemaLintOptions options;
+  options.claims = &claims;
+  DiagnosticReport report = LintSchema(shallow, options);
+  ASSERT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.HasCode("SCH023")) << report.ToText();
+}
+
+}  // namespace
+}  // namespace mctdb::analysis

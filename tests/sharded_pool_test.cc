@@ -63,14 +63,14 @@ TEST(ShardedPoolTest, CapacityEqualsWorkingSetNeverReEvicts) {
   std::vector<PageId> ids = FillPager(&pager, 16);
   ShardedBufferPool pool(&pager, 16, 1);
   for (PageId id : ids) {
-    pool.Fetch(id);
+    (void)pool.Fetch(id);  // warm the cache; frame not needed
     pool.Unpin(id);
   }
   EXPECT_EQ(pool.misses(), 16u);
   uint64_t reads_after_warmup = pager.disk_reads();
   for (int round = 0; round < 4; ++round) {
     for (PageId id : ids) {
-      pool.Fetch(id);
+      (void)pool.Fetch(id);  // warm the cache; frame not needed
       pool.Unpin(id);
     }
   }
@@ -89,7 +89,7 @@ TEST(ShardedPoolTest, ShardedWorkingSetStaysMostlyCached) {
   ShardedBufferPool pool(&pager, 16, 4);
   for (int round = 0; round < 5; ++round) {
     for (PageId id : ids) {
-      pool.Fetch(id);
+      (void)pool.Fetch(id);  // warm the cache; frame not needed
       pool.Unpin(id);
     }
   }
@@ -121,7 +121,7 @@ TEST(ShardedPoolTest, PerShardStatsSumToTotals) {
   ShardedBufferPool pool(&pager, 16, 4);
   for (int round = 0; round < 2; ++round) {
     for (PageId id : ids) {
-      pool.Fetch(id);
+      (void)pool.Fetch(id);  // warm the cache; frame not needed
       pool.Unpin(id);
     }
   }

@@ -20,9 +20,9 @@ TEST(ValidateTest, MaterializedStoresAreClean) {
   for (Strategy s : design::AllStrategies()) {
     mct::MctSchema schema = designer.Design(s);
     auto store = instance::Materialize(logical, schema);
-    ValidationReport report = ValidateStore(*store);
-    EXPECT_TRUE(report.ok())
-        << schema.name() << ": " << report.ToString();
+    analysis::DiagnosticReport report = ValidateStore(*store);
+    EXPECT_TRUE(report.empty())
+        << schema.name() << ": " << report.ToText();
   }
 }
 
@@ -80,7 +80,7 @@ TEST(ValidateTest, ConsistentTwoColorStorePasses) {
     builder.EndColor();
   }
   auto store = builder.Finish();
-  EXPECT_TRUE(ValidateStore(*store).ok());
+  EXPECT_FALSE(ValidateStore(*store).has_errors());
 }
 
 TEST(ValidateTest, DetectsIcicViolation) {
@@ -113,13 +113,9 @@ TEST(ValidateTest, DetectsIcicViolation) {
   builder.Leave(a0);
   builder.EndColor();
   auto store = builder.Finish();
-  ValidationReport report = ValidateStore(*store);
-  ASSERT_FALSE(report.ok());
-  bool found = false;
-  for (const std::string& p : report.problems) {
-    if (p.find("ICIC violation") != std::string::npos) found = true;
-  }
-  EXPECT_TRUE(found) << report.ToString();
+  analysis::DiagnosticReport report = ValidateStore(*store);
+  ASSERT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.HasCode("STO009")) << report.ToText();
 }
 
 TEST(ValidateTest, DetectsBrokenNesting) {
@@ -146,7 +142,7 @@ TEST(ValidateTest, DetectsBrokenNesting) {
   auto store = builder.Finish();
   // ...so this particular store is structurally fine (oprhan-style), and
   // the validator must accept it.
-  EXPECT_TRUE(ValidateStore(*store).ok());
+  EXPECT_FALSE(ValidateStore(*store).has_errors());
 }
 
 TEST(ValidateTest, DetectsDanglingIdref) {
@@ -184,9 +180,10 @@ TEST(ValidateTest, DetectsDanglingIdref) {
   builder.Leave(eb);
   builder.EndColor();
   auto store = builder.Finish();
-  ValidationReport report = ValidateStore(*store);
-  ASSERT_FALSE(report.ok());
-  EXPECT_NE(report.ToString().find("dangling idref"), std::string::npos);
+  analysis::DiagnosticReport report = ValidateStore(*store);
+  ASSERT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.HasCode("STO011")) << report.ToText();
+  EXPECT_NE(report.ToText().find("dangling idref"), std::string::npos);
 }
 
 }  // namespace

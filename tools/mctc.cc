@@ -7,21 +7,28 @@
 //   mctc mine     <file.xml> [--redesign]     ER from XML id/idrefs
 //   mctc workload <file.er> [--threads N] [--base N] [--reps N]
 //                                             run the emulated workload grid
+//   mctc lint     <file.er> [--json] [--schema-only]
+//                                             static analysis: schema lint +
+//                                             plan verification, 7 strategies
 //   mctc demo                                 built-in TPC-W walkthrough
 //
 // Files with the .er extension use the DSL of er/er_parser.h (see
-// examples/designs/). Exit status: 0 ok, 1 usage, 2 input error.
+// examples/designs/). Exit status: 0 ok, 1 usage, 2 input error (for lint:
+// 2 also when any error-severity diagnostic was reported).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "analysis/plan_verify.h"
+#include "analysis/schema_lint.h"
 #include "design/designer.h"
 #include "design/feasibility.h"
 #include "design/xml_mining.h"
 #include "er/er_catalog.h"
 #include "er/er_parser.h"
 #include "mct/schema_export.h"
+#include "query/planner.h"
 #include "workload/runner.h"
 #include "xml/xml_io.h"
 
@@ -40,6 +47,7 @@ int Usage() {
       "  paths    <file.er> [--max N]\n"
       "  mine     <file.xml> [--redesign]\n"
       "  workload <file.er> [--threads N] [--base N] [--reps N]\n"
+      "  lint     <file.er> [--json] [--schema-only]\n"
       "  demo\n");
   return 1;
 }
@@ -265,6 +273,69 @@ int CmdWorkload(int argc, char** argv) {
   return summary->problems.empty() ? 0 : 2;
 }
 
+int CmdLint(int argc, char** argv) {
+  const char* path = nullptr;
+  bool json = false;
+  bool schema_only = false;
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--json")) {
+      json = true;
+    } else if (!std::strcmp(argv[i], "--schema-only")) {
+      schema_only = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) return Usage();
+  auto diagram = LoadEr(path);
+  if (!diagram.ok()) {
+    std::fprintf(stderr, "error: %s\n", diagram.status().ToString().c_str());
+    return 2;
+  }
+  er::ErGraph graph(*diagram);
+  design::Designer designer(graph);
+  workload::Workload w = workload::XmarkEmulatedWorkload(*diagram);
+
+  analysis::DiagnosticReport combined;
+  for (design::Strategy s : design::AllStrategies()) {
+    mct::MctSchema schema = designer.Design(s);
+
+    // Schema lint, cross-checking the normal-form flags the designer
+    // claims for this strategy against re-derived ones.
+    design::DesignReport dr = designer.Report(schema);
+    analysis::NormalFormClaims claims;
+    claims.node_normal = dr.node_normal;
+    claims.edge_normal = dr.edge_normal;
+    claims.association_recoverable = dr.association_recoverable;
+    claims.fully_direct_recoverable = dr.fully_direct_recoverable;
+    analysis::SchemaLintOptions lint_options;
+    lint_options.claims = &claims;
+    combined.MergeFrom(analysis::LintSchema(schema, lint_options),
+                       schema.name());
+
+    // Plan verification over the emulated workload.
+    if (schema_only) continue;
+    for (const query::AssociationQuery& q : w.queries) {
+      std::string loc = schema.name() + "/" + q.name;
+      auto plan = query::PlanQuery(q, schema);
+      if (!plan.ok()) {
+        combined.Error("PLN000", loc,
+                       "planner rejected query: " +
+                           plan.status().ToString());
+        continue;
+      }
+      combined.MergeFrom(analysis::VerifyPlan(*plan), loc);
+    }
+  }
+
+  if (json) {
+    std::printf("%s\n", combined.ToJson().c_str());
+  } else {
+    std::printf("%s", combined.ToText().c_str());
+  }
+  return combined.has_errors() ? 2 : 0;
+}
+
 int CmdDemo() {
   er::ErDiagram diagram = er::Tpcw();
   std::printf("%s\n", er::FormatErDiagram(diagram).c_str());
@@ -289,6 +360,7 @@ int main(int argc, char** argv) {
   if (!std::strcmp(cmd, "paths")) return CmdPaths(argc - 2, argv + 2);
   if (!std::strcmp(cmd, "mine")) return CmdMine(argc - 2, argv + 2);
   if (!std::strcmp(cmd, "workload")) return CmdWorkload(argc - 2, argv + 2);
+  if (!std::strcmp(cmd, "lint")) return CmdLint(argc - 2, argv + 2);
   if (!std::strcmp(cmd, "demo")) return CmdDemo();
   return Usage();
 }
