@@ -11,6 +11,7 @@
 //   kServiceRegistry (100)  QueryService::mu_ — store registry
 //   kSessionStrand   (200)  QueryService::Session::mu_ — strand queue
 //   kServiceDrain    (300)  QueryService::drain_mu_ — drain barrier
+//   kSlowQueryLog    (350)  QueryService::slow_mu_ — slow-query ring
 //   kPoolShard       (400)  ShardedBufferPool::Shard::mu — page frames
 // (Pager and ServiceMetrics are lock-free — atomics only — and hold no
 // rank; the worker ThreadPool's internal queue mutex is leaf-level and
@@ -36,6 +37,7 @@ enum class LockRank : uint32_t {
   kServiceRegistry = 100,
   kSessionStrand = 200,
   kServiceDrain = 300,
+  kSlowQueryLog = 350,
   kPoolShard = 400,
 };
 
@@ -47,6 +49,8 @@ inline const char* ToString(LockRank r) {
       return "SessionStrand";
     case LockRank::kServiceDrain:
       return "ServiceDrain";
+    case LockRank::kSlowQueryLog:
+      return "SlowQueryLog";
     case LockRank::kPoolShard:
       return "PoolShard";
   }

@@ -1,0 +1,133 @@
+#include "obs/exec_stats.h"
+
+#include "common/logging.h"
+
+namespace mctdb::obs {
+
+const char* ToString(StageKind kind) {
+  switch (kind) {
+    case StageKind::kQuery:
+      return "query";
+    case StageKind::kTagScan:
+      return "tag_scan";
+    case StageKind::kCrossColor:
+      return "cross_color";
+    case StageKind::kStructuralJoin:
+      return "structural_join";
+    case StageKind::kValueJoin:
+      return "value_join";
+    case StageKind::kPredicateFilter:
+      return "predicate_filter";
+    case StageKind::kBackwardReduction:
+      return "backward_reduction";
+    case StageKind::kDupElim:
+      return "dup_elim";
+    case StageKind::kGroupBy:
+      return "group_by";
+    case StageKind::kUpdate:
+      return "update";
+  }
+  return "?";
+}
+
+uint64_t Span::total_page_hits() const {
+  uint64_t total = page_hits;
+  for (const Span& c : children) total += c.total_page_hits();
+  return total;
+}
+
+uint64_t Span::total_page_misses() const {
+  uint64_t total = page_misses;
+  for (const Span& c : children) total += c.total_page_misses();
+  return total;
+}
+
+namespace {
+
+void Accumulate(const Span& span, StageTable* table) {
+  StageAgg& row = (*table)[static_cast<size_t>(span.kind)];
+  double self = span.elapsed_seconds;
+  for (const Span& c : span.children) self -= c.elapsed_seconds;
+  row.seconds += self > 0 ? self : 0;
+  row.calls += 1;
+  row.cardinality_out += span.cardinality_out;
+  row.join_pairs += span.join_pairs;
+  row.page_hits += span.page_hits;
+  row.page_misses += span.page_misses;
+  for (const Span& c : span.children) Accumulate(c, table);
+}
+
+}  // namespace
+
+StageTable AggregateByStage(const Span& root) {
+  StageTable table{};
+  Accumulate(root, &table);
+  return table;
+}
+
+ExecStats::ExecStats(std::string query_label) {
+  root_.kind = StageKind::kQuery;
+  root_.label = std::move(query_label);
+  open_.push_back(&root_);
+  start_.push_back(std::chrono::steady_clock::now());
+}
+
+void ExecStats::OnPageFetch(bool miss) {
+  if (miss) {
+    ++page_misses_;
+  } else {
+    ++page_hits_;
+  }
+  if (open_.empty()) return;
+  Span* innermost = open_.back();
+  if (miss) {
+    ++innermost->page_misses;
+  } else {
+    ++innermost->page_hits;
+  }
+}
+
+Span* ExecStats::BeginSpan(StageKind kind, std::string label) {
+  MCTDB_CHECK_MSG(!open_.empty(), "BeginSpan after Finish");
+  // Stack discipline: only the innermost open span grows children, so no
+  // open span's address can be invalidated by this push_back (a span's
+  // own children vector may reallocate, but the span object stays put).
+  Span* parent = open_.back();
+  parent->children.emplace_back();
+  Span* span = &parent->children.back();
+  span->kind = kind;
+  span->label = std::move(label);
+  open_.push_back(span);
+  start_.push_back(std::chrono::steady_clock::now());
+  return span;
+}
+
+void ExecStats::EndSpan() {
+  MCTDB_CHECK_MSG(open_.size() > 1, "EndSpan without matching BeginSpan");
+  Span* span = open_.back();
+  span->elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_.back())
+          .count();
+  open_.pop_back();
+  start_.pop_back();
+}
+
+void ExecStats::AddJoinPairs(uint64_t pairs) {
+  join_pairs_ += pairs;
+  if (!open_.empty()) open_.back()->join_pairs += pairs;
+}
+
+Span ExecStats::Finish() {
+  MCTDB_CHECK_MSG(open_.size() == 1, "Finish with spans still open");
+  root_.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_.back())
+          .count();
+  root_.join_pairs = join_pairs_;
+  open_.clear();
+  start_.clear();
+  return std::move(root_);
+}
+
+}  // namespace mctdb::obs

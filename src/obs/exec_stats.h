@@ -1,0 +1,157 @@
+// Query observability: per-query execution statistics and a span tree.
+//
+// ExecStats is the executor-owned attribution context for ONE query. Page
+// I/O is charged at the point of the fetch — PostingCursor reports every
+// pool fetch (and whether it missed) into the stats of the query driving
+// the cursor — so hit/miss counts are exact per query even when many
+// sessions share one buffer pool. This replaces the old scheme of diffing
+// pool-global counters around Execute, which silently billed concurrent
+// queries for each other's I/O.
+//
+// On top of the counters, ExecStats records a tree of stage spans (tag
+// scan, cross-color re-anchor, structural join, value join, backward
+// reduction, ...) with elapsed time, input/output cardinalities,
+// structural-join pair counts, and the page fetches charged while the
+// span was innermost. The tree rides along in query::ExecResult; see
+// obs/trace_export.h for text/JSON rendering.
+//
+// ExecStats is single-threaded by design: one query, one executor, one
+// stats context. Cross-query aggregation happens in the service layer.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mctdb::obs {
+
+/// The execution stages a span can describe. kQuery is the root span of
+/// every trace; the rest mirror the executor's operators.
+enum class StageKind : uint8_t {
+  kQuery,              ///< whole-query root span
+  kTagScan,            ///< posting-list scan of one (color, tag)
+  kCrossColor,         ///< logical-identity re-anchor into another color
+  kStructuralJoin,     ///< stack-tree join segment (a-d or step chain)
+  kValueJoin,          ///< id/idref hash join segment
+  kPredicateFilter,    ///< attribute predicate applied to a binding
+  kBackwardReduction,  ///< filter-branch semi-join back up the segments
+  kDupElim,            ///< duplicate elimination over the output binding
+  kGroupBy,            ///< group-by aggregation
+  kUpdate,             ///< update application incl. ICIC color touches
+};
+inline constexpr size_t kNumStageKinds = 10;
+
+const char* ToString(StageKind kind);
+
+/// One node of the trace tree. Page counts are *self* counts (fetches
+/// charged while this span was innermost); elapsed time and cardinalities
+/// are inclusive of children, as wall clock naturally is.
+struct Span {
+  StageKind kind = StageKind::kQuery;
+  std::string label;
+  double elapsed_seconds = 0.0;
+  uint64_t cardinality_in = 0;
+  uint64_t cardinality_out = 0;
+  uint64_t join_pairs = 0;
+  uint64_t page_hits = 0;
+  uint64_t page_misses = 0;
+  std::vector<Span> children;
+
+  /// Inclusive page counts: self plus the whole subtree.
+  uint64_t total_page_hits() const;
+  uint64_t total_page_misses() const;
+};
+
+/// Per-stage rollup of a span tree. `seconds` is self time (elapsed minus
+/// the children's elapsed), so the rows sum to the root's elapsed instead
+/// of double-counting nested stages.
+struct StageAgg {
+  double seconds = 0.0;
+  uint64_t calls = 0;
+  uint64_t cardinality_out = 0;
+  uint64_t join_pairs = 0;
+  uint64_t page_hits = 0;
+  uint64_t page_misses = 0;
+};
+using StageTable = std::array<StageAgg, kNumStageKinds>;
+
+/// Aggregates the tree under `root` (inclusive) into per-kind self-time
+/// rows.
+StageTable AggregateByStage(const Span& root);
+
+/// The attribution context the executor threads through its operators and
+/// posting cursors. Spans obey strict stack discipline: Begin/End pairs
+/// nest, and page fetches are charged to the innermost open span (plus the
+/// query totals).
+class ExecStats {
+ public:
+  /// Opens the root kQuery span, labeled with the query name.
+  explicit ExecStats(std::string query_label);
+
+  ExecStats(const ExecStats&) = delete;
+  ExecStats& operator=(const ExecStats&) = delete;
+
+  /// Charges one pool fetch to this query (and the innermost open span).
+  /// Called by PostingCursor on every page touch.
+  void OnPageFetch(bool miss);
+
+  uint64_t page_hits() const { return page_hits_; }
+  uint64_t page_misses() const { return page_misses_; }
+  uint64_t join_pairs() const { return join_pairs_; }
+
+  /// Opens a child span of the innermost open span. Returns the node; the
+  /// pointer stays valid until the span's EndSpan (stack discipline
+  /// guarantees no sibling is appended while it is open).
+  Span* BeginSpan(StageKind kind, std::string label);
+  /// Closes the innermost open span, stamping its elapsed time.
+  void EndSpan();
+
+  /// Records structural-join pairs on the innermost open span and the
+  /// query total.
+  void AddJoinPairs(uint64_t pairs);
+
+  /// Closes the root span and returns the finished tree. The stats object
+  /// is spent afterwards.
+  Span Finish();
+
+ private:
+  Span root_;
+  std::vector<Span*> open_;  // innermost last; open_[0] == &root_
+  std::vector<std::chrono::steady_clock::time_point> start_;
+  uint64_t page_hits_ = 0;
+  uint64_t page_misses_ = 0;
+  uint64_t join_pairs_ = 0;
+};
+
+/// RAII Begin/End pair. Null-safe: with a null stats pointer every method
+/// is a no-op, so instrumented code paths need no branching.
+class SpanScope {
+ public:
+  SpanScope(ExecStats* stats, StageKind kind, std::string label)
+      : stats_(stats) {
+    if (stats_ != nullptr) span_ = stats_->BeginSpan(kind, std::move(label));
+  }
+  ~SpanScope() {
+    if (stats_ != nullptr) stats_->EndSpan();
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  void SetCardinalityIn(uint64_t n) {
+    if (span_ != nullptr) span_->cardinality_in = n;
+  }
+  void SetCardinalityOut(uint64_t n) {
+    if (span_ != nullptr) span_->cardinality_out = n;
+  }
+  void AddJoinPairs(uint64_t pairs) {
+    if (stats_ != nullptr) stats_->AddJoinPairs(pairs);
+  }
+
+ private:
+  ExecStats* stats_;
+  Span* span_ = nullptr;
+};
+
+}  // namespace mctdb::obs

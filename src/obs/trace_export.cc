@@ -1,0 +1,101 @@
+#include "obs/trace_export.h"
+
+#include <cstdio>
+
+namespace mctdb::obs {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendText(const Span& span, size_t depth, std::string* out) {
+  std::string head(depth * 2, ' ');
+  head += ToString(span.kind);
+  if (!span.label.empty()) {
+    head += ' ';
+    head += span.label;
+  }
+  if (head.size() < 36) head.resize(36, ' ');
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                " %9.3fms  in=%llu out=%llu pairs=%llu pages %lluh/%llum\n",
+                span.elapsed_seconds * 1e3,
+                static_cast<unsigned long long>(span.cardinality_in),
+                static_cast<unsigned long long>(span.cardinality_out),
+                static_cast<unsigned long long>(span.join_pairs),
+                static_cast<unsigned long long>(span.page_hits),
+                static_cast<unsigned long long>(span.page_misses));
+  *out += head;
+  *out += buf;
+  for (const Span& c : span.children) AppendText(c, depth + 1, out);
+}
+
+void AppendJson(const Span& span, std::string* out) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"stage\":\"%s\",\"label\":\"", ToString(span.kind));
+  *out += buf;
+  *out += JsonEscape(span.label);
+  std::snprintf(buf, sizeof(buf),
+                "\",\"elapsed_seconds\":%.9f,\"cardinality_in\":%llu,"
+                "\"cardinality_out\":%llu,\"join_pairs\":%llu,"
+                "\"page_hits\":%llu,\"page_misses\":%llu,\"children\":[",
+                span.elapsed_seconds,
+                static_cast<unsigned long long>(span.cardinality_in),
+                static_cast<unsigned long long>(span.cardinality_out),
+                static_cast<unsigned long long>(span.join_pairs),
+                static_cast<unsigned long long>(span.page_hits),
+                static_cast<unsigned long long>(span.page_misses));
+  *out += buf;
+  bool first = true;
+  for (const Span& c : span.children) {
+    if (!first) *out += ',';
+    first = false;
+    AppendJson(c, out);
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string SpanTreeToText(const Span& root) {
+  std::string out;
+  AppendText(root, 0, &out);
+  return out;
+}
+
+std::string SpanToJson(const Span& root) {
+  std::string out;
+  AppendJson(root, &out);
+  return out;
+}
+
+}  // namespace mctdb::obs

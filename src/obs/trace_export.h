@@ -1,0 +1,25 @@
+// Rendering for obs::Span trees: an indented text form for humans (the
+// `mctc trace` default and the slow-query log) and a nested JSON form for
+// tooling (`mctc trace --json`, validated in CI).
+#pragma once
+
+#include <string>
+
+#include "obs/exec_stats.h"
+
+namespace mctdb::obs {
+
+/// Indented one-line-per-span rendering:
+///   query Q1                        1.234ms  in=0 out=67  pages 30h/2m
+///     tag_scan item@c0              0.801ms  in=0 out=540 pages 28h/2m
+std::string SpanTreeToText(const Span& root);
+
+/// Nested JSON object per span: {"stage":...,"label":...,
+/// "elapsed_seconds":...,"cardinality_in":...,"cardinality_out":...,
+/// "join_pairs":...,"page_hits":...,"page_misses":...,"children":[...]}.
+std::string SpanToJson(const Span& root);
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace mctdb::obs

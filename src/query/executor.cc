@@ -36,10 +36,14 @@ const std::string* KeyAttrName(const er::ErDiagram& d, er::NodeId node) {
 
 Executor::Binding Executor::ScanTag(mct::ColorId color, er::NodeId tag,
                                     const AttrPredicate* predicate) {
+  obs::SpanScope span(stats_, obs::StageKind::kTagScan,
+                      store_->schema().diagram().node(tag).name + "@c" +
+                          std::to_string(color));
   Binding out;
   const storage::PostingMeta* meta = store_->Posting(color, tag);
   if (meta == nullptr) return out;
-  storage::PostingCursor cursor(pool_, meta);
+  span.SetCardinalityIn(meta->count);
+  storage::PostingCursor cursor(pool_, meta, stats_);
   LabelEntry e;
   while (cursor.Next(&e)) {
     if (predicate != nullptr) {
@@ -48,17 +52,22 @@ Executor::Binding Executor::ScanTag(mct::ColorId color, er::NodeId tag,
     }
     out.push_back(e);
   }
+  span.SetCardinalityOut(out.size());
   return out;
 }
 
 Executor::Binding Executor::FilterPredicate(Binding in,
                                             const AttrPredicate& predicate) {
+  obs::SpanScope span(stats_, obs::StageKind::kPredicateFilter,
+                      predicate.attr + "=" + predicate.value);
+  span.SetCardinalityIn(in.size());
   Binding out;
   out.reserve(in.size());
   for (const LabelEntry& e : in) {
     const std::string* v = store_->AttrValue(e.elem, predicate.attr);
     if (v != nullptr && *v == predicate.value) out.push_back(e);
   }
+  span.SetCardinalityOut(out.size());
   return out;
 }
 
@@ -66,6 +75,10 @@ Executor::Binding Executor::CrossTo(const Binding& in,
                                     mct::ColorId from_color,
                                     mct::ColorId color) {
   if (from_color == color) return in;
+  obs::SpanScope span(stats_, obs::StageKind::kCrossColor,
+                      "c" + std::to_string(from_color) + "->c" +
+                          std::to_string(color));
+  span.SetCardinalityIn(in.size());
   Binding out;
   std::unordered_set<uint64_t> seen;
   for (const LabelEntry& e : in) {
@@ -83,6 +96,7 @@ Executor::Binding Executor::CrossTo(const Binding& in,
     }
   }
   SortByStart(&out);
+  span.SetCardinalityOut(out.size());
   return out;
 }
 
@@ -112,6 +126,10 @@ Executor::Binding Executor::EvalEdge(const EdgePlan& edge,
       const er::ErEdge& e = store_->schema().graph().edge(seg.ref_edge);
       er::NodeId from_type = path[seg.from_index];
       er::NodeId to_type = path[seg.to_index];
+      obs::SpanScope span(stats_, obs::StageKind::kValueJoin,
+                          diagram.node(from_type).name + "~" +
+                              diagram.node(to_type).name);
+      span.SetCardinalityIn(current.size());
       // The rel side holds the "<target>_idref" attribute.
       std::string idref_attr = diagram.node(e.node).name + "_idref";
       // Value joins only arise in single-color schemas; the probe/build
@@ -166,6 +184,7 @@ Executor::Binding Executor::EvalEdge(const EdgePlan& edge,
         }
       }
       SortByStart(&next);
+      span.SetCardinalityOut(next.size());
       current = std::move(next);
       current_color = c;
       stages.push_back({current, current_color, false});
@@ -183,6 +202,11 @@ Executor::Binding Executor::EvalEdge(const EdgePlan& edge,
           seg.kind == SegmentKind::kAncDesc
               ? path[seg.to_index]
               : path[seg.from_index + step + 1];
+      obs::SpanScope span(stats_, obs::StageKind::kStructuralJoin,
+                          diagram.node(next_type).name + "@c" +
+                              std::to_string(seg.color));
+      span.SetCardinalityIn(current.size());
+      // The candidate ScanTag nests as a child span of this join.
       Binding candidates = ScanTag(seg.color, next_type, nullptr);
       StructuralJoinOptions opts;
       opts.parent_child_only =
@@ -196,6 +220,8 @@ Executor::Binding Executor::EvalEdge(const EdgePlan& edge,
         joined = StackTreeJoin(candidates, current, opts);
         current = std::move(joined.ancestors);
       }
+      span.AddJoinPairs(joined.pairs);
+      span.SetCardinalityOut(current.size());
     }
     stages.push_back({current, current_color, true});
   }
@@ -206,6 +232,9 @@ Executor::Binding Executor::EvalEdge(const EdgePlan& edge,
   }
 
   if (reduce_parent && !current.empty()) {
+    obs::SpanScope span(stats_, obs::StageKind::kBackwardReduction,
+                        diagram.node(node.er_node).name);
+    span.SetCardinalityIn(parent->size());
     // Walk the segments backward, reducing each stage to members that
     // reach the surviving children; the final stage reduces *parent.
     Binding survivors = current;
@@ -265,6 +294,7 @@ Executor::Binding Executor::EvalEdge(const EdgePlan& edge,
         joined = StackTreeJoin(surv_in_color, upper_in_color, opts);
         survivors = std::move(joined.descendants);
       }
+      span.AddJoinPairs(joined.pairs);
       survivor_color = seg.color;
     }
     // Map survivors back to the parent's identity set BY LOGICAL INSTANCE:
@@ -281,6 +311,7 @@ Executor::Binding Executor::EvalEdge(const EdgePlan& edge,
     for (const LabelEntry& e : *parent) {
       if (keep.count(logical_key(e.elem))) reduced_parent.push_back(e);
     }
+    span.SetCardinalityOut(reduced_parent.size());
     *parent = std::move(reduced_parent);
   } else if (reduce_parent) {
     parent->clear();
@@ -291,10 +322,16 @@ Executor::Binding Executor::EvalEdge(const EdgePlan& edge,
 }
 
 Result<ExecResult> Executor::Execute(const QueryPlan& plan) {
+  if (plan.query == nullptr) {
+    return Status::InvalidArgument("plan has no query attached");
+  }
   const AssociationQuery& query = *plan.query;
   auto start_time = std::chrono::steady_clock::now();
-  uint64_t misses0 = pool_->misses();
-  uint64_t hits0 = pool_->hits();
+
+  // The attribution context lives for exactly this call; every operator
+  // (and posting cursor) below charges spans and page fetches to it.
+  obs::ExecStats stats(query.name);
+  stats_ = &stats;
 
   const size_t n = query.nodes.size();
   std::vector<Binding> bindings(n);
@@ -345,6 +382,12 @@ Result<ExecResult> Executor::Execute(const QueryPlan& plan) {
   for (int u : order) {
     if (u == 0) continue;
     const PatternNode& node = query.nodes[u];
+    if (edge_of[u] == nullptr) {
+      stats_ = nullptr;
+      return Status::InvalidArgument(
+          "plan has no edge for pattern node " + std::to_string(u) + " (" +
+          store_->schema().diagram().node(node.er_node).name + ")");
+    }
     int p = node.parent;
     MCTDB_CHECK(evaluated[p]);
     mct::ColorId out_color = colors[p];
@@ -361,14 +404,25 @@ Result<ExecResult> Executor::Execute(const QueryPlan& plan) {
   ExecResult result;
   const Binding& out_binding = bindings[query.output];
   result.raw_count = out_binding.size();
-  std::set<uint32_t> unique;
-  for (const LabelEntry& e : out_binding) {
-    unique.insert(store_->element(e.elem).logical);
+  {
+    obs::SpanScope span(
+        stats_, obs::StageKind::kDupElim,
+        store_->schema().diagram().node(query.nodes[query.output].er_node)
+            .name);
+    span.SetCardinalityIn(out_binding.size());
+    std::set<uint32_t> unique;
+    for (const LabelEntry& e : out_binding) {
+      unique.insert(store_->element(e.elem).logical);
+    }
+    result.unique_count = unique.size();
+    result.logicals.assign(unique.begin(), unique.end());
+    span.SetCardinalityOut(result.unique_count);
   }
-  result.unique_count = unique.size();
-  result.logicals.assign(unique.begin(), unique.end());
 
   if (query.group_by.has_value()) {
+    obs::SpanScope span(stats_, obs::StageKind::kGroupBy,
+                        query.group_by->attr);
+    span.SetCardinalityIn(result.logicals.size());
     for (uint32_t logical : result.logicals) {
       auto elems = store_->ElementsFor(
           query.nodes[query.output].er_node, logical);
@@ -377,9 +431,13 @@ Result<ExecResult> Executor::Execute(const QueryPlan& plan) {
           store_->AttrValue(elems[0], query.group_by->attr);
       if (v != nullptr) ++result.groups[*v];
     }
+    span.SetCardinalityOut(result.groups.size());
   }
 
   if (query.is_update()) {
+    obs::SpanScope span(stats_, obs::StageKind::kUpdate,
+                        query.update->attr);
+    span.SetCardinalityIn(result.logicals.size());
     er::NodeId type = query.nodes[query.output].er_node;
     uint32_t name_id = store_->FindAttrName(query.update->attr);
     MCTDB_CHECK(name_id != UINT32_MAX);
@@ -397,13 +455,18 @@ Result<ExecResult> Executor::Execute(const QueryPlan& plan) {
       }
       ++result.logicals_updated;
     }
+    span.SetCardinalityOut(result.elements_updated);
   }
 
   auto end_time = std::chrono::steady_clock::now();
   result.elapsed_seconds =
       std::chrono::duration<double>(end_time - start_time).count();
-  result.page_misses = pool_->misses() - misses0;
-  result.page_hits = pool_->hits() - hits0;
+  stats_ = nullptr;
+  result.page_misses = stats.page_misses();
+  result.page_hits = stats.page_hits();
+  result.join_pairs = stats.join_pairs();
+  result.trace = stats.Finish();
+  result.trace.cardinality_out = result.unique_count;
   return result;
 }
 

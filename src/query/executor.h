@@ -8,9 +8,12 @@
 // pattern nodes off the root-to-output spine) reduce their parent binding
 // by joining back up, so every schema returns the same logical result set.
 //
-// Costs are real: posting scans go through the buffer pool (page misses
-// counted), value joins build their hash table from a full scan of the
-// build side, and updates rewrite every redundant copy.
+// Costs are real: posting scans go through the buffer pool, value joins
+// build their hash table from a full scan of the build side, and updates
+// rewrite every redundant copy. Every page fetch is charged to THIS
+// query's obs::ExecStats at the point of the fetch (see obs/exec_stats.h),
+// so the hit/miss counts in ExecResult are exact per query even when many
+// executors share one pool — never a diff of pool-global counters.
 #pragma once
 
 #include <map>
@@ -18,6 +21,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/exec_stats.h"
 #include "query/plan.h"
 #include "storage/store.h"
 
@@ -42,8 +46,17 @@ struct ExecResult {
   size_t icic_color_touches = 0;
 
   double elapsed_seconds = 0.0;
+  /// Exact per-query I/O: pages this query fetched through its cursors,
+  /// charged at fetch time. Unaffected by concurrent queries on the pool.
   uint64_t page_misses = 0;
   uint64_t page_hits = 0;
+  /// Total structural-join containment pairs produced by this query.
+  uint64_t join_pairs = 0;
+
+  /// The stage-span trace (root is the kQuery span). Render with
+  /// obs::SpanTreeToText / obs::SpanToJson; roll up with
+  /// obs::AggregateByStage.
+  obs::Span trace;
 };
 
 class Executor {
@@ -56,6 +69,9 @@ class Executor {
                     storage::PageCache* pool = nullptr)
       : store_(store), pool_(pool != nullptr ? pool : store->buffer_pool()) {}
 
+  /// Returns InvalidArgument (instead of crashing) when the plan is
+  /// malformed: no query attached, or a non-root pattern node without an
+  /// edge plan.
   Result<ExecResult> Execute(const QueryPlan& plan);
 
  private:
@@ -80,6 +96,10 @@ class Executor {
 
   storage::MctStore* store_;
   storage::PageCache* pool_;
+  /// The running query's attribution context; set for the duration of
+  /// Execute so the operators (and their posting cursors) charge spans and
+  /// page fetches to it.
+  obs::ExecStats* stats_ = nullptr;
 };
 
 }  // namespace mctdb::query

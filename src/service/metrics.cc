@@ -5,12 +5,11 @@
 
 namespace mctsvc {
 
-namespace {
-
-/// Bucket upper bound in microseconds: 2^i for i < kBuckets-1.
-double BucketUpperUs(size_t i) {
+double LatencyHistogram::BucketUpperUs(size_t i) {
   return std::ldexp(1.0, static_cast<int>(i));
 }
+
+namespace {
 
 void AppendU64(std::string* out, const char* key, uint64_t value) {
   char buf[64];
@@ -25,7 +24,9 @@ void LatencyHistogram::Record(double seconds) {
   if (seconds < 0) seconds = 0;
   double us = seconds * 1e6;
   size_t bucket = 0;
-  while (bucket + 1 < kBuckets && us >= BucketUpperUs(bucket)) ++bucket;
+  // Strictly-greater: a sample exactly on a bucket's `le` upper bound
+  // stays in that bucket, so the cumulative {le} exports are exact.
+  while (bucket + 1 < kBuckets && us > BucketUpperUs(bucket)) ++bucket;
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   total_nanos_.fetch_add(static_cast<uint64_t>(seconds * 1e9),
@@ -56,18 +57,46 @@ std::string LatencyHistogram::ToJson() const {
                 Quantile(0.99) * 1e6);
   out += buf;
   out += ",\"buckets_us\":[";
+  // Cumulative counts, matching the `le` (less-or-equal) key: each entry
+  // counts every sample <= that upper bound. Empty buckets are elided.
   bool first = true;
+  uint64_t cumulative = 0;
   for (size_t i = 0; i < kBuckets; ++i) {
     uint64_t c = bucket(i);
+    cumulative += c;
     if (c == 0) continue;
     if (!first) out += ',';
     first = false;
     std::snprintf(buf, sizeof(buf), "{\"le\":%.0f,\"count\":%llu}",
-                  BucketUpperUs(i), static_cast<unsigned long long>(c));
+                  BucketUpperUs(i),
+                  static_cast<unsigned long long>(cumulative));
     out += buf;
   }
   out += "]}";
   return out;
+}
+
+void LatencyHistogram::AppendPrometheus(std::string* out,
+                                        const std::string& name) const {
+  char buf[128];
+  *out += "# TYPE " + name + " histogram\n";
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    cumulative += bucket(i);
+    if (i + 1 == kBuckets) break;  // the overflow bucket is +Inf below
+    std::snprintf(buf, sizeof(buf), "{le=\"%g\"} %llu\n",
+                  BucketUpperUs(i) * 1e-6,
+                  static_cast<unsigned long long>(cumulative));
+    *out += name + "_bucket" + buf;
+  }
+  std::snprintf(buf, sizeof(buf), "{le=\"+Inf\"} %llu\n",
+                static_cast<unsigned long long>(cumulative));
+  *out += name + "_bucket" + buf;
+  std::snprintf(buf, sizeof(buf), " %.9f\n", total_seconds());
+  *out += name + "_sum" + buf;
+  std::snprintf(buf, sizeof(buf), " %llu\n",
+                static_cast<unsigned long long>(count()));
+  *out += name + "_count" + buf;
 }
 
 void LatencyHistogram::Reset() {
@@ -94,8 +123,56 @@ std::string ServiceMetrics::ToJson() const {
   out += ',';
   AppendU64(&out, "queue_depth",
             queue_depth.load(std::memory_order_relaxed));
+  out += ',';
+  AppendU64(&out, "page_hits", page_hits.load(std::memory_order_relaxed));
+  out += ',';
+  AppendU64(&out, "page_misses",
+            page_misses.load(std::memory_order_relaxed));
+  out += ',';
+  AppendU64(&out, "slow_queries",
+            slow_queries.load(std::memory_order_relaxed));
   out += ",\"latency\":" + latency.ToJson();
   out += '}';
+  return out;
+}
+
+std::string ServiceMetrics::ToPrometheus() const {
+  std::string out;
+  auto counter = [&out](const char* name, uint64_t value) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), " %llu\n",
+                  static_cast<unsigned long long>(value));
+    out += std::string("# TYPE ") + name + " counter\n";
+    out += name;
+    out += buf;
+  };
+  counter("mctsvc_requests_submitted_total",
+          submitted.load(std::memory_order_relaxed));
+  counter("mctsvc_requests_completed_total",
+          completed.load(std::memory_order_relaxed));
+  counter("mctsvc_requests_rejected_total",
+          rejected.load(std::memory_order_relaxed));
+  counter("mctsvc_invalid_plans_total",
+          invalid_plans.load(std::memory_order_relaxed));
+  counter("mctsvc_deadline_exceeded_total",
+          deadline_exceeded.load(std::memory_order_relaxed));
+  counter("mctsvc_requests_failed_total",
+          failed.load(std::memory_order_relaxed));
+  counter("mctsvc_page_hits_total",
+          page_hits.load(std::memory_order_relaxed));
+  counter("mctsvc_page_misses_total",
+          page_misses.load(std::memory_order_relaxed));
+  counter("mctsvc_slow_queries_total",
+          slow_queries.load(std::memory_order_relaxed));
+  {
+    char buf[96];
+    out += "# TYPE mctsvc_queue_depth gauge\n";
+    std::snprintf(buf, sizeof(buf), "mctsvc_queue_depth %llu\n",
+                  static_cast<unsigned long long>(
+                      queue_depth.load(std::memory_order_relaxed)));
+    out += buf;
+  }
+  latency.AppendPrometheus(&out, "mctsvc_request_latency_seconds");
   return out;
 }
 

@@ -10,9 +10,11 @@
 namespace mctsvc {
 
 /// Power-of-two-microsecond latency buckets: bucket i counts requests with
-/// latency in [2^(i-1), 2^i) microseconds (bucket 0 is < 1 us, the last
-/// bucket is the overflow). Recording is a single relaxed atomic add, so
-/// worker threads never serialize on the histogram.
+/// latency in (2^(i-1), 2^i] microseconds (bucket 0 is <= 1 us, the last
+/// bucket is the overflow). A sample exactly on a bucket's upper bound
+/// belongs to THAT bucket, matching the cumulative `le` (less-or-equal)
+/// semantics of the JSON and Prometheus exports. Recording is a single
+/// relaxed atomic add, so worker threads never serialize on the histogram.
 class LatencyHistogram {
  public:
   static constexpr size_t kBuckets = 24;  // up to ~8.4 s, then overflow
@@ -25,14 +27,26 @@ class LatencyHistogram {
   double total_seconds() const {
     return double(total_nanos_.load(std::memory_order_relaxed)) * 1e-9;
   }
-  /// Upper-bound estimate of the q-quantile (seconds) from the bucket
-  /// boundaries; 0 when empty.
+  /// Conservative q-quantile estimate in seconds: the UPPER BOUND of the
+  /// first bucket whose cumulative count reaches rank q (no intra-bucket
+  /// interpolation), so the true quantile is <= the returned value and at
+  /// most 2x smaller. 0 when empty.
   double Quantile(double q) const;
   uint64_t bucket(size_t i) const {
     return buckets_[i].load(std::memory_order_relaxed);
   }
+  /// Bucket i's `le` upper bound in microseconds (2^i).
+  static double BucketUpperUs(size_t i);
 
+  /// Buckets export as CUMULATIVE {"le":X,"count":N} pairs — N counts all
+  /// samples <= X us — mirroring the Prometheus histogram convention.
+  /// Entries whose own bucket is empty are elided (the cumulative count is
+  /// recoverable from the next emitted entry).
   std::string ToJson() const;
+  /// Prometheus text exposition: `<name>_bucket{le="..."}` cumulative
+  /// series (le in SECONDS, ending with +Inf), plus `<name>_sum` and
+  /// `<name>_count`.
+  void AppendPrometheus(std::string* out, const std::string& name) const;
   void Reset();
 
  private:
@@ -55,11 +69,21 @@ struct ServiceMetrics {
   std::atomic<uint64_t> failed{0};
   /// Requests admitted but not yet finished (queued or running).
   std::atomic<uint64_t> queue_depth{0};
+  /// Per-query-attributed page I/O summed over completed requests (exact:
+  /// charged at fetch time by the fetching query's ExecStats, not diffed
+  /// from pool-global counters).
+  std::atomic<uint64_t> page_hits{0};
+  std::atomic<uint64_t> page_misses{0};
+  /// Completed requests whose latency reached the slow-query threshold.
+  std::atomic<uint64_t> slow_queries{0};
   LatencyHistogram latency;
 
   /// Counters + latency histogram as one JSON object (no pool stats; the
   /// service adds those, see QueryService::MetricsJson).
   std::string ToJson() const;
+  /// Counters + latency histogram in Prometheus text exposition format,
+  /// `mctsvc_`-prefixed (no pool stats; see QueryService::MetricsText).
+  std::string ToPrometheus() const;
 };
 
 }  // namespace mctsvc

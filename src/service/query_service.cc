@@ -108,6 +108,7 @@ void QueryService::RunNext(const std::shared_ptr<Session>& session) {
     metrics_.completed.fetch_add(1, std::memory_order_relaxed);
     if (result.ok()) {
       metrics_.latency.Record(result->elapsed_seconds);
+      RecordCompletion(*session, *result);
     } else {
       metrics_.failed.fetch_add(1, std::memory_order_relaxed);
     }
@@ -127,6 +128,39 @@ void QueryService::RunNext(const std::shared_ptr<Session>& session) {
     MCTDB_CHECK_MSG(ok, "worker pool rejected a strand continuation");
   }
   FinishOne();
+}
+
+void QueryService::RecordCompletion(const Session& session,
+                                    const ExecResult& result) {
+  metrics_.page_hits.fetch_add(result.page_hits,
+                               std::memory_order_relaxed);
+  metrics_.page_misses.fetch_add(result.page_misses,
+                                 std::memory_order_relaxed);
+  if (options_.slow_query_seconds <= 0 ||
+      result.elapsed_seconds < options_.slow_query_seconds ||
+      options_.slow_query_log_capacity == 0) {
+    return;
+  }
+  metrics_.slow_queries.fetch_add(1, std::memory_order_relaxed);
+  SlowQueryRecord record;
+  record.store = session.store_name_;
+  record.query = result.trace.label;
+  record.seconds = result.elapsed_seconds;
+  record.page_hits = result.page_hits;
+  record.page_misses = result.page_misses;
+  record.join_pairs = result.join_pairs;
+  record.stages = mctdb::obs::AggregateByStage(result.trace);
+  std::lock_guard<mctdb::OrderedMutex> lock(slow_mu_);
+  slow_log_.push_back(std::move(record));
+  while (slow_log_.size() > options_.slow_query_log_capacity) {
+    slow_log_.pop_front();
+  }
+}
+
+std::vector<QueryService::SlowQueryRecord> QueryService::SlowQueries()
+    const {
+  std::lock_guard<mctdb::OrderedMutex> lock(slow_mu_);
+  return {slow_log_.begin(), slow_log_.end()};
 }
 
 Result<QueryFuture> QueryService::Session::Submit(const QueryPlan& plan,
@@ -214,6 +248,34 @@ std::string QueryService::MetricsJson() const {
     out += "]}}";
   }
   out += "]}";
+  return out;
+}
+
+std::string QueryService::MetricsText() const {
+  std::string out = metrics_.ToPrometheus();
+  std::lock_guard<mctdb::OrderedMutex> lock(mu_);
+  if (!stores_.empty()) {
+    out += "# TYPE mctsvc_pool_hits_total counter\n";
+    out += "# TYPE mctsvc_pool_misses_total counter\n";
+    out += "# TYPE mctsvc_pool_resident_pages gauge\n";
+  }
+  char buf[160];
+  for (const auto& [name, entry] : stores_) {
+    std::snprintf(buf, sizeof(buf),
+                  "mctsvc_pool_hits_total{store=\"%s\"} %llu\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(entry.pool->hits()));
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "mctsvc_pool_misses_total{store=\"%s\"} %llu\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(entry.pool->misses()));
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "mctsvc_pool_resident_pages{store=\"%s\"} %zu\n",
+                  name.c_str(), entry.pool->resident());
+    out += buf;
+  }
   return out;
 }
 

@@ -32,8 +32,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/ordered_mutex.h"
+#include "obs/exec_stats.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "query/executor.h"
@@ -64,6 +66,13 @@ struct ServiceOptions {
   /// Malformed plans are rejected with Status::InvalidArgument before they
   /// consume an admission slot or a worker.
   bool verify_plans = true;
+  /// Slow-query threshold in seconds: a completed request whose execution
+  /// took at least this long is recorded in the slow-query log (and
+  /// counted in metrics). 0 disables the log.
+  double slow_query_seconds = 0.0;
+  /// Ring-buffer capacity of the slow-query log; the oldest entry is
+  /// dropped once full.
+  size_t slow_query_log_capacity = 32;
 };
 
 using QueryFuture = std::future<mctdb::Result<mctdb::query::ExecResult>>;
@@ -104,6 +113,25 @@ class QueryService {
   const ServiceMetrics& metrics() const { return metrics_; }
   /// Service counters plus per-store, per-shard pool statistics as JSON.
   std::string MetricsJson() const;
+  /// The same data in Prometheus text exposition format (counters, the
+  /// latency histogram with cumulative `le` buckets, per-store pool
+  /// gauges), ready to serve from a /metrics endpoint.
+  std::string MetricsText() const;
+
+  /// One slow-query log entry: the per-stage breakdown of a request that
+  /// crossed the slow_query_seconds threshold. Per-query exact I/O counts
+  /// plus the per-stage rollup of its span trace.
+  struct SlowQueryRecord {
+    std::string store;
+    std::string query;
+    double seconds = 0.0;
+    uint64_t page_hits = 0;
+    uint64_t page_misses = 0;
+    uint64_t join_pairs = 0;
+    mctdb::obs::StageTable stages{};
+  };
+  /// Snapshot of the slow-query ring buffer, oldest first.
+  std::vector<SlowQueryRecord> SlowQueries() const;
 
  private:
   friend class Session;
@@ -114,6 +142,10 @@ class QueryService {
 
   void RunNext(const std::shared_ptr<Session>& session);
   void FinishOne();
+  /// Records per-query I/O counters and, past the threshold, appends the
+  /// request to the slow-query ring.
+  void RecordCompletion(const Session& session,
+                        const mctdb::query::ExecResult& result);
 
   // Lock ranks (see common/ordered_mutex.h): registry < strand < drain <
   // pool shard. The rank checker aborts on any acquisition that inverts
@@ -126,6 +158,8 @@ class QueryService {
   std::atomic<uint64_t> pending_{0};
   mctdb::OrderedMutex drain_mu_{mctdb::LockRank::kServiceDrain};
   std::condition_variable_any drained_cv_;
+  mutable mctdb::OrderedMutex slow_mu_{mctdb::LockRank::kSlowQueryLog};
+  std::deque<SlowQueryRecord> slow_log_;  // bounded ring, oldest first
   std::unique_ptr<mctdb::ThreadPool> pool_;
 };
 

@@ -22,20 +22,23 @@ void Pager::Write(PageId id, const char* data) {
 
 void Pager::Read(PageId id, char* out) const {
   MCTDB_CHECK(id < pages_.size());
+  if (read_hook_) read_hook_(id);
   std::memcpy(out, pages_[id].get(), kPageSize);
   disk_reads_.fetch_add(1, std::memory_order_relaxed);
 }
 
-const char* BufferPool::Fetch(PageId id) {
+const char* BufferPool::Fetch(PageId id, bool* out_miss) {
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     ++hits_;
+    *out_miss = false;
     lru_.erase(it->second.lru_pos);
     lru_.push_front(id);
     it->second.lru_pos = lru_.begin();
     return it->second.data.get();
   }
   ++misses_;
+  *out_miss = true;
   if (frames_.size() >= capacity_) {
     PageId victim = lru_.back();
     lru_.pop_back();

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <unordered_map>
@@ -33,6 +34,12 @@ class Pager {
   void Write(PageId id, const char* data);
   /// Copies a page out; counted as one disk read. Thread-safe.
   void Read(PageId id, char* out) const;
+  /// Test/bench seam: `hook` runs at the top of every Read with the page
+  /// id, outside any pool lock — a hook that blocks models a slow disk.
+  /// Install before concurrent readers start; not itself synchronized.
+  void SetReadHook(std::function<void(PageId)> hook) {
+    read_hook_ = std::move(hook);
+  }
   /// Raw page bytes for persistence (not counted as query I/O).
   const char* RawPage(PageId id) const { return pages_[id].get(); }
 
@@ -47,6 +54,7 @@ class Pager {
 
  private:
   std::vector<std::unique_ptr<char[]>> pages_;
+  std::function<void(PageId)> read_hook_;
   mutable std::atomic<uint64_t> disk_reads_{0};
   std::atomic<uint64_t> disk_writes_{0};
 };
@@ -56,13 +64,25 @@ class Pager {
 /// it valid until the matching Unpin, single-threaded caches may no-op
 /// Unpin and only guarantee validity until the next Fetch. Every cache
 /// maintains hits() + misses() == total fetches.
+///
+/// Attribution contract: every Fetch reports whether it missed via
+/// `out_miss`, so the *fetching* caller can charge the I/O to itself (see
+/// obs::ExecStats). The pool-global hits()/misses() counters aggregate
+/// all callers and must never be diffed to derive a single query's cost —
+/// on a shared pool, concurrent queries would bill each other.
 class PageCache {
  public:
   virtual ~PageCache() = default;
-  /// Returns the cached frame for `id`, faulting it in if needed.
+  /// Returns the cached frame for `id`, faulting it in if needed, and
+  /// sets `*out_miss` to whether this fetch went to the pager.
   /// [[nodiscard]]: Fetch takes a pin; dropping the frame pointer leaks
   /// the pin (the frame is never unpinnable again by this caller).
-  [[nodiscard]] virtual const char* Fetch(PageId id) = 0;
+  [[nodiscard]] virtual const char* Fetch(PageId id, bool* out_miss) = 0;
+  /// Convenience overload for callers that do not attribute I/O.
+  [[nodiscard]] const char* Fetch(PageId id) {
+    bool miss = false;
+    return Fetch(id, &miss);
+  }
   /// Releases one pin taken by Fetch for `id`.
   virtual void Unpin(PageId id) = 0;
   virtual uint64_t hits() const = 0;
@@ -77,10 +97,11 @@ class BufferPool : public PageCache {
   BufferPool(const Pager* pager, size_t capacity_pages)
       : pager_(pager), capacity_(capacity_pages == 0 ? 1 : capacity_pages) {}
 
+  using PageCache::Fetch;
   /// Returns a pointer to the cached frame for `id`, faulting it in (and
   /// evicting the least recently used frame) if needed. The pointer is
   /// valid until the next Fetch.
-  [[nodiscard]] const char* Fetch(PageId id) override;
+  [[nodiscard]] const char* Fetch(PageId id, bool* out_miss) override;
   void Unpin(PageId) override {}
 
   uint64_t hits() const override { return hits_; }

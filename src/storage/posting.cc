@@ -36,8 +36,10 @@ bool PostingCursor::Next(LabelEntry* out) {
   size_t page_index = index_ / kEntriesPerPage;
   if (page_index != current_page_index_) {
     Release();
-    current_page_ = pool_->Fetch(meta_->pages[page_index]);
+    bool miss = false;
+    current_page_ = pool_->Fetch(meta_->pages[page_index], &miss);
     current_page_index_ = page_index;
+    if (stats_ != nullptr) stats_->OnPageFetch(miss);
   }
   size_t slot = index_ % kEntriesPerPage;
   std::memcpy(out, current_page_ + slot * sizeof(LabelEntry),
@@ -54,10 +56,11 @@ void PostingCursor::Release() {
   }
 }
 
-std::vector<LabelEntry> ReadAll(PageCache* pool, const PostingMeta& meta) {
+std::vector<LabelEntry> ReadAll(PageCache* pool, const PostingMeta& meta,
+                                obs::ExecStats* stats) {
   std::vector<LabelEntry> out;
   out.reserve(meta.count);
-  PostingCursor cursor(pool, &meta);
+  PostingCursor cursor(pool, &meta, stats);
   LabelEntry e;
   while (cursor.Next(&e)) out.push_back(e);
   return out;

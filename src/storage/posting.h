@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/exec_stats.h"
 #include "storage/pager.h"
 
 namespace mctdb::storage {
@@ -65,10 +66,15 @@ class PostingWriter {
 /// touch is a pool fetch, so misses show up in the stats). Holds at most
 /// one page pinned at a time; the destructor releases the last pin, so a
 /// cursor works unchanged over the concurrent ShardedBufferPool.
+///
+/// When `stats` is given, every page fetch (and its hit/miss outcome) is
+/// charged to it — this is how a query's I/O is attributed to exactly
+/// that query even on a pool shared by concurrent sessions.
 class PostingCursor {
  public:
-  PostingCursor(PageCache* pool, const PostingMeta* meta)
-      : pool_(pool), meta_(meta) {}
+  PostingCursor(PageCache* pool, const PostingMeta* meta,
+                obs::ExecStats* stats = nullptr)
+      : pool_(pool), meta_(meta), stats_(stats) {}
   ~PostingCursor() { Release(); }
 
   PostingCursor(const PostingCursor&) = delete;
@@ -76,8 +82,8 @@ class PostingCursor {
   /// Movable: the pin travels with the cursor, so exactly one of the two
   /// objects releases it.
   PostingCursor(PostingCursor&& other) noexcept
-      : pool_(other.pool_), meta_(other.meta_), index_(other.index_),
-        current_page_(other.current_page_),
+      : pool_(other.pool_), meta_(other.meta_), stats_(other.stats_),
+        index_(other.index_), current_page_(other.current_page_),
         current_page_index_(other.current_page_index_) {
     other.current_page_ = nullptr;
     other.current_page_index_ = SIZE_MAX;
@@ -87,6 +93,7 @@ class PostingCursor {
       Release();
       pool_ = other.pool_;
       meta_ = other.meta_;
+      stats_ = other.stats_;
       index_ = other.index_;
       current_page_ = other.current_page_;
       current_page_index_ = other.current_page_index_;
@@ -109,12 +116,15 @@ class PostingCursor {
 
   PageCache* pool_;
   const PostingMeta* meta_;
+  obs::ExecStats* stats_ = nullptr;
   size_t index_ = 0;
   const char* current_page_ = nullptr;
   size_t current_page_index_ = SIZE_MAX;
 };
 
-/// Reads a whole posting list into memory (through the pool).
-std::vector<LabelEntry> ReadAll(PageCache* pool, const PostingMeta& meta);
+/// Reads a whole posting list into memory (through the pool), charging
+/// `stats` when given.
+std::vector<LabelEntry> ReadAll(PageCache* pool, const PostingMeta& meta,
+                                obs::ExecStats* stats = nullptr);
 
 }  // namespace mctdb::storage

@@ -54,21 +54,29 @@ const ShardedBufferPool::Shard& ShardedBufferPool::ShardFor(
   return *shards_[Hash64(uint64_t(id)) & (shards_.size() - 1)];
 }
 
-const char* ShardedBufferPool::Fetch(PageId id) {
+const char* ShardedBufferPool::Fetch(PageId id, bool* out_miss) {
   Shard& s = ShardFor(id);
-  std::lock_guard<mctdb::OrderedMutex> lock(s.mu);
+  std::unique_lock<mctdb::OrderedMutex> lock(s.mu);
   auto it = s.frames.find(id);
   if (it != s.frames.end()) {
     s.hits.fetch_add(1, std::memory_order_relaxed);
+    *out_miss = false;
     Frame& f = it->second;
     if (f.in_lru) {
       s.lru.erase(f.lru_pos);
       f.in_lru = false;
     }
     ++f.pins;
+    if (f.loading) {
+      // Another thread reserved this frame and is reading it in with the
+      // lock released; our pin keeps the frame alive, so just wait for
+      // the bytes (one disk read serves every concurrent fetcher).
+      s.load_cv.wait(lock, [&f] { return !f.loading; });
+    }
     return f.data.get();
   }
   s.misses.fetch_add(1, std::memory_order_relaxed);
+  *out_miss = true;
   if (s.frames.size() >= s.capacity && !s.lru.empty()) {
     PageId victim = s.lru.back();
     s.lru.pop_back();
@@ -76,11 +84,22 @@ const char* ShardedBufferPool::Fetch(PageId id) {
   }
   Frame f;
   f.data = std::make_unique<char[]>(kPageSize);
-  pager_->Read(id, f.data.get());
   f.pins = 1;
+  f.loading = true;
   auto [pos, inserted] = s.frames.emplace(id, std::move(f));
   MCTDB_CHECK(inserted);
-  return pos->second.data.get();
+  // Read OUTSIDE the shard lock: a miss's disk I/O must not serialize
+  // hits on other pages of the shard. The frame is pinned and marked
+  // loading, so it cannot be evicted or trimmed, and `frame` stays valid
+  // (rehash moves buckets, not elements).
+  Frame& frame = pos->second;
+  char* data = frame.data.get();
+  lock.unlock();
+  pager_->Read(id, data);
+  lock.lock();
+  frame.loading = false;
+  s.load_cv.notify_all();
+  return data;
 }
 
 void ShardedBufferPool::Unpin(PageId id) {

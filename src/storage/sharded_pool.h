@@ -12,6 +12,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -32,7 +33,13 @@ class ShardedBufferPool : public PageCache {
   ShardedBufferPool(const Pager* pager, size_t capacity_pages,
                     size_t num_shards = 0);
 
-  [[nodiscard]] const char* Fetch(PageId id) override;
+  using PageCache::Fetch;
+  /// Thread-safe fetch. A miss reserves and pins the frame under the
+  /// shard lock, then reads from the pager with the lock RELEASED (an
+  /// in-flight `loading` flag makes concurrent fetchers of the same page
+  /// wait on the shard's condition variable), so one slow disk read never
+  /// serializes hits on other pages of the shard.
+  [[nodiscard]] const char* Fetch(PageId id, bool* out_miss) override;
   void Unpin(PageId id) override;
 
   uint64_t hits() const override;
@@ -55,11 +62,17 @@ class ShardedBufferPool : public PageCache {
     uint32_t pins = 0;
     std::list<PageId>::iterator lru_pos;  // valid iff in_lru
     bool in_lru = false;
+    /// True while the reserving thread copies the page in from the pager
+    /// outside the shard lock. The frame is pinned for the duration, so
+    /// it can be neither evicted nor trimmed mid-read.
+    bool loading = false;
   };
   struct Shard {
-    // Leaf-rank lock: held only across frame-map operations, never while
-    // calling back into service or session code (see ordered_mutex.h).
+    // Leaf-rank lock: held only across frame-map operations, never across
+    // pager I/O or calls back into service or session code (see
+    // ordered_mutex.h).
     mutable mctdb::OrderedMutex mu{mctdb::LockRank::kPoolShard};
+    std::condition_variable_any load_cv;  // signaled when a load finishes
     std::unordered_map<PageId, Frame> frames;
     std::list<PageId> lru;  // unpinned resident pages, front = most recent
     std::atomic<uint64_t> hits{0};

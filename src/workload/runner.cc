@@ -4,6 +4,7 @@
 #include <chrono>
 #include <optional>
 
+#include "analysis/plan_verify.h"
 #include "common/logging.h"
 #include "query/planner.h"
 #include "service/query_service.h"
@@ -18,17 +19,32 @@ Measurement MakeMeasurement(const std::string& schema,
                             const query::PlanStats& plan_stats,
                             std::vector<double> times,
                             const query::ExecResult& last) {
-  std::sort(times.begin(), times.end());
   Measurement m;
   m.schema = schema;
   m.query = name;
   m.plan = plan_stats;
-  m.seconds = times[times.size() / 2];
+  m.seconds = MedianSeconds(std::move(times));
   m.unique_results = q.is_update() ? last.logicals_updated : last.unique_count;
   m.raw_results = q.is_update() ? last.elements_updated : last.raw_count;
   m.elements_updated = last.elements_updated;
   m.page_misses = last.page_misses;
+  m.page_hits = last.page_hits;
+  m.join_pairs = last.join_pairs;
+  m.stages = obs::AggregateByStage(last.trace);
   return m;
+}
+
+/// Shared admission check of both grid paths: statically verify the plan
+/// before executing it, so a malformed plan becomes a problem row instead
+/// of a crashed worker, with an identical message either way.
+bool VerifyPlanOrReport(const query::QueryPlan& plan,
+                        const std::string& name, const std::string& schema,
+                        std::vector<std::string>* problems) {
+  analysis::DiagnosticReport report = analysis::VerifyPlan(plan);
+  if (!report.has_errors()) return true;
+  problems->push_back(name + " on " + schema +
+                      ": plan verification failed:\n" + report.ToText());
+  return false;
 }
 
 /// Record `last` for the equivalence check: the first schema to report a
@@ -64,6 +80,10 @@ void RunGridSerial(const Workload& workload, const RunnerOptions& options,
       if (!plan.ok()) {
         summary->problems.push_back(name + " on " + schemas[i].name() +
                                     ": " + plan.status().ToString());
+        continue;
+      }
+      if (!VerifyPlanOrReport(*plan, name, schemas[i].name(),
+                              &summary->problems)) {
         continue;
       }
       query::Executor exec(stores[i].get());
@@ -151,6 +171,12 @@ void RunGridParallel(const Workload& workload, const RunnerOptions& options,
         grid[i].push_back(std::move(cell));
         continue;
       }
+      if (!VerifyPlanOrReport(*plan, name, schemas[i].name(),
+                              &summary->problems)) {
+        cell.q = nullptr;
+        grid[i].push_back(std::move(cell));
+        continue;
+      }
       cell.plan = std::move(*plan);
       grid[i].push_back(std::move(cell));
     }
@@ -202,6 +228,14 @@ void RunGridParallel(const Workload& workload, const RunnerOptions& options,
 }
 
 }  // namespace
+
+double MedianSeconds(std::vector<double> times) {
+  MCTDB_CHECK(!times.empty());
+  std::sort(times.begin(), times.end());
+  size_t mid = times.size() / 2;
+  if (times.size() % 2 == 1) return times[mid];
+  return (times[mid - 1] + times[mid]) / 2.0;
+}
 
 const Measurement* RunSummary::Find(const std::string& schema,
                                     const std::string& query) const {

@@ -44,8 +44,21 @@ struct Measurement {
   size_t unique_results = 0;
   size_t raw_results = 0;
   size_t elements_updated = 0;
+  /// Exact per-query I/O of the last repetition (charged at fetch time to
+  /// this query, not diffed from pool-global counters).
   uint64_t page_misses = 0;
+  uint64_t page_hits = 0;
+  /// Structural-join containment pairs of the last repetition.
+  uint64_t join_pairs = 0;
+  /// Per-stage rollup of the last repetition's span trace (self time per
+  /// stage kind; rows sum to the query's elapsed time).
+  obs::StageTable stages{};
 };
+
+/// True median: the middle element for odd sizes, the mean of the two
+/// middle elements for even sizes. Exposed for testing; RunWorkload uses
+/// it for the reported per-query time.
+double MedianSeconds(std::vector<double> times);
 
 struct RunSummary {
   /// Storage statistics per schema, in strategy order.

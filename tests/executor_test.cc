@@ -179,6 +179,69 @@ TEST_F(ExecutorTest, PageAccountingNonzero) {
   EXPECT_GT(r.elapsed_seconds, 0.0);
 }
 
+TEST_F(ExecutorTest, PerQueryCountsMatchPoolDeltasWhenSerial) {
+  // With a single executor on the store's own pool, the per-query charged
+  // counts must equal the pool-global deltas — the old (diff-based)
+  // numbers were correct in the serial case, and the new attribution
+  // must reproduce them exactly.
+  auto* store = (*stores_)[2].get();  // SHALLOW
+  auto* pool = store->buffer_pool();
+  const AssociationQuery* q = w_->Find("Q1");
+  ASSERT_NE(q, nullptr);
+  auto plan = PlanQuery(*q, (*schemas_)[2]);
+  ASSERT_TRUE(plan.ok());
+  Executor exec(store);
+  uint64_t hits0 = pool->hits();
+  uint64_t misses0 = pool->misses();
+  auto result = exec.Execute(*plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->page_hits, pool->hits() - hits0);
+  EXPECT_EQ(result->page_misses, pool->misses() - misses0);
+}
+
+TEST_F(ExecutorTest, TraceSpansCoverTheQuery) {
+  ExecResult r = Run("Q1", 4);  // MCMR: structural joins + crossings
+  EXPECT_EQ(r.trace.kind, obs::StageKind::kQuery);
+  EXPECT_EQ(r.trace.label, "Q1");
+  EXPECT_FALSE(r.trace.children.empty());
+  // The span tree's inclusive page counts ARE the query's counts.
+  EXPECT_EQ(r.trace.total_page_hits(), r.page_hits);
+  EXPECT_EQ(r.trace.total_page_misses(), r.page_misses);
+  EXPECT_EQ(r.trace.join_pairs, r.join_pairs);
+  // Per-stage rollup self times sum to the root's elapsed (within float
+  // noise) and every stage row with calls has kind coverage.
+  obs::StageTable table = obs::AggregateByStage(r.trace);
+  EXPECT_GT(table[size_t(obs::StageKind::kTagScan)].calls, 0u);
+  EXPECT_GT(table[size_t(obs::StageKind::kStructuralJoin)].calls, 0u);
+  double self_sum = 0;
+  for (const obs::StageAgg& row : table) self_sum += row.seconds;
+  EXPECT_NEAR(self_sum, r.trace.elapsed_seconds,
+              r.trace.elapsed_seconds * 0.5 + 1e-4);
+}
+
+TEST_F(ExecutorTest, NullQueryPlanIsInvalidArgument) {
+  QueryPlan plan;  // no query attached
+  Executor exec((*stores_)[0].get());
+  auto result = exec.Execute(plan);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(ExecutorTest, MissingEdgePlanIsInvalidArgument) {
+  // A plan whose edge list was stripped (e.g. a buggy cache or a partial
+  // deserialization) must fail cleanly instead of dereferencing null.
+  const AssociationQuery* q = w_->Find("Q1");
+  ASSERT_NE(q, nullptr);
+  auto plan = PlanQuery(*q, (*schemas_)[3]);
+  ASSERT_TRUE(plan.ok());
+  QueryPlan stripped = *plan;
+  stripped.edges.clear();
+  Executor exec((*stores_)[3].get());
+  auto result = exec.Execute(stripped);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument);
+}
+
 TEST_F(ExecutorTest, EmptyPredicateYieldsEmptyResult) {
   QueryBuilder b("empty", w_->diagram);
   int c = b.Root("country");

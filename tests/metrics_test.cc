@@ -1,0 +1,111 @@
+#include "service/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mctsvc {
+namespace {
+
+TEST(LatencyHistogramTest, SampleOnBucketBoundaryStaysInThatBucket) {
+  // `le` means less-OR-EQUAL: a sample of exactly 1 us belongs to the
+  // le=1 bucket, not the next one (the seed put it one bucket too high).
+  LatencyHistogram h;
+  h.Record(1e-6);  // exactly 1 us == bucket 0's upper bound
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 0u);
+
+  h.Record(2e-6);  // exactly 2 us == bucket 1's upper bound
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 0u);
+
+  h.Record(2.0000001e-6);  // just past the boundary moves up
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(LatencyHistogramTest, SubMicrosecondAndZeroLandInBucketZero) {
+  LatencyHistogram h;
+  h.Record(0.0);
+  h.Record(0.5e-6);
+  EXPECT_EQ(h.bucket(0), 2u);
+}
+
+TEST(LatencyHistogramTest, OverflowSamplesLandInLastBucket) {
+  LatencyHistogram h;
+  // The last bucket's lower neighbor tops out at 2^22 us (~4.2 s); both a
+  // boundary sample and something absurdly slow must stay in range.
+  double last_le_us = LatencyHistogram::BucketUpperUs(
+      LatencyHistogram::kBuckets - 2);
+  h.Record(last_le_us * 1e-6);  // exactly on the second-to-last le
+  EXPECT_EQ(h.bucket(LatencyHistogram::kBuckets - 2), 1u);
+  h.Record(3600.0);  // one hour
+  EXPECT_EQ(h.bucket(LatencyHistogram::kBuckets - 1), 1u);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(LatencyHistogramTest, QuantileReturnsBucketUpperBound) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.Record(3e-6);  // bucket le=4us
+  // The estimate is the containing bucket's upper bound: conservative,
+  // never below the true quantile.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 4e-6);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 4e-6);
+  EXPECT_DOUBLE_EQ(LatencyHistogram().Quantile(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, JsonBucketsAreCumulative) {
+  LatencyHistogram h;
+  h.Record(1e-6);   // le=1
+  h.Record(1e-6);   // le=1
+  h.Record(4e-6);   // le=4
+  std::string json = h.ToJson();
+  // Cumulative `le` semantics: the le=4 entry counts all three samples.
+  EXPECT_NE(json.find("{\"le\":1,\"count\":2}"), std::string::npos) << json;
+  EXPECT_NE(json.find("{\"le\":4,\"count\":3}"), std::string::npos) << json;
+  EXPECT_EQ(json.find("{\"le\":2,"), std::string::npos)
+      << "empty buckets are elided: " << json;
+}
+
+TEST(LatencyHistogramTest, PrometheusExpositionIsCumulativeWithInf) {
+  LatencyHistogram h;
+  h.Record(1e-6);
+  h.Record(5000.0);  // overflow bucket
+  std::string text;
+  h.AppendPrometheus(&text, "test_latency_seconds");
+  EXPECT_NE(text.find("# TYPE test_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_latency_seconds_bucket{le=\"1e-06\"} 1"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("test_latency_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("test_latency_seconds_count 2"), std::string::npos);
+  EXPECT_NE(text.find("test_latency_seconds_sum"), std::string::npos);
+}
+
+TEST(ServiceMetricsTest, ToJsonIncludesAttributionCounters) {
+  ServiceMetrics m;
+  m.page_hits.store(7);
+  m.page_misses.store(3);
+  m.slow_queries.store(1);
+  std::string json = m.ToJson();
+  EXPECT_NE(json.find("\"page_hits\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"page_misses\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"slow_queries\":1"), std::string::npos);
+}
+
+TEST(ServiceMetricsTest, ToPrometheusEmitsCounterSeries) {
+  ServiceMetrics m;
+  m.submitted.store(5);
+  m.page_misses.store(9);
+  std::string text = m.ToPrometheus();
+  EXPECT_NE(text.find("mctsvc_requests_submitted_total 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("mctsvc_page_misses_total 9"), std::string::npos);
+  EXPECT_NE(text.find("mctsvc_queue_depth 0"), std::string::npos);
+  EXPECT_NE(text.find("mctsvc_request_latency_seconds_count 0"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mctsvc

@@ -1,0 +1,157 @@
+#include "obs/exec_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/trace_export.h"
+
+namespace mctdb::obs {
+namespace {
+
+TEST(ExecStatsTest, RootSpanCarriesQueryLabel) {
+  ExecStats stats("Q1");
+  Span root = stats.Finish();
+  EXPECT_EQ(root.kind, StageKind::kQuery);
+  EXPECT_EQ(root.label, "Q1");
+  EXPECT_GE(root.elapsed_seconds, 0.0);
+  EXPECT_TRUE(root.children.empty());
+}
+
+TEST(ExecStatsTest, SpansNestWithStackDiscipline) {
+  ExecStats stats("Q");
+  stats.BeginSpan(StageKind::kStructuralJoin, "outer");
+  stats.BeginSpan(StageKind::kTagScan, "inner");
+  stats.EndSpan();
+  stats.EndSpan();
+  stats.BeginSpan(StageKind::kDupElim, "sibling");
+  stats.EndSpan();
+  Span root = stats.Finish();
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].kind, StageKind::kStructuralJoin);
+  ASSERT_EQ(root.children[0].children.size(), 1u);
+  EXPECT_EQ(root.children[0].children[0].kind, StageKind::kTagScan);
+  EXPECT_EQ(root.children[1].kind, StageKind::kDupElim);
+  EXPECT_TRUE(root.children[1].children.empty());
+}
+
+TEST(ExecStatsTest, PageFetchesChargeTheInnermostOpenSpan) {
+  ExecStats stats("Q");
+  stats.OnPageFetch(true);  // root is innermost
+  stats.BeginSpan(StageKind::kStructuralJoin, "join");
+  stats.OnPageFetch(false);
+  stats.BeginSpan(StageKind::kTagScan, "scan");
+  stats.OnPageFetch(true);
+  stats.OnPageFetch(true);
+  stats.EndSpan();
+  stats.OnPageFetch(false);  // back to the join span
+  stats.EndSpan();
+  EXPECT_EQ(stats.page_hits(), 2u);
+  EXPECT_EQ(stats.page_misses(), 3u);
+  Span root = stats.Finish();
+  EXPECT_EQ(root.page_misses, 1u);
+  EXPECT_EQ(root.page_hits, 0u);
+  const Span& join = root.children[0];
+  EXPECT_EQ(join.page_hits, 2u);
+  EXPECT_EQ(join.page_misses, 0u);
+  const Span& scan = join.children[0];
+  EXPECT_EQ(scan.page_misses, 2u);
+  EXPECT_EQ(scan.page_hits, 0u);
+  // Inclusive counts roll the subtree up.
+  EXPECT_EQ(root.total_page_hits(), 2u);
+  EXPECT_EQ(root.total_page_misses(), 3u);
+}
+
+TEST(ExecStatsTest, JoinPairsAccumulateOnSpanAndQueryTotal) {
+  ExecStats stats("Q");
+  stats.BeginSpan(StageKind::kStructuralJoin, "a");
+  stats.AddJoinPairs(5);
+  stats.EndSpan();
+  stats.BeginSpan(StageKind::kStructuralJoin, "b");
+  stats.AddJoinPairs(7);
+  stats.EndSpan();
+  EXPECT_EQ(stats.join_pairs(), 12u);
+  Span root = stats.Finish();
+  EXPECT_EQ(root.join_pairs, 12u);
+  EXPECT_EQ(root.children[0].join_pairs, 5u);
+  EXPECT_EQ(root.children[1].join_pairs, 7u);
+}
+
+TEST(ExecStatsTest, AggregateByStageUsesSelfTime) {
+  Span root;
+  root.kind = StageKind::kQuery;
+  root.elapsed_seconds = 1.0;
+  Span join;
+  join.kind = StageKind::kStructuralJoin;
+  join.elapsed_seconds = 0.6;
+  join.join_pairs = 9;
+  Span scan;
+  scan.kind = StageKind::kTagScan;
+  scan.elapsed_seconds = 0.25;
+  scan.page_misses = 3;
+  scan.cardinality_out = 40;
+  join.children.push_back(scan);
+  root.children.push_back(join);
+
+  StageTable table = AggregateByStage(root);
+  const StageAgg& query = table[size_t(StageKind::kQuery)];
+  const StageAgg& joins = table[size_t(StageKind::kStructuralJoin)];
+  const StageAgg& scans = table[size_t(StageKind::kTagScan)];
+  EXPECT_DOUBLE_EQ(query.seconds, 0.4);  // 1.0 - 0.6 child
+  EXPECT_DOUBLE_EQ(joins.seconds, 0.35);  // 0.6 - 0.25 child
+  EXPECT_DOUBLE_EQ(scans.seconds, 0.25);
+  EXPECT_EQ(joins.calls, 1u);
+  EXPECT_EQ(joins.join_pairs, 9u);
+  EXPECT_EQ(scans.page_misses, 3u);
+  EXPECT_EQ(scans.cardinality_out, 40u);
+  // Self times sum back to the root's inclusive elapsed.
+  double total = 0;
+  for (const StageAgg& row : table) total += row.seconds;
+  EXPECT_DOUBLE_EQ(total, 1.0);
+}
+
+TEST(SpanScopeTest, NullStatsIsANoOp) {
+  SpanScope scope(nullptr, StageKind::kTagScan, "scan");
+  scope.SetCardinalityIn(3);
+  scope.SetCardinalityOut(2);
+  scope.AddJoinPairs(1);  // must not crash
+}
+
+TEST(TraceExportTest, JsonEscapesControlCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("x\ny"), "x\\ny");
+  EXPECT_EQ(JsonEscape(std::string("z\x01", 2)), "z\\u0001");
+}
+
+TEST(TraceExportTest, SpanToJsonEmitsNestedTree) {
+  ExecStats stats("Q\"2\"");
+  Span* span = stats.BeginSpan(StageKind::kTagScan, "item@c0");
+  span->cardinality_in = 10;
+  span->cardinality_out = 4;
+  stats.OnPageFetch(true);
+  stats.EndSpan();
+  std::string json = SpanToJson(stats.Finish());
+  EXPECT_NE(json.find("\"stage\":\"query\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"Q\\\"2\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"stage\":\"tag_scan\""), std::string::npos);
+  EXPECT_NE(json.find("\"cardinality_in\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"cardinality_out\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"page_misses\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"children\":[]"), std::string::npos);
+}
+
+TEST(TraceExportTest, TextRenderingIndentsChildren) {
+  ExecStats stats("Q1");
+  stats.BeginSpan(StageKind::kStructuralJoin, "post@c0");
+  stats.BeginSpan(StageKind::kTagScan, "post@c0");
+  stats.EndSpan();
+  stats.EndSpan();
+  std::string text = SpanTreeToText(stats.Finish());
+  EXPECT_NE(text.find("query Q1"), std::string::npos);
+  EXPECT_NE(text.find("\n  structural_join post@c0"), std::string::npos);
+  EXPECT_NE(text.find("\n    tag_scan post@c0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mctdb::obs

@@ -266,6 +266,134 @@ TEST_F(QueryServiceTest, ConcurrentSessionsAgreeOnReadResults) {
   EXPECT_EQ(service.metrics().latency.count(), kSessions * kRequests);
 }
 
+TEST_F(QueryServiceTest, ConcurrentSessionsChargePagesToTheirOwnQuery) {
+  // The tentpole bug: the executor used to diff pool-GLOBAL counters, so
+  // two sessions on the same store billed each other's I/O. With
+  // executor-owned stats, a query's fetch count is a property of its plan
+  // and data alone — concurrency must not change it.
+  QueryPlan plan = Plan("Q3");
+
+  // Solo baseline on a private service: the query's exact fetch count.
+  uint64_t solo_fetches = 0;
+  {
+    QueryService solo;
+    ASSERT_TRUE(solo.AddStore("tpcw", store_).ok());
+    auto r = solo.Execute("tpcw", plan);
+    ASSERT_TRUE(r.ok());
+    solo_fetches = r->page_hits + r->page_misses;
+    ASSERT_GT(solo_fetches, 0u);
+  }
+
+  ServiceOptions options;
+  options.num_threads = 4;
+  QueryService service(options);
+  ASSERT_TRUE(service.AddStore("tpcw", store_).ok());
+  constexpr size_t kSessions = 6;
+  constexpr size_t kRequests = 4;
+  std::vector<std::shared_ptr<QueryService::Session>> sessions;
+  std::vector<QueryFuture> futures;
+  for (size_t s = 0; s < kSessions; ++s) {
+    auto session = service.OpenSession("tpcw");
+    ASSERT_TRUE(session.ok());
+    sessions.push_back(*session);
+  }
+  for (size_t i = 0; i < kRequests; ++i) {
+    for (auto& session : sessions) {
+      auto f = session->Submit(plan);
+      ASSERT_TRUE(f.ok());
+      futures.push_back(std::move(*f));
+    }
+  }
+  uint64_t sum_hits = 0;
+  uint64_t sum_misses = 0;
+  for (auto& f : futures) {
+    auto r = f.get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    // Each racing query reports exactly its own fetches — not a diff of
+    // whatever the other 23 requests did to the shared pool meanwhile.
+    EXPECT_EQ(r->page_hits + r->page_misses, solo_fetches);
+    sum_hits += r->page_hits;
+    sum_misses += r->page_misses;
+  }
+  service.Drain();
+  // Conservation: every pool fetch is charged to exactly one query, so
+  // the per-query counts sum to the shared pool's global counters.
+  auto* pool = sessions[0]->pool();
+  EXPECT_EQ(sum_hits, pool->hits());
+  EXPECT_EQ(sum_misses, pool->misses());
+  EXPECT_EQ(service.metrics().page_hits.load(), sum_hits);
+  EXPECT_EQ(service.metrics().page_misses.load(), sum_misses);
+}
+
+TEST_F(QueryServiceTest, SlowQueryLogRecordsStageBreakdown) {
+  ServiceOptions options;
+  options.slow_query_seconds = 1e-12;  // everything is "slow"
+  options.slow_query_log_capacity = 2;
+  QueryService service(options);
+  ASSERT_TRUE(service.AddStore("tpcw", store_).ok());
+  QueryPlan plan = Plan("Q1");
+  auto r = service.Execute("tpcw", plan);
+  ASSERT_TRUE(r.ok());
+
+  auto slow = service.SlowQueries();
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_EQ(slow[0].store, "tpcw");
+  EXPECT_EQ(slow[0].query, "Q1");
+  EXPECT_GT(slow[0].seconds, 0.0);
+  EXPECT_EQ(slow[0].page_hits, r->page_hits);
+  EXPECT_EQ(slow[0].page_misses, r->page_misses);
+  EXPECT_EQ(slow[0].join_pairs, r->join_pairs);
+  EXPECT_GT(slow[0].stages[size_t(mctdb::obs::StageKind::kTagScan)].calls,
+            0u);
+  EXPECT_EQ(service.metrics().slow_queries.load(), 1u);
+
+  // The ring is bounded: a third entry evicts the oldest.
+  QueryPlan q3 = Plan("Q3");
+  ASSERT_TRUE(service.Execute("tpcw", q3).ok());
+  ASSERT_TRUE(service.Execute("tpcw", plan).ok());
+  slow = service.SlowQueries();
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_EQ(slow[0].query, "Q3");
+  EXPECT_EQ(slow[1].query, "Q1");
+  EXPECT_EQ(service.metrics().slow_queries.load(), 3u);
+}
+
+TEST_F(QueryServiceTest, SlowQueryLogDisabledByDefault) {
+  QueryService service;
+  ASSERT_TRUE(service.AddStore("tpcw", store_).ok());
+  QueryPlan plan = Plan("Q1");
+  ASSERT_TRUE(service.Execute("tpcw", plan).ok());
+  EXPECT_TRUE(service.SlowQueries().empty());
+  EXPECT_EQ(service.metrics().slow_queries.load(), 0u);
+  // Attribution counters still accumulate even with the log off.
+  EXPECT_GT(service.metrics().page_hits.load() +
+                service.metrics().page_misses.load(),
+            0u);
+}
+
+TEST_F(QueryServiceTest, MetricsTextExportsPrometheusSeries) {
+  QueryPlan plan = Plan("Q1");
+  QueryService service;
+  ASSERT_TRUE(service.AddStore("tpcw", store_).ok());
+  ASSERT_TRUE(service.Execute("tpcw", plan).ok());
+  // Execute() resolves before the worker leaves RunNext; the queue-depth
+  // decrement races with us unless we drain first.
+  service.Drain();
+  std::string text = service.MetricsText();
+  for (const char* series :
+       {"mctsvc_requests_submitted_total 1",
+        "mctsvc_requests_completed_total 1", "mctsvc_queue_depth 0",
+        "# TYPE mctsvc_request_latency_seconds histogram",
+        "mctsvc_request_latency_seconds_bucket{le=\"+Inf\"} 1",
+        "mctsvc_request_latency_seconds_count 1",
+        "mctsvc_pool_hits_total{store=\"tpcw\"}",
+        "mctsvc_pool_misses_total{store=\"tpcw\"}",
+        "mctsvc_pool_resident_pages{store=\"tpcw\"}"}) {
+    EXPECT_NE(text.find(series), std::string::npos)
+        << series << " missing from:\n" << text;
+  }
+}
+
 TEST_F(QueryServiceTest, MetricsJsonExportsServiceAndPoolStats) {
   QueryPlan plan = Plan("Q1");
   QueryService service;
@@ -308,6 +436,11 @@ TEST(ParallelRunnerTest, MatchesSerialRunMeasurementForMeasurement) {
     EXPECT_EQ(ma.unique_results, mb.unique_results);
     EXPECT_EQ(ma.raw_results, mb.raw_results);
     EXPECT_EQ(ma.elements_updated, mb.elements_updated);
+    // Per-query attribution makes I/O counts a property of the plan, not
+    // of pool-global counter timing: the parallel run must report the
+    // same fetch totals as the serial loop.
+    EXPECT_EQ(ma.page_hits + ma.page_misses, mb.page_hits + mb.page_misses);
+    EXPECT_EQ(ma.join_pairs, mb.join_pairs);
     EXPECT_EQ(ma.plan.structural_joins, mb.plan.structural_joins);
     EXPECT_EQ(ma.plan.value_joins, mb.plan.value_joins);
     EXPECT_EQ(ma.plan.dup_ops(), mb.plan.dup_ops());

@@ -54,6 +54,29 @@ TEST(RunnerTest, XmarkWorkloadHealthyOnCollectionSample) {
   }
 }
 
+TEST(RunnerTest, MedianSecondsIsATrueMedian) {
+  // Odd count: the middle element.
+  EXPECT_DOUBLE_EQ(MedianSeconds({5.0, 1.0, 3.0}), 3.0);
+  // Even count: the mean of the two middle elements, NOT the lower one
+  // (the seed's reps=2 "median" was just min(), biasing results fast).
+  EXPECT_DOUBLE_EQ(MedianSeconds({3.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(MedianSeconds({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(MedianSeconds({7.0}), 7.0);
+}
+
+TEST(RunnerTest, MeasurementsCarryStageBreakdown) {
+  Workload w = TpcwWorkload(0.03);
+  auto summary = RunWorkload(w);
+  ASSERT_TRUE(summary.ok());
+  const Measurement* m = summary->Find("EN", "Q1");
+  ASSERT_NE(m, nullptr);
+  EXPECT_GT(m->page_hits + m->page_misses, 0u);
+  uint64_t stage_calls = 0;
+  for (const obs::StageAgg& row : m->stages) stage_calls += row.calls;
+  EXPECT_GT(stage_calls, 0u) << "per-stage rollup must be populated";
+  EXPECT_GT(m->stages[size_t(obs::StageKind::kTagScan)].calls, 0u);
+}
+
 TEST(RunnerTest, UpdateMeasurementsCountElementWrites) {
   Workload w = TpcwWorkload(0.03);
   auto summary = RunWorkload(w);

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
 #include <random>
 #include <thread>
 #include <vector>
@@ -168,6 +172,132 @@ TEST(ShardedPoolTest, MultiThreadedHammer) {
   EXPECT_EQ(wrong_bytes.load(), 0u);
   EXPECT_EQ(pool.hits() + pool.misses(), kThreads * kFetchesPerThread);
   EXPECT_LE(pool.resident(), 16u) << "no pins left, budget must hold";
+}
+
+TEST(ShardedPoolTest, TwoArgFetchReportsPerFetchOutcome) {
+  // The attribution contract: the pool tells the CALLER whether each fetch
+  // missed, so a query can charge its own I/O instead of diffing global
+  // counters.
+  Pager pager;
+  std::vector<PageId> ids = FillPager(&pager, 2);
+  ShardedBufferPool pool(&pager, 4, 1);
+  bool miss = false;
+  const char* frame = pool.Fetch(ids[0], &miss);
+  EXPECT_TRUE(miss);
+  EXPECT_EQ(frame[0], 0);
+  pool.Unpin(ids[0]);
+  frame = pool.Fetch(ids[0], &miss);
+  EXPECT_FALSE(miss);
+  EXPECT_EQ(frame[0], 0);
+  pool.Unpin(ids[0]);
+  (void)pool.Fetch(ids[1], &miss);
+  EXPECT_TRUE(miss) << "a different page is its own miss";
+  pool.Unpin(ids[1]);
+}
+
+TEST(ShardedPoolTest, SlowReadDoesNotSerializeHitsInSameShard) {
+  // A miss's disk I/O runs with the shard lock RELEASED: while one thread
+  // is stuck in a slow pager read of page A, a hit on already-resident
+  // page B of the SAME shard must complete immediately.
+  Pager pager;
+  std::vector<PageId> ids = FillPager(&pager, 2);
+  ShardedBufferPool pool(&pager, 4, 1);  // one shard: A and B share a mutex
+
+  // Warm page B so the main thread's fetch below is a pure hit.
+  (void)pool.Fetch(ids[1]);
+  pool.Unpin(ids[1]);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool a_read_started = false;
+  bool a_read_released = false;
+  pager.SetReadHook([&](PageId id) {
+    if (id != ids[0]) return;
+    std::unique_lock<std::mutex> lock(mu);
+    a_read_started = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return a_read_released; });
+  });
+
+  std::thread cold([&] {
+    const char* frame = pool.Fetch(ids[0]);  // blocks inside the hook
+    EXPECT_EQ(frame[0], 0);
+    pool.Unpin(ids[0]);
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return a_read_started; });
+  }
+
+  // The cold thread is now parked inside Pager::Read. A hit on page B
+  // must not wait for it; if Fetch held the shard lock across the read,
+  // this fetch would deadlock (we only release the hook afterwards).
+  const char* frame = pool.Fetch(ids[1]);
+  EXPECT_EQ(frame[0], 1);
+  pool.Unpin(ids[1]);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_FALSE(a_read_released)
+        << "the hit completed while the slow read was still in flight";
+    a_read_released = true;
+  }
+  cv.notify_all();
+  cold.join();
+  pager.SetReadHook(nullptr);
+}
+
+TEST(ShardedPoolTest, ConcurrentFetchOfLoadingPageWaitsForBytes) {
+  // Two threads miss-race on the same page: the second must wait for the
+  // first thread's in-flight read (one disk read serves both) and then
+  // see the page's actual bytes, never a zero-filled frame.
+  Pager pager;
+  std::vector<PageId> ids = FillPager(&pager, 1);
+  ShardedBufferPool pool(&pager, 4, 1);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool read_started = false;
+  bool read_released = false;
+  pager.SetReadHook([&](PageId) {
+    std::unique_lock<std::mutex> lock(mu);
+    read_started = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return read_released; });
+  });
+
+  std::thread loader([&] {
+    const char* frame = pool.Fetch(ids[0]);
+    EXPECT_EQ(frame[0], 0);
+    EXPECT_EQ(frame[kPageSize - 1], 0);
+    pool.Unpin(ids[0]);
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return read_started; });
+  }
+  std::atomic<bool> waiter_done{false};
+  std::thread waiter([&] {
+    bool miss = true;
+    const char* frame = pool.Fetch(ids[0], &miss);
+    EXPECT_FALSE(miss) << "second fetcher rides the in-flight load";
+    EXPECT_EQ(frame[0], 0);
+    EXPECT_EQ(frame[kPageSize - 1], 0);
+    pool.Unpin(ids[0]);
+    waiter_done.store(true);
+  });
+  // Give the waiter a moment to reach the load_cv wait; it must NOT
+  // finish while the bytes are still being read in.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(waiter_done.load());
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    read_released = true;
+  }
+  cv.notify_all();
+  loader.join();
+  waiter.join();
+  EXPECT_EQ(pager.disk_reads(), 1u) << "one read served both fetchers";
+  pager.SetReadHook(nullptr);
 }
 
 TEST(ShardedPoolTest, ConcurrentPagerCountersAreExact) {

@@ -5,8 +5,12 @@
 //   mctc design   <file.er> [-s STRATEGY] [--dtd|--dot|--tree]
 //   mctc paths    <file.er> [--max N]         eligible associations
 //   mctc mine     <file.xml> [--redesign]     ER from XML id/idrefs
-//   mctc workload <file.er> [--threads N] [--base N] [--reps N]
+//   mctc workload <file.er> [--threads N] [--base N] [--reps N] [--stages]
 //                                             run the emulated workload grid
+//   mctc trace    <file.er> [--query NAME] [-s STRATEGY] [--json] [--base N]
+//                                             execute the workload queries and
+//                                             print each one's stage-span
+//                                             trace (exact per-query I/O)
 //   mctc lint     <file.er> [--json] [--schema-only]
 //                                             static analysis: schema lint +
 //                                             plan verification, 7 strategies
@@ -27,7 +31,10 @@
 #include "design/xml_mining.h"
 #include "er/er_catalog.h"
 #include "er/er_parser.h"
+#include "instance/materialize.h"
 #include "mct/schema_export.h"
+#include "obs/trace_export.h"
+#include "query/executor.h"
 #include "query/planner.h"
 #include "workload/runner.h"
 #include "xml/xml_io.h"
@@ -46,7 +53,9 @@ int Usage() {
       " [--dtd|--dot|--tree]\n"
       "  paths    <file.er> [--max N]\n"
       "  mine     <file.xml> [--redesign]\n"
-      "  workload <file.er> [--threads N] [--base N] [--reps N]\n"
+      "  workload <file.er> [--threads N] [--base N] [--reps N] [--stages]\n"
+      "  trace    <file.er> [--query NAME] [-s STRATEGY] [--json]"
+      " [--base N]\n"
       "  lint     <file.er> [--json] [--schema-only]\n"
       "  demo\n");
   return 1;
@@ -229,6 +238,7 @@ int CmdWorkload(int argc, char** argv) {
   size_t threads = 1;
   size_t base_count = 0;
   size_t reps = 1;
+  bool stages = false;
   for (int i = 0; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       threads = std::strtoul(argv[++i], nullptr, 10);
@@ -236,6 +246,8 @@ int CmdWorkload(int argc, char** argv) {
       base_count = std::strtoul(argv[++i], nullptr, 10);
     } else if (!std::strcmp(argv[i], "--reps") && i + 1 < argc) {
       reps = std::strtoul(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--stages")) {
+      stages = true;
     } else if (path == nullptr) {
       path = argv[i];
     }
@@ -260,17 +272,123 @@ int CmdWorkload(int argc, char** argv) {
               "(setup %.3fs, grid %.3fs)\n",
               diagram->name().c_str(), w.figure_queries.size(), threads,
               reps, summary->setup_seconds, summary->grid_seconds);
-  std::printf("%-8s %-6s %10s %10s %10s %12s\n", "schema", "query",
-              "seconds", "unique", "raw", "page_misses");
+  std::printf("%-8s %-6s %10s %10s %10s %12s %10s %10s\n", "schema",
+              "query", "seconds", "unique", "raw", "page_misses",
+              "page_hits", "pairs");
   for (const workload::Measurement& m : summary->measurements) {
-    std::printf("%-8s %-6s %10.6f %10zu %10zu %12llu\n", m.schema.c_str(),
-                m.query.c_str(), m.seconds, m.unique_results, m.raw_results,
-                static_cast<unsigned long long>(m.page_misses));
+    std::printf("%-8s %-6s %10.6f %10zu %10zu %12llu %10llu %10llu\n",
+                m.schema.c_str(), m.query.c_str(), m.seconds,
+                m.unique_results, m.raw_results,
+                static_cast<unsigned long long>(m.page_misses),
+                static_cast<unsigned long long>(m.page_hits),
+                static_cast<unsigned long long>(m.join_pairs));
+    if (!stages) continue;
+    // Per-stage breakdown of the last repetition: self time per stage
+    // kind (rows sum to the query's elapsed time), plus the stage's own
+    // output cardinality, join pairs, and attributed page I/O.
+    for (size_t k = 0; k < obs::kNumStageKinds; ++k) {
+      const obs::StageAgg& row = m.stages[k];
+      if (row.calls == 0) continue;
+      std::printf("    %-18s %9.3fms calls=%llu out=%llu pairs=%llu "
+                  "pages %lluh/%llum\n",
+                  obs::ToString(static_cast<obs::StageKind>(k)),
+                  row.seconds * 1e3,
+                  static_cast<unsigned long long>(row.calls),
+                  static_cast<unsigned long long>(row.cardinality_out),
+                  static_cast<unsigned long long>(row.join_pairs),
+                  static_cast<unsigned long long>(row.page_hits),
+                  static_cast<unsigned long long>(row.page_misses));
+    }
   }
   for (const std::string& p : summary->problems) {
     std::fprintf(stderr, "problem: %s\n", p.c_str());
   }
   return summary->problems.empty() ? 0 : 2;
+}
+
+int CmdTrace(int argc, char** argv) {
+  const char* path = nullptr;
+  const char* strategy_name = "MCMR";
+  const char* query_name = nullptr;
+  bool json = false;
+  size_t base_count = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "-s") && i + 1 < argc) {
+      strategy_name = argv[++i];
+    } else if (!std::strcmp(argv[i], "--query") && i + 1 < argc) {
+      query_name = argv[++i];
+    } else if (!std::strcmp(argv[i], "--json")) {
+      json = true;
+    } else if (!std::strcmp(argv[i], "--base") && i + 1 < argc) {
+      base_count = std::strtoul(argv[++i], nullptr, 10);
+    } else if (path == nullptr) {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) return Usage();
+  auto diagram = LoadEr(path);
+  if (!diagram.ok()) {
+    std::fprintf(stderr, "error: %s\n", diagram.status().ToString().c_str());
+    return 2;
+  }
+  auto strategy = design::ParseStrategy(strategy_name);
+  if (!strategy.ok()) {
+    std::fprintf(stderr, "error: %s\n", strategy.status().ToString().c_str());
+    return 1;
+  }
+  er::ErGraph graph(*diagram);
+  design::Designer designer(graph);
+  workload::Workload w = workload::XmarkEmulatedWorkload(*diagram);
+  if (base_count > 0) w.gen.base_count = base_count;
+
+  std::vector<std::string> names;
+  for (const std::string& name : w.figure_queries) {
+    if (query_name == nullptr || name == query_name) names.push_back(name);
+  }
+  if (names.empty()) {
+    std::fprintf(stderr, "error: no workload query named '%s'\n",
+                 query_name == nullptr ? "" : query_name);
+    return 2;
+  }
+
+  mct::MctSchema schema = designer.Design(*strategy);
+  instance::LogicalInstance logical =
+      instance::GenerateInstance(graph, w.gen);
+  std::unique_ptr<storage::MctStore> store =
+      instance::Materialize(logical, schema, {});
+
+  if (json) std::printf("{\"schema\":\"%s\",\"queries\":[", schema.name().c_str());
+  bool first = true;
+  for (const std::string& name : names) {
+    const query::AssociationQuery* q = w.Find(name);
+    if (q == nullptr) {
+      std::fprintf(stderr, "error: unknown figure query %s\n", name.c_str());
+      return 2;
+    }
+    auto plan = query::PlanQuery(*q, schema);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "error: %s on %s: %s\n", name.c_str(),
+                   schema.name().c_str(), plan.status().ToString().c_str());
+      return 2;
+    }
+    query::Executor exec(store.get());
+    auto result = exec.Execute(*plan);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s on %s: %s\n", name.c_str(),
+                   schema.name().c_str(),
+                   result.status().ToString().c_str());
+      return 2;
+    }
+    if (json) {
+      if (!first) std::printf(",");
+      std::printf("%s", obs::SpanToJson(result->trace).c_str());
+    } else {
+      std::printf("%s", obs::SpanTreeToText(result->trace).c_str());
+    }
+    first = false;
+  }
+  if (json) std::printf("]}\n");
+  return 0;
 }
 
 int CmdLint(int argc, char** argv) {
@@ -360,6 +478,7 @@ int main(int argc, char** argv) {
   if (!std::strcmp(cmd, "paths")) return CmdPaths(argc - 2, argv + 2);
   if (!std::strcmp(cmd, "mine")) return CmdMine(argc - 2, argv + 2);
   if (!std::strcmp(cmd, "workload")) return CmdWorkload(argc - 2, argv + 2);
+  if (!std::strcmp(cmd, "trace")) return CmdTrace(argc - 2, argv + 2);
   if (!std::strcmp(cmd, "lint")) return CmdLint(argc - 2, argv + 2);
   if (!std::strcmp(cmd, "demo")) return CmdDemo();
   return Usage();
