@@ -2,16 +2,19 @@
 // / group-bys for the TPC-W queries, per schema — the price of redundancy
 // (DEEP, UNDR) and of flat schemas that group by value (SHALLOW).
 #include "bench/bench_util.h"
+#include "bench/report.h"
 
 using namespace mctdb;
 using namespace mctdb::bench;
 
 int main(int argc, char** argv) {
-  (void)ScaleFromArgs(argc, argv);
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  if (!args.ok) return 1;
   std::printf(
       "=== Fig 10: Number of duplicate eliminations / duplicate updates / "
       "group-bys for TPC-W queries ===\n\n");
   TpcwSetup setup(0.01, /*materialize=*/false);
+  JsonReporter reporter("fig10", 0.01);
 
   std::printf("%-6s", "");
   for (const auto& schema : setup.schemas) {
@@ -24,9 +27,18 @@ int main(int argc, char** argv) {
     std::printf("%-6s", name.c_str());
     for (const auto& schema : setup.schemas) {
       auto plan = query::PlanQuery(*q, schema);
-      std::printf("%9zu", plan.ok() ? plan->Stats().dup_ops() : 0);
+      size_t ops = plan.ok() ? plan->Stats().dup_ops() : 0;
+      std::printf("%9zu", ops);
+      reporter.Add(schema.name(), name).Extra("dup_ops", double(ops));
     }
     std::printf("\n");
+  }
+  if (!args.json_path.empty()) {
+    Status status = reporter.WriteTo(args.json_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
   }
   return 0;
 }

@@ -5,59 +5,22 @@
 #include "er/er_catalog.h"
 
 #include "bench/bench_util.h"
+#include "bench/collection_util.h"
+#include "bench/report.h"
 
 using namespace mctdb;
 using namespace mctdb::bench;
 
-namespace {
-
-std::vector<workload::Workload> CollectionWorkloads() {
-  std::vector<workload::Workload> out;
-  for (const er::ErDiagram& d : er::EvaluationCollection()) {
-    if (d.name() == "Derby") {
-      out.push_back(workload::DerbyWorkload());
-    } else if (d.name() == "TPC-W") {
-      out.push_back(workload::TpcwWorkload(0.01));
-    } else {
-      out.push_back(workload::XmarkEmulatedWorkload(d));
-    }
-  }
-  return out;
-}
-
-const std::vector<design::Strategy> kFigureStrategies = {
-    design::Strategy::kDeep, design::Strategy::kAf,
-    design::Strategy::kShallow, design::Strategy::kEn,
-    design::Strategy::kMcmr, design::Strategy::kDr};
-
-void PrintGrid(const char* title,
-               double (*metric)(const workload::CollectionCell&)) {
-  std::printf("%s\n\n%-8s", title, "");
-  for (design::Strategy s : kFigureStrategies) {
-    std::printf("%9s", design::ToString(s));
-  }
-  std::printf("\n");
-  PrintRule(8 + 9 * kFigureStrategies.size());
-  auto cells =
-      workload::AnalyzeCollection(CollectionWorkloads(), kFigureStrategies);
-  size_t per_row = kFigureStrategies.size();
-  for (size_t i = 0; i < cells.size(); i += per_row) {
-    std::printf("%-8s", cells[i].diagram.c_str());
-    for (size_t j = 0; j < per_row; ++j) {
-      std::printf("%9.2f", metric(cells[i + j]));
-    }
-    std::printf("\n");
-  }
-}
-
-}  // namespace
-
-int main() {
-  PrintGrid(
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  if (!args.ok) return 1;
+  return RunCollectionBench(
+      "fig12",
       "=== Fig 12: Geometric mean of number of structural joins, ER "
       "collection ===",
+      "gmean_structural_joins",
       [](const workload::CollectionCell& c) {
         return c.gmean_structural_joins;
-      });
-  return 0;
+      },
+      args.json_path);
 }

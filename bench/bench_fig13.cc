@@ -3,41 +3,22 @@
 #include "er/er_catalog.h"
 
 #include "bench/bench_util.h"
+#include "bench/collection_util.h"
+#include "bench/report.h"
 
 using namespace mctdb;
 using namespace mctdb::bench;
 
-int main() {
-  std::vector<workload::Workload> workloads;
-  for (const er::ErDiagram& d : er::EvaluationCollection()) {
-    if (d.name() == "Derby") {
-      workloads.push_back(workload::DerbyWorkload());
-    } else if (d.name() == "TPC-W") {
-      workloads.push_back(workload::TpcwWorkload(0.01));
-    } else {
-      workloads.push_back(workload::XmarkEmulatedWorkload(d));
-    }
-  }
-  const std::vector<design::Strategy> strategies = {
-      design::Strategy::kDeep, design::Strategy::kAf,
-      design::Strategy::kShallow, design::Strategy::kEn,
-      design::Strategy::kMcmr, design::Strategy::kDr};
-  std::printf(
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  if (!args.ok) return 1;
+  return RunCollectionBench(
+      "fig13",
       "=== Fig 13: Geometric mean of number of value joins / color "
-      "crossings, ER collection ===\n\n%-8s",
-      "");
-  for (design::Strategy s : strategies) {
-    std::printf("%9s", design::ToString(s));
-  }
-  std::printf("\n");
-  PrintRule(8 + 9 * strategies.size());
-  auto cells = workload::AnalyzeCollection(workloads, strategies);
-  for (size_t i = 0; i < cells.size(); i += strategies.size()) {
-    std::printf("%-8s", cells[i].diagram.c_str());
-    for (size_t j = 0; j < strategies.size(); ++j) {
-      std::printf("%9.2f", cells[i + j].gmean_value_joins_crossings);
-    }
-    std::printf("\n");
-  }
-  return 0;
+      "crossings, ER collection ===",
+      "gmean_value_joins_crossings",
+      [](const workload::CollectionCell& c) {
+        return c.gmean_value_joins_crossings;
+      },
+      args.json_path);
 }

@@ -1,15 +1,20 @@
 // Fig 8 reproduction: number of structural joins for the TPC-W queries,
 // per schema (DEEP, AF, SHALLOW, EN, MCMR, DR, UNDR).
 #include "bench/bench_util.h"
+#include "bench/report.h"
 
 using namespace mctdb;
 using namespace mctdb::bench;
 
 int main(int argc, char** argv) {
-  (void)ScaleFromArgs(argc, argv);  // plan metrics are scale-independent
+  // Plan metrics are scale-independent, but the scale argument is still
+  // validated so a typo fails loudly instead of being silently ignored.
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  if (!args.ok) return 1;
   std::printf(
       "=== Fig 8: Number of structural joins for TPC-W queries ===\n\n");
   TpcwSetup setup(0.01, /*materialize=*/false);
+  JsonReporter reporter("fig8", 0.01);
 
   std::printf("%-6s", "");
   for (const auto& schema : setup.schemas) {
@@ -22,9 +27,19 @@ int main(int argc, char** argv) {
     std::printf("%-6s", name.c_str());
     for (const auto& schema : setup.schemas) {
       auto plan = query::PlanQuery(*q, schema);
-      std::printf("%9zu", plan.ok() ? plan->Stats().structural_joins : 0);
+      size_t joins = plan.ok() ? plan->Stats().structural_joins : 0;
+      std::printf("%9zu", joins);
+      reporter.Add(schema.name(), name)
+          .Extra("structural_joins", double(joins));
     }
     std::printf("\n");
+  }
+  if (!args.json_path.empty()) {
+    Status status = reporter.WriteTo(args.json_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
   }
   return 0;
 }

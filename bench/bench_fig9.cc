@@ -2,16 +2,19 @@
 // queries, per schema. The paper's headline metric: schemas with direct
 // recoverability (DEEP, DR, UNDR) minimize it; SHALLOW maximizes it.
 #include "bench/bench_util.h"
+#include "bench/report.h"
 
 using namespace mctdb;
 using namespace mctdb::bench;
 
 int main(int argc, char** argv) {
-  (void)ScaleFromArgs(argc, argv);
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  if (!args.ok) return 1;
   std::printf(
       "=== Fig 9: Number of value joins / color crossings for TPC-W "
       "queries ===\n\n");
   TpcwSetup setup(0.01, /*materialize=*/false);
+  JsonReporter reporter("fig9", 0.01);
 
   std::printf("%-6s", "");
   for (const auto& schema : setup.schemas) {
@@ -24,10 +27,19 @@ int main(int argc, char** argv) {
     std::printf("%-6s", name.c_str());
     for (const auto& schema : setup.schemas) {
       auto plan = query::PlanQuery(*q, schema);
-      std::printf("%9zu",
-                  plan.ok() ? plan->Stats().value_joins_plus_crossings() : 0);
+      size_t joins = plan.ok() ? plan->Stats().value_joins_plus_crossings() : 0;
+      std::printf("%9zu", joins);
+      reporter.Add(schema.name(), name)
+          .Extra("value_joins_crossings", double(joins));
     }
     std::printf("\n");
+  }
+  if (!args.json_path.empty()) {
+    Status status = reporter.WriteTo(args.json_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
   }
   return 0;
 }

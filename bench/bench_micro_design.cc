@@ -4,6 +4,8 @@
 // small (instance independence, §3.3).
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_util.h"
+
 #include "design/algorithm_dumc.h"
 #include "design/algorithm_mc.h"
 #include "design/algorithm_mcmr.h"
@@ -66,4 +68,4 @@ BENCHMARK(BM_AlgorithmMC)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 BENCHMARK(BM_AlgorithmMCMR)->Arg(8)->Arg(16)->Arg(32);
 BENCHMARK(BM_AlgorithmDUMC)->Arg(8)->Arg(16)->Arg(32);
 
-BENCHMARK_MAIN();
+MCTDB_MICRO_BENCH_MAIN();

@@ -6,6 +6,8 @@
 // (make carries an order idref) and time the recovery of the association.
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_util.h"
+
 #include "bench/bench_util.h"
 
 namespace {
@@ -71,4 +73,4 @@ void BM_ValueJoin_SHALLOW(benchmark::State& state) {
 BENCHMARK(BM_StructuralJoin_EN)->Arg(25)->Arg(100)->Arg(400);
 BENCHMARK(BM_ValueJoin_SHALLOW)->Arg(25)->Arg(100)->Arg(400);
 
-BENCHMARK_MAIN();
+MCTDB_MICRO_BENCH_MAIN();

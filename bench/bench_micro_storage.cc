@@ -3,6 +3,8 @@
 // structural join itself.
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_util.h"
+
 #include "query/structural_join.h"
 #include "storage/pager.h"
 #include "storage/posting.h"
@@ -84,4 +86,4 @@ void BM_StackTreeJoin(benchmark::State& state) {
 BENCHMARK(BM_PostingScan)->Arg(16)->Arg(256)->Arg(2048)->Arg(4096);
 BENCHMARK(BM_StackTreeJoin)->Arg(1000)->Arg(100000)->Arg(1000000);
 
-BENCHMARK_MAIN();
+MCTDB_MICRO_BENCH_MAIN();

@@ -6,6 +6,8 @@
 // edge.
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_util.h"
+
 #include "bench/bench_util.h"
 #include "query/structural_join.h"
 #include "query/twig_join.h"
@@ -85,4 +87,4 @@ void BM_BinaryJoinPipeline(benchmark::State& state) {
 BENCHMARK(BM_TwigStack)->Arg(50)->Arg(100)->Arg(200);
 BENCHMARK(BM_BinaryJoinPipeline)->Arg(50)->Arg(100)->Arg(200);
 
-BENCHMARK_MAIN();
+MCTDB_MICRO_BENCH_MAIN();

@@ -5,23 +5,62 @@
 // grid throughput (cells/second, setup excluded), the speedup over the
 // serial run, and whether the equivalence check stayed healthy.
 //
-//   bench_parallel [scale] [threads ...]     default: scale 0.3, threads 1 2 4
+//   bench_parallel [scale] [threads ...] [--json FILE]
+//   default: scale 0.3, threads 1 2 4
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "workload/runner.h"
 
 using namespace mctdb;
+using namespace mctdb::bench;
+
+namespace {
+
+int Usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [scale] [threads ...] [--json FILE]\n"
+               "  scale: positive number (default 0.3)\n"
+               "  threads: positive thread counts (default 1 2 4)\n",
+               prog);
+  return 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  double scale = argc > 1 ? std::atof(argv[1]) : 0.3;
-  if (scale <= 0) scale = 0.3;
+  double scale = 0.3;
+  std::string json_path;
   std::vector<size_t> thread_counts;
-  for (int i = 2; i < argc; ++i) {
-    size_t n = std::strtoul(argv[i], nullptr, 10);
-    if (n > 0) thread_counts.push_back(n);
+  bool scale_seen = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--json")) {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      json_path = argv[++i];
+    } else if (!std::strncmp(argv[i], "--json=", 7)) {
+      json_path = argv[i] + 7;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+      return Usage(argv[0]);
+    } else if (!scale_seen) {
+      scale_seen = true;
+      if (!ParseScale(argv[i], &scale)) {
+        std::fprintf(stderr, "error: bad scale '%s'\n", argv[i]);
+        return Usage(argv[0]);
+      }
+    } else {
+      char* end = nullptr;
+      unsigned long n = std::strtoul(argv[i], &end, 10);
+      if (end == nullptr || *end != '\0' || n == 0 || n > 256) {
+        std::fprintf(stderr, "error: bad thread count '%s'\n", argv[i]);
+        return Usage(argv[0]);
+      }
+      thread_counts.push_back(n);
+    }
   }
   if (thread_counts.empty()) thread_counts = {1, 2, 4};
 
@@ -32,6 +71,7 @@ int main(int argc, char** argv) {
               "grid(s)", "cells", "cells/s", "speedup");
   bench::PrintRule(66);
 
+  JsonReporter reporter("parallel", scale, /*reps=*/3);
   double serial_grid = 0.0;
   bool healthy = true;
   for (size_t threads : thread_counts) {
@@ -57,7 +97,25 @@ int main(int argc, char** argv) {
     std::printf("%8zu %12.3f %12.3f %10zu %10.1f %8.2fx\n", threads,
                 summary->setup_seconds, summary->grid_seconds, cells,
                 cells / summary->grid_seconds, speedup);
+    char label[32];
+    std::snprintf(label, sizeof(label), "threads=%zu", threads);
+    QueryRecord& r = reporter.Add("TPC-W", label);
+    r.median_seconds = summary->grid_seconds;
+    r.reps = options.repetitions;
+    r.Extra("setup_seconds", summary->setup_seconds)
+        .Extra("cells", double(cells))
+        .Extra("cells_per_second",
+               summary->grid_seconds > 0 ? cells / summary->grid_seconds : 0)
+        .Extra("speedup", speedup)
+        .Extra("problems", double(summary->problems.size()));
   }
   std::printf("\nequivalence check: %s\n", healthy ? "passed" : "FAILED");
+  if (!json_path.empty()) {
+    Status status = reporter.WriteTo(json_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
   return healthy ? 0 : 1;
 }

@@ -2,9 +2,13 @@
 // EXPERIMENTS.md are about orderings (who wins), and orderings must not
 // flip as the TPC-W instance grows — this bench prints the key ratios at
 // several scales so that is visible at a glance.
+//
+// The scale argument multiplies the four base scales (0.25, 0.5, 1, 2), so
+// `bench_scaling 0.1` runs the same sweep on a ten-times-smaller instance.
 #include <algorithm>
 
 #include "bench/bench_util.h"
+#include "bench/report.h"
 
 using namespace mctdb;
 using namespace mctdb::bench;
@@ -63,20 +67,38 @@ Row Measure(double scale) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  if (!args.ok) return 1;
   std::printf("=== Scaling ablation: Table 1 shape stability ===\n\n");
   std::printf("%7s %14s %11s %11s %11s %14s\n", "scale", "EN elements",
               "DEEP/EN", "UNDR/EN", "DR MB/EN", "SHALLOW/EN Q1");
   PrintRule(72);
-  for (double scale : {0.25, 0.5, 1.0, 2.0}) {
-    Row row = Measure(scale);
+  JsonReporter reporter("scaling", args.scale);
+  for (double base : {0.25, 0.5, 1.0, 2.0}) {
+    Row row = Measure(base * args.scale);
     std::printf("%7.2f %14zu %11.2f %11.2f %11.2f %14.1f\n", row.scale,
                 row.base_elements, row.deep_ratio, row.undr_ratio,
                 row.dr_mb_ratio, row.shallow_q1);
+    char label[32];
+    std::snprintf(label, sizeof(label), "scale=%.3g", row.scale);
+    reporter.Add("TPC-W", label)
+        .Extra("en_elements", double(row.base_elements))
+        .Extra("deep_ratio", row.deep_ratio)
+        .Extra("undr_ratio", row.undr_ratio)
+        .Extra("dr_mb_ratio", row.dr_mb_ratio)
+        .Extra("shallow_q1_ratio", row.shallow_q1);
   }
   std::printf(
       "\nExpected: ratios stay put as scale grows (DEEP/UNDR element "
       "inflation, DR's\ncolor storage premium, SHALLOW's value-join "
       "slowdown on Q1).\n");
+  if (!args.json_path.empty()) {
+    Status status = reporter.WriteTo(args.json_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -9,17 +9,35 @@
 // DEEP, SHALLOW suffers on join-heavy reads, DEEP/UNDR win reads but pay
 // duplicates and update blowups, MCMR/DR sit in between with MCMR cheapest
 // on single-element updates.
+//
+// The timing grid is MeasureTpcwGrid — the same code `mctc bench` runs for
+// the registered "table1" benchmark, so --json output here and the mctc
+// report cannot drift apart.
 #include "bench/bench_util.h"
+#include "bench/report.h"
+#include "bench/suite.h"
 
 using namespace mctdb;
 using namespace mctdb::bench;
 
+namespace {
+
+double ExtraOr(const QueryRecord& r, const char* name, double fallback) {
+  for (const auto& [key, value] : r.extra) {
+    if (key == name) return value;
+  }
+  return fallback;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  double scale = ScaleFromArgs(argc, argv);
+  BenchArgs args = ParseBenchArgs(argc, argv, /*default_scale=*/1.0);
+  if (!args.ok) return 1;
   std::printf("=== Table 1: TPC-W Data Statistics and Query Processing "
               "Time (scale %.2f) ===\n\n",
-              scale);
-  TpcwSetup setup(scale);
+              args.scale);
+  TpcwSetup setup(args.scale);
 
   // --- top: data statistics ------------------------------------------------
   std::printf("%-22s", "");
@@ -53,7 +71,10 @@ int main(int argc, char** argv) {
     return std::to_string(s.num_colors);
   });
 
-  // --- bottom: query times ---------------------------------------------------
+  // --- bottom: query times (shared measurement path, see bench/suite.h) ----
+  std::vector<QueryRecord> records = MeasureTpcwGrid(setup, args.reps);
+  size_t num_queries = setup.w.figure_queries.size();
+
   std::printf("\n%-6s%-14s", "Query", "Num.Results");
   for (const auto& schema : setup.schemas) {
     std::printf("%12s", schema.name().c_str());
@@ -61,36 +82,27 @@ int main(int argc, char** argv) {
   std::printf("\n");
   PrintRule(20 + 12 * setup.schemas.size());
 
-  for (const std::string& name : setup.w.figure_queries) {
+  for (size_t qi = 0; qi < num_queries; ++qi) {
+    const std::string& name = setup.w.figure_queries[qi];
     const query::AssociationQuery* q = setup.w.Find(name);
     std::string results = "?";
     std::vector<std::string> cells;
     for (size_t i = 0; i < setup.schemas.size(); ++i) {
-      auto plan = query::PlanQuery(*q, setup.schemas[i]);
-      if (!plan.ok()) {
-        cells.push_back("plan-err");
-        continue;
-      }
-      query::Executor exec(setup.stores[i].get());
-      auto result = exec.Execute(*plan);
-      if (!result.ok()) {
-        cells.push_back("exec-err");
+      const QueryRecord& r = records[i * num_queries + qi];
+      if (ExtraOr(r, "error", 0) != 0) {
+        cells.push_back("err");
         continue;
       }
       char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.4f", result->elapsed_seconds);
+      std::snprintf(buf, sizeof(buf), "%.4f", r.median_seconds);
       cells.push_back(buf);
       // Result count column: unique results, with the duplicate surplus of
       // redundant schemas in parentheses (the paper's convention).
-      if (i == 0 || results == "?") {
-        size_t unique = q->is_update() ? result->logicals_updated
-                                       : result->unique_count;
-        results = std::to_string(unique);
-      }
-      size_t raw = q->is_update() ? result->elements_updated
-                                  : result->raw_count;
-      size_t unique = q->is_update() ? result->logicals_updated
-                                     : result->unique_count;
+      size_t unique = size_t(ExtraOr(
+          r, q->is_update() ? "logicals_updated" : "unique_results", 0));
+      size_t raw = size_t(ExtraOr(
+          r, q->is_update() ? "elements_updated" : "raw_results", 0));
+      if (results == "?") results = std::to_string(unique);
       if (raw > unique) {
         results += "(" + std::to_string(raw) + "@" +
                    setup.schemas[i].name() + ")";
@@ -103,5 +115,15 @@ int main(int argc, char** argv) {
   std::printf(
       "\n(times in seconds; parenthesized = stored-element matches incl. "
       "duplicates on that schema)\n");
+
+  if (!args.json_path.empty()) {
+    JsonReporter reporter("table1", args.scale, args.reps);
+    reporter.report().records = std::move(records);
+    Status status = reporter.WriteTo(args.json_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
   return 0;
 }

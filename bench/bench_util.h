@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,11 +17,81 @@
 
 namespace mctdb::bench {
 
-/// TPC-W scale factor: first CLI argument, or MCTDB_SCALE env var, or 1.0.
-inline double ScaleFromArgs(int argc, char** argv) {
-  if (argc > 1) return std::atof(argv[1]);
-  if (const char* env = std::getenv("MCTDB_SCALE")) return std::atof(env);
-  return 1.0;
+/// Strictly parses a positive, finite scale factor. Rejects trailing
+/// garbage ("1.5x"), non-numbers ("abc"), and non-positive values —
+/// `bench_table1 abc` must fail loudly instead of "running" at scale 0.
+inline bool ParseScale(const char* s, double* out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  double v = std::strtod(s, &end);
+  if (end == nullptr || *end != '\0') return false;
+  if (!(v > 0.0) || v > 1e6) return false;  // also rejects NaN/inf
+  *out = v;
+  return true;
+}
+
+/// Shared CLI contract of the bench binaries:
+///   bench_<name> [scale] [--json FILE] [--reps N]
+/// plus the MCTDB_SCALE env var as a scale fallback. All three are
+/// validated strictly; any bad input prints a usage line and leaves
+/// ok=false (mains return 1).
+struct BenchArgs {
+  double scale = 1.0;
+  std::string json_path;  // empty = no JSON report requested
+  size_t reps = 1;
+  bool ok = true;
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv,
+                                double default_scale = 1.0) {
+  BenchArgs args;
+  args.scale = default_scale;
+  auto usage = [&]() {
+    std::fprintf(stderr,
+                 "usage: %s [scale] [--json FILE] [--reps N]\n"
+                 "  scale: positive number (default %g; MCTDB_SCALE env "
+                 "var also honored)\n",
+                 argc > 0 ? argv[0] : "bench", default_scale);
+    args.ok = false;
+    return args;
+  };
+  if (const char* env = std::getenv("MCTDB_SCALE")) {
+    if (!ParseScale(env, &args.scale)) {
+      std::fprintf(stderr, "error: bad MCTDB_SCALE '%s'\n", env);
+      return usage();
+    }
+  }
+  bool scale_seen = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--json")) {
+      if (i + 1 >= argc) return usage();
+      args.json_path = argv[++i];
+    } else if (!std::strncmp(argv[i], "--json=", 7)) {
+      args.json_path = argv[i] + 7;
+    } else if (!std::strcmp(argv[i], "--reps")) {
+      if (i + 1 >= argc) return usage();
+      char* end = nullptr;
+      unsigned long reps = std::strtoul(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || reps == 0 || reps > 1000) {
+        std::fprintf(stderr, "error: bad --reps '%s'\n", argv[i]);
+        return usage();
+      }
+      args.reps = reps;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+      return usage();
+    } else if (!scale_seen) {
+      scale_seen = true;
+      if (!ParseScale(argv[i], &args.scale)) {
+        std::fprintf(stderr, "error: bad scale '%s'\n", argv[i]);
+        return usage();
+      }
+    } else {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n", argv[i]);
+      return usage();
+    }
+  }
+  return args;
 }
 
 /// The seven TPC-W schemas with their materialized stores.

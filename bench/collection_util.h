@@ -1,0 +1,73 @@
+// Shared driver for the ER-collection gmean benches (Figs 12-14): builds
+// the twelve-diagram workload collection, analyzes it under the six
+// paper strategies, prints the grid, and optionally emits a JSON report
+// (one record per (strategy, diagram) cell with the metric as an extra).
+#pragma once
+
+#include <string>
+
+#include "bench/bench_util.h"
+#include "bench/report.h"
+#include "er/er_catalog.h"
+#include "workload/metrics.h"
+
+namespace mctdb::bench {
+
+inline std::vector<workload::Workload> CollectionWorkloads() {
+  std::vector<workload::Workload> out;
+  for (const er::ErDiagram& d : er::EvaluationCollection()) {
+    if (d.name() == "Derby") {
+      out.push_back(workload::DerbyWorkload());
+    } else if (d.name() == "TPC-W") {
+      out.push_back(workload::TpcwWorkload(0.01));
+    } else {
+      out.push_back(workload::XmarkEmulatedWorkload(d));
+    }
+  }
+  return out;
+}
+
+inline const std::vector<design::Strategy>& CollectionStrategies() {
+  static const std::vector<design::Strategy>* strategies =
+      new std::vector<design::Strategy>{
+          design::Strategy::kDeep, design::Strategy::kAf,
+          design::Strategy::kShallow, design::Strategy::kEn,
+          design::Strategy::kMcmr, design::Strategy::kDr};
+  return *strategies;
+}
+
+template <typename Metric>
+int RunCollectionBench(const char* bench_name, const char* title,
+                       const char* metric_name, Metric metric,
+                       const std::string& json_path) {
+  const std::vector<design::Strategy>& strategies = CollectionStrategies();
+  std::printf("%s\n\n%-8s", title, "");
+  for (design::Strategy s : strategies) {
+    std::printf("%9s", design::ToString(s));
+  }
+  std::printf("\n");
+  PrintRule(8 + 9 * strategies.size());
+  auto cells = workload::AnalyzeCollection(CollectionWorkloads(), strategies);
+  JsonReporter reporter(bench_name, 0.01);
+  size_t per_row = strategies.size();
+  for (size_t i = 0; i < cells.size(); i += per_row) {
+    std::printf("%-8s", cells[i].diagram.c_str());
+    for (size_t j = 0; j < per_row; ++j) {
+      double value = metric(cells[i + j]);
+      std::printf("%9.2f", value);
+      reporter.Add(design::ToString(strategies[j]), cells[i].diagram)
+          .Extra(metric_name, value);
+    }
+    std::printf("\n");
+  }
+  if (!json_path.empty()) {
+    Status status = reporter.WriteTo(json_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace mctdb::bench

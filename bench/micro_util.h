@@ -1,0 +1,54 @@
+// Shared main() for the google-benchmark micro benches, so they honor
+// the same `--json FILE` flag as the table/figure binaries: the flag is
+// rewritten into --benchmark_out=FILE --benchmark_out_format=json before
+// benchmark::Initialize consumes the argument vector. Unknown arguments
+// are rejected (previously they were silently ignored).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace mctdb::bench {
+
+inline int MicroBenchMain(int argc, char** argv) {
+  // Own the rewritten argv storage for the life of the run.
+  static std::vector<std::string>* storage = new std::vector<std::string>();
+  // Reserve up front: a push_back reallocation would invalidate the
+  // c_str pointers already handed to `args`.
+  storage->reserve(2 * static_cast<size_t>(argc) + 2);
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    std::string out_path;
+    if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!std::strncmp(argv[i], "--json=", 7)) {
+      out_path = argv[i] + 7;
+    } else {
+      args.push_back(argv[i]);
+      continue;
+    }
+    storage->push_back("--benchmark_out=" + out_path);
+    args.push_back(storage->back().data());
+    storage->push_back("--benchmark_out_format=json");
+    args.push_back(storage->back().data());
+  }
+  int rewritten_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&rewritten_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(rewritten_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace mctdb::bench
+
+#define MCTDB_MICRO_BENCH_MAIN()                                \
+  int main(int argc, char** argv) {                             \
+    return mctdb::bench::MicroBenchMain(argc, argv);            \
+  }

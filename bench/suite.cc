@@ -1,0 +1,136 @@
+#include "bench/suite.h"
+
+#include "common/log.h"
+#include "workload/metrics.h"
+#include "workload/runner.h"
+
+namespace mctdb::bench {
+
+namespace {
+
+BenchReport RunTable1(const SuiteOptions& options) {
+  MCTDB_LOG(kInfo, "bench", "table1 starting",
+            {{"scale", options.scale}, {"reps", uint64_t(options.repetitions)}});
+  BenchReport report;
+  report.bench = "table1";
+  report.scale = options.scale;
+  report.reps = options.repetitions;
+  TpcwSetup setup(options.scale);
+  report.records = MeasureTpcwGrid(setup, options.repetitions);
+  return report;
+}
+
+BenchReport RunFigures(const SuiteOptions& options) {
+  // Plan-stat counters for Figs 8-10: scale-independent (plans depend on
+  // the schema shape only), so the grid is computed on an unmaterialized
+  // setup and every count is exact — the strongest regression signal the
+  // gate has, since any increase is an algorithmic change, not noise.
+  MCTDB_LOG(kInfo, "bench", "figures starting", {});
+  BenchReport report;
+  report.bench = "figures";
+  report.scale = options.scale;
+  report.reps = 1;
+  TpcwSetup setup(0.01, /*materialize=*/false);
+  for (size_t i = 0; i < setup.schemas.size(); ++i) {
+    const mct::MctSchema& schema = setup.schemas[i];
+    for (const std::string& name : setup.w.figure_queries) {
+      const query::AssociationQuery* q = setup.w.Find(name);
+      QueryRecord r;
+      r.schema = schema.name();
+      r.query = name;
+      r.reps = 1;
+      auto plan = query::PlanQuery(*q, schema);
+      if (!plan.ok()) {
+        r.Extra("plan_error", 1);
+      } else {
+        const query::PlanStats stats = plan->Stats();
+        r.Extra("structural_joins", double(stats.structural_joins))
+            .Extra("value_joins", double(stats.value_joins))
+            .Extra("color_crossings", double(stats.color_crossings))
+            .Extra("dup_elims", double(stats.dup_elims))
+            .Extra("group_bys", double(stats.group_bys))
+            .Extra("dup_updates", double(stats.dup_updates));
+      }
+      report.records.push_back(std::move(r));
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+std::vector<QueryRecord> MeasureTpcwGrid(TpcwSetup& setup, size_t reps) {
+  if (reps == 0) reps = 1;
+  std::vector<QueryRecord> records;
+  for (size_t i = 0; i < setup.schemas.size(); ++i) {
+    const mct::MctSchema& schema = setup.schemas[i];
+    for (const std::string& name : setup.w.figure_queries) {
+      const query::AssociationQuery* q = setup.w.Find(name);
+      QueryRecord r;
+      r.schema = schema.name();
+      r.query = name;
+      r.reps = reps;
+      auto plan = query::PlanQuery(*q, schema);
+      if (!plan.ok()) {
+        r.Extra("error", 1);
+        records.push_back(std::move(r));
+        continue;
+      }
+      std::vector<double> times;
+      bool failed = false;
+      for (size_t rep = 0; rep < reps && !failed; ++rep) {
+        query::Executor exec(setup.stores[i].get());
+        auto result = exec.Execute(*plan);
+        if (!result.ok()) {
+          failed = true;
+          break;
+        }
+        times.push_back(result->elapsed_seconds);
+        if (rep + 1 == reps) {
+          r.page_hits = result->page_hits;
+          r.page_misses = result->page_misses;
+          r.join_pairs = result->join_pairs;
+          if (q->is_update()) {
+            r.Extra("logicals_updated", double(result->logicals_updated))
+                .Extra("elements_updated",
+                       double(result->elements_updated));
+          } else {
+            r.Extra("unique_results", double(result->unique_count))
+                .Extra("raw_results", double(result->raw_count));
+          }
+        }
+      }
+      if (failed) {
+        r.Extra("error", 1);
+      } else {
+        r.median_seconds = workload::MedianSeconds(std::move(times));
+      }
+      records.push_back(std::move(r));
+    }
+  }
+  return records;
+}
+
+const std::vector<BenchmarkDef>& RegisteredBenchmarks() {
+  static const std::vector<BenchmarkDef>* benches =
+      new std::vector<BenchmarkDef>{
+          {"table1",
+           "TPC-W per-(schema, query) median times and exact I/O "
+           "(Table 1 measurement path)",
+           &RunTable1},
+          {"figures",
+           "Figs 8-10 plan-stat counters per (schema, query); "
+           "scale-independent and exact",
+           &RunFigures},
+      };
+  return *benches;
+}
+
+const BenchmarkDef* FindBenchmark(std::string_view name) {
+  for (const BenchmarkDef& b : RegisteredBenchmarks()) {
+    if (name == b.name) return &b;
+  }
+  return nullptr;
+}
+
+}  // namespace mctdb::bench

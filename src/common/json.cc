@@ -1,0 +1,231 @@
+#include "common/json.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace mctdb::json {
+
+const Value* Value::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  const Value* found = nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) found = &v;  // last duplicate wins, like most readers
+  }
+  return found;
+}
+
+double Value::NumberOr(std::string_view key, double fallback) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->number() : fallback;
+}
+
+std::string Value::StringOr(std::string_view key,
+                            const std::string& fallback) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->str() : fallback;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> Run() {
+    MCTDB_ASSIGN_OR_RETURN(Value v, ParseValue(0));
+    SkipWs();
+    if (pos_ != text_.size()) return Err("trailing characters");
+    return v;
+  }
+
+ private:
+  static constexpr size_t kMaxDepth = 64;
+
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument(
+        StringPrintf("json: %s at offset %zu", what.c_str(), pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> ParseValue(size_t depth) {
+    if (depth > kMaxDepth) return Err("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    char c = text_[pos_];
+    Value v;
+    switch (c) {
+      case '{': return ParseObject(depth);
+      case '[': return ParseArray(depth);
+      case '"': {
+        MCTDB_ASSIGN_OR_RETURN(v.string_, ParseString());
+        v.type_ = Value::Type::kString;
+        return v;
+      }
+      case 't':
+        if (!ConsumeWord("true")) return Err("bad literal");
+        v.type_ = Value::Type::kBool;
+        v.bool_ = true;
+        return v;
+      case 'f':
+        if (!ConsumeWord("false")) return Err("bad literal");
+        v.type_ = Value::Type::kBool;
+        v.bool_ = false;
+        return v;
+      case 'n':
+        if (!ConsumeWord("null")) return Err("bad literal");
+        return v;
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<Value> ParseObject(size_t depth) {
+    Value v;
+    v.type_ = Value::Type::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (Consume('}')) return v;
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Err("expected object key");
+      }
+      MCTDB_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (!Consume(':')) return Err("expected ':'");
+      MCTDB_ASSIGN_OR_RETURN(Value member, ParseValue(depth + 1));
+      v.members_.emplace_back(std::move(key), std::move(member));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return v;
+      return Err("expected ',' or '}'");
+    }
+  }
+
+  Result<Value> ParseArray(size_t depth) {
+    Value v;
+    v.type_ = Value::Type::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (Consume(']')) return v;
+    while (true) {
+      MCTDB_ASSIGN_OR_RETURN(Value element, ParseValue(depth + 1));
+      v.array_.push_back(std::move(element));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return v;
+      return Err("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Err("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+              else return Err("bad \\u escape");
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs from our
+            // own writers never occur; lone surrogates pass through).
+            if (code < 0x80) {
+              out += char(code);
+            } else if (code < 0x800) {
+              out += char(0xC0 | (code >> 6));
+              out += char(0x80 | (code & 0x3F));
+            } else {
+              out += char(0xE0 | (code >> 12));
+              out += char(0x80 | ((code >> 6) & 0x3F));
+              out += char(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Err("bad escape");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Err("control byte in string");
+      }
+      out += c;
+      ++pos_;
+    }
+    return Err("unterminated string");
+  }
+
+  Result<Value> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+            text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("unexpected character");
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double parsed = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Err("bad number");
+    Value v;
+    v.type_ = Value::Type::kNumber;
+    v.number_ = parsed;
+    return v;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<Value> Parse(std::string_view text) { return Parser(text).Run(); }
+
+}  // namespace mctdb::json

@@ -1,0 +1,64 @@
+// A minimal dependency-free JSON reader for the repo's own machine
+// formats: bench baselines (bench/report.h), /healthz and /slowlog
+// responses, trace exports. Parses the full JSON grammar (objects,
+// arrays, strings with escapes, numbers, bools, null) into an immutable
+// value tree; it is a reader for trusted small documents, not a
+// streaming parser (documents are a few KB of our own output).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mctdb::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : type_(Type::kNull) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool boolean() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& str() const { return string_; }
+  const std::vector<Value>& array() const { return array_; }
+  /// Object members in document order (duplicate keys keep the last).
+  const std::vector<std::pair<std::string, Value>>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* Find(std::string_view key) const;
+  /// Typed convenience lookups with defaults.
+  double NumberOr(std::string_view key, double fallback) const;
+  std::string StringOr(std::string_view key,
+                       const std::string& fallback) const;
+
+ private:
+  friend class Parser;
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing
+/// garbage is an error). Returns InvalidArgument with a byte offset on
+/// malformed input.
+Result<Value> Parse(std::string_view text);
+
+}  // namespace mctdb::json

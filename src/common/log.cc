@@ -1,0 +1,168 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <mutex>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace mctdb::logging {
+
+namespace {
+
+std::string JsonQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += char(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::atomic<int> g_min_level{-1};  // -1 = not yet initialized from env
+
+int InitMinLevelFromEnv() {
+  Level level = Level::kWarn;
+  if (const char* env = std::getenv("MCTDB_LOG_LEVEL")) {
+    level = ParseLevel(env, Level::kWarn);
+  }
+  int as_int = static_cast<int>(level);
+  int expected = -1;
+  g_min_level.compare_exchange_strong(expected, as_int);
+  return g_min_level.load(std::memory_order_relaxed);
+}
+
+std::mutex& SinkMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+Sink& SinkSlot() {
+  static Sink* sink = new Sink();
+  return *sink;
+}
+
+}  // namespace
+
+const char* ToString(Level level) {
+  switch (level) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+    case Level::kOff: return "off";
+  }
+  return "unknown";
+}
+
+Level ParseLevel(std::string_view s, Level fallback) {
+  std::string lower = ToLower(s);
+  if (lower == "debug") return Level::kDebug;
+  if (lower == "info") return Level::kInfo;
+  if (lower == "warn" || lower == "warning") return Level::kWarn;
+  if (lower == "error") return Level::kError;
+  if (lower == "off" || lower == "none") return Level::kOff;
+  return fallback;
+}
+
+Field::Field(std::string_view k, std::string_view v)
+    : key(k), value(JsonQuote(v)) {}
+Field::Field(std::string_view k, const char* v)
+    : key(k), value(JsonQuote(v == nullptr ? "" : v)) {}
+Field::Field(std::string_view k, const std::string& v)
+    : key(k), value(JsonQuote(v)) {}
+Field::Field(std::string_view k, double v) : key(k) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  value = buf;
+}
+Field::Field(std::string_view k, bool v)
+    : key(k), value(v ? "true" : "false") {}
+Field::Field(std::string_view k, uint64_t v)
+    : key(k), value(std::to_string(v)) {}
+Field::Field(std::string_view k, int64_t v)
+    : key(k), value(std::to_string(v)) {}
+
+Level MinLevel() {
+  int v = g_min_level.load(std::memory_order_relaxed);
+  if (v < 0) v = InitMinLevelFromEnv();
+  return static_cast<Level>(v);
+}
+
+void SetMinLevel(Level level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void SetSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkSlot() = std::move(sink);
+}
+
+std::string FormatLine(Level level, std::string_view component,
+                       std::string_view message,
+                       const std::vector<Field>& fields,
+                       int64_t unix_nanos) {
+  std::time_t secs = static_cast<std::time_t>(unix_nanos / 1000000000);
+  int millis = static_cast<int>((unix_nanos / 1000000) % 1000);
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  char ts[64];
+  std::snprintf(ts, sizeof(ts), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec, millis);
+  std::string out = "{\"ts\":\"";
+  out += ts;
+  out += "\",\"level\":\"";
+  out += ToString(level);
+  out += "\",\"component\":";
+  out += JsonQuote(component);
+  out += ",\"msg\":";
+  out += JsonQuote(message);
+  for (const Field& f : fields) {
+    out += ',';
+    out += JsonQuote(f.key);
+    out += ':';
+    out += f.value;
+  }
+  out += '}';
+  return out;
+}
+
+void Log(Level level, std::string_view component, std::string_view message,
+         std::vector<Field> fields) {
+  if (!Enabled(level) || level == Level::kOff) return;
+  int64_t nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::system_clock::now().time_since_epoch())
+                      .count();
+  std::string line = FormatLine(level, component, message, fields, nanos);
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  const Sink& sink = SinkSlot();
+  if (sink) {
+    sink(line);
+  } else {
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
+}
+
+}  // namespace mctdb::logging

@@ -1,0 +1,87 @@
+// Structured JSONL logging: one JSON object per line, with a UTC
+// timestamp, a severity level, the emitting component, a human message,
+// and typed key=value fields. Replaces ad-hoc fprintf(stderr) paths so
+// service admission, slow-query, eviction, and bench events are machine
+// parseable (and silenceable) in one place.
+//
+//   MCTDB_LOG(kWarn, "mctsvc", "slow query",
+//             {{"store", name}, {"seconds", 1.25}});
+//   -> {"ts":"2026-08-05T12:00:00.123Z","level":"warn","component":
+//      "mctsvc","msg":"slow query","store":"EN","seconds":1.25}
+//
+// The sink is pluggable (tests capture lines; default is stderr, one
+// atomic write per line). The minimum level defaults to `warn` and can be
+// overridden by the MCTDB_LOG_LEVEL environment variable (debug, info,
+// warn, error, off) or SetMinLevel. Everything here is thread-safe;
+// formatting happens outside the sink lock, only the write serializes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mctdb::logging {
+
+enum class Level : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3,
+                         kOff = 4 };
+
+const char* ToString(Level level);
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive);
+/// defaults to `fallback` on anything else.
+Level ParseLevel(std::string_view s, Level fallback);
+
+/// One typed key=value field. Strings are JSON-escaped and quoted;
+/// numbers and bools are emitted bare.
+struct Field {
+  std::string key;
+  std::string value;   // pre-rendered JSON value (quoted iff string)
+  Field(std::string_view k, std::string_view v);
+  Field(std::string_view k, const char* v);
+  Field(std::string_view k, const std::string& v);
+  Field(std::string_view k, double v);
+  Field(std::string_view k, bool v);
+  Field(std::string_view k, uint64_t v);
+  Field(std::string_view k, int64_t v);
+  Field(std::string_view k, int v) : Field(k, int64_t(v)) {}
+  Field(std::string_view k, unsigned v) : Field(k, uint64_t(v)) {}
+};
+
+/// Current minimum level (initialized once from MCTDB_LOG_LEVEL, default
+/// warn). Messages below it are dropped before formatting.
+Level MinLevel();
+void SetMinLevel(Level level);
+inline bool Enabled(Level level) {
+  return static_cast<int>(level) >= static_cast<int>(MinLevel());
+}
+
+/// Receives one fully formatted JSONL line (no trailing newline).
+using Sink = std::function<void(const std::string& line)>;
+/// Installs `sink`; nullptr restores the default stderr sink.
+void SetSink(Sink sink);
+
+/// Pure formatter (exposed for tests): renders the JSONL line for the
+/// given wall-clock time in nanoseconds since the Unix epoch.
+std::string FormatLine(Level level, std::string_view component,
+                       std::string_view message,
+                       const std::vector<Field>& fields,
+                       int64_t unix_nanos);
+
+/// Formats and emits one line through the current sink (no-op below the
+/// minimum level). Prefer the MCTDB_LOG macro, which skips argument
+/// evaluation entirely when the level is disabled.
+void Log(Level level, std::string_view component, std::string_view message,
+         std::vector<Field> fields = {});
+
+}  // namespace mctdb::logging
+
+/// Usage: MCTDB_LOG(kInfo, "bench", "report written", {{"path", p}}).
+/// Fields are not evaluated when `level` is below the minimum.
+#define MCTDB_LOG(level, component, message, ...)                         \
+  do {                                                                    \
+    if (mctdb::logging::Enabled(mctdb::logging::Level::level)) {          \
+      mctdb::logging::Log(mctdb::logging::Level::level, (component),      \
+                          (message)__VA_OPT__(, __VA_ARGS__));            \
+    }                                                                     \
+  } while (0)

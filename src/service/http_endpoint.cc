@@ -1,0 +1,170 @@
+#include "service/http_endpoint.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/log.h"
+#include "common/string_util.h"
+
+namespace mctsvc {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+void SetIoTimeout(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Writes the whole buffer or gives up on error/timeout.
+bool WriteAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpEndpoint::HttpEndpoint(Options options, Handler handler)
+    : options_(options), handler_(std::move(handler)) {}
+
+HttpEndpoint::~HttpEndpoint() { Stop(); }
+
+mctdb::Status HttpEndpoint::Start() {
+  if (running()) return mctdb::Status::OK();
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return mctdb::Status::IoError("http: socket() failed");
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return mctdb::Status::IoError(mctdb::StringPrintf(
+        "http: cannot bind 127.0.0.1:%u: %s", unsigned(options_.port),
+        std::strerror(errno)));
+  }
+  if (listen(listen_fd_, options_.backlog) < 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return mctdb::Status::IoError("http: listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    bound_port_ = ntohs(addr.sin_port);
+  }
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { ListenLoop(); });
+  MCTDB_LOG(kInfo, "http", "endpoint listening",
+            {{"port", uint64_t(bound_port_)}});
+  return mctdb::Status::OK();
+}
+
+void HttpEndpoint::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  MCTDB_LOG(kInfo, "http", "endpoint stopped",
+            {{"port", uint64_t(bound_port_)},
+             {"requests", requests_.load(std::memory_order_relaxed)}});
+}
+
+void HttpEndpoint::ListenLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    int ready = poll(&pfd, 1, options_.poll_interval_ms);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stop flag
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    SetIoTimeout(fd, options_.io_timeout_ms);
+    HandleConnection(fd);
+    close(fd);
+  }
+}
+
+void HttpEndpoint::HandleConnection(int fd) {
+  // Read until the end of the request head (or a 4 KB cap — this port
+  // serves GETs with no bodies).
+  std::string request;
+  char buf[1024];
+  while (request.size() < 4096 &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  HttpResponse response;
+  size_t line_end = request.find('\n');
+  std::string request_line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 =
+      sp1 == std::string::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    response.status = 400;
+    response.body = "bad request\n";
+  } else if (request_line.substr(0, sp1) != "GET") {
+    response.status = 405;
+    response.body = "only GET is supported\n";
+  } else {
+    std::string path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (size_t q = path.find('?'); q != std::string::npos) {
+      path.resize(q);  // this surface takes no query parameters
+    }
+    response = handler_(path);
+  }
+
+  std::string head = mctdb::StringPrintf(
+      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      response.status, StatusText(response.status),
+      response.content_type.c_str(), response.body.size());
+  if (WriteAll(fd, head.data(), head.size())) {
+    WriteAll(fd, response.body.data(), response.body.size());
+  }
+}
+
+}  // namespace mctsvc

@@ -5,6 +5,20 @@
 
 namespace mctsvc {
 
+std::string PromLabelEscape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 double LatencyHistogram::BucketUpperUs(size_t i) {
   return std::ldexp(1.0, static_cast<int>(i));
 }
@@ -77,8 +91,10 @@ std::string LatencyHistogram::ToJson() const {
 }
 
 void LatencyHistogram::AppendPrometheus(std::string* out,
-                                        const std::string& name) const {
+                                        const std::string& name,
+                                        const std::string& help) const {
   char buf[128];
+  *out += "# HELP " + name + " " + help + "\n";
   *out += "# TYPE " + name + " histogram\n";
   uint64_t cumulative = 0;
   for (size_t i = 0; i < kBuckets; ++i) {
@@ -138,41 +154,52 @@ std::string ServiceMetrics::ToJson() const {
 
 std::string ServiceMetrics::ToPrometheus() const {
   std::string out;
-  auto counter = [&out](const char* name, uint64_t value) {
+  auto sample = [&out](const char* name, const char* type,
+                       const char* help, uint64_t value) {
     char buf[96];
     std::snprintf(buf, sizeof(buf), " %llu\n",
                   static_cast<unsigned long long>(value));
-    out += std::string("# TYPE ") + name + " counter\n";
+    out += std::string("# HELP ") + name + " " + help + "\n";
+    out += std::string("# TYPE ") + name + " " + type + "\n";
     out += name;
     out += buf;
   };
+  auto counter = [&sample](const char* name, const char* help,
+                           uint64_t value) {
+    sample(name, "counter", help, value);
+  };
   counter("mctsvc_requests_submitted_total",
+          "Requests admitted into the service",
           submitted.load(std::memory_order_relaxed));
   counter("mctsvc_requests_completed_total",
+          "Requests finished (including deadline cancellations)",
           completed.load(std::memory_order_relaxed));
   counter("mctsvc_requests_rejected_total",
+          "Admission-queue overflow rejections",
           rejected.load(std::memory_order_relaxed));
   counter("mctsvc_invalid_plans_total",
+          "Plans rejected by the static verifier at admission",
           invalid_plans.load(std::memory_order_relaxed));
   counter("mctsvc_deadline_exceeded_total",
+          "Requests cancelled at dequeue after their deadline passed",
           deadline_exceeded.load(std::memory_order_relaxed));
   counter("mctsvc_requests_failed_total",
+          "Requests whose executor returned a non-OK status",
           failed.load(std::memory_order_relaxed));
   counter("mctsvc_page_hits_total",
+          "Buffer-pool hits attributed to completed requests",
           page_hits.load(std::memory_order_relaxed));
   counter("mctsvc_page_misses_total",
+          "Buffer-pool misses attributed to completed requests",
           page_misses.load(std::memory_order_relaxed));
   counter("mctsvc_slow_queries_total",
+          "Completed requests at or over the slow-query threshold",
           slow_queries.load(std::memory_order_relaxed));
-  {
-    char buf[96];
-    out += "# TYPE mctsvc_queue_depth gauge\n";
-    std::snprintf(buf, sizeof(buf), "mctsvc_queue_depth %llu\n",
-                  static_cast<unsigned long long>(
-                      queue_depth.load(std::memory_order_relaxed)));
-    out += buf;
-  }
-  latency.AppendPrometheus(&out, "mctsvc_request_latency_seconds");
+  sample("mctsvc_queue_depth", "gauge",
+         "Requests admitted but not yet finished",
+         queue_depth.load(std::memory_order_relaxed));
+  latency.AppendPrometheus(&out, "mctsvc_request_latency_seconds",
+                           "End-to-end request execution latency");
   return out;
 }
 

@@ -6,8 +6,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace mctsvc {
+
+/// Escapes a Prometheus label VALUE for use inside `{name="..."}`:
+/// backslash, double quote, and newline get backslash-escaped per the
+/// text exposition format (store names are caller-chosen strings).
+std::string PromLabelEscape(std::string_view value);
 
 /// Power-of-two-microsecond latency buckets: bucket i counts requests with
 /// latency in (2^(i-1), 2^i] microseconds (bucket 0 is <= 1 us, the last
@@ -43,10 +49,12 @@ class LatencyHistogram {
   /// Entries whose own bucket is empty are elided (the cumulative count is
   /// recoverable from the next emitted entry).
   std::string ToJson() const;
-  /// Prometheus text exposition: `<name>_bucket{le="..."}` cumulative
-  /// series (le in SECONDS, ending with +Inf), plus `<name>_sum` and
-  /// `<name>_count`.
-  void AppendPrometheus(std::string* out, const std::string& name) const;
+  /// Prometheus text exposition: `# HELP` + `# TYPE` headers, then
+  /// `<name>_bucket{le="..."}` cumulative series (le in SECONDS, ending
+  /// with +Inf), plus `<name>_sum` and `<name>_count`.
+  void AppendPrometheus(std::string* out, const std::string& name,
+                        const std::string& help =
+                            "Request latency histogram") const;
   void Reset();
 
  private:

@@ -3,8 +3,10 @@
 #include <utility>
 
 #include "analysis/plan_verify.h"
+#include "common/log.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/trace_export.h"
 
 namespace mctsvc {
 
@@ -14,14 +16,54 @@ using mctdb::query::ExecResult;
 using mctdb::query::QueryPlan;
 
 QueryService::QueryService(const ServiceOptions& options)
-    : options_(options) {
+    : options_(options), start_time_(std::chrono::steady_clock::now()) {
   mctdb::ThreadPool::Options popts;
   popts.num_threads = options_.num_threads == 0 ? 1 : options_.num_threads;
   popts.start_paused = options_.start_paused;
   pool_ = std::make_unique<mctdb::ThreadPool>(popts);
+  if (options_.http_port >= 0) {
+    HttpEndpoint::Options hopts;
+    hopts.port = static_cast<uint16_t>(options_.http_port);
+    http_ = std::make_unique<HttpEndpoint>(
+        hopts, [this](const std::string& path) {
+          HttpResponse response;
+          if (path == "/metrics") {
+            response.content_type = "text/plain; version=0.0.4";
+            response.body = MetricsText();
+          } else if (path == "/metrics.json") {
+            response.content_type = "application/json";
+            response.body = MetricsJson() + "\n";
+          } else if (path == "/healthz") {
+            response.content_type = "application/json";
+            response.body = HealthJson() + "\n";
+          } else if (path == "/slowlog") {
+            response.content_type = "application/json";
+            response.body = SlowQueriesJson() + "\n";
+          } else if (path == "/tracez") {
+            response.content_type = "application/json";
+            response.body = TracesJson() + "\n";
+          } else {
+            response.status = 404;
+            response.body =
+                "not found; routes: /metrics /metrics.json /healthz "
+                "/slowlog /tracez\n";
+          }
+          return response;
+        });
+    mctdb::Status started = http_->Start();
+    if (!started.ok()) {
+      // Keep serving queries without the endpoint: observability must
+      // never take the data path down.
+      MCTDB_LOG(kError, "mctsvc", "http endpoint failed to start",
+                {{"error", started.ToString()},
+                 {"port", int64_t(options_.http_port)}});
+      http_.reset();
+    }
+  }
 }
 
 QueryService::~QueryService() {
+  http_.reset();  // joins the listener before any state it scrapes dies
   Resume();
   Drain();
   pool_.reset();  // joins workers before the store registry goes away
@@ -40,6 +82,10 @@ Status QueryService::AddStore(const std::string& name,
   it->second.store = store;
   it->second.pool = std::make_unique<mctdb::storage::ShardedBufferPool>(
       store->pager(), options_.pool_pages, options_.pool_shards);
+  MCTDB_LOG(kInfo, "mctsvc", "store registered",
+            {{"store", name},
+             {"pool_pages", uint64_t(options_.pool_pages)},
+             {"shards", uint64_t(it->second.pool->num_shards())}});
   return Status::OK();
 }
 
@@ -136,12 +182,28 @@ void QueryService::RecordCompletion(const Session& session,
                                std::memory_order_relaxed);
   metrics_.page_misses.fetch_add(result.page_misses,
                                  std::memory_order_relaxed);
+  if (options_.trace_log_capacity > 0) {
+    // Render outside the ring lock; the span tree is request-private.
+    std::string rendered = mctdb::obs::SpanToJson(result.trace);
+    std::lock_guard<mctdb::OrderedMutex> lock(slow_mu_);
+    trace_log_.push_back(std::move(rendered));
+    while (trace_log_.size() > options_.trace_log_capacity) {
+      trace_log_.pop_front();
+    }
+  }
   if (options_.slow_query_seconds <= 0 ||
       result.elapsed_seconds < options_.slow_query_seconds ||
       options_.slow_query_log_capacity == 0) {
     return;
   }
   metrics_.slow_queries.fetch_add(1, std::memory_order_relaxed);
+  MCTDB_LOG(kWarn, "mctsvc", "slow query",
+            {{"store", session.store_name_},
+             {"query", result.trace.label},
+             {"seconds", result.elapsed_seconds},
+             {"page_hits", result.page_hits},
+             {"page_misses", result.page_misses},
+             {"join_pairs", result.join_pairs}});
   SlowQueryRecord record;
   record.store = session.store_name_;
   record.query = result.trace.label;
@@ -161,6 +223,81 @@ std::vector<QueryService::SlowQueryRecord> QueryService::SlowQueries()
     const {
   std::lock_guard<mctdb::OrderedMutex> lock(slow_mu_);
   return {slow_log_.begin(), slow_log_.end()};
+}
+
+std::string QueryService::SlowQueriesJson() const {
+  std::string out = "{\"slow_queries\":[";
+  bool first = true;
+  for (const SlowQueryRecord& r : SlowQueries()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"store\":\"" + mctdb::obs::JsonEscape(r.store) + "\"";
+    out += ",\"query\":\"" + mctdb::obs::JsonEscape(r.query) + "\"";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  ",\"seconds\":%.6f,\"page_hits\":%llu,"
+                  "\"page_misses\":%llu,\"join_pairs\":%llu,\"stages\":[",
+                  r.seconds, static_cast<unsigned long long>(r.page_hits),
+                  static_cast<unsigned long long>(r.page_misses),
+                  static_cast<unsigned long long>(r.join_pairs));
+    out += buf;
+    bool first_stage = true;
+    for (size_t k = 0; k < mctdb::obs::kNumStageKinds; ++k) {
+      const mctdb::obs::StageAgg& row = r.stages[k];
+      if (row.calls == 0) continue;
+      if (!first_stage) out += ',';
+      first_stage = false;
+      std::snprintf(
+          buf, sizeof(buf),
+          "{\"stage\":\"%s\",\"seconds\":%.6f,\"calls\":%llu}",
+          mctdb::obs::ToString(static_cast<mctdb::obs::StageKind>(k)),
+          row.seconds, static_cast<unsigned long long>(row.calls));
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::vector<std::string> QueryService::RecentTraces() const {
+  std::lock_guard<mctdb::OrderedMutex> lock(slow_mu_);
+  return {trace_log_.begin(), trace_log_.end()};
+}
+
+std::string QueryService::TracesJson() const {
+  std::string out = "{\"traces\":[";
+  bool first = true;
+  for (const std::string& trace : RecentTraces()) {
+    if (!first) out += ',';
+    first = false;
+    out += trace;
+  }
+  out += "]}";
+  return out;
+}
+
+std::string QueryService::HealthJson() const {
+  double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+  size_t num_stores;
+  {
+    std::lock_guard<mctdb::OrderedMutex> lock(mu_);
+    num_stores = stores_.size();
+  }
+  return mctdb::StringPrintf(
+      "{\"status\":\"ok\",\"uptime_seconds\":%.3f,\"stores\":%zu,"
+      "\"workers\":%zu,\"queue_depth\":%llu}",
+      uptime, num_stores,
+      options_.num_threads == 0 ? size_t{1} : options_.num_threads,
+      static_cast<unsigned long long>(
+          metrics_.queue_depth.load(std::memory_order_relaxed)));
+}
+
+uint16_t QueryService::HttpPort() const {
+  return (http_ != nullptr && http_->running()) ? http_->port() : 0;
 }
 
 Result<QueryFuture> QueryService::Session::Submit(const QueryPlan& plan,
@@ -183,6 +320,12 @@ Result<QueryFuture> QueryService::Session::Submit(const QueryPlan& plan,
   if (in_flight > svc->options_.max_queued) {
     svc->FinishOne();
     svc->metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+    // Debug level: overload rejections are high-frequency by nature and
+    // already counted in mctsvc_requests_rejected_total.
+    MCTDB_LOG(kDebug, "mctsvc", "admission rejected",
+              {{"store", store_name_},
+               {"in_flight", in_flight},
+               {"max_queued", uint64_t(svc->options_.max_queued)}});
     return Status::ResourceExhausted(mctdb::StringPrintf(
         "admission queue full (max_queued=%zu)", svc->options_.max_queued));
   }
@@ -225,7 +368,7 @@ std::string QueryService::MetricsJson() const {
   for (const auto& [name, entry] : stores_) {
     if (!first_store) out += ',';
     first_store = false;
-    out += "{\"name\":\"" + name + "\"";
+    out += "{\"name\":\"" + mctdb::obs::JsonEscape(name) + "\"";
     char buf[128];
     std::snprintf(buf, sizeof(buf),
                   ",\"pool\":{\"capacity_pages\":%zu,\"resident\":%zu,"
@@ -254,26 +397,40 @@ std::string QueryService::MetricsJson() const {
 std::string QueryService::MetricsText() const {
   std::string out = metrics_.ToPrometheus();
   std::lock_guard<mctdb::OrderedMutex> lock(mu_);
-  if (!stores_.empty()) {
-    out += "# TYPE mctsvc_pool_hits_total counter\n";
-    out += "# TYPE mctsvc_pool_misses_total counter\n";
-    out += "# TYPE mctsvc_pool_resident_pages gauge\n";
-  }
-  char buf[160];
+  if (stores_.empty()) return out;
+  // The exposition format wants one HELP+TYPE header per metric family,
+  // before any of its labeled samples — so emit per family, not per
+  // store. Store names are caller-chosen and must be label-escaped.
+  char buf[192];
+  out +=
+      "# HELP mctsvc_pool_hits_total Sharded buffer pool hits per store\n"
+      "# TYPE mctsvc_pool_hits_total counter\n";
   for (const auto& [name, entry] : stores_) {
     std::snprintf(buf, sizeof(buf),
                   "mctsvc_pool_hits_total{store=\"%s\"} %llu\n",
-                  name.c_str(),
+                  PromLabelEscape(name).c_str(),
                   static_cast<unsigned long long>(entry.pool->hits()));
     out += buf;
+  }
+  out +=
+      "# HELP mctsvc_pool_misses_total Sharded buffer pool misses per "
+      "store\n"
+      "# TYPE mctsvc_pool_misses_total counter\n";
+  for (const auto& [name, entry] : stores_) {
     std::snprintf(buf, sizeof(buf),
                   "mctsvc_pool_misses_total{store=\"%s\"} %llu\n",
-                  name.c_str(),
+                  PromLabelEscape(name).c_str(),
                   static_cast<unsigned long long>(entry.pool->misses()));
     out += buf;
+  }
+  out +=
+      "# HELP mctsvc_pool_resident_pages Pages resident in the sharded "
+      "pool per store\n"
+      "# TYPE mctsvc_pool_resident_pages gauge\n";
+  for (const auto& [name, entry] : stores_) {
     std::snprintf(buf, sizeof(buf),
                   "mctsvc_pool_resident_pages{store=\"%s\"} %zu\n",
-                  name.c_str(), entry.pool->resident());
+                  PromLabelEscape(name).c_str(), entry.pool->resident());
     out += buf;
   }
   return out;

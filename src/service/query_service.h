@@ -40,6 +40,7 @@
 #include "common/thread_pool.h"
 #include "query/executor.h"
 #include "query/plan.h"
+#include "service/http_endpoint.h"
 #include "service/metrics.h"
 #include "storage/sharded_pool.h"
 #include "storage/store.h"
@@ -73,6 +74,16 @@ struct ServiceOptions {
   /// Ring-buffer capacity of the slow-query log; the oldest entry is
   /// dropped once full.
   size_t slow_query_log_capacity = 32;
+  /// Keep the rendered span trace of the last N completed requests for
+  /// the /tracez endpoint. 0 (the default) disables the ring entirely —
+  /// no per-completion serialization cost on the hot path.
+  size_t trace_log_capacity = 0;
+  /// Serve /metrics, /healthz, /slowlog and /tracez over HTTP on
+  /// 127.0.0.1. -1 disables the endpoint; 0 binds an ephemeral port
+  /// (read it back with HttpPort()); > 0 binds that port. A bind
+  /// failure is logged and leaves the service running without the
+  /// endpoint (observability must never take the data path down).
+  int http_port = -1;
 };
 
 using QueryFuture = std::future<mctdb::Result<mctdb::query::ExecResult>>;
@@ -132,6 +143,19 @@ class QueryService {
   };
   /// Snapshot of the slow-query ring buffer, oldest first.
   std::vector<SlowQueryRecord> SlowQueries() const;
+  /// The same snapshot as one JSON document (the /slowlog response):
+  /// {"slow_queries":[{"store":...,"query":...,"seconds":...,...}]}.
+  std::string SlowQueriesJson() const;
+  /// Rendered span traces of recent completions, oldest first (empty
+  /// unless ServiceOptions::trace_log_capacity > 0).
+  std::vector<std::string> RecentTraces() const;
+  /// The /tracez response: {"traces":[<span tree>,...]}.
+  std::string TracesJson() const;
+  /// The /healthz response: status, uptime, store and worker counts.
+  std::string HealthJson() const;
+
+  /// Port of the live HTTP endpoint, or 0 when disabled / bind failed.
+  uint16_t HttpPort() const;
 
  private:
   friend class Session;
@@ -160,7 +184,10 @@ class QueryService {
   std::condition_variable_any drained_cv_;
   mutable mctdb::OrderedMutex slow_mu_{mctdb::LockRank::kSlowQueryLog};
   std::deque<SlowQueryRecord> slow_log_;  // bounded ring, oldest first
+  std::deque<std::string> trace_log_;     // rendered traces, same ring rank
   std::unique_ptr<mctdb::ThreadPool> pool_;
+  std::chrono::steady_clock::time_point start_time_;
+  std::unique_ptr<HttpEndpoint> http_;  // created last, destroyed first
 };
 
 /// A strand of requests over one store: FIFO order, no intra-session

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "common/hash.h"
+#include "common/log.h"
 #include "common/logging.h"
 
 namespace mctdb::storage {
@@ -81,6 +82,10 @@ const char* ShardedBufferPool::Fetch(PageId id, bool* out_miss) {
     PageId victim = s.lru.back();
     s.lru.pop_back();
     s.frames.erase(victim);
+    MCTDB_LOG(kDebug, "pool", "page evicted",
+              {{"victim", uint64_t(victim)},
+               {"for", uint64_t(id)},
+               {"resident", uint64_t(s.frames.size())}});
   }
   Frame f;
   f.data = std::make_unique<char[]>(kPageSize);
@@ -113,6 +118,8 @@ void ShardedBufferPool::Unpin(PageId id) {
   if (s.frames.size() > s.capacity) {
     // The shard overflowed while everything was pinned; trim immediately.
     s.frames.erase(it);
+    MCTDB_LOG(kDebug, "pool", "overflow frame trimmed",
+              {{"page", uint64_t(id)}, {"resident", uint64_t(s.frames.size())}});
     return;
   }
   s.lru.push_front(id);

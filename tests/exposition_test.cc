@@ -1,0 +1,181 @@
+// Prometheus text-exposition conformance checks for the mctsvc exports:
+// every sample is preceded by its family's # HELP and # TYPE lines,
+// counters are monotonic across scrapes, histogram `le` buckets are
+// cumulative and end with +Inf, and label values are escaped.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/metrics.h"
+
+namespace mctsvc {
+namespace {
+
+struct Sample {
+  std::string name;    // metric name incl. _bucket/_sum/_count suffix
+  std::string labels;  // raw label block without braces, may be empty
+  double value = 0.0;
+};
+
+struct Exposition {
+  std::map<std::string, std::string> types;  // family -> counter|gauge|...
+  std::map<std::string, bool> help_seen;
+  std::vector<Sample> samples;
+  std::vector<std::string> errors;
+};
+
+/// Minimal exposition-format reader that records ordering violations: a
+/// sample whose family has no preceding # TYPE (or # HELP) is an error.
+Exposition ParseExposition(const std::string& text) {
+  Exposition out;
+  std::istringstream in(text);
+  std::string line;
+  auto family_of = [&](const std::string& name) -> std::string {
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      size_t len = std::string(suffix).size();
+      if (name.size() > len &&
+          name.compare(name.size() - len, len, suffix) == 0) {
+        std::string base = name.substr(0, name.size() - len);
+        auto it = out.types.find(base);
+        if (it != out.types.end() && it->second == "histogram") return base;
+      }
+    }
+    return name;
+  };
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0) {
+      std::string rest = line.substr(7);
+      out.help_seen[rest.substr(0, rest.find(' '))] = true;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string family, type;
+      fields >> family >> type;
+      out.types[family] = type;
+      continue;
+    }
+    if (line[0] == '#') {
+      out.errors.push_back("unexpected comment: " + line);
+      continue;
+    }
+    size_t brace = line.find('{');
+    size_t space = line.rfind(' ');
+    if (space == std::string::npos) {
+      out.errors.push_back("no value: " + line);
+      continue;
+    }
+    Sample s;
+    if (brace != std::string::npos && brace < space) {
+      size_t close = line.rfind('}', space);
+      if (close == std::string::npos) {
+        out.errors.push_back("unterminated labels: " + line);
+        continue;
+      }
+      s.name = line.substr(0, brace);
+      s.labels = line.substr(brace + 1, close - brace - 1);
+    } else {
+      s.name = line.substr(0, space);
+    }
+    s.value = std::strtod(line.c_str() + space + 1, nullptr);
+    std::string family = family_of(s.name);
+    if (out.types.find(family) == out.types.end()) {
+      out.errors.push_back("sample before # TYPE: " + line);
+    }
+    if (!out.help_seen[family]) {
+      out.errors.push_back("sample before # HELP: " + line);
+    }
+    out.samples.push_back(std::move(s));
+  }
+  return out;
+}
+
+double SampleValue(const Exposition& e, const std::string& name,
+                   const std::string& labels = "") {
+  for (const Sample& s : e.samples) {
+    if (s.name == name && s.labels == labels) return s.value;
+  }
+  ADD_FAILURE() << "sample not found: " << name << "{" << labels << "}";
+  return -1;
+}
+
+TEST(ExpositionTest, EverySampleHasHelpAndTypeBeforeIt) {
+  ServiceMetrics m;
+  m.submitted.store(3);
+  m.latency.Record(1e-5);
+  Exposition e = ParseExposition(m.ToPrometheus());
+  EXPECT_TRUE(e.errors.empty()) << e.errors.front();
+  EXPECT_FALSE(e.samples.empty());
+}
+
+TEST(ExpositionTest, CounterFamiliesAreTypedCounter) {
+  ServiceMetrics m;
+  Exposition e = ParseExposition(m.ToPrometheus());
+  for (const auto& [family, type] : e.types) {
+    if (family.size() > 6 &&
+        family.compare(family.size() - 6, 6, "_total") == 0) {
+      EXPECT_EQ(type, "counter") << family;
+    }
+  }
+  EXPECT_EQ(e.types.at("mctsvc_queue_depth"), "gauge");
+  EXPECT_EQ(e.types.at("mctsvc_request_latency_seconds"), "histogram");
+}
+
+TEST(ExpositionTest, CountersAreMonotonicAcrossScrapes) {
+  ServiceMetrics m;
+  m.submitted.store(5);
+  m.completed.store(4);
+  m.page_misses.store(7);
+  Exposition before = ParseExposition(m.ToPrometheus());
+  m.submitted.fetch_add(2);
+  m.completed.fetch_add(3);
+  m.page_misses.fetch_add(1);
+  m.latency.Record(0.5);
+  Exposition after = ParseExposition(m.ToPrometheus());
+  for (const Sample& s : before.samples) {
+    if (s.name.size() > 6 &&
+        s.name.compare(s.name.size() - 6, 6, "_total") == 0) {
+      EXPECT_GE(SampleValue(after, s.name, s.labels), s.value) << s.name;
+    }
+  }
+}
+
+TEST(ExpositionTest, HistogramBucketsAreCumulativeAndEndWithInf) {
+  ServiceMetrics m;
+  m.latency.Record(1e-6);
+  m.latency.Record(3e-6);
+  m.latency.Record(100.0);  // overflow bucket
+  Exposition e = ParseExposition(m.ToPrometheus());
+  std::vector<std::pair<std::string, double>> buckets;
+  for (const Sample& s : e.samples) {
+    if (s.name == "mctsvc_request_latency_seconds_bucket") {
+      buckets.emplace_back(s.labels, s.value);
+    }
+  }
+  ASSERT_FALSE(buckets.empty());
+  double prev = 0;
+  for (const auto& [labels, value] : buckets) {
+    EXPECT_GE(value, prev) << "non-cumulative bucket " << labels;
+    prev = value;
+  }
+  EXPECT_EQ(buckets.back().first, "le=\"+Inf\"");
+  EXPECT_DOUBLE_EQ(buckets.back().second, 3.0);
+  EXPECT_DOUBLE_EQ(
+      SampleValue(e, "mctsvc_request_latency_seconds_count"), 3.0);
+}
+
+TEST(ExpositionTest, PromLabelEscapeHandlesSpecials) {
+  EXPECT_EQ(PromLabelEscape("plain"), "plain");
+  EXPECT_EQ(PromLabelEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(PromLabelEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(PromLabelEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(PromLabelEscape("\\\"\n"), "\\\\\\\"\\n");
+}
+
+}  // namespace
+}  // namespace mctsvc

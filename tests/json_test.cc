@@ -1,0 +1,80 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mctdb::json {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_TRUE(Parse("true")->boolean());
+  EXPECT_FALSE(Parse("false")->boolean());
+  EXPECT_DOUBLE_EQ(Parse("-12.5e2")->number(), -1250.0);
+  EXPECT_EQ(Parse("\"hi\"")->str(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedDocument) {
+  auto v = Parse(R"({"bench":"table1","scale":0.1,
+                     "records":[{"schema":"EN","extra":{"n":3}}]})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->StringOr("bench", ""), "table1");
+  EXPECT_DOUBLE_EQ(v->NumberOr("scale", 0), 0.1);
+  const Value* records = v->Find("records");
+  ASSERT_NE(records, nullptr);
+  ASSERT_EQ(records->array().size(), 1u);
+  const Value& rec = records->array()[0];
+  EXPECT_EQ(rec.StringOr("schema", ""), "EN");
+  const Value* extra = rec.Find("extra");
+  ASSERT_NE(extra, nullptr);
+  EXPECT_DOUBLE_EQ(extra->NumberOr("n", 0), 3.0);
+}
+
+TEST(JsonTest, MembersPreserveDocumentOrder) {
+  auto v = Parse(R"({"z":1,"a":2,"m":3})");
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->members().size(), 3u);
+  EXPECT_EQ(v->members()[0].first, "z");
+  EXPECT_EQ(v->members()[1].first, "a");
+  EXPECT_EQ(v->members()[2].first, "m");
+}
+
+TEST(JsonTest, StringEscapes) {
+  auto v = Parse(R"("a\"b\\c\n\tA")");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->str(), "a\"b\\c\n\tA");
+}
+
+TEST(JsonTest, UnicodeEscapeEncodesUtf8) {
+  auto v = Parse("\"\\u00e9\\u20ac\"");  // é €
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->str(), "\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());
+  EXPECT_FALSE(Parse("{\"a\":}").ok());
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("tru").ok());
+  EXPECT_FALSE(Parse("1 2").ok()) << "trailing garbage must be rejected";
+  EXPECT_FALSE(Parse("{\"a\" 1}").ok());
+}
+
+TEST(JsonTest, RejectsRunawayNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(Parse(deep).ok());
+}
+
+TEST(JsonTest, FindOnNonObjectIsNull) {
+  auto v = Parse("[1,2]");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Find("x"), nullptr);
+  EXPECT_DOUBLE_EQ(v->NumberOr("x", 42.0), 42.0);
+}
+
+}  // namespace
+}  // namespace mctdb::json

@@ -1,0 +1,101 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mctdb::logging {
+namespace {
+
+/// Installs a capturing sink for the test's lifetime and restores the
+/// default (stderr) sink plus the warn default level afterwards, so tests
+/// can run in any order.
+class CapturingSink {
+ public:
+  CapturingSink() {
+    SetSink([this](const std::string& line) { lines_.push_back(line); });
+  }
+  ~CapturingSink() {
+    SetSink(nullptr);
+    SetMinLevel(Level::kWarn);
+  }
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+TEST(LogTest, FormatLineRendersStableJson) {
+  std::string line = FormatLine(
+      Level::kInfo, "pool", "page evicted",
+      {{"victim", uint64_t(12)}, {"store", "tpcw"}, {"ratio", 0.5}},
+      /*unix_nanos=*/1754380800123456789);  // 2025-08-05T08:00:00.123Z
+  EXPECT_EQ(line,
+            "{\"ts\":\"2025-08-05T08:00:00.123Z\",\"level\":\"info\","
+            "\"component\":\"pool\",\"msg\":\"page evicted\","
+            "\"victim\":12,\"store\":\"tpcw\",\"ratio\":0.5}");
+}
+
+TEST(LogTest, StringsAreJsonEscaped) {
+  std::string line = FormatLine(Level::kWarn, "svc", "weird \"name\"\n",
+                                {{"key", "a\\b\tc"}}, 0);
+  EXPECT_NE(line.find("\"msg\":\"weird \\\"name\\\"\\n\""),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"key\":\"a\\\\b\\tc\""), std::string::npos) << line;
+}
+
+TEST(LogTest, FieldTypesRender) {
+  std::string line = FormatLine(
+      Level::kDebug, "c", "m",
+      {{"b", true}, {"i", int64_t(-3)}, {"u", uint64_t(7)}, {"d", 2.25}}, 0);
+  EXPECT_NE(line.find("\"b\":true"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"i\":-3"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"u\":7"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"d\":2.25"), std::string::npos) << line;
+}
+
+TEST(LogTest, MinLevelFilters) {
+  CapturingSink sink;
+  SetMinLevel(Level::kWarn);
+  EXPECT_FALSE(Enabled(Level::kDebug));
+  EXPECT_FALSE(Enabled(Level::kInfo));
+  EXPECT_TRUE(Enabled(Level::kWarn));
+  EXPECT_TRUE(Enabled(Level::kError));
+  MCTDB_LOG(kInfo, "t", "dropped");
+  MCTDB_LOG(kError, "t", "kept", {{"n", uint64_t(1)}});
+  ASSERT_EQ(sink.lines().size(), 1u);
+  EXPECT_NE(sink.lines()[0].find("\"msg\":\"kept\""), std::string::npos);
+  EXPECT_NE(sink.lines()[0].find("\"level\":\"error\""), std::string::npos);
+}
+
+TEST(LogTest, OffSilencesEverything) {
+  CapturingSink sink;
+  SetMinLevel(Level::kOff);
+  MCTDB_LOG(kError, "t", "still dropped");
+  EXPECT_TRUE(sink.lines().empty());
+}
+
+TEST(LogTest, SinkReceivesLinesWithoutTrailingNewline) {
+  CapturingSink sink;
+  SetMinLevel(Level::kDebug);
+  MCTDB_LOG(kDebug, "t", "hello");
+  ASSERT_EQ(sink.lines().size(), 1u);
+  const std::string& line = sink.lines()[0];
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_EQ(line.front(), '{');
+}
+
+TEST(LogTest, ParseLevelNamesAndFallback) {
+  EXPECT_EQ(ParseLevel("debug", Level::kOff), Level::kDebug);
+  EXPECT_EQ(ParseLevel("INFO", Level::kOff), Level::kInfo);
+  EXPECT_EQ(ParseLevel("Warning", Level::kOff), Level::kWarn);
+  EXPECT_EQ(ParseLevel("error", Level::kOff), Level::kError);
+  EXPECT_EQ(ParseLevel("none", Level::kWarn), Level::kOff);
+  EXPECT_EQ(ParseLevel("bogus", Level::kWarn), Level::kWarn);
+}
+
+}  // namespace
+}  // namespace mctdb::logging

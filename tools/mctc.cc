@@ -14,18 +14,35 @@
 //   mctc lint     <file.er> [--json] [--schema-only]
 //                                             static analysis: schema lint +
 //                                             plan verification, 7 strategies
+//   mctc bench    [--scale S] [--reps N] [--bench NAME] [--json]
+//                 [--out DIR] [--check] [--tolerance T] [--min-abs S]
+//                 [--baselines DIR] [--list]
+//                                             run the registered benchmarks
+//                                             in-process, write BENCH_*.json,
+//                                             and gate against baselines
+//   mctc serve    <file.er> [--port P] [--threads N] [--base N]
+//                 [--passes N] [--linger S]
+//                                             run the workload through the
+//                                             query service with the live
+//                                             /metrics HTTP endpoint up
 //   mctc demo                                 built-in TPC-W walkthrough
 //
 // Files with the .er extension use the DSL of er/er_parser.h (see
 // examples/designs/). Exit status: 0 ok, 1 usage, 2 input error (for lint:
-// 2 also when any error-severity diagnostic was reported).
+// 2 also when any error-severity diagnostic was reported; for bench with
+// --check: 2 when the regression gate fails).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "analysis/plan_verify.h"
 #include "analysis/schema_lint.h"
+#include "bench/report.h"
+#include "bench/suite.h"
+#include "common/log.h"
 #include "design/designer.h"
 #include "design/feasibility.h"
 #include "design/xml_mining.h"
@@ -36,6 +53,7 @@
 #include "obs/trace_export.h"
 #include "query/executor.h"
 #include "query/planner.h"
+#include "service/query_service.h"
 #include "workload/runner.h"
 #include "xml/xml_io.h"
 
@@ -57,6 +75,11 @@ int Usage() {
       "  trace    <file.er> [--query NAME] [-s STRATEGY] [--json]"
       " [--base N]\n"
       "  lint     <file.er> [--json] [--schema-only]\n"
+      "  bench    [--scale S] [--reps N] [--bench NAME] [--json] [--out DIR]"
+      " [--check]\n"
+      "           [--tolerance T] [--min-abs S] [--baselines DIR] [--list]\n"
+      "  serve    <file.er> [--port P] [--threads N] [--base N] [--passes N]"
+      " [--linger S]\n"
       "  demo\n");
   return 1;
 }
@@ -454,6 +477,282 @@ int CmdLint(int argc, char** argv) {
   return combined.has_errors() ? 2 : 0;
 }
 
+Status WriteText(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << text;
+  out.close();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+// Runs the registered in-process benchmarks (bench/suite.h; the same
+// measurement code the standalone bench binaries use), writes one
+// BENCH_<name>.json per benchmark plus a combined document, and with
+// --check gates each report against the committed baselines.
+int CmdBench(int argc, char** argv) {
+  double scale = 1.0;
+  size_t reps = 3;
+  const char* only = nullptr;
+  bool combined_to_stdout = false;
+  std::string out_dir = ".";
+  bool check = false;
+  bench::CheckOptions check_options;
+  std::string baselines_dir = "bench/baselines";
+
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--list")) {
+      for (const bench::BenchmarkDef& def : bench::RegisteredBenchmarks()) {
+        std::printf("%-10s %s\n", def.name, def.description);
+      }
+      return 0;
+    } else if (!std::strcmp(argv[i], "--scale") && i + 1 < argc) {
+      if (!bench::ParseScale(argv[++i], &scale)) {
+        std::fprintf(stderr, "error: bad --scale '%s'\n", argv[i]);
+        return 1;
+      }
+    } else if (!std::strcmp(argv[i], "--reps") && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long n = std::strtoul(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || n == 0 || n > 1000) {
+        std::fprintf(stderr, "error: bad --reps '%s'\n", argv[i]);
+        return 1;
+      }
+      reps = n;
+    } else if (!std::strcmp(argv[i], "--bench") && i + 1 < argc) {
+      only = argv[++i];
+    } else if (!std::strcmp(argv[i], "--json")) {
+      combined_to_stdout = true;
+    } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (!std::strcmp(argv[i], "--check")) {
+      check = true;
+    } else if (!std::strcmp(argv[i], "--tolerance") && i + 1 < argc) {
+      char* end = nullptr;
+      double t = std::strtod(argv[++i], &end);
+      if (end == nullptr || *end != '\0' || !(t >= 0.0)) {
+        std::fprintf(stderr, "error: bad --tolerance '%s'\n", argv[i]);
+        return 1;
+      }
+      check_options.tolerance = t;
+    } else if (!std::strcmp(argv[i], "--min-abs") && i + 1 < argc) {
+      char* end = nullptr;
+      double t = std::strtod(argv[++i], &end);
+      if (end == nullptr || *end != '\0' || !(t >= 0.0)) {
+        std::fprintf(stderr, "error: bad --min-abs '%s'\n", argv[i]);
+        return 1;
+      }
+      check_options.min_abs_seconds = t;
+    } else if (!std::strcmp(argv[i], "--baselines") && i + 1 < argc) {
+      baselines_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "error: unknown bench argument '%s'\n", argv[i]);
+      return Usage();
+    }
+  }
+  if (only != nullptr && bench::FindBenchmark(only) == nullptr) {
+    std::fprintf(stderr, "error: no registered benchmark named '%s' "
+                         "(try --list)\n", only);
+    return 1;
+  }
+
+  bench::SuiteOptions suite_options;
+  suite_options.scale = scale;
+  suite_options.repetitions = reps;
+
+  std::vector<bench::BenchReport> reports;
+  size_t regressions = 0;
+  for (const bench::BenchmarkDef& def : bench::RegisteredBenchmarks()) {
+    if (only != nullptr && std::strcmp(def.name, only) != 0) continue;
+    bench::BenchReport report = def.fn(suite_options);
+    std::string path = out_dir + "/BENCH_" + def.name + ".json";
+    Status written = WriteText(path, report.ToJson() + "\n");
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "wrote %s (%zu records)\n", path.c_str(),
+                 report.records.size());
+    if (check) {
+      std::string baseline_path =
+          baselines_dir + "/BENCH_" + std::string(def.name) + ".json";
+      auto baseline = bench::LoadBenchReport(baseline_path);
+      if (!baseline.ok()) {
+        // A benchmark without a loadable baseline cannot be gated — that
+        // is itself a gate failure, never a silent pass.
+        std::fprintf(stderr, "REGRESSION %s: baseline %s: %s\n", def.name,
+                     baseline_path.c_str(),
+                     baseline.status().ToString().c_str());
+        ++regressions;
+      } else {
+        bench::CheckResult verdict =
+            bench::CheckAgainstBaseline(report, *baseline, check_options);
+        for (const std::string& line : verdict.notes) {
+          std::fprintf(stderr, "note %s: %s\n", def.name, line.c_str());
+        }
+        for (const std::string& line : verdict.regressions) {
+          std::fprintf(stderr, "REGRESSION %s: %s\n", def.name,
+                       line.c_str());
+        }
+        regressions += verdict.regressions.size();
+      }
+    }
+    reports.push_back(std::move(report));
+  }
+
+  std::string combined = bench::CombineReports(reports);
+  Status written = WriteText(out_dir + "/BENCH_combined.json", combined + "\n");
+  if (!written.ok()) {
+    std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+    return 2;
+  }
+  if (combined_to_stdout) std::printf("%s\n", combined.c_str());
+  if (check) {
+    std::fprintf(stderr, "gate: %zu regression(s) at tolerance %.2f "
+                         "(min abs %.3fs)\n",
+                 regressions, check_options.tolerance,
+                 check_options.min_abs_seconds);
+    if (regressions > 0) return 2;
+  }
+  return 0;
+}
+
+// Drives the emulated workload of an ER design through the query service
+// with the HTTP observability endpoint live, so /metrics, /healthz,
+// /slowlog and /tracez can be scraped while real queries execute.
+int CmdServe(int argc, char** argv) {
+  const char* path = nullptr;
+  int port = 8080;
+  size_t threads = 2;
+  size_t base_count = 0;
+  size_t passes = 2;
+  double linger_seconds = 0.0;
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--port") && i + 1 < argc) {
+      char* end = nullptr;
+      long p = std::strtol(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || p < 0 || p > 65535) {
+        std::fprintf(stderr, "error: bad --port '%s'\n", argv[i]);
+        return 1;
+      }
+      port = static_cast<int>(p);
+    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      threads = std::strtoul(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--base") && i + 1 < argc) {
+      base_count = std::strtoul(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--passes") && i + 1 < argc) {
+      passes = std::strtoul(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--linger") && i + 1 < argc) {
+      char* end = nullptr;
+      linger_seconds = std::strtod(argv[++i], &end);
+      if (end == nullptr || *end != '\0' || linger_seconds < 0) {
+        std::fprintf(stderr, "error: bad --linger '%s'\n", argv[i]);
+        return 1;
+      }
+    } else if (path == nullptr) {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr || threads == 0 || passes == 0) return Usage();
+  // Lifecycle events (store registration, endpoint URL, slow queries) go
+  // to stderr as JSONL; an explicit MCTDB_LOG_LEVEL still wins.
+  if (std::getenv("MCTDB_LOG_LEVEL") == nullptr) {
+    mctdb::logging::SetMinLevel(mctdb::logging::Level::kInfo);
+  }
+  auto diagram = LoadEr(path);
+  if (!diagram.ok()) {
+    std::fprintf(stderr, "error: %s\n", diagram.status().ToString().c_str());
+    return 2;
+  }
+  er::ErGraph graph(*diagram);
+  design::Designer designer(graph);
+  workload::Workload w = workload::XmarkEmulatedWorkload(*diagram);
+  if (base_count > 0) w.gen.base_count = base_count;
+  instance::LogicalInstance logical =
+      instance::GenerateInstance(graph, w.gen);
+
+  // The stores keep pointers into `schemas`; finish growing the vector
+  // before materializing against its elements.
+  std::vector<mct::MctSchema> schemas;
+  for (design::Strategy s : design::AllStrategies()) {
+    schemas.push_back(designer.Design(s));
+  }
+  std::vector<std::unique_ptr<storage::MctStore>> stores;
+  for (const mct::MctSchema& schema : schemas) {
+    stores.push_back(instance::Materialize(logical, schema));
+  }
+
+  mctsvc::ServiceOptions options;
+  options.num_threads = threads;
+  options.http_port = port;
+  options.trace_log_capacity = 16;
+  options.slow_query_seconds = 1e-4;  // populate /slowlog under toy loads
+  mctsvc::QueryService service(options);
+  for (size_t i = 0; i < schemas.size(); ++i) {
+    Status added = service.AddStore(schemas[i].name(), stores[i].get());
+    if (!added.ok()) {
+      std::fprintf(stderr, "error: %s\n", added.ToString().c_str());
+      return 2;
+    }
+  }
+  if (service.HttpPort() == 0) {
+    std::fprintf(stderr, "error: HTTP endpoint failed to bind port %d\n",
+                 port);
+    return 2;
+  }
+  std::printf("serving http://127.0.0.1:%u  (/metrics /metrics.json "
+              "/healthz /slowlog /tracez)\n",
+              unsigned(service.HttpPort()));
+  // Scrape scripts read the port from this line; don't sit in the stdio
+  // buffer while the workload runs.
+  std::fflush(stdout);
+
+  // Keep every plan alive until its future resolves.
+  std::vector<std::unique_ptr<query::QueryPlan>> plans;
+  size_t executed = 0, failed = 0;
+  for (size_t pass = 0; pass < passes; ++pass) {
+    for (size_t i = 0; i < schemas.size(); ++i) {
+      auto session = service.OpenSession(schemas[i].name());
+      if (!session.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     session.status().ToString().c_str());
+        return 2;
+      }
+      std::vector<mctsvc::QueryFuture> futures;
+      for (const std::string& name : w.figure_queries) {
+        const query::AssociationQuery* q = w.Find(name);
+        auto plan = query::PlanQuery(*q, schemas[i]);
+        if (!plan.ok()) {
+          ++failed;
+          continue;
+        }
+        plans.push_back(std::make_unique<query::QueryPlan>(std::move(*plan)));
+        auto future = (*session)->Submit(*plans.back());
+        if (!future.ok()) {
+          ++failed;
+          continue;
+        }
+        futures.push_back(std::move(*future));
+      }
+      for (mctsvc::QueryFuture& f : futures) {
+        auto result = f.get();
+        result.ok() ? ++executed : ++failed;
+      }
+    }
+  }
+  service.Drain();
+  std::printf("workload done: %zu queries executed, %zu failed "
+              "(%zu passes over %zu schemas)\n",
+              executed, failed, passes, schemas.size());
+  if (linger_seconds > 0) {
+    std::printf("lingering %.1fs for scrapes...\n", linger_seconds);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(linger_seconds));
+  }
+  return failed == 0 ? 0 : 2;
+}
+
 int CmdDemo() {
   er::ErDiagram diagram = er::Tpcw();
   std::printf("%s\n", er::FormatErDiagram(diagram).c_str());
@@ -480,6 +779,8 @@ int main(int argc, char** argv) {
   if (!std::strcmp(cmd, "workload")) return CmdWorkload(argc - 2, argv + 2);
   if (!std::strcmp(cmd, "trace")) return CmdTrace(argc - 2, argv + 2);
   if (!std::strcmp(cmd, "lint")) return CmdLint(argc - 2, argv + 2);
+  if (!std::strcmp(cmd, "bench")) return CmdBench(argc - 2, argv + 2);
+  if (!std::strcmp(cmd, "serve")) return CmdServe(argc - 2, argv + 2);
   if (!std::strcmp(cmd, "demo")) return CmdDemo();
   return Usage();
 }
