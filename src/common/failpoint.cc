@@ -1,0 +1,292 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/log.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mctdb::failpoint {
+
+namespace internal {
+std::atomic<int> g_armed_count{0};
+}  // namespace internal
+
+namespace {
+
+enum class ActionKind { kError, kTruncate, kDelay, kPanic };
+
+struct Action {
+  ActionKind kind = ActionKind::kError;
+  double probability = 1.0;  // err/trunc
+  int delay_ms = 0;          // delay
+  std::string spec;          // original action string, for CurrentAction()
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Action, std::less<>> armed;
+  std::map<std::string, uint64_t, std::less<>> hits;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+/// Splitmix64 stream for probability rolls, shared across threads: the
+/// slow path already serializes on the registry mutex, so one relaxed
+/// fetch_add is noise here.
+double NextDouble() {
+  static std::atomic<uint64_t> counter{0x243F6A8885A308D3ull};
+  uint64_t x =
+      counter.fetch_add(0x9E3779B97F4A7C15ull, std::memory_order_relaxed);
+  return static_cast<double>(Hash64(x) >> 11) * 0x1.0p-53;
+}
+
+/// Parses one action string ("err", "err(0.01)", "delay(5)", "trunc",
+/// "panic", "off"). "off" is reported via *is_off.
+bool ParseAction(std::string_view s, Action* out, bool* is_off,
+                 std::string* error) {
+  *is_off = false;
+  std::string_view head = s;
+  std::string_view arg;
+  size_t open = s.find('(');
+  if (open != std::string_view::npos) {
+    if (s.back() != ')') {
+      *error = "unterminated '(' in action '" + std::string(s) + "'";
+      return false;
+    }
+    head = s.substr(0, open);
+    arg = s.substr(open + 1, s.size() - open - 2);
+  }
+  out->spec = std::string(s);
+  if (head == "off") {
+    if (!arg.empty()) {
+      *error = "'off' takes no argument";
+      return false;
+    }
+    *is_off = true;
+    return true;
+  }
+  if (head == "panic") {
+    if (!arg.empty()) {
+      *error = "'panic' takes no argument";
+      return false;
+    }
+    out->kind = ActionKind::kPanic;
+    return true;
+  }
+  if (head == "err" || head == "trunc") {
+    out->kind = head == "err" ? ActionKind::kError : ActionKind::kTruncate;
+    out->probability = 1.0;
+    if (!arg.empty()) {
+      char* end = nullptr;
+      std::string buf(arg);
+      out->probability = std::strtod(buf.c_str(), &end);
+      if (end == buf.c_str() || *end != '\0' || out->probability < 0.0 ||
+          out->probability > 1.0) {
+        *error = "probability must be in [0,1], got '" + buf + "'";
+        return false;
+      }
+    }
+    return true;
+  }
+  if (head == "delay") {
+    if (arg.empty()) {
+      *error = "'delay' needs a millisecond argument";
+      return false;
+    }
+    char* end = nullptr;
+    std::string buf(arg);
+    long ms = std::strtol(buf.c_str(), &end, 10);
+    if (end == buf.c_str() || *end != '\0' || ms < 0 || ms > 60000) {
+      *error = "delay must be 0..60000 ms, got '" + buf + "'";
+      return false;
+    }
+    out->kind = ActionKind::kDelay;
+    out->delay_ms = static_cast<int>(ms);
+    return true;
+  }
+  *error = "unknown action '" + std::string(head) + "'";
+  return false;
+}
+
+void ArmLocked(Registry& r, const std::string& name, const Action& a) {
+  auto [it, inserted] = r.armed.insert_or_assign(name, a);
+  (void)it;
+  if (inserted) {
+    internal::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmLocked(Registry& r, std::string_view name) {
+  auto it = r.armed.find(name);
+  if (it != r.armed.end()) {
+    r.armed.erase(it);
+    internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+/// Parses MCTDB_FAILPOINTS once at process start so env-armed chaos specs
+/// are live before any reader thread exists.
+struct EnvInit {
+  EnvInit() {
+    const char* spec = std::getenv("MCTDB_FAILPOINTS");
+    if (spec == nullptr || *spec == '\0') return;
+    std::string error;
+    if (!Configure(spec, &error)) {
+      MCTDB_CHECK_MSG(false, ("bad MCTDB_FAILPOINTS: " + error).c_str());
+    }
+  }
+};
+const EnvInit g_env_init;
+
+}  // namespace
+
+namespace internal {
+
+Fault EvaluateSlow(std::string_view name) {
+  Action action;
+  {
+    Registry& r = GetRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.armed.find(name);
+    if (it == r.armed.end()) return Fault::kNone;
+    action = it->second;
+    if (action.kind == ActionKind::kError ||
+        action.kind == ActionKind::kTruncate) {
+      if (action.probability < 1.0 && NextDouble() >= action.probability) {
+        return Fault::kNone;
+      }
+    }
+    r.hits[std::string(name)]++;
+  }
+  switch (action.kind) {
+    case ActionKind::kError:
+      return Fault::kError;
+    case ActionKind::kTruncate:
+      return Fault::kTruncate;
+    case ActionKind::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(action.delay_ms));
+      return Fault::kNone;
+    case ActionKind::kPanic:
+      MCTDB_CHECK_MSG(false, "failpoint panic action fired");
+  }
+  return Fault::kNone;
+}
+
+}  // namespace internal
+
+bool Configure(std::string_view spec, std::string* error) {
+  // Parse everything before mutating so a malformed tail leaves the
+  // registry untouched.
+  std::vector<std::pair<std::string, Action>> to_arm;
+  std::vector<std::string> to_disarm;
+  for (const std::string& entry : Split(spec, ';')) {
+    std::string_view trimmed = Trim(entry);
+    if (trimmed.empty()) continue;
+    size_t eq = trimmed.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      if (error) *error = "expected name=action, got '" +
+                          std::string(trimmed) + "'";
+      return false;
+    }
+    std::string name(Trim(trimmed.substr(0, eq)));
+    std::string_view action_str = Trim(trimmed.substr(eq + 1));
+    Action action;
+    bool is_off = false;
+    std::string parse_error;
+    if (!ParseAction(action_str, &action, &is_off, &parse_error)) {
+      if (error) *error = name + ": " + parse_error;
+      return false;
+    }
+    if (is_off) {
+      to_disarm.push_back(std::move(name));
+    } else {
+      to_arm.emplace_back(std::move(name), std::move(action));
+    }
+  }
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const std::string& name : to_disarm) DisarmLocked(r, name);
+  for (auto& [name, action] : to_arm) {
+    MCTDB_LOG(kInfo, "failpoint", "armed",
+              {{"name", name}, {"action", action.spec}});
+    ArmLocked(r, name, action);
+  }
+  return true;
+}
+
+bool Arm(std::string_view name, std::string_view action_str,
+         std::string* error) {
+  Action action;
+  bool is_off = false;
+  std::string parse_error;
+  if (!ParseAction(action_str, &action, &is_off, &parse_error)) {
+    if (error) *error = std::string(name) + ": " + parse_error;
+    return false;
+  }
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (is_off) {
+    DisarmLocked(r, name);
+  } else {
+    ArmLocked(r, std::string(name), action);
+  }
+  return true;
+}
+
+void Disarm(std::string_view name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  DisarmLocked(r, name);
+}
+
+void DisarmAll() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  while (!r.armed.empty()) {
+    DisarmLocked(r, r.armed.begin()->first);
+  }
+}
+
+uint64_t HitCount(std::string_view name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.hits.find(name);
+  return it == r.hits.end() ? 0 : it->second;
+}
+
+std::string CurrentAction(std::string_view name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.armed.find(name);
+  return it == r.armed.end() ? std::string() : it->second.spec;
+}
+
+FailpointGuard::FailpointGuard(std::string_view name,
+                               std::string_view action)
+    : name_(name), previous_(CurrentAction(name)) {
+  std::string error;
+  MCTDB_CHECK_MSG(Arm(name_, action, &error), error.c_str());
+}
+
+FailpointGuard::~FailpointGuard() {
+  if (previous_.empty()) {
+    Disarm(name_);
+  } else {
+    std::string error;
+    MCTDB_CHECK_MSG(Arm(name_, previous_, &error), error.c_str());
+  }
+}
+
+}  // namespace mctdb::failpoint

@@ -1,0 +1,107 @@
+// Failpoints: named fault-injection sites for chaos testing.
+//
+// Production code marks a fallible seam with a call like
+//
+//   switch (MCTDB_FAILPOINT("pager.read")) {
+//     case failpoint::Fault::kError:    ... inject a read fault ...
+//     case failpoint::Fault::kTruncate: ... behave as if bytes are missing ...
+//     case failpoint::Fault::kNone:     break;
+//   }
+//
+// and tests (or the MCTDB_FAILPOINTS environment variable, parsed once at
+// startup) arm the site with an action:
+//
+//   MCTDB_FAILPOINTS="pager.read=err(0.01);persist.load=trunc"
+//
+// Spec grammar: `name=action` pairs separated by ';'. Actions:
+//   err[(p)]    with probability p (default 1.0) the site sees kError
+//   trunc[(p)]  with probability p (default 1.0) the site sees kTruncate
+//   delay(ms)   sleep ms milliseconds inside Evaluate, then report kNone
+//   panic       abort the process at the site (crash-safety testing)
+//   off         explicitly disarm the site
+//
+// What kError/kTruncate *mean* is defined by each site and documented in
+// the failpoint catalog (DESIGN.md §12) — e.g. at "pager.read" kError means
+// "the read transferred corrupt bytes", which the page checksum then
+// catches, exercising the real recovery path rather than a shortcut.
+//
+// Cost when unarmed: one relaxed atomic load (the MCTDB_FAILPOINT macro
+// checks a global armed-site count before touching the registry). All
+// registry operations are thread-safe; Evaluate takes a mutex only when at
+// least one site is armed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mctdb::failpoint {
+
+/// What an armed failpoint tells its site to do. Delays and panics are
+/// executed inside Evaluate itself; only the faults that need site-specific
+/// semantics are returned.
+enum class Fault { kNone = 0, kError, kTruncate };
+
+namespace internal {
+extern std::atomic<int> g_armed_count;
+/// Slow path: look up `name` in the registry, roll the probability dice,
+/// perform delay/panic actions, bump the hit counter. Never called while
+/// no site is armed.
+Fault EvaluateSlow(std::string_view name);
+}  // namespace internal
+
+/// True iff at least one failpoint is currently armed.
+inline bool AnyArmed() {
+  return internal::g_armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+/// Evaluate the named site: kNone unless armed and the dice say otherwise.
+inline Fault Evaluate(std::string_view name) {
+  if (!AnyArmed()) return Fault::kNone;
+  return internal::EvaluateSlow(name);
+}
+
+/// Parse a spec string (see grammar above) and arm/disarm the named sites.
+/// Sites not mentioned keep their current configuration. Returns false and
+/// sets *error on a malformed spec (registry unchanged in that case).
+bool Configure(std::string_view spec, std::string* error);
+
+/// Arm a single site from an action string, e.g. Arm("pager.read",
+/// "err(0.5)"). Returns false and sets *error on a malformed action.
+bool Arm(std::string_view name, std::string_view action, std::string* error);
+
+/// Disarm one site / all sites.
+void Disarm(std::string_view name);
+void DisarmAll();
+
+/// How many times the named site evaluated to a non-kNone fault (delays
+/// count too). For test assertions and the chaos-CI sanity check.
+uint64_t HitCount(std::string_view name);
+
+/// Current action string for `name` ("" if unarmed). Used by FailpointGuard
+/// to restore prior state.
+std::string CurrentAction(std::string_view name);
+
+/// RAII guard for tests: arms `name` with `action` on construction and
+/// restores the site's *previous* configuration on destruction (it does not
+/// blanket-disarm, so an environment-armed chaos spec survives test guards).
+/// Malformed actions abort via MCTDB_CHECK — guards are test-only.
+class FailpointGuard {
+ public:
+  FailpointGuard(std::string_view name, std::string_view action);
+  ~FailpointGuard();
+
+  FailpointGuard(const FailpointGuard&) = delete;
+  FailpointGuard& operator=(const FailpointGuard&) = delete;
+
+ private:
+  std::string name_;
+  std::string previous_;  // previous action string, "" = was unarmed
+};
+
+}  // namespace mctdb::failpoint
+
+/// The site marker. Evaluates to failpoint::Fault; one relaxed atomic load
+/// when nothing is armed anywhere.
+#define MCTDB_FAILPOINT(name) (::mctdb::failpoint::Evaluate(name))

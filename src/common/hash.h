@@ -28,4 +28,35 @@ inline uint64_t HashCombine(uint64_t a, uint64_t b) {
   return a ^ (b + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2));
 }
 
+/// Fast 64-bit checksum over a page-sized buffer: consumes 8 bytes per step
+/// with a wide-multiply mix, splitmix64 finalizer over the tail and length.
+/// Chosen over a table-driven CRC32 because page verification runs on every
+/// buffer-pool miss and must stay near memcpy speed (see DESIGN.md §12).
+/// Stable across platforms: reads are assembled little-endian byte by byte.
+inline uint64_t PageChecksum(const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0x9E3779B97F4A7C15ull ^ (static_cast<uint64_t>(len) *
+                                        0xC2B2AE3D27D4EB4Full);
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t k = 0;
+    for (int b = 0; b < 8; ++b) {
+      k |= static_cast<uint64_t>(p[i + b]) << (8 * b);
+    }
+    k *= 0x9E3779B185EBCA87ull;
+    k = (k << 31) | (k >> 33);
+    k *= 0xC2B2AE3D27D4EB4Full;
+    h ^= k;
+    h = ((h << 27) | (h >> 37)) * 5 + 0x52DCE729ull;
+  }
+  uint64_t tail = 0;
+  // The main loop leaves at most 7 bytes; bounding b keeps the shift
+  // width provably < 64 for the optimizer.
+  for (int b = 0; b < 8 && i < len; ++i, ++b) {
+    tail |= static_cast<uint64_t>(p[i]) << (8 * b);
+  }
+  h ^= tail * 0x9E3779B185EBCA87ull;
+  return Hash64(h);
+}
+
 }  // namespace mctdb

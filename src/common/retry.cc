@@ -1,0 +1,33 @@
+#include "common/retry.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace mctdb {
+
+namespace {
+RetryPolicy ParseFromEnv() {
+  RetryPolicy p;
+  if (const char* e = std::getenv("MCTDB_RETRY_ATTEMPTS")) {
+    uint64_t v = 0;
+    if (ParseUint64(e, &v) && v <= 100) {
+      p.max_attempts = static_cast<int>(v);
+    }
+  }
+  if (const char* e = std::getenv("MCTDB_RETRY_BACKOFF_US")) {
+    uint64_t v = 0;
+    if (ParseUint64(e, &v) && v <= 10'000'000) {
+      p.initial_backoff = std::chrono::microseconds(v);
+    }
+  }
+  return p;
+}
+}  // namespace
+
+const RetryPolicy& RetryPolicy::FromEnv() {
+  static const RetryPolicy policy = ParseFromEnv();
+  return policy;
+}
+
+}  // namespace mctdb

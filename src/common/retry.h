@@ -1,0 +1,70 @@
+// Bounded retry with exponential backoff for transient storage faults.
+//
+// The policy lives in common so the pager, the persist layer, and any
+// future network layer share one knob set. Only DataLoss / IoError /
+// Unavailable are considered transient; everything else (InvalidArgument,
+// Corruption of in-memory structure, ...) fails immediately.
+//
+// Environment overrides (read once by RetryPolicy::FromEnv):
+//   MCTDB_RETRY_ATTEMPTS   total attempts including the first (default 4);
+//                          0 or 1 disables retrying
+//   MCTDB_RETRY_BACKOFF_US initial backoff in microseconds (default 100)
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "common/status.h"
+
+namespace mctdb {
+
+struct RetryPolicy {
+  /// Total attempts, including the first. <= 1 means no retries.
+  int max_attempts = 4;
+  std::chrono::microseconds initial_backoff{100};
+  double multiplier = 2.0;
+  std::chrono::microseconds max_backoff{10000};
+
+  /// Defaults above, overridden by MCTDB_RETRY_* (parsed once, cached).
+  static const RetryPolicy& FromEnv();
+
+  /// A policy that never retries (for tests asserting first-failure
+  /// behaviour).
+  static RetryPolicy None() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    return p;
+  }
+};
+
+/// True for fault classes worth retrying: the bytes may be fine next time.
+inline bool IsRetryable(const Status& s) {
+  return s.IsDataLoss() || s.IsIoError() || s.IsUnavailable();
+}
+
+/// Runs `fn` (a callable returning Status) up to policy.max_attempts times,
+/// sleeping an exponentially growing backoff between attempts, as long as
+/// the result is retryable. Returns the last Status. If `retries` is
+/// non-null it is incremented once per extra attempt actually made, so
+/// callers can export a retry counter.
+template <typename Fn>
+Status RetryWithBackoff(const RetryPolicy& policy, Fn&& fn,
+                        uint64_t* retries = nullptr) {
+  Status s = fn();
+  if (s.ok() || policy.max_attempts <= 1) return s;
+  std::chrono::microseconds backoff = policy.initial_backoff;
+  for (int attempt = 1; attempt < policy.max_attempts && IsRetryable(s);
+       ++attempt) {
+    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    auto next = std::chrono::microseconds(static_cast<int64_t>(
+        static_cast<double>(backoff.count()) * policy.multiplier));
+    backoff = next < policy.max_backoff ? next : policy.max_backoff;
+    if (retries != nullptr) ++*retries;
+    s = fn();
+  }
+  return s;
+}
+
+}  // namespace mctdb

@@ -32,6 +32,8 @@ class [[nodiscard]] Status {
     kInternal,         ///< invariant broken inside mctdb itself
     kResourceExhausted,  ///< admission queue / capacity limit hit
     kDeadlineExceeded,   ///< request deadline passed before completion
+    kDataLoss,           ///< checksum mismatch / truncation: bytes are gone
+    kUnavailable,        ///< transient overload or open breaker; retry later
   };
 
   Status() = default;
@@ -70,6 +72,12 @@ class [[nodiscard]] Status {
   static Status DeadlineExceeded(std::string_view msg) {
     return Status(Code::kDeadlineExceeded, msg);
   }
+  static Status DataLoss(std::string_view msg) {
+    return Status(Code::kDataLoss, msg);
+  }
+  static Status Unavailable(std::string_view msg) {
+    return Status(Code::kUnavailable, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
@@ -89,6 +97,8 @@ class [[nodiscard]] Status {
   bool IsDeadlineExceeded() const {
     return code_ == Code::kDeadlineExceeded;
   }
+  bool IsDataLoss() const { return code_ == Code::kDataLoss; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -52,6 +52,11 @@ Executor::Binding Executor::ScanTag(mct::ColorId color, er::NodeId tag,
     }
     out.push_back(e);
   }
+  if (!cursor.status().ok() && failure_.ok()) {
+    // Latched, not returned: the Binding signature has no error channel.
+    // Execute checks failure_ between steps and fails the query.
+    failure_ = cursor.status();
+  }
   span.SetCardinalityOut(out.size());
   return out;
 }
@@ -332,6 +337,7 @@ Result<ExecResult> Executor::Execute(const QueryPlan& plan) {
   // (and posting cursor) below charges spans and page fetches to it.
   obs::ExecStats stats(query.name);
   stats_ = &stats;
+  failure_ = Status::OK();
 
   const size_t n = query.nodes.size();
   std::vector<Binding> bindings(n);
@@ -351,6 +357,10 @@ Result<ExecResult> Executor::Execute(const QueryPlan& plan) {
   bindings[0] = ScanTag(plan.anchor_color, root.er_node, root_pred);
   colors[0] = plan.anchor_color;
   evaluated[0] = true;
+  if (!failure_.ok()) {
+    stats_ = nullptr;
+    return failure_;
+  }
 
   // Children of each pattern node, in declaration order, filter branches
   // before the spine child.
@@ -396,6 +406,10 @@ Result<ExecResult> Executor::Execute(const QueryPlan& plan) {
                            reduce, &out_color);
     colors[u] = out_color;
     evaluated[u] = true;
+    if (!failure_.ok()) {
+      stats_ = nullptr;
+      return failure_;
+    }
   }
 
   // If filter branches reduced ancestors of the output AFTER the output's

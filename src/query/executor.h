@@ -71,7 +71,9 @@ class Executor {
 
   /// Returns InvalidArgument (instead of crashing) when the plan is
   /// malformed: no query attached, or a non-root pattern node without an
-  /// edge plan.
+  /// edge plan. Returns DataLoss when a posting page could not be read
+  /// (checksum failure surviving the pool's retries/quarantine) — the
+  /// query fails cleanly; the store and service stay up.
   Result<ExecResult> Execute(const QueryPlan& plan);
 
  private:
@@ -100,6 +102,11 @@ class Executor {
   /// Execute so the operators (and their posting cursors) charge spans and
   /// page fetches to it.
   obs::ExecStats* stats_ = nullptr;
+  /// First storage failure observed by an operator during Execute. The
+  /// Binding-returning operators cannot propagate Status through their
+  /// signatures, so ScanTag latches the cursor's failure here and Execute
+  /// checks it between evaluation steps.
+  Status failure_;
 };
 
 }  // namespace mctdb::query

@@ -131,6 +131,7 @@ Result<McXPathResult> EvalMcXPath(const McXPath& path,
         }
         candidates.push_back(e);
       }
+      MCTDB_RETURN_IF_ERROR(cursor.status());
     }
     if (first) {
       binding = std::move(candidates);

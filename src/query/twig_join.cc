@@ -29,6 +29,11 @@ class Stream {
 
   bool eof() const { return !current_.has_value(); }
   const LabelEntry& head() const { return *current_; }
+  /// Non-OK when the underlying posting scan failed; the stream then
+  /// reports eof and the join result must be discarded.
+  Status status() const {
+    return cursor_.has_value() ? cursor_->status() : Status::OK();
+  }
 
   void Advance() {
     current_.reset();
@@ -105,6 +110,15 @@ class TwigStackRunner {
       }
     }
     return out;
+  }
+
+  /// First stream failure, if any — checked by TwigStackJoin so a truncated
+  /// scan surfaces as an error instead of an undersized result.
+  Status StreamsStatus() const {
+    for (const Stream& s : streams_) {
+      if (!s.status().ok()) return s.status();
+    }
+    return Status::OK();
   }
 
  private:
@@ -212,7 +226,9 @@ Result<TwigResult> TwigStackJoin(const storage::MctStore& store,
     }
   }
   TwigStackRunner runner(store, color, pattern);
-  return runner.Run();
+  TwigResult out = runner.Run();
+  MCTDB_RETURN_IF_ERROR(runner.StreamsStatus());
+  return out;
 }
 
 TwigResult NaiveTwigJoin(const storage::MctStore& store, mct::ColorId color,

@@ -1,0 +1,103 @@
+#include "service/circuit_breaker.h"
+
+#include "common/log.h"
+
+namespace mctsvc {
+
+CircuitBreaker::CircuitBreaker(std::string name)
+    : CircuitBreaker(std::move(name), Options()) {}
+
+CircuitBreaker::CircuitBreaker(std::string name, Options options,
+                               Clock clock)
+    : name_(std::move(name)), options_(options), clock_(std::move(clock)) {}
+
+std::chrono::steady_clock::time_point CircuitBreaker::Now() const {
+  return clock_ ? clock_() : std::chrono::steady_clock::now();
+}
+
+const char* CircuitBreaker::StateName(State s) {
+  switch (s) {
+    case State::kClosed: return "closed";
+    case State::kOpen: return "open";
+    case State::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen: {
+      auto elapsed = std::chrono::duration<double>(Now() - opened_at_);
+      if (elapsed.count() < options_.open_seconds) return false;
+      state_ = State::kHalfOpen;
+      probe_in_flight_ = true;
+      MCTDB_LOG(kWarn, "mctsvc", "circuit breaker half-open",
+                {{"store", name_}});
+      return true;  // this caller is the probe
+    }
+    case State::kHalfOpen:
+      // One probe at a time; everyone else keeps bouncing.
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+  if (state_ != State::kClosed) {
+    MCTDB_LOG(kInfo, "mctsvc", "circuit breaker closed",
+              {{"store", name_}});
+    state_ = State::kClosed;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  probe_in_flight_ = false;
+  if (state_ == State::kHalfOpen) {
+    // The probe failed: straight back to open for another full window.
+    state_ = State::kOpen;
+    opened_at_ = Now();
+    MCTDB_LOG(kWarn, "mctsvc", "circuit breaker re-opened (probe failed)",
+              {{"store", name_}});
+    return;
+  }
+  ++consecutive_failures_;
+  if (state_ == State::kClosed &&
+      consecutive_failures_ >= options_.failure_threshold) {
+    state_ = State::kOpen;
+    opened_at_ = Now();
+    MCTDB_LOG(kWarn, "mctsvc", "circuit breaker opened",
+              {{"store", name_},
+               {"consecutive_failures", int64_t(consecutive_failures_)},
+               {"open_seconds", options_.open_seconds}});
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+double CircuitBreaker::RetryAfterSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != State::kOpen) return 0.0;
+  double elapsed =
+      std::chrono::duration<double>(Now() - opened_at_).count();
+  double left = options_.open_seconds - elapsed;
+  return left > 0 ? left : 0.0;
+}
+
+int CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return consecutive_failures_;
+}
+
+}  // namespace mctsvc

@@ -1,0 +1,77 @@
+// CircuitBreaker: per-store failure isolation for the query service.
+//
+// A breaker watches the stream of request outcomes for one store and trips
+// OPEN after `failure_threshold` CONSECUTIVE hard failures (the service
+// counts DataLoss and Internal — corrupt pages, injected faults — never
+// DeadlineExceeded or admission rejections, which say nothing about the
+// store's health). While open, Allow() refuses instantly so callers get a
+// fast Unavailable instead of queueing work that will fail, and the broken
+// store cannot monopolize worker threads. After `open_seconds` the breaker
+// HALF-OPENS: exactly one probe request is let through; its success closes
+// the breaker, its failure re-opens it for another full window.
+//
+// Thread safety: all methods are safe to call concurrently; the internal
+// mutex is a leaf (nothing else is acquired under it). Time is injectable
+// for tests, so open->half-open transitions need no real sleeping.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <string>
+
+namespace mctsvc {
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Options {
+    /// Consecutive hard failures that trip the breaker open.
+    int failure_threshold = 5;
+    /// How long the breaker stays open before half-opening for a probe.
+    double open_seconds = 5.0;
+  };
+
+  using Clock = std::function<std::chrono::steady_clock::time_point()>;
+
+  /// `name` labels log lines and metrics (the store name). A null `clock`
+  /// uses steady_clock::now.
+  explicit CircuitBreaker(std::string name);
+  CircuitBreaker(std::string name, Options options, Clock clock = nullptr);
+
+  /// True if a request may proceed. Open -> false until the window
+  /// elapses, then the FIRST caller transitions to half-open and is the
+  /// probe; concurrent callers keep getting false until the probe's
+  /// outcome is recorded.
+  bool Allow();
+
+  /// Outcome of an allowed request. Success closes a half-open breaker
+  /// and resets the consecutive-failure count; failure re-opens a
+  /// half-open breaker or, at the threshold, trips a closed one.
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+  /// Seconds until an open breaker half-opens (0 when closed/half-open).
+  /// Suitable as a Retry-After hint.
+  double RetryAfterSeconds() const;
+  /// Consecutive hard failures seen since the last success.
+  int consecutive_failures() const;
+
+  static const char* StateName(State s);
+
+ private:
+  std::chrono::steady_clock::time_point Now() const;
+
+  const std::string name_;
+  const Options options_;
+  const Clock clock_;
+  mutable std::mutex mu_;  // leaf lock: never held across other locks
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  bool probe_in_flight_ = false;
+  std::chrono::steady_clock::time_point opened_at_{};
+};
+
+}  // namespace mctsvc

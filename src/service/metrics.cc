@@ -129,6 +129,11 @@ std::string ServiceMetrics::ToJson() const {
   out += ',';
   AppendU64(&out, "rejected", rejected.load(std::memory_order_relaxed));
   out += ',';
+  AppendU64(&out, "sheds", sheds.load(std::memory_order_relaxed));
+  out += ',';
+  AppendU64(&out, "breaker_rejections",
+            breaker_rejections.load(std::memory_order_relaxed));
+  out += ',';
   AppendU64(&out, "invalid_plans",
             invalid_plans.load(std::memory_order_relaxed));
   out += ',';
@@ -177,6 +182,12 @@ std::string ServiceMetrics::ToPrometheus() const {
   counter("mctsvc_requests_rejected_total",
           "Admission-queue overflow rejections",
           rejected.load(std::memory_order_relaxed));
+  counter("mctsvc_sheds_total",
+          "Requests shed by the load-shedding admission controller",
+          sheds.load(std::memory_order_relaxed));
+  counter("mctsvc_breaker_rejections_total",
+          "Requests refused by an open circuit breaker",
+          breaker_rejections.load(std::memory_order_relaxed));
   counter("mctsvc_invalid_plans_total",
           "Plans rejected by the static verifier at admission",
           invalid_plans.load(std::memory_order_relaxed));

@@ -71,6 +71,12 @@ struct ServiceMetrics {
   /// Plans rejected by the static verifier at admission
   /// (Status::InvalidArgument; never counted as submitted).
   std::atomic<uint64_t> invalid_plans{0};
+  /// Requests shed by the load-shedding admission controller
+  /// (Status::Unavailable; distinct from hard-limit `rejected`).
+  std::atomic<uint64_t> sheds{0};
+  /// Requests refused because the store's circuit breaker was open
+  /// (Status::Unavailable).
+  std::atomic<uint64_t> breaker_rejections{0};
   /// Requests cancelled at dequeue because their deadline had passed.
   std::atomic<uint64_t> deadline_exceeded{0};
   /// Requests whose executor returned a non-OK status.

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "analysis/plan_verify.h"
+#include "common/failpoint.h"
 #include "common/log.h"
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -36,6 +37,9 @@ QueryService::QueryService(const ServiceOptions& options)
           } else if (path == "/healthz") {
             response.content_type = "application/json";
             response.body = HealthJson() + "\n";
+            // 503 while degraded: load balancers and probes steer away
+            // without parsing the body.
+            if (Degraded()) response.status = 503;
           } else if (path == "/slowlog") {
             response.content_type = "application/json";
             response.body = SlowQueriesJson() + "\n";
@@ -82,6 +86,12 @@ Status QueryService::AddStore(const std::string& name,
   it->second.store = store;
   it->second.pool = std::make_unique<mctdb::storage::ShardedBufferPool>(
       store->pager(), options_.pool_pages, options_.pool_shards);
+  if (options_.breaker_failure_threshold > 0) {
+    CircuitBreaker::Options bopts;
+    bopts.failure_threshold = options_.breaker_failure_threshold;
+    bopts.open_seconds = options_.breaker_open_seconds;
+    it->second.breaker = std::make_unique<CircuitBreaker>(name, bopts);
+  }
   MCTDB_LOG(kInfo, "mctsvc", "store registered",
             {{"store", name},
              {"pool_pages", uint64_t(options_.pool_pages)},
@@ -96,8 +106,9 @@ Result<std::shared_ptr<QueryService::Session>> QueryService::OpenSession(
   if (it == stores_.end()) {
     return Status::NotFound("store '" + store + "' is not registered");
   }
-  return std::shared_ptr<Session>(new Session(
-      this, store, it->second.store, it->second.pool.get()));
+  return std::shared_ptr<Session>(
+      new Session(this, store, it->second.store, it->second.pool.get(),
+                  it->second.breaker.get()));
 }
 
 Result<ExecResult> QueryService::Execute(const std::string& store,
@@ -110,8 +121,11 @@ Result<ExecResult> QueryService::Execute(const std::string& store,
   }
   MCTDB_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
                          OpenSession(store));
-  MCTDB_ASSIGN_OR_RETURN(QueryFuture future,
-                         session->Submit(plan, timeout_seconds));
+  // One-shots are the "new session" shed class: under overload they go
+  // first, preserving capacity for established sessions.
+  MCTDB_ASSIGN_OR_RETURN(
+      QueryFuture future,
+      session->Submit(plan, timeout_seconds, Priority::kLow));
   return future.get();
 }
 
@@ -144,19 +158,43 @@ void QueryService::RunNext(const std::shared_ptr<Session>& session) {
 
   if (task.has_deadline &&
       std::chrono::steady_clock::now() > task.deadline) {
+    // A deadline lapse says nothing about the store's health: it is not a
+    // shed and must never feed the circuit breaker.
     metrics_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
     metrics_.completed.fetch_add(1, std::memory_order_relaxed);
     task.promise.set_value(
         Status::DeadlineExceeded("request deadline passed while queued"));
   } else {
-    mctdb::query::Executor exec(session->store_, session->pool_);
-    Result<ExecResult> result = exec.Execute(*task.plan);
+    Result<ExecResult> result = [&]() -> Result<ExecResult> {
+      switch (MCTDB_FAILPOINT("service.exec")) {
+        case mctdb::failpoint::Fault::kError:
+          return Status::Internal("injected service.exec fault");
+        case mctdb::failpoint::Fault::kTruncate:
+          return Status::DataLoss("injected service.exec data loss");
+        case mctdb::failpoint::Fault::kNone:
+          break;
+      }
+      mctdb::query::Executor exec(session->store_, session->pool_);
+      return exec.Execute(*task.plan);
+    }();
     metrics_.completed.fetch_add(1, std::memory_order_relaxed);
     if (result.ok()) {
       metrics_.latency.Record(result->elapsed_seconds);
       RecordCompletion(*session, *result);
+      if (session->breaker_ != nullptr) session->breaker_->RecordSuccess();
     } else {
       metrics_.failed.fetch_add(1, std::memory_order_relaxed);
+      // Only hard failures count against the breaker: corrupt pages and
+      // internal faults. A caller mistake (InvalidArgument etc.) still
+      // proves the store path works, so it records as success — which
+      // also keeps a half-open probe from wedging on a soft error.
+      if (session->breaker_ != nullptr) {
+        if (result.status().IsDataLoss() || result.status().IsInternal()) {
+          session->breaker_->RecordFailure();
+        } else {
+          session->breaker_->RecordSuccess();
+        }
+      }
     }
     task.promise.set_value(std::move(result));
   }
@@ -277,23 +315,60 @@ std::string QueryService::TracesJson() const {
   return out;
 }
 
+bool QueryService::Degraded() const {
+  std::lock_guard<mctdb::OrderedMutex> lock(mu_);
+  for (const auto& [name, entry] : stores_) {
+    if (entry.breaker != nullptr &&
+        entry.breaker->state() != CircuitBreaker::State::kClosed) {
+      return true;
+    }
+  }
+  return false;
+}
+
+CircuitBreaker* QueryService::breaker(const std::string& store) const {
+  std::lock_guard<mctdb::OrderedMutex> lock(mu_);
+  auto it = stores_.find(store);
+  return it == stores_.end() ? nullptr : it->second.breaker.get();
+}
+
 std::string QueryService::HealthJson() const {
   double uptime =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start_time_)
           .count();
   size_t num_stores;
+  bool degraded = false;
+  std::string breakers = "[";
   {
     std::lock_guard<mctdb::OrderedMutex> lock(mu_);
     num_stores = stores_.size();
+    bool first = true;
+    for (const auto& [name, entry] : stores_) {
+      if (entry.breaker == nullptr) continue;
+      CircuitBreaker::State s = entry.breaker->state();
+      if (s != CircuitBreaker::State::kClosed) degraded = true;
+      if (!first) breakers += ',';
+      first = false;
+      breakers += "{\"store\":\"" + mctdb::obs::JsonEscape(name) +
+                  "\",\"state\":\"" + CircuitBreaker::StateName(s) + "\"";
+      if (s == CircuitBreaker::State::kOpen) {
+        breakers += mctdb::StringPrintf(
+            ",\"retry_after_seconds\":%.1f",
+            entry.breaker->RetryAfterSeconds());
+      }
+      breakers += '}';
+    }
   }
+  breakers += ']';
   return mctdb::StringPrintf(
-      "{\"status\":\"ok\",\"uptime_seconds\":%.3f,\"stores\":%zu,"
-      "\"workers\":%zu,\"queue_depth\":%llu}",
-      uptime, num_stores,
+      "{\"status\":\"%s\",\"uptime_seconds\":%.3f,\"stores\":%zu,"
+      "\"workers\":%zu,\"queue_depth\":%llu,\"breakers\":%s}",
+      degraded ? "degraded" : "ok", uptime, num_stores,
       options_.num_threads == 0 ? size_t{1} : options_.num_threads,
       static_cast<unsigned long long>(
-          metrics_.queue_depth.load(std::memory_order_relaxed)));
+          metrics_.queue_depth.load(std::memory_order_relaxed)),
+      breakers.c_str());
 }
 
 uint16_t QueryService::HttpPort() const {
@@ -301,7 +376,8 @@ uint16_t QueryService::HttpPort() const {
 }
 
 Result<QueryFuture> QueryService::Session::Submit(const QueryPlan& plan,
-                                                  double timeout_seconds) {
+                                                  double timeout_seconds,
+                                                  Priority priority) {
   QueryService* svc = service_;
   // Admission gate: statically verify the plan before it consumes an
   // admission slot or a worker, so a malformed plan can never crash (or
@@ -314,6 +390,18 @@ Result<QueryFuture> QueryService::Session::Submit(const QueryPlan& plan,
       return Status::InvalidArgument("plan verification failed:\n" +
                                      report.ToText());
     }
+  }
+  // An open breaker refuses before the request consumes an admission
+  // slot: the store is known-broken, queueing the work only delays the
+  // same failure and starves healthy stores of workers.
+  if (breaker_ != nullptr && !breaker_->Allow()) {
+    svc->metrics_.breaker_rejections.fetch_add(1,
+                                               std::memory_order_relaxed);
+    return Status::Unavailable(mctdb::StringPrintf(
+        "store '%s' circuit breaker is %s; retry after %.1fs",
+        store_name_.c_str(),
+        CircuitBreaker::StateName(breaker_->state()),
+        breaker_->RetryAfterSeconds()));
   }
   uint64_t in_flight =
       svc->pending_.fetch_add(1, std::memory_order_acq_rel) + 1;
@@ -328,6 +416,40 @@ Result<QueryFuture> QueryService::Session::Submit(const QueryPlan& plan,
                {"max_queued", uint64_t(svc->options_.max_queued)}});
     return Status::ResourceExhausted(mctdb::StringPrintf(
         "admission queue full (max_queued=%zu)", svc->options_.max_queued));
+  }
+  // Load shedding: past the watermark for this request's priority, shed
+  // it now — cheaper for everyone than queueing work that will crowd out
+  // higher-priority requests. The hint assumes the backlog drains at the
+  // observed mean latency across the worker pool.
+  double watermark_fraction =
+      priority == Priority::kLow      ? svc->options_.shed_low_fraction
+      : priority == Priority::kNormal ? svc->options_.shed_normal_fraction
+                                      : 1.0;
+  if (priority != Priority::kHigh &&
+      double(in_flight) >
+          watermark_fraction * double(svc->options_.max_queued)) {
+    svc->FinishOne();
+    svc->metrics_.sheds.fetch_add(1, std::memory_order_relaxed);
+    uint64_t done = svc->metrics_.latency.count();
+    double mean = done > 0
+                      ? svc->metrics_.latency.total_seconds() / double(done)
+                      : 0.001;
+    size_t workers = svc->options_.num_threads == 0
+                         ? size_t{1}
+                         : svc->options_.num_threads;
+    double hint = mean * double(in_flight) / double(workers);
+    if (hint < 0.01) hint = 0.01;
+    if (hint > 5.0) hint = 5.0;
+    MCTDB_LOG(kDebug, "mctsvc", "request shed",
+              {{"store", store_name_},
+               {"in_flight", in_flight},
+               {"priority", int64_t(priority)},
+               {"retry_after_seconds", hint}});
+    return Status::Unavailable(mctdb::StringPrintf(
+        "overloaded (%llu in flight, shedding at %.0f%% of %zu); "
+        "retry after %.2fs",
+        static_cast<unsigned long long>(in_flight),
+        watermark_fraction * 100.0, svc->options_.max_queued, hint));
   }
   svc->metrics_.submitted.fetch_add(1, std::memory_order_relaxed);
   svc->metrics_.queue_depth.store(in_flight, std::memory_order_relaxed);
@@ -369,7 +491,20 @@ std::string QueryService::MetricsJson() const {
     if (!first_store) out += ',';
     first_store = false;
     out += "{\"name\":\"" + mctdb::obs::JsonEscape(name) + "\"";
-    char buf[128];
+    if (entry.breaker != nullptr) {
+      out += std::string(",\"breaker\":\"") +
+             CircuitBreaker::StateName(entry.breaker->state()) + "\"";
+    }
+    char buf[192];
+    const mctdb::storage::Pager* pager = entry.store->pager();
+    std::snprintf(
+        buf, sizeof(buf),
+        ",\"checksum_failures\":%llu,\"retries\":%llu,"
+        "\"quarantined\":%llu",
+        static_cast<unsigned long long>(pager->checksum_failures()),
+        static_cast<unsigned long long>(pager->retries()),
+        static_cast<unsigned long long>(entry.pool->quarantined()));
+    out += buf;
     std::snprintf(buf, sizeof(buf),
                   ",\"pool\":{\"capacity_pages\":%zu,\"resident\":%zu,"
                   "\"hits\":%llu,\"misses\":%llu,\"shards\":[",
@@ -431,6 +566,59 @@ std::string QueryService::MetricsText() const {
     std::snprintf(buf, sizeof(buf),
                   "mctsvc_pool_resident_pages{store=\"%s\"} %zu\n",
                   PromLabelEscape(name).c_str(), entry.pool->resident());
+    out += buf;
+  }
+  out +=
+      "# HELP mctsvc_pool_checksum_failures_total Page checksum "
+      "verification failures per store\n"
+      "# TYPE mctsvc_pool_checksum_failures_total counter\n";
+  for (const auto& [name, entry] : stores_) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "mctsvc_pool_checksum_failures_total{store=\"%s\"} %llu\n",
+        PromLabelEscape(name).c_str(),
+        static_cast<unsigned long long>(
+            entry.store->pager()->checksum_failures()));
+    out += buf;
+  }
+  out +=
+      "# HELP mctsvc_pool_retries_total Page-read retry attempts per "
+      "store\n"
+      "# TYPE mctsvc_pool_retries_total counter\n";
+  for (const auto& [name, entry] : stores_) {
+    std::snprintf(buf, sizeof(buf),
+                  "mctsvc_pool_retries_total{store=\"%s\"} %llu\n",
+                  PromLabelEscape(name).c_str(),
+                  static_cast<unsigned long long>(
+                      entry.store->pager()->retries()));
+    out += buf;
+  }
+  out +=
+      "# HELP mctsvc_pool_quarantined_total Pool frames quarantined "
+      "after failed loads per store\n"
+      "# TYPE mctsvc_pool_quarantined_total counter\n";
+  for (const auto& [name, entry] : stores_) {
+    std::snprintf(buf, sizeof(buf),
+                  "mctsvc_pool_quarantined_total{store=\"%s\"} %llu\n",
+                  PromLabelEscape(name).c_str(),
+                  static_cast<unsigned long long>(
+                      entry.pool->quarantined()));
+    out += buf;
+  }
+  // Breaker state as an enum gauge: 0 closed, 1 half-open, 2 open.
+  out +=
+      "# HELP mctsvc_breaker_state Circuit breaker state per store "
+      "(0=closed, 1=half-open, 2=open)\n"
+      "# TYPE mctsvc_breaker_state gauge\n";
+  for (const auto& [name, entry] : stores_) {
+    if (entry.breaker == nullptr) continue;
+    CircuitBreaker::State s = entry.breaker->state();
+    int value = s == CircuitBreaker::State::kClosed     ? 0
+                : s == CircuitBreaker::State::kHalfOpen ? 1
+                                                        : 2;
+    std::snprintf(buf, sizeof(buf),
+                  "mctsvc_breaker_state{store=\"%s\"} %d\n",
+                  PromLabelEscape(name).c_str(), value);
     out += buf;
   }
   return out;

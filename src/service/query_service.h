@@ -18,7 +18,15 @@
 //     over that pool handle, so the single-threaded store-owned
 //     BufferPool is bypassed entirely on the service path;
 //   * a ServiceMetrics registry (latency histogram, queue depth, admission
-//     rejections, per-shard pool hit/miss) exportable as JSON.
+//     rejections, per-shard pool hit/miss) exportable as JSON;
+//   * graceful degradation: a load-shedding admission controller (past
+//     the low watermark new-session/low-priority work is shed with
+//     Status::Unavailable and a retry-after hint, past the high watermark
+//     normal-priority too — high-priority rides until the hard admission
+//     limit) and a per-store circuit breaker that opens after N
+//     consecutive hard failures (DataLoss/Internal) and half-opens on a
+//     timer. A degraded service says so on /healthz (HTTP 503) while the
+//     healthy stores keep serving.
 //
 // Stores are registered non-owning and must outlive the service. The
 // service treats store data as shared read-only state.
@@ -40,12 +48,19 @@
 #include "common/thread_pool.h"
 #include "query/executor.h"
 #include "query/plan.h"
+#include "service/circuit_breaker.h"
 #include "service/http_endpoint.h"
 #include "service/metrics.h"
 #include "storage/sharded_pool.h"
 #include "storage/store.h"
 
 namespace mctsvc {
+
+/// Request priority for the load-shedding admission controller. Under
+/// pressure the service sheds from the bottom up: kLow first (one-shot
+/// Execute calls — "new sessions" — submit at kLow), then kNormal; kHigh
+/// is only refused at the hard admission limit.
+enum class Priority { kLow = 0, kNormal = 1, kHigh = 2 };
 
 struct ServiceOptions {
   /// Worker threads executing requests.
@@ -78,6 +93,19 @@ struct ServiceOptions {
   /// the /tracez endpoint. 0 (the default) disables the ring entirely —
   /// no per-completion serialization cost on the hot path.
   size_t trace_log_capacity = 0;
+  /// Load-shedding watermarks as fractions of max_queued. Once the
+  /// in-flight count crosses shed_low_fraction * max_queued, kLow
+  /// submissions are shed with Status::Unavailable; past
+  /// shed_normal_fraction, kNormal too. Shedding keeps headroom for
+  /// high-priority and already-started work instead of letting the hard
+  /// limit reject indiscriminately.
+  double shed_low_fraction = 0.75;
+  double shed_normal_fraction = 0.9;
+  /// Per-store circuit breaker: consecutive hard failures (DataLoss /
+  /// Internal) that trip it, and how long it stays open before probing.
+  /// A threshold of 0 disables the breakers.
+  int breaker_failure_threshold = 5;
+  double breaker_open_seconds = 5.0;
   /// Serve /metrics, /healthz, /slowlog and /tracez over HTTP on
   /// 127.0.0.1. -1 disables the endpoint; 0 binds an ephemeral port
   /// (read it back with HttpPort()); > 0 binds that port. A bind
@@ -110,7 +138,9 @@ class QueryService {
 
   /// One-shot convenience: submits on an ephemeral session and waits.
   /// Rejects update plans — updates need an explicit session so the
-  /// caller owns the serialization domain.
+  /// caller owns the serialization domain. One-shots are the service's
+  /// "new session" class and submit at Priority::kLow, so under overload
+  /// they are shed before established sessions' work.
   mctdb::Result<mctdb::query::ExecResult> Execute(
       const std::string& store, const mctdb::query::QueryPlan& plan,
       double timeout_seconds = 0.0);
@@ -151,8 +181,17 @@ class QueryService {
   std::vector<std::string> RecentTraces() const;
   /// The /tracez response: {"traces":[<span tree>,...]}.
   std::string TracesJson() const;
-  /// The /healthz response: status, uptime, store and worker counts.
+  /// The /healthz response: status ("ok"/"degraded"), uptime, store and
+  /// worker counts, and per-store breaker states.
   std::string HealthJson() const;
+  /// True while any store's circuit breaker is open or half-open. The
+  /// /healthz route answers 503 in this state so load balancers steer
+  /// away, but the service keeps answering for its healthy stores.
+  bool Degraded() const;
+  /// The named store's breaker, or nullptr if unknown / breakers are
+  /// disabled. Exposed for tests and embedders; the service itself
+  /// records outcomes.
+  CircuitBreaker* breaker(const std::string& store) const;
 
   /// Port of the live HTTP endpoint, or 0 when disabled / bind failed.
   uint16_t HttpPort() const;
@@ -162,6 +201,7 @@ class QueryService {
   struct StoreEntry {
     mctdb::storage::MctStore* store = nullptr;
     std::unique_ptr<mctdb::storage::ShardedBufferPool> pool;
+    std::unique_ptr<CircuitBreaker> breaker;  // null when disabled
   };
 
   void RunNext(const std::shared_ptr<Session>& session);
@@ -197,9 +237,13 @@ class QueryService::Session
  public:
   /// Submits `plan` for execution. The plan (and whatever it references)
   /// must stay alive until the returned future resolves. `timeout_seconds`
-  /// <= 0 falls back to the service default.
-  mctdb::Result<QueryFuture> Submit(const mctdb::query::QueryPlan& plan,
-                                    double timeout_seconds = 0.0);
+  /// <= 0 falls back to the service default. Under overload, requests
+  /// below the current shedding watermark are refused with
+  /// Status::Unavailable (retry-after hint in the message); an open
+  /// circuit breaker on this store refuses the same way.
+  mctdb::Result<QueryFuture> Submit(
+      const mctdb::query::QueryPlan& plan, double timeout_seconds = 0.0,
+      Priority priority = Priority::kNormal);
 
   const std::string& store_name() const { return store_name_; }
   mctdb::storage::ShardedBufferPool* pool() const { return pool_; }
@@ -215,14 +259,16 @@ class QueryService::Session
 
   Session(QueryService* service, std::string store_name,
           mctdb::storage::MctStore* store,
-          mctdb::storage::ShardedBufferPool* pool)
+          mctdb::storage::ShardedBufferPool* pool,
+          CircuitBreaker* breaker)
       : service_(service), store_name_(std::move(store_name)),
-        store_(store), pool_(pool) {}
+        store_(store), pool_(pool), breaker_(breaker) {}
 
   QueryService* service_;
   std::string store_name_;
   mctdb::storage::MctStore* store_;
   mctdb::storage::ShardedBufferPool* pool_;  // owned by the service
+  CircuitBreaker* breaker_;                  // owned by the service; may be null
 
   mctdb::OrderedMutex mu_{mctdb::LockRank::kSessionStrand};
   std::deque<Task> tasks_;

@@ -1,7 +1,11 @@
 #include "storage/pager.h"
 
 #include <cstring>
+#include <string>
 
+#include "common/failpoint.h"
+#include "common/hash.h"
+#include "common/log.h"
 #include "common/logging.h"
 
 namespace mctdb::storage {
@@ -9,6 +13,7 @@ namespace mctdb::storage {
 PageId Pager::Allocate() {
   auto page = std::make_unique<char[]>(kPageSize);
   std::memset(page.get(), 0, kPageSize);
+  checksums_.push_back(PageChecksum(page.get(), kPageSize));
   pages_.push_back(std::move(page));
   disk_writes_.fetch_add(1, std::memory_order_relaxed);
   return static_cast<PageId>(pages_.size() - 1);
@@ -17,17 +22,80 @@ PageId Pager::Allocate() {
 void Pager::Write(PageId id, const char* data) {
   MCTDB_CHECK(id < pages_.size());
   std::memcpy(pages_[id].get(), data, kPageSize);
+  checksums_[id] = PageChecksum(data, kPageSize);
   disk_writes_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void Pager::Read(PageId id, char* out) const {
-  MCTDB_CHECK(id < pages_.size());
-  if (read_hook_) read_hook_(id);
-  std::memcpy(out, pages_[id].get(), kPageSize);
-  disk_reads_.fetch_add(1, std::memory_order_relaxed);
+void Pager::SetReadHook(std::function<void(PageId)> hook) {
+  MCTDB_CHECK_MSG(reads_in_flight_.load(std::memory_order_acquire) == 0,
+                  "SetReadHook while a Read is in flight: install hooks "
+                  "before starting reader threads");
+  read_hook_ = std::move(hook);
 }
 
-const char* BufferPool::Fetch(PageId id, bool* out_miss) {
+void Pager::SetRetryPolicy(const RetryPolicy& policy) {
+  MCTDB_CHECK_MSG(reads_in_flight_.load(std::memory_order_acquire) == 0,
+                  "SetRetryPolicy while a Read is in flight");
+  retry_policy_ = policy;
+}
+
+void Pager::CorruptForTest(PageId id, size_t offset) {
+  MCTDB_CHECK(id < pages_.size());
+  pages_[id].get()[offset % kPageSize] ^= 0x5A;
+}
+
+void Pager::RepairForTest(PageId id) {
+  MCTDB_CHECK(id < pages_.size());
+  checksums_[id] = PageChecksum(pages_[id].get(), kPageSize);
+}
+
+Status Pager::ReadAttempt(PageId id, char* out) const {
+  if (read_hook_) read_hook_(id);
+  switch (MCTDB_FAILPOINT("pager.read")) {
+    case failpoint::Fault::kError:
+      // "The read transferred bad bytes": deliver a corrupted copy so the
+      // checksum verification — the real defense — reports the fault.
+      std::memcpy(out, pages_[id].get(), kPageSize);
+      out[id % kPageSize] ^= 0x5A;
+      break;
+    case failpoint::Fault::kTruncate:
+      // Short read: only the first half arrives; the tail reads as zeros.
+      std::memcpy(out, pages_[id].get(), kPageSize / 2);
+      std::memset(out + kPageSize / 2, 0, kPageSize / 2);
+      break;
+    case failpoint::Fault::kNone:
+      std::memcpy(out, pages_[id].get(), kPageSize);
+      break;
+  }
+  if (PageChecksum(out, kPageSize) != checksums_[id]) {
+    checksum_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::DataLoss("page " + std::to_string(id) +
+                            " failed checksum verification");
+  }
+  return Status::OK();
+}
+
+Status Pager::Read(PageId id, char* out) const {
+  MCTDB_CHECK(id < pages_.size());
+  reads_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  disk_reads_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t extra_attempts = 0;
+  Status s = RetryWithBackoff(
+      retry_policy_, [&] { return ReadAttempt(id, out); }, &extra_attempts);
+  if (extra_attempts > 0) {
+    retries_.fetch_add(extra_attempts, std::memory_order_relaxed);
+  }
+  if (!s.ok()) {
+    MCTDB_LOG(kWarn, "pager", "read failed after retries",
+              {{"page", uint64_t{id}},
+               {"attempts", extra_attempts + 1},
+               {"status", s.ToString()}});
+  }
+  reads_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  return s;
+}
+
+Status BufferPool::Fetch(PageId id, const char** out_frame, bool* out_miss) {
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     ++hits_;
@@ -35,7 +103,8 @@ const char* BufferPool::Fetch(PageId id, bool* out_miss) {
     lru_.erase(it->second.lru_pos);
     lru_.push_front(id);
     it->second.lru_pos = lru_.begin();
-    return it->second.data.get();
+    *out_frame = it->second.data.get();
+    return Status::OK();
   }
   ++misses_;
   *out_miss = true;
@@ -46,12 +115,13 @@ const char* BufferPool::Fetch(PageId id, bool* out_miss) {
   }
   Frame frame;
   frame.data = std::make_unique<char[]>(kPageSize);
-  pager_->Read(id, frame.data.get());
+  MCTDB_RETURN_IF_ERROR(pager_->Read(id, frame.data.get()));
   lru_.push_front(id);
   frame.lru_pos = lru_.begin();
   auto [pos, inserted] = frames_.emplace(id, std::move(frame));
   MCTDB_CHECK(inserted);
-  return pos->second.data.get();
+  *out_frame = pos->second.data.get();
+  return Status::OK();
 }
 
 }  // namespace mctdb::storage

@@ -13,6 +13,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/logging.h"
+#include "common/retry.h"
 #include "common/status.h"
 
 namespace mctdb::storage {
@@ -26,22 +28,48 @@ inline constexpr PageId kInvalidPage = 0xFFFFFFFFu;
 /// threaded); reads are counted as disk I/O (they are served from a
 /// separate heap area and copied, so the buffer pool is the only fast
 /// path) and are safe to issue from many threads concurrently.
+///
+/// Every Write records a 64-bit page checksum (common/hash.h PageChecksum)
+/// which Read verifies after the copy; a mismatch — real corruption via
+/// CorruptForTest, or an injected "pager.read" fault — is retried per the
+/// retry policy and surfaces as Status::DataLoss only once the attempts
+/// are exhausted. disk_reads() counts calls, not attempts; retries() and
+/// checksum_failures() expose the recovery activity for /metrics.
 class Pager {
  public:
   /// Allocates a zeroed page.
   PageId Allocate();
   /// Overwrites a full page.
   void Write(PageId id, const char* data);
-  /// Copies a page out; counted as one disk read. Thread-safe.
-  void Read(PageId id, char* out) const;
-  /// Test/bench seam: `hook` runs at the top of every Read with the page
-  /// id, outside any pool lock — a hook that blocks models a slow disk.
-  /// Install before concurrent readers start; not itself synchronized.
-  void SetReadHook(std::function<void(PageId)> hook) {
-    read_hook_ = std::move(hook);
-  }
+  /// Copies a page out and verifies its checksum, retrying transient
+  /// failures with backoff. Counted as one disk read regardless of
+  /// attempts. Thread-safe.
+  [[nodiscard]] Status Read(PageId id, char* out) const;
+  /// Test/bench seam: `hook` runs at the top of every read attempt with
+  /// the page id, outside any pool lock — a hook that blocks models a slow
+  /// disk. Must be installed while no Read is in flight (enforced by a
+  /// fatal check against the in-flight reader count); installs are not
+  /// otherwise synchronized with readers, so "install, then start reader
+  /// threads" is the only supported order. The "pager.read" failpoint runs
+  /// through the same seam, so fault injection needs no hook races either.
+  void SetReadHook(std::function<void(PageId)> hook);
   /// Raw page bytes for persistence (not counted as query I/O).
   const char* RawPage(PageId id) const { return pages_[id].get(); }
+
+  /// Checksum recorded for `id` at the last Write/Allocate (for persist).
+  uint64_t PageChecksumValue(PageId id) const { return checksums_[id]; }
+
+  /// Test seam: flip one stored byte *without* updating the recorded
+  /// checksum, so every subsequent read of `id` fails verification until
+  /// the page is rewritten.
+  void CorruptForTest(PageId id, size_t offset);
+  /// Repair seam for quarantine tests: restore the recorded checksum to
+  /// match the current page bytes (as if the page had been rewritten).
+  void RepairForTest(PageId id);
+
+  /// Replaces the read retry policy (default: RetryPolicy::FromEnv()).
+  /// Like SetReadHook, only valid while no Read is in flight.
+  void SetRetryPolicy(const RetryPolicy& policy);
 
   size_t num_pages() const { return pages_.size(); }
   size_t bytes() const { return pages_.size() * kPageSize; }
@@ -51,12 +79,28 @@ class Pager {
   uint64_t disk_writes() const {
     return disk_writes_.load(std::memory_order_relaxed);
   }
+  /// Reads whose checksum verification failed at least once.
+  uint64_t checksum_failures() const {
+    return checksum_failures_.load(std::memory_order_relaxed);
+  }
+  /// Extra read attempts made beyond the first, across all Reads.
+  uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// One read attempt: hook, failpoint, copy, verify.
+  Status ReadAttempt(PageId id, char* out) const;
+
   std::vector<std::unique_ptr<char[]>> pages_;
+  std::vector<uint64_t> checksums_;
   std::function<void(PageId)> read_hook_;
+  RetryPolicy retry_policy_ = RetryPolicy::FromEnv();
   mutable std::atomic<uint64_t> disk_reads_{0};
   std::atomic<uint64_t> disk_writes_{0};
+  mutable std::atomic<uint64_t> checksum_failures_{0};
+  mutable std::atomic<uint64_t> retries_{0};
+  mutable std::atomic<int> reads_in_flight_{0};
 };
 
 /// Page-cache interface shared by the single-threaded BufferPool and the
@@ -73,12 +117,26 @@ class Pager {
 class PageCache {
  public:
   virtual ~PageCache() = default;
-  /// Returns the cached frame for `id`, faulting it in if needed, and
-  /// sets `*out_miss` to whether this fetch went to the pager.
-  /// [[nodiscard]]: Fetch takes a pin; dropping the frame pointer leaks
-  /// the pin (the frame is never unpinnable again by this caller).
-  [[nodiscard]] virtual const char* Fetch(PageId id, bool* out_miss) = 0;
-  /// Convenience overload for callers that do not attribute I/O.
+  /// Points `*out_frame` at the cached frame for `id`, faulting it in if
+  /// needed, and sets `*out_miss` to whether this fetch went to the pager.
+  /// On a non-OK Status (DataLoss after the pool's quarantine re-read
+  /// failed too) no pin is taken and *out_frame is unchanged.
+  /// [[nodiscard]] on success semantics: Fetch takes a pin; dropping the
+  /// frame pointer leaks the pin (the frame is never unpinnable again by
+  /// this caller).
+  [[nodiscard]] virtual Status Fetch(PageId id, const char** out_frame,
+                                     bool* out_miss) = 0;
+  /// Convenience overloads for callers on storage they trust to be
+  /// healthy (loaders, benches, single-threaded tools): abort on a fetch
+  /// error rather than plumbing Status. Query-path callers use the
+  /// Status-returning form so corruption degrades to a failed query, not
+  /// a crashed process.
+  [[nodiscard]] const char* Fetch(PageId id, bool* out_miss) {
+    const char* frame = nullptr;
+    Status s = Fetch(id, &frame, out_miss);
+    MCTDB_CHECK_MSG(s.ok(), s.ToString().c_str());
+    return frame;
+  }
   [[nodiscard]] const char* Fetch(PageId id) {
     bool miss = false;
     return Fetch(id, &miss);
@@ -98,10 +156,13 @@ class BufferPool : public PageCache {
       : pager_(pager), capacity_(capacity_pages == 0 ? 1 : capacity_pages) {}
 
   using PageCache::Fetch;
-  /// Returns a pointer to the cached frame for `id`, faulting it in (and
+  /// Points *out_frame at the cached frame for `id`, faulting it in (and
   /// evicting the least recently used frame) if needed. The pointer is
-  /// valid until the next Fetch.
-  [[nodiscard]] const char* Fetch(PageId id, bool* out_miss) override;
+  /// valid until the next Fetch. A read failure leaves the pool without a
+  /// frame for `id` (nothing to quarantine) and returns the pager's
+  /// Status.
+  [[nodiscard]] Status Fetch(PageId id, const char** out_frame,
+                             bool* out_miss) override;
   void Unpin(PageId) override {}
 
   uint64_t hits() const override { return hits_; }

@@ -3,15 +3,34 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/failpoint.h"
 #include "common/hash.h"
+#include "common/log.h"
 
 namespace mctdb::storage {
 
 namespace {
 
-constexpr char kMagic[8] = {'M', 'C', 'T', 'D', 'B', '1', '\n', '\0'};
+constexpr char kMagic[8] = {'M', 'C', 'T', 'D', 'B', '2', '\n', '\0'};
+constexpr char kMagicV1[8] = {'M', 'C', 'T', 'D', 'B', '1', '\n', '\0'};
+constexpr uint64_t kHashSeed = 0xCBF29CE484222325ull;
 
-/// Minimal buffered binary writer over stdio.
+/// Incremental FNV-1a over a byte range, seedable for section chaining.
+uint64_t HashBytes(uint64_t h, const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+/// Minimal buffered binary writer over stdio. Every payload byte feeds a
+/// running section hash; EndSection emits the hash (itself unhashed) so
+/// the reader can verify each section independently. The failure seams
+/// model a lying disk: FailWrites makes every write error out (detected,
+/// -> IoError), LimitBytes silently drops everything past the limit
+/// (UNdetected at save time — the checksums catch it at load).
 class Writer {
  public:
   explicit Writer(std::FILE* f) : f_(f) {}
@@ -22,12 +41,45 @@ class Writer {
     Bytes(s.data(), s.size());
   }
   void Bytes(const void* data, size_t n) {
-    if (std::fwrite(data, 1, n, f_) != n) ok_ = false;
+    hash_ = HashBytes(hash_, data, n);
+    Raw(data, n);
+  }
+  /// Writes the running section checksum and starts the next section.
+  void EndSection() {
+    uint64_t h = hash_;
+    hash_ = kHashSeed;
+    Raw(&h, sizeof(h));
+  }
+  void FailWrites() { fail_writes_ = true; }
+  void LimitBytes(size_t limit) {
+    limit_enabled_ = true;
+    limit_ = limit;
   }
   bool ok() const { return ok_; }
 
  private:
+  void Raw(const void* data, size_t n) {
+    if (fail_writes_) {
+      ok_ = false;
+      return;
+    }
+    if (limit_enabled_) {
+      size_t room = written_ < limit_ ? limit_ - written_ : 0;
+      written_ += n;
+      if (n > room) n = room;  // silently short: the disk lied
+      if (n == 0) return;
+    } else {
+      written_ += n;
+    }
+    if (std::fwrite(data, 1, n, f_) != n) ok_ = false;
+  }
+
   std::FILE* f_;
+  uint64_t hash_ = kHashSeed;
+  size_t written_ = 0;
+  size_t limit_ = 0;
+  bool limit_enabled_ = false;
+  bool fail_writes_ = false;
   bool ok_ = true;
 };
 
@@ -55,12 +107,52 @@ class Reader {
     return s;
   }
   void Bytes(void* out, size_t n) {
-    if (std::fread(out, 1, n, f_) != n) ok_ = false;
+    if (!ok_) return;
+    if (!Raw(out, n)) return;
+    hash_ = HashBytes(hash_, out, n);
+  }
+  /// Verifies the section checksum the writer emitted at this position.
+  /// OK, or DataLoss naming the section on truncation/mismatch.
+  Status CheckSection(const char* name) {
+    uint64_t computed = hash_;
+    hash_ = kHashSeed;
+    uint64_t stored = 0;
+    if (!ok_ || !Raw(&stored, sizeof(stored))) {
+      return Status::DataLoss(std::string("truncated in section '") + name +
+                              "'");
+    }
+    if (stored != computed) {
+      return Status::DataLoss(std::string("section '") + name +
+                              "' checksum mismatch");
+    }
+    return Status::OK();
+  }
+  /// Injected-truncation seam: reads past `limit` bytes behave as EOF.
+  void LimitBytes(size_t limit) {
+    limit_enabled_ = true;
+    limit_ = limit;
   }
   bool ok() const { return ok_; }
 
  private:
+  bool Raw(void* out, size_t n) {
+    if (limit_enabled_ && read_ + n > limit_) {
+      ok_ = false;
+      return false;
+    }
+    read_ += n;
+    if (std::fread(out, 1, n, f_) != n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
   std::FILE* f_;
+  uint64_t hash_ = kHashSeed;
+  size_t read_ = 0;
+  size_t limit_ = 0;
+  bool limit_enabled_ = false;
   bool ok_ = true;
 };
 
@@ -86,14 +178,29 @@ Status SaveStore(const MctStore& store, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IoError("cannot open " + path);
   Writer w(f);
+  switch (MCTDB_FAILPOINT("persist.save")) {
+    case failpoint::Fault::kError:
+      // Every write errors out, as on a full or failing disk.
+      w.FailWrites();
+      break;
+    case failpoint::Fault::kTruncate:
+      // The disk accepts 4 KB then silently drops the rest; Save reports
+      // success and only the load-time checksums expose the loss.
+      w.LimitBytes(4096);
+      break;
+    case failpoint::Fault::kNone:
+      break;
+  }
   w.Bytes(kMagic, sizeof(kMagic));
   w.U64(SchemaFingerprint(*store.schema_));
+  w.EndSection();
 
   // Pages.
   w.U32(static_cast<uint32_t>(store.pager_.num_pages()));
   for (PageId p = 0; p < store.pager_.num_pages(); ++p) {
     w.Bytes(store.pager_.RawPage(p), kPageSize);
   }
+  w.EndSection();
   // Elements.
   w.U32(static_cast<uint32_t>(store.elements_.size()));
   for (const ElementMeta& m : store.elements_) {
@@ -101,6 +208,7 @@ Status SaveStore(const MctStore& store, const std::string& path) {
     w.U32(m.logical);
     w.U32(m.is_copy ? 1 : 0);
   }
+  w.EndSection();
   // Attrs.
   for (const auto& list : store.attrs_) {
     w.U32(static_cast<uint32_t>(list.size()));
@@ -110,11 +218,13 @@ Status SaveStore(const MctStore& store, const std::string& path) {
       w.U32(a.has_content ? 1 : 0);
     }
   }
+  w.EndSection();
   // Dictionaries.
   w.U32(static_cast<uint32_t>(store.attr_names_.size()));
   for (const std::string& s : store.attr_names_) w.Str(s);
   w.U32(static_cast<uint32_t>(store.values_.size()));
   for (const std::string& s : store.values_) w.Str(s);
+  w.EndSection();
   // Labels and parents per color.
   w.U32(static_cast<uint32_t>(store.labels_.size()));
   for (size_t c = 0; c < store.labels_.size(); ++c) {
@@ -128,6 +238,7 @@ Status SaveStore(const MctStore& store, const std::string& path) {
       w.U32(parent);
     }
   }
+  w.EndSection();
   // Postings.
   for (size_t c = 0; c < store.postings_.size(); ++c) {
     for (size_t tag = 0; tag < store.postings_[c].size(); ++tag) {
@@ -141,9 +252,11 @@ Status SaveStore(const MctStore& store, const std::string& path) {
       for (PageId p : meta->pages) w.U32(p);
     }
   }
+  w.EndSection();
   // Counters.
   w.U64(store.num_attribute_nodes_);
   w.U64(store.num_content_nodes_);
+  w.EndSection();
 
   bool ok = w.ok();
   ok = std::fclose(f) == 0 && ok;
@@ -157,32 +270,73 @@ Result<std::unique_ptr<MctStore>> LoadStore(const mct::MctSchema& schema,
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IoError("cannot open " + path);
   Reader r(f);
-  auto fail = [&](const std::string& msg) -> Status {
+  // Malformed input (wrong file / wrong schema): the caller's mistake.
+  auto bad = [&](const std::string& msg) -> Status {
     std::fclose(f);
-    return Status::Corruption(path + ": " + msg);
+    return Status::InvalidArgument(path + ": " + msg);
   };
+  // Bytes missing or flipped: the file was right once and is damaged now.
+  auto lost = [&](const std::string& msg) -> Status {
+    std::fclose(f);
+    return Status::DataLoss(path + ": " + msg);
+  };
+  auto check_section = [&](const char* name) -> Status {
+    Status s = r.CheckSection(name);
+    if (!s.ok()) {
+      std::fclose(f);
+      return Status::DataLoss(path + ": " + s.message());
+    }
+    return Status::OK();
+  };
+  switch (MCTDB_FAILPOINT("persist.load")) {
+    case failpoint::Fault::kTruncate: {
+      // Read the file as if it were cut in half; exercises the same
+      // truncation handling a real short file hits.
+      std::fseek(f, 0, SEEK_END);
+      long size = std::ftell(f);
+      std::fseek(f, 0, SEEK_SET);
+      r.LimitBytes(size > 0 ? static_cast<size_t>(size) / 2 : 0);
+      break;
+    }
+    case failpoint::Fault::kError:
+      return lost("injected load fault");
+    case failpoint::Fault::kNone:
+      break;
+  }
 
   char magic[8];
   r.Bytes(magic, sizeof(magic));
-  if (!r.ok() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return fail("bad magic");
+  if (!r.ok()) return bad("bad magic (file too short)");
+  if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) {
+    return bad("format version 1 is no longer supported; re-save the store");
+  }
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return bad("bad magic");
   }
   if (r.U64() != SchemaFingerprint(schema)) {
-    return fail("schema fingerprint mismatch");
+    if (!r.ok()) return lost("truncated header");
+    return bad("schema fingerprint mismatch");
   }
+  MCTDB_RETURN_IF_ERROR(check_section("header"));
 
   std::unique_ptr<MctStore> store(new MctStore());
   store->schema_ = &schema;
 
   uint32_t num_pages = r.U32();
+  if (!r.ok() || num_pages > (1u << 24)) return lost("bad page count");
   char page[kPageSize];
   for (uint32_t p = 0; p < num_pages; ++p) {
     r.Bytes(page, kPageSize);
-    if (!r.ok()) return fail("truncated pages");
+    if (!r.ok()) return lost("truncated pages");
     PageId id = store->pager_.Allocate();
     store->pager_.Write(id, page);
   }
+  MCTDB_RETURN_IF_ERROR(check_section("pages"));
+
   uint32_t num_elements = r.U32();
+  if (!r.ok() || num_elements > (1u << 28)) {
+    return lost("bad element count");
+  }
   store->elements_.reserve(num_elements);
   store->key_index_.resize(schema.diagram().num_nodes());
   for (uint32_t i = 0; i < num_elements; ++i) {
@@ -190,55 +344,69 @@ Result<std::unique_ptr<MctStore>> LoadStore(const mct::MctSchema& schema,
     m.er_node = r.U32();
     m.logical = r.U32();
     m.is_copy = r.U32() != 0;
-    if (!r.ok() || m.er_node >= schema.diagram().num_nodes()) {
-      return fail("bad element record");
+    if (!r.ok()) return lost("truncated elements");
+    if (m.er_node >= schema.diagram().num_nodes()) {
+      return lost("bad element record");
     }
     store->key_index_[m.er_node][m.logical].push_back(i);
     store->elements_.push_back(m);
   }
+  MCTDB_RETURN_IF_ERROR(check_section("elements"));
+
   store->attrs_.resize(num_elements);
   for (uint32_t i = 0; i < num_elements; ++i) {
     uint32_t n = r.U32();
-    if (!r.ok() || n > (1u << 20)) return fail("bad attr list");
+    if (!r.ok() || n > (1u << 20)) return lost("bad attr list");
     store->attrs_[i].resize(n);
     for (uint32_t a = 0; a < n; ++a) {
       store->attrs_[i][a].name_id = r.U32();
       store->attrs_[i][a].value_id = r.U32();
       store->attrs_[i][a].has_content = r.U32() != 0;
     }
+    if (!r.ok()) return lost("truncated attrs");
   }
+  MCTDB_RETURN_IF_ERROR(check_section("attrs"));
+
   uint32_t num_names = r.U32();
+  if (!r.ok() || num_names > (1u << 26)) return lost("bad name count");
   for (uint32_t i = 0; i < num_names; ++i) {
     store->attr_names_.push_back(r.Str());
     store->attr_name_index_.emplace(store->attr_names_.back(), i);
   }
   uint32_t num_values = r.U32();
+  if (!r.ok() || num_values > (1u << 26)) return lost("bad value count");
   for (uint32_t i = 0; i < num_values; ++i) {
     store->values_.push_back(r.Str());
     store->value_index_.emplace(store->values_.back(), i);
   }
-  if (!r.ok()) return fail("truncated dictionaries");
+  if (!r.ok()) return lost("truncated dictionaries");
+  MCTDB_RETURN_IF_ERROR(check_section("dicts"));
 
   uint32_t num_colors = r.U32();
-  if (num_colors != schema.num_colors()) return fail("color count mismatch");
+  if (!r.ok()) return lost("truncated colors");
+  if (num_colors != schema.num_colors()) return bad("color count mismatch");
   store->labels_.resize(num_colors);
   store->parents_.resize(num_colors);
   for (uint32_t c = 0; c < num_colors; ++c) {
     uint32_t n = r.U32();
+    if (!r.ok() || n > num_elements) return lost("bad label count");
     for (uint32_t i = 0; i < n; ++i) {
       LabelEntry label;
       r.Bytes(&label, sizeof(label));
-      if (!r.ok() || label.elem >= num_elements) return fail("bad label");
+      if (!r.ok() || label.elem >= num_elements) return lost("bad label");
       store->labels_[c][label.elem] = label;
     }
     uint32_t np = r.U32();
+    if (!r.ok() || np > num_elements) return lost("bad parent count");
     for (uint32_t i = 0; i < np; ++i) {
       uint32_t elem = r.U32();
       uint32_t parent = r.U32();
-      if (!r.ok() || elem >= num_elements) return fail("bad parent");
+      if (!r.ok() || elem >= num_elements) return lost("bad parent");
       store->parents_[c][elem] = parent;
     }
   }
+  MCTDB_RETURN_IF_ERROR(check_section("labels"));
+
   store->postings_.resize(num_colors);
   for (uint32_t c = 0; c < num_colors; ++c) {
     store->postings_[c].resize(schema.diagram().num_nodes());
@@ -248,23 +416,54 @@ Result<std::unique_ptr<MctStore>> LoadStore(const mct::MctSchema& schema,
       auto meta = std::make_unique<PostingMeta>();
       meta->count = count;
       uint32_t pages = r.U32();
-      if (!r.ok() || pages > num_pages) return fail("bad posting meta");
+      if (!r.ok() || pages > num_pages) return lost("bad posting meta");
+      if (uint64_t{count} > uint64_t{pages} * kEntriesPerPage) {
+        return lost("posting count exceeds its pages");
+      }
       for (uint32_t p = 0; p < pages; ++p) {
         uint32_t id = r.U32();
-        if (id >= num_pages) return fail("posting page out of range");
+        if (!r.ok()) return lost("truncated postings");
+        if (id >= num_pages) return lost("posting page out of range");
         meta->pages.push_back(id);
       }
       store->postings_[c][tag] = std::move(meta);
     }
   }
+  MCTDB_RETURN_IF_ERROR(check_section("postings"));
+
   store->num_attribute_nodes_ = r.U64();
   store->num_content_nodes_ = r.U64();
-  if (!r.ok()) return fail("truncated trailer");
+  if (!r.ok()) return lost("truncated trailer");
+  MCTDB_RETURN_IF_ERROR(check_section("counters"));
   std::fclose(f);
 
   store->pool_ = std::make_unique<BufferPool>(&store->pager_,
                                               options.buffer_pool_pages);
   return store;
+}
+
+Result<std::unique_ptr<MctStore>> LoadStoreWithRetry(
+    const mct::MctSchema& schema, const std::string& path,
+    const StoreOptions& options, const RetryPolicy& policy,
+    uint64_t* retries) {
+  std::chrono::microseconds backoff = policy.initial_backoff;
+  Result<std::unique_ptr<MctStore>> result = LoadStore(schema, path, options);
+  for (int attempt = 1;
+       attempt < policy.max_attempts && !result.ok() &&
+       IsRetryable(result.status());
+       ++attempt) {
+    MCTDB_LOG(kWarn, "persist", "load failed, retrying",
+              {{"path", path},
+               {"attempt", int64_t{attempt}},
+               {"status", result.status().ToString()}});
+    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    auto next = std::chrono::microseconds(static_cast<int64_t>(
+        static_cast<double>(backoff.count()) * policy.multiplier));
+    backoff = next < policy.max_backoff ? next : policy.max_backoff;
+    if (retries != nullptr) ++*retries;
+    result = LoadStore(schema, path, options);
+  }
+  return result;
 }
 
 }  // namespace mctdb::storage

@@ -1,7 +1,7 @@
 // Store persistence: serialize an MctStore to a single file and load it
 // back. The format is a versioned, section-tagged binary layout:
 //
-//   header  : magic "MCTDB1\n", schema fingerprint
+//   header  : magic "MCTDB2\n", schema fingerprint
 //   pages   : the pager's 8 KB pages verbatim (posting lists)
 //   elements: ElementMeta records
 //   attrs   : per-element AttrRecord lists
@@ -11,15 +11,29 @@
 //   postings: per (color, tag), page-id lists + counts
 //   keyindex: rebuilt on load (derivable)
 //
+// Every section ends with a 64-bit checksum of its bytes, verified on
+// load. Version 2 (this PR's hardening) draws a clean error taxonomy:
+// the wrong file or schema is InvalidArgument (bad magic, fingerprint or
+// color-count mismatch, v1 files), while a damaged right file — truncated
+// sections, flipped bits, counts pointing past the data — is DataLoss.
+// Load never trusts a count it has not bounds-checked, so a corrupt file
+// fails cleanly instead of over-allocating or indexing out of range (the
+// tests/data corpus pins this down under ASAN).
+//
 // The schema itself is NOT serialized — the caller re-derives it (designs
 // are deterministic functions of the ER diagram) and Load verifies the
 // fingerprint, refusing to attach data to the wrong schema.
+//
+// Failpoints: "persist.save" (err -> every write fails; trunc -> the file
+// is silently cut at 4 KB) and "persist.load" (err -> injected DataLoss;
+// trunc -> the file reads as if cut in half).
 #pragma once
 
 #include <memory>
 #include <string>
 
 #include "common/result.h"
+#include "common/retry.h"
 #include "storage/store.h"
 
 namespace mctdb::storage {
@@ -36,5 +50,16 @@ Status SaveStore(const MctStore& store, const std::string& path);
 Result<std::unique_ptr<MctStore>> LoadStore(const mct::MctSchema& schema,
                                             const std::string& path,
                                             const StoreOptions& options = {});
+
+/// LoadStore with bounded retry-with-backoff on transient faults
+/// (DataLoss / IoError / Unavailable — e.g. a snapshot mid-copy or an
+/// injected "persist.load" fault); permanent errors (wrong schema, bad
+/// magic) fail immediately. `retries` (optional) is incremented per extra
+/// attempt, for metrics.
+Result<std::unique_ptr<MctStore>> LoadStoreWithRetry(
+    const mct::MctSchema& schema, const std::string& path,
+    const StoreOptions& options = {},
+    const RetryPolicy& policy = RetryPolicy::FromEnv(),
+    uint64_t* retries = nullptr);
 
 }  // namespace mctdb::storage

@@ -32,14 +32,20 @@ PostingMeta PostingWriter::Finish() {
 }
 
 bool PostingCursor::Next(LabelEntry* out) {
-  if (index_ >= meta_->count) return false;
+  if (!status_.ok() || index_ >= meta_->count) return false;
   size_t page_index = index_ / kEntriesPerPage;
   if (page_index != current_page_index_) {
     Release();
     bool miss = false;
-    current_page_ = pool_->Fetch(meta_->pages[page_index], &miss);
-    current_page_index_ = page_index;
+    Status s = pool_->Fetch(meta_->pages[page_index], &current_page_, &miss);
+    // The fetch outcome is charged even on failure: the pool did the work.
     if (stats_ != nullptr) stats_->OnPageFetch(miss);
+    if (!s.ok()) {
+      status_ = std::move(s);
+      current_page_ = nullptr;
+      return false;
+    }
+    current_page_index_ = page_index;
   }
   size_t slot = index_ % kEntriesPerPage;
   std::memcpy(out, current_page_ + slot * sizeof(LabelEntry),
@@ -57,12 +63,17 @@ void PostingCursor::Release() {
 }
 
 std::vector<LabelEntry> ReadAll(PageCache* pool, const PostingMeta& meta,
-                                obs::ExecStats* stats) {
+                                obs::ExecStats* stats, Status* out_status) {
   std::vector<LabelEntry> out;
   out.reserve(meta.count);
   PostingCursor cursor(pool, &meta, stats);
   LabelEntry e;
   while (cursor.Next(&e)) out.push_back(e);
+  if (out_status != nullptr) {
+    *out_status = cursor.status();
+  } else {
+    MCTDB_CHECK_MSG(cursor.status().ok(), cursor.status().ToString().c_str());
+  }
   return out;
 }
 

@@ -6,8 +6,10 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "obs/exec_stats.h"
 #include "storage/pager.h"
 
@@ -70,6 +72,12 @@ class PostingWriter {
 /// When `stats` is given, every page fetch (and its hit/miss outcome) is
 /// charged to it — this is how a query's I/O is attributed to exactly
 /// that query even on a pool shared by concurrent sessions.
+///
+/// Error handling: a page fetch that fails (DataLoss surviving the pool's
+/// quarantine) ends the scan — Next returns false and the failure is
+/// latched on status(). Callers distinguishing "end of list" from "list
+/// unreadable" must check status() after the scan; query-path callers
+/// propagate it so storage corruption degrades to a failed query.
 class PostingCursor {
  public:
   PostingCursor(PageCache* pool, const PostingMeta* meta,
@@ -84,7 +92,8 @@ class PostingCursor {
   PostingCursor(PostingCursor&& other) noexcept
       : pool_(other.pool_), meta_(other.meta_), stats_(other.stats_),
         index_(other.index_), current_page_(other.current_page_),
-        current_page_index_(other.current_page_index_) {
+        current_page_index_(other.current_page_index_),
+        status_(std::move(other.status_)) {
     other.current_page_ = nullptr;
     other.current_page_index_ = SIZE_MAX;
   }
@@ -97,19 +106,25 @@ class PostingCursor {
       index_ = other.index_;
       current_page_ = other.current_page_;
       current_page_index_ = other.current_page_index_;
+      status_ = std::move(other.status_);
       other.current_page_ = nullptr;
       other.current_page_index_ = SIZE_MAX;
     }
     return *this;
   }
 
-  /// Returns false at end of list.
+  /// Returns false at end of list — or on a page fetch failure, which
+  /// also latches status(). Once failed, further Next calls keep
+  /// returning false until Reset.
   bool Next(LabelEntry* out);
   void Reset() {
     Release();
     index_ = 0;
+    status_ = Status::OK();
   }
   size_t remaining() const { return meta_->count - index_; }
+  /// OK unless a page fetch failed during the scan.
+  const Status& status() const { return status_; }
 
  private:
   void Release();
@@ -120,11 +135,16 @@ class PostingCursor {
   size_t index_ = 0;
   const char* current_page_ = nullptr;
   size_t current_page_index_ = SIZE_MAX;
+  Status status_;
 };
 
 /// Reads a whole posting list into memory (through the pool), charging
-/// `stats` when given.
+/// `stats` when given. A fetch failure mid-scan is reported through
+/// `out_status` (the returned vector holds the entries read so far); when
+/// `out_status` is null a failure aborts, matching the convenience Fetch
+/// contract for callers on storage they trust.
 std::vector<LabelEntry> ReadAll(PageCache* pool, const PostingMeta& meta,
-                                obs::ExecStats* stats = nullptr);
+                                obs::ExecStats* stats = nullptr,
+                                Status* out_status = nullptr);
 
 }  // namespace mctdb::storage

@@ -55,56 +55,110 @@ const ShardedBufferPool::Shard& ShardedBufferPool::ShardFor(
   return *shards_[Hash64(uint64_t(id)) & (shards_.size() - 1)];
 }
 
-const char* ShardedBufferPool::Fetch(PageId id, bool* out_miss) {
+void ShardedBufferPool::ReleaseFailedLocked(Shard& s, PageId id, Frame& f) {
+  MCTDB_CHECK(f.load_failed && f.pins > 0);
+  if (--f.pins == 0) {
+    s.frames.erase(id);
+    // Wake fetchers parked until the poisoned frame is gone so they can
+    // fault the page in fresh.
+    s.load_cv.notify_all();
+  }
+}
+
+Status ShardedBufferPool::Fetch(PageId id, const char** out_frame,
+                                bool* out_miss) {
   Shard& s = ShardFor(id);
   std::unique_lock<mctdb::OrderedMutex> lock(s.mu);
-  auto it = s.frames.find(id);
-  if (it != s.frames.end()) {
-    s.hits.fetch_add(1, std::memory_order_relaxed);
-    *out_miss = false;
-    Frame& f = it->second;
-    if (f.in_lru) {
-      s.lru.erase(f.lru_pos);
-      f.in_lru = false;
+  for (;;) {
+    auto it = s.frames.find(id);
+    if (it != s.frames.end()) {
+      Frame& f = it->second;
+      if (f.load_failed) {
+        // A previous load of this page failed and its pin holders have
+        // not all drained yet. Wait for the frame to be erased, then
+        // retry the fetch from scratch (fresh read, fresh luck).
+        s.load_cv.wait(lock, [&s, id] {
+          auto again = s.frames.find(id);
+          return again == s.frames.end() || !again->second.load_failed;
+        });
+        continue;
+      }
+      s.hits.fetch_add(1, std::memory_order_relaxed);
+      *out_miss = false;
+      if (f.in_lru) {
+        s.lru.erase(f.lru_pos);
+        f.in_lru = false;
+      }
+      ++f.pins;
+      if (f.loading) {
+        // Another thread reserved this frame and is reading it in with
+        // the lock released; our pin keeps the frame alive, so just wait
+        // for the bytes (one disk read serves every concurrent fetcher).
+        // NOTE: insertions during the wait may rehash the map, so use the
+        // stable Frame reference, not the iterator.
+        s.load_cv.wait(lock, [&f] { return !f.loading; });
+        if (f.load_failed) {
+          Status failure = f.load_status;
+          ReleaseFailedLocked(s, id, f);
+          return failure;
+        }
+      }
+      *out_frame = f.data.get();
+      return Status::OK();
     }
-    ++f.pins;
-    if (f.loading) {
-      // Another thread reserved this frame and is reading it in with the
-      // lock released; our pin keeps the frame alive, so just wait for
-      // the bytes (one disk read serves every concurrent fetcher).
-      s.load_cv.wait(lock, [&f] { return !f.loading; });
+    s.misses.fetch_add(1, std::memory_order_relaxed);
+    *out_miss = true;
+    if (s.frames.size() >= s.capacity && !s.lru.empty()) {
+      PageId victim = s.lru.back();
+      s.lru.pop_back();
+      s.frames.erase(victim);
+      MCTDB_LOG(kDebug, "pool", "page evicted",
+                {{"victim", uint64_t(victim)},
+                 {"for", uint64_t(id)},
+                 {"resident", uint64_t(s.frames.size())}});
     }
-    return f.data.get();
+    Frame f;
+    f.data = std::make_unique<char[]>(kPageSize);
+    f.pins = 1;
+    f.loading = true;
+    auto [pos, inserted] = s.frames.emplace(id, std::move(f));
+    MCTDB_CHECK(inserted);
+    // Read OUTSIDE the shard lock: a miss's disk I/O must not serialize
+    // hits on other pages of the shard. The frame is pinned and marked
+    // loading, so it cannot be evicted or trimmed, and `frame` stays
+    // valid (rehash moves buckets, not elements).
+    Frame& frame = pos->second;
+    char* data = frame.data.get();
+    Status read_status;
+    // Quarantine protocol: if the read fails even after the pager's own
+    // retries, evict the poisoned bytes and re-read once before giving
+    // up — a transient fault localized to one transfer should not fail
+    // the fetch.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      lock.unlock();
+      read_status = pager_->Read(id, data);
+      lock.lock();
+      if (read_status.ok()) break;
+      quarantined_.fetch_add(1, std::memory_order_relaxed);
+      MCTDB_LOG(kWarn, "pool", "frame quarantined",
+                {{"page", uint64_t(id)},
+                 {"attempt", uint64_t(attempt)},
+                 {"status", read_status.ToString()}});
+    }
+    frame.loading = false;
+    if (read_status.ok()) {
+      s.load_cv.notify_all();
+      *out_frame = data;
+      return Status::OK();
+    }
+    frame.load_failed = true;
+    frame.load_status = read_status;
+    // Wake piggybacked waiters so they observe the failure and drain
+    // their pins; ours drops here (possibly erasing the frame already).
+    s.load_cv.notify_all();
+    ReleaseFailedLocked(s, id, frame);
+    return read_status;
   }
-  s.misses.fetch_add(1, std::memory_order_relaxed);
-  *out_miss = true;
-  if (s.frames.size() >= s.capacity && !s.lru.empty()) {
-    PageId victim = s.lru.back();
-    s.lru.pop_back();
-    s.frames.erase(victim);
-    MCTDB_LOG(kDebug, "pool", "page evicted",
-              {{"victim", uint64_t(victim)},
-               {"for", uint64_t(id)},
-               {"resident", uint64_t(s.frames.size())}});
-  }
-  Frame f;
-  f.data = std::make_unique<char[]>(kPageSize);
-  f.pins = 1;
-  f.loading = true;
-  auto [pos, inserted] = s.frames.emplace(id, std::move(f));
-  MCTDB_CHECK(inserted);
-  // Read OUTSIDE the shard lock: a miss's disk I/O must not serialize
-  // hits on other pages of the shard. The frame is pinned and marked
-  // loading, so it cannot be evicted or trimmed, and `frame` stays valid
-  // (rehash moves buckets, not elements).
-  Frame& frame = pos->second;
-  char* data = frame.data.get();
-  lock.unlock();
-  pager_->Read(id, data);
-  lock.lock();
-  frame.loading = false;
-  s.load_cv.notify_all();
-  return data;
 }
 
 void ShardedBufferPool::Unpin(PageId id) {

@@ -39,7 +39,17 @@ class ShardedBufferPool : public PageCache {
   /// in-flight `loading` flag makes concurrent fetchers of the same page
   /// wait on the shard's condition variable), so one slow disk read never
   /// serializes hits on other pages of the shard.
-  [[nodiscard]] const char* Fetch(PageId id, bool* out_miss) override;
+  ///
+  /// Corruption quarantine: if the pager read fails verification (after
+  /// the pager's own internal retries), the pool evicts the poisoned
+  /// frame and re-reads once before reporting DataLoss. A frame whose
+  /// load failed is never served: the loading thread marks it
+  /// `load_failed`, waiters piggybacked on that load drop their pins and
+  /// return the load's Status, the last pin out erases the frame, and
+  /// fetchers arriving later wait for the erasure and then fault the page
+  /// in fresh — so one bad read never wedges a PageId permanently.
+  [[nodiscard]] Status Fetch(PageId id, const char** out_frame,
+                             bool* out_miss) override;
   void Unpin(PageId id) override;
 
   uint64_t hits() const override;
@@ -47,6 +57,10 @@ class ShardedBufferPool : public PageCache {
   size_t resident() const;
   size_t capacity() const { return capacity_; }
   size_t num_shards() const { return shards_.size(); }
+  /// Loads that failed verification and were quarantined (frame evicted).
+  uint64_t quarantined() const {
+    return quarantined_.load(std::memory_order_relaxed);
+  }
 
   struct ShardStats {
     uint64_t hits = 0;
@@ -66,6 +80,13 @@ class ShardedBufferPool : public PageCache {
     /// outside the shard lock. The frame is pinned for the duration, so
     /// it can be neither evicted nor trimmed mid-read.
     bool loading = false;
+    /// Set (with `loading` cleared) when the load's pager read failed:
+    /// the frame holds garbage and must never be served. Pin holders
+    /// drain via ReleaseFailedLocked; the last one erases the frame.
+    bool load_failed = false;
+    /// The failure observed by the loading thread, handed to every waiter
+    /// that piggybacked on the load. Meaningful iff load_failed.
+    Status load_status;
   };
   struct Shard {
     // Leaf-rank lock: held only across frame-map operations, never across
@@ -82,10 +103,15 @@ class ShardedBufferPool : public PageCache {
 
   Shard& ShardFor(PageId id);
   const Shard& ShardFor(PageId id) const;
+  /// Drops one pin on a load_failed frame; the last pin erases it and
+  /// wakes fetchers waiting for the PageId to become loadable again.
+  /// Requires the shard lock.
+  static void ReleaseFailedLocked(Shard& s, PageId id, Frame& f);
 
   const Pager* pager_;
   size_t capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;  // size is a power of two
+  std::atomic<uint64_t> quarantined_{0};
 };
 
 }  // namespace mctdb::storage

@@ -68,9 +68,17 @@ class Validator {
     for (er::NodeId tag = 0; tag < diagram.num_nodes(); ++tag) {
       const PostingMeta* meta = store_.Posting(c, tag);
       if (meta == nullptr) continue;
-      auto entries = ReadAll(store_.buffer_pool(), *meta);
       std::string loc =
           StringPrintf("color %u tag %s", c, diagram.node(tag).name.c_str());
+      Status read_status;
+      auto entries = ReadAll(store_.buffer_pool(), *meta, nullptr,
+                             &read_status);
+      if (!read_status.ok()) {
+        report_->Error("STO012", loc,
+                       StringPrintf("posting unreadable: %s",
+                                    read_status.ToString().c_str()));
+        continue;
+      }
       uint32_t prev_start = 0;
       for (const LabelEntry& e : entries) {
         if (e.start <= prev_start) {

@@ -25,6 +25,7 @@
 //   STO009  ICIC instance violation (realizations disagree)
 //   STO010  missing idref attribute
 //   STO011  dangling idref (no key of the target type matches)
+//   STO012  posting list unreadable (page checksum failure / data loss)
 #pragma once
 
 #include "analysis/diagnostics.h"

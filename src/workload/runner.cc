@@ -189,7 +189,11 @@ void RunGridParallel(const Workload& workload, const RunnerOptions& options,
     for (Cell& cell : grid[i]) {
       if (cell.q == nullptr) continue;
       for (size_t rep = 0; rep < reps; ++rep) {
-        auto future = sessions[i]->Submit(*cell.plan);
+        // kHigh: the runner sized max_queued to hold the whole batch and
+        // has no interactive traffic to protect, so the load-shedding
+        // watermarks must not apply to its own staged submissions.
+        auto future =
+            sessions[i]->Submit(*cell.plan, 0.0, mctsvc::Priority::kHigh);
         MCTDB_CHECK_MSG(future.ok(), future.status().ToString().c_str());
         cell.rep_futures.push_back(std::move(*future));
       }

@@ -1,0 +1,120 @@
+#include "service/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace mctsvc {
+namespace {
+
+using State = CircuitBreaker::State;
+
+// A hand-cranked clock so open->half-open transitions need no sleeping.
+struct FakeClock {
+  std::chrono::steady_clock::time_point now{};
+  void Advance(double seconds) {
+    now += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(seconds));
+  }
+  CircuitBreaker::Clock fn() {
+    return [this] { return now; };
+  }
+};
+
+CircuitBreaker::Options Opts(int threshold, double open_seconds) {
+  CircuitBreaker::Options o;
+  o.failure_threshold = threshold;
+  o.open_seconds = open_seconds;
+  return o;
+}
+
+TEST(CircuitBreakerTest, StartsClosedAndAllows) {
+  CircuitBreaker b("s");
+  EXPECT_EQ(b.state(), State::kClosed);
+  EXPECT_TRUE(b.Allow());
+  EXPECT_EQ(b.RetryAfterSeconds(), 0.0);
+}
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailures) {
+  FakeClock clock;
+  CircuitBreaker b("s", Opts(3, 5.0), clock.fn());
+  b.RecordFailure();
+  b.RecordFailure();
+  EXPECT_EQ(b.state(), State::kClosed);
+  b.RecordFailure();
+  EXPECT_EQ(b.state(), State::kOpen);
+  EXPECT_FALSE(b.Allow());
+  EXPECT_GT(b.RetryAfterSeconds(), 0.0);
+  EXPECT_LE(b.RetryAfterSeconds(), 5.0);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureStreak) {
+  CircuitBreaker b("s", Opts(3, 5.0));
+  b.RecordFailure();
+  b.RecordFailure();
+  b.RecordSuccess();
+  b.RecordFailure();
+  b.RecordFailure();
+  EXPECT_EQ(b.state(), State::kClosed);
+  EXPECT_EQ(b.consecutive_failures(), 2);
+}
+
+TEST(CircuitBreakerTest, HalfOpensAfterTheWindowAndProbeSuccessCloses) {
+  FakeClock clock;
+  CircuitBreaker b("s", Opts(1, 5.0), clock.fn());
+  b.RecordFailure();
+  ASSERT_EQ(b.state(), State::kOpen);
+  EXPECT_FALSE(b.Allow());
+  clock.Advance(5.1);
+  // First caller after the window is the probe.
+  EXPECT_TRUE(b.Allow());
+  EXPECT_EQ(b.state(), State::kHalfOpen);
+  // Concurrent callers bounce until the probe resolves.
+  EXPECT_FALSE(b.Allow());
+  b.RecordSuccess();
+  EXPECT_EQ(b.state(), State::kClosed);
+  EXPECT_TRUE(b.Allow());
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensForAnotherFullWindow) {
+  FakeClock clock;
+  CircuitBreaker b("s", Opts(1, 5.0), clock.fn());
+  b.RecordFailure();
+  clock.Advance(5.1);
+  ASSERT_TRUE(b.Allow());
+  b.RecordFailure();
+  EXPECT_EQ(b.state(), State::kOpen);
+  EXPECT_FALSE(b.Allow());
+  // The window restarts from the probe failure.
+  clock.Advance(4.0);
+  EXPECT_FALSE(b.Allow());
+  clock.Advance(1.5);
+  EXPECT_TRUE(b.Allow());
+}
+
+TEST(CircuitBreakerTest, OnlyOneProbeUnderConcurrency) {
+  FakeClock clock;
+  CircuitBreaker b("s", Opts(1, 1.0), clock.fn());
+  b.RecordFailure();
+  clock.Advance(1.5);
+  std::atomic<int> allowed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      if (b.Allow()) allowed.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(allowed.load(), 1);
+  EXPECT_EQ(b.state(), State::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, StateNames) {
+  EXPECT_STREQ(CircuitBreaker::StateName(State::kClosed), "closed");
+  EXPECT_STREQ(CircuitBreaker::StateName(State::kOpen), "open");
+  EXPECT_STREQ(CircuitBreaker::StateName(State::kHalfOpen), "half-open");
+}
+
+}  // namespace
+}  // namespace mctsvc

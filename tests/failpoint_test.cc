@@ -1,0 +1,160 @@
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace mctdb::failpoint {
+namespace {
+
+// Every test starts from (and restores) a clean registry: order does not
+// matter, and an ambient MCTDB_FAILPOINTS chaos spec (the CI chaos job
+// exports one for the whole suite) cannot leak into assertions about the
+// registry itself.
+class FailpointTest : public testing::Test {
+ protected:
+  void SetUp() override { DisarmAll(); }
+  void TearDown() override { DisarmAll(); }
+};
+
+TEST_F(FailpointTest, UnarmedSitesReportNone) {
+  EXPECT_FALSE(AnyArmed());
+  EXPECT_EQ(MCTDB_FAILPOINT("nothing.here"), Fault::kNone);
+  EXPECT_EQ(HitCount("nothing.here"), 0u);
+}
+
+TEST_F(FailpointTest, ArmErrorFiresDeterministically) {
+  std::string error;
+  ASSERT_TRUE(Arm("t.err", "err", &error)) << error;
+  EXPECT_TRUE(AnyArmed());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(MCTDB_FAILPOINT("t.err"), Fault::kError);
+  }
+  EXPECT_EQ(HitCount("t.err"), 10u);
+  // Other sites stay quiet.
+  EXPECT_EQ(MCTDB_FAILPOINT("t.other"), Fault::kNone);
+}
+
+TEST_F(FailpointTest, TruncateActionAndExplicitProbabilityOne) {
+  std::string error;
+  ASSERT_TRUE(Arm("t.trunc", "trunc(1.0)", &error)) << error;
+  EXPECT_EQ(MCTDB_FAILPOINT("t.trunc"), Fault::kTruncate);
+}
+
+TEST_F(FailpointTest, ProbabilityZeroNeverFires) {
+  std::string error;
+  ASSERT_TRUE(Arm("t.never", "err(0.0)", &error)) << error;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(MCTDB_FAILPOINT("t.never"), Fault::kNone);
+  }
+  EXPECT_EQ(HitCount("t.never"), 0u);
+}
+
+TEST_F(FailpointTest, FractionalProbabilityFiresSometimes) {
+  std::string error;
+  ASSERT_TRUE(Arm("t.half", "err(0.5)", &error)) << error;
+  int fired = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (MCTDB_FAILPOINT("t.half") == Fault::kError) ++fired;
+  }
+  // p=0.5 over 2000 trials: [600, 1400] is > 9 sigma on each side.
+  EXPECT_GT(fired, 600);
+  EXPECT_LT(fired, 1400);
+  EXPECT_EQ(HitCount("t.half"), static_cast<uint64_t>(fired));
+}
+
+TEST_F(FailpointTest, DelayActionSleepsAndReportsNone) {
+  std::string error;
+  ASSERT_TRUE(Arm("t.delay", "delay(30)", &error)) << error;
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(MCTDB_FAILPOINT("t.delay"), Fault::kNone);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(25));
+  EXPECT_EQ(HitCount("t.delay"), 1u);  // delays count as hits
+}
+
+TEST_F(FailpointTest, DisarmStopsFiring) {
+  std::string error;
+  ASSERT_TRUE(Arm("t.dis", "err", &error)) << error;
+  EXPECT_EQ(MCTDB_FAILPOINT("t.dis"), Fault::kError);
+  Disarm("t.dis");
+  EXPECT_FALSE(AnyArmed());
+  EXPECT_EQ(MCTDB_FAILPOINT("t.dis"), Fault::kNone);
+}
+
+TEST_F(FailpointTest, ConfigureArmsMultipleSites) {
+  std::string error;
+  ASSERT_TRUE(Configure("a.one=err;b.two=trunc(1.0);c.three=off", &error))
+      << error;
+  EXPECT_EQ(MCTDB_FAILPOINT("a.one"), Fault::kError);
+  EXPECT_EQ(MCTDB_FAILPOINT("b.two"), Fault::kTruncate);
+  EXPECT_EQ(MCTDB_FAILPOINT("c.three"), Fault::kNone);
+}
+
+TEST_F(FailpointTest, MalformedSpecLeavesRegistryUntouched) {
+  std::string error;
+  ASSERT_TRUE(Arm("t.keep", "err", &error)) << error;
+  // Second entry is malformed: the whole spec must be rejected without
+  // arming the first entry or clobbering existing state.
+  EXPECT_FALSE(Configure("t.new=err;t.bad=bogus(", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(MCTDB_FAILPOINT("t.new"), Fault::kNone);
+  EXPECT_EQ(MCTDB_FAILPOINT("t.keep"), Fault::kError);
+}
+
+TEST_F(FailpointTest, BadProbabilityRejected) {
+  std::string error;
+  EXPECT_FALSE(Arm("t.p", "err(1.5)", &error));
+  EXPECT_FALSE(Arm("t.p", "err(-0.1)", &error));
+  EXPECT_FALSE(Arm("t.p", "err(abc)", &error));
+  EXPECT_FALSE(AnyArmed());
+}
+
+TEST_F(FailpointTest, GuardRestoresPreviousAction) {
+  std::string error;
+  ASSERT_TRUE(Arm("t.guard", "trunc", &error)) << error;
+  {
+    FailpointGuard guard("t.guard", "err");
+    EXPECT_EQ(MCTDB_FAILPOINT("t.guard"), Fault::kError);
+  }
+  // The guard restored trunc, not "disarmed" — an env-armed chaos spec
+  // must survive a test guard.
+  EXPECT_EQ(MCTDB_FAILPOINT("t.guard"), Fault::kTruncate);
+  EXPECT_EQ(CurrentAction("t.guard"), "trunc");
+}
+
+TEST_F(FailpointTest, GuardOnUnarmedSiteDisarmsOnExit) {
+  {
+    FailpointGuard guard("t.fresh", "err");
+    EXPECT_EQ(MCTDB_FAILPOINT("t.fresh"), Fault::kError);
+  }
+  EXPECT_FALSE(AnyArmed());
+  EXPECT_EQ(MCTDB_FAILPOINT("t.fresh"), Fault::kNone);
+}
+
+TEST_F(FailpointTest, ConcurrentEvaluationIsSafe) {
+  std::string error;
+  ASSERT_TRUE(Arm("t.mt", "err(0.5)", &error)) << error;
+  constexpr int kThreads = 8;
+  constexpr int kRolls = 2000;
+  std::vector<std::thread> threads;
+  std::atomic<int> fired{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      int mine = 0;
+      for (int i = 0; i < kRolls; ++i) {
+        if (MCTDB_FAILPOINT("t.mt") == Fault::kError) ++mine;
+      }
+      fired.fetch_add(mine);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(HitCount("t.mt"), static_cast<uint64_t>(fired.load()));
+  EXPECT_GT(fired.load(), kThreads * kRolls / 4);
+  EXPECT_LT(fired.load(), kThreads * kRolls * 3 / 4);
+}
+
+}  // namespace
+}  // namespace mctdb::failpoint

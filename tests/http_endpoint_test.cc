@@ -14,6 +14,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/failpoint.h"
 #include "design/designer.h"
 #include "instance/materialize.h"
 #include "query/planner.h"
@@ -216,6 +217,40 @@ TEST_F(HttpServiceTest, MetricsScrapeDuringTrafficIncludesPoolSeries) {
 
   EXPECT_NE(Get(service.HttpPort(), "/nosuch").find("404"),
             std::string::npos);
+}
+
+TEST_F(HttpServiceTest, HealthzTurns503WhileABreakerIsOpen) {
+  ServiceOptions options;
+  options.http_port = 0;
+  options.breaker_failure_threshold = 1;
+  options.breaker_open_seconds = 60.0;  // stays open for the whole test
+  QueryService service(options);
+  ASSERT_TRUE(service.AddStore("tpcw", store_).ok());
+  ASSERT_NE(service.HttpPort(), 0);
+
+  const mctdb::query::AssociationQuery* q = w_->Find("Q1");
+  ASSERT_NE(q, nullptr);
+  auto plan = mctdb::query::PlanQuery(*q, *schema_);
+  ASSERT_TRUE(plan.ok());
+
+  // Healthy service: 200.
+  std::string healthy = Get(service.HttpPort(), "/healthz");
+  EXPECT_NE(healthy.find("200 OK"), std::string::npos) << healthy;
+  EXPECT_NE(healthy.find("\"status\":\"ok\""), std::string::npos);
+
+  // One injected hard failure trips the (threshold-1) breaker; a load
+  // balancer polling /healthz now sees 503 and drains this replica.
+  {
+    mctdb::failpoint::FailpointGuard guard("service.exec", "err");
+    auto result = service.Execute("tpcw", *plan);
+    ASSERT_FALSE(result.ok());
+  }
+  std::string degraded = Get(service.HttpPort(), "/healthz");
+  EXPECT_NE(degraded.find("503"), std::string::npos) << degraded;
+  EXPECT_NE(degraded.find("\"status\":\"degraded\""), std::string::npos)
+      << degraded;
+  EXPECT_NE(degraded.find("\"state\":\"open\""), std::string::npos)
+      << degraded;
 }
 
 TEST_F(HttpServiceTest, EndpointDisabledByDefault) {

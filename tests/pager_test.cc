@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 
+#include "common/failpoint.h"
 #include "storage/posting.h"
 
 namespace mctdb::storage {
@@ -16,7 +18,7 @@ TEST(PagerTest, AllocateWriteRead) {
   std::memset(buf, 0x5A, kPageSize);
   pager.Write(p, buf);
   char out[kPageSize];
-  pager.Read(p, out);
+  ASSERT_TRUE(pager.Read(p, out).ok());
   EXPECT_EQ(std::memcmp(buf, out, kPageSize), 0);
   EXPECT_EQ(pager.num_pages(), 1u);
   EXPECT_EQ(pager.bytes(), kPageSize);
@@ -26,7 +28,7 @@ TEST(PagerTest, AllocatedPagesAreZeroed) {
   Pager pager;
   PageId p = pager.Allocate();
   char out[kPageSize];
-  pager.Read(p, out);
+  ASSERT_TRUE(pager.Read(p, out).ok());
   for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(out[i], 0);
 }
 
@@ -39,8 +41,8 @@ TEST(PagerTest, CountsDiskIo) {
   EXPECT_EQ(pager.disk_writes(), w0 + 1);
   uint64_t r0 = pager.disk_reads();
   char out[kPageSize];
-  pager.Read(p, out);
-  pager.Read(p, out);
+  ASSERT_TRUE(pager.Read(p, out).ok());
+  ASSERT_TRUE(pager.Read(p, out).ok());
   EXPECT_EQ(pager.disk_reads(), r0 + 2);
 }
 
@@ -178,6 +180,145 @@ TEST(PostingTest, EmptyList) {
   PostingCursor cursor(&pool, &meta);
   LabelEntry e;
   EXPECT_FALSE(cursor.Next(&e));
+}
+
+TEST(PagerChecksumTest, CorruptionIsDetectedAndRepairable) {
+  Pager pager;
+  pager.SetRetryPolicy(RetryPolicy::None());
+  PageId p = pager.Allocate();
+  char buf[kPageSize];
+  std::memset(buf, 0x11, kPageSize);
+  pager.Write(p, buf);
+  pager.CorruptForTest(p, 1234);
+  char out[kPageSize];
+  Status s = pager.Read(p, out);
+  ASSERT_TRUE(s.IsDataLoss()) << s.ToString();
+  EXPECT_GE(pager.checksum_failures(), 1u);
+  // Rewriting the page (here: the repair seam) makes it readable again.
+  pager.RepairForTest(p);
+  EXPECT_TRUE(pager.Read(p, out).ok());
+}
+
+TEST(PagerChecksumTest, RewriteAfterCorruptionAlsoHeals) {
+  Pager pager;
+  pager.SetRetryPolicy(RetryPolicy::None());
+  PageId p = pager.Allocate();
+  char buf[kPageSize] = {};
+  pager.Write(p, buf);
+  pager.CorruptForTest(p, 0);
+  char out[kPageSize];
+  ASSERT_TRUE(pager.Read(p, out).IsDataLoss());
+  pager.Write(p, buf);  // a real rewrite records a fresh checksum
+  EXPECT_TRUE(pager.Read(p, out).ok());
+}
+
+TEST(PagerChecksumTest, ChecksumValueTracksWrites) {
+  Pager pager;
+  PageId p = pager.Allocate();
+  uint64_t zero_sum = pager.PageChecksumValue(p);
+  char buf[kPageSize];
+  std::memset(buf, 0x42, kPageSize);
+  pager.Write(p, buf);
+  EXPECT_NE(pager.PageChecksumValue(p), zero_sum);
+}
+
+TEST(PagerFailpointTest, InjectedCorruptionSurfacesAsDataLoss) {
+  Pager pager;
+  pager.SetRetryPolicy(RetryPolicy::None());
+  PageId p = pager.Allocate();
+  char out[kPageSize];
+  failpoint::FailpointGuard guard("pager.read", "err");
+  Status s = pager.Read(p, out);
+  ASSERT_TRUE(s.IsDataLoss()) << s.ToString();
+  EXPECT_GE(pager.checksum_failures(), 1u)
+      << "the fault must be caught by the real checksum path";
+}
+
+TEST(PagerFailpointTest, TruncateFaultIsAlsoCaught) {
+  Pager pager;
+  pager.SetRetryPolicy(RetryPolicy::None());
+  PageId p = pager.Allocate();
+  char buf[kPageSize];
+  std::memset(buf, 0x33, kPageSize);
+  pager.Write(p, buf);
+  char out[kPageSize];
+  failpoint::FailpointGuard guard("pager.read", "trunc");
+  Status s = pager.Read(p, out);
+  ASSERT_TRUE(s.IsDataLoss()) << s.ToString();
+}
+
+TEST(PagerFailpointTest, RetryRecoversFromFlakyReads) {
+  Pager pager;
+  RetryPolicy policy;
+  policy.max_attempts = 30;
+  policy.initial_backoff = std::chrono::microseconds(1);
+  policy.max_backoff = std::chrono::microseconds(10);
+  pager.SetRetryPolicy(policy);
+  PageId p = pager.Allocate();
+  char buf[kPageSize];
+  std::memset(buf, 0x77, kPageSize);
+  pager.Write(p, buf);
+  char out[kPageSize];
+  // p=0.5 per attempt, 30 attempts: effectively always recovers.
+  failpoint::FailpointGuard guard("pager.read", "err(0.5)");
+  uint64_t reads_before = pager.disk_reads();
+  ASSERT_TRUE(pager.Read(p, out).ok());
+  EXPECT_EQ(std::memcmp(buf, out, kPageSize), 0)
+      << "recovered read returns the true bytes";
+  EXPECT_EQ(pager.disk_reads(), reads_before + 1)
+      << "disk_reads counts calls, not attempts";
+}
+
+TEST(BufferPoolTest, ReadFailureLeavesNoFrame) {
+  Pager pager;
+  pager.SetRetryPolicy(RetryPolicy::None());
+  PageId p = pager.Allocate();
+  pager.CorruptForTest(p, 7);
+  BufferPool pool(&pager, 4);
+  const char* frame = nullptr;
+  bool miss = false;
+  Status s = pool.Fetch(p, &frame, &miss);
+  ASSERT_TRUE(s.IsDataLoss()) << s.ToString();
+  EXPECT_EQ(frame, nullptr);
+  EXPECT_EQ(pool.resident(), 0u) << "no frame cached for a failed read";
+  // Repair, refetch: the pool recovers without a restart.
+  pager.RepairForTest(p);
+  s = pool.Fetch(p, &frame, &miss);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_NE(frame, nullptr);
+  EXPECT_TRUE(miss);
+}
+
+TEST(PostingTest, CursorLatchesFetchFailure) {
+  Pager pager;
+  pager.SetRetryPolicy(RetryPolicy::None());
+  PostingWriter writer(&pager);
+  for (uint32_t i = 0; i < 2 * kEntriesPerPage; ++i) {
+    LabelEntry e;
+    e.elem = i;
+    e.start = 2 * i + 1;
+    e.end = 2 * i + 2;
+    writer.Append(e);
+  }
+  PostingMeta meta = writer.Finish();
+  ASSERT_EQ(meta.num_pages(), 2u);
+  pager.CorruptForTest(meta.pages[1], 99);
+
+  BufferPool pool(&pager, 4);
+  PostingCursor cursor(&pool, &meta);
+  LabelEntry e;
+  uint32_t seen = 0;
+  while (cursor.Next(&e)) ++seen;
+  EXPECT_EQ(seen, kEntriesPerPage) << "first page scans fine";
+  EXPECT_TRUE(cursor.status().IsDataLoss())
+      << cursor.status().ToString();
+  // The failure is latched: Next stays false, status stays put.
+  EXPECT_FALSE(cursor.Next(&e));
+  EXPECT_TRUE(cursor.status().IsDataLoss());
+
+  Status read_status;
+  auto all = ReadAll(&pool, meta, nullptr, &read_status);
+  EXPECT_TRUE(read_status.IsDataLoss());
 }
 
 TEST(PostingTest, ContainmentHelper) {

@@ -82,7 +82,7 @@ TEST(PersistTest, FingerprintMismatchRefused) {
   ASSERT_TRUE(SaveStore(*store, path).ok());
   auto wrong = LoadStore(dr, path);
   ASSERT_FALSE(wrong.ok());
-  EXPECT_TRUE(wrong.status().IsCorruption());
+  EXPECT_TRUE(wrong.status().IsInvalidArgument());
   EXPECT_NE(wrong.status().message().find("fingerprint"), std::string::npos);
 }
 

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "design/designer.h"
 #include "instance/materialize.h"
 #include "query/planner.h"
@@ -107,11 +108,13 @@ TEST_F(QueryServiceTest, AdmissionOverflowReturnsResourceExhausted) {
   auto session = service.OpenSession("tpcw");
   ASSERT_TRUE(session.ok());
 
-  auto f1 = (*session)->Submit(plan);
-  auto f2 = (*session)->Submit(plan);
+  // kHigh bypasses the shedding watermarks (max_queued=2 puts them below
+  // the hard limit), so this test exercises the hard limit in isolation.
+  auto f1 = (*session)->Submit(plan, 0.0, Priority::kHigh);
+  auto f2 = (*session)->Submit(plan, 0.0, Priority::kHigh);
   ASSERT_TRUE(f1.ok());
   ASSERT_TRUE(f2.ok());
-  auto f3 = (*session)->Submit(plan);
+  auto f3 = (*session)->Submit(plan, 0.0, Priority::kHigh);
   ASSERT_FALSE(f3.ok());
   EXPECT_TRUE(f3.status().IsResourceExhausted()) << f3.status().ToString();
   EXPECT_EQ(service.metrics().rejected.load(), 1u);
@@ -404,6 +407,205 @@ TEST_F(QueryServiceTest, MetricsJsonExportsServiceAndPoolStats) {
        {"\"submitted\"", "\"completed\"", "\"rejected\"",
         "\"deadline_exceeded\"", "\"latency\"", "\"stores\"", "\"tpcw\"",
         "\"shards\"", "\"hits\"", "\"misses\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+}
+
+TEST_F(QueryServiceTest, LowPriorityIsShedBeforeNormal) {
+  QueryPlan plan = Plan("Q1");
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.max_queued = 10;          // watermarks: kLow at 7.5, kNormal at 9
+  options.start_paused = true;      // park workers: staging is deterministic
+  QueryService service(options);
+  ASSERT_TRUE(service.AddStore("tpcw", store_).ok());
+  auto session = service.OpenSession("tpcw");
+  ASSERT_TRUE(session.ok());
+
+  std::vector<QueryFuture> admitted;
+  for (int i = 0; i < 8; ++i) {
+    auto f = (*session)->Submit(plan, 0.0, Priority::kHigh);
+    ASSERT_TRUE(f.ok()) << i;
+    admitted.push_back(std::move(*f));
+  }
+  // 9 in flight would cross the kLow watermark (7.5) but not kNormal (9).
+  auto low = (*session)->Submit(plan, 0.0, Priority::kLow);
+  ASSERT_FALSE(low.ok());
+  EXPECT_TRUE(low.status().IsUnavailable()) << low.status().ToString();
+  EXPECT_NE(low.status().message().find("retry after"), std::string::npos)
+      << low.status().ToString();
+  auto normal = (*session)->Submit(plan, 0.0, Priority::kNormal);
+  ASSERT_TRUE(normal.ok()) << normal.status().ToString();
+  admitted.push_back(std::move(*normal));
+  // 10 in flight crosses the kNormal watermark; kHigh still fits under
+  // the hard limit.
+  auto normal2 = (*session)->Submit(plan, 0.0, Priority::kNormal);
+  ASSERT_FALSE(normal2.ok());
+  EXPECT_TRUE(normal2.status().IsUnavailable());
+  auto high = (*session)->Submit(plan, 0.0, Priority::kHigh);
+  ASSERT_TRUE(high.ok()) << high.status().ToString();
+  admitted.push_back(std::move(*high));
+
+  EXPECT_EQ(service.metrics().sheds.load(), 2u);
+  EXPECT_EQ(service.metrics().rejected.load(), 0u);
+
+  service.Resume();
+  for (auto& f : admitted) EXPECT_TRUE(f.get().ok());
+  service.Drain();
+  // A shed is advisory backpressure, not a failure of the service path.
+  EXPECT_EQ(service.metrics().failed.load(), 0u);
+}
+
+TEST_F(QueryServiceTest, BreakerOpensAfterConsecutiveHardFailures) {
+  QueryPlan plan = Plan("Q1");
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.breaker_failure_threshold = 3;
+  options.breaker_open_seconds = 60.0;  // stays open for the whole test
+  QueryService service(options);
+  ASSERT_TRUE(service.AddStore("tpcw", store_).ok());
+  auto session = service.OpenSession("tpcw");
+  ASSERT_TRUE(session.ok());
+
+  {
+    mctdb::failpoint::FailpointGuard guard("service.exec", "err");
+    for (int i = 0; i < 3; ++i) {
+      auto f = (*session)->Submit(plan);
+      ASSERT_TRUE(f.ok()) << i;
+      auto result = f->get();
+      ASSERT_FALSE(result.ok()) << i;
+      EXPECT_TRUE(result.status().IsInternal()) << result.status().ToString();
+    }
+  }
+
+  CircuitBreaker* breaker = service.breaker("tpcw");
+  ASSERT_NE(breaker, nullptr);
+  EXPECT_EQ(breaker->state(), CircuitBreaker::State::kOpen);
+  EXPECT_TRUE(service.Degraded());
+
+  // An open breaker refuses before the admission queue is touched.
+  auto refused = (*session)->Submit(plan);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsUnavailable()) << refused.status().ToString();
+  EXPECT_NE(refused.status().message().find("circuit breaker"),
+            std::string::npos)
+      << refused.status().ToString();
+  EXPECT_EQ(service.metrics().breaker_rejections.load(), 1u);
+  EXPECT_EQ(service.metrics().rejected.load(), 0u);
+
+  std::string health = service.HealthJson();
+  EXPECT_NE(health.find("\"status\":\"degraded\""), std::string::npos)
+      << health;
+  EXPECT_NE(health.find("\"state\":\"open\""), std::string::npos) << health;
+  EXPECT_NE(health.find("\"retry_after_seconds\""), std::string::npos)
+      << health;
+
+  std::string text = service.MetricsText();
+  EXPECT_NE(text.find("mctsvc_breaker_state{store=\"tpcw\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mctsvc_breaker_rejections_total 1"),
+            std::string::npos)
+      << text;
+}
+
+TEST_F(QueryServiceTest, BreakerHalfOpenProbeRecoversTheStore) {
+  QueryPlan plan = Plan("Q1");
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.breaker_failure_threshold = 2;
+  options.breaker_open_seconds = 0.05;
+  QueryService service(options);
+  ASSERT_TRUE(service.AddStore("tpcw", store_).ok());
+  auto session = service.OpenSession("tpcw");
+  ASSERT_TRUE(session.ok());
+
+  {
+    mctdb::failpoint::FailpointGuard guard("service.exec", "err");
+    for (int i = 0; i < 2; ++i) {
+      auto f = (*session)->Submit(plan);
+      ASSERT_TRUE(f.ok());
+      EXPECT_FALSE(f->get().ok());
+    }
+  }
+  CircuitBreaker* breaker = service.breaker("tpcw");
+  ASSERT_NE(breaker, nullptr);
+  ASSERT_EQ(breaker->state(), CircuitBreaker::State::kOpen);
+
+  // After the open window the next submission rides through as the
+  // half-open probe; the fault is gone, so its success closes the breaker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  auto probe = (*session)->Submit(plan);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_TRUE(probe->get().ok());
+  EXPECT_EQ(breaker->state(), CircuitBreaker::State::kClosed);
+  EXPECT_FALSE(service.Degraded());
+  EXPECT_NE(service.HealthJson().find("\"status\":\"ok\""),
+            std::string::npos);
+}
+
+TEST_F(QueryServiceTest, PastDeadlineAtDequeueIsNeitherShedNorBreakerFood) {
+  // A request whose deadline lapses while queued says nothing about load
+  // (not a shed) or store health (must not trip the breaker) — it only
+  // counts as DeadlineExceeded.
+  QueryPlan plan = Plan("Q1");
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.start_paused = true;
+  options.breaker_failure_threshold = 2;  // 3 lapses would trip it if counted
+  QueryService service(options);
+  ASSERT_TRUE(service.AddStore("tpcw", store_).ok());
+  auto session = service.OpenSession("tpcw");
+  ASSERT_TRUE(session.ok());
+
+  std::vector<QueryFuture> doomed;
+  for (int i = 0; i < 3; ++i) {
+    auto f = (*session)->Submit(plan, 1e-3);
+    ASSERT_TRUE(f.ok()) << i;
+    doomed.push_back(std::move(*f));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.Resume();
+  for (auto& f : doomed) {
+    auto result = f.get();
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().IsDeadlineExceeded())
+        << result.status().ToString();
+  }
+  service.Drain();
+
+  EXPECT_EQ(service.metrics().deadline_exceeded.load(), 3u);
+  EXPECT_EQ(service.metrics().sheds.load(), 0u);
+  CircuitBreaker* breaker = service.breaker("tpcw");
+  ASSERT_NE(breaker, nullptr);
+  EXPECT_EQ(breaker->state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker->consecutive_failures(), 0);
+  // The store still serves fine afterwards.
+  auto after = (*session)->Submit(plan);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->get().ok());
+}
+
+TEST_F(QueryServiceTest, MetricsTextExportsHardeningSeries) {
+  QueryPlan plan = Plan("Q1");
+  QueryService service;  // default options: breaker enabled (threshold 5)
+  ASSERT_TRUE(service.AddStore("tpcw", store_).ok());
+  ASSERT_TRUE(service.Execute("tpcw", plan).ok());
+  service.Drain();
+  std::string text = service.MetricsText();
+  for (const char* series :
+       {"mctsvc_sheds_total 0", "mctsvc_breaker_rejections_total 0",
+        "mctsvc_breaker_state{store=\"tpcw\"} 0",
+        "mctsvc_pool_checksum_failures_total{store=\"tpcw\"} 0",
+        "mctsvc_pool_retries_total{store=\"tpcw\"} 0",
+        "mctsvc_pool_quarantined_total{store=\"tpcw\"} 0"}) {
+    EXPECT_NE(text.find(series), std::string::npos)
+        << series << " missing from:\n" << text;
+  }
+  std::string json = service.MetricsJson();
+  for (const char* key : {"\"sheds\"", "\"breaker_rejections\"",
+                          "\"breaker\"", "\"checksum_failures\"",
+                          "\"retries\"", "\"quarantined\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
 }

@@ -1,0 +1,101 @@
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace mctdb {
+namespace {
+
+RetryPolicy FastPolicy(int attempts) {
+  RetryPolicy p;
+  p.max_attempts = attempts;
+  p.initial_backoff = std::chrono::microseconds(1);
+  p.max_backoff = std::chrono::microseconds(10);
+  return p;
+}
+
+TEST(RetryTest, FirstTrySuccessNeedsNoRetries) {
+  uint64_t retries = 0;
+  Status s = RetryWithBackoff(
+      FastPolicy(4), [] { return Status::OK(); }, &retries);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(retries, 0u);
+}
+
+TEST(RetryTest, TransientFailureRecovers) {
+  int calls = 0;
+  uint64_t retries = 0;
+  Status s = RetryWithBackoff(
+      FastPolicy(4),
+      [&] {
+        ++calls;
+        return calls < 3 ? Status::DataLoss("flaky") : Status::OK();
+      },
+      &retries);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);
+}
+
+TEST(RetryTest, ExhaustionReturnsLastError) {
+  int calls = 0;
+  uint64_t retries = 0;
+  Status s = RetryWithBackoff(
+      FastPolicy(3),
+      [&] {
+        ++calls;
+        return Status::IoError("still down");
+      },
+      &retries);
+  EXPECT_TRUE(s.IsIoError());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);
+}
+
+TEST(RetryTest, PermanentErrorFailsImmediately) {
+  int calls = 0;
+  Status s = RetryWithBackoff(FastPolicy(5), [&] {
+    ++calls;
+    return Status::InvalidArgument("wrong schema");
+  });
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, NonePolicyMakesOneAttempt) {
+  int calls = 0;
+  uint64_t retries = 0;
+  Status s = RetryWithBackoff(
+      RetryPolicy::None(),
+      [&] {
+        ++calls;
+        return Status::DataLoss("gone");
+      },
+      &retries);
+  EXPECT_TRUE(s.IsDataLoss());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(retries, 0u);
+}
+
+TEST(RetryTest, IsRetryableClassification) {
+  EXPECT_TRUE(IsRetryable(Status::DataLoss("x")));
+  EXPECT_TRUE(IsRetryable(Status::IoError("x")));
+  EXPECT_TRUE(IsRetryable(Status::Unavailable("x")));
+  EXPECT_FALSE(IsRetryable(Status::InvalidArgument("x")));
+  EXPECT_FALSE(IsRetryable(Status::NotFound("x")));
+  EXPECT_FALSE(IsRetryable(Status::OK()));
+}
+
+TEST(RetryTest, NullRetriesPointerIsFine) {
+  int calls = 0;
+  Status s = RetryWithBackoff(FastPolicy(2), [&] {
+    ++calls;
+    return Status::DataLoss("gone");
+  });
+  EXPECT_TRUE(s.IsDataLoss());
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace mctdb

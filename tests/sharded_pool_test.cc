@@ -313,12 +313,119 @@ TEST(ShardedPoolTest, ConcurrentPagerCountersAreExact) {
     threads.emplace_back([&] {
       char buf[kPageSize];
       for (size_t i = 0; i < kReads; ++i) {
-        pager.Read(ids[i % ids.size()], buf);
+        ASSERT_TRUE(pager.Read(ids[i % ids.size()], buf).ok());
       }
     });
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(pager.disk_reads() - before, kThreads * kReads);
+}
+
+TEST(ShardedPoolQuarantineTest, FailedLoadReturnsDataLossAndQuarantines) {
+  Pager pager;
+  pager.SetRetryPolicy(RetryPolicy::None());
+  std::vector<PageId> ids = FillPager(&pager, 4);
+  pager.CorruptForTest(ids[1], 512);
+  ShardedBufferPool pool(&pager, 8, 2);
+
+  const char* frame = nullptr;
+  bool miss = false;
+  Status s = pool.Fetch(ids[1], &frame, &miss);
+  ASSERT_TRUE(s.IsDataLoss()) << s.ToString();
+  EXPECT_EQ(frame, nullptr);
+  EXPECT_GE(pool.quarantined(), 1u);
+  // The quarantined frame was evicted — nothing stale is resident, and
+  // healthy pages keep serving.
+  const char* ok_frame = pool.Fetch(ids[0]);
+  EXPECT_EQ(ok_frame[0], 0);
+  pool.Unpin(ids[0]);
+}
+
+TEST(ShardedPoolQuarantineTest, RepairThenRefetchRecovers) {
+  Pager pager;
+  pager.SetRetryPolicy(RetryPolicy::None());
+  std::vector<PageId> ids = FillPager(&pager, 2);
+  pager.CorruptForTest(ids[0], 8);
+  ShardedBufferPool pool(&pager, 4, 1);
+
+  const char* frame = nullptr;
+  bool miss = false;
+  ASSERT_TRUE(pool.Fetch(ids[0], &frame, &miss).IsDataLoss());
+  pager.RepairForTest(ids[0]);
+  // No pool restart needed: the failed frame was erased, so the next
+  // fetch re-reads the (now healthy) page.
+  Status s = pool.Fetch(ids[0], &frame, &miss);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(frame[0], 0);
+  pool.Unpin(ids[0]);
+}
+
+TEST(ShardedPoolQuarantineTest, ConcurrentFetchersAllSeeTheFailure) {
+  // Piggybacked waiters on a failing load must wake, observe the failure,
+  // and return it — no hang, no crash, no half-initialized frame.
+  Pager pager;
+  pager.SetRetryPolicy(RetryPolicy::None());
+  std::vector<PageId> ids = FillPager(&pager, 4);
+  pager.CorruptForTest(ids[2], 100);
+  ShardedBufferPool pool(&pager, 8, 2);
+
+  constexpr int kThreads = 8;
+  std::atomic<int> data_loss{0}, succeeded{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        const char* frame = nullptr;
+        bool miss = false;
+        Status s = pool.Fetch(ids[2], &frame, &miss);
+        if (s.ok()) {
+          succeeded.fetch_add(1);
+          pool.Unpin(ids[2]);
+        } else if (s.IsDataLoss()) {
+          data_loss.fetch_add(1);
+        } else {
+          ADD_FAILURE() << "unexpected status " << s.ToString();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(data_loss.load(), kThreads * 50);
+  EXPECT_EQ(succeeded.load(), 0);
+  EXPECT_GE(pool.quarantined(), 1u);
+
+  // After repair every thread's next fetch succeeds.
+  pager.RepairForTest(ids[2]);
+  const char* frame = pool.Fetch(ids[2]);
+  EXPECT_EQ(frame[0], 2);
+  pool.Unpin(ids[2]);
+}
+
+TEST(ShardedPoolQuarantineTest, PoolRetriesOnceBeforeQuarantining) {
+  // The pool's own second-chance re-read: a fault that clears between
+  // attempts (here: repaired by a hook between reads) never surfaces.
+  Pager pager;
+  pager.SetRetryPolicy(RetryPolicy::None());
+  std::vector<PageId> ids = FillPager(&pager, 1);
+  pager.CorruptForTest(ids[0], 1);
+  std::atomic<int> attempts{0};
+  pager.SetReadHook([&](PageId id) {
+    if (attempts.fetch_add(1) == 0) {
+      // First attempt sees the corruption; heal before the re-read.
+      // (Safe: the hook runs on the loading thread, outside pool locks,
+      // and this test uses a single fetching thread.)
+      return;
+    }
+    pager.RepairForTest(id);
+  });
+
+  ShardedBufferPool pool(&pager, 4, 1);
+  const char* frame = nullptr;
+  bool miss = false;
+  Status s = pool.Fetch(ids[0], &frame, &miss);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(frame[0], 0);
+  pool.Unpin(ids[0]);
 }
 
 }  // namespace

@@ -42,6 +42,7 @@
 #include "analysis/schema_lint.h"
 #include "bench/report.h"
 #include "bench/suite.h"
+#include "common/failpoint.h"
 #include "common/log.h"
 #include "design/designer.h"
 #include "design/feasibility.h"
@@ -80,7 +81,11 @@ int Usage() {
       "           [--tolerance T] [--min-abs S] [--baselines DIR] [--list]\n"
       "  serve    <file.er> [--port P] [--threads N] [--base N] [--passes N]"
       " [--linger S]\n"
-      "  demo\n");
+      "  demo\n"
+      "global flags:\n"
+      "  --failpoints SPEC   arm fault injection points, e.g.\n"
+      "                      'pager.read=err(0.005);persist.load=trunc'\n"
+      "                      (also readable from $MCTDB_FAILPOINTS)\n");
   return 1;
 }
 
@@ -769,6 +774,23 @@ int CmdDemo() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Global flag, accepted anywhere on the command line: arm failpoints
+  // for fault-injection runs (same grammar as MCTDB_FAILPOINTS, e.g.
+  // --failpoints 'pager.read=err(0.005);persist.load=trunc').
+  for (int i = 1; i + 1 < argc;) {
+    if (std::strcmp(argv[i], "--failpoints") != 0) {
+      ++i;
+      continue;
+    }
+    std::string error;
+    if (!failpoint::Configure(argv[i + 1], &error)) {
+      std::fprintf(stderr, "error: bad --failpoints spec: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    for (int j = i; j + 2 <= argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
+  }
   if (argc < 2) return Usage();
   const char* cmd = argv[1];
   if (!std::strcmp(cmd, "validate") && argc >= 3) return CmdValidate(argv[2]);
