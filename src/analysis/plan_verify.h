@@ -19,12 +19,17 @@
 //            the segment's color: the operator can never match)
 //   * PLN009 value join on an ER edge with no ref edge in the schema
 //   * PLN010 statically-empty anchor scan
+//   * PLN011 update op rejected (bad target, missing attr, malformed
+//            subtree, duplicate logical id)
+//   * PLN012 update op unsupported under this schema's placement (no
+//            occurrence of the subtree root fits the target's colors)
 #pragma once
 
 #include <cstddef>
 
 #include "analysis/diagnostics.h"
 #include "query/plan.h"
+#include "storage/update_ops.h"
 
 namespace mctdb::analysis {
 
@@ -35,5 +40,11 @@ struct PlanVerifyOptions {
 /// Runs every plan check; never aborts, reports all findings.
 DiagnosticReport VerifyPlan(const query::QueryPlan& plan,
                             const PlanVerifyOptions& options = {});
+
+/// The write-path analog of VerifyPlan: static checks over one update op
+/// against the schema, run at admission (mctsvc SubmitUpdate, mctc
+/// update) so a doomed op is rejected before it reaches the WAL.
+DiagnosticReport VerifyUpdate(const mct::MctSchema& schema,
+                              const storage::UpdateOp& op);
 
 }  // namespace mctdb::analysis

@@ -1,0 +1,22 @@
+// Log sequence numbers, the global ordering of the write path (DESIGN.md
+// §13): every WAL record carries one, every store-side delta is tagged with
+// the LSN of the update that produced it, and every reader snapshots the
+// store's visible LSN once at query start.
+#pragma once
+
+#include <cstdint>
+
+namespace mctdb {
+
+using Lsn = uint64_t;
+
+/// "No update has happened": the LSN of a freshly materialized or freshly
+/// checkpointed store. Real records start at kNoLsn + 1.
+inline constexpr Lsn kNoLsn = 0;
+
+/// "See everything": the default snapshot of unversioned readers. Any
+/// delta's LSN compares <= kMaxLsn, so a reader at kMaxLsn observes the
+/// latest applied state.
+inline constexpr Lsn kMaxLsn = ~0ull;
+
+}  // namespace mctdb

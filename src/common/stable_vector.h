@@ -1,0 +1,119 @@
+// StableVector<T>: an append-only sequence whose element references stay
+// valid forever and whose readers never block.
+//
+// The write path (DESIGN.md §13) appends elements, attribute vectors, and
+// dictionary strings to a store while snapshot readers keep scanning it.
+// std::vector cannot serve that role: push_back reallocates and invalidates
+// every concurrent reader's reference. StableVector stores elements in
+// fixed-size chunks that are never moved; only the small chunk-pointer
+// table grows, and it is republished atomically (the superseded tables are
+// retired, not freed, so a reader holding the old table stays safe).
+//
+// Concurrency contract: ONE writer (external synchronization), any number
+// of readers. A reader must only access indexes below a size() it observed:
+// the writer constructs the element fully, then publishes the new size with
+// a release store, so size() (acquire) is the visibility fence.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace mctdb {
+
+template <typename T>
+class StableVector {
+ public:
+  static constexpr size_t kChunkBits = 9;  // 512 elements per chunk
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;
+
+  StableVector() = default;
+  StableVector(const StableVector&) = delete;
+  StableVector& operator=(const StableVector&) = delete;
+
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+  bool empty() const { return size() == 0; }
+
+  const T& operator[](size_t i) const { return *Slot(i); }
+  T& operator[](size_t i) { return *Slot(i); }
+  const T& back() const { return (*this)[size() - 1]; }
+
+  /// Writer-only. Returns a reference that stays valid for the container's
+  /// lifetime.
+  T& push_back(T value) {
+    T& slot = AppendSlot();
+    slot = std::move(value);
+    Publish();
+    return slot;
+  }
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    T& slot = AppendSlot();
+    slot = T(std::forward<Args>(args)...);
+    Publish();
+    return slot;
+  }
+
+  /// Index-based iteration (enough for range-for over a quiescent or
+  /// snapshot-bounded container).
+  class const_iterator {
+   public:
+    const_iterator(const StableVector* v, size_t i) : v_(v), i_(i) {}
+    const T& operator*() const { return (*v_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const StableVector* v_;
+    size_t i_;
+  };
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size()); }
+
+ private:
+  struct Table {
+    std::vector<T*> chunks;
+  };
+
+  const T* Slot(size_t i) const {
+    const Table* t = table_.load(std::memory_order_acquire);
+    return &t->chunks[i >> kChunkBits][i & (kChunkSize - 1)];
+  }
+  T* Slot(size_t i) {
+    return const_cast<T*>(static_cast<const StableVector*>(this)->Slot(i));
+  }
+
+  T& AppendSlot() {
+    size_t i = size_.load(std::memory_order_relaxed);  // single writer
+    size_t chunk = i >> kChunkBits;
+    Table* t = table_.load(std::memory_order_relaxed);
+    if (t == nullptr || chunk >= t->chunks.size()) {
+      chunk_storage_.push_back(std::make_unique<T[]>(kChunkSize));
+      auto grown = std::make_unique<Table>();
+      if (t != nullptr) grown->chunks = t->chunks;
+      grown->chunks.push_back(chunk_storage_.back().get());
+      table_.store(grown.get(), std::memory_order_release);
+      retired_.push_back(std::move(grown));
+      t = retired_.back().get();
+    }
+    return t->chunks[chunk][i & (kChunkSize - 1)];
+  }
+
+  void Publish() {
+    size_.store(size_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+  std::atomic<size_t> size_{0};
+  std::atomic<Table*> table_{nullptr};
+  /// Every table ever published, newest last; old tables stay alive for
+  /// readers that loaded them before a growth step.
+  std::vector<std::unique_ptr<Table>> retired_;
+  std::vector<std::unique_ptr<T[]>> chunk_storage_;
+};
+
+}  // namespace mctdb

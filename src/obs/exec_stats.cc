@@ -26,6 +26,8 @@ const char* ToString(StageKind kind) {
       return "group_by";
     case StageKind::kUpdate:
       return "update";
+    case StageKind::kWal:
+      return "wal";
   }
   return "?";
 }

@@ -40,8 +40,9 @@ enum class StageKind : uint8_t {
   kDupElim,            ///< duplicate elimination over the output binding
   kGroupBy,            ///< group-by aggregation
   kUpdate,             ///< update application incl. ICIC color touches
+  kWal,                ///< WAL append + group-commit fsync wait
 };
-inline constexpr size_t kNumStageKinds = 10;
+inline constexpr size_t kNumStageKinds = 11;
 
 const char* ToString(StageKind kind);
 

@@ -40,14 +40,17 @@ Executor::Binding Executor::ScanTag(mct::ColorId color, er::NodeId tag,
                       store_->schema().diagram().node(tag).name + "@c" +
                           std::to_string(color));
   Binding out;
-  const storage::PostingMeta* meta = store_->Posting(color, tag);
-  if (meta == nullptr) return out;
-  span.SetCardinalityIn(meta->count);
-  storage::PostingCursor cursor(pool_, meta, stats_);
+  // Base posting pages merged with the snapshot-visible delta inserts,
+  // minus deleted placements; on a read-only store this is the plain base
+  // cursor.
+  storage::MergedPostingCursor cursor(pool_, *store_, color, tag, snapshot_,
+                                      stats_);
+  span.SetCardinalityIn(cursor.upper_bound());
   LabelEntry e;
   while (cursor.Next(&e)) {
     if (predicate != nullptr) {
-      const std::string* v = store_->AttrValue(e.elem, predicate->attr);
+      const std::string* v =
+          store_->AttrValue(e.elem, predicate->attr, snapshot_);
       if (v == nullptr || *v != predicate->value) continue;
     }
     out.push_back(e);
@@ -69,7 +72,7 @@ Executor::Binding Executor::FilterPredicate(Binding in,
   Binding out;
   out.reserve(in.size());
   for (const LabelEntry& e : in) {
-    const std::string* v = store_->AttrValue(e.elem, predicate.attr);
+    const std::string* v = store_->AttrValue(e.elem, predicate.attr, snapshot_);
     if (v != nullptr && *v == predicate.value) out.push_back(e);
   }
   span.SetCardinalityOut(out.size());
@@ -92,9 +95,9 @@ Executor::Binding Executor::CrossTo(const Binding& in,
     // context graft with no substructure, while a copy sits at the primary
     // position — both must join.
     const storage::ElementMeta& meta = store_->element(e.elem);
-    for (ElemId sibling : store_->ElementsFor(meta.er_node, meta.logical)) {
+    for (ElemId sibling : store_->ElementsFor(meta.er_node, meta.logical, snapshot_)) {
       LabelEntry label;
-      if (store_->Label(color, sibling, &label) &&
+      if (store_->Label(color, sibling, &label, snapshot_) &&
           seen.insert(label.elem).second) {
         out.push_back(label);
       }
@@ -150,13 +153,13 @@ Executor::Binding Executor::EvalEdge(const EdgePlan& edge,
         std::unordered_map<std::string, std::vector<size_t>> by_key;
         for (size_t i = 0; i < endpoints.size(); ++i) {
           const std::string* k =
-              store_->AttrValue(endpoints[i].elem, *key_attr);
+              store_->AttrValue(endpoints[i].elem, *key_attr, snapshot_);
           if (k != nullptr) by_key[*k].push_back(i);
         }
         std::unordered_set<ElemId> taken;
         for (const LabelEntry& relem : current) {
           const std::string* ref =
-              store_->AttrValue(relem.elem, idref_attr);
+              store_->AttrValue(relem.elem, idref_attr, snapshot_);
           if (ref == nullptr) continue;
           auto hit = by_key.find(*ref);
           if (hit == by_key.end()) continue;
@@ -174,12 +177,12 @@ Executor::Binding Executor::EvalEdge(const EdgePlan& edge,
         Binding rels = ScanTag(c, to_type, nullptr);
         std::unordered_map<std::string, std::vector<size_t>> by_ref;
         for (size_t i = 0; i < rels.size(); ++i) {
-          const std::string* ref = store_->AttrValue(rels[i].elem, idref_attr);
+          const std::string* ref = store_->AttrValue(rels[i].elem, idref_attr, snapshot_);
           if (ref != nullptr) by_ref[*ref].push_back(i);
         }
         std::unordered_set<ElemId> taken;
         for (const LabelEntry& elem : current) {
-          const std::string* k = store_->AttrValue(elem.elem, *key_attr);
+          const std::string* k = store_->AttrValue(elem.elem, *key_attr, snapshot_);
           if (k == nullptr) continue;
           auto hit = by_ref.find(*k);
           if (hit == by_ref.end()) continue;
@@ -260,11 +263,11 @@ Executor::Binding Executor::EvalEdge(const EdgePlan& edge,
               KeyAttrName(diagram, path[seg.to_index]);
           std::unordered_set<std::string> keys;
           for (const LabelEntry& s : survivors) {
-            const std::string* k = store_->AttrValue(s.elem, *key_attr);
+            const std::string* k = store_->AttrValue(s.elem, *key_attr, snapshot_);
             if (k != nullptr) keys.insert(*k);
           }
           for (const LabelEntry& u : upper) {
-            const std::string* ref = store_->AttrValue(u.elem, idref_attr);
+            const std::string* ref = store_->AttrValue(u.elem, idref_attr, snapshot_);
             if (ref != nullptr && keys.count(*ref)) reduced.push_back(u);
           }
         } else {
@@ -272,11 +275,11 @@ Executor::Binding Executor::EvalEdge(const EdgePlan& edge,
               KeyAttrName(diagram, path[seg.from_index]);
           std::unordered_set<std::string> refs;
           for (const LabelEntry& s : survivors) {
-            const std::string* r = store_->AttrValue(s.elem, idref_attr);
+            const std::string* r = store_->AttrValue(s.elem, idref_attr, snapshot_);
             if (r != nullptr) refs.insert(*r);
           }
           for (const LabelEntry& u : upper) {
-            const std::string* k = store_->AttrValue(u.elem, *key_attr);
+            const std::string* k = store_->AttrValue(u.elem, *key_attr, snapshot_);
             if (k != nullptr && refs.count(*k)) reduced.push_back(u);
           }
         }
@@ -439,10 +442,10 @@ Result<ExecResult> Executor::Execute(const QueryPlan& plan) {
     span.SetCardinalityIn(result.logicals.size());
     for (uint32_t logical : result.logicals) {
       auto elems = store_->ElementsFor(
-          query.nodes[query.output].er_node, logical);
+          query.nodes[query.output].er_node, logical, snapshot_);
       if (elems.empty()) continue;
       const std::string* v =
-          store_->AttrValue(elems[0], query.group_by->attr);
+          store_->AttrValue(elems[0], query.group_by->attr, snapshot_);
       if (v != nullptr) ++result.groups[*v];
     }
     span.SetCardinalityOut(result.groups.size());

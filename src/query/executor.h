@@ -69,6 +69,15 @@ class Executor {
                     storage::PageCache* pool = nullptr)
       : store_(store), pool_(pool != nullptr ? pool : store->buffer_pool()) {}
 
+  /// Pins every read of this executor to the given snapshot LSN. On a
+  /// versioned store (wal::DurableStore) callers pass
+  /// store->visible_lsn() ONCE per query, so a query that started before
+  /// an update keeps its consistent pre-commit view for its whole run —
+  /// readers never block behind writers. Default kMaxLsn = latest (and a
+  /// no-op on read-only stores).
+  void set_snapshot(Lsn snapshot) { snapshot_ = snapshot; }
+  Lsn snapshot() const { return snapshot_; }
+
   /// Returns InvalidArgument (instead of crashing) when the plan is
   /// malformed: no query attached, or a non-root pattern node without an
   /// edge plan. Returns DataLoss when a posting page could not be read
@@ -98,6 +107,7 @@ class Executor {
 
   storage::MctStore* store_;
   storage::PageCache* pool_;
+  Lsn snapshot_ = kMaxLsn;
   /// The running query's attribution context; set for the duration of
   /// Execute so the operators (and their posting cursors) charge spans and
   /// page fetches to it.

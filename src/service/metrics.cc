@@ -152,6 +152,19 @@ std::string ServiceMetrics::ToJson() const {
   out += ',';
   AppendU64(&out, "slow_queries",
             slow_queries.load(std::memory_order_relaxed));
+  out += ',';
+  AppendU64(&out, "updates_submitted",
+            updates_submitted.load(std::memory_order_relaxed));
+  out += ',';
+  AppendU64(&out, "updates_failed",
+            updates_failed.load(std::memory_order_relaxed));
+  out += ',';
+  AppendU64(&out, "wal_appends",
+            wal_appends.load(std::memory_order_relaxed));
+  out += ',';
+  AppendU64(&out, "recovery_replayed_records",
+            recovery_replayed_records.load(std::memory_order_relaxed));
+  out += ",\"wal_fsync\":" + wal_fsync_seconds.ToJson();
   out += ",\"latency\":" + latency.ToJson();
   out += '}';
   return out;
@@ -206,9 +219,24 @@ std::string ServiceMetrics::ToPrometheus() const {
   counter("mctsvc_slow_queries_total",
           "Completed requests at or over the slow-query threshold",
           slow_queries.load(std::memory_order_relaxed));
+  counter("mctsvc_updates_submitted_total",
+          "Update ops admitted via SubmitUpdate",
+          updates_submitted.load(std::memory_order_relaxed));
+  counter("mctsvc_updates_failed_total",
+          "Update ops whose apply returned a non-OK status",
+          updates_failed.load(std::memory_order_relaxed));
+  counter("mctsvc_wal_appends_total",
+          "WAL records appended by completed updates",
+          wal_appends.load(std::memory_order_relaxed));
+  sample("mctsvc_recovery_replayed_records", "gauge",
+         "WAL redo records replayed at open across registered stores",
+         recovery_replayed_records.load(std::memory_order_relaxed));
   sample("mctsvc_queue_depth", "gauge",
          "Requests admitted but not yet finished",
          queue_depth.load(std::memory_order_relaxed));
+  wal_fsync_seconds.AppendPrometheus(
+      &out, "mctsvc_wal_fsync_seconds",
+      "Group-commit fsync latency (recorded by each batch's leader)");
   latency.AppendPrometheus(&out, "mctsvc_request_latency_seconds",
                            "End-to-end request execution latency");
   return out;

@@ -92,6 +92,20 @@ struct ServiceMetrics {
   std::atomic<uint64_t> slow_queries{0};
   LatencyHistogram latency;
 
+  // Write path (WAL-backed durable stores).
+  /// Update ops admitted via SubmitUpdate.
+  std::atomic<uint64_t> updates_submitted{0};
+  /// Update ops whose apply returned a non-OK status.
+  std::atomic<uint64_t> updates_failed{0};
+  /// WAL records appended by completed updates.
+  std::atomic<uint64_t> wal_appends{0};
+  /// WAL redo records replayed by recovery across every durable store
+  /// registered with this service (stamped at AddDurableStore).
+  std::atomic<uint64_t> recovery_replayed_records{0};
+  /// Group-commit fsync latency, recorded by the op that led each sync
+  /// (followers piggyback on the leader's fsync and record nothing).
+  LatencyHistogram wal_fsync_seconds;
+
   /// Counters + latency histogram as one JSON object (no pool stats; the
   /// service adds those, see QueryService::MetricsJson).
   std::string ToJson() const;

@@ -99,6 +99,28 @@ Status QueryService::AddStore(const std::string& name,
   return Status::OK();
 }
 
+Status QueryService::AddDurableStore(const std::string& name,
+                                     mctdb::wal::DurableStore* store) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("AddDurableStore: null store");
+  }
+  MCTDB_RETURN_IF_ERROR(AddStore(name, store->store()));
+  {
+    std::lock_guard<mctdb::OrderedMutex> lock(mu_);
+    stores_[name].durable = store;
+  }
+  metrics_.recovery_replayed_records.fetch_add(
+      store->recovery().replayed_records, std::memory_order_relaxed);
+  if (store->recovery().replayed_records > 0 ||
+      store->recovery().truncated_bytes > 0) {
+    MCTDB_LOG(kInfo, "mctsvc", "durable store recovered",
+              {{"store", name},
+               {"replayed", store->recovery().replayed_records},
+               {"truncated_bytes", store->recovery().truncated_bytes}});
+  }
+  return Status::OK();
+}
+
 Result<std::shared_ptr<QueryService::Session>> QueryService::OpenSession(
     const std::string& store) {
   std::lock_guard<mctdb::OrderedMutex> lock(mu_);
@@ -107,8 +129,8 @@ Result<std::shared_ptr<QueryService::Session>> QueryService::OpenSession(
     return Status::NotFound("store '" + store + "' is not registered");
   }
   return std::shared_ptr<Session>(
-      new Session(this, store, it->second.store, it->second.pool.get(),
-                  it->second.breaker.get()));
+      new Session(this, store, it->second.store, it->second.durable,
+                  it->second.pool.get(), it->second.breaker.get()));
 }
 
 Result<ExecResult> QueryService::Execute(const std::string& store,
@@ -162,8 +184,47 @@ void QueryService::RunNext(const std::shared_ptr<Session>& session) {
     // shed and must never feed the circuit breaker.
     metrics_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
     metrics_.completed.fetch_add(1, std::memory_order_relaxed);
-    task.promise.set_value(
-        Status::DeadlineExceeded("request deadline passed while queued"));
+    Status lapsed =
+        Status::DeadlineExceeded("request deadline passed while queued");
+    if (task.op != nullptr) {
+      task.update_promise.set_value(lapsed);
+    } else {
+      task.promise.set_value(lapsed);
+    }
+  } else if (task.op != nullptr) {
+    mctdb::query::UpdateExecutor exec(session->durable_);
+    Result<mctdb::query::UpdateExecResult> result = exec.Execute(*task.op);
+    metrics_.completed.fetch_add(1, std::memory_order_relaxed);
+    if (result.ok()) {
+      metrics_.latency.Record(result->elapsed_seconds);
+      metrics_.wal_appends.fetch_add(result->wal_appends,
+                                     std::memory_order_relaxed);
+      if (result->wal_fsyncs > 0) {
+        // This op led its batch's fsync; its group_commit span timed the
+        // sync (followers piggyback and record nothing).
+        for (const mctdb::obs::Span& child : result->trace.children) {
+          if (child.kind == mctdb::obs::StageKind::kWal &&
+              child.label == "group_commit") {
+            metrics_.wal_fsync_seconds.Record(child.elapsed_seconds);
+          }
+        }
+      }
+      if (session->breaker_ != nullptr) session->breaker_->RecordSuccess();
+    } else {
+      metrics_.failed.fetch_add(1, std::memory_order_relaxed);
+      metrics_.updates_failed.fetch_add(1, std::memory_order_relaxed);
+      if (session->breaker_ != nullptr) {
+        if (result.status().IsDataLoss() || result.status().IsInternal() ||
+            result.status().IsUnavailable()) {
+          // A degraded WAL is a hard store fault: trip the breaker so the
+          // write path stops hammering a log that needs a reopen.
+          session->breaker_->RecordFailure();
+        } else {
+          session->breaker_->RecordSuccess();
+        }
+      }
+    }
+    task.update_promise.set_value(std::move(result));
   } else {
     Result<ExecResult> result = [&]() -> Result<ExecResult> {
       switch (MCTDB_FAILPOINT("service.exec")) {
@@ -175,6 +236,10 @@ void QueryService::RunNext(const std::shared_ptr<Session>& session) {
           break;
       }
       mctdb::query::Executor exec(session->store_, session->pool_);
+      // Pin the query to the committed state as of now: updates that land
+      // mid-query stay invisible, so the result is a consistent snapshot
+      // (and on read-only stores this is a no-op).
+      exec.set_snapshot(session->store_->visible_lsn());
       return exec.Execute(*task.plan);
     }();
     metrics_.completed.fetch_add(1, std::memory_order_relaxed);
@@ -466,6 +531,75 @@ Result<QueryFuture> QueryService::Session::Submit(const QueryPlan& plan,
                         std::chrono::duration<double>(timeout));
   }
   QueryFuture future = task.promise.get_future();
+
+  bool need_schedule;
+  {
+    std::lock_guard<mctdb::OrderedMutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+    need_schedule = !scheduled_;
+    if (need_schedule) scheduled_ = true;
+  }
+  if (need_schedule) {
+    bool ok = svc->pool_->Submit(
+        [svc, self = shared_from_this()] { svc->RunNext(self); });
+    MCTDB_CHECK_MSG(ok, "submit on a shut-down service");
+  }
+  return future;
+}
+
+Result<UpdateFuture> QueryService::Session::SubmitUpdate(
+    const mctdb::storage::UpdateOp& op, double timeout_seconds) {
+  QueryService* svc = service_;
+  if (durable_ == nullptr) {
+    return Status::InvalidArgument(
+        "store '" + store_name_ +
+        "' is not WAL-backed; register it with AddDurableStore to accept "
+        "updates");
+  }
+  if (svc->options_.verify_plans) {
+    mctdb::analysis::DiagnosticReport report = mctdb::analysis::VerifyUpdate(
+        durable_->store()->schema(), op);
+    if (report.has_errors()) {
+      svc->metrics_.invalid_plans.fetch_add(1, std::memory_order_relaxed);
+      return Status::InvalidArgument("update verification failed:\n" +
+                                     report.ToText());
+    }
+  }
+  if (breaker_ != nullptr && !breaker_->Allow()) {
+    svc->metrics_.breaker_rejections.fetch_add(1,
+                                               std::memory_order_relaxed);
+    return Status::Unavailable(mctdb::StringPrintf(
+        "store '%s' circuit breaker is %s; retry after %.1fs",
+        store_name_.c_str(),
+        CircuitBreaker::StateName(breaker_->state()),
+        breaker_->RetryAfterSeconds()));
+  }
+  // Updates are Priority::kHigh by design: they are never load-shed, only
+  // refused at the hard admission limit.
+  uint64_t in_flight =
+      svc->pending_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (in_flight > svc->options_.max_queued) {
+    svc->FinishOne();
+    svc->metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(mctdb::StringPrintf(
+        "admission queue full (max_queued=%zu)", svc->options_.max_queued));
+  }
+  svc->metrics_.submitted.fetch_add(1, std::memory_order_relaxed);
+  svc->metrics_.updates_submitted.fetch_add(1, std::memory_order_relaxed);
+  svc->metrics_.queue_depth.store(in_flight, std::memory_order_relaxed);
+
+  double timeout = timeout_seconds > 0 ? timeout_seconds
+                                       : svc->options_.default_timeout_seconds;
+  Task task;
+  task.op = &op;
+  if (timeout > 0) {
+    task.has_deadline = true;
+    task.deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(timeout));
+  }
+  UpdateFuture future = task.update_promise.get_future();
 
   bool need_schedule;
   {

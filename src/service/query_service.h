@@ -48,6 +48,7 @@
 #include "common/thread_pool.h"
 #include "query/executor.h"
 #include "query/plan.h"
+#include "query/update_exec.h"
 #include "service/circuit_breaker.h"
 #include "service/http_endpoint.h"
 #include "service/metrics.h"
@@ -115,6 +116,8 @@ struct ServiceOptions {
 };
 
 using QueryFuture = std::future<mctdb::Result<mctdb::query::ExecResult>>;
+using UpdateFuture =
+    std::future<mctdb::Result<mctdb::query::UpdateExecResult>>;
 
 class QueryService {
  public:
@@ -129,6 +132,13 @@ class QueryService {
   /// the service) and builds its shared sharded buffer pool.
   mctdb::Status AddStore(const std::string& name,
                          mctdb::storage::MctStore* store);
+
+  /// Registers a WAL-backed durable store (non-owning; must outlive the
+  /// service): its in-memory MctStore serves reads like AddStore, and
+  /// sessions on it additionally accept SubmitUpdate. Recovery work done
+  /// when the store was opened lands in mctsvc_recovery_replayed_records.
+  mctdb::Status AddDurableStore(const std::string& name,
+                                mctdb::wal::DurableStore* store);
 
   class Session;
   /// Opens a session on a registered store. The session must not outlive
@@ -200,6 +210,7 @@ class QueryService {
   friend class Session;
   struct StoreEntry {
     mctdb::storage::MctStore* store = nullptr;
+    mctdb::wal::DurableStore* durable = nullptr;  // null for read-only
     std::unique_ptr<mctdb::storage::ShardedBufferPool> pool;
     std::unique_ptr<CircuitBreaker> breaker;  // null when disabled
   };
@@ -245,6 +256,15 @@ class QueryService::Session
       const mctdb::query::QueryPlan& plan, double timeout_seconds = 0.0,
       Priority priority = Priority::kNormal);
 
+  /// Submits one update op on this session's strand. Requires the store
+  /// to be registered via AddDurableStore (InvalidArgument otherwise).
+  /// Updates are admitted at Priority::kHigh: an update the caller is
+  /// about to fsync is the last thing to shed under load, so it rides
+  /// until the hard admission limit like other high-priority work. The op
+  /// must stay alive until the future resolves.
+  mctdb::Result<UpdateFuture> SubmitUpdate(
+      const mctdb::storage::UpdateOp& op, double timeout_seconds = 0.0);
+
   const std::string& store_name() const { return store_name_; }
   mctdb::storage::ShardedBufferPool* pool() const { return pool_; }
 
@@ -252,21 +272,27 @@ class QueryService::Session
   friend class QueryService;
   struct Task {
     const mctdb::query::QueryPlan* plan = nullptr;
+    /// Set instead of `plan` for update tasks (resolves update_promise).
+    const mctdb::storage::UpdateOp* op = nullptr;
     std::chrono::steady_clock::time_point deadline;
     bool has_deadline = false;
     std::promise<mctdb::Result<mctdb::query::ExecResult>> promise;
+    std::promise<mctdb::Result<mctdb::query::UpdateExecResult>>
+        update_promise;
   };
 
   Session(QueryService* service, std::string store_name,
           mctdb::storage::MctStore* store,
+          mctdb::wal::DurableStore* durable,
           mctdb::storage::ShardedBufferPool* pool,
           CircuitBreaker* breaker)
       : service_(service), store_name_(std::move(store_name)),
-        store_(store), pool_(pool), breaker_(breaker) {}
+        store_(store), durable_(durable), pool_(pool), breaker_(breaker) {}
 
   QueryService* service_;
   std::string store_name_;
   mctdb::storage::MctStore* store_;
+  mctdb::wal::DurableStore* durable_;  // null for read-only stores
   mctdb::storage::ShardedBufferPool* pool_;  // owned by the service
   CircuitBreaker* breaker_;                  // owned by the service; may be null
 

@@ -337,7 +337,6 @@ Result<std::unique_ptr<MctStore>> LoadStore(const mct::MctSchema& schema,
   if (!r.ok() || num_elements > (1u << 28)) {
     return lost("bad element count");
   }
-  store->elements_.reserve(num_elements);
   store->key_index_.resize(schema.diagram().num_nodes());
   for (uint32_t i = 0; i < num_elements; ++i) {
     ElementMeta m;
@@ -353,17 +352,17 @@ Result<std::unique_ptr<MctStore>> LoadStore(const mct::MctSchema& schema,
   }
   MCTDB_RETURN_IF_ERROR(check_section("elements"));
 
-  store->attrs_.resize(num_elements);
   for (uint32_t i = 0; i < num_elements; ++i) {
     uint32_t n = r.U32();
     if (!r.ok() || n > (1u << 20)) return lost("bad attr list");
-    store->attrs_[i].resize(n);
+    std::vector<AttrRecord> recs(n);
     for (uint32_t a = 0; a < n; ++a) {
-      store->attrs_[i][a].name_id = r.U32();
-      store->attrs_[i][a].value_id = r.U32();
-      store->attrs_[i][a].has_content = r.U32() != 0;
+      recs[a].name_id = r.U32();
+      recs[a].value_id = r.U32();
+      recs[a].has_content = r.U32() != 0;
     }
     if (!r.ok()) return lost("truncated attrs");
+    store->attrs_.push_back(std::move(recs));
   }
   MCTDB_RETURN_IF_ERROR(check_section("attrs"));
 

@@ -1,29 +1,67 @@
 #include "storage/store.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 
 #include "common/logging.h"
 
 namespace mctdb::storage {
 
-const std::string* MctStore::AttrValue(ElemId id,
-                                       std::string_view attr_name) const {
+const std::string* MctStore::AttrValue(ElemId id, std::string_view attr_name,
+                                       Lsn snapshot) const {
   uint32_t name_id = FindAttrName(attr_name);
   if (name_id == UINT32_MAX) return nullptr;
+  if (versioned()) {
+    std::shared_lock lk(deltas_->mu);
+    auto it = deltas_->attr_revs.find(StoreDeltas::AttrKey(id, name_id));
+    if (it != deltas_->attr_revs.end()) {
+      // Revisions are appended in LSN order; the last one at or below the
+      // snapshot wins. Older snapshots fall through to the base record.
+      const AttrRev* best = nullptr;
+      for (const AttrRev& r : it->second) {
+        if (r.lsn <= snapshot) best = &r;
+      }
+      if (best != nullptr) return &values_[best->value_id];
+    }
+  }
   for (const AttrRecord& a : attrs_[id]) {
     if (a.name_id == name_id) return &values_[a.value_id];
   }
   return nullptr;
 }
 
+bool MctStore::ElementLive(ElemId id, Lsn snapshot) const {
+  if (id >= elements_.size()) return false;
+  if (!versioned()) return true;
+  std::shared_lock lk(deltas_->mu);
+  auto created = deltas_->element_created.find(id);
+  if (created != deltas_->element_created.end() && created->second > snapshot) {
+    return false;
+  }
+  auto deleted = deltas_->element_deleted.find(id);
+  return deleted == deltas_->element_deleted.end() ||
+         deleted->second > snapshot;
+}
+
 uint32_t MctStore::FindAttrName(std::string_view name) const {
-  auto it = attr_name_index_.find(std::string(name));
-  return it == attr_name_index_.end() ? UINT32_MAX : it->second;
+  auto lookup = [&]() {
+    auto it = attr_name_index_.find(std::string(name));
+    return it == attr_name_index_.end() ? UINT32_MAX : it->second;
+  };
+  if (!versioned()) return lookup();
+  std::shared_lock lk(deltas_->mu);
+  return lookup();
 }
 
 uint32_t MctStore::FindValue(std::string_view v) const {
-  auto it = value_index_.find(std::string(v));
-  return it == value_index_.end() ? UINT32_MAX : it->second;
+  auto lookup = [&]() {
+    auto it = value_index_.find(std::string(v));
+    return it == value_index_.end() ? UINT32_MAX : it->second;
+  };
+  if (!versioned()) return lookup();
+  std::shared_lock lk(deltas_->mu);
+  return lookup();
 }
 
 const PostingMeta* MctStore::Posting(mct::ColorId color,
@@ -34,25 +72,74 @@ const PostingMeta* MctStore::Posting(mct::ColorId color,
   return postings_[color][tag].get();
 }
 
-bool MctStore::Label(mct::ColorId color, ElemId id, LabelEntry* out) const {
+bool MctStore::Label(mct::ColorId color, ElemId id, LabelEntry* out,
+                     Lsn snapshot) const {
   if (color >= labels_.size()) return false;
-  auto it = labels_[color].find(id);
-  if (it == labels_[color].end()) return false;
-  *out = it->second;
-  return true;
+  auto base = [&]() -> const LabelEntry* {
+    auto it = labels_[color].find(id);
+    return it == labels_[color].end() ? nullptr : &it->second;
+  };
+  if (!versioned()) {
+    const LabelEntry* e = base();
+    if (e == nullptr) return false;
+    *out = *e;
+    return true;
+  }
+  std::shared_lock lk(deltas_->mu);
+  auto rm = deltas_->label_removed[color].find(id);
+  if (rm != deltas_->label_removed[color].end() && rm->second <= snapshot) {
+    return false;
+  }
+  if (const LabelEntry* e = base()) {
+    *out = *e;
+    return true;
+  }
+  auto ad = deltas_->label_added[color].find(id);
+  if (ad != deltas_->label_added[color].end() &&
+      ad->second.lsn <= snapshot) {
+    *out = ad->second.entry;
+    return true;
+  }
+  return false;
 }
 
-ElemId MctStore::Parent(mct::ColorId color, ElemId id) const {
+ElemId MctStore::Parent(mct::ColorId color, ElemId id, Lsn snapshot) const {
   if (color >= parents_.size()) return kInvalidElem;
   auto it = parents_[color].find(id);
-  return it == parents_[color].end() ? kInvalidElem : it->second;
+  if (it != parents_[color].end()) return it->second;
+  if (!versioned()) return kInvalidElem;
+  std::shared_lock lk(deltas_->mu);
+  auto ad = deltas_->label_added[color].find(id);
+  if (ad == deltas_->label_added[color].end() || ad->second.lsn > snapshot) {
+    return kInvalidElem;
+  }
+  auto pa = deltas_->parent_added[color].find(id);
+  return pa == deltas_->parent_added[color].end() ? kInvalidElem : pa->second;
 }
 
-std::vector<LabelEntry> MctStore::ColorEntries(mct::ColorId color) const {
+std::vector<LabelEntry> MctStore::ColorEntries(mct::ColorId color,
+                                               Lsn snapshot) const {
   std::vector<LabelEntry> out;
   if (color >= labels_.size()) return out;
   out.reserve(labels_[color].size());
-  for (const auto& [elem, label] : labels_[color]) out.push_back(label);
+  if (!versioned()) {
+    for (const auto& [elem, label] : labels_[color]) out.push_back(label);
+  } else {
+    std::shared_lock lk(deltas_->mu);
+    const auto& removed = deltas_->label_removed[color];
+    auto is_removed = [&](ElemId elem) {
+      auto it = removed.find(elem);
+      return it != removed.end() && it->second <= snapshot;
+    };
+    for (const auto& [elem, label] : labels_[color]) {
+      if (!is_removed(elem)) out.push_back(label);
+    }
+    for (const auto& [elem, versioned_label] : deltas_->label_added[color]) {
+      if (versioned_label.lsn <= snapshot && !is_removed(elem)) {
+        out.push_back(versioned_label.entry);
+      }
+    }
+  }
   std::sort(out.begin(), out.end(),
             [](const LabelEntry& a, const LabelEntry& b) {
               return a.start < b.start;
@@ -60,11 +147,26 @@ std::vector<LabelEntry> MctStore::ColorEntries(mct::ColorId color) const {
   return out;
 }
 
-std::vector<ElemId> MctStore::ElementsFor(er::NodeId er_node,
-                                          uint32_t logical) const {
+std::vector<ElemId> MctStore::ElementsFor(er::NodeId er_node, uint32_t logical,
+                                          Lsn snapshot) const {
   if (er_node >= key_index_.size()) return {};
+  std::vector<ElemId> out;
   auto it = key_index_[er_node].find(logical);
-  return it == key_index_[er_node].end() ? std::vector<ElemId>{} : it->second;
+  if (it != key_index_[er_node].end()) out = it->second;
+  if (!versioned()) return out;
+  std::shared_lock lk(deltas_->mu);
+  auto is_deleted = [&](ElemId elem) {
+    auto del = deltas_->element_deleted.find(elem);
+    return del != deltas_->element_deleted.end() && del->second <= snapshot;
+  };
+  out.erase(std::remove_if(out.begin(), out.end(), is_deleted), out.end());
+  auto added = deltas_->key_index_added[er_node].find(logical);
+  if (added != deltas_->key_index_added[er_node].end()) {
+    for (const auto& [lsn, elem] : added->second) {
+      if (lsn <= snapshot && !is_deleted(elem)) out.push_back(elem);
+    }
+  }
+  return out;
 }
 
 StoreStats MctStore::Stats() const {
@@ -91,6 +193,26 @@ StoreStats MctStore::Stats() const {
   for (const auto& m : parents_) bytes += m.size() * sizeof(ElemId);
   st.data_mbytes = double(bytes) / (1024.0 * 1024.0);
   return st;
+}
+
+void MctStore::EnableVersioning() {
+  if (versioned()) return;
+  deltas_ = std::make_unique<StoreDeltas>(labels_.size(), key_index_.size());
+  for (size_t c = 0; c < labels_.size(); ++c) {
+    uint32_t high = 0;
+    for (const auto& [elem, label] : labels_[c]) {
+      high = std::max(high, label.end);
+    }
+    deltas_->label_high_water[c] = high;
+  }
+}
+
+void MctStore::PublishVisibleLsn(Lsn lsn) {
+  Lsn cur = visible_lsn_.load(std::memory_order_relaxed);
+  while (cur < lsn && !visible_lsn_.compare_exchange_weak(
+                          cur, lsn, std::memory_order_release,
+                          std::memory_order_relaxed)) {
+  }
 }
 
 void MctStore::UpdateAttrValue(ElemId id, uint32_t name_id,
@@ -120,6 +242,7 @@ void MctStore::UpdateAttrValue(ElemId id, uint32_t name_id,
 StoreBuilder::StoreBuilder(const mct::MctSchema* schema,
                            const StoreOptions& options)
     : store_(std::unique_ptr<MctStore>(new MctStore())), options_(options) {
+  if (options_.label_stride == 0) options_.label_stride = 1;
   store_->schema_ = schema;
   size_t colors = schema->num_colors();
   store_->postings_.resize(colors);
@@ -185,8 +308,14 @@ void StoreBuilder::Enter(ElemId elem) {
   MCTDB_CHECK(in_color_);
   const ElementMeta& meta = store_->elements_[elem];
   LabelEntry entry;
+  // Labels advance by `label_stride` instead of 1, leaving unused integers
+  // between consecutive labels: subtree inserts later consume them without
+  // relabeling the color (DESIGN.md §13).
+  MCTDB_CHECK_MSG(label_counter_ <= UINT32_MAX - options_.label_stride,
+                  "interval label space exhausted at build time");
+  label_counter_ += options_.label_stride;
   entry.elem = elem;
-  entry.start = ++label_counter_;
+  entry.start = label_counter_;
   entry.level = static_cast<uint16_t>(open_stack_.size());
   entry.is_copy = meta.is_copy ? 1 : 0;
   entry.logical = meta.logical;
@@ -204,7 +333,10 @@ void StoreBuilder::Leave(ElemId elem) {
   MCTDB_CHECK(in_color_ && !open_stack_.empty());
   MCTDB_CHECK(open_stack_.back().elem == elem);
   LabelEntry& entry = entries_[open_stack_.back().entry_index];
-  entry.end = ++label_counter_;
+  MCTDB_CHECK_MSG(label_counter_ <= UINT32_MAX - options_.label_stride,
+                  "interval label space exhausted at build time");
+  label_counter_ += options_.label_stride;
+  entry.end = label_counter_;
   open_stack_.pop_back();
 }
 

@@ -11,8 +11,16 @@
 //     structural joins;
 //   * per-color label and parent maps for color crossings and updates;
 //   * a value dictionary and a key index (logical id -> elements).
+//
+// Versioning (DESIGN.md §13): the containers above form the immutable BASE.
+// A store opened for writing (wal::DurableStore) calls EnableVersioning(),
+// after which every mutation lands in StoreDeltas tagged with its LSN and
+// the read accessors take a snapshot LSN — readers at snapshot S see the
+// base plus exactly the deltas with lsn <= S. Read-only stores never
+// allocate deltas and keep the original lock-free paths.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -20,7 +28,10 @@
 #include <vector>
 
 #include "common/arena.h"
+#include "common/lsn.h"
+#include "common/stable_vector.h"
 #include "mct/mct_schema.h"
+#include "storage/delta.h"
 #include "storage/pager.h"
 #include "storage/posting.h"
 
@@ -29,6 +40,11 @@ namespace mctdb::storage {
 struct StoreOptions {
   /// Buffer pool capacity in pages (default 2048 pages = 16 MB).
   size_t buffer_pool_pages = 2048;
+  /// Gap between consecutive interval-label values assigned at build time.
+  /// Subtree inserts consume integers from the gap inside their parent's
+  /// interval, so small inserts need no relabeling; a checkpoint compaction
+  /// reassigns labels and restores the headroom. 1 = dense legacy labels.
+  uint32_t label_stride = 16;
 };
 
 struct ElementMeta {
@@ -66,8 +82,13 @@ class MctStore {
   const std::vector<AttrRecord>& attrs(ElemId id) const {
     return attrs_[id];
   }
-  /// Attribute value by name; nullptr when absent.
-  const std::string* AttrValue(ElemId id, std::string_view attr_name) const;
+  /// Attribute value by name at snapshot `snapshot`; nullptr when absent.
+  const std::string* AttrValue(ElemId id, std::string_view attr_name,
+                               Lsn snapshot = kMaxLsn) const;
+  /// True when the element exists at `snapshot` (base elements always do;
+  /// inserted elements from their birth LSN, deleted ones up to their
+  /// tombstone LSN).
+  bool ElementLive(ElemId id, Lsn snapshot = kMaxLsn) const;
 
   // -- dictionaries ----------------------------------------------------------
   uint32_t FindAttrName(std::string_view name) const;  // UINT32_MAX if absent
@@ -77,19 +98,25 @@ class MctStore {
 
   // -- postings & labels -----------------------------------------------------
   /// Posting list for (color, tag); nullptr when the tag has no elements in
-  /// that color.
+  /// that color. Base pages only — scan through MergedPostingCursor to see
+  /// versioned inserts/deletes.
   const PostingMeta* Posting(mct::ColorId color, er::NodeId tag) const;
-  /// The label of element `id` in `color`; false if the element is not in
-  /// that color.
-  bool Label(mct::ColorId color, ElemId id, LabelEntry* out) const;
+  /// The label of element `id` in `color` at `snapshot`; false if the
+  /// element is not in that color (or its placement is deleted there).
+  bool Label(mct::ColorId color, ElemId id, LabelEntry* out,
+             Lsn snapshot = kMaxLsn) const;
   /// Parent element in `color` (kInvalidElem for roots / absent).
-  ElemId Parent(mct::ColorId color, ElemId id) const;
-  /// Every placement in `color`, in document (start) order — the color's
-  /// full pre-order traversal. Used by exporters and validators.
-  std::vector<LabelEntry> ColorEntries(mct::ColorId color) const;
+  ElemId Parent(mct::ColorId color, ElemId id, Lsn snapshot = kMaxLsn) const;
+  /// Every placement in `color` at `snapshot`, in document (start) order —
+  /// the color's full pre-order traversal. Used by exporters, validators,
+  /// and checkpoint compaction.
+  std::vector<LabelEntry> ColorEntries(mct::ColorId color,
+                                       Lsn snapshot = kMaxLsn) const;
 
-  /// All stored elements (copies included) for one logical instance.
-  std::vector<ElemId> ElementsFor(er::NodeId er_node, uint32_t logical) const;
+  /// All stored elements (copies included) for one logical instance alive
+  /// at `snapshot`.
+  std::vector<ElemId> ElementsFor(er::NodeId er_node, uint32_t logical,
+                                  Lsn snapshot = kMaxLsn) const;
 
   BufferPool* buffer_pool() const { return pool_.get(); }
   Pager* pager() { return &pager_; }
@@ -97,13 +124,30 @@ class MctStore {
 
   StoreStats Stats() const;
 
+  // -- versioning (the durable write path; DESIGN.md §13) --------------------
+  /// Allocates the delta side state. Must be called before the store is
+  /// shared with concurrent readers (wal::DurableStore does it at open).
+  void EnableVersioning();
+  bool versioned() const { return deltas_ != nullptr; }
+  StoreDeltas* deltas() const { return deltas_.get(); }
+  /// The snapshot new readers should take: the LSN of the last DURABLE
+  /// update. Applied-but-unfsynced updates stay invisible.
+  Lsn visible_lsn() const {
+    return visible_lsn_.load(std::memory_order_acquire);
+  }
+  /// Monotonically advances visible_lsn (no-op for smaller values).
+  void PublishVisibleLsn(Lsn lsn);
+
   // -- update support (used by query::UpdateEngine) --------------------------
   /// Overwrite an attribute value in place. Charges one page write.
+  /// Legacy single-threaded path; the versioned path goes through
+  /// storage::ApplyUpdateOp instead.
   void UpdateAttrValue(ElemId id, uint32_t name_id, std::string_view value);
   uint64_t update_page_writes() const { return update_page_writes_; }
 
  private:
   friend class StoreBuilder;
+  friend class UpdateApplier;
   friend Status SaveStore(const MctStore&, const std::string&);
   friend Result<std::unique_ptr<MctStore>> LoadStore(const mct::MctSchema&,
                                                      const std::string&,
@@ -114,12 +158,12 @@ class MctStore {
   Pager pager_;
   std::unique_ptr<BufferPool> pool_;
 
-  std::vector<ElementMeta> elements_;
-  std::vector<std::vector<AttrRecord>> attrs_;
+  StableVector<ElementMeta> elements_;
+  StableVector<std::vector<AttrRecord>> attrs_;
 
-  std::vector<std::string> attr_names_;
+  StableVector<std::string> attr_names_;
   std::unordered_map<std::string, uint32_t> attr_name_index_;
-  std::vector<std::string> values_;
+  StableVector<std::string> values_;
   std::unordered_map<std::string, uint32_t> value_index_;
 
   /// postings_[color][tag] (tag = ER node id); empty metas pruned to null.
@@ -130,6 +174,11 @@ class MctStore {
   std::vector<std::unordered_map<ElemId, ElemId>> parents_;
   /// key_index_[er_node]: logical -> elements (copies included).
   std::vector<std::unordered_map<uint32_t, std::vector<ElemId>>> key_index_;
+
+  /// LSN-versioned mutations over the immutable base; null on read-only
+  /// stores (all accessors then take their original lock-free path).
+  std::unique_ptr<StoreDeltas> deltas_;
+  std::atomic<Lsn> visible_lsn_{kNoLsn};
 
   size_t num_content_nodes_ = 0;
   size_t num_attribute_nodes_ = 0;

@@ -1,0 +1,55 @@
+#include "wal/checkpoint.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace mctdb::wal {
+
+using storage::ElemId;
+using storage::LabelEntry;
+
+Result<std::unique_ptr<storage::MctStore>> CompactStore(
+    const storage::MctStore& src, const storage::StoreOptions& options) {
+  const mct::MctSchema& schema = src.schema();
+  storage::StoreBuilder builder(&schema, options);
+  std::unordered_map<ElemId, ElemId> remap;
+  auto map_elem = [&](ElemId old_id) -> ElemId {
+    auto it = remap.find(old_id);
+    if (it != remap.end()) return it->second;
+    const storage::ElementMeta& meta = src.element(old_id);
+    ElemId new_id = builder.AddElement(meta.er_node, meta.logical,
+                                       meta.is_copy);
+    for (const storage::AttrRecord& rec : src.attrs(old_id)) {
+      const std::string& name = src.attr_name(rec.name_id);
+      // Write the LATEST value through (renames fold into the image).
+      const std::string* v = src.AttrValue(old_id, name);
+      builder.AddAttr(new_id, name, v != nullptr ? *v : src.value(rec.value_id),
+                      rec.has_content);
+    }
+    remap.emplace(old_id, new_id);
+    return new_id;
+  };
+  for (mct::ColorId c = 0; c < schema.num_colors(); ++c) {
+    builder.BeginColor(c);
+    // Latest-snapshot pre-order of the color: deleted placements are
+    // already gone, inserted ones appear at their merged position.
+    std::vector<LabelEntry> entries = src.ColorEntries(c);
+    std::vector<LabelEntry> open;
+    for (const LabelEntry& e : entries) {
+      while (!open.empty() && open.back().end < e.start) {
+        builder.Leave(remap.at(open.back().elem));
+        open.pop_back();
+      }
+      builder.Enter(map_elem(e.elem));
+      open.push_back(e);
+    }
+    while (!open.empty()) {
+      builder.Leave(remap.at(open.back().elem));
+      open.pop_back();
+    }
+    builder.EndColor();
+  }
+  return builder.Finish();
+}
+
+}  // namespace mctdb::wal

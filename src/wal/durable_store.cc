@@ -1,0 +1,146 @@
+#include "wal/durable_store.h"
+
+#include <cstdio>
+
+#include "common/failpoint.h"
+#include "storage/persist.h"
+
+namespace mctdb::wal {
+
+Result<std::unique_ptr<DurableStore>> DurableStore::Open(
+    const mct::MctSchema& schema, const std::string& path,
+    const Options& options) {
+  std::unique_ptr<DurableStore> ds(new DurableStore());
+  ds->path_ = path;
+  ds->options_ = options;
+  MCTDB_ASSIGN_OR_RETURN(
+      ds->store_,
+      storage::LoadStoreWithRetry(schema, path, options.store));
+  ds->store_->EnableVersioning();
+  uint64_t fingerprint = storage::SchemaFingerprint(schema);
+  MCTDB_ASSIGN_OR_RETURN(
+      ds->recovery_,
+      RecoverLog(WalPath(path), fingerprint, ds->store_.get()));
+  MCTDB_ASSIGN_OR_RETURN(
+      ds->log_, LogWriter::Open(WalPath(path), fingerprint,
+                                /*checkpoint_lsn=*/kNoLsn,
+                                /*durable_lsn=*/ds->recovery_.last_lsn));
+  ds->last_applied_ = ds->recovery_.last_lsn;
+  return ds;
+}
+
+Result<std::unique_ptr<DurableStore>> DurableStore::Create(
+    std::unique_ptr<storage::MctStore> store, const std::string& path,
+    const Options& options) {
+  std::unique_ptr<DurableStore> ds(new DurableStore());
+  ds->path_ = path;
+  ds->options_ = options;
+  ds->store_ = std::move(store);
+  MCTDB_RETURN_IF_ERROR(storage::SaveStore(*ds->store_, path));
+  std::remove(WalPath(path).c_str());  // discard any stale log
+  ds->store_->EnableVersioning();
+  uint64_t fingerprint = storage::SchemaFingerprint(ds->store_->schema());
+  MCTDB_ASSIGN_OR_RETURN(
+      ds->log_, LogWriter::Open(WalPath(path), fingerprint,
+                                /*checkpoint_lsn=*/kNoLsn,
+                                /*durable_lsn=*/kNoLsn));
+  return ds;
+}
+
+Result<std::unique_ptr<DurableStore>> DurableStore::Ephemeral(
+    std::unique_ptr<storage::MctStore> store, const Options& options) {
+  std::unique_ptr<DurableStore> ds(new DurableStore());
+  ds->options_ = options;
+  ds->store_ = std::move(store);
+  ds->store_->EnableVersioning();
+  uint64_t fingerprint = storage::SchemaFingerprint(ds->store_->schema());
+  MCTDB_ASSIGN_OR_RETURN(ds->log_,
+                         LogWriter::Open("", fingerprint,
+                                         /*checkpoint_lsn=*/kNoLsn,
+                                         /*durable_lsn=*/kNoLsn));
+  return ds;
+}
+
+Result<DurableStore::ApplyReceipt> DurableStore::Apply(
+    const storage::UpdateOp& op, obs::ExecStats* stats) {
+  std::unique_lock lk(write_mu_);
+  if (log_->degraded()) {
+    return Status::Unavailable("durable store: WAL degraded; reopen");
+  }
+  std::string payload;
+  storage::EncodeUpdateOp(op, &payload);
+  Lsn lsn = kNoLsn;
+  {
+    // Write-ahead: the redo record is (at least buffered) before any
+    // state is dirtied. A failed append aborts cleanly.
+    obs::SpanScope span(stats, obs::StageKind::kWal, "append");
+    MCTDB_ASSIGN_OR_RETURN(lsn, log_->Append(RecordType::kUpdateOp, payload));
+    span.SetCardinalityOut(payload.size());
+  }
+  Result<storage::ApplyStats> applied = storage::ApplyStats{};
+  {
+    obs::SpanScope span(stats, obs::StageKind::kUpdate,
+                        storage::UpdateKindName(op.kind));
+    applied = storage::ApplyUpdateOp(store_.get(), op, lsn);
+    if (applied.ok()) {
+      span.SetCardinalityOut(applied.value().labels_touched);
+    }
+  }
+  if (!applied.ok()) {
+    // The op failed deterministically before mutating anything; its log
+    // record will fail identically on replay (recovery skips it). Later
+    // appends/commits continue normally.
+    return applied.status();
+  }
+  last_applied_ = lsn;
+  lk.unlock();
+  {
+    // Group commit outside the write mutex: concurrent appliers park on
+    // one fsync.
+    obs::SpanScope span(stats, obs::StageKind::kWal, "group_commit");
+    MCTDB_RETURN_IF_ERROR(log_->Commit(lsn));
+  }
+  // Readers snapshot AFTER durability — an applied-but-unsynced op is
+  // never visible, so a crash cannot retract an observed state.
+  store_->PublishVisibleLsn(lsn);
+  return ApplyReceipt{lsn, applied.value()};
+}
+
+Result<CheckpointStats> DurableStore::Checkpoint() {
+  std::lock_guard lk(write_mu_);
+  switch (MCTDB_FAILPOINT("wal.checkpoint")) {
+    case failpoint::Fault::kError:
+      return Status::IoError("wal: injected checkpoint fault");
+    default:
+      break;
+  }
+  if (last_applied_ != kNoLsn) {
+    // Flush any straggler batch so the image and the log agree.
+    MCTDB_RETURN_IF_ERROR(log_->Commit(last_applied_));
+    store_->PublishVisibleLsn(last_applied_);
+  }
+  CheckpointStats stats;
+  stats.checkpoint_lsn = last_applied_;
+  uint64_t log_bytes_before = log_->durable_bytes();
+  MCTDB_ASSIGN_OR_RETURN(std::unique_ptr<storage::MctStore> compact,
+                         CompactStore(*store_, options_.store));
+  stats.elements = compact->num_elements();
+  if (!path_.empty()) {
+    std::string tmp = path_ + ".ckpt.tmp";
+    MCTDB_RETURN_IF_ERROR(storage::SaveStore(*compact, tmp));
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return Status::IoError("wal: checkpoint rename failed");
+    }
+  }
+  if (MCTDB_FAILPOINT("wal.checkpoint") == failpoint::Fault::kTruncate) {
+    // Crash window probe: image committed, log not trimmed. Recovery will
+    // skip the now-redundant records idempotently.
+    return Status::IoError("wal: injected post-image checkpoint fault");
+  }
+  MCTDB_RETURN_IF_ERROR(log_->Reset(stats.checkpoint_lsn));
+  stats.log_bytes_trimmed = log_bytes_before - log_->durable_bytes();
+  return stats;
+}
+
+}  // namespace mctdb::wal

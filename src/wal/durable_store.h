@@ -1,0 +1,123 @@
+// DurableStore: an MctStore opened for writing, fronted by the WAL
+// (DESIGN.md §13). This is the tentpole seam tying the write path
+// together:
+//
+//   Apply(op):
+//     1. lock the write mutex (one applier mutates at a time);
+//     2. LogWriter::Append — the redo record exists BEFORE any page or
+//        delta is dirtied (write-ahead rule); a failed append is a clean
+//        abort;
+//     3. storage::ApplyUpdateOp — the short exclusive delta mutation;
+//     4. unlock, LogWriter::Commit(lsn) — GROUP fsync shared with
+//        concurrent appliers;
+//     5. PublishVisibleLsn(lsn) — only now do NEW reader snapshots see the
+//        op. Readers that took their snapshot earlier keep a consistent
+//        pre-commit view and never block (COW keyed by LSN).
+//
+//   Open(path): load the checkpoint image, EnableVersioning, replay the
+//   log's valid prefix, truncate the torn tail (wal/recovery.h).
+//
+//   Checkpoint(): fold deltas into a fresh compact image, atomically
+//   rename it over the store file, trim the log (wal/checkpoint.h). The
+//   LIVE in-memory store keeps serving base+deltas — compaction only
+//   changes what the next open loads, so concurrent readers are never
+//   invalidated.
+//
+// Failpoint "wal.checkpoint": err -> clean failure before anything is
+// written; trunc -> the image is committed but the log is NOT trimmed,
+// exercising recovery's idempotent-replay window.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/lsn.h"
+#include "obs/exec_stats.h"
+#include "common/result.h"
+#include "storage/store.h"
+#include "storage/update_ops.h"
+#include "wal/checkpoint.h"
+#include "wal/log_writer.h"
+#include "wal/recovery.h"
+
+namespace mctdb::wal {
+
+struct DurableStoreOptions {
+  storage::StoreOptions store;
+  /// Durable log size past which lint (WAL004) refuses and callers should
+  /// checkpoint.
+  uint64_t checkpoint_threshold_bytes = 64ull << 20;
+};
+
+class DurableStore {
+ public:
+  using Options = DurableStoreOptions;
+
+  /// Opens the store saved at `path` (its log lives at "<path>.wal"),
+  /// running crash recovery. `schema` must outlive the result.
+  static Result<std::unique_ptr<DurableStore>> Open(
+      const mct::MctSchema& schema, const std::string& path,
+      const Options& options = {});
+
+  /// Saves a freshly built store to `path` and opens it with an empty log.
+  /// Any stale log at "<path>.wal" is discarded.
+  static Result<std::unique_ptr<DurableStore>> Create(
+      std::unique_ptr<storage::MctStore> store, const std::string& path,
+      const Options& options = {});
+
+  /// A durable store with an in-memory log: the full write path (append,
+  /// group commit, snapshots) without a filesystem. Used by the workload
+  /// runner's update measurements.
+  static Result<std::unique_ptr<DurableStore>> Ephemeral(
+      std::unique_ptr<storage::MctStore> store,
+      const Options& options = {});
+
+  /// The underlying store. Readers take store()->visible_lsn() as their
+  /// snapshot and pass it to the versioned accessors / MergedPostingCursor.
+  storage::MctStore* store() const { return store_.get(); }
+  /// Snapshot new readers should use (last durable LSN).
+  Lsn snapshot() const { return store_->visible_lsn(); }
+
+  struct ApplyReceipt {
+    Lsn lsn = kNoLsn;
+    storage::ApplyStats stats;
+  };
+  /// Durably applies one update op (see class comment). Thread-safe;
+  /// concurrent callers share fsyncs. With `stats`, the append/commit
+  /// work lands in kWal spans and the delta mutation in a kUpdate span,
+  /// so `mctc trace` shows where an update's time went.
+  Result<ApplyReceipt> Apply(const storage::UpdateOp& op,
+                             obs::ExecStats* stats = nullptr);
+
+  Result<CheckpointStats> Checkpoint();
+
+  const RecoveryStats& recovery() const { return recovery_; }
+  const LogWriter& log() const { return *log_; }
+  uint64_t wal_appends() const { return log_->appends(); }
+  uint64_t wal_fsyncs() const { return log_->fsyncs(); }
+  uint64_t wal_bytes() const { return log_->durable_bytes(); }
+  bool degraded() const { return log_->degraded(); }
+  const std::string& path() const { return path_; }
+  const Options& options() const { return options_; }
+
+  /// "<path>.wal" — the log location convention.
+  static std::string WalPath(const std::string& store_path) {
+    return store_path + ".wal";
+  }
+
+ private:
+  DurableStore() = default;
+
+  std::string path_;  // empty = ephemeral
+  Options options_;
+  std::unique_ptr<storage::MctStore> store_;
+  std::unique_ptr<LogWriter> log_;
+  RecoveryStats recovery_;
+
+  std::mutex write_mu_;       // serializes Apply bodies and Checkpoint
+  Lsn last_applied_ = kNoLsn;  // guarded by write_mu_
+};
+
+}  // namespace mctdb::wal

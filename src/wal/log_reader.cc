@@ -1,0 +1,71 @@
+#include "wal/log_reader.h"
+
+#include <cstdio>
+
+namespace mctdb::wal {
+
+LogScan ScanLogBytes(std::string_view bytes) {
+  LogScan scan;
+  scan.file_bytes = bytes.size();
+  Result<WalHeader> header = DecodeWalHeader(
+      bytes.substr(0, std::min<size_t>(bytes.size(), kWalHeaderSize)));
+  if (!header.ok()) {
+    return scan;  // header_valid = false, valid_bytes = 0
+  }
+  scan.header_valid = true;
+  scan.header = header.value();
+  scan.last_lsn = scan.header.checkpoint_lsn;
+  scan.valid_bytes = kWalHeaderSize;
+  size_t pos = kWalHeaderSize;
+  Lsn prev = scan.header.checkpoint_lsn;
+  while (pos < bytes.size()) {
+    size_t consumed = 0;
+    Result<WalRecord> rec = DecodeWalRecord(bytes.substr(pos), &consumed);
+    if (!rec.ok()) break;  // torn tail starts here
+    // Stale bytes from a recycled/overwritten log can checksum fine but
+    // break LSN monotonicity; they are tail too.
+    if (rec.value().lsn <= prev) break;
+    prev = rec.value().lsn;
+    pos += consumed;
+    scan.valid_bytes = pos;
+    scan.last_lsn = rec.value().lsn;
+    scan.records.push_back(std::move(rec).value());
+  }
+  return scan;
+}
+
+Result<LogScan> ScanLog(const std::string& path,
+                        uint64_t expected_fingerprint) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("wal: no log at " + path);
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.append(buf, n);
+  }
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::IoError("wal: read failed: " + path);
+  }
+  // Wrong magic on a full-size header means "not a WAL file" — surface it
+  // rather than silently resetting someone else's data.
+  if (bytes.size() >= kWalHeaderSize) {
+    Result<WalHeader> header =
+        DecodeWalHeader(std::string_view(bytes).substr(0, kWalHeaderSize));
+    if (!header.ok() && header.status().IsInvalidArgument()) {
+      return header.status();
+    }
+    if (header.ok() && expected_fingerprint != 0 &&
+        header.value().fingerprint != expected_fingerprint) {
+      return Status::InvalidArgument(
+          "wal: log belongs to a different schema (fingerprint mismatch)");
+    }
+  }
+  return ScanLogBytes(bytes);
+}
+
+}  // namespace mctdb::wal

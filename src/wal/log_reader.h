@@ -1,0 +1,43 @@
+// LogReader: scans a WAL file, verifying header and per-record checksums
+// and locating the torn tail (the first byte that cannot be part of a
+// complete, checksum-valid, LSN-monotonic record). Used by recovery (which
+// then truncates the tail and replays the prefix) and by wal_lint (which
+// only reports).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/lsn.h"
+#include "common/result.h"
+#include "wal/wal_format.h"
+
+namespace mctdb::wal {
+
+struct LogScan {
+  /// False when the header itself was torn or checksum-failed — the log
+  /// carries no trustworthy information at all (recovery resets it; the
+  /// checkpoint protocol guarantees the store file already holds
+  /// everything such a log could have held).
+  bool header_valid = false;
+  WalHeader header;
+  std::vector<WalRecord> records;  ///< the valid prefix, LSN order
+  Lsn last_lsn = kNoLsn;           ///< header.checkpoint_lsn when no records
+  /// Bytes of the valid prefix (header + complete records). Everything at
+  /// and beyond this offset is torn tail.
+  uint64_t valid_bytes = 0;
+  uint64_t file_bytes = 0;
+  bool torn() const { return valid_bytes < file_bytes; }
+};
+
+/// Reads and scans the whole log. NotFound when the file does not exist;
+/// InvalidArgument when it is not a WAL file (wrong magic) or records a
+/// different schema fingerprint (`expected_fingerprint` != 0). A torn
+/// header or tail is NOT an error — that is exactly what the scan reports.
+Result<LogScan> ScanLog(const std::string& path,
+                        uint64_t expected_fingerprint);
+
+/// Scan of in-memory log bytes (shared by file scan and tests).
+LogScan ScanLogBytes(std::string_view bytes);
+
+}  // namespace mctdb::wal

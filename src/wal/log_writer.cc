@@ -1,0 +1,201 @@
+#include "wal/log_writer.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/failpoint.h"
+
+namespace mctdb::wal {
+
+Result<std::unique_ptr<LogWriter>> LogWriter::Open(const std::string& path,
+                                                   uint64_t fingerprint,
+                                                   Lsn checkpoint_lsn,
+                                                   Lsn durable_lsn) {
+  std::unique_ptr<LogWriter> w(new LogWriter());
+  w->fingerprint_ = fingerprint;
+  w->durable_lsn_.store(durable_lsn);
+  w->next_lsn_ = durable_lsn + 1;
+  if (path.empty()) {
+    WalHeader h{fingerprint, checkpoint_lsn};
+    EncodeWalHeader(h, &w->mem_);
+    w->durable_bytes_.store(w->mem_.size());
+    return w;
+  }
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IoError("wal: open failed: " + path + ": " +
+                           std::strerror(errno));
+  }
+  w->fd_ = fd;
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    return Status::IoError("wal: fstat failed: " + path);
+  }
+  if (st.st_size == 0) {
+    std::string header;
+    EncodeWalHeader({fingerprint, checkpoint_lsn}, &header);
+    Status s = w->WriteRaw(header.data(), header.size());
+    if (s.ok() && ::fsync(fd) != 0) {
+      s = Status::IoError("wal: header fsync failed");
+    }
+    MCTDB_RETURN_IF_ERROR(s);
+    w->durable_bytes_.store(header.size());
+  } else {
+    // Recovered log: append after the (already truncated) valid prefix.
+    if (::lseek(fd, 0, SEEK_END) < 0) {
+      return Status::IoError("wal: seek failed: " + path);
+    }
+    w->durable_bytes_.store(static_cast<uint64_t>(st.st_size));
+  }
+  return w;
+}
+
+LogWriter::~LogWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status LogWriter::WriteRaw(const char* data, size_t n) {
+  if (fd_ < 0) {
+    mem_.append(data, n);
+    return Status::OK();
+  }
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::write(fd_, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("wal: write failed: ") +
+                             std::strerror(errno));
+    }
+    off += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Result<Lsn> LogWriter::Append(RecordType type, std::string_view payload) {
+  std::lock_guard lk(append_mu_);
+  if (degraded()) {
+    return Status::Unavailable("wal: writer degraded, reopen to recover");
+  }
+  switch (MCTDB_FAILPOINT("wal.append")) {
+    case failpoint::Fault::kError:
+      // Clean abort: the record never reached the buffer; the store is
+      // untouched and later appends continue normally.
+      return Status::IoError("wal: injected append fault");
+    case failpoint::Fault::kTruncate: {
+      // Torn append: half the encoded record reaches the OS (ahead of an
+      // fsync it will never get). Recovery cuts this tail; the writer
+      // degrades because its buffered stream is no longer contiguous
+      // with the file.
+      std::string rec;
+      EncodeWalRecord(next_lsn_, type, payload, &rec);
+      (void)WriteRaw(rec.data(), rec.size() / 2);
+      degraded_.store(true, std::memory_order_release);
+      return Status::IoError("wal: injected torn append");
+    }
+    case failpoint::Fault::kNone:
+      break;
+  }
+  Lsn lsn = next_lsn_++;
+  EncodeWalRecord(lsn, type, payload, &buffer_);
+  last_buffered_ = lsn;
+  appends_.fetch_add(1, std::memory_order_relaxed);
+  return lsn;
+}
+
+Status LogWriter::WriteAndSync(const std::string& batch) {
+  switch (MCTDB_FAILPOINT("wal.fsync")) {
+    case failpoint::Fault::kError:
+      return Status::IoError("wal: injected fsync fault");
+    case failpoint::Fault::kTruncate:
+      // Half the batch lands before the failure: a torn multi-record tail.
+      (void)WriteRaw(batch.data(), batch.size() / 2);
+      return Status::IoError("wal: injected torn batch write");
+    case failpoint::Fault::kNone:
+      break;
+  }
+  MCTDB_RETURN_IF_ERROR(WriteRaw(batch.data(), batch.size()));
+  if (fd_ >= 0 && ::fsync(fd_) != 0) {
+    return Status::IoError(std::string("wal: fsync failed: ") +
+                           std::strerror(errno));
+  }
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  durable_bytes_.fetch_add(batch.size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status LogWriter::Commit(Lsn lsn) {
+  std::unique_lock lk(commit_mu_);
+  while (durable_lsn_.load(std::memory_order_acquire) < lsn) {
+    if (degraded()) {
+      return Status::Unavailable("wal: writer degraded, reopen to recover");
+    }
+    if (sync_in_progress_) {
+      // A leader's fsync is in flight; it may already cover our LSN.
+      commit_cv_.wait(lk);
+      continue;
+    }
+    // Become the leader: steal the whole batch, sync once for everyone.
+    sync_in_progress_ = true;
+    lk.unlock();
+    std::string batch;
+    Lsn batch_lsn;
+    {
+      std::lock_guard alk(append_mu_);
+      batch.swap(buffer_);
+      batch_lsn = last_buffered_;
+    }
+    Status s = Status::OK();
+    if (!batch.empty()) {
+      s = WriteAndSync(batch);
+    } else if (batch_lsn < lsn) {
+      s = Status::Internal("wal: Commit for an LSN never appended");
+    }
+    lk.lock();
+    sync_in_progress_ = false;
+    if (s.ok()) {
+      Lsn prev = durable_lsn_.load(std::memory_order_relaxed);
+      if (batch_lsn > prev) {
+        durable_lsn_.store(batch_lsn, std::memory_order_release);
+      }
+    } else {
+      degraded_.store(true, std::memory_order_release);
+    }
+    commit_cv_.notify_all();
+    MCTDB_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
+}
+
+Status LogWriter::Reset(Lsn checkpoint_lsn) {
+  std::scoped_lock lk(commit_mu_, append_mu_);
+  if (degraded()) {
+    return Status::Unavailable("wal: writer degraded, reopen to recover");
+  }
+  if (!buffer_.empty()) {
+    return Status::Internal("wal: Reset with uncommitted records buffered");
+  }
+  std::string header;
+  EncodeWalHeader({fingerprint_, checkpoint_lsn}, &header);
+  if (fd_ < 0) {
+    mem_.assign(header);
+  } else {
+    if (::ftruncate(fd_, 0) != 0 || ::lseek(fd_, 0, SEEK_SET) < 0) {
+      degraded_.store(true, std::memory_order_release);
+      return Status::IoError("wal: log truncate failed");
+    }
+    MCTDB_RETURN_IF_ERROR(WriteRaw(header.data(), header.size()));
+    if (::fsync(fd_) != 0) {
+      degraded_.store(true, std::memory_order_release);
+      return Status::IoError("wal: header fsync failed");
+    }
+  }
+  durable_bytes_.store(header.size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+}  // namespace mctdb::wal

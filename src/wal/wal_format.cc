@@ -1,0 +1,105 @@
+#include "wal/wal_format.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace mctdb::wal {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= uint32_t(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= uint64_t(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void EncodeWalHeader(const WalHeader& header, std::string* out) {
+  size_t base = out->size();
+  out->append(kWalMagic, sizeof(kWalMagic));
+  PutU64(out, header.fingerprint);
+  PutU64(out, header.checkpoint_lsn);
+  uint64_t sum = PageChecksum(out->data() + base, kWalHeaderSize - 8);
+  PutU64(out, sum);
+}
+
+Result<WalHeader> DecodeWalHeader(std::string_view bytes) {
+  if (bytes.size() < kWalHeaderSize) {
+    return Status::DataLoss("wal: torn header");
+  }
+  if (std::memcmp(bytes.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::InvalidArgument("wal: bad magic (not a WAL file)");
+  }
+  uint64_t expect = PageChecksum(bytes.data(), kWalHeaderSize - 8);
+  uint64_t got = GetU64(bytes.data() + kWalHeaderSize - 8);
+  if (expect != got) {
+    return Status::DataLoss("wal: header checksum mismatch");
+  }
+  WalHeader h;
+  h.fingerprint = GetU64(bytes.data() + 8);
+  h.checkpoint_lsn = GetU64(bytes.data() + 16);
+  return h;
+}
+
+void EncodeWalRecord(Lsn lsn, RecordType type, std::string_view payload,
+                     std::string* out) {
+  size_t base = out->size();
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU64(out, lsn);
+  out->push_back(static_cast<char>(type));
+  out->append(payload.data(), payload.size());
+  uint64_t sum = PageChecksum(out->data() + base, out->size() - base);
+  PutU64(out, sum);
+}
+
+Result<WalRecord> DecodeWalRecord(std::string_view bytes, size_t* consumed) {
+  *consumed = 0;
+  if (bytes.size() < kRecordOverhead) {
+    return Status::DataLoss("wal: torn record prefix");
+  }
+  uint32_t len = GetU32(bytes.data());
+  if (len > kMaxPayloadSize) {
+    return Status::DataLoss("wal: implausible record length");
+  }
+  size_t total = kRecordOverhead + len;
+  if (bytes.size() < total) {
+    return Status::DataLoss("wal: torn record body");
+  }
+  uint64_t expect = PageChecksum(bytes.data(), total - 8);
+  uint64_t got = GetU64(bytes.data() + total - 8);
+  if (expect != got) {
+    return Status::DataLoss("wal: record checksum mismatch");
+  }
+  WalRecord rec;
+  rec.lsn = GetU64(bytes.data() + 4);
+  rec.type = static_cast<RecordType>(bytes[12]);
+  rec.payload.assign(bytes.data() + kRecordPrefixSize, len);
+  *consumed = total;
+  return rec;
+}
+
+}  // namespace mctdb::wal

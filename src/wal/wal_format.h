@@ -1,0 +1,62 @@
+// On-disk WAL layout (DESIGN.md §13).
+//
+//   header : "MCTWAL1\n" (8) | schema fingerprint (8, LE) |
+//            checkpoint LSN (8, LE) | checksum of the first 24 bytes (8, LE)
+//   record : payload len (4, LE) | LSN (8, LE) | type (1) | payload |
+//            checksum (8, LE) over everything before it
+//
+// Checksums reuse PageChecksum — the same mix the pager verifies on every
+// buffer-pool miss — so a torn or bit-flipped record is detected exactly
+// like a torn page. LSNs start at 1 (kNoLsn = 0 means "nothing") and are
+// strictly increasing within a log; a record whose LSN breaks the sequence
+// marks the torn tail even when its checksum happens to verify (stale bytes
+// from a recycled file).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/lsn.h"
+#include "common/result.h"
+
+namespace mctdb::wal {
+
+inline constexpr char kWalMagic[8] = {'M', 'C', 'T', 'W', 'A', 'L', '1', '\n'};
+inline constexpr size_t kWalHeaderSize = 32;
+/// len + lsn + type prefix.
+inline constexpr size_t kRecordPrefixSize = 4 + 8 + 1;
+/// Prefix plus trailing checksum: bytes a record adds beyond its payload.
+inline constexpr size_t kRecordOverhead = kRecordPrefixSize + 8;
+/// Refuse absurd payload lengths before trusting a torn length prefix.
+inline constexpr uint32_t kMaxPayloadSize = 64u << 20;
+
+enum class RecordType : uint8_t {
+  kUpdateOp = 1,  ///< payload = storage::EncodeUpdateOp bytes
+};
+
+struct WalHeader {
+  uint64_t fingerprint = 0;  ///< storage::SchemaFingerprint of the store
+  Lsn checkpoint_lsn = kNoLsn;  ///< every op with lsn <= this is in the store
+};
+
+void EncodeWalHeader(const WalHeader& header, std::string* out);
+/// DataLoss on short/checksum-failed bytes (torn header: recover as empty
+/// log), InvalidArgument on wrong magic (not a WAL file at all).
+Result<WalHeader> DecodeWalHeader(std::string_view bytes);
+
+struct WalRecord {
+  Lsn lsn = kNoLsn;
+  RecordType type = RecordType::kUpdateOp;
+  std::string payload;
+};
+
+void EncodeWalRecord(Lsn lsn, RecordType type, std::string_view payload,
+                     std::string* out);
+
+/// Decodes the record starting at bytes[0]. Returns the record and sets
+/// *consumed; DataLoss when the bytes are short, torn, or checksum-failed
+/// (callers treat the position as the torn tail).
+Result<WalRecord> DecodeWalRecord(std::string_view bytes, size_t* consumed);
+
+}  // namespace mctdb::wal

@@ -1,0 +1,59 @@
+#include "wal/wal_lint.h"
+
+#include "wal/durable_store.h"
+#include "wal/log_reader.h"
+
+namespace mctdb::wal {
+
+size_t LintWal(const std::string& store_path, const WalLintOptions& options,
+               analysis::DiagnosticReport* report) {
+  std::string wal_path = DurableStore::WalPath(store_path);
+  std::string loc = "wal " + wal_path;
+  Result<LogScan> scan_or = ScanLog(wal_path, options.fingerprint);
+  if (!scan_or.ok()) {
+    if (scan_or.status().IsNotFound()) return 0;  // read-only store: clean
+    report->Error("WAL005", loc, scan_or.status().message(),
+                  "point the store at its own log or delete the stray file");
+    return 1;
+  }
+  const LogScan& scan = scan_or.value();
+  size_t added = 0;
+  if (!scan.header_valid) {
+    report->Warning("WAL003", loc,
+                    "log header unreadable; it will be reset on open "
+                    "(store image is authoritative)",
+                    "open the store to repair, or delete the log");
+    return 1;
+  }
+  if (!scan.records.empty()) {
+    report->Warning(
+        "WAL001", loc,
+        "log tail is newer than the checkpoint (unclean shutdown): " +
+            std::to_string(scan.records.size()) +
+            " update record(s) will be replayed on open",
+        "open the store (or `mctc recover`) to roll the log forward");
+    ++added;
+  }
+  if (scan.torn()) {
+    report->Warning("WAL002", loc,
+                    "torn tail of " +
+                        std::to_string(scan.file_bytes - scan.valid_bytes) +
+                        " byte(s) will be truncated on open",
+                    "expected after a crash; recovery handles it");
+    ++added;
+  }
+  if (scan.header.checkpoint_lsn == kNoLsn &&
+      scan.file_bytes > options.max_uncheckpointed_bytes) {
+    report->Error(
+        "WAL004", loc,
+        "checkpoint-less log of " + std::to_string(scan.file_bytes) +
+            " bytes exceeds the " +
+            std::to_string(options.max_uncheckpointed_bytes) +
+            "-byte threshold; refusing would-be-unbounded replay",
+        "run `mctc recover` and checkpoint the store");
+    ++added;
+  }
+  return added;
+}
+
+}  // namespace mctdb::wal

@@ -1,0 +1,39 @@
+// WAL lint: static diagnostics about a (store image, log) pair, reported
+// through the shared analysis::DiagnosticReport (codes are stable, WALnnn):
+//
+//   WAL001 warning  log tail newer than the checkpoint — unclean shutdown;
+//                   the store will recover on open (N records to replay)
+//   WAL002 warning  torn tail of N bytes — will be truncated on open
+//   WAL003 warning  log header unreadable — will be reset on open (the
+//                   store image is authoritative)
+//   WAL004 error    checkpoint-less log above the size threshold — refuse;
+//                   run `mctc recover` / checkpoint before serving
+//   WAL005 error    log is not a WAL file / names a different schema
+//
+// Pure read-only: lint never truncates, replays, or repairs — that is
+// recovery's job. `mctc lint --store` wires this in next to the STOnnn
+// store checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/diagnostics.h"
+
+namespace mctdb::wal {
+
+struct WalLintOptions {
+  /// WAL004 threshold: a log this large with no checkpoint recorded means
+  /// recovery would replay everything from scratch.
+  uint64_t max_uncheckpointed_bytes = 64ull << 20;
+  /// Expected schema fingerprint (0 = skip the pairing check).
+  uint64_t fingerprint = 0;
+};
+
+/// Lints the log of the store at `store_path` ("<store_path>.wal"). A
+/// missing log is clean (read-only store). Returns the number of
+/// diagnostics added.
+size_t LintWal(const std::string& store_path, const WalLintOptions& options,
+               analysis::DiagnosticReport* report);
+
+}  // namespace mctdb::wal

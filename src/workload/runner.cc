@@ -7,7 +7,10 @@
 #include "analysis/plan_verify.h"
 #include "common/logging.h"
 #include "query/planner.h"
+#include "query/update_exec.h"
 #include "service/query_service.h"
+#include "wal/durable_store.h"
+#include "workload/update_gen.h"
 
 namespace mctdb::workload {
 
@@ -62,15 +65,65 @@ void CheckEquivalence(const RunnerOptions& options,
   }
 }
 
-/// The classic single-threaded grid loop over the stores' own pools.
+/// Per-(schema, kind) rollup of the update ops applied during the grid.
+struct UpdateAgg {
+  std::vector<double> times;
+  uint64_t wal_appends = 0;
+  uint64_t wal_fsyncs = 0;
+  size_t elements = 0;
+  query::ExecResult last;  // unused fields stay zero for update rows
+};
+
+/// Applies ops[*next .. prefix) on schema i's durable store, rolling each
+/// kind into its aggregate row. Apply failures become problem rows.
+void ApplyOpsUpTo(const std::vector<storage::UpdateOp>& ops, size_t prefix,
+                  const std::string& schema, wal::DurableStore* durable,
+                  size_t* next, std::map<std::string, UpdateAgg>* agg,
+                  std::vector<std::string>* problems) {
+  while (*next < prefix) {
+    const storage::UpdateOp& op = ops[*next];
+    ++*next;
+    query::UpdateExecutor exec(durable);
+    auto result = exec.Execute(op);
+    const char* kind = storage::UpdateKindName(op.kind);
+    if (!result.ok()) {
+      problems->push_back(std::string(kind) + " on " + schema + ": " +
+                          result.status().ToString());
+      continue;
+    }
+    UpdateAgg& row = (*agg)[kind];
+    row.times.push_back(result->elapsed_seconds);
+    row.wal_appends += result->wal_appends;
+    row.wal_fsyncs += result->wal_fsyncs;
+    row.elements += result->stats.elements_touched;
+  }
+}
+
+/// The classic single-threaded grid loop over the stores' own pools. When
+/// `durables` is non-empty, the deterministic op stream `ops` is
+/// interleaved at identical grid positions on every schema.
 void RunGridSerial(const Workload& workload, const RunnerOptions& options,
                    const std::vector<mct::MctSchema>& schemas,
-                   const std::vector<std::unique_ptr<storage::MctStore>>&
-                       stores,
+                   const std::vector<storage::MctStore*>& stores,
+                   const std::vector<wal::DurableStore*>& durables,
+                   const std::vector<storage::UpdateOp>& ops,
                    RunSummary* summary) {
+  const size_t num_queries =
+      std::max<size_t>(1, workload.figure_queries.size());
   std::map<std::string, std::vector<uint32_t>> reference;
   for (size_t i = 0; i < schemas.size(); ++i) {
+    std::map<std::string, UpdateAgg> update_rows;
+    size_t next_op = 0;
+    size_t query_index = 0;
     for (const std::string& name : workload.figure_queries) {
+      if (!durables.empty()) {
+        // Same op prefix before query #qi on every schema, so the
+        // mid-grid equivalence checks compare identical logical states.
+        ApplyOpsUpTo(ops, ops.size() * query_index / num_queries,
+                     schemas[i].name(), durables[i], &next_op,
+                     &update_rows, &summary->problems);
+      }
+      ++query_index;
       const query::AssociationQuery* q = workload.Find(name);
       if (q == nullptr) {
         summary->problems.push_back("unknown figure query " + name);
@@ -86,7 +139,9 @@ void RunGridSerial(const Workload& workload, const RunnerOptions& options,
                               &summary->problems)) {
         continue;
       }
-      query::Executor exec(stores[i].get());
+      query::Executor exec(stores[i]);
+      exec.set_snapshot(stores[i]->versioned() ? stores[i]->visible_lsn()
+                                               : kMaxLsn);
       std::vector<double> times;
       query::ExecResult last;
       bool failed = false;
@@ -109,6 +164,47 @@ void RunGridSerial(const Workload& workload, const RunnerOptions& options,
       CheckEquivalence(options, *q, name, schemas[i].name(), last,
                        &reference, &summary->problems);
     }
+    if (!durables.empty()) {
+      ApplyOpsUpTo(ops, ops.size(), schemas[i].name(), durables[i],
+                   &next_op, &update_rows, &summary->problems);
+      for (auto& [kind, row] : update_rows) {
+        if (row.times.empty()) continue;
+        Measurement m;
+        m.schema = schemas[i].name();
+        m.query = kind;
+        m.seconds = MedianSeconds(std::move(row.times));
+        m.elements_updated = row.elements;
+        m.wal_appends = row.wal_appends;
+        m.wal_fsyncs = row.wal_fsyncs;
+        summary->measurements.push_back(std::move(m));
+      }
+    }
+  }
+  if (durables.empty() || !options.check_equivalence) return;
+  // Post-update equivalence: every schema applied the same op stream, so
+  // the updated stores must still agree on every read query.
+  std::map<std::string, std::vector<uint32_t>> post_reference;
+  for (size_t i = 0; i < schemas.size(); ++i) {
+    for (const std::string& name : workload.figure_queries) {
+      const query::AssociationQuery* q = workload.Find(name);
+      if (q == nullptr || q->is_update()) continue;
+      auto plan = query::PlanQuery(*q, schemas[i]);
+      if (!plan.ok()) continue;  // already reported in the grid pass
+      query::Executor exec(stores[i]);
+      exec.set_snapshot(stores[i]->visible_lsn());
+      auto result = exec.Execute(*plan);
+      if (!result.ok()) {
+        summary->problems.push_back("post-update " + name + " on " +
+                                    schemas[i].name() + ": " +
+                                    result.status().ToString());
+        continue;
+      }
+      auto [it, inserted] = post_reference.emplace(name, result->logicals);
+      if (!inserted && it->second != result->logicals) {
+        summary->problems.push_back("post-update equivalence violation: " +
+                                    name + " on " + schemas[i].name());
+      }
+    }
   }
 }
 
@@ -119,8 +215,7 @@ void RunGridSerial(const Workload& workload, const RunnerOptions& options,
 /// parallel on the worker pool.
 void RunGridParallel(const Workload& workload, const RunnerOptions& options,
                      const std::vector<mct::MctSchema>& schemas,
-                     const std::vector<std::unique_ptr<storage::MctStore>>&
-                         stores,
+                     const std::vector<storage::MctStore*>& stores,
                      RunSummary* summary) {
   const size_t reps = std::max<size_t>(1, options.repetitions);
 
@@ -134,7 +229,7 @@ void RunGridParallel(const Workload& workload, const RunnerOptions& options,
 
   std::vector<std::shared_ptr<mctsvc::QueryService::Session>> sessions;
   for (size_t i = 0; i < schemas.size(); ++i) {
-    Status added = service.AddStore(schemas[i].name(), stores[i].get());
+    Status added = service.AddStore(schemas[i].name(), stores[i]);
     MCTDB_CHECK_MSG(added.ok(), added.ToString().c_str());
     auto session = service.OpenSession(schemas[i].name());
     MCTDB_CHECK_MSG(session.ok(), session.status().ToString().c_str());
@@ -269,14 +364,43 @@ Result<RunSummary> RunWorkload(const Workload& workload,
     stores.push_back(instance::Materialize(logical, schema, mat));
     summary.storage.emplace_back(schema.name(), stores.back()->Stats());
   }
+
+  // Update mode: wrap every store in an ephemeral WAL-backed durable
+  // store (in-memory log, full group-commit/versioning semantics) and
+  // generate one op stream all schemas share.
+  std::vector<std::unique_ptr<wal::DurableStore>> owned_durables;
+  std::vector<wal::DurableStore*> durables;
+  std::vector<storage::UpdateOp> ops;
+  std::vector<storage::MctStore*> raw_stores;
+  if (options.update_fraction > 0) {
+    UpdateGenOptions gen;
+    gen.num_ops = std::max<size_t>(
+        1, static_cast<size_t>(options.update_fraction *
+                               double(workload.figure_queries.size()) +
+                               0.5));
+    ops = GenerateUpdateOps(schemas, logical, gen);
+    for (auto& store : stores) {
+      auto durable = wal::DurableStore::Ephemeral(std::move(store));
+      MCTDB_CHECK_MSG(durable.ok(), durable.status().ToString().c_str());
+      owned_durables.push_back(std::move(*durable));
+      durables.push_back(owned_durables.back().get());
+      raw_stores.push_back(owned_durables.back()->store());
+    }
+  } else {
+    for (auto& store : stores) raw_stores.push_back(store.get());
+  }
+
   auto grid_start = std::chrono::steady_clock::now();
   summary.setup_seconds =
       std::chrono::duration<double>(grid_start - setup_start).count();
 
-  if (options.num_threads > 1) {
-    RunGridParallel(workload, options, schemas, stores, &summary);
+  if (options.num_threads > 1 && durables.empty()) {
+    RunGridParallel(workload, options, schemas, raw_stores, &summary);
   } else {
-    RunGridSerial(workload, options, schemas, stores, &summary);
+    // Update mode always runs serial: the op stream must hit identical
+    // grid positions on every schema for mid-run equivalence to hold.
+    RunGridSerial(workload, options, schemas, raw_stores, durables, ops,
+                  &summary);
   }
   summary.grid_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

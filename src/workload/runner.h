@@ -26,6 +26,16 @@ struct RunnerOptions {
   bool check_equivalence = true;
   /// Repetitions per query; the median time is reported.
   size_t repetitions = 1;
+  /// When > 0, each store is wrapped in an ephemeral WAL-backed
+  /// wal::DurableStore and ONE deterministic U1-U3 op stream (identical
+  /// across schemas; see workload/update_gen.h) is interleaved with the
+  /// query grid — roughly update_fraction update ops per figure query,
+  /// applied at the same grid positions on every schema so cross-schema
+  /// equivalence holds at every point of the run. Measurement rows named
+  /// "U1"/"U2"/"U3" report median op latency plus wal_appends/wal_fsyncs,
+  /// and after the grid the runner re-checks read-query equivalence on
+  /// the updated stores. Update mode forces the serial grid path.
+  double update_fraction = 0.0;
   /// Worker threads for the measurement grid. 1 = the classic serial
   /// loop; > 1 fans the (schema x query) grid out through an
   /// mctsvc::QueryService — one session per schema (so each store's
@@ -50,6 +60,10 @@ struct Measurement {
   uint64_t page_hits = 0;
   /// Structural-join containment pairs of the last repetition.
   uint64_t join_pairs = 0;
+  /// WAL work attributed to this row (update rows only): records appended
+  /// and fsyncs led. Fsyncs can be < the op count — group commit.
+  uint64_t wal_appends = 0;
+  uint64_t wal_fsyncs = 0;
   /// Per-stage rollup of the last repetition's span trace (self time per
   /// stage kind; rows sum to the query's elapsed time).
   obs::StageTable stages{};

@@ -1,0 +1,149 @@
+#include "workload/update_gen.h"
+
+#include <string>
+
+namespace mctdb::workload {
+
+namespace {
+
+using storage::SubtreeSpec;
+using storage::UpdateOp;
+
+/// Attribute list for a NEW instance of `node`: every diagram attribute,
+/// key attrs id-valued (no content node, like the materializer), values
+/// derived from the new logical id so keys stay unique.
+std::vector<SubtreeSpec::Attr> NewAttrs(const er::ErNode& node,
+                                        uint32_t logical) {
+  std::vector<SubtreeSpec::Attr> attrs;
+  for (const er::Attribute& a : node.attributes) {
+    SubtreeSpec::Attr out;
+    out.name = a.name;
+    out.value = a.is_key ? node.name + "_new" + std::to_string(logical)
+                         : "v_new" + std::to_string(logical);
+    out.with_content = !a.is_key;
+    attrs.push_back(std::move(out));
+  }
+  return attrs;
+}
+
+bool EligibleEverywhere(const std::vector<mct::MctSchema>& schemas,
+                        const UpdateOp& op) {
+  for (const mct::MctSchema& s : schemas) {
+    if (!storage::VerifyUpdateOp(s, op).ok()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<UpdateOp> GenerateUpdateOps(
+    const std::vector<mct::MctSchema>& schemas,
+    const instance::LogicalInstance& logical,
+    const UpdateGenOptions& options) {
+  std::vector<UpdateOp> ops;
+  if (schemas.empty() || options.num_ops == 0) return ops;
+  const er::ErDiagram& diagram = logical.diagram();
+
+  uint32_t next_id = options.logical_id_base;
+  size_t want_inserts = options.num_ops / 4;
+  if (want_inserts == 0 && options.num_ops >= 2) want_inserts = 1;
+  /// The deletable pool: (type, logical) of instances THIS stream created
+  /// as insert-subtree children (leaf placements in every schema, so
+  /// deleting one removes the same logical content everywhere).
+  std::vector<std::pair<er::NodeId, uint32_t>> deletable;
+
+  // U1: for every relationship type R with endpoints (X, Y), try inserting
+  // a new R instance (with a new Y child) under an existing X, both
+  // orientations. The cross-schema verifier filter keeps only subtrees
+  // every schema can place.
+  size_t made_inserts = 0;
+  for (const er::ErNode& rel : diagram.nodes()) {
+    if (made_inserts >= want_inserts) break;
+    if (!rel.is_relationship()) continue;
+    for (int side = 0; side < 2 && made_inserts < want_inserts; ++side) {
+      er::NodeId target = rel.endpoints[side].target;
+      er::NodeId child = rel.endpoints[1 - side].target;
+      if (logical.count(target) == 0) continue;
+      UpdateOp op;
+      op.kind = UpdateOp::Kind::kInsertSubtree;
+      op.target_type = target;
+      // Spread targets deterministically across the instance range.
+      op.target_logical = static_cast<uint32_t>(
+          (made_inserts * 7919) % logical.count(target));
+      op.subtree.type = rel.id;
+      op.subtree.logical = next_id;
+      op.subtree.attrs = NewAttrs(rel, next_id);
+      SubtreeSpec child_spec;
+      child_spec.type = child;
+      child_spec.logical = next_id + 1;
+      child_spec.attrs = NewAttrs(diagram.node(child), next_id + 1);
+      op.subtree.children.push_back(std::move(child_spec));
+      if (!EligibleEverywhere(schemas, op)) continue;
+      next_id += 2;
+      deletable.emplace_back(child, op.subtree.children[0].logical);
+      ops.push_back(std::move(op));
+      ++made_inserts;
+    }
+  }
+
+  // U2: delete a subset of the just-inserted children (never pre-existing
+  // instances; see file comment). At most half the pool, so inserts stay
+  // observable in post-update equivalence queries.
+  size_t want_deletes = options.num_ops / 4;
+  if (want_deletes > deletable.size() / 2 + (deletable.size() % 2)) {
+    want_deletes = deletable.size() / 2 + (deletable.size() % 2);
+  }
+  std::vector<UpdateOp> deletes;
+  for (size_t k = 0; k < want_deletes; ++k) {
+    UpdateOp op;
+    op.kind = UpdateOp::Kind::kDeleteSubtree;
+    op.target_type = deletable[k].first;
+    op.target_logical = deletable[k].second;
+    if (!EligibleEverywhere(schemas, op)) continue;
+    deletes.push_back(std::move(op));
+  }
+
+  // U3: renames fill the remainder. Round-robin over entities that carry a
+  // non-key attribute; target instances stride through the range so
+  // repeated renames of one instance stay rare.
+  size_t want_renames =
+      options.num_ops > ops.size() + deletes.size()
+          ? options.num_ops - ops.size() - deletes.size()
+          : 0;
+  std::vector<const er::ErNode*> renameable;
+  for (const er::ErNode& node : diagram.nodes()) {
+    if (logical.count(node.id) == 0) continue;
+    for (const er::Attribute& a : node.attributes) {
+      if (!a.is_key) {
+        renameable.push_back(&node);
+        break;
+      }
+    }
+  }
+  for (size_t k = 0; k < want_renames && !renameable.empty(); ++k) {
+    const er::ErNode& node = *renameable[k % renameable.size()];
+    const er::Attribute* attr = nullptr;
+    for (const er::Attribute& a : node.attributes) {
+      if (!a.is_key) {
+        attr = &a;
+        break;
+      }
+    }
+    UpdateOp op;
+    op.kind = UpdateOp::Kind::kRenameValue;
+    op.target_type = node.id;
+    op.target_logical =
+        static_cast<uint32_t>((k * 131) % logical.count(node.id));
+    op.attr = attr->name;
+    op.new_value = "renamed_" + std::to_string(k);
+    if (!EligibleEverywhere(schemas, op)) continue;
+    ops.push_back(std::move(op));
+  }
+
+  // Deletes go last: their targets must exist when they run, and a stream
+  // applied in order is then valid from any prefix.
+  for (UpdateOp& op : deletes) ops.push_back(std::move(op));
+  return ops;
+}
+
+}  // namespace mctdb::workload

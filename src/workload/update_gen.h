@@ -1,0 +1,38 @@
+// Deterministic U1-U3 op streams for workload measurement (DESIGN.md §13).
+//
+// Ops address (ER type, logical instance id), so ONE stream applies to
+// every schema of a logical instance; applying the same prefix everywhere
+// keeps the schemas logically equivalent, which is what lets the runner
+// re-check cross-schema result equivalence after updates ran. Candidate
+// ops are filtered through storage::VerifyUpdateOp against EVERY schema —
+// an op only enters the stream if all schemas can apply it — and deletes
+// only target instances the stream itself inserted (deleting pre-existing
+// instances would remove schema-dependent subtrees and break equivalence).
+#pragma once
+
+#include <vector>
+
+#include "instance/logical.h"
+#include "mct/mct_schema.h"
+#include "storage/update_ops.h"
+
+namespace mctdb::workload {
+
+struct UpdateGenOptions {
+  /// Total ops to aim for. The mix is roughly 1/4 inserts, 1/4 deletes
+  /// (capped by what the inserts created), renames for the rest; shortfall
+  /// in one kind backfills as renames.
+  size_t num_ops = 8;
+  /// Logical ids for inserted instances start here — far above anything
+  /// the instance generator hands out (max_per_node caps at 500k).
+  uint32_t logical_id_base = 1u << 20;
+};
+
+/// Generates the op stream. Pure function of (schemas, logical, options):
+/// no RNG, so repeated runs and every schema see the identical stream.
+std::vector<storage::UpdateOp> GenerateUpdateOps(
+    const std::vector<mct::MctSchema>& schemas,
+    const instance::LogicalInstance& logical,
+    const UpdateGenOptions& options = {});
+
+}  // namespace mctdb::workload

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "design/designer.h"
+#include "instance/materialize.h"
+#include "query/executor.h"
+#include "query/planner.h"
+#include "query/update_exec.h"
+#include "storage/sharded_pool.h"
+#include "wal/durable_store.h"
+#include "workload/update_gen.h"
+#include "workload/workload.h"
+
+namespace mctdb::wal {
+namespace {
+
+using design::Strategy;
+
+struct Fixture {
+  workload::Workload w = workload::TpcwWorkload(0.02);
+  er::ErGraph graph{w.diagram};
+  design::Designer designer{graph};
+  mct::MctSchema schema = designer.Design(Strategy::kMcmr);
+  instance::LogicalInstance logical = instance::GenerateInstance(graph, w.gen);
+
+  std::unique_ptr<DurableStore> MakeDurable() {
+    auto d = DurableStore::Ephemeral(
+        instance::Materialize(logical, schema, {}));
+    EXPECT_TRUE(d.ok()) << d.status().ToString();
+    return std::move(*d);
+  }
+
+  std::vector<storage::UpdateOp> Ops(size_t n) {
+    std::vector<mct::MctSchema> schemas{schema};
+    workload::UpdateGenOptions gen;
+    gen.num_ops = n;
+    return workload::GenerateUpdateOps(schemas, logical, gen);
+  }
+
+  query::AssociationQuery* FirstPlannableQuery() {
+    for (const std::string& name : w.figure_queries) {
+      const query::AssociationQuery* q = w.Find(name);
+      if (q == nullptr || q->is_update()) continue;
+      if (query::PlanQuery(*q, schema).ok()) {
+        return const_cast<query::AssociationQuery*>(q);
+      }
+    }
+    return nullptr;
+  }
+
+  std::vector<uint32_t> Run(storage::MctStore* store,
+                            const query::AssociationQuery& q, Lsn snapshot,
+                            storage::PageCache* pool = nullptr) {
+    auto plan = query::PlanQuery(q, schema);
+    EXPECT_TRUE(plan.ok());
+    query::Executor exec(store, pool);
+    exec.set_snapshot(snapshot);
+    auto r = exec.Execute(*plan);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r->logicals;
+  }
+};
+
+TEST(SnapshotIsolationTest, PinnedSnapshotIsImmuneToLaterUpdates) {
+  Fixture f;
+  auto durable = f.MakeDurable();
+  auto ops = f.Ops(10);
+  ASSERT_FALSE(ops.empty());
+  const query::AssociationQuery* q = f.FirstPlannableQuery();
+  ASSERT_NE(q, nullptr);
+
+  Lsn s0 = durable->snapshot();
+  std::vector<uint32_t> before = f.Run(durable->store(), *q, s0);
+
+  // Time-travel stability: remember the answer at every intermediate
+  // snapshot while the stream applies...
+  query::UpdateExecutor exec(durable.get());
+  std::vector<std::pair<Lsn, std::vector<uint32_t>>> at_snapshot;
+  for (const auto& op : ops) {
+    auto r = exec.Execute(op);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    at_snapshot.emplace_back(r->lsn, f.Run(durable->store(), *q, r->lsn));
+  }
+
+  // ...the pre-update snapshot still answers exactly as before...
+  EXPECT_EQ(f.Run(durable->store(), *q, s0), before);
+  // ...and every intermediate snapshot still answers as it did live.
+  for (const auto& [lsn, expected] : at_snapshot) {
+    EXPECT_EQ(f.Run(durable->store(), *q, lsn), expected) << "lsn " << lsn;
+  }
+}
+
+// The PR's isolation acceptance criterion: readers running CONCURRENTLY
+// with the update stream, pinned at the pre-update snapshot, return
+// byte-identical results to a serial pre-update run — queries never block
+// on or observe in-flight updates.
+TEST(SnapshotIsolationTest, ConcurrentReadersMatchSerialPreUpdateRun) {
+  Fixture f;
+  auto durable = f.MakeDurable();
+  auto ops = f.Ops(12);
+  ASSERT_FALSE(ops.empty());
+  const query::AssociationQuery* q = f.FirstPlannableQuery();
+  ASSERT_NE(q, nullptr);
+
+  Lsn s0 = durable->snapshot();
+  const std::vector<uint32_t> serial = f.Run(durable->store(), *q, s0);
+
+  // Concurrent readers share one store through the thread-safe pool, the
+  // same arrangement the service uses (the store's own BufferPool is
+  // single-threaded by contract).
+  storage::ShardedBufferPool pool(durable->store()->pager(), 256);
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> divergent{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      do {
+        std::vector<uint32_t> got = f.Run(durable->store(), *q, s0, &pool);
+        reads.fetch_add(1);
+        if (got != serial) divergent.fetch_add(1);
+      } while (!writer_done.load(std::memory_order_acquire));
+    });
+  }
+  query::UpdateExecutor exec(durable.get());
+  for (const auto& op : ops) {
+    ASSERT_TRUE(exec.Execute(op).ok());
+  }
+  writer_done.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+
+  EXPECT_EQ(divergent.load(), 0u);
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_GT(durable->snapshot(), s0);  // the updates really landed
+}
+
+// Chaos: the ISSUE's fault mix — 1% clean append failures, 1% torn batch
+// writes — over repeated streams. Every op either commits (and is exactly
+// reproducible on a clean store) or fails with a clean status; reads at
+// the published snapshot never see a torn state.
+TEST(SnapshotIsolationTest, ChaosFaultMixPreservesCommittedPrefix) {
+  Fixture f;
+  const query::AssociationQuery* q = f.FirstPlannableQuery();
+  ASSERT_NE(q, nullptr);
+  auto ops = f.Ops(16);
+  ASSERT_FALSE(ops.empty());
+
+  std::string error;
+  ASSERT_TRUE(failpoint::Configure(
+      "wal.append=err(0.01);wal.fsync=trunc(0.01)", &error))
+      << error;
+
+  size_t faulted_rounds = 0;
+  for (int round = 0; round < 40; ++round) {
+    auto durable = f.MakeDurable();
+    query::UpdateExecutor exec(durable.get());
+    std::vector<const storage::UpdateOp*> committed;
+    for (const auto& op : ops) {
+      auto r = exec.Execute(op);
+      if (r.ok()) {
+        committed.push_back(&op);
+        continue;
+      }
+      // Clean failure contract: injected faults surface as IoError (the
+      // fault itself) or Unavailable (degraded writer afterwards) — never
+      // a crash, never corruption.
+      EXPECT_TRUE(r.status().IsIoError() || r.status().IsUnavailable())
+          << r.status().ToString();
+      ++faulted_rounds;
+      if (durable->degraded()) break;
+    }
+    // The published snapshot covers exactly the committed ops. Replaying
+    // them on a clean store must answer identically.
+    failpoint::DisarmAll();
+    auto clean = f.MakeDurable();
+    query::UpdateExecutor clean_exec(clean.get());
+    for (const storage::UpdateOp* op : committed) {
+      ASSERT_TRUE(clean_exec.Execute(*op).ok());
+    }
+    EXPECT_EQ(f.Run(durable->store(), *q, durable->snapshot()),
+              f.Run(clean->store(), *q, clean->snapshot()))
+        << "round " << round;
+    ASSERT_TRUE(failpoint::Configure(
+        "wal.append=err(0.01);wal.fsync=trunc(0.01)", &error));
+  }
+  failpoint::DisarmAll();
+  // 40 rounds x 16 ops at 1% per site: overwhelmingly likely to have hit
+  // at least one fault; if the dice were astronomically kind the test
+  // still verified the clean path.
+  SUCCEED() << faulted_rounds << " faulted ops observed";
+}
+
+}  // namespace
+}  // namespace mctdb::wal

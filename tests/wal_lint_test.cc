@@ -1,0 +1,162 @@
+#include "wal/wal_lint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "wal/durable_store.h"
+#include "wal/log_writer.h"
+#include "wal/wal_format.h"
+
+namespace mctdb::wal {
+namespace {
+
+constexpr uint64_t kFp = 0xABCDEF0123456789ull;
+
+std::string StorePath(const char* name) {
+  // Fresh log per run: LogWriter::Open appends to an existing file, so a
+  // leftover WAL from a previous run would change the linted counts.
+  std::string path = testing::TempDir() + "/" + name;
+  std::remove((path + ".wal").c_str());
+  return path;
+}
+
+void AppendBytes(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void CorruptByte(const std::string& path, size_t offset) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.get(c);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.put(static_cast<char>(c ^ 0x5A));
+}
+
+/// Writes a WAL with `records` committed records next to `store_path`.
+void MakeLog(const std::string& store_path, int records,
+             Lsn checkpoint_lsn = kNoLsn) {
+  auto writer = LogWriter::Open(DurableStore::WalPath(store_path), kFp,
+                                checkpoint_lsn, checkpoint_lsn);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  for (int i = 0; i < records; ++i) {
+    ASSERT_TRUE((*writer)->Append(RecordType::kUpdateOp, "oppayload").ok());
+  }
+  if (records > 0) {
+    ASSERT_TRUE((*writer)->Commit((*writer)->durable_lsn() + records).ok());
+  }
+}
+
+std::vector<std::string> Codes(const analysis::DiagnosticReport& report) {
+  std::vector<std::string> codes;
+  for (const analysis::Diagnostic& d : report.diagnostics()) {
+    codes.push_back(d.code);
+  }
+  return codes;
+}
+
+TEST(WalLintTest, MissingLogIsClean) {
+  analysis::DiagnosticReport report;
+  EXPECT_EQ(LintWal(StorePath("no_such_store"), {}, &report), 0u);
+  EXPECT_TRUE(report.empty());
+}
+
+TEST(WalLintTest, CheckpointedEmptyLogIsClean) {
+  std::string store = StorePath("clean_store");
+  MakeLog(store, 0, /*checkpoint_lsn=*/5);
+  analysis::DiagnosticReport report;
+  EXPECT_EQ(LintWal(store, {}, &report), 0u);
+  EXPECT_TRUE(report.empty());
+}
+
+TEST(WalLintTest, UncommittedTailWarnsWal001) {
+  std::string store = StorePath("unclean_store");
+  MakeLog(store, 3);
+  analysis::DiagnosticReport report;
+  EXPECT_EQ(LintWal(store, {}, &report), 1u);
+  ASSERT_EQ(Codes(report), std::vector<std::string>{"WAL001"});
+  EXPECT_FALSE(report.has_errors());  // a warning: recovery handles it
+  EXPECT_NE(report.diagnostics()[0].message.find("3 update record"),
+            std::string::npos);
+}
+
+TEST(WalLintTest, TornTailWarnsWal002) {
+  std::string store = StorePath("torn_store");
+  MakeLog(store, 2);
+  AppendBytes(DurableStore::WalPath(store), "half-a-record");
+  analysis::DiagnosticReport report;
+  LintWal(store, {}, &report);
+  auto codes = Codes(report);
+  EXPECT_EQ(codes, (std::vector<std::string>{"WAL001", "WAL002"}));
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(WalLintTest, CorruptHeaderWarnsWal003) {
+  std::string store = StorePath("bad_header_store");
+  MakeLog(store, 2);
+  CorruptByte(DurableStore::WalPath(store), kWalHeaderSize - 2);
+  analysis::DiagnosticReport report;
+  EXPECT_EQ(LintWal(store, {}, &report), 1u);
+  EXPECT_EQ(Codes(report), std::vector<std::string>{"WAL003"});
+}
+
+TEST(WalLintTest, OversizedCheckpointlessLogIsWal004Error) {
+  std::string store = StorePath("big_store");
+  MakeLog(store, 4);
+  WalLintOptions options;
+  options.max_uncheckpointed_bytes = 16;  // far below 4 records + header
+  analysis::DiagnosticReport report;
+  LintWal(store, options, &report);
+  auto codes = Codes(report);
+  ASSERT_EQ(codes.size(), 2u);  // WAL001 + WAL004
+  EXPECT_EQ(codes[1], "WAL004");
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(WalLintTest, CheckpointedLogOfAnySizeEscapesWal004) {
+  std::string store = StorePath("big_checkpointed_store");
+  MakeLog(store, 4, /*checkpoint_lsn=*/1);
+  WalLintOptions options;
+  options.max_uncheckpointed_bytes = 16;
+  analysis::DiagnosticReport report;
+  LintWal(store, options, &report);
+  for (const std::string& code : Codes(report)) {
+    EXPECT_NE(code, "WAL004");
+  }
+}
+
+TEST(WalLintTest, NotAWalFileIsWal005Error) {
+  std::string store = StorePath("impostor_store");
+  AppendBytes(DurableStore::WalPath(store),
+              "this is certainly not a WAL file, far too chatty");
+  analysis::DiagnosticReport report;
+  EXPECT_EQ(LintWal(store, {}, &report), 1u);
+  EXPECT_EQ(Codes(report), std::vector<std::string>{"WAL005"});
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(WalLintTest, FingerprintMismatchIsWal005Error) {
+  std::string store = StorePath("mismatch_store");
+  MakeLog(store, 1);
+  WalLintOptions options;
+  options.fingerprint = kFp + 1;  // a different schema's log
+  analysis::DiagnosticReport report;
+  EXPECT_EQ(LintWal(store, options, &report), 1u);
+  EXPECT_EQ(Codes(report), std::vector<std::string>{"WAL005"});
+  // The right fingerprint (and the skip value 0) both pass.
+  analysis::DiagnosticReport ok_report;
+  WalLintOptions right;
+  right.fingerprint = kFp;
+  LintWal(store, right, &ok_report);
+  for (const std::string& code : Codes(ok_report)) {
+    EXPECT_NE(code, "WAL005");
+  }
+}
+
+}  // namespace
+}  // namespace mctdb::wal

@@ -1,0 +1,258 @@
+#include "wal/log_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "wal/log_reader.h"
+#include "wal/wal_format.h"
+
+namespace mctdb::wal {
+namespace {
+
+constexpr uint64_t kFp = 0xFEEDFACE12345678ull;
+
+std::string TempPath(const char* name) {
+  // Fresh file per run: LogWriter::Open appends to an existing log, so a
+  // leftover from a previous test run would change record counts.
+  std::string path = testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+// ---------------------------------------------------------------- format
+
+TEST(WalFormatTest, HeaderRoundTrip) {
+  WalHeader h;
+  h.fingerprint = kFp;
+  h.checkpoint_lsn = 42;
+  std::string bytes;
+  EncodeWalHeader(h, &bytes);
+  ASSERT_EQ(bytes.size(), kWalHeaderSize);
+  auto decoded = DecodeWalHeader(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->fingerprint, kFp);
+  EXPECT_EQ(decoded->checkpoint_lsn, 42u);
+}
+
+TEST(WalFormatTest, HeaderChecksumCatchesBitFlip) {
+  WalHeader h;
+  h.fingerprint = kFp;
+  std::string bytes;
+  EncodeWalHeader(h, &bytes);
+  bytes[10] ^= 0x40;
+  EXPECT_TRUE(DecodeWalHeader(bytes).status().IsDataLoss());
+}
+
+TEST(WalFormatTest, WrongMagicIsInvalidArgument) {
+  std::string bytes(kWalHeaderSize, 'Z');
+  EXPECT_TRUE(DecodeWalHeader(bytes).status().IsInvalidArgument());
+}
+
+TEST(WalFormatTest, RecordRoundTrip) {
+  std::string bytes;
+  EncodeWalRecord(7, RecordType::kUpdateOp, "payload bytes", &bytes);
+  size_t consumed = 0;
+  auto rec = DecodeWalRecord(bytes, &consumed);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(rec->lsn, 7u);
+  EXPECT_EQ(rec->payload, "payload bytes");
+}
+
+TEST(WalFormatTest, TornRecordIsDataLoss) {
+  std::string bytes;
+  EncodeWalRecord(7, RecordType::kUpdateOp, "payload bytes", &bytes);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    size_t consumed = 0;
+    auto rec = DecodeWalRecord(std::string_view(bytes).substr(0, cut),
+                               &consumed);
+    EXPECT_TRUE(rec.status().IsDataLoss()) << "cut=" << cut;
+  }
+}
+
+TEST(WalFormatTest, CorruptedPayloadIsDataLoss) {
+  std::string bytes;
+  EncodeWalRecord(7, RecordType::kUpdateOp, "payload bytes", &bytes);
+  bytes[kRecordPrefixSize + 3] ^= 1;
+  size_t consumed = 0;
+  EXPECT_TRUE(DecodeWalRecord(bytes, &consumed).status().IsDataLoss());
+}
+
+// ------------------------------------------------------------ log writer
+
+TEST(LogWriterTest, InMemoryAppendCommitScan) {
+  auto writer = LogWriter::Open("", kFp, kNoLsn, kNoLsn);
+  ASSERT_TRUE(writer.ok());
+  LogWriter& log = **writer;
+  EXPECT_TRUE(log.in_memory());
+  for (int i = 0; i < 5; ++i) {
+    auto lsn = log.Append(RecordType::kUpdateOp, "op" + std::to_string(i));
+    ASSERT_TRUE(lsn.ok());
+    EXPECT_EQ(*lsn, static_cast<Lsn>(i + 1));
+  }
+  EXPECT_EQ(log.durable_lsn(), kNoLsn);  // nothing committed yet
+  ASSERT_TRUE(log.Commit(5).ok());
+  EXPECT_EQ(log.durable_lsn(), 5u);
+
+  LogScan scan = ScanLogBytes(log.memory_log());
+  EXPECT_TRUE(scan.header_valid);
+  ASSERT_EQ(scan.records.size(), 5u);
+  EXPECT_EQ(scan.records[4].payload, "op4");
+  EXPECT_EQ(scan.last_lsn, 5u);
+  EXPECT_FALSE(scan.torn());
+}
+
+TEST(LogWriterTest, GroupCommitOneSyncCoversTheBatch) {
+  auto writer = LogWriter::Open(TempPath("group.wal"), kFp, kNoLsn, kNoLsn);
+  ASSERT_TRUE(writer.ok());
+  LogWriter& log = **writer;
+  const int kOps = 8;
+  for (int i = 0; i < kOps; ++i) {
+    ASSERT_TRUE(log.Append(RecordType::kUpdateOp, "x").ok());
+  }
+  // One commit of the highest LSN syncs the whole buffered batch at once.
+  ASSERT_TRUE(log.Commit(kOps).ok());
+  EXPECT_EQ(log.appends(), static_cast<uint64_t>(kOps));
+  EXPECT_EQ(log.fsyncs(), 1u);
+  // Re-committing already-durable LSNs is free.
+  ASSERT_TRUE(log.Commit(3).ok());
+  EXPECT_EQ(log.fsyncs(), 1u);
+}
+
+TEST(LogWriterTest, ConcurrentCommittersShareFsyncs) {
+  auto writer = LogWriter::Open(TempPath("group_mt.wal"), kFp, kNoLsn,
+                                kNoLsn);
+  ASSERT_TRUE(writer.ok());
+  LogWriter& log = **writer;
+  constexpr int kWriters = 8;
+  std::vector<Lsn> lsns(kWriters, kNoLsn);
+  for (int i = 0; i < kWriters; ++i) {
+    auto lsn = log.Append(RecordType::kUpdateOp, "w" + std::to_string(i));
+    ASSERT_TRUE(lsn.ok());
+    lsns[i] = *lsn;
+  }
+  // All writers commit their own record concurrently: a leader emerges,
+  // fsyncs once for everyone, and the rest find their LSN already durable.
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kWriters; ++i) {
+    threads.emplace_back([&log, &lsns, i] {
+      EXPECT_TRUE(log.Commit(lsns[i]).ok());
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(log.durable_lsn(), static_cast<Lsn>(kWriters));
+  // The group-commit win: strictly fewer syncs than writers.
+  EXPECT_LT(log.fsyncs(), static_cast<uint64_t>(kWriters));
+  EXPECT_GE(log.fsyncs(), 1u);
+}
+
+TEST(LogWriterTest, AppendErrorFaultIsCleanAndRecoverable) {
+  auto writer = LogWriter::Open("", kFp, kNoLsn, kNoLsn);
+  ASSERT_TRUE(writer.ok());
+  LogWriter& log = **writer;
+  {
+    failpoint::FailpointGuard guard("wal.append", "err");
+    auto lsn = log.Append(RecordType::kUpdateOp, "doomed");
+    EXPECT_TRUE(lsn.status().IsIoError());
+  }
+  EXPECT_FALSE(log.degraded());
+  // The failed append buffered nothing: the next one takes LSN 1.
+  auto lsn = log.Append(RecordType::kUpdateOp, "fine");
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(*lsn, 1u);
+  EXPECT_TRUE(log.Commit(*lsn).ok());
+}
+
+TEST(LogWriterTest, FsyncFaultDegradesTheWriter) {
+  auto writer = LogWriter::Open(TempPath("degrade.wal"), kFp, kNoLsn,
+                                kNoLsn);
+  ASSERT_TRUE(writer.ok());
+  LogWriter& log = **writer;
+  ASSERT_TRUE(log.Append(RecordType::kUpdateOp, "op").ok());
+  {
+    failpoint::FailpointGuard guard("wal.fsync", "err");
+    EXPECT_FALSE(log.Commit(1).ok());
+  }
+  EXPECT_TRUE(log.degraded());
+  EXPECT_EQ(log.durable_lsn(), kNoLsn);
+  // Degraded is sticky: every later append/commit refuses.
+  EXPECT_TRUE(log.Append(RecordType::kUpdateOp, "x").status().IsUnavailable());
+  EXPECT_TRUE(log.Commit(1).IsUnavailable());
+}
+
+TEST(LogWriterTest, TornBatchLeavesRecoverablePrefixOnDisk) {
+  std::string path = TempPath("torn.wal");
+  auto writer = LogWriter::Open(path, kFp, kNoLsn, kNoLsn);
+  ASSERT_TRUE(writer.ok());
+  LogWriter& log = **writer;
+  // Unequal payloads, so "half the batch" can never land exactly on a
+  // record boundary — the torn tail must cut through a record.
+  for (size_t len : {5u, 100u, 7u, 9u}) {
+    ASSERT_TRUE(log.Append(RecordType::kUpdateOp, std::string(len, 'r')).ok());
+  }
+  {
+    failpoint::FailpointGuard guard("wal.fsync", "trunc");
+    EXPECT_FALSE(log.Commit(4).ok());
+  }
+  EXPECT_TRUE(log.degraded());
+  // Half the batch reached the OS: the scan must find a checksum-valid,
+  // LSN-monotonic prefix and flag the rest as torn tail.
+  auto scan = ScanLog(path, kFp);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->header_valid);
+  EXPECT_TRUE(scan->torn());
+  EXPECT_LT(scan->records.size(), 4u);
+  for (size_t i = 0; i < scan->records.size(); ++i) {
+    EXPECT_EQ(scan->records[i].lsn, static_cast<Lsn>(i + 1));
+  }
+}
+
+TEST(LogWriterTest, ResetTruncatesToFreshHeader) {
+  std::string path = TempPath("reset.wal");
+  auto writer = LogWriter::Open(path, kFp, kNoLsn, kNoLsn);
+  ASSERT_TRUE(writer.ok());
+  LogWriter& log = **writer;
+  ASSERT_TRUE(log.Append(RecordType::kUpdateOp, "pre-checkpoint").ok());
+  ASSERT_TRUE(log.Commit(1).ok());
+  ASSERT_TRUE(log.Reset(1).ok());
+  EXPECT_EQ(log.durable_bytes(), kWalHeaderSize);
+
+  auto scan = ScanLog(path, kFp);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->header_valid);
+  EXPECT_EQ(scan->header.checkpoint_lsn, 1u);
+  EXPECT_TRUE(scan->records.empty());
+  // LSNs continue after the checkpoint rather than restarting.
+  auto lsn = log.Append(RecordType::kUpdateOp, "post-checkpoint");
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(*lsn, 2u);
+}
+
+TEST(LogWriterTest, ReopenAppendsAfterRecoveredTail) {
+  std::string path = TempPath("reopen.wal");
+  {
+    auto writer = LogWriter::Open(path, kFp, kNoLsn, kNoLsn);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(RecordType::kUpdateOp, "one").ok());
+    ASSERT_TRUE((*writer)->Commit(1).ok());
+  }
+  auto writer = LogWriter::Open(path, kFp, kNoLsn, /*durable_lsn=*/1);
+  ASSERT_TRUE(writer.ok());
+  auto lsn = (*writer)->Append(RecordType::kUpdateOp, "two");
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(*lsn, 2u);
+  ASSERT_TRUE((*writer)->Commit(2).ok());
+
+  auto scan = ScanLog(path, kFp);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->records[1].payload, "two");
+}
+
+}  // namespace
+}  // namespace mctdb::wal
