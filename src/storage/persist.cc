@@ -1,5 +1,8 @@
 #include "storage/persist.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 
@@ -174,7 +177,22 @@ uint64_t SchemaFingerprint(const mct::MctSchema& schema) {
   return h;
 }
 
-Status SaveStore(const MctStore& store, const std::string& path) {
+Status SyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? std::string(".")
+                                               : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError("cannot open directory for sync: " + dir);
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IoError("directory fsync failed: " + dir);
+  return Status::OK();
+}
+
+Status SaveStore(const MctStore& store, const std::string& path, bool sync) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IoError("cannot open " + path);
   Writer w(f);
@@ -259,6 +277,9 @@ Status SaveStore(const MctStore& store, const std::string& path) {
   w.EndSection();
 
   bool ok = w.ok();
+  if (ok && sync) {
+    if (std::fflush(f) != 0 || ::fsync(::fileno(f)) != 0) ok = false;
+  }
   ok = std::fclose(f) == 0 && ok;
   if (!ok) return Status::IoError("short write to " + path);
   return Status::OK();

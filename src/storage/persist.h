@@ -42,8 +42,16 @@ namespace mctdb::storage {
 /// edges) used to pair data files with schemas.
 uint64_t SchemaFingerprint(const mct::MctSchema& schema);
 
-/// Writes `store` to `path` (overwrites).
-Status SaveStore(const MctStore& store, const std::string& path);
+/// Writes `store` to `path` (overwrites). With `sync`, the file's bytes
+/// are fsynced before close, so a subsequent rename of `path` cannot
+/// become durable ahead of the data it names (the checkpoint discipline:
+/// sync file, rename, sync directory, only then trim the log).
+Status SaveStore(const MctStore& store, const std::string& path,
+                 bool sync = false);
+
+/// fsyncs the directory containing `path`, making renames/removals of
+/// entries in it durable. The companion to SaveStore(..., sync=true).
+Status SyncParentDir(const std::string& path);
 
 /// Reads a store from `path`. `schema` must outlive the result and match
 /// the fingerprint recorded at save time.

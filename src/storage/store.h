@@ -148,7 +148,7 @@ class MctStore {
  private:
   friend class StoreBuilder;
   friend class UpdateApplier;
-  friend Status SaveStore(const MctStore&, const std::string&);
+  friend Status SaveStore(const MctStore&, const std::string&, bool);
   friend Result<std::unique_ptr<MctStore>> LoadStore(const mct::MctSchema&,
                                                      const std::string&,
                                                      const StoreOptions&);

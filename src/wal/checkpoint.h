@@ -11,8 +11,10 @@
 //
 // The durable checkpoint protocol (DurableStore::Checkpoint) is:
 //   1. quiesce writers, group-commit the last appended LSN;
-//   2. CompactStore -> SaveStore to "<path>.ckpt.tmp";
-//   3. rename over "<path>"  (the atomic commit point);
+//   2. CompactStore -> SaveStore to "<path>.ckpt.tmp", fsynced;
+//   3. rename over "<path>", fsync the directory (the durable commit
+//      point — the image must be on disk BEFORE the log is trimmed,
+//      since Reset's truncation is itself durable);
 //   4. LogWriter::Reset with the checkpoint LSN (trims the log).
 // A crash between 3 and 4 leaves old log records covering ops already in
 // the image; recovery skips them idempotently (see recovery.h).

@@ -36,8 +36,30 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Create(
   ds->path_ = path;
   ds->options_ = options;
   ds->store_ = std::move(store);
-  MCTDB_RETURN_IF_ERROR(storage::SaveStore(*ds->store_, path));
-  std::remove(WalPath(path).c_str());  // discard any stale log
+  // Atomic create: build the image beside `path`, durably discard any
+  // stale log, and only then rename the image into place. Until the
+  // rename no new image is visible, so no crash point can pair a fresh
+  // image with an old WAL whose fingerprint matches (same schema) — the
+  // next Open would replay that stale history onto the new image.
+  std::string tmp = path + ".create.tmp";
+  Status saved = storage::SaveStore(*ds->store_, tmp, /*sync=*/true);
+  if (!saved.ok()) {
+    std::remove(tmp.c_str());
+    return saved;
+  }
+  std::remove(WalPath(path).c_str());
+  // Directory sync between the two entry operations: the stale log's
+  // removal must reach disk before the rename can.
+  Status synced = storage::SyncParentDir(path);
+  if (!synced.ok()) {
+    std::remove(tmp.c_str());
+    return synced;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("durable store: create rename failed");
+  }
+  MCTDB_RETURN_IF_ERROR(storage::SyncParentDir(path));
   ds->store_->EnableVersioning();
   uint64_t fingerprint = storage::SchemaFingerprint(ds->store_->schema());
   MCTDB_ASSIGN_OR_RETURN(
@@ -108,11 +130,13 @@ Result<DurableStore::ApplyReceipt> DurableStore::Apply(
 
 Result<CheckpointStats> DurableStore::Checkpoint() {
   std::lock_guard lk(write_mu_);
-  switch (MCTDB_FAILPOINT("wal.checkpoint")) {
-    case failpoint::Fault::kError:
-      return Status::IoError("wal: injected checkpoint fault");
-    default:
-      break;
+  // One evaluation per checkpoint drives BOTH probe points below, so a
+  // probabilistic arming rolls the dice once (err and trunc can't both
+  // fire in one call) and HitCount counts each checkpoint once. A `panic`
+  // action aborts here, at entry.
+  const failpoint::Fault ckpt_fault = MCTDB_FAILPOINT("wal.checkpoint");
+  if (ckpt_fault == failpoint::Fault::kError) {
+    return Status::IoError("wal: injected checkpoint fault");
   }
   if (last_applied_ != kNoLsn) {
     // Flush any straggler batch so the image and the log agree.
@@ -126,14 +150,25 @@ Result<CheckpointStats> DurableStore::Checkpoint() {
                          CompactStore(*store_, options_.store));
   stats.elements = compact->num_elements();
   if (!path_.empty()) {
+    // The image must be DURABLE before the log is trimmed: fsync the tmp
+    // file's bytes, rename, fsync the directory so the rename itself is
+    // on disk. Otherwise Reset's durable WAL truncation could reach disk
+    // ahead of the image's data blocks, and a power loss would leave a
+    // torn image with no log left to rebuild it — replay only covers
+    // crash-before-trim, never unsynced-image-after-trim.
     std::string tmp = path_ + ".ckpt.tmp";
-    MCTDB_RETURN_IF_ERROR(storage::SaveStore(*compact, tmp));
+    Status saved = storage::SaveStore(*compact, tmp, /*sync=*/true);
+    if (!saved.ok()) {
+      std::remove(tmp.c_str());
+      return saved;
+    }
     if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
       std::remove(tmp.c_str());
       return Status::IoError("wal: checkpoint rename failed");
     }
+    MCTDB_RETURN_IF_ERROR(storage::SyncParentDir(path_));
   }
-  if (MCTDB_FAILPOINT("wal.checkpoint") == failpoint::Fault::kTruncate) {
+  if (ckpt_fault == failpoint::Fault::kTruncate) {
     // Crash window probe: image committed, log not trimmed. Recovery will
     // skip the now-redundant records idempotently.
     return Status::IoError("wal: injected post-image checkpoint fault");

@@ -93,7 +93,18 @@ Result<Lsn> LogWriter::Append(RecordType type, std::string_view payload) {
       // with the file.
       std::string rec;
       EncodeWalRecord(next_lsn_, type, payload, &rec);
-      (void)WriteRaw(rec.data(), rec.size() / 2);
+      {
+        // The injected bytes share the fd with group-commit leaders,
+        // which run WriteAndSync without append_mu_. Holding commit_mu_
+        // blocks a new leader from starting; if a sync is already in
+        // flight we skip the file write entirely rather than interleave
+        // torn bytes into the middle of its batch (the writer still
+        // degrades either way, which is the fault being modeled).
+        std::unique_lock clk(commit_mu_);
+        if (!sync_in_progress_) {
+          (void)WriteRaw(rec.data(), rec.size() / 2);
+        }
+      }
       degraded_.store(true, std::memory_order_release);
       return Status::IoError("wal: injected torn append");
     }
