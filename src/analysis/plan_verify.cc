@@ -221,7 +221,7 @@ class PlanVerifier {
       size_t span = seg.to_index - seg.from_index;
       switch (seg.kind) {
         case SegmentKind::kValueJoin:
-          CheckValueJoin(seg, span, loc);
+          CheckValueJoin(seg, path, span, loc);
           break;
         case SegmentKind::kAncDesc:
         case SegmentKind::kStepChain:
@@ -238,8 +238,40 @@ class PlanVerifier {
     }
   }
 
-  void CheckValueJoin(const Segment& seg, size_t span,
+  void CheckValueJoin(const Segment& seg,
+                      const std::vector<er::NodeId>& path, size_t span,
                       const std::string& loc) {
+    // PLN013: the join's operands are the posting lists of the two path
+    // endpoints. If they name the same ER type the executor would hash and
+    // probe ONE posting list against itself — a degenerate self-join that
+    // silently matches every instance to itself — and if the registered
+    // ref edge connects a different pair of types, the probe keys and the
+    // idref values belong to unrelated domains.
+    if (seg.from_index < path.size() && seg.to_index < path.size()) {
+      er::NodeId a = path[seg.from_index];
+      er::NodeId b = path[seg.to_index];
+      if (a == b) {
+        report_->Error(
+            "PLN013", loc,
+            StringPrintf("value join operands reference the same posting "
+                         "list (type %u on both sides): a self-join can "
+                         "only produce identity matches",
+                         a),
+            "join two distinct path endpoints");
+      } else if (seg.ref_edge < schema_->graph().num_edges()) {
+        const er::ErEdge& e = schema_->graph().edge(seg.ref_edge);
+        bool connects = (e.rel == a && e.node == b) ||
+                        (e.rel == b && e.node == a);
+        if (!connects) {
+          report_->Error(
+              "PLN013", loc,
+              StringPrintf("value join covers path step %u-%u but its ref "
+                           "edge %u connects %u-%u",
+                           a, b, seg.ref_edge, e.rel, e.node),
+              "use the ref edge registered for the covered ER edge");
+        }
+      }
+    }
     if (span != 1) {
       report_->Error(
           "PLN006", loc,

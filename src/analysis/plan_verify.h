@@ -23,6 +23,9 @@
 //            subtree, duplicate logical id)
 //   * PLN012 update op unsupported under this schema's placement (no
 //            occurrence of the subtree root fits the target's colors)
+//   * PLN013 value-join operand mismatch: both operands reference the
+//            same posting list (degenerate self-join), or the segment's
+//            ref edge does not connect the path endpoints it covers
 #pragma once
 
 #include <cstddef>

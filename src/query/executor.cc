@@ -342,6 +342,23 @@ Result<ExecResult> Executor::Execute(const QueryPlan& plan) {
   stats_ = &stats;
   failure_ = Status::OK();
 
+  if (plan.statically_empty) {
+    // Static prune (analysis::AnalyzeQuery, DESIGN.md §14): the result set
+    // is provably empty on this schema, so no operator runs and no page is
+    // fetched. The annotated span keeps the prune visible in `mctc trace`.
+    {
+      obs::SpanScope span(stats_, obs::StageKind::kQuery,
+                          "pruned: " + plan.prune_reason);
+    }
+    ExecResult result;
+    auto end_time = std::chrono::steady_clock::now();
+    result.elapsed_seconds =
+        std::chrono::duration<double>(end_time - start_time).count();
+    stats_ = nullptr;
+    result.trace = stats.Finish();
+    return result;
+  }
+
   const size_t n = query.nodes.size();
   std::vector<Binding> bindings(n);
   std::vector<mct::ColorId> colors(n, 0);

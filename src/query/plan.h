@@ -73,6 +73,17 @@ struct QueryPlan {
   bool needs_group_by = false;
   bool dup_update_risk = false;
 
+  /// Static analysis verdict (analysis::AnalyzeQuery, attached by the
+  /// planner): the result set is provably empty on this schema, so the
+  /// executor short-circuits to an empty result without fetching a page.
+  bool statically_empty = false;
+  /// The emptiness finding driving the prune, "QRYnnn: message" — shown
+  /// as a span annotation in `mctc trace`.
+  std::string prune_reason;
+  /// All QRY codes the analyzer raised for this (query, schema) pair;
+  /// QRY008/009 here mark the plan simplifiable.
+  std::vector<std::string> analysis_codes;
+
   PlanStats Stats() const;
   std::string DebugString() const;
 };

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "analysis/plan_verify.h"
+#include "analysis/query_analyze.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -333,9 +334,28 @@ std::string QueryPlan::DebugString() const {
 
 Result<QueryPlan> PlanQuery(const AssociationQuery& query,
                             const mct::MctSchema& schema) {
+  // Static analysis first: fatal findings (unknown types, malformed
+  // references, unrecoverable edges — QRY001/002/006) mean no plan exists,
+  // and the analyzer's report beats the first error the planner would
+  // stumble on. Emptiness findings ride on the plan for the executor's
+  // zero-I/O short-circuit.
+  analysis::QueryAnalysis verdict = analysis::AnalyzeQuery(query, schema);
+  if (verdict.fatal()) {
+    return Status::InvalidArgument("query rejected by static analysis:\n" +
+                                   verdict.report.ToText());
+  }
+
   QueryPlan plan;
   plan.query = &query;
   plan.schema = &schema;
+  plan.statically_empty = verdict.statically_empty;
+  plan.prune_reason = verdict.empty_reason;
+  for (const analysis::Diagnostic& d : verdict.report.diagnostics()) {
+    if (std::find(plan.analysis_codes.begin(), plan.analysis_codes.end(),
+                  d.code) == plan.analysis_codes.end()) {
+      plan.analysis_codes.push_back(d.code);
+    }
+  }
   bool any_dup_risk = false;
 
   // Per-pattern-node color context: the color its binding is labeled in

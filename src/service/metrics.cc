@@ -153,6 +153,12 @@ std::string ServiceMetrics::ToJson() const {
   AppendU64(&out, "slow_queries",
             slow_queries.load(std::memory_order_relaxed));
   out += ',';
+  AppendU64(&out, "queries_pruned",
+            queries_pruned.load(std::memory_order_relaxed));
+  out += ',';
+  AppendU64(&out, "plans_simplified",
+            plans_simplified.load(std::memory_order_relaxed));
+  out += ',';
   AppendU64(&out, "updates_submitted",
             updates_submitted.load(std::memory_order_relaxed));
   out += ',';
@@ -219,6 +225,12 @@ std::string ServiceMetrics::ToPrometheus() const {
   counter("mctsvc_slow_queries_total",
           "Completed requests at or over the slow-query threshold",
           slow_queries.load(std::memory_order_relaxed));
+  counter("mctsvc_queries_pruned_total",
+          "Statically-empty plans short-circuited to a zero-I/O result",
+          queries_pruned.load(std::memory_order_relaxed));
+  counter("mctsvc_plans_simplified_total",
+          "Completed plans carrying a QRY008/QRY009 simplification finding",
+          plans_simplified.load(std::memory_order_relaxed));
   counter("mctsvc_updates_submitted_total",
           "Update ops admitted via SubmitUpdate",
           updates_submitted.load(std::memory_order_relaxed));

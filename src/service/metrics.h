@@ -90,6 +90,13 @@ struct ServiceMetrics {
   std::atomic<uint64_t> page_misses{0};
   /// Completed requests whose latency reached the slow-query threshold.
   std::atomic<uint64_t> slow_queries{0};
+  /// Completed requests whose plan the static analyzer proved empty: the
+  /// executor short-circuited them to an empty result with zero page
+  /// fetches (analysis::AnalyzeQuery, DESIGN.md §14).
+  std::atomic<uint64_t> queries_pruned{0};
+  /// Completed requests whose plan carried a simplification finding
+  /// (QRY008 redundant predicate / QRY009 redundant distinct).
+  std::atomic<uint64_t> plans_simplified{0};
   LatencyHistogram latency;
 
   // Write path (WAL-backed durable stores).

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "analysis/plan_verify.h"
+#include "analysis/query_analyze.h"
 #include "common/failpoint.h"
 #include "common/log.h"
 #include "common/logging.h"
@@ -245,6 +246,15 @@ void QueryService::RunNext(const std::shared_ptr<Session>& session) {
     metrics_.completed.fetch_add(1, std::memory_order_relaxed);
     if (result.ok()) {
       metrics_.latency.Record(result->elapsed_seconds);
+      if (task.plan->statically_empty) {
+        metrics_.queries_pruned.fetch_add(1, std::memory_order_relaxed);
+      }
+      for (const std::string& code : task.plan->analysis_codes) {
+        if (code == "QRY008" || code == "QRY009") {
+          metrics_.plans_simplified.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+      }
       RecordCompletion(*session, *result);
       if (session->breaker_ != nullptr) session->breaker_->RecordSuccess();
     } else {
@@ -454,6 +464,21 @@ Result<QueryFuture> QueryService::Session::Submit(const QueryPlan& plan,
       svc->metrics_.invalid_plans.fetch_add(1, std::memory_order_relaxed);
       return Status::InvalidArgument("plan verification failed:\n" +
                                      report.ToText());
+    }
+    // Second gate, query-level: a plan whose query the static analyzer
+    // rejects outright (unknown types, malformed references, unrecoverable
+    // associations — QRY001/002/006) never reaches a worker. Emptiness
+    // findings pass through: a statically-empty query is valid and runs as
+    // a zero-I/O short-circuit.
+    if (plan.query != nullptr && plan.schema != nullptr) {
+      mctdb::analysis::QueryAnalysis verdict =
+          mctdb::analysis::AnalyzeQuery(*plan.query, *plan.schema);
+      if (verdict.fatal()) {
+        svc->metrics_.invalid_plans.fetch_add(1, std::memory_order_relaxed);
+        return Status::InvalidArgument(
+            "query rejected by static analysis:\n" +
+            verdict.report.ToText());
+      }
     }
   }
   // An open breaker refuses before the request consumes an admission

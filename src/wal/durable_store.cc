@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "analysis/query_analyze.h"
 #include "common/failpoint.h"
 #include "storage/persist.h"
 
@@ -88,6 +89,17 @@ Result<DurableStore::ApplyReceipt> DurableStore::Apply(
   std::unique_lock lk(write_mu_);
   if (log_->degraded()) {
     return Status::Unavailable("durable store: WAL degraded; reopen");
+  }
+  {
+    // Static precheck (QRY012) BEFORE the append: a schema-invalid op must
+    // never dirty the log — a refused op leaves wal_appends unchanged and
+    // nothing for recovery to skip.
+    analysis::DiagnosticReport precheck =
+        analysis::VerifyUpdateOpStatic(store_->schema(), op);
+    if (precheck.has_errors()) {
+      return Status::InvalidArgument(
+          "update op rejected by static precheck:\n" + precheck.ToText());
+    }
   }
   std::string payload;
   storage::EncodeUpdateOp(op, &payload);

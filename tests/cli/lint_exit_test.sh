@@ -1,0 +1,48 @@
+#!/bin/sh
+# Exit-code contract of `mctc lint` (README "Static analysis"):
+#   0  lint ran and found no error-severity diagnostics (warnings/notes OK)
+#   1  lint ran and found error diagnostics
+#   2  internal/input error: unreadable file, unknown query, bad MC-XPath
+#
+# Usage: lint_exit_test.sh <path-to-mctc> <examples-designs-dir>
+set -u
+
+MCTC="$1"
+DESIGNS="$2"
+fails=0
+
+expect() {
+  want="$1"
+  label="$2"
+  shift 2
+  "$@" > /dev/null 2>&1
+  got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $label: expected exit $want, got $got ($*)" >&2
+    fails=$((fails + 1))
+  else
+    echo "ok: $label (exit $got)"
+  fi
+}
+
+# 0: clean schema lint, and the full grid (schema + every workload query x
+# every designer schema). blog.er carries known-empty workload queries —
+# warning-severity findings must NOT flip the exit code.
+expect 0 "clean lint"        "$MCTC" lint "$DESIGNS/warehouse.er"
+expect 0 "clean grid"        "$MCTC" lint --grid "$DESIGNS/warehouse.er"
+expect 0 "warnings still 0"  "$MCTC" lint --grid "$DESIGNS/blog.er"
+expect 0 "json output"       "$MCTC" lint --json "$DESIGNS/warehouse.er"
+
+# 1: error diagnostics found (unknown tag -> QRY001 on every schema).
+expect 1 "query with errors" "$MCTC" lint --query /bogus "$DESIGNS/warehouse.er"
+
+# 2: the lint itself could not run.
+expect 2 "missing file"      "$MCTC" lint "$DESIGNS/no_such_file.er"
+expect 2 "unknown query"     "$MCTC" lint --query NoSuchQuery "$DESIGNS/warehouse.er"
+expect 2 "bad mc-xpath"      "$MCTC" lint --query "/(unclosed" "$DESIGNS/warehouse.er"
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails case(s) failed" >&2
+  exit 1
+fi
+echo "all lint exit-code cases passed"

@@ -213,6 +213,68 @@ TEST(PlanVerifyTest, DetectsValueJoinWithoutRefEdge) {
   EXPECT_TRUE(report.HasCode("PLN009")) << report.ToText();
 }
 
+TEST(PlanVerifyTest, DetectsValueJoinSelfJoin) {
+  // PLN013, operand half: both join operands naming the same posting list
+  // is a degenerate self-join the executor would silently "satisfy" with
+  // identity matches.
+  workload::Workload w = workload::TpcwWorkload(0.03);
+  er::ErGraph graph(w.diagram);
+  design::Designer designer(graph);
+  mct::MctSchema shallow = designer.Design(Strategy::kShallow);
+  for (const query::AssociationQuery& q : w.queries) {
+    auto plan = query::PlanQuery(q, shallow);
+    ASSERT_TRUE(plan.ok());
+    for (auto& edge : plan->edges) {
+      for (Segment& seg : edge.segments) {
+        if (seg.kind != SegmentKind::kValueJoin) continue;
+        query::AssociationQuery copy = q;
+        auto& path = copy.nodes[edge.pattern_node].path_from_parent;
+        path[seg.to_index] = path[seg.from_index];  // same type both sides
+        plan->query = &copy;
+        DiagnosticReport report = VerifyPlan(*plan);
+        ASSERT_TRUE(report.has_errors());
+        EXPECT_TRUE(report.HasCode("PLN013")) << report.ToText();
+        return;
+      }
+    }
+  }
+  FAIL() << "fixture assumption: SHALLOW plans use value joins";
+}
+
+TEST(PlanVerifyTest, DetectsValueJoinRefEdgeMismatch) {
+  // PLN013, edge half: the segment's registered ref edge must connect the
+  // exact path endpoints it covers — probing idref values from an
+  // unrelated association joins disjoint key domains.
+  workload::Workload w = workload::TpcwWorkload(0.03);
+  er::ErGraph graph(w.diagram);
+  design::Designer designer(graph);
+  mct::MctSchema shallow = designer.Design(Strategy::kShallow);
+  for (const query::AssociationQuery& q : w.queries) {
+    auto plan = query::PlanQuery(q, shallow);
+    ASSERT_TRUE(plan.ok());
+    for (auto& edge : plan->edges) {
+      const auto& path = q.nodes[edge.pattern_node].path_from_parent;
+      for (Segment& seg : edge.segments) {
+        if (seg.kind != SegmentKind::kValueJoin) continue;
+        er::NodeId a = path[seg.from_index];
+        er::NodeId b = path[seg.to_index];
+        for (er::EdgeId eid = 0; eid < graph.num_edges(); ++eid) {
+          const er::ErEdge& e = graph.edge(eid);
+          bool connects = (e.rel == a && e.node == b) ||
+                          (e.rel == b && e.node == a);
+          if (connects) continue;
+          seg.ref_edge = eid;  // a real edge, the wrong association
+          DiagnosticReport report = VerifyPlan(*plan);
+          ASSERT_TRUE(report.has_errors());
+          EXPECT_TRUE(report.HasCode("PLN013")) << report.ToText();
+          return;
+        }
+      }
+    }
+  }
+  FAIL() << "fixture assumption: SHALLOW plans use value joins";
+}
+
 TEST(PlanVerifyTest, DetectsEmptyAnchorScan) {
   CorruptionFixture f;
   QueryPlan plan = f.Plan("Q1");

@@ -1,0 +1,165 @@
+// The pruning soundness property: a plan the analyzer marks
+// statically_empty must return exactly what the full pipeline would have
+// returned (the empty set) — verified by executing every pruned plan BOTH
+// ways on materialized data, across all seven designer strategies — and
+// the pruned run must touch zero pages.
+#include <gtest/gtest.h>
+
+#include "design/designer.h"
+#include "instance/materialize.h"
+#include "obs/trace_export.h"
+#include "query/executor.h"
+#include "query/planner.h"
+#include "workload/workload.h"
+
+namespace mctdb::query {
+namespace {
+
+using design::Designer;
+using design::Strategy;
+
+/// Shared small TPC-W database materialized under every strategy (same
+/// fixture shape as executor_test.cc).
+class PruneEquivalenceTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    w_ = new workload::Workload(workload::TpcwWorkload(0.05));
+    graph_ = new er::ErGraph(w_->diagram);
+    Designer designer(*graph_);
+    logical_ = new instance::LogicalInstance(
+        instance::GenerateInstance(*graph_, w_->gen));
+    for (Strategy s : design::AllStrategies()) {
+      schemas_->push_back(designer.Design(s));
+    }
+    for (mct::MctSchema& schema : *schemas_) {
+      stores_->push_back(instance::Materialize(*logical_, schema));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete stores_;
+    delete schemas_;
+    delete logical_;
+    delete graph_;
+    delete w_;
+    stores_ = nullptr;
+  }
+
+  static const char* StrategyName(size_t i) {
+    return design::ToString(design::AllStrategies()[i]);
+  }
+
+  /// Queries that are statically empty on every schema (undeclared
+  /// attributes — nothing stored ever satisfies the predicate), but that
+  /// the planner still compiles, so the unpruned pipeline can run.
+  static std::vector<AssociationQuery> EmptyQueries() {
+    std::vector<AssociationQuery> out;
+    {
+      QueryBuilder b("E1_scan", w_->diagram);
+      int r = b.Root("country");
+      b.Where(r, "population", "large");
+      out.push_back(b.Build());
+    }
+    {
+      // A multi-join shape: unpruned execution would pay real structural
+      // joins before the predicate kills everything.
+      QueryBuilder b("E2_join", w_->diagram);
+      int r = b.Root("country");
+      int a = b.Via(r, {"in", "address"});
+      int c = b.Via(a, {"has", "customer"});
+      b.Where(c, "shoe_size", "9");
+      b.Output(c);
+      out.push_back(b.Build());
+    }
+    {
+      QueryBuilder b("E3_distinct", w_->diagram);
+      int r = b.Root("order");
+      b.Where(r, "carrier_pigeon", "yes");
+      b.Distinct();
+      out.push_back(b.Build());
+    }
+    return out;
+  }
+
+  static workload::Workload* w_;
+  static er::ErGraph* graph_;
+  static instance::LogicalInstance* logical_;
+  static std::vector<mct::MctSchema>* schemas_;
+  static std::vector<std::unique_ptr<storage::MctStore>>* stores_;
+};
+
+workload::Workload* PruneEquivalenceTest::w_ = nullptr;
+er::ErGraph* PruneEquivalenceTest::graph_ = nullptr;
+instance::LogicalInstance* PruneEquivalenceTest::logical_ = nullptr;
+std::vector<mct::MctSchema>* PruneEquivalenceTest::schemas_ =
+    new std::vector<mct::MctSchema>();
+std::vector<std::unique_ptr<storage::MctStore>>* PruneEquivalenceTest::stores_ =
+    new std::vector<std::unique_ptr<storage::MctStore>>();
+
+TEST_F(PruneEquivalenceTest, GridPlansAreNeverPruned) {
+  // The paper's workload queries all produce results: the analyzer must
+  // not prune (or simplify away) any of them on any strategy.
+  for (size_t i = 0; i < schemas_->size(); ++i) {
+    for (const AssociationQuery& q : w_->queries) {
+      auto plan = PlanQuery(q, (*schemas_)[i]);
+      ASSERT_TRUE(plan.ok())
+          << q.name << " on " << StrategyName(i) << ": "
+          << plan.status().ToString();
+      EXPECT_FALSE(plan->statically_empty)
+          << q.name << " on " << StrategyName(i) << ": "
+          << plan->prune_reason;
+    }
+  }
+}
+
+TEST_F(PruneEquivalenceTest, PrunedEqualsUnprunedAcrossTheGrid) {
+  // The property itself: for every (empty query, strategy), run the plan
+  // as planned (pruned) and with the prune flag cleared (full pipeline on
+  // real data); the results must be identical — and the pruned run must
+  // be zero-I/O.
+  for (const AssociationQuery& q : EmptyQueries()) {
+    for (size_t i = 0; i < schemas_->size(); ++i) {
+      SCOPED_TRACE(q.name + std::string(" on ") + StrategyName(i));
+      auto plan = PlanQuery(q, (*schemas_)[i]);
+      ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+      ASSERT_TRUE(plan->statically_empty) << plan->prune_reason;
+      EXPECT_EQ(plan->prune_reason.substr(0, 3), "QRY");
+
+      Executor exec((*stores_)[i].get());
+      auto pruned = exec.Execute(*plan);
+      ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+
+      QueryPlan full = *plan;
+      full.statically_empty = false;
+      auto unpruned = exec.Execute(full);
+      ASSERT_TRUE(unpruned.ok()) << unpruned.status().ToString();
+
+      EXPECT_EQ(pruned->logicals, unpruned->logicals);
+      EXPECT_EQ(pruned->raw_count, unpruned->raw_count);
+      EXPECT_EQ(pruned->unique_count, unpruned->unique_count);
+      EXPECT_EQ(pruned->groups, unpruned->groups);
+      EXPECT_TRUE(pruned->logicals.empty());
+
+      // Zero-I/O: the short-circuit never touches the buffer pool or a
+      // join operator.
+      EXPECT_EQ(pruned->page_hits + pruned->page_misses, 0u);
+      EXPECT_EQ(pruned->join_pairs, 0u);
+    }
+  }
+}
+
+TEST_F(PruneEquivalenceTest, PrunedTraceCarriesTheReason) {
+  AssociationQuery q = EmptyQueries()[0];
+  auto plan = PlanQuery(q, (*schemas_)[0]);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(plan->statically_empty);
+  Executor exec((*stores_)[0].get());
+  auto result = exec.Execute(*plan);
+  ASSERT_TRUE(result.ok());
+  // The span tree must name the prune so `mctc trace` shows why the
+  // query did no work.
+  std::string trace = obs::SpanTreeToText(result->trace);
+  EXPECT_NE(trace.find("pruned"), std::string::npos) << trace;
+}
+
+}  // namespace
+}  // namespace mctdb::query

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <thread>
@@ -608,6 +609,94 @@ TEST_F(QueryServiceTest, MetricsTextExportsHardeningSeries) {
                           "\"retries\"", "\"quarantined\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
+}
+
+TEST_F(QueryServiceTest, StaticallyEmptyQueryIsPrunedToZeroIo) {
+  // A statically-empty query (predicate on an undeclared attribute) is
+  // valid — it executes through the service as a zero-I/O empty result
+  // and ticks mctsvc_queries_pruned_total, never InvalidArgument.
+  mctdb::query::QueryBuilder b("Ebogus", w_->diagram);
+  int r = b.Root("country");
+  b.Where(r, "population", "big");
+  mctdb::query::AssociationQuery q = b.Build();
+  auto plan = PlanQuery(q, *schema_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE(plan->statically_empty) << "QRY007 must mark the plan";
+
+  QueryService service;
+  ASSERT_TRUE(service.AddStore("tpcw", store_).ok());
+  auto session = service.OpenSession("tpcw");
+  ASSERT_TRUE(session.ok());
+  auto future = (*session)->Submit(*plan);
+  ASSERT_TRUE(future.ok()) << future.status().ToString();
+  auto result = future->get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->logicals.empty());
+  // The acceptance bar: the pruned query fetched zero pages.
+  EXPECT_EQ(result->page_hits + result->page_misses, 0u);
+  service.Drain();
+  EXPECT_EQ(service.metrics().queries_pruned.load(), 1u);
+  EXPECT_EQ(service.metrics().completed.load(), 1u);
+  EXPECT_EQ(service.metrics().invalid_plans.load(), 0u);
+  EXPECT_NE(service.MetricsText().find("mctsvc_queries_pruned_total 1"),
+            std::string::npos);
+}
+
+TEST_F(QueryServiceTest, SimplifiableQueryTicksPlansSimplified) {
+  // Two branches carrying the identical predicate: QRY008 rides along on
+  // the plan's analysis codes and the worker counts the simplification.
+  mctdb::query::QueryBuilder b("Edup", w_->diagram);
+  int r = b.Root("country");
+  int a1 = b.Via(r, {"in", "address"});
+  int a2 = b.Via(r, {"in", "address"});
+  b.Where(a1, "city", "x").Where(a2, "city", "x");
+  b.Output(a2);
+  mctdb::query::AssociationQuery q = b.Build();
+  auto plan = PlanQuery(q, *schema_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_FALSE(plan->statically_empty);
+  ASSERT_NE(std::find(plan->analysis_codes.begin(),
+                      plan->analysis_codes.end(), "QRY008"),
+            plan->analysis_codes.end());
+
+  QueryService service;
+  ASSERT_TRUE(service.AddStore("tpcw", store_).ok());
+  auto r1 = service.Execute("tpcw", *plan);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  service.Drain();
+  EXPECT_EQ(service.metrics().plans_simplified.load(), 1u);
+  EXPECT_NE(service.MetricsText().find("mctsvc_plans_simplified_total 1"),
+            std::string::npos);
+}
+
+TEST_F(QueryServiceTest, FatalAnalysisVerdictRejectedAtAdmission) {
+  // A plan that passes the structural verifier but whose QUERY the static
+  // analyzer rejects (QRY002: association path endpoints disagree with
+  // the pattern) must bounce at admission with the QRY diagnostics.
+  QueryPlan plan = Plan("Q1");
+  mctdb::query::AssociationQuery bad = *plan.query;
+  ASSERT_GE(bad.nodes.size(), 2u);
+  // Retarget a non-root node's type so path.back() != er_node; the plan's
+  // segments (built from the path) still verify.
+  mctdb::er::NodeId other = *w_->diagram.FindNode(
+      bad.nodes[1].er_node == *w_->diagram.FindNode("country") ? "item"
+                                                               : "country");
+  ASSERT_NE(bad.nodes[1].er_node, other);
+  bad.nodes[1].er_node = other;
+  plan.query = &bad;
+
+  QueryService service;
+  ASSERT_TRUE(service.AddStore("tpcw", store_).ok());
+  auto session = service.OpenSession("tpcw");
+  ASSERT_TRUE(session.ok());
+  auto rejected = (*session)->Submit(plan);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsInvalidArgument())
+      << rejected.status().ToString();
+  EXPECT_NE(rejected.status().message().find("QRY002"), std::string::npos)
+      << rejected.status().ToString();
+  EXPECT_EQ(service.metrics().invalid_plans.load(), 1u);
+  EXPECT_EQ(service.metrics().submitted.load(), 0u);
 }
 
 TEST(ParallelRunnerTest, MatchesSerialRunMeasurementForMeasurement) {

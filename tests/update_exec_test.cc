@@ -199,6 +199,62 @@ TEST(UpdateExecTest, UnsupportedPlacementReportsPln012) {
   EXPECT_EQ(report.diagnostics()[0].code, "PLN012");
 }
 
+TEST(UpdateExecTest, SchemaInvalidOpRefusedBeforeWalAppend) {
+  // The QRY012 static precheck sits in DurableStore::Apply ahead of the
+  // WAL append: a schema-invalid op must come back InvalidArgument with
+  // wal_appends unchanged — the log never holds a record recovery would
+  // have to re-refuse.
+  Fixture f;
+  mct::MctSchema schema = f.designer.Design(Strategy::kEn);
+  auto durable = f.MakeDurable(schema);
+  ASSERT_EQ(durable->wal_appends(), 0u);
+
+  er::NodeId country = *f.w.diagram.FindNode("country");
+  const er::Attribute* key = nullptr;
+  const er::Attribute* nonkey = nullptr;
+  for (const er::Attribute& a : f.w.diagram.node(country).attributes) {
+    (a.is_key ? key : nonkey) = &a;
+  }
+  ASSERT_NE(key, nullptr);
+  ASSERT_NE(nonkey, nullptr);
+
+  std::vector<storage::UpdateOp> bad;
+  {
+    storage::UpdateOp op;  // U3 on the key attribute
+    op.kind = storage::UpdateOp::Kind::kRenameValue;
+    op.target_type = country;
+    op.target_logical = 0;
+    op.attr = key->name;
+    op.new_value = "clobbered";
+    bad.push_back(op);
+    op.attr = "no_such_attribute";  // U3 on an undeclared attribute
+    bad.push_back(op);
+    op.target_type = 9999;  // unknown target type
+    bad.push_back(op);
+  }
+  for (const storage::UpdateOp& op : bad) {
+    auto refused = durable->Apply(op);
+    ASSERT_FALSE(refused.ok()) << storage::DebugString(op);
+    EXPECT_TRUE(refused.status().IsInvalidArgument())
+        << refused.status().ToString();
+    EXPECT_NE(refused.status().message().find("QRY012"), std::string::npos)
+        << refused.status().ToString();
+  }
+  EXPECT_EQ(durable->wal_appends(), 0u) << "refused ops dirtied the log";
+
+  // The gate lets a valid op through: rename a non-key attribute of an
+  // existing instance.
+  storage::UpdateOp ok;
+  ok.kind = storage::UpdateOp::Kind::kRenameValue;
+  ok.target_type = country;
+  ok.target_logical = 0;
+  ok.attr = nonkey->name;
+  ok.new_value = "renamed";
+  auto applied = durable->Apply(ok);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(durable->wal_appends(), 1u);
+}
+
 TEST(UpdateExecTest, SameStreamKeepsSchemasEquivalent) {
   Fixture f;
   mct::MctSchema en = f.designer.Design(Strategy::kEn);

@@ -12,9 +12,16 @@
 //                                             execute the workload queries and
 //                                             print each one's stage-span
 //                                             trace (exact per-query I/O)
-//   mctc lint     <file.er> [--json] [--schema-only]
+//   mctc lint     <file.er> [--json] [--schema-only] [--grid]
+//                 [--query NAME|MCXPATH] [--store PATH]
 //                                             static analysis: schema lint +
-//                                             plan verification, 7 strategies
+//                                             plan verification, 7 strategies;
+//                                             --grid adds the full query-
+//                                             analysis grid (QRY001-012, all
+//                                             workload queries x all designer
+//                                             schemas); --query analyzes one
+//                                             workload query or an MC-XPath
+//                                             expression across the schemas
 //   mctc bench    [--scale S] [--reps N] [--bench NAME] [--json]
 //                 [--out DIR] [--check] [--tolerance T] [--min-abs S]
 //                 [--baselines DIR] [--list]
@@ -40,9 +47,12 @@
 //   mctc demo                                 built-in TPC-W walkthrough
 //
 // Files with the .er extension use the DSL of er/er_parser.h (see
-// examples/designs/). Exit status: 0 ok, 1 usage, 2 input error (for lint:
-// 2 also when any error-severity diagnostic was reported; for bench with
-// --check: 2 when the regression gate fails).
+// examples/designs/). Exit status: 0 ok, 1 usage, 2 input error (for bench
+// with --check: 2 when the regression gate fails). `mctc lint` has its own
+// contract: 0 = no error-severity findings (warnings/notes still print),
+// 1 = error diagnostics found, 2 = internal/input error (unreadable file,
+// bad syntax) — so scripts can tell "the input is bad" from "the lint
+// found problems".
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -52,6 +62,7 @@
 #include <thread>
 
 #include "analysis/plan_verify.h"
+#include "analysis/query_analyze.h"
 #include "analysis/schema_lint.h"
 #include "bench/report.h"
 #include "bench/suite.h"
@@ -66,6 +77,7 @@
 #include "mct/schema_export.h"
 #include "obs/trace_export.h"
 #include "query/executor.h"
+#include "query/mcxpath.h"
 #include "query/planner.h"
 #include "query/update_exec.h"
 #include "service/query_service.h"
@@ -93,7 +105,9 @@ int Usage() {
       "           [--update-fraction F]\n"
       "  trace    <file.er> [--query NAME] [-s STRATEGY] [--json]"
       " [--base N]\n"
-      "  lint     <file.er> [--json] [--schema-only]\n"
+      "  lint     <file.er> [--json] [--schema-only] [--grid]"
+      " [--query NAME|MCXPATH]\n"
+      "           [--store PATH]\n"
       "  bench    [--scale S] [--reps N] [--bench NAME] [--json] [--out DIR]"
       " [--check]\n"
       "           [--tolerance T] [--min-abs S] [--baselines DIR] [--list]\n"
@@ -489,13 +503,19 @@ int CmdTrace(int argc, char** argv) {
 int CmdLint(int argc, char** argv) {
   const char* path = nullptr;
   const char* store_path = nullptr;
+  const char* query_arg = nullptr;
   bool json = false;
   bool schema_only = false;
+  bool grid = false;
   for (int i = 0; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--json")) {
       json = true;
     } else if (!std::strcmp(argv[i], "--schema-only")) {
       schema_only = true;
+    } else if (!std::strcmp(argv[i], "--grid")) {
+      grid = true;
+    } else if (!std::strcmp(argv[i], "--query") && i + 1 < argc) {
+      query_arg = argv[++i];
     } else if (!std::strcmp(argv[i], "--store") && i + 1 < argc) {
       store_path = argv[++i];
     } else if (path == nullptr) {
@@ -512,10 +532,61 @@ int CmdLint(int argc, char** argv) {
   design::Designer designer(graph);
   workload::Workload w = workload::XmarkEmulatedWorkload(*diagram);
 
-  analysis::DiagnosticReport combined;
+  std::vector<mct::MctSchema> schemas;
+  schemas.reserve(design::AllStrategies().size());
   for (design::Strategy s : design::AllStrategies()) {
-    mct::MctSchema schema = designer.Design(s);
+    schemas.push_back(designer.Design(s));
+  }
+  std::vector<const mct::MctSchema*> schema_ptrs;
+  schema_ptrs.reserve(schemas.size());
+  for (const mct::MctSchema& s : schemas) schema_ptrs.push_back(&s);
 
+  analysis::DiagnosticReport combined;
+
+  auto emit = [&]() {
+    if (json) {
+      std::printf("%s\n", combined.ToJson().c_str());
+    } else {
+      std::printf("%s", combined.ToText().c_str());
+    }
+    // Exit contract (README): 0 = no error-severity findings (warnings
+    // and notes still print), 1 = error diagnostics found, 2 = internal
+    // or input error (unreadable file, bad syntax).
+    return combined.has_errors() ? 1 : 0;
+  };
+
+  // --query: analyze ONE query (a workload query by name, or an MC-XPath
+  // expression starting with '/') against every designer schema, with
+  // cross-schema divergence (QRY011).
+  if (query_arg != nullptr) {
+    if (query_arg[0] == '/') {
+      auto parsed = query::ParseMcXPath(query_arg);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     parsed.status().ToString().c_str());
+        return 2;
+      }
+      combined.MergeFrom(
+          analysis::AnalyzeMcXPathAcrossSchemas(*parsed, schema_ptrs));
+    } else {
+      const query::AssociationQuery* found = nullptr;
+      for (const query::AssociationQuery& q : w.queries) {
+        if (q.name == query_arg) found = &q;
+      }
+      if (found == nullptr) {
+        std::fprintf(stderr,
+                     "error: no workload query named '%s' (try Q1..Q%zu, "
+                     "or pass an MC-XPath starting with '/')\n",
+                     query_arg, w.queries.size());
+        return 2;
+      }
+      combined.MergeFrom(
+          analysis::AnalyzeQueryAcrossSchemas(*found, schema_ptrs));
+    }
+    return emit();
+  }
+
+  for (const mct::MctSchema& schema : schemas) {
     // Schema lint, cross-checking the normal-form flags the designer
     // claims for this strategy against re-derived ones.
     design::DesignReport dr = designer.Report(schema);
@@ -544,6 +615,15 @@ int CmdLint(int argc, char** argv) {
     }
   }
 
+  // --grid: the full static-analysis grid — every workload query analyzed
+  // against every designer schema, including cross-schema divergence.
+  if (grid && !schema_only) {
+    for (const query::AssociationQuery& q : w.queries) {
+      combined.MergeFrom(
+          analysis::AnalyzeQueryAcrossSchemas(q, schema_ptrs));
+    }
+  }
+
   // WAL-state diagnostics for an on-disk store: tail newer than the
   // checkpoint (will recover on open), torn tail, oversized
   // checkpoint-less log.
@@ -551,12 +631,7 @@ int CmdLint(int argc, char** argv) {
     wal::LintWal(store_path, {}, &combined);
   }
 
-  if (json) {
-    std::printf("%s\n", combined.ToJson().c_str());
-  } else {
-    std::printf("%s", combined.ToText().c_str());
-  }
-  return combined.has_errors() ? 2 : 0;
+  return emit();
 }
 
 Status WriteText(const std::string& path, const std::string& text) {
