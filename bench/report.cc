@@ -270,9 +270,18 @@ CheckResult CheckAgainstBaseline(const BenchReport& current,
   }
   for (const QueryRecord& cur : current.records) {
     if (baseline.Find(cur.schema, cur.query) == nullptr) {
-      result.notes.push_back(StringPrintf(
-          "%s: new record %s (no baseline yet)", current.bench.c_str(),
-          RecordKey(cur).c_str()));
+      std::string line = StringPrintf(
+          "%s: new record %s (no baseline yet%s)", current.bench.c_str(),
+          RecordKey(cur).c_str(),
+          options.strict_new_records
+              ? "; strict mode fails on ungated records — regenerate "
+                "bench/baselines"
+              : "");
+      if (options.strict_new_records) {
+        result.regressions.push_back(std::move(line));
+      } else {
+        result.notes.push_back(std::move(line));
+      }
     }
   }
   return result;

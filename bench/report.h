@@ -97,6 +97,12 @@ struct CheckOptions {
   double min_abs_seconds = 0.005;
   /// When false, deterministic counters are reported but not gated.
   bool gate_counters = true;
+  /// Strict mode (on in CI): a current record with no baseline is a
+  /// FAILURE, not a note. Without it, renaming a query or adding a schema
+  /// silently un-gates the new records until someone remembers to commit
+  /// baselines; strict mode turns that drift into a red build that says
+  /// exactly which records to add.
+  bool strict_new_records = false;
 };
 
 struct CheckResult {

@@ -9,6 +9,7 @@
 //
 // Rank table (outermost first — lower ranks are taken before higher ones):
 //   kServiceRegistry (100)  QueryService::mu_ — store registry
+//   kPlanCache       (150)  PlanCache::mu_ — cached-plan LRU map
 //   kSessionStrand   (200)  QueryService::Session::mu_ — strand queue
 //   kServiceDrain    (300)  QueryService::drain_mu_ — drain barrier
 //   kSlowQueryLog    (350)  QueryService::slow_mu_ — slow-query ring
@@ -35,6 +36,7 @@ namespace mctdb {
 
 enum class LockRank : uint32_t {
   kServiceRegistry = 100,
+  kPlanCache = 150,
   kSessionStrand = 200,
   kServiceDrain = 300,
   kSlowQueryLog = 350,
@@ -45,6 +47,8 @@ inline const char* ToString(LockRank r) {
   switch (r) {
     case LockRank::kServiceRegistry:
       return "ServiceRegistry";
+    case LockRank::kPlanCache:
+      return "PlanCache";
     case LockRank::kSessionStrand:
       return "SessionStrand";
     case LockRank::kServiceDrain:

@@ -98,9 +98,15 @@ class ExecStats {
   /// Called by PostingCursor on every page touch.
   void OnPageFetch(bool miss);
 
+  /// Records one index-assisted seek: a posting cursor consulted the
+  /// per-page interval summaries and jumped over at least one page
+  /// without fetching it (front seek, mid-scan skip, or tail cut).
+  void OnIndexSeek() { ++index_seeks_; }
+
   uint64_t page_hits() const { return page_hits_; }
   uint64_t page_misses() const { return page_misses_; }
   uint64_t join_pairs() const { return join_pairs_; }
+  uint64_t index_seeks() const { return index_seeks_; }
 
   /// Opens a child span of the innermost open span. Returns the node; the
   /// pointer stays valid until the span's EndSpan (stack discipline
@@ -124,6 +130,7 @@ class ExecStats {
   uint64_t page_hits_ = 0;
   uint64_t page_misses_ = 0;
   uint64_t join_pairs_ = 0;
+  uint64_t index_seeks_ = 0;
 };
 
 /// RAII Begin/End pair. Null-safe: with a null stats pointer every method

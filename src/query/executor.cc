@@ -35,7 +35,8 @@ const std::string* KeyAttrName(const er::ErDiagram& d, er::NodeId node) {
 }  // namespace
 
 Executor::Binding Executor::ScanTag(mct::ColorId color, er::NodeId tag,
-                                    const AttrPredicate* predicate) {
+                                    const AttrPredicate* predicate,
+                                    const storage::ScanBounds* bounds) {
   obs::SpanScope span(stats_, obs::StageKind::kTagScan,
                       store_->schema().diagram().node(tag).name + "@c" +
                           std::to_string(color));
@@ -45,15 +46,50 @@ Executor::Binding Executor::ScanTag(mct::ColorId color, er::NodeId tag,
   // cursor.
   storage::MergedPostingCursor cursor(pool_, *store_, color, tag, snapshot_,
                                       stats_);
+  if (bounds != nullptr && mode_ == ExecMode::kBatched) {
+    cursor.ApplyBounds(*bounds);
+  }
   span.SetCardinalityIn(cursor.upper_bound());
-  LabelEntry e;
-  while (cursor.Next(&e)) {
+  // One allocation up front: the cursor knows an exact upper bound on the
+  // entries it can yield, so materialization never regrows mid-scan.
+  out.reserve(cursor.upper_bound());
+  if (mode_ == ExecMode::kBatched) {
+    // Block-at-a-time: a page's worth of entries per call, appended (or
+    // predicate-filtered) straight from the pinned span. The predicate
+    // resolves its attr name and value to dictionary ids ONCE; per entry
+    // the filter is then an id compare, never a string hash/compare —
+    // and a value absent from the store-wide dictionary cannot match any
+    // element, so the scan ends before fetching another page.
+    uint32_t pred_name = UINT32_MAX, pred_value = UINT32_MAX;
     if (predicate != nullptr) {
-      const std::string* v =
-          store_->AttrValue(e.elem, predicate->attr, snapshot_);
-      if (v == nullptr || *v != predicate->value) continue;
+      pred_name = store_->FindAttrName(predicate->attr);
+      pred_value = store_->FindValue(predicate->value);
     }
-    out.push_back(e);
+    const LabelEntry* data = nullptr;
+    size_t n = 0;
+    while (cursor.NextSpan(&data, &n)) {
+      if (predicate == nullptr) {
+        out.insert(out.end(), data, data + n);
+        continue;
+      }
+      if (pred_name == UINT32_MAX || pred_value == UINT32_MAX) break;
+      for (size_t i = 0; i < n; ++i) {
+        if (store_->AttrValueId(data[i].elem, pred_name, snapshot_) ==
+            pred_value) {
+          out.push_back(data[i]);
+        }
+      }
+    }
+  } else {
+    LabelEntry e;
+    while (cursor.Next(&e)) {
+      if (predicate != nullptr) {
+        const std::string* v =
+            store_->AttrValue(e.elem, predicate->attr, snapshot_);
+        if (v == nullptr || *v != predicate->value) continue;
+      }
+      out.push_back(e);
+    }
   }
   if (!cursor.status().ok() && failure_.ok()) {
     // Latched, not returned: the Binding signature has no error channel.
@@ -144,7 +180,50 @@ Executor::Binding Executor::EvalEdge(const EdgePlan& edge,
       // side is scanned wherever the tag lives (color 0).
       mct::ColorId c = 0;
       Binding next;
-      if (from_type == e.rel) {
+      if (mode_ == ExecMode::kBatched) {
+        // Dictionary-id hash join. Build and probe sides mirror the
+        // string join below (build over the scanned to_type side, probe
+        // in `current` order, dedup by element), but both sides resolve
+        // their join attribute to interned value ids up front, so the
+        // hash table keys on uint32 — no per-element string hashing.
+        auto ids_of = [&](const Binding& b, std::string_view attr) {
+          std::vector<uint32_t> ids(b.size(), UINT32_MAX);
+          uint32_t name_id = store_->FindAttrName(attr);
+          if (name_id == UINT32_MAX) return ids;
+          for (size_t i = 0; i < b.size(); ++i) {
+            ids[i] = store_->AttrValueId(b[i].elem, name_id, snapshot_);
+          }
+          return ids;
+        };
+        const bool rel_to_endpoint = from_type == e.rel;
+        const std::string* key_attr =
+            KeyAttrName(diagram, rel_to_endpoint ? to_type : from_type);
+        MCTDB_CHECK(key_attr != nullptr);
+        Binding scanned = ScanTag(c, to_type, nullptr);
+        std::vector<uint32_t> build_ids =
+            ids_of(scanned, rel_to_endpoint ? std::string_view(*key_attr)
+                                            : std::string_view(idref_attr));
+        std::vector<uint32_t> probe_ids =
+            ids_of(current, rel_to_endpoint ? std::string_view(idref_attr)
+                                            : std::string_view(*key_attr));
+        // Hash only the (typically far smaller) probe side; one
+        // membership pass over the scanned side then selects the result
+        // set — no per-key bucket vectors, and order is irrelevant here
+        // because the join sorts by start below.
+        std::unordered_set<uint32_t> probe_set;
+        probe_set.reserve(probe_ids.size());
+        for (uint32_t pid : probe_ids) {
+          if (pid != UINT32_MAX) probe_set.insert(pid);
+        }
+        std::unordered_set<ElemId> taken;
+        for (size_t i = 0; i < scanned.size(); ++i) {
+          if (build_ids[i] == UINT32_MAX || probe_set.count(build_ids[i]) == 0)
+            continue;
+          if (taken.insert(scanned[i].elem).second) {
+            next.push_back(scanned[i]);
+          }
+        }
+      } else if (from_type == e.rel) {
         // rel -> endpoint: build hash endpoint-key -> entries, probe with
         // idref values.
         const std::string* key_attr = KeyAttrName(diagram, to_type);
@@ -214,12 +293,62 @@ Executor::Binding Executor::EvalEdge(const EdgePlan& edge,
                           diagram.node(next_type).name + "@c" +
                               std::to_string(seg.color));
       span.SetCardinalityIn(current.size());
-      // The candidate ScanTag nests as a child span of this join.
-      Binding candidates = ScanTag(seg.color, next_type, nullptr);
       StructuralJoinOptions opts;
       opts.parent_child_only =
           seg.kind == SegmentKind::kStepChain ||
           (seg.to_index - seg.from_index) == 1;
+      if (mode_ == ExecMode::kBatched) {
+        if (current.empty()) {
+          // An empty side joins to nothing; skip the candidate scan — the
+          // result is identical with zero I/O.
+          span.SetCardinalityOut(0);
+          continue;
+        }
+        // Index-assisted bounds: necessary conditions on a candidate's
+        // label for it to appear in ANY containment pair with `current`,
+        // derived from the current side's extremes. The cursor uses them
+        // only to skip whole ruled-out pages, so results are unchanged.
+        storage::ScanBounds bounds;
+        if (!seg.reversed) {
+          // Candidate descendants: start must fall strictly inside some
+          // ancestor, so start > min(anc.start) and start < max(anc.end).
+          uint32_t min_start = UINT32_MAX;
+          uint32_t max_end = 0;
+          for (const LabelEntry& e : current) {
+            if (e.start < min_start) min_start = e.start;
+            if (e.end > max_end) max_end = e.end;
+          }
+          bounds.start_gt = min_start;
+          bounds.start_lt = max_end;
+        } else {
+          // Candidate ancestors: must open before some descendant and
+          // close at or after its end, so start < max(desc.start) and
+          // end >= min(desc.end).
+          uint32_t max_start = 0;
+          uint32_t min_end = UINT32_MAX;
+          for (const LabelEntry& e : current) {
+            if (e.start > max_start) max_start = e.start;
+            if (e.end < min_end) min_end = e.end;
+          }
+          bounds.start_lt = max_start;
+          bounds.end_gt = min_end == 0 ? 0 : min_end - 1;
+        }
+        // The candidate ScanTag nests as a child span of this join.
+        Binding candidates = ScanTag(seg.color, next_type, nullptr, &bounds);
+        StructuralJoinResult joined;
+        if (!seg.reversed) {
+          joined = StackTreeJoinBlocked(current, candidates, opts);
+          current = std::move(joined.descendants);
+        } else {
+          joined = StackTreeJoinBlocked(candidates, current, opts);
+          current = std::move(joined.ancestors);
+        }
+        span.AddJoinPairs(joined.pairs);
+        span.SetCardinalityOut(current.size());
+        continue;
+      }
+      // The candidate ScanTag nests as a child span of this join.
+      Binding candidates = ScanTag(seg.color, next_type, nullptr);
       StructuralJoinResult joined;
       if (!seg.reversed) {
         joined = StackTreeJoin(current, candidates, opts);
@@ -294,12 +423,17 @@ Executor::Binding Executor::EvalEdge(const EdgePlan& edge,
       SortByStart(&upper_in_color);
       SortByStart(&surv_in_color);
       StructuralJoinOptions opts;  // a-d suffices for reduction
+      const bool blocked = mode_ == ExecMode::kBatched;
       StructuralJoinResult joined;
       if (!seg.reversed) {
-        joined = StackTreeJoin(upper_in_color, surv_in_color, opts);
+        joined = blocked ? StackTreeJoinBlocked(upper_in_color, surv_in_color,
+                                                opts)
+                         : StackTreeJoin(upper_in_color, surv_in_color, opts);
         survivors = std::move(joined.ancestors);
       } else {
-        joined = StackTreeJoin(surv_in_color, upper_in_color, opts);
+        joined = blocked ? StackTreeJoinBlocked(surv_in_color, upper_in_color,
+                                                opts)
+                         : StackTreeJoin(surv_in_color, upper_in_color, opts);
         survivors = std::move(joined.descendants);
       }
       span.AddJoinPairs(joined.pairs);
@@ -499,6 +633,7 @@ Result<ExecResult> Executor::Execute(const QueryPlan& plan) {
   result.page_misses = stats.page_misses();
   result.page_hits = stats.page_hits();
   result.join_pairs = stats.join_pairs();
+  result.index_seeks = stats.index_seeks();
   result.trace = stats.Finish();
   result.trace.cardinality_out = result.unique_count;
   return result;

@@ -52,12 +52,22 @@ struct ExecResult {
   uint64_t page_hits = 0;
   /// Total structural-join containment pairs produced by this query.
   uint64_t join_pairs = 0;
+  /// Index-assisted posting seeks: scans that consulted the per-page
+  /// interval summaries and skipped at least one page without fetching it.
+  uint64_t index_seeks = 0;
 
   /// The stage-span trace (root is the kQuery span). Render with
   /// obs::SpanTreeToText / obs::SpanToJson; roll up with
   /// obs::AggregateByStage.
   obs::Span trace;
 };
+
+/// How the executor consumes posting lists and feeds structural joins.
+/// kBatched is the production path: page-at-a-time spans, SoA block joins,
+/// and index-assisted scan bounds. kTuple is the original entry-at-a-time
+/// path, kept behind this flag for one release as the equivalence oracle
+/// (the grid test drives every query through both and compares bytes).
+enum class ExecMode { kBatched, kTuple };
 
 class Executor {
  public:
@@ -78,6 +88,11 @@ class Executor {
   void set_snapshot(Lsn snapshot) { snapshot_ = snapshot; }
   Lsn snapshot() const { return snapshot_; }
 
+  /// Selects the scan/join implementation; see ExecMode. Serial results
+  /// are byte-identical across modes — only I/O and CPU differ.
+  void set_mode(ExecMode mode) { mode_ = mode; }
+  ExecMode mode() const { return mode_; }
+
   /// Returns InvalidArgument (instead of crashing) when the plan is
   /// malformed: no query attached, or a non-root pattern node without an
   /// edge plan. Returns DataLoss when a posting page could not be read
@@ -89,9 +104,13 @@ class Executor {
   using Binding = std::vector<storage::LabelEntry>;
 
   /// Scan a tag's posting list in a color, optionally filtering by an
-  /// attribute predicate.
+  /// attribute predicate. `bounds` (batched mode only) installs
+  /// index-assisted page-skip hints on the base cursor; they are
+  /// necessary conditions for joining, so skipped entries can never
+  /// appear in a result.
   Binding ScanTag(mct::ColorId color, er::NodeId tag,
-                  const AttrPredicate* predicate);
+                  const AttrPredicate* predicate,
+                  const storage::ScanBounds* bounds = nullptr);
   Binding FilterPredicate(Binding in, const AttrPredicate& predicate);
   /// Re-anchor a binding into `color` via shared node identity (the color
   /// crossing primitive).
@@ -108,6 +127,7 @@ class Executor {
   storage::MctStore* store_;
   storage::PageCache* pool_;
   Lsn snapshot_ = kMaxLsn;
+  ExecMode mode_ = ExecMode::kBatched;
   /// The running query's attribution context; set for the duration of
   /// Execute so the operators (and their posting cursors) charge spans and
   /// page fetches to it.

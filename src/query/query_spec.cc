@@ -61,4 +61,55 @@ QueryBuilder& QueryBuilder::Update(std::string_view attr,
   return *this;
 }
 
+std::string CanonicalQueryText(const AssociationQuery& query) {
+  std::string out;
+  out.reserve(128);
+  // Strings are length-prefixed so no attribute value can fake a
+  // structural delimiter and collide two distinct queries onto one key.
+  auto str = [&](const std::string& s) {
+    out += std::to_string(s.size());
+    out += ':';
+    out += s;
+  };
+  out += "q{";
+  str(query.name);
+  out += ";n=";
+  out += std::to_string(query.nodes.size());
+  for (const PatternNode& n : query.nodes) {
+    out += ";[t=";
+    out += std::to_string(n.er_node);
+    out += ",p=";
+    out += std::to_string(n.parent);
+    out += ",path=";
+    for (er::NodeId id : n.path_from_parent) {
+      out += std::to_string(id);
+      out += '.';
+    }
+    if (n.predicate.has_value()) {
+      out += ",pred=";
+      str(n.predicate->attr);
+      out += '=';
+      str(n.predicate->value);
+    }
+    out += ']';
+  }
+  out += ";out=";
+  out += std::to_string(query.output);
+  if (query.distinct) out += ";distinct";
+  if (query.group_by.has_value()) {
+    out += ";group=";
+    out += std::to_string(query.group_by->node);
+    out += ',';
+    str(query.group_by->attr);
+  }
+  if (query.update.has_value()) {
+    out += ";update=";
+    str(query.update->attr);
+    out += "<-";
+    str(query.update->new_value);
+  }
+  out += '}';
+  return out;
+}
+
 }  // namespace mctdb::query

@@ -58,6 +58,13 @@ struct AssociationQuery {
   bool is_update() const { return update.has_value(); }
 };
 
+/// Deterministic one-line serialization of EVERY field of a query —
+/// structure, paths, predicates, output, set semantics, group-by, update.
+/// Two queries canonicalize equal iff they plan and execute identically
+/// against any one schema, which makes the text a safe plan-cache key
+/// component (service/plan_cache.h).
+std::string CanonicalQueryText(const AssociationQuery& query);
+
 /// Fluent builder so workload definitions stay readable.
 class QueryBuilder {
  public:

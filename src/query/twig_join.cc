@@ -14,7 +14,10 @@ using storage::ElemId;
 using storage::LabelEntry;
 
 /// Filtered stream over one pattern node's posting list with one-entry
-/// lookahead.
+/// lookahead. Reads block-at-a-time: the cursor hands out a page-sized
+/// span (a view into the pinned frame, valid until the next cursor call),
+/// and Advance walks the span in place — one pool interaction per page
+/// instead of one per entry.
 class Stream {
  public:
   Stream(const storage::MctStore& store, mct::ColorId color,
@@ -38,15 +41,21 @@ class Stream {
   void Advance() {
     current_.reset();
     if (!cursor_.has_value()) return;
-    LabelEntry e;
-    while (cursor_->Next(&e)) {
-      if (node_.predicate.has_value()) {
-        const std::string* v =
-            store_.AttrValue(e.elem, node_.predicate->attr);
-        if (v == nullptr || *v != node_.predicate->value) continue;
+    for (;;) {
+      if (span_pos_ >= span_count_) {
+        if (!cursor_->NextSpan(&span_, &span_count_)) return;
+        span_pos_ = 0;
       }
-      current_ = e;
-      return;
+      while (span_pos_ < span_count_) {
+        const LabelEntry& e = span_[span_pos_++];
+        if (node_.predicate.has_value()) {
+          const std::string* v =
+              store_.AttrValue(e.elem, node_.predicate->attr);
+          if (v == nullptr || *v != node_.predicate->value) continue;
+        }
+        current_ = e;
+        return;
+      }
     }
   }
 
@@ -55,6 +64,10 @@ class Stream {
   const TwigNode& node_;
   std::optional<storage::PostingCursor> cursor_;
   std::optional<LabelEntry> current_;
+  /// Current page span (borrowed from the cursor's pinned frame).
+  const LabelEntry* span_ = nullptr;
+  size_t span_count_ = 0;
+  size_t span_pos_ = 0;
 };
 
 struct StackEntry {

@@ -159,6 +159,18 @@ std::string ServiceMetrics::ToJson() const {
   AppendU64(&out, "plans_simplified",
             plans_simplified.load(std::memory_order_relaxed));
   out += ',';
+  AppendU64(&out, "plan_cache_hits",
+            plan_cache_hits.load(std::memory_order_relaxed));
+  out += ',';
+  AppendU64(&out, "plan_cache_misses",
+            plan_cache_misses.load(std::memory_order_relaxed));
+  out += ',';
+  AppendU64(&out, "plan_cache_invalidations",
+            plan_cache_invalidations.load(std::memory_order_relaxed));
+  out += ',';
+  AppendU64(&out, "index_seeks",
+            index_seeks.load(std::memory_order_relaxed));
+  out += ',';
   AppendU64(&out, "updates_submitted",
             updates_submitted.load(std::memory_order_relaxed));
   out += ',';
@@ -231,6 +243,19 @@ std::string ServiceMetrics::ToPrometheus() const {
   counter("mctsvc_plans_simplified_total",
           "Completed plans carrying a QRY008/QRY009 simplification finding",
           plans_simplified.load(std::memory_order_relaxed));
+  counter("mctsvc_plan_cache_hits_total",
+          "SubmitQuery admissions served from the plan cache",
+          plan_cache_hits.load(std::memory_order_relaxed));
+  counter("mctsvc_plan_cache_misses_total",
+          "SubmitQuery admissions planned fresh (no cached entry)",
+          plan_cache_misses.load(std::memory_order_relaxed));
+  counter("mctsvc_plan_cache_invalidations_total",
+          "Cached plans dropped because an update or checkpoint moved "
+          "visibility",
+          plan_cache_invalidations.load(std::memory_order_relaxed));
+  counter("mctsvc_index_seeks_total",
+          "Posting scans that skipped pages via the interval index",
+          index_seeks.load(std::memory_order_relaxed));
   counter("mctsvc_updates_submitted_total",
           "Update ops admitted via SubmitUpdate",
           updates_submitted.load(std::memory_order_relaxed));

@@ -97,6 +97,17 @@ struct ServiceMetrics {
   /// Completed requests whose plan carried a simplification finding
   /// (QRY008 redundant predicate / QRY009 redundant distinct).
   std::atomic<uint64_t> plans_simplified{0};
+  /// Plan cache (service/plan_cache.h): SubmitQuery admissions served from
+  /// a cached plan (verification and planning both skipped).
+  std::atomic<uint64_t> plan_cache_hits{0};
+  /// SubmitQuery admissions that planned fresh (no entry under the key).
+  std::atomic<uint64_t> plan_cache_misses{0};
+  /// Cached plans dropped at lookup because visibility moved (an update
+  /// committed or a checkpoint bumped the cache generation).
+  std::atomic<uint64_t> plan_cache_invalidations{0};
+  /// Index-assisted posting seeks attributed to completed requests: scans
+  /// that skipped at least one page via the per-page interval summaries.
+  std::atomic<uint64_t> index_seeks{0};
   LatencyHistogram latency;
 
   // Write path (WAL-backed durable stores).

@@ -5,6 +5,8 @@
 #include "analysis/plan_verify.h"
 #include "analysis/query_analyze.h"
 #include "common/failpoint.h"
+#include "query/planner.h"
+#include "storage/persist.h"
 #include "common/log.h"
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -87,6 +89,10 @@ Status QueryService::AddStore(const std::string& name,
   it->second.store = store;
   it->second.pool = std::make_unique<mctdb::storage::ShardedBufferPool>(
       store->pager(), options_.pool_pages, options_.pool_shards);
+  it->second.plan_cache =
+      std::make_unique<PlanCache>(options_.plan_cache_capacity);
+  it->second.fingerprint =
+      mctdb::storage::SchemaFingerprint(store->schema());
   if (options_.breaker_failure_threshold > 0) {
     CircuitBreaker::Options bopts;
     bopts.failure_threshold = options_.breaker_failure_threshold;
@@ -131,7 +137,8 @@ Result<std::shared_ptr<QueryService::Session>> QueryService::OpenSession(
   }
   return std::shared_ptr<Session>(
       new Session(this, store, it->second.store, it->second.durable,
-                  it->second.pool.get(), it->second.breaker.get()));
+                  it->second.pool.get(), it->second.breaker.get(),
+                  it->second.plan_cache.get(), it->second.fingerprint));
 }
 
 Result<ExecResult> QueryService::Execute(const std::string& store,
@@ -150,6 +157,59 @@ Result<ExecResult> QueryService::Execute(const std::string& store,
       QueryFuture future,
       session->Submit(plan, timeout_seconds, Priority::kLow));
   return future.get();
+}
+
+Result<ExecResult> QueryService::ExecuteQuery(
+    const std::string& store, const mctdb::query::AssociationQuery& query,
+    double timeout_seconds) {
+  if (query.is_update()) {
+    return Status::InvalidArgument(
+        "update queries require an explicit session (one per store) so the "
+        "caller owns the write-serialization domain");
+  }
+  MCTDB_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                         OpenSession(store));
+  MCTDB_ASSIGN_OR_RETURN(
+      QueryFuture future,
+      session->SubmitQuery(query, timeout_seconds, Priority::kLow));
+  return future.get();
+}
+
+Result<mctdb::wal::CheckpointStats> QueryService::Checkpoint(
+    const std::string& store) {
+  mctdb::wal::DurableStore* durable = nullptr;
+  PlanCache* cache = nullptr;
+  {
+    std::lock_guard<mctdb::OrderedMutex> lock(mu_);
+    auto it = stores_.find(store);
+    if (it == stores_.end()) {
+      return Status::NotFound("store '" + store + "' is not registered");
+    }
+    if (it->second.durable == nullptr) {
+      return Status::InvalidArgument(
+          "store '" + store + "' is read-only; nothing to checkpoint");
+    }
+    durable = it->second.durable;
+    cache = it->second.plan_cache.get();
+  }
+  Result<mctdb::wal::CheckpointStats> stats = durable->Checkpoint();
+  // Bump even on failure: a half-finished checkpoint may still have moved
+  // in-memory state, and a spurious re-plan is cheap next to a plan
+  // compiled against intervals that no longer exist.
+  cache->BumpGeneration();
+  if (stats.ok()) {
+    MCTDB_LOG(kInfo, "mctsvc", "store checkpointed",
+              {{"store", store},
+               {"checkpoint_lsn", uint64_t(stats->checkpoint_lsn)},
+               {"log_bytes_trimmed", stats->log_bytes_trimmed}});
+  }
+  return stats;
+}
+
+PlanCache* QueryService::plan_cache(const std::string& store) const {
+  std::lock_guard<mctdb::OrderedMutex> lock(mu_);
+  auto it = stores_.find(store);
+  return it == stores_.end() ? nullptr : it->second.plan_cache.get();
 }
 
 void QueryService::Resume() { pool_->Resume(); }
@@ -294,6 +354,8 @@ void QueryService::RecordCompletion(const Session& session,
   metrics_.page_hits.fetch_add(result.page_hits,
                                std::memory_order_relaxed);
   metrics_.page_misses.fetch_add(result.page_misses,
+                                 std::memory_order_relaxed);
+  metrics_.index_seeks.fetch_add(result.index_seeks,
                                  std::memory_order_relaxed);
   if (options_.trace_log_capacity > 0) {
     // Render outside the ring lock; the span tree is request-private.
@@ -453,11 +515,72 @@ uint16_t QueryService::HttpPort() const {
 Result<QueryFuture> QueryService::Session::Submit(const QueryPlan& plan,
                                                   double timeout_seconds,
                                                   Priority priority) {
+  return SubmitPlanned(plan, nullptr, timeout_seconds, priority,
+                       /*pre_verified=*/false);
+}
+
+Result<QueryFuture> QueryService::Session::SubmitQuery(
+    const mctdb::query::AssociationQuery& query, double timeout_seconds,
+    Priority priority) {
+  QueryService* svc = service_;
+  const mctdb::mct::MctSchema& schema = store_->schema();
+  const std::string key = PlanCache::Key(
+      fingerprint_, schema.name(), mctdb::query::CanonicalQueryText(query));
+  // The freshness pivot: a cached plan only hits while the store's visible
+  // LSN still equals the LSN it was built at (and the generation matches).
+  // RunNext pins the executor to visible_lsn() again at dequeue; since
+  // LSNs only advance, a hit guarantees the plan is no newer than the
+  // snapshot the query will run under.
+  const mctdb::Lsn visible = store_->visible_lsn();
+  LookupOutcome outcome = LookupOutcome::kMiss;
+  std::shared_ptr<const CachedPlan> cached =
+      plan_cache_->Lookup(key, visible, &outcome);
+  if (outcome == LookupOutcome::kHit) {
+    svc->metrics_.plan_cache_hits.fetch_add(1, std::memory_order_relaxed);
+    // Verified when built; admission skips straight to the gates below.
+    // The plan reference must be taken BEFORE the call: argument
+    // evaluation order is unspecified, and `std::move(cached)` may
+    // construct the holder parameter (nulling `cached`) before
+    // `cached->plan` is read.
+    const QueryPlan& hit_plan = cached->plan;
+    return SubmitPlanned(hit_plan, std::move(cached), timeout_seconds,
+                         priority, /*pre_verified=*/true);
+  }
+  if (outcome == LookupOutcome::kInvalidated) {
+    svc->metrics_.plan_cache_invalidations.fetch_add(
+        1, std::memory_order_relaxed);
+  } else {
+    svc->metrics_.plan_cache_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Plan fresh against current state. The entry owns the query copy and
+  // the plan compiled FROM that copy, so the pointer chain inside
+  // QueryPlan stays valid for exactly as long as the entry lives.
+  auto entry = std::make_shared<CachedPlan>();
+  entry->query = query;
+  MCTDB_ASSIGN_OR_RETURN(
+      entry->plan, mctdb::query::PlanQuery(entry->query, schema));
+  entry->built_lsn = visible;
+  entry->generation = plan_cache_->generation();
+  std::shared_ptr<const CachedPlan> frozen = std::move(entry);
+  Result<QueryFuture> admitted = SubmitPlanned(
+      frozen->plan, frozen, timeout_seconds, priority,
+      /*pre_verified=*/false);
+  if (admitted.ok()) {
+    // Only admitted (hence verified) plans enter the cache; a rejected
+    // plan would otherwise hit later and skip the very gate it failed.
+    plan_cache_->Insert(key, std::move(frozen));
+  }
+  return admitted;
+}
+
+Result<QueryFuture> QueryService::Session::SubmitPlanned(
+    const QueryPlan& plan, std::shared_ptr<const CachedPlan> holder,
+    double timeout_seconds, Priority priority, bool pre_verified) {
   QueryService* svc = service_;
   // Admission gate: statically verify the plan before it consumes an
   // admission slot or a worker, so a malformed plan can never crash (or
   // wedge) a worker thread.
-  if (svc->options_.verify_plans) {
+  if (svc->options_.verify_plans && !pre_verified) {
     mctdb::analysis::DiagnosticReport report =
         mctdb::analysis::VerifyPlan(plan);
     if (report.has_errors()) {
@@ -548,6 +671,7 @@ Result<QueryFuture> QueryService::Session::Submit(const QueryPlan& plan,
                                        : svc->options_.default_timeout_seconds;
   Task task;
   task.plan = &plan;
+  task.holder = std::move(holder);
   if (timeout > 0) {
     task.has_deadline = true;
     task.deadline = std::chrono::steady_clock::now() +

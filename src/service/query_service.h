@@ -52,6 +52,7 @@
 #include "service/circuit_breaker.h"
 #include "service/http_endpoint.h"
 #include "service/metrics.h"
+#include "service/plan_cache.h"
 #include "storage/sharded_pool.h"
 #include "storage/store.h"
 
@@ -83,6 +84,11 @@ struct ServiceOptions {
   /// Malformed plans are rejected with Status::InvalidArgument before they
   /// consume an admission slot or a worker.
   bool verify_plans = true;
+  /// Per-store plan cache capacity (entries) for SubmitQuery. A hit skips
+  /// planning AND admission-time verification (the cached entry was
+  /// verified when it was built). 0 disables the cache — every SubmitQuery
+  /// plans fresh.
+  size_t plan_cache_capacity = 64;
   /// Slow-query threshold in seconds: a completed request whose execution
   /// took at least this long is recorded in the slow-query log (and
   /// counted in metrics). 0 disables the log.
@@ -155,6 +161,24 @@ class QueryService {
       const std::string& store, const mctdb::query::QueryPlan& plan,
       double timeout_seconds = 0.0);
 
+  /// One-shot by QUERY (not plan): plans through the store's plan cache —
+  /// or serves a cached, still-fresh plan without re-planning — then
+  /// executes and waits. Same shed class and update rejection as Execute.
+  mctdb::Result<mctdb::query::ExecResult> ExecuteQuery(
+      const std::string& store, const mctdb::query::AssociationQuery& query,
+      double timeout_seconds = 0.0);
+
+  /// Checkpoints a durable store (fold deltas into a fresh compact image,
+  /// trim the WAL) and bumps its plan-cache generation: a checkpoint may
+  /// relabel intervals, so every cached plan built before it stops
+  /// hitting. InvalidArgument for read-only or unknown stores.
+  mctdb::Result<mctdb::wal::CheckpointStats> Checkpoint(
+      const std::string& store);
+
+  /// The named store's plan cache, or nullptr if unknown. Exposed for
+  /// tests and embedders.
+  PlanCache* plan_cache(const std::string& store) const;
+
   /// Releases workers of a start_paused service (idempotent).
   void Resume();
   /// Blocks until no request is queued or running.
@@ -213,6 +237,10 @@ class QueryService {
     mctdb::wal::DurableStore* durable = nullptr;  // null for read-only
     std::unique_ptr<mctdb::storage::ShardedBufferPool> pool;
     std::unique_ptr<CircuitBreaker> breaker;  // null when disabled
+    std::unique_ptr<PlanCache> plan_cache;
+    /// storage::SchemaFingerprint of the store's schema, part of every
+    /// plan-cache key.
+    uint64_t fingerprint = 0;
   };
 
   void RunNext(const std::shared_ptr<Session>& session);
@@ -256,6 +284,20 @@ class QueryService::Session
       const mctdb::query::QueryPlan& plan, double timeout_seconds = 0.0,
       Priority priority = Priority::kNormal);
 
+  /// Submits a QUERY, planning through the store's plan cache. A fresh
+  /// entry keyed by (store fingerprint, schema, canonical query text) that
+  /// was built at the store's CURRENT visible LSN under the CURRENT cache
+  /// generation is reused as-is — no planning, no re-verification (the
+  /// entry was verified when built). Anything else re-plans against
+  /// current state and installs the new entry. The strict LSN guard makes
+  /// a stale cached result impossible by construction: any committed
+  /// update advances the visible LSN and invalidates on next lookup.
+  /// Unlike Submit, the query need not outlive the call — the cached
+  /// entry owns a copy.
+  mctdb::Result<QueryFuture> SubmitQuery(
+      const mctdb::query::AssociationQuery& query,
+      double timeout_seconds = 0.0, Priority priority = Priority::kNormal);
+
   /// Submits one update op on this session's strand. Requires the store
   /// to be registered via AddDurableStore (InvalidArgument otherwise).
   /// Updates are admitted at Priority::kHigh: an update the caller is
@@ -274,6 +316,9 @@ class QueryService::Session
     const mctdb::query::QueryPlan* plan = nullptr;
     /// Set instead of `plan` for update tasks (resolves update_promise).
     const mctdb::storage::UpdateOp* op = nullptr;
+    /// For SubmitQuery tasks: pins the cached (query, plan) pair `plan`
+    /// points into, so cache eviction can never dangle a queued task.
+    std::shared_ptr<const CachedPlan> holder;
     std::chrono::steady_clock::time_point deadline;
     bool has_deadline = false;
     std::promise<mctdb::Result<mctdb::query::ExecResult>> promise;
@@ -285,9 +330,19 @@ class QueryService::Session
           mctdb::storage::MctStore* store,
           mctdb::wal::DurableStore* durable,
           mctdb::storage::ShardedBufferPool* pool,
-          CircuitBreaker* breaker)
+          CircuitBreaker* breaker, PlanCache* plan_cache,
+          uint64_t fingerprint)
       : service_(service), store_name_(std::move(store_name)),
-        store_(store), durable_(durable), pool_(pool), breaker_(breaker) {}
+        store_(store), durable_(durable), pool_(pool), breaker_(breaker),
+        plan_cache_(plan_cache), fingerprint_(fingerprint) {}
+
+  /// Shared admission tail of Submit and SubmitQuery: verification gates
+  /// (skipped for verified cached plans), breaker, hard limit, shedding,
+  /// then the strand enqueue. `holder` (may be null) rides on the task.
+  mctdb::Result<QueryFuture> SubmitPlanned(
+      const mctdb::query::QueryPlan& plan,
+      std::shared_ptr<const CachedPlan> holder, double timeout_seconds,
+      Priority priority, bool pre_verified);
 
   QueryService* service_;
   std::string store_name_;
@@ -295,6 +350,8 @@ class QueryService::Session
   mctdb::wal::DurableStore* durable_;  // null for read-only stores
   mctdb::storage::ShardedBufferPool* pool_;  // owned by the service
   CircuitBreaker* breaker_;                  // owned by the service; may be null
+  PlanCache* plan_cache_;                    // owned by the service
+  uint64_t fingerprint_ = 0;
 
   mctdb::OrderedMutex mu_{mctdb::LockRank::kSessionStrand};
   std::deque<Task> tasks_;

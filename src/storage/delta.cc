@@ -36,6 +36,34 @@ MergedPostingCursor::MergedPostingCursor(PageCache* pool,
             });
 }
 
+void MergedPostingCursor::ApplyBounds(const ScanBounds& bounds) {
+  if (base_.has_value()) base_->ApplyBounds(bounds);
+}
+
+bool MergedPostingCursor::NextSpan(const LabelEntry** data, size_t* count) {
+  if (!status_.ok()) return false;
+  if (extra_index_ >= extra_.size() && removed_.empty() && !base_pending_) {
+    // No delta state left to merge: forward whole base spans zero-copy.
+    if (!base_.has_value()) return false;
+    if (base_->NextSpan(data, count)) return true;
+    if (!base_->status().ok()) status_ = base_->status();
+    base_.reset();
+    return false;
+  }
+  // Deltas in play: merge one block's worth through the entry-at-a-time
+  // path into a local buffer, still block-at-a-time for the consumer.
+  span_buf_.clear();
+  span_buf_.reserve(kEntriesPerPage);
+  LabelEntry e;
+  while (span_buf_.size() < kEntriesPerPage && Next(&e)) {
+    span_buf_.push_back(e);
+  }
+  if (span_buf_.empty()) return false;
+  *data = span_buf_.data();
+  *count = span_buf_.size();
+  return true;
+}
+
 bool MergedPostingCursor::Next(LabelEntry* out) {
   for (;;) {
     if (!base_pending_ && base_.has_value()) {

@@ -108,6 +108,19 @@ class MergedPostingCursor {
   /// False at end of merged list or on a base page fetch failure (latched
   /// on status(), like PostingCursor).
   bool Next(LabelEntry* out);
+  /// Block-at-a-time read. Fast path: while no snapshot-visible insert or
+  /// delete remains to merge, base page spans are forwarded zero-copy (on
+  /// a read-only store — or an untouched (color, tag) — every span is a
+  /// whole pinned page). Otherwise one block's worth of entries is merged
+  /// into an internal buffer and returned as a span over it. Spans stay
+  /// valid until the next cursor call; entries arrive in global start
+  /// order either way. Do not interleave with Next().
+  bool NextSpan(const LabelEntry** data, size_t* count);
+  /// Installs index-assisted bounds on the base scan (page-granular skip
+  /// hints; see ScanBounds). Call before the first read. Delta inserts
+  /// are not filtered — bounds are necessary-condition hints, never
+  /// exactness guarantees.
+  void ApplyBounds(const ScanBounds& bounds);
   const Status& status() const { return status_; }
   /// Base entries + visible inserts (before delete filtering); an upper
   /// bound used for span cardinality.
@@ -123,6 +136,8 @@ class MergedPostingCursor {
   std::unordered_map<ElemId, Lsn> removed_;
   bool base_pending_ = false;
   LabelEntry base_next_{};
+  /// Merge buffer for NextSpan's slow path (deltas present).
+  std::vector<LabelEntry> span_buf_;
   Status status_;
 };
 

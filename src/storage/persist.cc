@@ -17,6 +17,8 @@ namespace {
 constexpr char kMagic[8] = {'M', 'C', 'T', 'D', 'B', '2', '\n', '\0'};
 constexpr char kMagicV1[8] = {'M', 'C', 'T', 'D', 'B', '1', '\n', '\0'};
 constexpr uint64_t kHashSeed = 0xCBF29CE484222325ull;
+/// Layout version of the "postidx" section (per-page posting summaries).
+constexpr uint32_t kPostingIndexVersion = 1;
 
 /// Incremental FNV-1a over a byte range, seedable for section chaining.
 uint64_t HashBytes(uint64_t h, const void* data, size_t n) {
@@ -271,6 +273,23 @@ Status SaveStore(const MctStore& store, const std::string& path, bool sync) {
     }
   }
   w.EndSection();
+  // Posting interval index: per-(color, tag) page summaries (first start,
+  // max end) behind the cursors' index-assisted seeks. Versioned and
+  // checksummed as its own section so index damage is isolated from the
+  // posting data itself.
+  w.U32(kPostingIndexVersion);
+  for (size_t c = 0; c < store.postings_.size(); ++c) {
+    for (size_t tag = 0; tag < store.postings_[c].size(); ++tag) {
+      const auto& meta = store.postings_[c][tag];
+      if (meta == nullptr) continue;
+      w.U32(static_cast<uint32_t>(meta->summaries.size()));
+      for (const PostingPageSummary& s : meta->summaries) {
+        w.U32(s.first_start);
+        w.U32(s.max_end);
+      }
+    }
+  }
+  w.EndSection();
   // Counters.
   w.U64(store.num_attribute_nodes_);
   w.U64(store.num_content_nodes_);
@@ -450,6 +469,30 @@ Result<std::unique_ptr<MctStore>> LoadStore(const mct::MctSchema& schema,
     }
   }
   MCTDB_RETURN_IF_ERROR(check_section("postings"));
+
+  uint32_t index_version = r.U32();
+  if (!r.ok()) return lost("truncated posting index");
+  if (index_version != kPostingIndexVersion) {
+    return bad("unsupported posting index version");
+  }
+  for (uint32_t c = 0; c < num_colors; ++c) {
+    for (size_t tag = 0; tag < store->postings_[c].size(); ++tag) {
+      PostingMeta* meta = store->postings_[c][tag].get();
+      if (meta == nullptr) continue;
+      uint32_t n = r.U32();
+      if (!r.ok()) return lost("truncated posting index");
+      if (n != meta->pages.size()) {
+        return lost("posting index size mismatch");
+      }
+      meta->summaries.resize(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        meta->summaries[i].first_start = r.U32();
+        meta->summaries[i].max_end = r.U32();
+        if (!r.ok()) return lost("truncated posting index");
+      }
+    }
+  }
+  MCTDB_RETURN_IF_ERROR(check_section("postidx"));
 
   store->num_attribute_nodes_ = r.U64();
   store->num_content_nodes_ = r.U64();

@@ -9,6 +9,9 @@
 //   labels  : per color, (elem, LabelEntry) pairs
 //   parents : per color, (elem, parent) pairs
 //   postings: per (color, tag), page-id lists + counts
+//   postidx : versioned per-(color, tag) page summaries (first start, max
+//             end) — the persistent interval index behind index-assisted
+//             posting seeks; one summary per posting page
 //   keyindex: rebuilt on load (derivable)
 //
 // Every section ends with a 64-bit checksum of its bytes, verified on

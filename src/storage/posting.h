@@ -40,12 +40,45 @@ static_assert(sizeof(LabelEntry) == 20);
 
 inline constexpr size_t kEntriesPerPage = kPageSize / sizeof(LabelEntry);
 
+/// Per-page interval summary, the persistent posting index: the first
+/// entry's start and the largest end on the page. Starts are strictly
+/// increasing within one posting list (document pre-order), so the
+/// summaries support both a binary-search front seek to the first
+/// qualifying label and mid-scan page skips — a page whose summary proves
+/// no entry can satisfy a scan's bounds is never fetched.
+struct PostingPageSummary {
+  uint32_t first_start = 0;
+  uint32_t max_end = 0;
+};
+
+/// Qualification bounds for an index-assisted posting scan. Each bound is
+/// a NECESSARY condition for an entry to participate in the structural
+/// join that requested the scan, so skipping pages (or entries) that a
+/// bound rules out can never change a join result:
+///   * descendant candidates of a binding need start in
+///     (min bound start, max bound end) — start_gt / start_lt;
+///   * ancestor candidates need start < max bound start and
+///     end > min bound end — start_lt / end_gt.
+/// Bounds are hints at PAGE granularity: a scan may still return entries
+/// that fail them (the joins ignore non-matching entries anyway).
+struct ScanBounds {
+  uint32_t start_gt = 0;           ///< keep entries with start > start_gt
+  uint32_t start_lt = UINT32_MAX;  ///< keep entries with start < start_lt
+  uint32_t end_gt = 0;             ///< keep entries with end > end_gt
+};
+
 /// Page-set descriptor of one posting list.
 struct PostingMeta {
   std::vector<PageId> pages;
   size_t count = 0;
+  /// One summary per page (parallel to `pages`). Built by PostingWriter
+  /// and persisted in the store file's own-checksummed "postidx" section;
+  /// may be empty for hand-built metas, in which case scans degrade to
+  /// plain sequential reads.
+  std::vector<PostingPageSummary> summaries;
 
   size_t num_pages() const { return pages.size(); }
+  bool has_index() const { return summaries.size() == pages.size(); }
 };
 
 /// Append-only builder; records must arrive in document (start) order.
@@ -62,6 +95,8 @@ class PostingWriter {
   PostingMeta meta_;
   char buffer_[kPageSize];
   size_t in_buffer_ = 0;
+  /// Summary of the page being buffered, flushed alongside it.
+  PostingPageSummary page_summary_{};
 };
 
 /// Sequential scan of a posting list through a page cache (every page
@@ -117,6 +152,17 @@ class PostingCursor {
   /// also latches status(). Once failed, further Next calls keep
   /// returning false until Reset.
   bool Next(LabelEntry* out);
+  /// Block-at-a-time read: yields the remaining entries of the current
+  /// page as one zero-copy span into the pinned frame (one pool fetch and
+  /// no per-entry memcpy per page). The span stays valid until the next
+  /// cursor call. With bounds applied (and an indexed meta), pages the
+  /// summaries prove non-qualifying are skipped without a fetch, and the
+  /// scan front-seeks past the prefix below start_gt. Next() and NextSpan
+  /// may be interleaved but bounds only take effect on page boundaries.
+  bool NextSpan(const LabelEntry** data, size_t* count);
+  /// Installs index-assisted scan bounds. Call before the first read;
+  /// a meta without summaries ignores them (plain sequential scan).
+  void ApplyBounds(const ScanBounds& bounds) { bounds_ = bounds; }
   void Reset() {
     Release();
     index_ = 0;
@@ -128,14 +174,60 @@ class PostingCursor {
 
  private:
   void Release();
+  /// Advances index_ past pages the summaries rule out under bounds_,
+  /// charging one index seek per contiguous skip run. Returns false when
+  /// the early-stop bound proves the rest of the list non-qualifying.
+  bool SkipRuledOutPages();
 
   PageCache* pool_;
   const PostingMeta* meta_;
   obs::ExecStats* stats_ = nullptr;
   size_t index_ = 0;
+  ScanBounds bounds_{};
   const char* current_page_ = nullptr;
   size_t current_page_index_ = SIZE_MAX;
   Status status_;
+};
+
+/// A cache-resident column block of decoded interval labels in
+/// structure-of-arrays layout: the blocked joins stream their inputs
+/// through these, touching only the start/end/level columns on the
+/// comparison-heavy paths. Sized to one posting page (~8 KB of columns),
+/// so a block stays L1/L2 resident while a join works through it.
+struct LabelBlock {
+  static constexpr size_t kCapacity = kEntriesPerPage;
+  size_t size = 0;
+  uint32_t start[kCapacity];
+  uint32_t end[kCapacity];
+  uint16_t level[kCapacity];
+  ElemId elem[kCapacity];
+  uint16_t is_copy[kCapacity];
+  uint32_t logical[kCapacity];
+
+  void Clear() { size = 0; }
+  /// Decodes `n` consecutive entries (n <= kCapacity) into the columns.
+  void Fill(const LabelEntry* entries, size_t n) {
+    size = n;
+    for (size_t i = 0; i < n; ++i) {
+      start[i] = entries[i].start;
+      end[i] = entries[i].end;
+      level[i] = entries[i].level;
+      elem[i] = entries[i].elem;
+      is_copy[i] = entries[i].is_copy;
+      logical[i] = entries[i].logical;
+    }
+  }
+  /// Reassembles one row (for outputs that need the full record).
+  LabelEntry Get(size_t i) const {
+    LabelEntry e;
+    e.elem = elem[i];
+    e.start = start[i];
+    e.end = end[i];
+    e.level = level[i];
+    e.is_copy = is_copy[i];
+    e.logical = logical[i];
+    return e;
+  }
 };
 
 /// Reads a whole posting list into memory (through the pool), charging

@@ -10,8 +10,13 @@ namespace mctdb::storage {
 
 const std::string* MctStore::AttrValue(ElemId id, std::string_view attr_name,
                                        Lsn snapshot) const {
-  uint32_t name_id = FindAttrName(attr_name);
-  if (name_id == UINT32_MAX) return nullptr;
+  uint32_t value_id = AttrValueId(id, FindAttrName(attr_name), snapshot);
+  return value_id == UINT32_MAX ? nullptr : &values_[value_id];
+}
+
+uint32_t MctStore::AttrValueId(ElemId id, uint32_t name_id,
+                               Lsn snapshot) const {
+  if (name_id == UINT32_MAX) return UINT32_MAX;
   if (versioned()) {
     std::shared_lock lk(deltas_->mu);
     auto it = deltas_->attr_revs.find(StoreDeltas::AttrKey(id, name_id));
@@ -22,13 +27,13 @@ const std::string* MctStore::AttrValue(ElemId id, std::string_view attr_name,
       for (const AttrRev& r : it->second) {
         if (r.lsn <= snapshot) best = &r;
       }
-      if (best != nullptr) return &values_[best->value_id];
+      if (best != nullptr) return best->value_id;
     }
   }
   for (const AttrRecord& a : attrs_[id]) {
-    if (a.name_id == name_id) return &values_[a.value_id];
+    if (a.name_id == name_id) return a.value_id;
   }
-  return nullptr;
+  return UINT32_MAX;
 }
 
 bool MctStore::ElementLive(ElemId id, Lsn snapshot) const {

@@ -85,6 +85,13 @@ class MctStore {
   /// Attribute value by name at snapshot `snapshot`; nullptr when absent.
   const std::string* AttrValue(ElemId id, std::string_view attr_name,
                                Lsn snapshot = kMaxLsn) const;
+  /// Dictionary id of the element's value for attribute `name_id` at
+  /// `snapshot`; UINT32_MAX when absent. Values are interned once
+  /// store-wide (updates intern through the same dictionary), so id
+  /// equality IS value equality — the batched join/filter paths compare
+  /// ids and never touch the strings.
+  uint32_t AttrValueId(ElemId id, uint32_t name_id,
+                       Lsn snapshot = kMaxLsn) const;
   /// True when the element exists at `snapshot` (base elements always do;
   /// inserted elements from their birth LSN, deleted ones up to their
   /// tombstone LSN).

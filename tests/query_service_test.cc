@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <thread>
@@ -12,7 +13,9 @@
 #include "design/designer.h"
 #include "instance/materialize.h"
 #include "query/planner.h"
+#include "wal/durable_store.h"
 #include "workload/runner.h"
+#include "workload/update_gen.h"
 #include "workload/workload.h"
 
 namespace mctsvc {
@@ -697,6 +700,246 @@ TEST_F(QueryServiceTest, FatalAnalysisVerdictRejectedAtAdmission) {
       << rejected.status().ToString();
   EXPECT_EQ(service.metrics().invalid_plans.load(), 1u);
   EXPECT_EQ(service.metrics().submitted.load(), 0u);
+}
+
+TEST_F(QueryServiceTest, SubmitQueryCachesPlansAndCountsOutcomes) {
+  QueryService service;
+  ASSERT_TRUE(service.AddStore("tpcw", store_).ok());
+  auto session = service.OpenSession("tpcw");
+  ASSERT_TRUE(session.ok());
+  const mctdb::query::AssociationQuery* q = w_->Find("Q1");
+  ASSERT_NE(q, nullptr);
+
+  auto f1 = (*session)->SubmitQuery(*q);
+  ASSERT_TRUE(f1.ok()) << f1.status().ToString();
+  auto r1 = f1->get();
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(service.metrics().plan_cache_misses.load(), 1u);
+  EXPECT_EQ(service.metrics().plan_cache_hits.load(), 0u);
+
+  // A read-only store never moves its visible LSN, so the second
+  // identical submission is a pure cache hit — and byte-identical.
+  auto f2 = (*session)->SubmitQuery(*q);
+  ASSERT_TRUE(f2.ok()) << f2.status().ToString();
+  auto r2 = f2->get();
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->logicals, r1->logicals);
+  EXPECT_EQ(r2->raw_count, r1->raw_count);
+  EXPECT_EQ(service.metrics().plan_cache_hits.load(), 1u);
+  EXPECT_EQ(service.metrics().plan_cache_misses.load(), 1u);
+
+  // A different query is its own key.
+  const mctdb::query::AssociationQuery* q3 = w_->Find("Q3");
+  ASSERT_NE(q3, nullptr);
+  auto f3 = (*session)->SubmitQuery(*q3);
+  ASSERT_TRUE(f3.ok());
+  EXPECT_TRUE(f3->get().ok());
+  EXPECT_EQ(service.metrics().plan_cache_misses.load(), 2u);
+
+  PlanCache* cache = service.plan_cache("tpcw");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->size(), 2u);
+  EXPECT_EQ(service.plan_cache("nope"), nullptr);
+
+  service.Drain();
+  std::string text = service.MetricsText();
+  for (const char* series :
+       {"mctsvc_plan_cache_hits_total 1", "mctsvc_plan_cache_misses_total 2",
+        "mctsvc_plan_cache_invalidations_total 0",
+        "mctsvc_index_seeks_total"}) {
+    EXPECT_NE(text.find(series), std::string::npos)
+        << series << " missing from:\n" << text;
+  }
+}
+
+TEST_F(QueryServiceTest, PlanCacheStalenessGuardSeesCommittedInsert) {
+  // The bug class this pins: a cached plan serving a result that predates
+  // a committed update. Sequence: query (miss, cached) -> identical query
+  // (hit) -> U1 insert commits -> identical query again. The third call
+  // MUST invalidate, re-plan at the new visible LSN, and return the
+  // freshly inserted row.
+  auto durable = mctdb::wal::DurableStore::Ephemeral(
+      mctdb::instance::Materialize(*logical_, *schema_));
+  ASSERT_TRUE(durable.ok()) << durable.status().ToString();
+
+  // A deterministic U1 insert from the workload generator.
+  std::vector<mctdb::mct::MctSchema> schemas{*schema_};
+  mctdb::workload::UpdateGenOptions gen;
+  gen.num_ops = 8;
+  auto ops = mctdb::workload::GenerateUpdateOps(schemas, *logical_, gen);
+  const mctdb::storage::UpdateOp* insert = nullptr;
+  for (const auto& op : ops) {
+    if (op.kind == mctdb::storage::UpdateOp::Kind::kInsertSubtree) {
+      insert = &op;
+      break;
+    }
+  }
+  ASSERT_NE(insert, nullptr) << "the op stream always contains inserts";
+  // U1 inserts a relationship instance with one new child entity under
+  // it; "all instances of that entity type" is a query whose answer the
+  // insert visibly changes.
+  ASSERT_EQ(insert->subtree.children.size(), 1u);
+  const mctdb::storage::SubtreeSpec& child = insert->subtree.children[0];
+  mctdb::query::QueryBuilder b("Qfresh", w_->diagram);
+  b.Root(w_->diagram.node(child.type).name);
+  mctdb::query::AssociationQuery q = b.Build();
+
+  QueryService service;
+  ASSERT_TRUE(service.AddDurableStore("tpcw", durable->get()).ok());
+  auto session = service.OpenSession("tpcw");
+  ASSERT_TRUE(session.ok());
+
+  auto f1 = (*session)->SubmitQuery(q);
+  ASSERT_TRUE(f1.ok()) << f1.status().ToString();
+  auto before = f1->get();
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  const uint32_t new_logical = child.logical;
+  EXPECT_EQ(std::count(before->logicals.begin(), before->logicals.end(),
+                       new_logical),
+            0);
+
+  auto f2 = (*session)->SubmitQuery(q);
+  ASSERT_TRUE(f2.ok());
+  ASSERT_TRUE(f2->get().ok());
+  EXPECT_EQ(service.metrics().plan_cache_hits.load(), 1u);
+
+  // Commit the insert and WAIT for it, so the next lookup runs against
+  // the advanced visible LSN.
+  auto uf = (*session)->SubmitUpdate(*insert);
+  ASSERT_TRUE(uf.ok()) << uf.status().ToString();
+  ASSERT_TRUE(uf->get().ok());
+
+  auto f3 = (*session)->SubmitQuery(q);
+  ASSERT_TRUE(f3.ok());
+  auto after = f3->get();
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(service.metrics().plan_cache_invalidations.load(), 1u);
+  EXPECT_EQ(std::count(after->logicals.begin(), after->logicals.end(),
+                       new_logical),
+            1)
+      << "the re-planned query must see the committed insert";
+
+  // The re-installed entry hits again at the new LSN...
+  auto f4 = (*session)->SubmitQuery(q);
+  ASSERT_TRUE(f4.ok());
+  EXPECT_TRUE(f4->get().ok());
+  EXPECT_EQ(service.metrics().plan_cache_hits.load(), 2u);
+
+  // ...until a checkpoint bumps the generation: intervals may have been
+  // relabeled, so even an unchanged LSN must not hit.
+  auto ck = service.Checkpoint("tpcw");
+  ASSERT_TRUE(ck.ok()) << ck.status().ToString();
+  auto f5 = (*session)->SubmitQuery(q);
+  ASSERT_TRUE(f5.ok());
+  auto post_ck = f5->get();
+  ASSERT_TRUE(post_ck.ok()) << post_ck.status().ToString();
+  EXPECT_EQ(service.metrics().plan_cache_invalidations.load(), 2u);
+  EXPECT_EQ(post_ck->logicals, after->logicals)
+      << "checkpoint compaction must not change the answer";
+
+  // Checkpointing a read-only registration is refused cleanly.
+  QueryService read_only;
+  ASSERT_TRUE(read_only.AddStore("ro", store_).ok());
+  EXPECT_TRUE(read_only.Checkpoint("ro").status().IsInvalidArgument());
+  EXPECT_TRUE(read_only.Checkpoint("nope").status().IsNotFound());
+}
+
+TEST_F(QueryServiceTest, PlanCacheUnderConcurrentReadersAndWriter) {
+  // TSAN surface: many sessions hammering SubmitQuery on one store while
+  // its session strand commits updates. Every request must complete, every
+  // SubmitQuery must be accounted as exactly one of hit/miss/invalidated,
+  // and the final answer must reflect every committed op.
+  auto durable = mctdb::wal::DurableStore::Ephemeral(
+      mctdb::instance::Materialize(*logical_, *schema_));
+  ASSERT_TRUE(durable.ok());
+  std::vector<mctdb::mct::MctSchema> schemas{*schema_};
+  mctdb::workload::UpdateGenOptions gen;
+  gen.num_ops = 6;
+  auto ops = mctdb::workload::GenerateUpdateOps(schemas, *logical_, gen);
+  ASSERT_FALSE(ops.empty());
+
+  const mctdb::query::AssociationQuery* q = w_->Find("Q1");
+  ASSERT_NE(q, nullptr);
+
+  ServiceOptions options;
+  options.num_threads = 4;
+  QueryService service(options);
+  ASSERT_TRUE(service.AddDurableStore("tpcw", durable->get()).ok());
+  auto writer = service.OpenSession("tpcw");
+  ASSERT_TRUE(writer.ok());
+
+  constexpr size_t kReaders = 4;
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&] {
+      auto session = service.OpenSession("tpcw");
+      ASSERT_TRUE(session.ok());
+      do {
+        // 5 in-flight requests max sits far below the shedding watermark,
+        // so every submission must be admitted (conservation below relies
+        // on every SubmitQuery ticking exactly one cache outcome).
+        auto f = (*session)->SubmitQuery(*q);
+        ASSERT_TRUE(f.ok()) << f.status().ToString();
+        auto r = f->get();
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        reads.fetch_add(1);
+      } while (!done.load(std::memory_order_acquire));
+    });
+  }
+  // All ops but the last race the readers; the last is held back for a
+  // deterministic invalidation below (whether any concurrent reader
+  // witnesses a stale entry is a race — the guard only promises no stale
+  // plan ever SERVES, so the witness must be staged, not hoped for).
+  ASSERT_GE(ops.size(), 2u);
+  for (size_t i = 0; i + 1 < ops.size(); ++i) {
+    auto uf = (*writer)->SubmitUpdate(ops[i]);
+    ASSERT_TRUE(uf.ok()) << uf.status().ToString();
+    ASSERT_TRUE(uf->get().ok());
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  service.Drain();
+  EXPECT_GT(reads.load(), 0u);
+
+  // Prime the cache at the current LSN (the entry is installed before
+  // SubmitQuery returns), commit the held-back op, and the next lookup
+  // MUST drop the now-stale entry.
+  {
+    auto f = (*writer)->SubmitQuery(*q);
+    ASSERT_TRUE(f.ok()) << f.status().ToString();
+    ASSERT_TRUE(f->get().ok());
+    reads.fetch_add(1);
+  }
+  auto uf = (*writer)->SubmitUpdate(ops.back());
+  ASSERT_TRUE(uf.ok()) << uf.status().ToString();
+  ASSERT_TRUE(uf->get().ok());
+
+  // Post-quiescence: the service answer equals a direct executor run at
+  // the final snapshot — the cache cannot pin a stale plan.
+  auto plan = PlanQuery(*q, *schema_);
+  ASSERT_TRUE(plan.ok());
+  mctdb::query::Executor exec((*durable)->store());
+  exec.set_snapshot((*durable)->snapshot());
+  auto direct = exec.Execute(*plan);
+  ASSERT_TRUE(direct.ok());
+  auto f = (*writer)->SubmitQuery(*q);
+  ASSERT_TRUE(f.ok());
+  auto final_r = f->get();
+  ASSERT_TRUE(final_r.ok());
+  reads.fetch_add(1);
+  EXPECT_EQ(final_r->logicals, direct->logicals);
+
+  const auto& m = service.metrics();
+  // Conservation: every SubmitQuery admission resolved its plan through
+  // exactly one cache outcome. (Invalidated lookups re-plan, so they are
+  // counted once as invalidations, never double-counted as misses.)
+  EXPECT_EQ(m.plan_cache_hits.load() + m.plan_cache_misses.load() +
+                m.plan_cache_invalidations.load(),
+            reads.load());
+  EXPECT_GT(m.plan_cache_invalidations.load(), 0u)
+      << "the staged commit between two identical queries must invalidate";
 }
 
 TEST(ParallelRunnerTest, MatchesSerialRunMeasurementForMeasurement) {

@@ -23,8 +23,8 @@
 //                                             workload query or an MC-XPath
 //                                             expression across the schemas
 //   mctc bench    [--scale S] [--reps N] [--bench NAME] [--json]
-//                 [--out DIR] [--check] [--tolerance T] [--min-abs S]
-//                 [--baselines DIR] [--list]
+//                 [--out DIR] [--check] [--strict] [--tolerance T]
+//                 [--min-abs S] [--baselines DIR] [--list]
 //                                             run the registered benchmarks
 //                                             in-process, write BENCH_*.json,
 //                                             and gate against baselines
@@ -110,7 +110,8 @@ int Usage() {
       "           [--store PATH]\n"
       "  bench    [--scale S] [--reps N] [--bench NAME] [--json] [--out DIR]"
       " [--check]\n"
-      "           [--tolerance T] [--min-abs S] [--baselines DIR] [--list]\n"
+      "           [--strict] [--tolerance T] [--min-abs S] [--baselines DIR]"
+      " [--list]\n"
       "  serve    <file.er> [--port P] [--threads N] [--base N] [--passes N]"
       " [--linger S]\n"
       "  update   <file.er> --store PATH [-s STRATEGY] [--base N] [--ops N]"
@@ -684,6 +685,8 @@ int CmdBench(int argc, char** argv) {
       out_dir = argv[++i];
     } else if (!std::strcmp(argv[i], "--check")) {
       check = true;
+    } else if (!std::strcmp(argv[i], "--strict")) {
+      check_options.strict_new_records = true;
     } else if (!std::strcmp(argv[i], "--tolerance") && i + 1 < argc) {
       char* end = nullptr;
       double t = std::strtod(argv[++i], &end);
