@@ -41,6 +41,8 @@ Registry& GetRegistry() {
   return *r;
 }
 
+std::atomic<HitObserver> g_hit_observer{nullptr};
+
 /// Splitmix64 stream for probability rolls, shared across threads: the
 /// slow path already serializes on the registry mutex, so one relaxed
 /// fetch_add is noise here.
@@ -169,6 +171,9 @@ Fault EvaluateSlow(std::string_view name) {
     }
     r.hits[std::string(name)]++;
   }
+  if (HitObserver obs = g_hit_observer.load(std::memory_order_acquire)) {
+    obs(name);
+  }
   switch (action.kind) {
     case ActionKind::kError:
       return Fault::kError;
@@ -264,6 +269,10 @@ uint64_t HitCount(std::string_view name) {
   std::lock_guard<std::mutex> lock(r.mu);
   auto it = r.hits.find(name);
   return it == r.hits.end() ? 0 : it->second;
+}
+
+void SetHitObserver(HitObserver observer) {
+  g_hit_observer.store(observer, std::memory_order_release);
 }
 
 std::string CurrentAction(std::string_view name) {

@@ -83,6 +83,13 @@ uint64_t HitCount(std::string_view name);
 /// to restore prior state.
 std::string CurrentAction(std::string_view name);
 
+/// Observer invoked (with the site name) every time an armed site fires —
+/// after the hit is counted, before the action executes, so even a `panic`
+/// site's last act is observable. The flight recorder installs one; nullptr
+/// uninstalls. The observer must be cheap and must not evaluate failpoints.
+using HitObserver = void (*)(std::string_view name);
+void SetHitObserver(HitObserver observer);
+
 /// RAII guard for tests: arms `name` with `action` on construction and
 /// restores the site's *previous* configuration on destruction (it does not
 /// blanket-disarm, so an environment-armed chaos spec survives test guards).

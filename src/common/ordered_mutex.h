@@ -13,6 +13,7 @@
 //   kSessionStrand   (200)  QueryService::Session::mu_ — strand queue
 //   kServiceDrain    (300)  QueryService::drain_mu_ — drain barrier
 //   kSlowQueryLog    (350)  QueryService::slow_mu_ — slow-query ring
+//   kInFlightTable   (375)  QueryService::inflight_mu_ — /statusz table
 //   kPoolShard       (400)  ShardedBufferPool::Shard::mu — page frames
 // (Pager and ServiceMetrics are lock-free — atomics only — and hold no
 // rank; the worker ThreadPool's internal queue mutex is leaf-level and
@@ -27,6 +28,8 @@
 // std::unique_lock / std::condition_variable_any work unchanged.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -40,6 +43,7 @@ enum class LockRank : uint32_t {
   kSessionStrand = 200,
   kServiceDrain = 300,
   kSlowQueryLog = 350,
+  kInFlightTable = 375,
   kPoolShard = 400,
 };
 
@@ -55,10 +59,78 @@ inline const char* ToString(LockRank r) {
       return "ServiceDrain";
     case LockRank::kSlowQueryLog:
       return "SlowQueryLog";
+    case LockRank::kInFlightTable:
+      return "InFlightTable";
     case LockRank::kPoolShard:
       return "PoolShard";
   }
   return "?";
+}
+
+/// Every rank, in table order; exposition code iterates this to emit one
+/// mctsvc_lock_wait_seconds series per rank.
+inline constexpr LockRank kAllLockRanks[] = {
+    LockRank::kServiceRegistry, LockRank::kPlanCache,
+    LockRank::kSessionStrand,   LockRank::kServiceDrain,
+    LockRank::kSlowQueryLog,    LockRank::kInFlightTable,
+    LockRank::kPoolShard,
+};
+inline constexpr size_t kNumLockRanks =
+    sizeof(kAllLockRanks) / sizeof(kAllLockRanks[0]);
+
+/// Process-wide contention counters, one set per rank. `contended` counts
+/// acquisitions that failed the try_lock fast path; `wait_nanos` is the
+/// total time those spent blocked. All relaxed: the numbers feed metrics,
+/// not synchronization.
+struct LockWaitCounters {
+  std::atomic<uint64_t> acquisitions{0};
+  std::atomic<uint64_t> contended{0};
+  std::atomic<uint64_t> wait_nanos{0};
+};
+
+inline size_t RankIndex(LockRank r) {
+  switch (r) {
+    case LockRank::kServiceRegistry:
+      return 0;
+    case LockRank::kPlanCache:
+      return 1;
+    case LockRank::kSessionStrand:
+      return 2;
+    case LockRank::kServiceDrain:
+      return 3;
+    case LockRank::kSlowQueryLog:
+      return 4;
+    case LockRank::kInFlightTable:
+      return 5;
+    case LockRank::kPoolShard:
+      return 6;
+  }
+  return 0;
+}
+
+namespace internal {
+inline LockWaitCounters g_lock_wait[kNumLockRanks];
+
+/// try_lock-first blocking acquire that bills contention to the rank's
+/// counters. Shared by both OrderedMutex variants.
+inline void TimedLock(std::mutex& mu, LockRank rank) {
+  LockWaitCounters& c = g_lock_wait[RankIndex(rank)];
+  c.acquisitions.fetch_add(1, std::memory_order_relaxed);
+  if (mu.try_lock()) return;
+  const auto t0 = std::chrono::steady_clock::now();
+  mu.lock();
+  const auto waited = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  c.contended.fetch_add(1, std::memory_order_relaxed);
+  c.wait_nanos.fetch_add(static_cast<uint64_t>(waited),
+                         std::memory_order_relaxed);
+}
+}  // namespace internal
+
+/// Read-side accessor for the per-rank contention counters.
+inline const LockWaitCounters& LockWaitFor(LockRank r) {
+  return internal::g_lock_wait[RankIndex(r)];
 }
 
 #ifdef MCTDB_LOCK_ORDER_CHECKS
@@ -71,7 +143,7 @@ class OrderedMutex {
 
   void lock() {
     CheckOrder();
-    mu_.lock();
+    internal::TimedLock(mu_, rank_);
     Held().push_back(this);
   }
 
@@ -142,7 +214,7 @@ class OrderedMutex {
   OrderedMutex(const OrderedMutex&) = delete;
   OrderedMutex& operator=(const OrderedMutex&) = delete;
 
-  void lock() { mu_.lock(); }
+  void lock() { internal::TimedLock(mu_, rank_); }
   bool try_lock() { return mu_.try_lock(); }
   void unlock() { mu_.unlock(); }
   LockRank rank() const { return rank_; }

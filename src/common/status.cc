@@ -1,6 +1,28 @@
 #include "common/status.h"
 
+#include <atomic>
+
 namespace mctdb {
+
+namespace {
+
+std::atomic<StatusEscalationObserver> g_escalation_observer{nullptr};
+
+}  // namespace
+
+void SetStatusEscalationObserver(StatusEscalationObserver observer) {
+  g_escalation_observer.store(observer, std::memory_order_release);
+}
+
+namespace internal {
+
+void NotifyStatusEscalation(int code) {
+  StatusEscalationObserver obs =
+      g_escalation_observer.load(std::memory_order_acquire);
+  if (obs != nullptr) obs(code);
+}
+
+}  // namespace internal
 
 namespace {
 const char* CodeName(Status::Code code) {

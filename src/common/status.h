@@ -11,6 +11,20 @@
 
 namespace mctdb {
 
+namespace internal {
+/// Fires the installed escalation observer (SetStatusEscalationObserver)
+/// for every kDataLoss / kUnavailable construction. One atomic load and a
+/// no-op when no observer is installed.
+void NotifyStatusEscalation(int code);
+}  // namespace internal
+
+/// Observer invoked whenever a Status with code kDataLoss or kUnavailable
+/// is minted (constructed — copies and moves do not re-notify). The flight
+/// recorder installs one to capture "something just escalated" events and
+/// trigger its one-shot dump. nullptr uninstalls.
+using StatusEscalationObserver = void (*)(int code);
+void SetStatusEscalationObserver(StatusEscalationObserver observer);
+
 /// Outcome of a fallible operation: an error code plus a human-readable
 /// message. The default-constructed Status is OK and carries no allocation.
 /// [[nodiscard]]: silently dropping an error is always a bug (enforced by
@@ -111,7 +125,11 @@ class [[nodiscard]] Status {
   }
 
  private:
-  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {
+    if (code_ == Code::kDataLoss || code_ == Code::kUnavailable) {
+      internal::NotifyStatusEscalation(static_cast<int>(code_));
+    }
+  }
 
   Code code_ = Code::kOk;
   std::string message_;

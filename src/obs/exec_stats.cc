@@ -1,8 +1,27 @@
 #include "obs/exec_stats.h"
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace_id.h"
 
 namespace mctdb::obs {
+
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// kSpanEnd packs elapsed µs above the stage kind (flight_recorder.h).
+uint64_t SpanEndArg(StageKind kind, double elapsed_seconds) {
+  const uint64_t us = static_cast<uint64_t>(elapsed_seconds * 1e6);
+  return static_cast<uint64_t>(kind) | (us << 8);
+}
+
+}  // namespace
 
 const char* ToString(StageKind kind) {
   switch (kind) {
@@ -67,11 +86,16 @@ StageTable AggregateByStage(const Span& root) {
   return table;
 }
 
-ExecStats::ExecStats(std::string query_label) {
+ExecStats::ExecStats(std::string query_label)
+    : trace_id_(CurrentTraceId()) {
   root_.kind = StageKind::kQuery;
   root_.label = std::move(query_label);
+  root_.trace_id = trace_id_;
+  root_.start_nanos = NowNanos();
   open_.push_back(&root_);
   start_.push_back(std::chrono::steady_clock::now());
+  flight::Record(flight::Subsystem::kExec, flight::Site::kSpanBegin,
+                 trace_id_, static_cast<uint64_t>(StageKind::kQuery));
 }
 
 void ExecStats::OnPageFetch(bool miss) {
@@ -99,8 +123,12 @@ Span* ExecStats::BeginSpan(StageKind kind, std::string label) {
   Span* span = &parent->children.back();
   span->kind = kind;
   span->label = std::move(label);
+  span->trace_id = trace_id_;
+  span->start_nanos = NowNanos();
   open_.push_back(span);
   start_.push_back(std::chrono::steady_clock::now());
+  flight::Record(flight::Subsystem::kExec, flight::Site::kSpanBegin,
+                 trace_id_, static_cast<uint64_t>(kind));
   return span;
 }
 
@@ -113,6 +141,8 @@ void ExecStats::EndSpan() {
           .count();
   open_.pop_back();
   start_.pop_back();
+  flight::Record(flight::Subsystem::kExec, flight::Site::kSpanEnd, trace_id_,
+                 SpanEndArg(span->kind, span->elapsed_seconds));
 }
 
 void ExecStats::AddJoinPairs(uint64_t pairs) {
@@ -129,6 +159,8 @@ Span ExecStats::Finish() {
   root_.join_pairs = join_pairs_;
   open_.clear();
   start_.clear();
+  flight::Record(flight::Subsystem::kExec, flight::Site::kSpanEnd, trace_id_,
+                 SpanEndArg(StageKind::kQuery, root_.elapsed_seconds));
   return std::move(root_);
 }
 

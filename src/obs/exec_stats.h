@@ -52,6 +52,12 @@ const char* ToString(StageKind kind);
 struct Span {
   StageKind kind = StageKind::kQuery;
   std::string label;
+  /// Correlation key of the request this span belongs to (0 = untraced);
+  /// every span in one tree carries the same id (see obs/trace_id.h).
+  uint64_t trace_id = 0;
+  /// CLOCK_MONOTONIC at BeginSpan, for cross-subsystem ordering against
+  /// flight-recorder events and sibling traces.
+  uint64_t start_nanos = 0;
   double elapsed_seconds = 0.0;
   uint64_t cardinality_in = 0;
   uint64_t cardinality_out = 0;
@@ -108,6 +114,10 @@ class ExecStats {
   uint64_t join_pairs() const { return join_pairs_; }
   uint64_t index_seeks() const { return index_seeks_; }
 
+  /// The TraceId captured from the calling thread at construction (0 when
+  /// the query ran outside any traced request).
+  uint64_t trace_id() const { return trace_id_; }
+
   /// Opens a child span of the innermost open span. Returns the node; the
   /// pointer stays valid until the span's EndSpan (stack discipline
   /// guarantees no sibling is appended while it is open).
@@ -124,6 +134,7 @@ class ExecStats {
   Span Finish();
 
  private:
+  uint64_t trace_id_ = 0;
   Span root_;
   std::vector<Span*> open_;  // innermost last; open_[0] == &root_
   std::vector<std::chrono::steady_clock::time_point> start_;

@@ -1,0 +1,450 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/failpoint.h"
+#include "common/status.h"
+#include "obs/trace_id.h"
+
+namespace mctdb::obs::flight {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+// Registry sizing. 128 rings covers every realistic worker-pool + test
+// configuration; a thread arriving after the table is full records nothing
+// (and only that thread loses events).
+constexpr size_t kMaxRings = 128;
+constexpr size_t kDefaultEventsPerThread = 1024;
+constexpr size_t kWordsPerEvent = 4;
+constexpr char kDumpMagic[8] = {'M', 'C', 'T', 'F', 'R', '1', '\0', '\0'};
+
+// One per-thread ring. `head` counts events ever written (the next seq);
+// `slots` holds capacity*4 words. Only the owning thread writes; any thread
+// may read (dump/snapshot), which is why every word is atomic.
+struct Ring {
+  uint32_t thread_index = 0;
+  uint32_t capacity = 0;
+  std::atomic<uint64_t> head{0};
+  std::atomic<uint64_t>* slots = nullptr;
+};
+
+std::atomic<Ring*> g_rings[kMaxRings];
+std::atomic<uint32_t> g_ring_count{0};
+std::atomic<size_t> g_ring_capacity{kDefaultEventsPerThread};
+
+thread_local Ring* t_ring = nullptr;
+thread_local bool t_ring_unavailable = false;
+
+// Fixed buffer so the signal path never allocates. Written only from
+// SetDumpPath (before any crash can care), read from the handler.
+char g_dump_path[256] = {0};
+
+// Separate one-shot latches: an early Unavailable (a routine shed under
+// load) must not consume the crash handler's dump. The crash dump
+// overwrites the same file with a superset of events.
+std::atomic<int> g_escalation_armed{0};
+std::atomic<int> g_crash_dumped{0};
+
+uint64_t NowNanos() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+Ring* ClaimRing() {
+  uint32_t idx = g_ring_count.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= kMaxRings) return nullptr;
+  Ring* r = new Ring;
+  r->thread_index = idx;
+  r->capacity = static_cast<uint32_t>(
+      std::max<size_t>(1, g_ring_capacity.load(std::memory_order_relaxed)));
+  r->slots = new std::atomic<uint64_t>[r->capacity * kWordsPerEvent]();
+  g_rings[idx].store(r, std::memory_order_release);
+  return r;
+}
+
+// Validates one slot's packed word against its position and the ring head,
+// appending a decoded Event when it is consistent. A dumper racing a
+// wrapped writer can capture words from two different events in one slot;
+// the embedded seq then disagrees with the slot position (or lies outside
+// the live [head-capacity, head) window) and the slot is dropped.
+void AppendIfValid(std::vector<Event>* out, const uint64_t w[4],
+                   uint64_t slot, uint64_t capacity, uint64_t head,
+                   uint32_t thread_index) {
+  if (head == 0) return;
+  const uint64_t packed = w[3];
+  const uint64_t seq = packed >> 16;
+  const uint64_t sub = (packed >> 8) & 0xff;
+  const uint64_t site = packed & 0xff;
+  if (seq % capacity != slot) return;
+  if (seq >= head || seq + capacity < head) return;
+  if (sub >= kNumSubsystems || site >= kNumSites) return;
+  Event e;
+  e.nanos = w[0];
+  e.trace_id = w[1];
+  e.arg = w[2];
+  e.seq = seq;
+  e.thread_index = thread_index;
+  e.subsystem = static_cast<Subsystem>(sub);
+  e.site = static_cast<Site>(site);
+  out->push_back(e);
+}
+
+bool WriteAll(int fd, const void* buf, size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  return true;
+}
+
+void FailpointHitObserver(std::string_view name) {
+  uint64_t packed = 0;
+  std::memcpy(&packed, name.data(), std::min<size_t>(8, name.size()));
+  Record(Subsystem::kFailpoint, Site::kFailpointHit, CurrentTraceId(),
+         packed);
+}
+
+void StatusEscalationObserver(int code) {
+  if (!Enabled()) return;
+  Record(Subsystem::kStatus, Site::kEscalation, CurrentTraceId(),
+         static_cast<uint64_t>(code));
+  if (g_dump_path[0] != '\0' &&
+      g_escalation_armed.exchange(0, std::memory_order_acq_rel) == 1) {
+    (void)DumpToConfiguredPath();  // best-effort; the events stay in-ring
+  }
+}
+
+void CrashHandler(int sig) {
+  // Async-signal-safe: atomic ops, open/write/close, raise. The exchange
+  // keeps a second fatal signal (e.g. SEGV inside the dump) from looping.
+  if (g_crash_dumped.exchange(1) == 0 && g_dump_path[0] != '\0') {
+    int fd = ::open(g_dump_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      (void)DumpToFd(fd);
+      ::close(fd);
+    }
+  }
+  ::raise(sig);  // SA_RESETHAND restored the default action: process dies
+}
+
+}  // namespace
+
+namespace internal {
+
+void RecordSlow(Subsystem subsystem, Site site, uint64_t trace_id,
+                uint64_t arg) {
+  if (t_ring_unavailable) return;
+  Ring* r = t_ring;
+  if (r == nullptr) {
+    r = ClaimRing();
+    if (r == nullptr) {
+      t_ring_unavailable = true;
+      return;
+    }
+    t_ring = r;
+  }
+  const uint64_t seq = r->head.load(std::memory_order_relaxed);
+  const size_t base = (seq % r->capacity) * kWordsPerEvent;
+  r->slots[base + 0].store(NowNanos(), std::memory_order_relaxed);
+  r->slots[base + 1].store(trace_id, std::memory_order_relaxed);
+  r->slots[base + 2].store(arg, std::memory_order_relaxed);
+  const uint64_t packed = (seq << 16) |
+                          (static_cast<uint64_t>(subsystem) << 8) |
+                          static_cast<uint64_t>(site);
+  r->slots[base + 3].store(packed, std::memory_order_release);
+  r->head.store(seq + 1, std::memory_order_release);
+}
+
+}  // namespace internal
+
+const char* ToString(Subsystem s) {
+  switch (s) {
+    case Subsystem::kService: return "service";
+    case Subsystem::kPlanCache: return "plan_cache";
+    case Subsystem::kExec: return "exec";
+    case Subsystem::kWal: return "wal";
+    case Subsystem::kCheckpoint: return "checkpoint";
+    case Subsystem::kPool: return "pool";
+    case Subsystem::kFailpoint: return "failpoint";
+    case Subsystem::kStatus: return "status";
+  }
+  return "?";
+}
+
+const char* ToString(Site s) {
+  switch (s) {
+    case Site::kAdmit: return "admit";
+    case Site::kShed: return "shed";
+    case Site::kReject: return "reject";
+    case Site::kBreakerReject: return "breaker_reject";
+    case Site::kDeadline: return "deadline";
+    case Site::kSpanBegin: return "span_begin";
+    case Site::kSpanEnd: return "span_end";
+    case Site::kPlanCacheHit: return "plan_cache_hit";
+    case Site::kPlanCacheMiss: return "plan_cache_miss";
+    case Site::kPlanCacheInvalidated: return "plan_cache_invalidated";
+    case Site::kGenerationBump: return "generation_bump";
+    case Site::kWalAppend: return "wal_append";
+    case Site::kWalFsync: return "wal_fsync";
+    case Site::kCheckpointBegin: return "checkpoint_begin";
+    case Site::kCheckpointEnd: return "checkpoint_end";
+    case Site::kEvict: return "evict";
+    case Site::kQuarantine: return "quarantine";
+    case Site::kFailpointHit: return "failpoint_hit";
+    case Site::kEscalation: return "escalation";
+  }
+  return "?";
+}
+
+void Enable(size_t events_per_thread) {
+  if (events_per_thread > 0) {
+    g_ring_capacity.store(events_per_thread, std::memory_order_relaxed);
+  }
+  failpoint::SetHitObserver(&FailpointHitObserver);
+  SetStatusEscalationObserver(&StatusEscalationObserver);
+  g_escalation_armed.store(1, std::memory_order_relaxed);
+  internal::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Disable() {
+  internal::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void SetDumpPath(const char* path) {
+  if (path == nullptr) path = "";
+  std::snprintf(g_dump_path, sizeof(g_dump_path), "%s", path);
+}
+
+const char* DumpPath() { return g_dump_path; }
+
+bool DumpToFd(int fd) {
+  if (!WriteAll(fd, kDumpMagic, sizeof(kDumpMagic))) return false;
+  const uint32_t count = std::min<uint32_t>(
+      g_ring_count.load(std::memory_order_acquire),
+      static_cast<uint32_t>(kMaxRings));
+  for (uint32_t i = 0; i < count; ++i) {
+    Ring* r = g_rings[i].load(std::memory_order_acquire);
+    if (r == nullptr) continue;
+    const uint64_t hdr[3] = {r->thread_index, r->capacity,
+                             r->head.load(std::memory_order_acquire)};
+    if (!WriteAll(fd, hdr, sizeof(hdr))) return false;
+    uint64_t chunk[256];
+    const size_t total = static_cast<size_t>(r->capacity) * kWordsPerEvent;
+    size_t off = 0;
+    while (off < total) {
+      const size_t n = std::min<size_t>(256, total - off);
+      for (size_t j = 0; j < n; ++j) {
+        chunk[j] = r->slots[off + j].load(std::memory_order_relaxed);
+      }
+      if (!WriteAll(fd, chunk, n * sizeof(uint64_t))) return false;
+      off += n;
+    }
+  }
+  return true;
+}
+
+Status DumpToFile(const char* path) {
+  int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError(std::string("flight dump: cannot open ") + path);
+  }
+  const bool ok = DumpToFd(fd);
+  ::close(fd);
+  if (!ok) {
+    return Status::IoError(std::string("flight dump: short write to ") +
+                           path);
+  }
+  return Status::OK();
+}
+
+Status DumpToConfiguredPath() {
+  if (g_dump_path[0] == '\0') {
+    return Status::InvalidArgument("flight dump: no dump path configured");
+  }
+  return DumpToFile(g_dump_path);
+}
+
+void InstallCrashHandler() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = &CrashHandler;
+  sa.sa_flags = SA_RESETHAND;
+  sigemptyset(&sa.sa_mask);
+  const int signals[] = {SIGABRT, SIGSEGV, SIGBUS, SIGILL, SIGFPE};
+  for (int sig : signals) sigaction(sig, &sa, nullptr);
+}
+
+Result<std::vector<Event>> Decode(const std::string& bytes) {
+  if (bytes.size() < sizeof(kDumpMagic) ||
+      std::memcmp(bytes.data(), kDumpMagic, sizeof(kDumpMagic)) != 0) {
+    return Status::InvalidArgument("flight dump: bad magic");
+  }
+  size_t off = sizeof(kDumpMagic);
+  auto read_u64 = [&](uint64_t* v) {
+    if (off + 8 > bytes.size()) return false;
+    std::memcpy(v, bytes.data() + off, 8);
+    off += 8;
+    return true;
+  };
+  std::vector<Event> events;
+  while (off < bytes.size()) {
+    uint64_t thread_index = 0, capacity = 0, head = 0;
+    if (!read_u64(&thread_index) || !read_u64(&capacity) ||
+        !read_u64(&head)) {
+      return Status::DataLoss("flight dump: truncated ring header");
+    }
+    if (capacity == 0 || capacity > (1u << 24)) {
+      return Status::DataLoss("flight dump: implausible ring capacity");
+    }
+    const size_t body = static_cast<size_t>(capacity) * kWordsPerEvent * 8;
+    if (off + body > bytes.size()) {
+      return Status::DataLoss("flight dump: truncated ring body");
+    }
+    for (uint64_t slot = 0; slot < capacity; ++slot) {
+      uint64_t w[4];
+      std::memcpy(w, bytes.data() + off + slot * kWordsPerEvent * 8,
+                  kWordsPerEvent * 8);
+      AppendIfValid(&events, w, slot, capacity, head,
+                    static_cast<uint32_t>(thread_index));
+    }
+    off += body;
+  }
+  return events;
+}
+
+Result<std::vector<Event>> DecodeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("flight dump: cannot read " + path);
+  }
+  std::string bytes;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  return Decode(bytes);
+}
+
+std::vector<Event> Snapshot() {
+  std::vector<Event> events;
+  const uint32_t count = std::min<uint32_t>(
+      g_ring_count.load(std::memory_order_acquire),
+      static_cast<uint32_t>(kMaxRings));
+  for (uint32_t i = 0; i < count; ++i) {
+    Ring* r = g_rings[i].load(std::memory_order_acquire);
+    if (r == nullptr) continue;
+    const uint64_t head = r->head.load(std::memory_order_acquire);
+    for (uint64_t slot = 0; slot < r->capacity; ++slot) {
+      const size_t base = slot * kWordsPerEvent;
+      uint64_t w[4];
+      w[3] = r->slots[base + 3].load(std::memory_order_acquire);
+      w[0] = r->slots[base + 0].load(std::memory_order_relaxed);
+      w[1] = r->slots[base + 1].load(std::memory_order_relaxed);
+      w[2] = r->slots[base + 2].load(std::memory_order_relaxed);
+      AppendIfValid(&events, w, slot, r->capacity, head, r->thread_index);
+    }
+  }
+  return events;
+}
+
+namespace {
+
+std::vector<Event> Sorted(const std::vector<Event>& events,
+                          uint64_t trace_filter) {
+  std::vector<Event> out;
+  out.reserve(events.size());
+  for (const Event& e : events) {
+    if (trace_filter != 0 && e.trace_id != trace_filter) continue;
+    out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    if (a.nanos != b.nanos) return a.nanos < b.nanos;
+    if (a.thread_index != b.thread_index) {
+      return a.thread_index < b.thread_index;
+    }
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+}  // namespace
+
+std::string RenderText(const std::vector<Event>& events,
+                       uint64_t trace_filter) {
+  std::vector<Event> sorted = Sorted(events, trace_filter);
+  uint64_t base = sorted.empty() ? 0 : sorted.front().nanos;
+  std::string out;
+  char line[256];
+  for (const Event& e : sorted) {
+    std::snprintf(line, sizeof(line),
+                  "+%010.6fs  thr=%02u  trace=%llu  %s.%s  arg=%llu\n",
+                  static_cast<double>(e.nanos - base) * 1e-9,
+                  e.thread_index,
+                  static_cast<unsigned long long>(e.trace_id),
+                  ToString(e.subsystem), ToString(e.site),
+                  static_cast<unsigned long long>(e.arg));
+    out += line;
+  }
+  return out;
+}
+
+std::string RenderJson(const std::vector<Event>& events,
+                       uint64_t trace_filter) {
+  std::vector<Event> sorted = Sorted(events, trace_filter);
+  std::string out = "{\"events\":[";
+  char buf[256];
+  bool first = true;
+  for (const Event& e : sorted) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s{\"nanos\":%llu,\"trace_id\":%llu,\"subsystem\":\"%s\","
+        "\"site\":\"%s\",\"arg\":%llu,\"thread\":%u,\"seq\":%llu}",
+        first ? "" : ",", static_cast<unsigned long long>(e.nanos),
+        static_cast<unsigned long long>(e.trace_id), ToString(e.subsystem),
+        ToString(e.site), static_cast<unsigned long long>(e.arg),
+        e.thread_index, static_cast<unsigned long long>(e.seq));
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+void ResetForTest() {
+  const uint32_t count = std::min<uint32_t>(
+      g_ring_count.load(std::memory_order_acquire),
+      static_cast<uint32_t>(kMaxRings));
+  for (uint32_t i = 0; i < count; ++i) {
+    Ring* r = g_rings[i].load(std::memory_order_acquire);
+    if (r == nullptr) continue;
+    for (size_t w = 0; w < static_cast<size_t>(r->capacity) * kWordsPerEvent;
+         ++w) {
+      r->slots[w].store(0, std::memory_order_relaxed);
+    }
+    r->head.store(0, std::memory_order_release);
+  }
+  g_escalation_armed.store(1, std::memory_order_relaxed);
+  g_crash_dumped.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace mctdb::obs::flight

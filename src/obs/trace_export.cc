@@ -64,8 +64,14 @@ void AppendJson(const Span& span, std::string* out) {
                 "{\"stage\":\"%s\",\"label\":\"", ToString(span.kind));
   *out += buf;
   *out += JsonEscape(span.label);
+  *out += '"';
+  if (span.trace_id != 0) {
+    std::snprintf(buf, sizeof(buf), ",\"trace_id\":%llu",
+                  static_cast<unsigned long long>(span.trace_id));
+    *out += buf;
+  }
   std::snprintf(buf, sizeof(buf),
-                "\",\"elapsed_seconds\":%.9f,\"cardinality_in\":%llu,"
+                ",\"elapsed_seconds\":%.9f,\"cardinality_in\":%llu,"
                 "\"cardinality_out\":%llu,\"join_pairs\":%llu,"
                 "\"page_hits\":%llu,\"page_misses\":%llu,\"children\":[",
                 span.elapsed_seconds,

@@ -1,0 +1,20 @@
+#include "obs/trace_id.h"
+
+#include <atomic>
+
+namespace mctdb::obs {
+
+namespace {
+std::atomic<TraceId> g_next_trace_id{1};
+thread_local TraceId t_current_trace_id = 0;
+}  // namespace
+
+TraceId MintTraceId() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceId CurrentTraceId() { return t_current_trace_id; }
+
+void SetCurrentTraceId(TraceId id) { t_current_trace_id = id; }
+
+}  // namespace mctdb::obs

@@ -1,0 +1,56 @@
+// TraceId: the 64-bit correlation key that ties one request's footprint
+// together across subsystems (DESIGN.md §16).
+//
+// A TraceId is minted once per request — at admission in
+// QueryService::SubmitQuery/Submit/SubmitUpdate, or lazily in
+// DurableStore::Apply for CLI/library updates that never passed through
+// the service — and then propagated implicitly through a thread-local:
+// the worker executing the request wraps the execution in a ScopedTraceId,
+// and everything downstream (ExecStats span trees, WAL append/fsync
+// events, pool evictions, failpoint hits) reads CurrentTraceId() instead
+// of threading a parameter through every layer. Strands execute one task
+// at a time on one worker, so the thread-local is exact: no two requests
+// ever share a thread concurrently.
+//
+// 0 is reserved for "no trace": events recorded outside any request
+// (background checkpoints invoked without a scope, pool activity from
+// unattributed readers) carry trace id 0 and still land in the flight
+// recorder for context.
+#pragma once
+
+#include <cstdint>
+
+namespace mctdb::obs {
+
+using TraceId = uint64_t;
+
+/// Mints a fresh process-unique TraceId (never 0). Sequential, so dumps
+/// read chronologically and tests are deterministic.
+TraceId MintTraceId();
+
+/// The calling thread's active TraceId, 0 when none is set.
+TraceId CurrentTraceId();
+
+/// Sets the calling thread's active TraceId (0 clears it). Prefer
+/// ScopedTraceId — an unbalanced set leaks the id into unrelated work.
+void SetCurrentTraceId(TraceId id);
+
+/// RAII set/restore of the thread's TraceId around one request's
+/// execution. Restores the PREVIOUS id on destruction, so nested scopes
+/// (a service update calling into DurableStore::Apply, which would mint
+/// its own id for bare CLI callers) compose correctly.
+class ScopedTraceId {
+ public:
+  explicit ScopedTraceId(TraceId id) : previous_(CurrentTraceId()) {
+    SetCurrentTraceId(id);
+  }
+  ~ScopedTraceId() { SetCurrentTraceId(previous_); }
+
+  ScopedTraceId(const ScopedTraceId&) = delete;
+  ScopedTraceId& operator=(const ScopedTraceId&) = delete;
+
+ private:
+  TraceId previous_;
+};
+
+}  // namespace mctdb::obs

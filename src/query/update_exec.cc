@@ -1,9 +1,11 @@
 #include "query/update_exec.h"
 
 #include <chrono>
+#include <optional>
 #include <utility>
 
 #include "analysis/plan_verify.h"
+#include "obs/trace_id.h"
 
 namespace mctdb::query {
 
@@ -14,6 +16,13 @@ Result<UpdateExecResult> UpdateExecutor::Execute(
   if (verdict.has_errors()) {
     return Status::InvalidArgument("update rejected by verifier:\n" +
                                    verdict.ToText());
+  }
+  // Direct library/CLI callers get their trace minted HERE, before the
+  // stats capture it, so the span tree and the WAL flight events agree;
+  // service-submitted ops already run under the worker's admission trace.
+  std::optional<obs::ScopedTraceId> trace_scope;
+  if (obs::CurrentTraceId() == 0) {
+    trace_scope.emplace(obs::MintTraceId());
   }
   auto t0 = std::chrono::steady_clock::now();
   uint64_t appends0 = store_->wal_appends();

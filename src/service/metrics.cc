@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/ordered_mutex.h"
+
 namespace mctsvc {
 
 std::string PromLabelEscape(std::string_view value) {
@@ -183,8 +185,27 @@ std::string ServiceMetrics::ToJson() const {
   AppendU64(&out, "recovery_replayed_records",
             recovery_replayed_records.load(std::memory_order_relaxed));
   out += ",\"wal_fsync\":" + wal_fsync_seconds.ToJson();
+  out += ",\"queue_wait\":" + queue_wait_seconds.ToJson();
   out += ",\"latency\":" + latency.ToJson();
-  out += '}';
+  out += ",\"lock_wait\":{";
+  bool first_rank = true;
+  for (mctdb::LockRank rank : mctdb::kAllLockRanks) {
+    const mctdb::LockWaitCounters& c = mctdb::LockWaitFor(rank);
+    char buf[160];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s\"%s\":{\"acquisitions\":%llu,\"contended\":%llu,"
+        "\"wait_seconds\":%.9f}",
+        first_rank ? "" : ",", mctdb::ToString(rank),
+        static_cast<unsigned long long>(
+            c.acquisitions.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            c.contended.load(std::memory_order_relaxed)),
+        double(c.wait_nanos.load(std::memory_order_relaxed)) * 1e-9);
+    out += buf;
+    first_rank = false;
+  }
+  out += "}}";
   return out;
 }
 
@@ -274,8 +295,43 @@ std::string ServiceMetrics::ToPrometheus() const {
   wal_fsync_seconds.AppendPrometheus(
       &out, "mctsvc_wal_fsync_seconds",
       "Group-commit fsync latency (recorded by each batch's leader)");
+  queue_wait_seconds.AppendPrometheus(
+      &out, "mctsvc_queue_wait_seconds",
+      "Admission-to-dequeue wait per dequeued task");
   latency.AppendPrometheus(&out, "mctsvc_request_latency_seconds",
                            "End-to-end request execution latency");
+  // Per-rank lock contention as a summary family: _count = contended
+  // acquisitions, _sum = seconds spent blocked on them.
+  out += "# HELP mctsvc_lock_wait_seconds Time spent blocked on ranked "
+         "OrderedMutex acquisitions, per lock rank\n";
+  out += "# TYPE mctsvc_lock_wait_seconds summary\n";
+  for (mctdb::LockRank rank : mctdb::kAllLockRanks) {
+    const mctdb::LockWaitCounters& c = mctdb::LockWaitFor(rank);
+    char buf[160];
+    std::snprintf(
+        buf, sizeof(buf),
+        "mctsvc_lock_wait_seconds_sum{rank=\"%s\"} %.9f\n"
+        "mctsvc_lock_wait_seconds_count{rank=\"%s\"} %llu\n",
+        mctdb::ToString(rank),
+        double(c.wait_nanos.load(std::memory_order_relaxed)) * 1e-9,
+        mctdb::ToString(rank),
+        static_cast<unsigned long long>(
+            c.contended.load(std::memory_order_relaxed)));
+    out += buf;
+  }
+  out += "# HELP mctsvc_lock_acquisitions_total Ranked OrderedMutex "
+         "blocking acquisitions, per lock rank\n";
+  out += "# TYPE mctsvc_lock_acquisitions_total counter\n";
+  for (mctdb::LockRank rank : mctdb::kAllLockRanks) {
+    const mctdb::LockWaitCounters& c = mctdb::LockWaitFor(rank);
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "mctsvc_lock_acquisitions_total{rank=\"%s\"} %llu\n",
+                  mctdb::ToString(rank),
+                  static_cast<unsigned long long>(
+                      c.acquisitions.load(std::memory_order_relaxed)));
+    out += buf;
+  }
   return out;
 }
 

@@ -109,6 +109,10 @@ struct ServiceMetrics {
   /// that skipped at least one page via the per-page interval summaries.
   std::atomic<uint64_t> index_seeks{0};
   LatencyHistogram latency;
+  /// Admission-to-dequeue wait, recorded for every dequeued task (queries
+  /// and updates; deadline-cancelled tasks included — their wait is exactly
+  /// the number that explains the cancellation).
+  LatencyHistogram queue_wait_seconds;
 
   // Write path (WAL-backed durable stores).
   /// Update ops admitted via SubmitUpdate.

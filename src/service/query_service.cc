@@ -10,7 +10,9 @@
 #include "common/log.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace_export.h"
+#include "obs/trace_id.h"
 
 namespace mctsvc {
 
@@ -18,6 +20,7 @@ using mctdb::Result;
 using mctdb::Status;
 using mctdb::query::ExecResult;
 using mctdb::query::QueryPlan;
+namespace flight = mctdb::obs::flight;
 
 QueryService::QueryService(const ServiceOptions& options)
     : options_(options), start_time_(std::chrono::steady_clock::now()) {
@@ -49,11 +52,17 @@ QueryService::QueryService(const ServiceOptions& options)
           } else if (path == "/tracez") {
             response.content_type = "application/json";
             response.body = TracesJson() + "\n";
+          } else if (path == "/statusz") {
+            response.content_type = "application/json";
+            response.body = StatuszJson() + "\n";
+          } else if (path == "/flightz") {
+            response.content_type = "application/json";
+            response.body = FlightzJson() + "\n";
           } else {
             response.status = 404;
             response.body =
                 "not found; routes: /metrics /metrics.json /healthz "
-                "/slowlog /tracez\n";
+                "/slowlog /tracez /statusz /flightz\n";
           }
           return response;
         });
@@ -192,11 +201,18 @@ Result<mctdb::wal::CheckpointStats> QueryService::Checkpoint(
     durable = it->second.durable;
     cache = it->second.plan_cache.get();
   }
+  // The checkpoint runs under its own trace id so its WAL and checkpoint
+  // events — and this generation bump — correlate as one timeline.
+  const uint64_t trace_id = mctdb::obs::MintTraceId();
+  mctdb::obs::ScopedTraceId trace_scope(trace_id);
   Result<mctdb::wal::CheckpointStats> stats = durable->Checkpoint();
   // Bump even on failure: a half-finished checkpoint may still have moved
   // in-memory state, and a spurious re-plan is cheap next to a plan
   // compiled against intervals that no longer exist.
   cache->BumpGeneration();
+  flight::Record(flight::Subsystem::kPlanCache,
+                 flight::Site::kGenerationBump, trace_id,
+                 cache->generation());
   if (stats.ok()) {
     MCTDB_LOG(kInfo, "mctsvc", "store checkpointed",
               {{"store", store},
@@ -238,6 +254,14 @@ void QueryService::RunNext(const std::shared_ptr<Session>& session) {
     task = std::move(session->tasks_.front());
     session->tasks_.pop_front();
   }
+  const double queue_wait =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    task.enqueue_time)
+          .count();
+  metrics_.queue_wait_seconds.Record(queue_wait);
+  // Everything this task does downstream — spans, WAL appends, fsyncs,
+  // flight events — inherits its admission-minted trace id.
+  mctdb::obs::ScopedTraceId trace_scope(task.trace_id);
 
   if (task.has_deadline &&
       std::chrono::steady_clock::now() > task.deadline) {
@@ -245,6 +269,9 @@ void QueryService::RunNext(const std::shared_ptr<Session>& session) {
     // shed and must never feed the circuit breaker.
     metrics_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
     metrics_.completed.fetch_add(1, std::memory_order_relaxed);
+    flight::Record(flight::Subsystem::kService, flight::Site::kDeadline,
+                   task.trace_id,
+                   static_cast<uint64_t>(queue_wait * 1e6));
     Status lapsed =
         Status::DeadlineExceeded("request deadline passed while queued");
     if (task.op != nullptr) {
@@ -253,8 +280,10 @@ void QueryService::RunNext(const std::shared_ptr<Session>& session) {
       task.promise.set_value(lapsed);
     }
   } else if (task.op != nullptr) {
+    BeginInFlight(task.trace_id, session->store_name_, task.query_label);
     mctdb::query::UpdateExecutor exec(session->durable_);
     Result<mctdb::query::UpdateExecResult> result = exec.Execute(*task.op);
+    EndInFlight(task.trace_id);
     metrics_.completed.fetch_add(1, std::memory_order_relaxed);
     if (result.ok()) {
       metrics_.latency.Record(result->elapsed_seconds);
@@ -287,6 +316,7 @@ void QueryService::RunNext(const std::shared_ptr<Session>& session) {
     }
     task.update_promise.set_value(std::move(result));
   } else {
+    BeginInFlight(task.trace_id, session->store_name_, task.query_label);
     Result<ExecResult> result = [&]() -> Result<ExecResult> {
       switch (MCTDB_FAILPOINT("service.exec")) {
         case mctdb::failpoint::Fault::kError:
@@ -303,6 +333,7 @@ void QueryService::RunNext(const std::shared_ptr<Session>& session) {
       exec.set_snapshot(session->store_->visible_lsn());
       return exec.Execute(*task.plan);
     }();
+    EndInFlight(task.trace_id);
     metrics_.completed.fetch_add(1, std::memory_order_relaxed);
     if (result.ok()) {
       metrics_.latency.Record(result->elapsed_seconds);
@@ -382,6 +413,7 @@ void QueryService::RecordCompletion(const Session& session,
   SlowQueryRecord record;
   record.store = session.store_name_;
   record.query = result.trace.label;
+  record.trace_id = result.trace.trace_id;
   record.seconds = result.elapsed_seconds;
   record.page_hits = result.page_hits;
   record.page_misses = result.page_misses;
@@ -392,6 +424,43 @@ void QueryService::RecordCompletion(const Session& session,
   while (slow_log_.size() > options_.slow_query_log_capacity) {
     slow_log_.pop_front();
   }
+}
+
+void QueryService::RecordRejection(const std::string& store,
+                                   const char* outcome, uint64_t trace_id,
+                                   const std::string& query_label) {
+  // Shed and rejected requests never reach RecordCompletion, so this is
+  // their only way into the slow-query log. Saturation is exactly when the
+  // log matters most; a log that goes quiet under overload would hide the
+  // requests the operator is debugging. Threshold does not apply — the
+  // request consumed ~zero execution time by design.
+  if (options_.slow_query_log_capacity == 0 ||
+      options_.slow_query_seconds <= 0) {
+    return;
+  }
+  SlowQueryRecord record;
+  record.store = store;
+  record.query = query_label;
+  record.trace_id = trace_id;
+  record.outcome = outcome;
+  std::lock_guard<mctdb::OrderedMutex> lock(slow_mu_);
+  slow_log_.push_back(std::move(record));
+  while (slow_log_.size() > options_.slow_query_log_capacity) {
+    slow_log_.pop_front();
+  }
+}
+
+void QueryService::BeginInFlight(uint64_t trace_id,
+                                 const std::string& store,
+                                 std::string query_label) {
+  std::lock_guard<mctdb::OrderedMutex> lock(inflight_mu_);
+  inflight_[trace_id] = InFlightEntry{store, std::move(query_label),
+                                      std::chrono::steady_clock::now()};
+}
+
+void QueryService::EndInFlight(uint64_t trace_id) {
+  std::lock_guard<mctdb::OrderedMutex> lock(inflight_mu_);
+  inflight_.erase(trace_id);
 }
 
 std::vector<QueryService::SlowQueryRecord> QueryService::SlowQueries()
@@ -408,7 +477,11 @@ std::string QueryService::SlowQueriesJson() const {
     first = false;
     out += "{\"store\":\"" + mctdb::obs::JsonEscape(r.store) + "\"";
     out += ",\"query\":\"" + mctdb::obs::JsonEscape(r.query) + "\"";
+    out += ",\"outcome\":\"" + mctdb::obs::JsonEscape(r.outcome) + "\"";
     char buf[160];
+    std::snprintf(buf, sizeof(buf), ",\"trace_id\":%llu",
+                  static_cast<unsigned long long>(r.trace_id));
+    out += buf;
     std::snprintf(buf, sizeof(buf),
                   ",\"seconds\":%.6f,\"page_hits\":%llu,"
                   "\"page_misses\":%llu,\"join_pairs\":%llu,\"stages\":[",
@@ -512,17 +585,111 @@ uint16_t QueryService::HttpPort() const {
   return (http_ != nullptr && http_->running()) ? http_->port() : 0;
 }
 
+std::string QueryService::StatuszJson() const {
+  const auto now = std::chrono::steady_clock::now();
+  double uptime =
+      std::chrono::duration<double>(now - start_time_).count();
+  std::string out = mctdb::StringPrintf(
+      "{\"uptime_seconds\":%.3f,\"workers\":%zu,\"queue_depth\":%llu",
+      uptime, options_.num_threads == 0 ? size_t{1} : options_.num_threads,
+      static_cast<unsigned long long>(
+          metrics_.queue_depth.load(std::memory_order_relaxed)));
+  // Currently-executing requests, one row per busy worker.
+  out += ",\"running\":[";
+  {
+    std::lock_guard<mctdb::OrderedMutex> lock(inflight_mu_);
+    bool first = true;
+    for (const auto& [id, entry] : inflight_) {
+      if (!first) out += ',';
+      first = false;
+      out += mctdb::StringPrintf(
+          "{\"trace_id\":%llu,\"store\":\"%s\",\"query\":\"%s\","
+          "\"elapsed_seconds\":%.6f}",
+          static_cast<unsigned long long>(id),
+          mctdb::obs::JsonEscape(entry.store).c_str(),
+          mctdb::obs::JsonEscape(entry.query).c_str(),
+          std::chrono::duration<double>(now - entry.start).count());
+    }
+  }
+  out += "],\"queue_wait\":" + metrics_.queue_wait_seconds.ToJson();
+  // Lock contention per rank — the live view behind
+  // mctsvc_lock_wait_seconds.
+  out += ",\"lock_wait\":{";
+  bool first_rank = true;
+  for (mctdb::LockRank rank : mctdb::kAllLockRanks) {
+    const mctdb::LockWaitCounters& c = mctdb::LockWaitFor(rank);
+    if (!first_rank) out += ',';
+    first_rank = false;
+    out += mctdb::StringPrintf(
+        "\"%s\":{\"acquisitions\":%llu,\"contended\":%llu,"
+        "\"wait_seconds\":%.6f}",
+        mctdb::ToString(rank),
+        static_cast<unsigned long long>(
+            c.acquisitions.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            c.contended.load(std::memory_order_relaxed)),
+        double(c.wait_nanos.load(std::memory_order_relaxed)) * 1e-9);
+  }
+  out += "},\"stores\":[";
+  {
+    std::lock_guard<mctdb::OrderedMutex> lock(mu_);
+    bool first = true;
+    for (const auto& [name, entry] : stores_) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"name\":\"" + mctdb::obs::JsonEscape(name) + "\"";
+      if (entry.breaker != nullptr) {
+        out += std::string(",\"breaker\":\"") +
+               CircuitBreaker::StateName(entry.breaker->state()) + "\"";
+      }
+      out += mctdb::StringPrintf(
+          ",\"plan_cache\":{\"size\":%zu,\"generation\":%llu}",
+          entry.plan_cache->size(),
+          static_cast<unsigned long long>(entry.plan_cache->generation()));
+      out += mctdb::StringPrintf(
+          ",\"pool\":{\"capacity_pages\":%zu,\"resident\":%zu}",
+          entry.pool->capacity(), entry.pool->resident());
+      if (entry.durable != nullptr) {
+        // The in-flight WAL batch: records appended but not yet made
+        // durable by a group-commit leader.
+        out += mctdb::StringPrintf(
+            ",\"wal\":{\"pending_records\":%llu,\"pending_bytes\":%llu,"
+            "\"durable_lsn\":%llu,\"degraded\":%s}",
+            static_cast<unsigned long long>(
+                entry.durable->log().pending_records()),
+            static_cast<unsigned long long>(
+                entry.durable->log().pending_bytes()),
+            static_cast<unsigned long long>(entry.durable->log().durable_lsn()),
+            entry.durable->degraded() ? "true" : "false");
+      }
+      out += '}';
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string QueryService::FlightzJson() const {
+  // A live, lossy snapshot of the flight-recorder rings; {"events":[]}
+  // when the recorder is disabled.
+  return flight::RenderJson(flight::Snapshot());
+}
+
 Result<QueryFuture> QueryService::Session::Submit(const QueryPlan& plan,
                                                   double timeout_seconds,
                                                   Priority priority) {
   return SubmitPlanned(plan, nullptr, timeout_seconds, priority,
-                       /*pre_verified=*/false);
+                       /*pre_verified=*/false, mctdb::obs::MintTraceId());
 }
 
 Result<QueryFuture> QueryService::Session::SubmitQuery(
     const mctdb::query::AssociationQuery& query, double timeout_seconds,
     Priority priority) {
   QueryService* svc = service_;
+  // Minted before the cache lookup so the hit/miss/invalidation events —
+  // the first thing that happens to this request — already carry the id
+  // `mctc trace --id` will filter on.
+  const uint64_t trace_id = mctdb::obs::MintTraceId();
   const mctdb::mct::MctSchema& schema = store_->schema();
   const std::string key = PlanCache::Key(
       fingerprint_, schema.name(), mctdb::query::CanonicalQueryText(query));
@@ -537,6 +704,8 @@ Result<QueryFuture> QueryService::Session::SubmitQuery(
       plan_cache_->Lookup(key, visible, &outcome);
   if (outcome == LookupOutcome::kHit) {
     svc->metrics_.plan_cache_hits.fetch_add(1, std::memory_order_relaxed);
+    flight::Record(flight::Subsystem::kPlanCache,
+                   flight::Site::kPlanCacheHit, trace_id, visible);
     // Verified when built; admission skips straight to the gates below.
     // The plan reference must be taken BEFORE the call: argument
     // evaluation order is unspecified, and `std::move(cached)` may
@@ -544,13 +713,17 @@ Result<QueryFuture> QueryService::Session::SubmitQuery(
     // `cached->plan` is read.
     const QueryPlan& hit_plan = cached->plan;
     return SubmitPlanned(hit_plan, std::move(cached), timeout_seconds,
-                         priority, /*pre_verified=*/true);
+                         priority, /*pre_verified=*/true, trace_id);
   }
   if (outcome == LookupOutcome::kInvalidated) {
     svc->metrics_.plan_cache_invalidations.fetch_add(
         1, std::memory_order_relaxed);
+    flight::Record(flight::Subsystem::kPlanCache,
+                   flight::Site::kPlanCacheInvalidated, trace_id, visible);
   } else {
     svc->metrics_.plan_cache_misses.fetch_add(1, std::memory_order_relaxed);
+    flight::Record(flight::Subsystem::kPlanCache,
+                   flight::Site::kPlanCacheMiss, trace_id, visible);
   }
   // Plan fresh against current state. The entry owns the query copy and
   // the plan compiled FROM that copy, so the pointer chain inside
@@ -564,7 +737,7 @@ Result<QueryFuture> QueryService::Session::SubmitQuery(
   std::shared_ptr<const CachedPlan> frozen = std::move(entry);
   Result<QueryFuture> admitted = SubmitPlanned(
       frozen->plan, frozen, timeout_seconds, priority,
-      /*pre_verified=*/false);
+      /*pre_verified=*/false, trace_id);
   if (admitted.ok()) {
     // Only admitted (hence verified) plans enter the cache; a rejected
     // plan would otherwise hit later and skip the very gate it failed.
@@ -575,8 +748,11 @@ Result<QueryFuture> QueryService::Session::SubmitQuery(
 
 Result<QueryFuture> QueryService::Session::SubmitPlanned(
     const QueryPlan& plan, std::shared_ptr<const CachedPlan> holder,
-    double timeout_seconds, Priority priority, bool pre_verified) {
+    double timeout_seconds, Priority priority, bool pre_verified,
+    uint64_t trace_id) {
   QueryService* svc = service_;
+  const std::string query_label =
+      plan.query != nullptr ? plan.query->name : std::string("<plan>");
   // Admission gate: statically verify the plan before it consumes an
   // admission slot or a worker, so a malformed plan can never crash (or
   // wedge) a worker thread.
@@ -610,6 +786,9 @@ Result<QueryFuture> QueryService::Session::SubmitPlanned(
   if (breaker_ != nullptr && !breaker_->Allow()) {
     svc->metrics_.breaker_rejections.fetch_add(1,
                                                std::memory_order_relaxed);
+    flight::Record(flight::Subsystem::kService,
+                   flight::Site::kBreakerReject, trace_id, 0);
+    svc->RecordRejection(store_name_, "breaker", trace_id, query_label);
     return Status::Unavailable(mctdb::StringPrintf(
         "store '%s' circuit breaker is %s; retry after %.1fs",
         store_name_.c_str(),
@@ -621,6 +800,9 @@ Result<QueryFuture> QueryService::Session::SubmitPlanned(
   if (in_flight > svc->options_.max_queued) {
     svc->FinishOne();
     svc->metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+    flight::Record(flight::Subsystem::kService, flight::Site::kReject,
+                   trace_id, in_flight);
+    svc->RecordRejection(store_name_, "rejected", trace_id, query_label);
     // Debug level: overload rejections are high-frequency by nature and
     // already counted in mctsvc_requests_rejected_total.
     MCTDB_LOG(kDebug, "mctsvc", "admission rejected",
@@ -643,6 +825,9 @@ Result<QueryFuture> QueryService::Session::SubmitPlanned(
           watermark_fraction * double(svc->options_.max_queued)) {
     svc->FinishOne();
     svc->metrics_.sheds.fetch_add(1, std::memory_order_relaxed);
+    flight::Record(flight::Subsystem::kService, flight::Site::kShed,
+                   trace_id, in_flight);
+    svc->RecordRejection(store_name_, "shed", trace_id, query_label);
     uint64_t done = svc->metrics_.latency.count();
     double mean = done > 0
                       ? svc->metrics_.latency.total_seconds() / double(done)
@@ -666,12 +851,17 @@ Result<QueryFuture> QueryService::Session::SubmitPlanned(
   }
   svc->metrics_.submitted.fetch_add(1, std::memory_order_relaxed);
   svc->metrics_.queue_depth.store(in_flight, std::memory_order_relaxed);
+  flight::Record(flight::Subsystem::kService, flight::Site::kAdmit,
+                 trace_id, in_flight);
 
   double timeout = timeout_seconds > 0 ? timeout_seconds
                                        : svc->options_.default_timeout_seconds;
   Task task;
   task.plan = &plan;
   task.holder = std::move(holder);
+  task.trace_id = trace_id;
+  task.enqueue_time = std::chrono::steady_clock::now();
+  task.query_label = query_label;
   if (timeout > 0) {
     task.has_deadline = true;
     task.deadline = std::chrono::steady_clock::now() +
@@ -699,6 +889,8 @@ Result<QueryFuture> QueryService::Session::SubmitPlanned(
 Result<UpdateFuture> QueryService::Session::SubmitUpdate(
     const mctdb::storage::UpdateOp& op, double timeout_seconds) {
   QueryService* svc = service_;
+  const uint64_t trace_id = mctdb::obs::MintTraceId();
+  const std::string query_label = mctdb::storage::UpdateKindName(op.kind);
   if (durable_ == nullptr) {
     return Status::InvalidArgument(
         "store '" + store_name_ +
@@ -717,6 +909,9 @@ Result<UpdateFuture> QueryService::Session::SubmitUpdate(
   if (breaker_ != nullptr && !breaker_->Allow()) {
     svc->metrics_.breaker_rejections.fetch_add(1,
                                                std::memory_order_relaxed);
+    flight::Record(flight::Subsystem::kService,
+                   flight::Site::kBreakerReject, trace_id, 0);
+    svc->RecordRejection(store_name_, "breaker", trace_id, query_label);
     return Status::Unavailable(mctdb::StringPrintf(
         "store '%s' circuit breaker is %s; retry after %.1fs",
         store_name_.c_str(),
@@ -730,17 +925,25 @@ Result<UpdateFuture> QueryService::Session::SubmitUpdate(
   if (in_flight > svc->options_.max_queued) {
     svc->FinishOne();
     svc->metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+    flight::Record(flight::Subsystem::kService, flight::Site::kReject,
+                   trace_id, in_flight);
+    svc->RecordRejection(store_name_, "rejected", trace_id, query_label);
     return Status::ResourceExhausted(mctdb::StringPrintf(
         "admission queue full (max_queued=%zu)", svc->options_.max_queued));
   }
   svc->metrics_.submitted.fetch_add(1, std::memory_order_relaxed);
   svc->metrics_.updates_submitted.fetch_add(1, std::memory_order_relaxed);
   svc->metrics_.queue_depth.store(in_flight, std::memory_order_relaxed);
+  flight::Record(flight::Subsystem::kService, flight::Site::kAdmit,
+                 trace_id, in_flight);
 
   double timeout = timeout_seconds > 0 ? timeout_seconds
                                        : svc->options_.default_timeout_seconds;
   Task task;
   task.op = &op;
+  task.trace_id = trace_id;
+  task.enqueue_time = std::chrono::steady_clock::now();
+  task.query_label = query_label;
   if (timeout > 0) {
     task.has_deadline = true;
     task.deadline = std::chrono::steady_clock::now() +

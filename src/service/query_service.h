@@ -194,11 +194,19 @@ class QueryService {
   std::string MetricsText() const;
 
   /// One slow-query log entry: the per-stage breakdown of a request that
-  /// crossed the slow_query_seconds threshold. Per-query exact I/O counts
-  /// plus the per-stage rollup of its span trace.
+  /// crossed the slow_query_seconds threshold — or a request the admission
+  /// path turned away (outcome "shed"/"rejected"/"breaker"), so the log
+  /// still tells the story when the service is saturated and nothing
+  /// completes at all.
   struct SlowQueryRecord {
     std::string store;
     std::string query;
+    /// Correlation key (obs/trace_id.h); filters `mctc trace --id` and
+    /// joins against flight-recorder dumps.
+    uint64_t trace_id = 0;
+    /// "completed" (crossed the latency threshold), or why admission
+    /// turned the request away: "shed", "rejected", "breaker".
+    std::string outcome = "completed";
     double seconds = 0.0;
     uint64_t page_hits = 0;
     uint64_t page_misses = 0;
@@ -218,6 +226,16 @@ class QueryService {
   /// The /healthz response: status ("ok"/"degraded"), uptime, store and
   /// worker counts, and per-store breaker states.
   std::string HealthJson() const;
+  /// The /statusz response — live introspection in one JSON document:
+  /// currently-executing requests (trace id, store, query, elapsed),
+  /// queue depth and the queue-wait histogram, per-durable-store in-flight
+  /// WAL batch size, plan-cache and breaker state, buffer-pool residency
+  /// per store, and per-rank lock contention.
+  std::string StatuszJson() const;
+  /// The /flightz response: a live flight-recorder snapshot rendered as
+  /// {"events":[...]} (obs::flight::Snapshot; empty when the recorder is
+  /// disabled).
+  std::string FlightzJson() const;
   /// True while any store's circuit breaker is open or half-open. The
   /// /healthz route answers 503 in this state so load balancers steer
   /// away, but the service keeps answering for its healthy stores.
@@ -249,6 +267,21 @@ class QueryService {
   /// request to the slow-query ring.
   void RecordCompletion(const Session& session,
                         const mctdb::query::ExecResult& result);
+  /// Appends an admission-refused request (shed / hard-limit reject /
+  /// open breaker) to the slow-query ring — saturation is exactly when
+  /// the log must not go quiet. No-op when the log is disabled.
+  void RecordRejection(const std::string& store, const char* outcome,
+                       uint64_t trace_id, const std::string& query_label);
+
+  /// One currently-executing request, keyed by TraceId in inflight_.
+  struct InFlightEntry {
+    std::string store;
+    std::string query;
+    std::chrono::steady_clock::time_point start;
+  };
+  void BeginInFlight(uint64_t trace_id, const std::string& store,
+                     std::string query_label);
+  void EndInFlight(uint64_t trace_id);
 
   // Lock ranks (see common/ordered_mutex.h): registry < strand < drain <
   // pool shard. The rank checker aborts on any acquisition that inverts
@@ -264,6 +297,9 @@ class QueryService {
   mutable mctdb::OrderedMutex slow_mu_{mctdb::LockRank::kSlowQueryLog};
   std::deque<SlowQueryRecord> slow_log_;  // bounded ring, oldest first
   std::deque<std::string> trace_log_;     // rendered traces, same ring rank
+  mutable mctdb::OrderedMutex inflight_mu_{
+      mctdb::LockRank::kInFlightTable};
+  std::map<uint64_t, InFlightEntry> inflight_;  // trace id -> running task
   std::unique_ptr<mctdb::ThreadPool> pool_;
   std::chrono::steady_clock::time_point start_time_;
   std::unique_ptr<HttpEndpoint> http_;  // created last, destroyed first
@@ -319,6 +355,13 @@ class QueryService::Session
     /// For SubmitQuery tasks: pins the cached (query, plan) pair `plan`
     /// points into, so cache eviction can never dangle a queued task.
     std::shared_ptr<const CachedPlan> holder;
+    /// Correlation key minted at admission; the worker executes under
+    /// ScopedTraceId(trace_id) so every downstream event carries it.
+    uint64_t trace_id = 0;
+    /// Admission time, for the queue-wait histogram at dequeue.
+    std::chrono::steady_clock::time_point enqueue_time;
+    /// Human-readable label for /statusz ("query Q3", "insert_subtree").
+    std::string query_label;
     std::chrono::steady_clock::time_point deadline;
     bool has_deadline = false;
     std::promise<mctdb::Result<mctdb::query::ExecResult>> promise;
@@ -342,7 +385,7 @@ class QueryService::Session
   mctdb::Result<QueryFuture> SubmitPlanned(
       const mctdb::query::QueryPlan& plan,
       std::shared_ptr<const CachedPlan> holder, double timeout_seconds,
-      Priority priority, bool pre_verified);
+      Priority priority, bool pre_verified, uint64_t trace_id);
 
   QueryService* service_;
   std::string store_name_;

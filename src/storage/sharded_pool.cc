@@ -5,8 +5,12 @@
 #include "common/hash.h"
 #include "common/log.h"
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace_id.h"
 
 namespace mctdb::storage {
+
+namespace flight = obs::flight;
 
 namespace {
 
@@ -116,6 +120,8 @@ Status ShardedBufferPool::Fetch(PageId id, const char** out_frame,
                 {{"victim", uint64_t(victim)},
                  {"for", uint64_t(id)},
                  {"resident", uint64_t(s.frames.size())}});
+      flight::Record(flight::Subsystem::kPool, flight::Site::kEvict,
+                     obs::CurrentTraceId(), victim);
     }
     Frame f;
     f.data = std::make_unique<char[]>(kPageSize);
@@ -144,6 +150,8 @@ Status ShardedBufferPool::Fetch(PageId id, const char** out_frame,
                 {{"page", uint64_t(id)},
                  {"attempt", uint64_t(attempt)},
                  {"status", read_status.ToString()}});
+      flight::Record(flight::Subsystem::kPool, flight::Site::kQuarantine,
+                     obs::CurrentTraceId(), id);
     }
     frame.loading = false;
     if (read_status.ok()) {

@@ -1,12 +1,17 @@
 #include "wal/durable_store.h"
 
 #include <cstdio>
+#include <optional>
 
 #include "analysis/query_analyze.h"
 #include "common/failpoint.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace_id.h"
 #include "storage/persist.h"
 
 namespace mctdb::wal {
+
+namespace flight = obs::flight;
 
 Result<std::unique_ptr<DurableStore>> DurableStore::Open(
     const mct::MctSchema& schema, const std::string& path,
@@ -86,6 +91,13 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Ephemeral(
 
 Result<DurableStore::ApplyReceipt> DurableStore::Apply(
     const storage::UpdateOp& op, obs::ExecStats* stats) {
+  // Service-submitted ops arrive under the worker's admission-minted
+  // trace; direct library/CLI callers get one minted here so WAL events
+  // always correlate.
+  std::optional<obs::ScopedTraceId> trace_scope;
+  if (obs::CurrentTraceId() == 0) {
+    trace_scope.emplace(obs::MintTraceId());
+  }
   std::unique_lock lk(write_mu_);
   if (log_->degraded()) {
     return Status::Unavailable("durable store: WAL degraded; reopen");
@@ -130,9 +142,15 @@ Result<DurableStore::ApplyReceipt> DurableStore::Apply(
   lk.unlock();
   {
     // Group commit outside the write mutex: concurrent appliers park on
-    // one fsync.
+    // one fsync. The span's cardinality pair records the batch LSN range
+    // this commit rode: in = first LSN the sync covered beyond what was
+    // already durable, out = the high LSN — so a trace shows which other
+    // requests' records shared the fsync.
     obs::SpanScope span(stats, obs::StageKind::kWal, "group_commit");
+    const Lsn durable_before = log_->durable_lsn();
     MCTDB_RETURN_IF_ERROR(log_->Commit(lsn));
+    span.SetCardinalityIn(durable_before == kNoLsn ? 1 : durable_before + 1);
+    span.SetCardinalityOut(log_->durable_lsn());
   }
   // Readers snapshot AFTER durability — an applied-but-unsynced op is
   // never visible, so a crash cannot retract an observed state.
@@ -141,7 +159,14 @@ Result<DurableStore::ApplyReceipt> DurableStore::Apply(
 }
 
 Result<CheckpointStats> DurableStore::Checkpoint() {
+  std::optional<obs::ScopedTraceId> trace_scope;
+  if (obs::CurrentTraceId() == 0) {
+    trace_scope.emplace(obs::MintTraceId());
+  }
   std::lock_guard lk(write_mu_);
+  flight::Record(flight::Subsystem::kCheckpoint,
+                 flight::Site::kCheckpointBegin, obs::CurrentTraceId(),
+                 log_->durable_bytes());
   // One evaluation per checkpoint drives BOTH probe points below, so a
   // probabilistic arming rolls the dice once (err and trunc can't both
   // fire in one call) and HitCount counts each checkpoint once. A `panic`
@@ -187,6 +212,9 @@ Result<CheckpointStats> DurableStore::Checkpoint() {
   }
   MCTDB_RETURN_IF_ERROR(log_->Reset(stats.checkpoint_lsn));
   stats.log_bytes_trimmed = log_bytes_before - log_->durable_bytes();
+  flight::Record(flight::Subsystem::kCheckpoint,
+                 flight::Site::kCheckpointEnd, obs::CurrentTraceId(),
+                 stats.checkpoint_lsn == kNoLsn ? 0 : stats.checkpoint_lsn);
   return stats;
 }
 

@@ -8,8 +8,12 @@
 #include <cstring>
 
 #include "common/failpoint.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace_id.h"
 
 namespace mctdb::wal {
+
+namespace flight = obs::flight;
 
 Result<std::unique_ptr<LogWriter>> LogWriter::Open(const std::string& path,
                                                    uint64_t fingerprint,
@@ -115,6 +119,10 @@ Result<Lsn> LogWriter::Append(RecordType type, std::string_view payload) {
   EncodeWalRecord(lsn, type, payload, &buffer_);
   last_buffered_ = lsn;
   appends_.fetch_add(1, std::memory_order_relaxed);
+  pending_records_.fetch_add(1, std::memory_order_relaxed);
+  pending_bytes_.store(buffer_.size(), std::memory_order_relaxed);
+  flight::Record(flight::Subsystem::kWal, flight::Site::kWalAppend,
+                 obs::CurrentTraceId(), lsn);
   return lsn;
 }
 
@@ -159,6 +167,8 @@ Status LogWriter::Commit(Lsn lsn) {
       std::lock_guard alk(append_mu_);
       batch.swap(buffer_);
       batch_lsn = last_buffered_;
+      pending_records_.store(0, std::memory_order_relaxed);
+      pending_bytes_.store(0, std::memory_order_relaxed);
     }
     Status s = Status::OK();
     if (!batch.empty()) {
@@ -173,6 +183,11 @@ Status LogWriter::Commit(Lsn lsn) {
       if (batch_lsn > prev) {
         durable_lsn_.store(batch_lsn, std::memory_order_release);
       }
+      // One event per physical fsync, tagged with the leader's trace and
+      // the batch's high LSN — the causal join point where piggybacked
+      // requests' durability rides another trace's sync.
+      flight::Record(flight::Subsystem::kWal, flight::Site::kWalFsync,
+                     obs::CurrentTraceId(), batch_lsn);
     } else {
       degraded_.store(true, std::memory_order_release);
     }

@@ -82,6 +82,14 @@ class LogWriter {
   uint64_t durable_bytes() const {
     return durable_bytes_.load(std::memory_order_relaxed);
   }
+  /// Records appended but not yet stolen by a group-commit leader — the
+  /// in-flight WAL batch /statusz reports. Approximate by design (no lock).
+  uint64_t pending_records() const {
+    return pending_records_.load(std::memory_order_relaxed);
+  }
+  uint64_t pending_bytes() const {
+    return pending_bytes_.load(std::memory_order_relaxed);
+  }
   bool in_memory() const { return fd_ < 0; }
   /// In-memory mode only: the accumulated log bytes, for tests.
   const std::string& memory_log() const { return mem_; }
@@ -112,6 +120,8 @@ class LogWriter {
   std::atomic<uint64_t> appends_{0};
   std::atomic<uint64_t> fsyncs_{0};
   std::atomic<uint64_t> durable_bytes_{0};
+  std::atomic<uint64_t> pending_records_{0};  // mirrors buffer_ contents
+  std::atomic<uint64_t> pending_bytes_{0};
 };
 
 }  // namespace mctdb::wal

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/ordered_mutex.h"
 #include "service/metrics.h"
 
 namespace mctsvc {
@@ -35,13 +36,20 @@ Exposition ParseExposition(const std::string& text) {
   std::istringstream in(text);
   std::string line;
   auto family_of = [&](const std::string& name) -> std::string {
+    // Histograms own _bucket/_sum/_count samples; summaries own
+    // _sum/_count (mctsvc_lock_wait_seconds is one).
     for (const char* suffix : {"_bucket", "_sum", "_count"}) {
       size_t len = std::string(suffix).size();
       if (name.size() > len &&
           name.compare(name.size() - len, len, suffix) == 0) {
         std::string base = name.substr(0, name.size() - len);
         auto it = out.types.find(base);
-        if (it != out.types.end() && it->second == "histogram") return base;
+        if (it != out.types.end() &&
+            (it->second == "histogram" ||
+             (it->second == "summary" &&
+              std::string(suffix) != "_bucket"))) {
+          return base;
+        }
       }
     }
     return name;
@@ -167,6 +175,59 @@ TEST(ExpositionTest, HistogramBucketsAreCumulativeAndEndWithInf) {
   EXPECT_DOUBLE_EQ(buckets.back().second, 3.0);
   EXPECT_DOUBLE_EQ(
       SampleValue(e, "mctsvc_request_latency_seconds_count"), 3.0);
+}
+
+TEST(ExpositionTest, ObservabilityHistogramsAreConformant) {
+  ServiceMetrics m;
+  m.wal_fsync_seconds.Record(2e-3);
+  m.queue_wait_seconds.Record(1e-4);
+  m.queue_wait_seconds.Record(5.0);  // overflow bucket
+  Exposition e = ParseExposition(m.ToPrometheus());
+  EXPECT_TRUE(e.errors.empty()) << e.errors.front();
+  for (const char* family :
+       {"mctsvc_wal_fsync_seconds", "mctsvc_queue_wait_seconds"}) {
+    EXPECT_EQ(e.types.at(family), "histogram") << family;
+    EXPECT_TRUE(e.help_seen[family]) << family;
+  }
+  // Cumulative buckets ending in +Inf for the queue-wait family.
+  std::vector<std::pair<std::string, double>> buckets;
+  for (const Sample& s : e.samples) {
+    if (s.name == "mctsvc_queue_wait_seconds_bucket") {
+      buckets.emplace_back(s.labels, s.value);
+    }
+  }
+  ASSERT_FALSE(buckets.empty());
+  double prev = 0;
+  for (const auto& [labels, value] : buckets) {
+    EXPECT_GE(value, prev) << "non-cumulative bucket " << labels;
+    prev = value;
+  }
+  EXPECT_EQ(buckets.back().first, "le=\"+Inf\"");
+  EXPECT_DOUBLE_EQ(buckets.back().second, 2.0);
+}
+
+TEST(ExpositionTest, LockWaitFamiliesAreConformant) {
+  ServiceMetrics m;
+  Exposition e = ParseExposition(m.ToPrometheus());
+  EXPECT_TRUE(e.errors.empty()) << e.errors.front();
+  EXPECT_EQ(e.types.at("mctsvc_lock_wait_seconds"), "summary");
+  EXPECT_EQ(e.types.at("mctsvc_lock_acquisitions_total"), "counter");
+  EXPECT_TRUE(e.help_seen["mctsvc_lock_wait_seconds"]);
+  EXPECT_TRUE(e.help_seen["mctsvc_lock_acquisitions_total"]);
+  // One (sum, count) pair and one acquisitions sample per lock rank, each
+  // labeled with the rank name.
+  size_t sums = 0, counts = 0, acquisitions = 0;
+  for (const Sample& s : e.samples) {
+    if (s.name == "mctsvc_lock_wait_seconds_sum") {
+      ++sums;
+      EXPECT_EQ(s.labels.rfind("rank=\"", 0), 0u) << s.labels;
+    }
+    if (s.name == "mctsvc_lock_wait_seconds_count") ++counts;
+    if (s.name == "mctsvc_lock_acquisitions_total") ++acquisitions;
+  }
+  EXPECT_EQ(sums, mctdb::kNumLockRanks);
+  EXPECT_EQ(counts, mctdb::kNumLockRanks);
+  EXPECT_EQ(acquisitions, mctdb::kNumLockRanks);
 }
 
 TEST(ExpositionTest, PromLabelEscapeHandlesSpecials) {

@@ -1,0 +1,226 @@
+// Flight-recorder contract tests (DESIGN.md §16): record/snapshot
+// roundtrip, binary dump + decode, corruption handling, ring wrap, the
+// fatal-signal dump path, and the Status-escalation one-shot. The
+// concurrency test doubles as the TSAN target for the lock-free ring.
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace_id.h"
+
+namespace mctdb::obs::flight {
+namespace {
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + name;
+}
+
+std::vector<Event> ForTrace(const std::vector<Event>& events, uint64_t id) {
+  std::vector<Event> out;
+  for (const Event& e : events) {
+    if (e.trace_id == id) out.push_back(e);
+  }
+  return out;
+}
+
+class FlightRecorderTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    Enable();
+    SetDumpPath("");
+    ResetForTest();
+  }
+  void TearDown() override { SetDumpPath(""); }
+};
+
+TEST_F(FlightRecorderTest, SnapshotPreservesEveryField) {
+  const uint64_t trace = MintTraceId();
+  Record(Subsystem::kService, Site::kAdmit, trace, 3);
+  Record(Subsystem::kWal, Site::kWalAppend, trace, 42);
+  std::vector<Event> mine = ForTrace(Snapshot(), trace);
+  ASSERT_EQ(mine.size(), 2u);
+  // Events from one thread share a ring, so seq orders them.
+  if (mine[0].seq > mine[1].seq) std::swap(mine[0], mine[1]);
+  EXPECT_EQ(mine[0].subsystem, Subsystem::kService);
+  EXPECT_EQ(mine[0].site, Site::kAdmit);
+  EXPECT_EQ(mine[0].arg, 3u);
+  EXPECT_EQ(mine[1].subsystem, Subsystem::kWal);
+  EXPECT_EQ(mine[1].site, Site::kWalAppend);
+  EXPECT_EQ(mine[1].arg, 42u);
+  EXPECT_GT(mine[0].nanos, 0u);
+  EXPECT_LE(mine[0].nanos, mine[1].nanos);
+  EXPECT_EQ(mine[0].thread_index, mine[1].thread_index);
+}
+
+TEST_F(FlightRecorderTest, DumpFileDecodesToTheSameEvents) {
+  const uint64_t trace = MintTraceId();
+  Record(Subsystem::kCheckpoint, Site::kCheckpointBegin, trace, 100);
+  Record(Subsystem::kPool, Site::kEvict, trace, 7);
+  Record(Subsystem::kStatus, Site::kEscalation, trace, 9);
+  const std::string path = TempPath("flight_roundtrip.bin");
+  ASSERT_TRUE(DumpToFile(path.c_str()).ok());
+  auto decoded = DecodeFile(path);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  std::vector<Event> mine = ForTrace(*decoded, trace);
+  ASSERT_EQ(mine.size(), 3u);
+  EXPECT_EQ(mine[0].site, Site::kCheckpointBegin);
+  EXPECT_EQ(mine[1].site, Site::kEvict);
+  EXPECT_EQ(mine[1].arg, 7u);
+  EXPECT_EQ(mine[2].site, Site::kEscalation);
+  std::remove(path.c_str());
+}
+
+TEST_F(FlightRecorderTest, DecodeRejectsBadMagicAndTruncation) {
+  EXPECT_TRUE(Decode("definitely not a flight dump").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Decode("").status().IsInvalidArgument());
+
+  Record(Subsystem::kService, Site::kAdmit, MintTraceId(), 1);
+  const std::string path = TempPath("flight_trunc.bin");
+  ASSERT_TRUE(DumpToFile(path.c_str()).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  ASSERT_GT(bytes.size(), 32u);
+  // Cut inside the first ring header, then inside its body: both are
+  // DataLoss, distinct from the bad-magic InvalidArgument.
+  EXPECT_TRUE(Decode(bytes.substr(0, 12)).status().IsDataLoss());
+  EXPECT_TRUE(Decode(bytes.substr(0, bytes.size() / 2)).status()
+                  .IsDataLoss());
+  std::remove(path.c_str());
+}
+
+TEST_F(FlightRecorderTest, RenderersFilterByTrace) {
+  const uint64_t keep = MintTraceId();
+  const uint64_t drop = MintTraceId();
+  Record(Subsystem::kWal, Site::kWalFsync, keep, 5);
+  Record(Subsystem::kPool, Site::kQuarantine, drop, 6);
+  std::vector<Event> events = Snapshot();
+  const std::string text = RenderText(events, keep);
+  EXPECT_NE(text.find("wal.wal_fsync"), std::string::npos) << text;
+  EXPECT_EQ(text.find("quarantine"), std::string::npos) << text;
+  const std::string json = RenderJson(events, keep);
+  EXPECT_EQ(json.rfind("{\"events\":[", 0), 0u) << json;
+  EXPECT_NE(json.find("\"site\":\"wal_fsync\""), std::string::npos);
+  EXPECT_EQ(json.find("\"site\":\"quarantine\""), std::string::npos);
+  // Unfiltered render keeps both traces.
+  EXPECT_NE(RenderText(events).find("quarantine"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, RingWrapKeepsTheNewestEvents) {
+  // Sizing applies to rings claimed after Enable, so record from a fresh
+  // thread whose ring is born with capacity 8.
+  Enable(8);
+  const uint64_t trace = MintTraceId();
+  std::thread writer([trace] {
+    for (uint64_t i = 0; i < 20; ++i) {
+      Record(Subsystem::kExec, Site::kSpanBegin, trace, i);
+    }
+  });
+  writer.join();
+  Enable(1024);  // restore default sizing for later rings
+  std::vector<Event> mine = ForTrace(Snapshot(), trace);
+  ASSERT_EQ(mine.size(), 8u);
+  uint64_t min_arg = 20, max_arg = 0;
+  for (const Event& e : mine) {
+    min_arg = std::min(min_arg, e.arg);
+    max_arg = std::max(max_arg, e.arg);
+  }
+  EXPECT_EQ(min_arg, 12u) << "oldest surviving event after wrap";
+  EXPECT_EQ(max_arg, 19u) << "newest event must survive";
+}
+
+// The TSAN target: four writers hammer their rings while the main thread
+// snapshots concurrently. Torn slots must be dropped, never decoded into
+// garbage enum values.
+TEST_F(FlightRecorderTest, ConcurrentSnapshotSeesOnlyConsistentEvents) {
+  std::atomic<int> done{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([t, &done] {
+      for (uint64_t i = 0; i < 10000; ++i) {
+        Record(Subsystem::kPool, Site::kEvict,
+               static_cast<uint64_t>(t) + 1, i);
+      }
+      done.fetch_add(1);
+    });
+  }
+  while (done.load() < 4) {
+    std::vector<Event> events = Snapshot();
+    for (const Event& e : events) {
+      ASSERT_LT(static_cast<size_t>(e.subsystem), kNumSubsystems);
+      ASSERT_LT(static_cast<size_t>(e.site), kNumSites);
+    }
+  }
+  for (std::thread& w : writers) w.join();
+  EXPECT_FALSE(Snapshot().empty());
+}
+
+TEST_F(FlightRecorderTest, EscalationOneShotDumpsThenDisarms) {
+  const std::string path = TempPath("flight_escalation.bin");
+  std::remove(path.c_str());
+  SetDumpPath(path.c_str());
+  ResetForTest();  // re-arm the one-shot
+  const uint64_t trace = MintTraceId();
+  Record(Subsystem::kService, Site::kAdmit, trace, 1);
+  { Status s = Status::DataLoss("injected escalation"); }
+  auto decoded = DecodeFile(path);
+  ASSERT_TRUE(decoded.ok()) << "escalation must have dumped: "
+                            << decoded.status().ToString();
+  bool saw_admit = false, saw_escalation = false;
+  for (const Event& e : *decoded) {
+    if (e.trace_id == trace && e.site == Site::kAdmit) saw_admit = true;
+    if (e.site == Site::kEscalation) saw_escalation = true;
+  }
+  EXPECT_TRUE(saw_admit) << "in-flight admission context must be in the dump";
+  EXPECT_TRUE(saw_escalation);
+  // One-shot: a second escalation must not rewrite the file.
+  std::remove(path.c_str());
+  { Status s = Status::Unavailable("second escalation"); }
+  std::ifstream probe(path);
+  EXPECT_FALSE(probe.good()) << "escalation dump fired twice";
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderDeathTest, FatalSignalDumpDecodesWithInFlightEvents) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path = TempPath("flight_crash.bin");
+  std::remove(path.c_str());
+  EXPECT_EXIT(
+      {
+        Enable();
+        SetDumpPath(path.c_str());
+        InstallCrashHandler();
+        // The workload that was in flight when the process died.
+        Record(Subsystem::kService, Site::kAdmit, 7777, 1);
+        Record(Subsystem::kWal, Site::kWalAppend, 7777, 5);
+        Record(Subsystem::kWal, Site::kWalFsync, 7777, 5);
+        std::abort();
+      },
+      testing::KilledBySignal(SIGABRT), "");
+  auto decoded = DecodeFile(path);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  std::vector<Event> mine = ForTrace(*decoded, 7777);
+  ASSERT_EQ(mine.size(), 3u);
+  EXPECT_EQ(mine[0].site, Site::kAdmit);
+  EXPECT_EQ(mine[1].site, Site::kWalAppend);
+  EXPECT_EQ(mine[1].arg, 5u) << "LSN must survive the crash dump";
+  EXPECT_EQ(mine[2].site, Site::kWalFsync);
+  EXPECT_EQ(mine[2].arg, mine[1].arg)
+      << "fsync batch LSN and append LSN must be consistent";
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mctdb::obs::flight

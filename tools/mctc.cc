@@ -9,9 +9,17 @@
 //                          [--update-fraction F]
 //                                             run the emulated workload grid
 //   mctc trace    <file.er> [--query NAME] [-s STRATEGY] [--json] [--base N]
+//                 [--updates] [--id N] [--blackbox FILE]
 //                                             execute the workload queries and
 //                                             print each one's stage-span
-//                                             trace (exact per-query I/O)
+//                                             trace (exact per-query I/O);
+//                                             --id runs them through the query
+//                                             service with the flight recorder
+//                                             on and prints the end-to-end
+//                                             timeline of one trace (0 = all);
+//                                             --blackbox reads the events from
+//                                             a recorder dump instead
+//   mctc blackbox <dump> [--json] [--id N]    decode a flight-recorder dump
 //   mctc lint     <file.er> [--json] [--schema-only] [--grid]
 //                 [--query NAME|MCXPATH] [--store PATH]
 //                                             static analysis: schema lint +
@@ -53,6 +61,7 @@
 // 1 = error diagnostics found, 2 = internal/input error (unreadable file,
 // bad syntax) — so scripts can tell "the input is bad" from "the lint
 // found problems".
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -60,6 +69,7 @@
 #include <fstream>
 #include <sstream>
 #include <thread>
+#include <tuple>
 
 #include "analysis/plan_verify.h"
 #include "analysis/query_analyze.h"
@@ -75,7 +85,9 @@
 #include "er/er_parser.h"
 #include "instance/materialize.h"
 #include "mct/schema_export.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace_export.h"
+#include "obs/trace_id.h"
 #include "query/executor.h"
 #include "query/mcxpath.h"
 #include "query/planner.h"
@@ -105,6 +117,8 @@ int Usage() {
       "           [--update-fraction F]\n"
       "  trace    <file.er> [--query NAME] [-s STRATEGY] [--json]"
       " [--base N]\n"
+      "           [--updates] [--id N] [--blackbox FILE]\n"
+      "  blackbox <dump> [--json] [--id N]\n"
       "  lint     <file.er> [--json] [--schema-only] [--grid]"
       " [--query NAME|MCXPATH]\n"
       "           [--store PATH]\n"
@@ -123,7 +137,11 @@ int Usage() {
       "global flags:\n"
       "  --failpoints SPEC   arm fault injection points, e.g.\n"
       "                      'pager.read=err(0.005);persist.load=trunc'\n"
-      "                      (also readable from $MCTDB_FAILPOINTS)\n");
+      "                      (also readable from $MCTDB_FAILPOINTS)\n"
+      "  --flight-dump PATH  enable the flight recorder and dump the black\n"
+      "                      box to PATH on fatal signals, on the first\n"
+      "                      DataLoss/Unavailable escalation, and on the\n"
+      "                      crash-injection exits of `mctc update`\n");
   return 1;
 }
 
@@ -386,8 +404,11 @@ int CmdTrace(int argc, char** argv) {
   const char* path = nullptr;
   const char* strategy_name = "MCMR";
   const char* query_name = nullptr;
+  const char* blackbox_path = nullptr;
   bool json = false;
   bool updates = false;
+  bool has_id = false;
+  uint64_t trace_filter = 0;
   size_t base_count = 0;
   for (int i = 0; i < argc; ++i) {
     if (!std::strcmp(argv[i], "-s") && i + 1 < argc) {
@@ -398,11 +419,34 @@ int CmdTrace(int argc, char** argv) {
       json = true;
     } else if (!std::strcmp(argv[i], "--updates")) {
       updates = true;
+    } else if (!std::strcmp(argv[i], "--id") && i + 1 < argc) {
+      has_id = true;
+      trace_filter = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--blackbox") && i + 1 < argc) {
+      blackbox_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--base") && i + 1 < argc) {
       base_count = std::strtoul(argv[++i], nullptr, 10);
     } else if (path == nullptr) {
       path = argv[i];
     }
+  }
+  // --blackbox: the events come from a recorder dump, no workload run (and
+  // no .er file) needed — render the chosen trace's timeline and exit.
+  if (blackbox_path != nullptr) {
+    auto events = obs::flight::DecodeFile(blackbox_path);
+    if (!events.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   events.status().ToString().c_str());
+      return 2;
+    }
+    if (json) {
+      std::printf("%s\n",
+                  obs::flight::RenderJson(*events, trace_filter).c_str());
+    } else {
+      std::printf("%s",
+                  obs::flight::RenderText(*events, trace_filter).c_str());
+    }
+    return 0;
   }
   if (path == nullptr) return Usage();
   auto diagram = LoadEr(path);
@@ -435,6 +479,85 @@ int CmdTrace(int argc, char** argv) {
       instance::GenerateInstance(graph, w.gen);
   std::unique_ptr<storage::MctStore> store =
       instance::Materialize(logical, schema, {});
+
+  // --id: run the workload THROUGH the query service with the flight
+  // recorder on, so the printed timeline is the full request lifecycle —
+  // admission, plan-cache outcome, executor stage spans, and (with
+  // --updates) WAL append/group-commit — not just the executor's spans.
+  // Each request's minted trace id is announced on stderr; --id 0 keeps
+  // every trace.
+  if (has_id) {
+    obs::flight::Enable();
+    auto durable = wal::DurableStore::Ephemeral(std::move(store));
+    if (!durable.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   durable.status().ToString().c_str());
+      return 2;
+    }
+    {
+      mctsvc::ServiceOptions sopts;
+      sopts.num_threads = 1;
+      mctsvc::QueryService service(sopts);
+      Status added =
+          service.AddDurableStore(schema.name(), durable->get());
+      if (!added.ok()) {
+        std::fprintf(stderr, "error: %s\n", added.ToString().c_str());
+        return 2;
+      }
+      auto session = service.OpenSession(schema.name());
+      if (!session.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     session.status().ToString().c_str());
+        return 2;
+      }
+      for (const std::string& name : names) {
+        const query::AssociationQuery* q = w.Find(name);
+        auto future = (*session)->SubmitQuery(*q);
+        if (!future.ok()) {
+          std::fprintf(stderr, "error: %s: %s\n", name.c_str(),
+                       future.status().ToString().c_str());
+          return 2;
+        }
+        auto result = future->get();
+        if (!result.ok()) {
+          std::fprintf(stderr, "error: %s: %s\n", name.c_str(),
+                       result.status().ToString().c_str());
+          return 2;
+        }
+        std::fprintf(stderr, "%s trace_id=%llu\n", name.c_str(),
+                     static_cast<unsigned long long>(
+                         result->trace.trace_id));
+      }
+      if (updates) {
+        std::vector<mct::MctSchema> schemas_vec;
+        schemas_vec.push_back(schema);
+        std::vector<storage::UpdateOp> ops =
+            workload::GenerateUpdateOps(schemas_vec, logical, {});
+        for (const storage::UpdateOp& op : ops) {
+          auto future = (*session)->SubmitUpdate(op);
+          if (!future.ok()) continue;
+          auto result = future->get();
+          if (result.ok()) {
+            std::fprintf(stderr, "%s trace_id=%llu lsn=%llu\n",
+                         storage::UpdateKindName(op.kind),
+                         static_cast<unsigned long long>(
+                             result->trace.trace_id),
+                         static_cast<unsigned long long>(result->lsn));
+          }
+        }
+      }
+      service.Drain();
+    }
+    std::vector<obs::flight::Event> events = obs::flight::Snapshot();
+    if (json) {
+      std::printf("%s\n",
+                  obs::flight::RenderJson(events, trace_filter).c_str());
+    } else {
+      std::printf("%s",
+                  obs::flight::RenderText(events, trace_filter).c_str());
+    }
+    return 0;
+  }
 
   if (json) std::printf("{\"schema\":\"%s\",\"queries\":[", schema.name().c_str());
   bool first = true;
@@ -483,6 +606,16 @@ int CmdTrace(int argc, char** argv) {
       return 2;
     }
     query::UpdateExecutor uexec(durable->get());
+    // Print in (lsn, start time) order, NOT completion order: group commit
+    // lets an op whose fsync a later leader covered return after ops with
+    // higher LSNs, and a trace listing that jumps around the LSN axis
+    // misreads as reordered writes.
+    struct UpdateTraceRow {
+      Lsn lsn;
+      uint64_t start_nanos;
+      std::string rendered;
+    };
+    std::vector<UpdateTraceRow> rows;
     for (const storage::UpdateOp& op : ops) {
       auto result = uexec.Execute(op);
       if (!result.ok()) {
@@ -491,12 +624,50 @@ int CmdTrace(int argc, char** argv) {
                      result.status().ToString().c_str());
         return 2;
       }
-      if (json) {
-        std::printf("%s\n", obs::SpanToJson(result->trace).c_str());
-      } else {
-        std::printf("%s", obs::SpanTreeToText(result->trace).c_str());
-      }
+      rows.push_back({result->lsn, result->trace.start_nanos,
+                      json ? obs::SpanToJson(result->trace) + "\n"
+                           : obs::SpanTreeToText(result->trace)});
     }
+    std::sort(rows.begin(), rows.end(),
+              [](const UpdateTraceRow& a, const UpdateTraceRow& b) {
+                return std::tie(a.lsn, a.start_nanos) <
+                       std::tie(b.lsn, b.start_nanos);
+              });
+    for (const UpdateTraceRow& row : rows) {
+      std::printf("%s", row.rendered.c_str());
+    }
+  }
+  return 0;
+}
+
+// `mctc blackbox <dump> [--json] [--id N]`: decodes a flight-recorder dump
+// (written by the crash handler, the escalation one-shot, or an explicit
+// DumpToFile) into a per-event timeline, optionally filtered to one trace.
+int CmdBlackbox(int argc, char** argv) {
+  const char* path = nullptr;
+  bool json = false;
+  uint64_t trace_filter = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--json")) {
+      json = true;
+    } else if (!std::strcmp(argv[i], "--id") && i + 1 < argc) {
+      trace_filter = std::strtoull(argv[++i], nullptr, 10);
+    } else if (path == nullptr) {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) return Usage();
+  auto events = obs::flight::DecodeFile(path);
+  if (!events.ok()) {
+    std::fprintf(stderr, "error: %s\n", events.status().ToString().c_str());
+    return 2;
+  }
+  if (json) {
+    std::printf("%s\n",
+                obs::flight::RenderJson(*events, trace_filter).c_str());
+  } else {
+    std::printf("# %zu events\n%s", events->size(),
+                obs::flight::RenderText(*events, trace_filter).c_str());
   }
   return 0;
 }
@@ -814,6 +985,9 @@ int CmdServe(int argc, char** argv) {
     }
   }
   if (path == nullptr || threads == 0 || passes == 0) return Usage();
+  // /flightz is a live recorder snapshot, so serve always records;
+  // --flight-dump additionally arms the crash/escalation dump triggers.
+  obs::flight::Enable();
   // Lifecycle events (store registration, endpoint URL, slow queries) go
   // to stderr as JSONL; an explicit MCTDB_LOG_LEVEL still wins.
   if (std::getenv("MCTDB_LOG_LEVEL") == nullptr) {
@@ -861,7 +1035,7 @@ int CmdServe(int argc, char** argv) {
     return 2;
   }
   std::printf("serving http://127.0.0.1:%u  (/metrics /metrics.json "
-              "/healthz /slowlog /tracez)\n",
+              "/healthz /slowlog /tracez /statusz /flightz)\n",
               unsigned(service.HttpPort()));
   // Scrape scripts read the port from this line; don't sit in the stdio
   // buffer while the workload runs.
@@ -1061,6 +1235,12 @@ int CmdUpdate(int argc, char** argv) {
     // thing carrying those K ops; recovery must rebuild them.
     if (crash_after >= 0 && applied == static_cast<size_t>(crash_after)) {
       std::fflush(stdout);
+      // _Exit raises no signal, so the crash handler never fires; flush
+      // the black box explicitly so the post-mortem still has the
+      // admission/WAL events leading up to the "crash".
+      if (obs::flight::Enabled() && obs::flight::DumpPath()[0] != '\0') {
+        (void)obs::flight::DumpToConfiguredPath();
+      }
       std::_Exit(137);
     }
   }
@@ -1222,6 +1402,20 @@ int main(int argc, char** argv) {
     for (int j = i; j + 2 <= argc; ++j) argv[j] = argv[j + 2];
     argc -= 2;
   }
+  // Global flag: turn the flight recorder on and arm every dump trigger
+  // (fatal-signal handler, Status-escalation one-shot, and the explicit
+  // dump in `mctc update --crash-after`).
+  for (int i = 1; i + 1 < argc;) {
+    if (std::strcmp(argv[i], "--flight-dump") != 0) {
+      ++i;
+      continue;
+    }
+    obs::flight::Enable();
+    obs::flight::SetDumpPath(argv[i + 1]);
+    obs::flight::InstallCrashHandler();
+    for (int j = i; j + 2 <= argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
+  }
   if (argc < 2) return Usage();
   const char* cmd = argv[1];
   if (!std::strcmp(cmd, "validate") && argc >= 3) return CmdValidate(argv[2]);
@@ -1231,6 +1425,7 @@ int main(int argc, char** argv) {
   if (!std::strcmp(cmd, "mine")) return CmdMine(argc - 2, argv + 2);
   if (!std::strcmp(cmd, "workload")) return CmdWorkload(argc - 2, argv + 2);
   if (!std::strcmp(cmd, "trace")) return CmdTrace(argc - 2, argv + 2);
+  if (!std::strcmp(cmd, "blackbox")) return CmdBlackbox(argc - 2, argv + 2);
   if (!std::strcmp(cmd, "lint")) return CmdLint(argc - 2, argv + 2);
   if (!std::strcmp(cmd, "bench")) return CmdBench(argc - 2, argv + 2);
   if (!std::strcmp(cmd, "serve")) return CmdServe(argc - 2, argv + 2);
