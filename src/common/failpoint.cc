@@ -21,7 +21,21 @@ std::atomic<int> g_armed_count{0};
 
 namespace {
 
-enum class ActionKind { kError, kTruncate, kDelay, kPanic };
+enum class ActionKind { kError, kTruncate, kEnospc, kEio, kDelay, kPanic };
+
+/// The probabilistic fault actions and the Fault each maps to. Parsing and
+/// evaluation share this table so adding an action is one row.
+struct ProbAction {
+  std::string_view head;
+  ActionKind kind;
+  Fault fault;
+};
+constexpr ProbAction kProbActions[] = {
+    {"err", ActionKind::kError, Fault::kError},
+    {"trunc", ActionKind::kTruncate, Fault::kTruncate},
+    {"enospc", ActionKind::kEnospc, Fault::kEnospc},
+    {"eio", ActionKind::kEio, Fault::kEio},
+};
 
 struct Action {
   ActionKind kind = ActionKind::kError;
@@ -86,8 +100,9 @@ bool ParseAction(std::string_view s, Action* out, bool* is_off,
     out->kind = ActionKind::kPanic;
     return true;
   }
-  if (head == "err" || head == "trunc") {
-    out->kind = head == "err" ? ActionKind::kError : ActionKind::kTruncate;
+  for (const ProbAction& pa : kProbActions) {
+    if (head != pa.head) continue;
+    out->kind = pa.kind;
     out->probability = 1.0;
     if (!arg.empty()) {
       char* end = nullptr;
@@ -163,8 +178,8 @@ Fault EvaluateSlow(std::string_view name) {
     auto it = r.armed.find(name);
     if (it == r.armed.end()) return Fault::kNone;
     action = it->second;
-    if (action.kind == ActionKind::kError ||
-        action.kind == ActionKind::kTruncate) {
+    if (action.kind != ActionKind::kDelay &&
+        action.kind != ActionKind::kPanic) {
       if (action.probability < 1.0 && NextDouble() >= action.probability) {
         return Fault::kNone;
       }
@@ -179,6 +194,10 @@ Fault EvaluateSlow(std::string_view name) {
       return Fault::kError;
     case ActionKind::kTruncate:
       return Fault::kTruncate;
+    case ActionKind::kEnospc:
+      return Fault::kEnospc;
+    case ActionKind::kEio:
+      return Fault::kEio;
     case ActionKind::kDelay:
       std::this_thread::sleep_for(
           std::chrono::milliseconds(action.delay_ms));

@@ -16,6 +16,11 @@
 // Spec grammar: `name=action` pairs separated by ';'. Actions:
 //   err[(p)]    with probability p (default 1.0) the site sees kError
 //   trunc[(p)]  with probability p (default 1.0) the site sees kTruncate
+//   enospc[(p)] with probability p the site sees kEnospc — the errno-faithful
+//               "No space left on device" fault; disk-fault sites map it to
+//               the exact status a real ENOSPC write/fsync would produce
+//   eio[(p)]    with probability p the site sees kEio — errno-faithful EIO
+//               ("Input/output error"), the unrecoverable media fault
 //   delay(ms)   sleep ms milliseconds inside Evaluate, then report kNone
 //   panic       abort the process at the site (crash-safety testing)
 //   off         explicitly disarm the site
@@ -40,8 +45,11 @@ namespace mctdb::failpoint {
 
 /// What an armed failpoint tells its site to do. Delays and panics are
 /// executed inside Evaluate itself; only the faults that need site-specific
-/// semantics are returned.
-enum class Fault { kNone = 0, kError, kTruncate };
+/// semantics are returned. kEnospc/kEio are errno-faithful disk faults:
+/// sites that model real I/O surface them as the status a genuine
+/// ENOSPC/EIO from the kernel would produce (and degrade accordingly —
+/// ENOSPC is re-probeable once space recovers, EIO is sticky).
+enum class Fault { kNone = 0, kError, kTruncate, kEnospc, kEio };
 
 namespace internal {
 extern std::atomic<int> g_armed_count;

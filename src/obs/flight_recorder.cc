@@ -212,6 +212,10 @@ const char* ToString(Site s) {
     case Site::kQuarantine: return "quarantine";
     case Site::kFailpointHit: return "failpoint_hit";
     case Site::kEscalation: return "escalation";
+    case Site::kMaintenanceTrigger: return "maintenance_trigger";
+    case Site::kWriteStall: return "write_stall";
+    case Site::kReadOnlyEnter: return "readonly_enter";
+    case Site::kReadOnlyExit: return "readonly_exit";
   }
   return "?";
 }

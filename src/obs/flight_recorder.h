@@ -77,8 +77,12 @@ enum class Site : uint8_t {
   kQuarantine,            ///< arg: quarantined page id
   kFailpointHit,          ///< arg: first 8 bytes of the site name
   kEscalation,            ///< arg: Status::Code value
+  kMaintenanceTrigger,    ///< arg: CheckpointReason value
+  kWriteStall,            ///< arg: stall count for the store so far
+  kReadOnlyEnter,         ///< arg: errno that degraded the WAL
+  kReadOnlyExit,          ///< arg: durable LSN after the re-probe
 };
-inline constexpr size_t kNumSites = 19;
+inline constexpr size_t kNumSites = 23;
 
 const char* ToString(Subsystem s);
 const char* ToString(Site s);

@@ -8,7 +8,10 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -25,6 +28,8 @@ const char* StatusText(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 503: return "Service Unavailable";
     default: return "Error";
   }
 }
@@ -123,13 +128,23 @@ void HttpEndpoint::ListenLoop() {
 }
 
 void HttpEndpoint::HandleConnection(int fd) {
-  // Read until the end of the request head (or a 4 KB cap — this port
-  // serves GETs with no bodies).
+  // Read until the end of the request head (4 KB cap — the body, if any,
+  // is read separately against max_body_bytes).
   std::string request;
   char buf[1024];
-  while (request.size() < 4096 &&
-         request.find("\r\n\r\n") == std::string::npos &&
-         request.find("\n\n") == std::string::npos) {
+  size_t head_end = std::string::npos;
+  size_t body_start = 0;
+  while (request.size() < 4096) {
+    if (size_t pos = request.find("\r\n\r\n"); pos != std::string::npos) {
+      head_end = pos;
+      body_start = pos + 4;
+      break;
+    }
+    if (size_t pos = request.find("\n\n"); pos != std::string::npos) {
+      head_end = pos;
+      body_start = pos + 2;
+      break;
+    }
     ssize_t n = recv(fd, buf, sizeof(buf), 0);
     if (n <= 0) break;
     request.append(buf, static_cast<size_t>(n));
@@ -143,18 +158,51 @@ void HttpEndpoint::HandleConnection(int fd) {
   size_t sp1 = request_line.find(' ');
   size_t sp2 =
       sp1 == std::string::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  const std::string method =
+      sp1 == std::string::npos ? std::string() : request_line.substr(0, sp1);
   if (sp1 == std::string::npos || sp2 == std::string::npos) {
     response.status = 400;
     response.body = "bad request\n";
-  } else if (request_line.substr(0, sp1) != "GET") {
+  } else if (method != "GET" && method != "POST") {
     response.status = 405;
-    response.body = "only GET is supported\n";
+    response.body = "only GET and POST are supported\n";
   } else {
-    std::string path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
-    if (size_t q = path.find('?'); q != std::string::npos) {
-      path.resize(q);  // this surface takes no query parameters
+    HttpRequest req;
+    req.method = method;
+    req.path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (size_t q = req.path.find('?'); q != std::string::npos) {
+      req.query = req.path.substr(q + 1);
+      req.path.resize(q);
     }
-    response = handler_(path);
+    // Content-Length is the only header this surface reads; HTTP header
+    // names are case-insensitive.
+    size_t content_length = 0;
+    std::string head_lower =
+        head_end == std::string::npos ? request : request.substr(0, head_end);
+    for (char& c : head_lower) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (size_t h = head_lower.find("content-length:");
+        h != std::string::npos) {
+      content_length = static_cast<size_t>(
+          std::strtoull(head_lower.c_str() + h + 15, nullptr, 10));
+    }
+    if (content_length > options_.max_body_bytes) {
+      response.status = 413;
+      response.body = mctdb::StringPrintf(
+          "body exceeds %zu bytes\n", options_.max_body_bytes);
+    } else {
+      if (head_end != std::string::npos && content_length > 0) {
+        req.body = request.substr(body_start);
+        while (req.body.size() < content_length) {
+          ssize_t n = recv(fd, buf, sizeof(buf), 0);
+          if (n <= 0) break;
+          req.body.append(buf, static_cast<size_t>(n));
+        }
+        req.body.resize(std::min(req.body.size(), content_length));
+      }
+      response = handler_(req);
+    }
   }
 
   std::string head = mctdb::StringPrintf(

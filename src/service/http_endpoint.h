@@ -1,5 +1,6 @@
 // HttpEndpoint: a dependency-free blocking HTTP/1.0 server for the
-// observability surface (/metrics, /healthz, /slowlog, /tracez).
+// observability surface (/metrics, /healthz, /slowlog, /tracez) plus
+// small POST control routes (`mctc serve` registers POST /update).
 //
 // Design constraints, in order:
 //   * zero dependencies — raw POSIX sockets, no event loop;
@@ -9,8 +10,10 @@
 //   * bounded resource use — connections are handled serially on the
 //     listener thread with send/receive timeouts on the accepted socket,
 //     so a stalled scraper can delay other scrapes but can never pile up
-//     threads or wedge shutdown. Scrapers are few (Prometheus, curl);
-//     this is an observability port, not a data plane.
+//     threads or wedge shutdown; POST bodies are capped at
+//     Options::max_body_bytes (413 beyond it). Scrapers are few
+//     (Prometheus, curl); this is an observability/control port, not a
+//     data plane.
 //
 // The handler runs on the listener thread; it must be thread-safe with
 // respect to the traffic it reports on (QueryService's exporters are).
@@ -32,6 +35,17 @@ struct HttpResponse {
   std::string body;
 };
 
+/// One parsed request, as much of HTTP as this surface speaks: the
+/// method ("GET" or "POST" — anything else is answered 405 before the
+/// handler runs), the path with its query string split off, and the body
+/// (POST only, bounded by Options::max_body_bytes).
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::string query;  ///< text after '?', without the '?'; may be empty
+  std::string body;
+};
+
 class HttpEndpoint {
  public:
   struct Options {
@@ -45,11 +59,14 @@ class HttpEndpoint {
     int io_timeout_ms = 2000;
     /// How often the listener re-checks the stop flag.
     int poll_interval_ms = 50;
+    /// Largest accepted POST body; longer requests are answered 413
+    /// without reaching the handler.
+    size_t max_body_bytes = 1 << 20;
   };
 
-  /// Maps a request path ("/metrics") to a response; called once per
-  /// GET. Non-GET methods are answered 405 before the handler runs.
-  using Handler = std::function<HttpResponse(const std::string& path)>;
+  /// Maps a request to a response; called once per GET or POST. Other
+  /// methods are answered 405 before the handler runs.
+  using Handler = std::function<HttpResponse(const HttpRequest& request)>;
 
   HttpEndpoint(Options options, Handler handler);
   /// Stops and joins if still running.

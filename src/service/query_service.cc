@@ -32,8 +32,24 @@ QueryService::QueryService(const ServiceOptions& options)
     HttpEndpoint::Options hopts;
     hopts.port = static_cast<uint16_t>(options_.http_port);
     http_ = std::make_unique<HttpEndpoint>(
-        hopts, [this](const std::string& path) {
+        hopts, [this](const HttpRequest& request) {
           HttpResponse response;
+          // Extension routes first (exact path, any method): this is how
+          // POST /update reaches the admission pipeline in `mctc serve`.
+          HttpEndpoint::Handler route;
+          {
+            std::lock_guard<mctdb::OrderedMutex> lock(mu_);
+            auto it = http_routes_.find(request.path);
+            if (it != http_routes_.end()) route = it->second;
+          }
+          if (route) return route(request);
+          if (request.method != "GET") {
+            response.status = 405;
+            response.body =
+                "POST is only accepted on registered control routes\n";
+            return response;
+          }
+          const std::string& path = request.path;
           if (path == "/metrics") {
             response.content_type = "text/plain; version=0.0.4";
             response.body = MetricsText();
@@ -82,6 +98,19 @@ QueryService::~QueryService() {
   http_.reset();  // joins the listener before any state it scrapes dies
   Resume();
   Drain();
+  // Stop maintenance threads before anything they touch (plan caches,
+  // views, metrics) starts dying. Collected under the lock but stopped
+  // outside it: a callback in flight needs mu_, and Stop() joins.
+  std::vector<mctdb::wal::MaintenanceManager*> managers;
+  {
+    std::lock_guard<mctdb::OrderedMutex> lock(mu_);
+    for (auto& [name, entry] : stores_) {
+      if (entry.maintenance != nullptr) {
+        managers.push_back(entry.maintenance.get());
+      }
+    }
+  }
+  for (mctdb::wal::MaintenanceManager* m : managers) m->Stop();
   pool_.reset();  // joins workers before the store registry goes away
 }
 
@@ -95,9 +124,11 @@ Status QueryService::AddStore(const std::string& name,
   if (!inserted) {
     return Status::AlreadyExists("store '" + name + "' already registered");
   }
-  it->second.store = store;
-  it->second.pool = std::make_unique<mctdb::storage::ShardedBufferPool>(
+  auto view = std::make_shared<StoreView>();
+  view->store = store;
+  view->pool = std::make_shared<mctdb::storage::ShardedBufferPool>(
       store->pager(), options_.pool_pages, options_.pool_shards);
+  it->second.view = std::move(view);
   it->second.plan_cache =
       std::make_unique<PlanCache>(options_.plan_cache_capacity);
   it->second.fingerprint =
@@ -111,7 +142,7 @@ Status QueryService::AddStore(const std::string& name,
   MCTDB_LOG(kInfo, "mctsvc", "store registered",
             {{"store", name},
              {"pool_pages", uint64_t(options_.pool_pages)},
-             {"shards", uint64_t(it->second.pool->num_shards())}});
+             {"shards", uint64_t(it->second.view->pool->num_shards())}});
   return Status::OK();
 }
 
@@ -123,7 +154,16 @@ Status QueryService::AddDurableStore(const std::string& name,
   MCTDB_RETURN_IF_ERROR(AddStore(name, store->store()));
   {
     std::lock_guard<mctdb::OrderedMutex> lock(mu_);
-    stores_[name].durable = store;
+    StoreEntry& entry = stores_[name];
+    entry.durable = store;
+    if (options_.maintenance_enabled) {
+      entry.maintenance = std::make_unique<mctdb::wal::MaintenanceManager>(
+          store, options_.maintenance,
+          [this, name](const mctdb::wal::MaintenanceManager::Event& event) {
+            OnMaintenanceCheckpoint(name, event);
+          });
+      entry.maintenance->Start();
+    }
   }
   metrics_.recovery_replayed_records.fetch_add(
       store->recovery().replayed_records, std::memory_order_relaxed);
@@ -145,9 +185,61 @@ Result<std::shared_ptr<QueryService::Session>> QueryService::OpenSession(
     return Status::NotFound("store '" + store + "' is not registered");
   }
   return std::shared_ptr<Session>(
-      new Session(this, store, it->second.store, it->second.durable,
-                  it->second.pool.get(), it->second.breaker.get(),
+      new Session(this, store, it->second.durable, it->second.breaker.get(),
                   it->second.plan_cache.get(), it->second.fingerprint));
+}
+
+std::shared_ptr<const QueryService::StoreView> QueryService::CurrentView(
+    const std::string& store) const {
+  std::lock_guard<mctdb::OrderedMutex> lock(mu_);
+  auto it = stores_.find(store);
+  return it == stores_.end() ? nullptr : it->second.view;
+}
+
+void QueryService::OnMaintenanceCheckpoint(
+    const std::string& store,
+    const mctdb::wal::MaintenanceManager::Event& event) {
+  PlanCache* cache = nullptr;
+  {
+    std::lock_guard<mctdb::OrderedMutex> lock(mu_);
+    auto it = stores_.find(store);
+    if (it == stores_.end()) return;
+    StoreEntry& entry = it->second;
+    cache = entry.plan_cache.get();
+    if (event.status.ok() && event.stats.rebased &&
+        entry.durable != nullptr &&
+        entry.durable->store() != entry.view->store) {
+      // The live store was swapped under us: publish a fresh (store,
+      // pool) pair. In-flight requests keep the old view alive through
+      // their shared_ptr and finish against the retired store.
+      auto fresh = std::make_shared<StoreView>();
+      fresh->store = entry.durable->store();
+      fresh->pool = std::make_shared<mctdb::storage::ShardedBufferPool>(
+          fresh->store->pager(), options_.pool_pages, options_.pool_shards);
+      entry.view = std::move(fresh);
+    }
+  }
+  // Bump even on failure — same reasoning as Checkpoint(): a half-finished
+  // checkpoint may have moved state, and a spurious re-plan is cheap next
+  // to a plan compiled against intervals that no longer exist. The trace
+  // id is the maintenance cycle's (minted by the manager's loop), so the
+  // bump correlates with the trigger and the WAL events of the checkpoint.
+  cache->BumpGeneration();
+  flight::Record(flight::Subsystem::kPlanCache,
+                 flight::Site::kGenerationBump,
+                 mctdb::obs::CurrentTraceId(), cache->generation());
+  if (event.status.ok()) {
+    MCTDB_LOG(kInfo, "mctsvc", "maintenance checkpoint",
+              {{"store", store},
+               {"reason", mctdb::wal::ToString(event.reason)},
+               {"checkpoint_lsn", uint64_t(event.stats.checkpoint_lsn)},
+               {"rebased", uint64_t(event.stats.rebased)}});
+  } else {
+    MCTDB_LOG(kWarn, "mctsvc", "maintenance checkpoint failed",
+              {{"store", store},
+               {"reason", mctdb::wal::ToString(event.reason)},
+               {"error", event.status.ToString()}});
+  }
 }
 
 Result<ExecResult> QueryService::Execute(const std::string& store,
@@ -200,6 +292,7 @@ Result<mctdb::wal::CheckpointStats> QueryService::Checkpoint(
     }
     durable = it->second.durable;
     cache = it->second.plan_cache.get();
+    ++it->second.manual_checkpoints;
   }
   // The checkpoint runs under its own trace id so its WAL and checkpoint
   // events — and this generation bump — correlate as one timeline.
@@ -304,8 +397,15 @@ void QueryService::RunNext(const std::shared_ptr<Session>& session) {
       metrics_.failed.fetch_add(1, std::memory_order_relaxed);
       metrics_.updates_failed.fetch_add(1, std::memory_order_relaxed);
       if (session->breaker_ != nullptr) {
-        if (result.status().IsDataLoss() || result.status().IsInternal() ||
-            result.status().IsUnavailable()) {
+        if (result.status().IsUnavailable() &&
+            session->durable_ != nullptr && session->durable_->read_only()) {
+          // Out-of-space read-only mode is graceful degradation, not a
+          // store fault: reads still serve and writes resume once the
+          // disk drains. An open breaker here would refuse the reads too.
+          session->breaker_->RecordSuccess();
+        } else if (result.status().IsDataLoss() ||
+                   result.status().IsInternal() ||
+                   result.status().IsUnavailable()) {
           // A degraded WAL is a hard store fault: trip the breaker so the
           // write path stops hammering a log that needs a reopen.
           session->breaker_->RecordFailure();
@@ -323,14 +423,25 @@ void QueryService::RunNext(const std::shared_ptr<Session>& session) {
           return Status::Internal("injected service.exec fault");
         case mctdb::failpoint::Fault::kTruncate:
           return Status::DataLoss("injected service.exec data loss");
+        case mctdb::failpoint::Fault::kEnospc:
+        case mctdb::failpoint::Fault::kEio:
+          // Disk faults inside execution surface as I/O errors; the
+          // breaker treats them like any executor failure.
+          return Status::IoError("injected service.exec disk fault");
         case mctdb::failpoint::Fault::kNone:
           break;
       }
-      mctdb::query::Executor exec(session->store_, session->pool_);
+      // Resolve the CURRENT (store, pool) pair; holding the shared view
+      // keeps the pool alive even if a maintenance rebase publishes a new
+      // one mid-query, and the matching store stays alive in the durable
+      // store's retired list.
+      std::shared_ptr<const StoreView> view =
+          CurrentView(session->store_name_);
+      mctdb::query::Executor exec(view->store, view->pool.get());
       // Pin the query to the committed state as of now: updates that land
       // mid-query stay invisible, so the result is a consistent snapshot
       // (and on read-only stores this is a no-op).
-      exec.set_snapshot(session->store_->visible_lsn());
+      exec.set_snapshot(view->store->visible_lsn());
       return exec.Execute(*task.plan);
     }();
     EndInFlight(task.trace_id);
@@ -532,6 +643,11 @@ bool QueryService::Degraded() const {
         entry.breaker->state() != CircuitBreaker::State::kClosed) {
       return true;
     }
+    // A read-only store (WAL out of disk space) still serves reads, but
+    // the service as a whole is degraded: probes should steer writes away.
+    if (entry.durable != nullptr && entry.durable->read_only()) {
+      return true;
+    }
   }
   return false;
 }
@@ -550,11 +666,22 @@ std::string QueryService::HealthJson() const {
   size_t num_stores;
   bool degraded = false;
   std::string breakers = "[";
+  std::string readonly = "[";
   {
     std::lock_guard<mctdb::OrderedMutex> lock(mu_);
     num_stores = stores_.size();
     bool first = true;
+    bool first_ro = true;
     for (const auto& [name, entry] : stores_) {
+      if (entry.durable != nullptr && entry.durable->read_only()) {
+        // Writes are paused (out of disk space) while reads keep serving
+        // at the pinned visible LSN; the maintenance re-probe lifts this
+        // once the disk drains.
+        degraded = true;
+        if (!first_ro) readonly += ',';
+        first_ro = false;
+        readonly += '"' + mctdb::obs::JsonEscape(name) + '"';
+      }
       if (entry.breaker == nullptr) continue;
       CircuitBreaker::State s = entry.breaker->state();
       if (s != CircuitBreaker::State::kClosed) degraded = true;
@@ -571,18 +698,26 @@ std::string QueryService::HealthJson() const {
     }
   }
   breakers += ']';
+  readonly += ']';
   return mctdb::StringPrintf(
       "{\"status\":\"%s\",\"uptime_seconds\":%.3f,\"stores\":%zu,"
-      "\"workers\":%zu,\"queue_depth\":%llu,\"breakers\":%s}",
+      "\"workers\":%zu,\"queue_depth\":%llu,\"breakers\":%s,"
+      "\"readonly_stores\":%s}",
       degraded ? "degraded" : "ok", uptime, num_stores,
       options_.num_threads == 0 ? size_t{1} : options_.num_threads,
       static_cast<unsigned long long>(
           metrics_.queue_depth.load(std::memory_order_relaxed)),
-      breakers.c_str());
+      breakers.c_str(), readonly.c_str());
 }
 
 uint16_t QueryService::HttpPort() const {
   return (http_ != nullptr && http_->running()) ? http_->port() : 0;
+}
+
+void QueryService::AddHttpRoute(const std::string& path,
+                                HttpEndpoint::Handler handler) {
+  std::lock_guard<mctdb::OrderedMutex> lock(mu_);
+  http_routes_[path] = std::move(handler);
 }
 
 std::string QueryService::StatuszJson() const {
@@ -648,19 +783,54 @@ std::string QueryService::StatuszJson() const {
           static_cast<unsigned long long>(entry.plan_cache->generation()));
       out += mctdb::StringPrintf(
           ",\"pool\":{\"capacity_pages\":%zu,\"resident\":%zu}",
-          entry.pool->capacity(), entry.pool->resident());
+          entry.view->pool->capacity(), entry.view->pool->resident());
       if (entry.durable != nullptr) {
         // The in-flight WAL batch: records appended but not yet made
         // durable by a group-commit leader.
         out += mctdb::StringPrintf(
             ",\"wal\":{\"pending_records\":%llu,\"pending_bytes\":%llu,"
-            "\"durable_lsn\":%llu,\"degraded\":%s}",
+            "\"durable_lsn\":%llu,\"degraded\":%s,\"read_only\":%s}",
             static_cast<unsigned long long>(
                 entry.durable->log().pending_records()),
             static_cast<unsigned long long>(
                 entry.durable->log().pending_bytes()),
             static_cast<unsigned long long>(entry.durable->log().durable_lsn()),
-            entry.durable->degraded() ? "true" : "false");
+            entry.durable->degraded() ? "true" : "false",
+            entry.durable->read_only() ? "true" : "false");
+        // Self-maintenance state: why checkpoints fired, how often writers
+        // stalled for a rebalance, and the gap-pressure low-water mark.
+        const uint32_t low_water = entry.durable->min_free_gap_low_water();
+        out += mctdb::StringPrintf(
+            ",\"maintenance\":{\"manual_checkpoints\":%llu,"
+            "\"write_stalls\":%llu,\"saturation_events\":%llu,"
+            "\"rebases\":%llu,\"min_free_gap_low_water\":%llu",
+            static_cast<unsigned long long>(entry.manual_checkpoints),
+            static_cast<unsigned long long>(entry.durable->write_stalls()),
+            static_cast<unsigned long long>(
+                entry.durable->saturation_events()),
+            static_cast<unsigned long long>(entry.durable->rebases()),
+            static_cast<unsigned long long>(low_water));
+        if (entry.maintenance != nullptr) {
+          const mctdb::wal::MaintenanceManager& mm = *entry.maintenance;
+          out += mctdb::StringPrintf(
+              ",\"running\":%s,\"reprobes\":%llu,\"by_reason\":{",
+              mm.running() ? "true" : "false",
+              static_cast<unsigned long long>(mm.reprobes()));
+          for (size_t r = 0; r < mctdb::wal::kNumCheckpointReasons; ++r) {
+            const auto reason = static_cast<mctdb::wal::CheckpointReason>(r);
+            if (reason == mctdb::wal::CheckpointReason::kManual) continue;
+            out += mctdb::StringPrintf(
+                "%s\"%s\":%llu", r > 1 ? "," : "",
+                mctdb::wal::ToString(reason),
+                static_cast<unsigned long long>(mm.checkpoints(reason)));
+          }
+          out += '}';
+          const std::string err = mm.last_error();
+          if (!err.empty()) {
+            out += ",\"last_error\":\"" + mctdb::obs::JsonEscape(err) + "\"";
+          }
+        }
+        out += '}';
       }
       out += '}';
     }
@@ -690,7 +860,10 @@ Result<QueryFuture> QueryService::Session::SubmitQuery(
   // the first thing that happens to this request — already carry the id
   // `mctc trace --id` will filter on.
   const uint64_t trace_id = mctdb::obs::MintTraceId();
-  const mctdb::mct::MctSchema& schema = store_->schema();
+  // Resolve the current view: after a maintenance rebase the visible LSN
+  // must come from the LIVE store, not a retired one whose LSN froze.
+  std::shared_ptr<const StoreView> view = svc->CurrentView(store_name_);
+  const mctdb::mct::MctSchema& schema = view->store->schema();
   const std::string key = PlanCache::Key(
       fingerprint_, schema.name(), mctdb::query::CanonicalQueryText(query));
   // The freshness pivot: a cached plan only hits while the store's visible
@@ -698,7 +871,7 @@ Result<QueryFuture> QueryService::Session::SubmitQuery(
   // RunNext pins the executor to visible_lsn() again at dequeue; since
   // LSNs only advance, a hit guarantees the plan is no newer than the
   // snapshot the query will run under.
-  const mctdb::Lsn visible = store_->visible_lsn();
+  const mctdb::Lsn visible = view->store->visible_lsn();
   LookupOutcome outcome = LookupOutcome::kMiss;
   std::shared_ptr<const CachedPlan> cached =
       plan_cache_->Lookup(key, visible, &outcome);
@@ -982,24 +1155,24 @@ std::string QueryService::MetricsJson() const {
              CircuitBreaker::StateName(entry.breaker->state()) + "\"";
     }
     char buf[192];
-    const mctdb::storage::Pager* pager = entry.store->pager();
+    const mctdb::storage::Pager* pager = entry.view->store->pager();
     std::snprintf(
         buf, sizeof(buf),
         ",\"checksum_failures\":%llu,\"retries\":%llu,"
         "\"quarantined\":%llu",
         static_cast<unsigned long long>(pager->checksum_failures()),
         static_cast<unsigned long long>(pager->retries()),
-        static_cast<unsigned long long>(entry.pool->quarantined()));
+        static_cast<unsigned long long>(entry.view->pool->quarantined()));
     out += buf;
     std::snprintf(buf, sizeof(buf),
                   ",\"pool\":{\"capacity_pages\":%zu,\"resident\":%zu,"
                   "\"hits\":%llu,\"misses\":%llu,\"shards\":[",
-                  entry.pool->capacity(), entry.pool->resident(),
-                  static_cast<unsigned long long>(entry.pool->hits()),
-                  static_cast<unsigned long long>(entry.pool->misses()));
+                  entry.view->pool->capacity(), entry.view->pool->resident(),
+                  static_cast<unsigned long long>(entry.view->pool->hits()),
+                  static_cast<unsigned long long>(entry.view->pool->misses()));
     out += buf;
     bool first_shard = true;
-    for (const auto& shard : entry.pool->PerShard()) {
+    for (const auto& shard : entry.view->pool->PerShard()) {
       if (!first_shard) out += ',';
       first_shard = false;
       std::snprintf(buf, sizeof(buf),
@@ -1030,7 +1203,7 @@ std::string QueryService::MetricsText() const {
     std::snprintf(buf, sizeof(buf),
                   "mctsvc_pool_hits_total{store=\"%s\"} %llu\n",
                   PromLabelEscape(name).c_str(),
-                  static_cast<unsigned long long>(entry.pool->hits()));
+                  static_cast<unsigned long long>(entry.view->pool->hits()));
     out += buf;
   }
   out +=
@@ -1041,7 +1214,7 @@ std::string QueryService::MetricsText() const {
     std::snprintf(buf, sizeof(buf),
                   "mctsvc_pool_misses_total{store=\"%s\"} %llu\n",
                   PromLabelEscape(name).c_str(),
-                  static_cast<unsigned long long>(entry.pool->misses()));
+                  static_cast<unsigned long long>(entry.view->pool->misses()));
     out += buf;
   }
   out +=
@@ -1051,7 +1224,7 @@ std::string QueryService::MetricsText() const {
   for (const auto& [name, entry] : stores_) {
     std::snprintf(buf, sizeof(buf),
                   "mctsvc_pool_resident_pages{store=\"%s\"} %zu\n",
-                  PromLabelEscape(name).c_str(), entry.pool->resident());
+                  PromLabelEscape(name).c_str(), entry.view->pool->resident());
     out += buf;
   }
   out +=
@@ -1064,7 +1237,7 @@ std::string QueryService::MetricsText() const {
         "mctsvc_pool_checksum_failures_total{store=\"%s\"} %llu\n",
         PromLabelEscape(name).c_str(),
         static_cast<unsigned long long>(
-            entry.store->pager()->checksum_failures()));
+            entry.view->store->pager()->checksum_failures()));
     out += buf;
   }
   out +=
@@ -1076,7 +1249,7 @@ std::string QueryService::MetricsText() const {
                   "mctsvc_pool_retries_total{store=\"%s\"} %llu\n",
                   PromLabelEscape(name).c_str(),
                   static_cast<unsigned long long>(
-                      entry.store->pager()->retries()));
+                      entry.view->store->pager()->retries()));
     out += buf;
   }
   out +=
@@ -1088,7 +1261,7 @@ std::string QueryService::MetricsText() const {
                   "mctsvc_pool_quarantined_total{store=\"%s\"} %llu\n",
                   PromLabelEscape(name).c_str(),
                   static_cast<unsigned long long>(
-                      entry.pool->quarantined()));
+                      entry.view->pool->quarantined()));
     out += buf;
   }
   // Breaker state as an enum gauge: 0 closed, 1 half-open, 2 open.
@@ -1105,6 +1278,73 @@ std::string QueryService::MetricsText() const {
     std::snprintf(buf, sizeof(buf),
                   "mctsvc_breaker_state{store=\"%s\"} %d\n",
                   PromLabelEscape(name).c_str(), value);
+    out += buf;
+  }
+  // Self-maintenance families (DESIGN.md §17). Reason "manual" counts
+  // QueryService::Checkpoint calls; the other reasons come from each
+  // store's background MaintenanceManager.
+  out +=
+      "# HELP mctsvc_checkpoints_triggered_total Checkpoints by trigger "
+      "reason per store\n"
+      "# TYPE mctsvc_checkpoints_triggered_total counter\n";
+  for (const auto& [name, entry] : stores_) {
+    if (entry.durable == nullptr) continue;
+    std::snprintf(
+        buf, sizeof(buf),
+        "mctsvc_checkpoints_triggered_total{store=\"%s\",reason=\"manual\"}"
+        " %llu\n",
+        PromLabelEscape(name).c_str(),
+        static_cast<unsigned long long>(entry.manual_checkpoints));
+    out += buf;
+    if (entry.maintenance == nullptr) continue;
+    for (size_t r = 0; r < mctdb::wal::kNumCheckpointReasons; ++r) {
+      const auto reason = static_cast<mctdb::wal::CheckpointReason>(r);
+      if (reason == mctdb::wal::CheckpointReason::kManual) continue;
+      std::snprintf(
+          buf, sizeof(buf),
+          "mctsvc_checkpoints_triggered_total{store=\"%s\",reason=\"%s\"}"
+          " %llu\n",
+          PromLabelEscape(name).c_str(), mctdb::wal::ToString(reason),
+          static_cast<unsigned long long>(
+              entry.maintenance->checkpoints(reason)));
+      out += buf;
+    }
+  }
+  out +=
+      "# HELP mctsvc_write_stalls_total Writers paused behind an urgent "
+      "rebalancing checkpoint per store\n"
+      "# TYPE mctsvc_write_stalls_total counter\n";
+  for (const auto& [name, entry] : stores_) {
+    if (entry.durable == nullptr) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "mctsvc_write_stalls_total{store=\"%s\"} %llu\n",
+                  PromLabelEscape(name).c_str(),
+                  static_cast<unsigned long long>(
+                      entry.durable->write_stalls()));
+    out += buf;
+  }
+  out +=
+      "# HELP mctsvc_gap_rebalances_total Live store rebases (interval-"
+      "label rebalances) per store\n"
+      "# TYPE mctsvc_gap_rebalances_total counter\n";
+  for (const auto& [name, entry] : stores_) {
+    if (entry.durable == nullptr) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "mctsvc_gap_rebalances_total{store=\"%s\"} %llu\n",
+                  PromLabelEscape(name).c_str(),
+                  static_cast<unsigned long long>(entry.durable->rebases()));
+    out += buf;
+  }
+  out +=
+      "# HELP mctsvc_store_readonly Store is read-only: WAL out of disk "
+      "space, writes paused, reads still serving (0/1)\n"
+      "# TYPE mctsvc_store_readonly gauge\n";
+  for (const auto& [name, entry] : stores_) {
+    if (entry.durable == nullptr) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "mctsvc_store_readonly{store=\"%s\"} %d\n",
+                  PromLabelEscape(name).c_str(),
+                  entry.durable->read_only() ? 1 : 0);
     out += buf;
   }
   return out;

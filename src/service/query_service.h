@@ -55,6 +55,7 @@
 #include "service/plan_cache.h"
 #include "storage/sharded_pool.h"
 #include "storage/store.h"
+#include "wal/maintenance.h"
 
 namespace mctsvc {
 
@@ -119,6 +120,13 @@ struct ServiceOptions {
   /// failure is logged and leaves the service running without the
   /// endpoint (observability must never take the data path down).
   int http_port = -1;
+  /// Start one wal::MaintenanceManager per durable store (background
+  /// checkpointing, interval-label rebalancing, read-only re-probing;
+  /// DESIGN.md §17). Off by default so embedders and tests that pin WAL
+  /// counters see no background activity.
+  bool maintenance_enabled = false;
+  /// Trigger thresholds for the per-store maintenance managers.
+  mctdb::wal::MaintenanceOptions maintenance;
 };
 
 using QueryFuture = std::future<mctdb::Result<mctdb::query::ExecResult>>;
@@ -248,19 +256,53 @@ class QueryService {
   /// Port of the live HTTP endpoint, or 0 when disabled / bind failed.
   uint16_t HttpPort() const;
 
+  /// Registers an extra HTTP route served before the built-in
+  /// observability routes (exact path match, GET or POST) — how `mctc
+  /// serve` mounts POST /update. The handler runs on the listener thread;
+  /// it may call back into the service (OpenSession/SubmitUpdate lock
+  /// nothing across the call). Replaces any previous handler for `path`.
+  void AddHttpRoute(const std::string& path, HttpEndpoint::Handler handler);
+
  private:
   friend class Session;
-  struct StoreEntry {
+  /// The (store, pool) pair requests execute against. A kRebaseLive
+  /// maintenance checkpoint swaps the durable store's live MctStore; the
+  /// service then publishes a fresh view (new pool over the new store's
+  /// pager) and in-flight requests finish on the view they resolved —
+  /// the old store stays alive in DurableStore's retired list, the old
+  /// pool stays alive through this shared_ptr. Store and pool must always
+  /// be swapped together: a pool caches pages by id from ITS pager, so a
+  /// mixed pair would serve another store's bytes.
+  struct StoreView {
     mctdb::storage::MctStore* store = nullptr;
+    std::shared_ptr<mctdb::storage::ShardedBufferPool> pool;
+  };
+  struct StoreEntry {
+    std::shared_ptr<const StoreView> view;  // current pair; swapped on rebase
     mctdb::wal::DurableStore* durable = nullptr;  // null for read-only
-    std::unique_ptr<mctdb::storage::ShardedBufferPool> pool;
     std::unique_ptr<CircuitBreaker> breaker;  // null when disabled
     std::unique_ptr<PlanCache> plan_cache;
     /// storage::SchemaFingerprint of the store's schema, part of every
     /// plan-cache key.
     uint64_t fingerprint = 0;
+    /// Checkpoints run through QueryService::Checkpoint (reason "manual"
+    /// in mctsvc_checkpoints_triggered_total). Guarded by mu_.
+    uint64_t manual_checkpoints = 0;
+    /// Declared last so it is destroyed (thread joined) before the state
+    /// its callback touches.
+    std::unique_ptr<mctdb::wal::MaintenanceManager> maintenance;
   };
 
+  /// The store's current view, or null if unknown. Sessions resolve this
+  /// per request instead of caching raw pointers across rebases.
+  std::shared_ptr<const StoreView> CurrentView(const std::string& store) const;
+  /// MaintenanceManager completion callback (runs on the maintenance
+  /// thread): publishes a fresh view after a live rebase, bumps the plan
+  /// cache generation — even on failure, mirroring Checkpoint() — and
+  /// records the generation-bump flight event under the cycle's trace id.
+  void OnMaintenanceCheckpoint(
+      const std::string& store,
+      const mctdb::wal::MaintenanceManager::Event& event);
   void RunNext(const std::shared_ptr<Session>& session);
   void FinishOne();
   /// Records per-query I/O counters and, past the threshold, appends the
@@ -289,8 +331,9 @@ class QueryService {
   ServiceOptions options_;
   ServiceMetrics metrics_;
   mutable mctdb::OrderedMutex mu_{
-      mctdb::LockRank::kServiceRegistry};  // guards stores_
+      mctdb::LockRank::kServiceRegistry};  // guards stores_, http_routes_
   std::map<std::string, StoreEntry> stores_;
+  std::map<std::string, HttpEndpoint::Handler> http_routes_;
   std::atomic<uint64_t> pending_{0};
   mctdb::OrderedMutex drain_mu_{mctdb::LockRank::kServiceDrain};
   std::condition_variable_any drained_cv_;
@@ -344,7 +387,11 @@ class QueryService::Session
       const mctdb::storage::UpdateOp& op, double timeout_seconds = 0.0);
 
   const std::string& store_name() const { return store_name_; }
-  mctdb::storage::ShardedBufferPool* pool() const { return pool_; }
+  /// The store's CURRENT sharded pool (owned by the service). The pointer
+  /// is stable until the next maintenance rebase publishes a fresh pool.
+  mctdb::storage::ShardedBufferPool* pool() const {
+    return service_->CurrentView(store_name_)->pool.get();
+  }
 
  private:
   friend class QueryService;
@@ -370,14 +417,11 @@ class QueryService::Session
   };
 
   Session(QueryService* service, std::string store_name,
-          mctdb::storage::MctStore* store,
-          mctdb::wal::DurableStore* durable,
-          mctdb::storage::ShardedBufferPool* pool,
-          CircuitBreaker* breaker, PlanCache* plan_cache,
-          uint64_t fingerprint)
+          mctdb::wal::DurableStore* durable, CircuitBreaker* breaker,
+          PlanCache* plan_cache, uint64_t fingerprint)
       : service_(service), store_name_(std::move(store_name)),
-        store_(store), durable_(durable), pool_(pool), breaker_(breaker),
-        plan_cache_(plan_cache), fingerprint_(fingerprint) {}
+        durable_(durable), breaker_(breaker), plan_cache_(plan_cache),
+        fingerprint_(fingerprint) {}
 
   /// Shared admission tail of Submit and SubmitQuery: verification gates
   /// (skipped for verified cached plans), breaker, hard limit, shedding,
@@ -387,13 +431,16 @@ class QueryService::Session
       std::shared_ptr<const CachedPlan> holder, double timeout_seconds,
       Priority priority, bool pre_verified, uint64_t trace_id);
 
+  // The session deliberately does NOT cache the store or pool pointers: a
+  // maintenance rebase swaps both, so every request resolves the current
+  // StoreView through the service instead. The remaining raw pointers
+  // (durable store, breaker, plan cache) are stable for the service's
+  // lifetime.
   QueryService* service_;
   std::string store_name_;
-  mctdb::storage::MctStore* store_;
   mctdb::wal::DurableStore* durable_;  // null for read-only stores
-  mctdb::storage::ShardedBufferPool* pool_;  // owned by the service
-  CircuitBreaker* breaker_;                  // owned by the service; may be null
-  PlanCache* plan_cache_;                    // owned by the service
+  CircuitBreaker* breaker_;            // owned by the service; may be null
+  PlanCache* plan_cache_;              // owned by the service
   uint64_t fingerprint_ = 0;
 
   mctdb::OrderedMutex mu_{mctdb::LockRank::kSessionStrand};

@@ -1,5 +1,6 @@
 #include "storage/pager.h"
 
+#include <cerrno>
 #include <cstring>
 #include <string>
 
@@ -63,6 +64,12 @@ Status Pager::ReadAttempt(PageId id, char* out) const {
       std::memcpy(out, pages_[id].get(), kPageSize / 2);
       std::memset(out + kPageSize / 2, 0, kPageSize / 2);
       break;
+    case failpoint::Fault::kEnospc:
+    case failpoint::Fault::kEio:
+      // The read itself errors out (errno-faithful media fault): no bytes
+      // transferred, no checksum involved.
+      return Status::IoError("page " + std::to_string(id) +
+                             " read failed: " + std::strerror(EIO));
     case failpoint::Fault::kNone:
       std::memcpy(out, pages_[id].get(), kPageSize);
       break;

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
@@ -198,10 +199,21 @@ Status SaveStore(const MctStore& store, const std::string& path, bool sync) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IoError("cannot open " + path);
   Writer w(f);
+  int injected_errno = 0;
   switch (MCTDB_FAILPOINT("persist.save")) {
     case failpoint::Fault::kError:
       // Every write errors out, as on a full or failing disk.
       w.FailWrites();
+      break;
+    case failpoint::Fault::kEnospc:
+      // Same detected-failure shape, but errno-faithful: the caller sees
+      // the exact status a real full disk would produce.
+      w.FailWrites();
+      injected_errno = ENOSPC;
+      break;
+    case failpoint::Fault::kEio:
+      w.FailWrites();
+      injected_errno = EIO;
       break;
     case failpoint::Fault::kTruncate:
       // The disk accepts 4 KB then silently drops the rest; Save reports
@@ -300,7 +312,13 @@ Status SaveStore(const MctStore& store, const std::string& path, bool sync) {
     if (std::fflush(f) != 0 || ::fsync(::fileno(f)) != 0) ok = false;
   }
   ok = std::fclose(f) == 0 && ok;
-  if (!ok) return Status::IoError("short write to " + path);
+  if (!ok) {
+    if (injected_errno != 0) {
+      return Status::IoError("write failed: " + path + ": " +
+                             std::strerror(injected_errno));
+    }
+    return Status::IoError("short write to " + path);
+  }
   return Status::OK();
 }
 
@@ -340,6 +358,10 @@ Result<std::unique_ptr<MctStore>> LoadStore(const mct::MctSchema& schema,
     }
     case failpoint::Fault::kError:
       return lost("injected load fault");
+    case failpoint::Fault::kEnospc:
+      return lost(std::string("read failed: ") + std::strerror(ENOSPC));
+    case failpoint::Fault::kEio:
+      return lost(std::string("read failed: ") + std::strerror(EIO));
     case failpoint::Fault::kNone:
       break;
   }

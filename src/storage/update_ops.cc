@@ -623,6 +623,13 @@ class UpdateApplier {
       ++stats->labels_touched;
     };
     place(place, root_index, parent_elem, base_level);
+    if (hi != 0) {
+      // Residual headroom above the group just placed: the gap-pressure
+      // signal. `v` is the highest value consumed, labels are drawn
+      // strictly below `hi`.
+      uint32_t headroom = hi > v + 1 ? hi - v - 1 : 0;
+      stats->min_free_gap = std::min(stats->min_free_gap, headroom);
+    }
     return true;
   }
 

@@ -95,6 +95,14 @@ struct ApplyStats {
   size_t elements_touched = 0;
   size_t labels_touched = 0;
   size_t colors_touched = 0;
+  /// Smallest residual interval-label headroom this op left behind: for
+  /// every bounded (parent-anchored) placement, the free label values
+  /// remaining in the gap after the group landed, minimized across
+  /// placements. UINT32_MAX when the op made no bounded placement. The
+  /// maintenance layer watches this as its gap-pressure trigger — a low
+  /// value means the next insert under the same parent is close to
+  /// ResourceExhausted.
+  uint32_t min_free_gap = UINT32_MAX;
 };
 
 /// Applies `op` to the versioned store at `lsn`. The caller serializes

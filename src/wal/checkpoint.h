@@ -37,6 +37,9 @@ struct CheckpointStats {
   Lsn checkpoint_lsn = kNoLsn;
   uint64_t log_bytes_trimmed = 0;
   size_t elements = 0;  ///< live elements in the compact image
+  /// True when the live in-memory store was swapped to the compacted
+  /// image (CheckpointMode::kRebaseLive) — the interval-label rebalance.
+  bool rebased = false;
 };
 
 }  // namespace mctdb::wal

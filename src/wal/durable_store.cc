@@ -1,6 +1,9 @@
 #include "wal/durable_store.h"
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <optional>
 
 #include "analysis/query_analyze.h"
@@ -8,6 +11,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/trace_id.h"
 #include "storage/persist.h"
+#include "wal/maintenance.h"
 
 namespace mctdb::wal {
 
@@ -23,6 +27,7 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
       ds->store_,
       storage::LoadStoreWithRetry(schema, path, options.store));
   ds->store_->EnableVersioning();
+  ds->live_store_.store(ds->store_.get(), std::memory_order_release);
   uint64_t fingerprint = storage::SchemaFingerprint(schema);
   MCTDB_ASSIGN_OR_RETURN(
       ds->recovery_,
@@ -67,6 +72,7 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Create(
   }
   MCTDB_RETURN_IF_ERROR(storage::SyncParentDir(path));
   ds->store_->EnableVersioning();
+  ds->live_store_.store(ds->store_.get(), std::memory_order_release);
   uint64_t fingerprint = storage::SchemaFingerprint(ds->store_->schema());
   MCTDB_ASSIGN_OR_RETURN(
       ds->log_, LogWriter::Open(WalPath(path), fingerprint,
@@ -81,6 +87,7 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Ephemeral(
   ds->options_ = options;
   ds->store_ = std::move(store);
   ds->store_->EnableVersioning();
+  ds->live_store_.store(ds->store_.get(), std::memory_order_release);
   uint64_t fingerprint = storage::SchemaFingerprint(ds->store_->schema());
   MCTDB_ASSIGN_OR_RETURN(ds->log_,
                          LogWriter::Open("", fingerprint,
@@ -89,25 +96,24 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Ephemeral(
   return ds;
 }
 
-Result<DurableStore::ApplyReceipt> DurableStore::Apply(
+Result<DurableStore::ApplyReceipt> DurableStore::ApplyOnce(
     const storage::UpdateOp& op, obs::ExecStats* stats) {
-  // Service-submitted ops arrive under the worker's admission-minted
-  // trace; direct library/CLI callers get one minted here so WAL events
-  // always correlate.
-  std::optional<obs::ScopedTraceId> trace_scope;
-  if (obs::CurrentTraceId() == 0) {
-    trace_scope.emplace(obs::MintTraceId());
-  }
   std::unique_lock lk(write_mu_);
   if (log_->degraded()) {
-    return Status::Unavailable("durable store: WAL degraded; reopen");
+    return read_only()
+               ? Status::Unavailable(
+                     "durable store: read-only (WAL out of disk space); "
+                     "reads keep serving, writes resume after space "
+                     "recovers")
+               : Status::Unavailable("durable store: WAL degraded; reopen");
   }
+  storage::MctStore* store = store_.get();
   {
     // Static precheck (QRY012) BEFORE the append: a schema-invalid op must
     // never dirty the log — a refused op leaves wal_appends unchanged and
     // nothing for recovery to skip.
     analysis::DiagnosticReport precheck =
-        analysis::VerifyUpdateOpStatic(store_->schema(), op);
+        analysis::VerifyUpdateOpStatic(store->schema(), op);
     if (precheck.has_errors()) {
       return Status::InvalidArgument(
           "update op rejected by static precheck:\n" + precheck.ToText());
@@ -127,7 +133,7 @@ Result<DurableStore::ApplyReceipt> DurableStore::Apply(
   {
     obs::SpanScope span(stats, obs::StageKind::kUpdate,
                         storage::UpdateKindName(op.kind));
-    applied = storage::ApplyUpdateOp(store_.get(), op, lsn);
+    applied = storage::ApplyUpdateOp(store, op, lsn);
     if (applied.ok()) {
       span.SetCardinalityOut(applied.value().labels_touched);
     }
@@ -139,6 +145,15 @@ Result<DurableStore::ApplyReceipt> DurableStore::Apply(
     return applied.status();
   }
   last_applied_ = lsn;
+  // Track the tightest residual label gap since the last rebase — the
+  // maintenance gap-pressure signal.
+  uint32_t gap = applied.value().min_free_gap;
+  if (gap != UINT32_MAX) {
+    uint32_t cur = min_free_gap_.load(std::memory_order_relaxed);
+    while (gap < cur && !min_free_gap_.compare_exchange_weak(
+                            cur, gap, std::memory_order_relaxed)) {
+    }
+  }
   lk.unlock();
   {
     // Group commit outside the write mutex: concurrent appliers park on
@@ -154,11 +169,58 @@ Result<DurableStore::ApplyReceipt> DurableStore::Apply(
   }
   // Readers snapshot AFTER durability — an applied-but-unsynced op is
   // never visible, so a crash cannot retract an observed state.
-  store_->PublishVisibleLsn(lsn);
+  store->PublishVisibleLsn(lsn);
   return ApplyReceipt{lsn, applied.value()};
 }
 
-Result<CheckpointStats> DurableStore::Checkpoint() {
+Result<DurableStore::ApplyReceipt> DurableStore::Apply(
+    const storage::UpdateOp& op, obs::ExecStats* stats) {
+  // Service-submitted ops arrive under the worker's admission-minted
+  // trace; direct library/CLI callers get one minted here so WAL events —
+  // including every stalled retry below — correlate under one trace.
+  std::optional<obs::ScopedTraceId> trace_scope;
+  if (obs::CurrentTraceId() == 0) {
+    trace_scope.emplace(obs::MintTraceId());
+  }
+  Result<ApplyReceipt> r = ApplyOnce(op, stats);
+  if (!r.ok() && !readonly_announced_.load(std::memory_order_relaxed) &&
+      read_only()) {
+    if (!readonly_announced_.exchange(true, std::memory_order_relaxed)) {
+      flight::Record(flight::Subsystem::kWal, flight::Site::kReadOnlyEnter,
+                     obs::CurrentTraceId(),
+                     static_cast<uint64_t>(log_->last_errno()));
+    }
+  }
+  if (r.ok() || !r.status().IsResourceExhausted()) return r;
+  // Interval-label gap saturation. Without a maintenance manager this is
+  // the operator-driven world: surface ResourceExhausted and let the
+  // caller checkpoint. With one, stall bounded-time behind an urgent
+  // rebalancing checkpoint and retry — the op's WAL record from the
+  // failed attempt is harmless (recovery skips ResourceExhausted replays
+  // idempotently) and the retry appends a fresh record.
+  saturation_events_.fetch_add(1, std::memory_order_relaxed);
+  MaintenanceManager* mm = maintenance();
+  if (mm == nullptr) return r;
+  const double budget = mm->options().max_stall_seconds;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(budget));
+  while (true) {
+    write_stalls_.fetch_add(1, std::memory_order_relaxed);
+    flight::Record(flight::Subsystem::kCheckpoint, flight::Site::kWriteStall,
+                   obs::CurrentTraceId(), write_stalls());
+    if (!mm->StallForRebalance(deadline)) break;
+    r = ApplyOnce(op, stats);
+    if (r.ok() || !r.status().IsResourceExhausted()) return r;
+  }
+  char hint[64];
+  std::snprintf(hint, sizeof(hint), "; stall budget spent, retry after %.1fs",
+                budget);
+  return Status::ResourceExhausted(r.status().message() + hint);
+}
+
+Result<CheckpointStats> DurableStore::Checkpoint(CheckpointMode mode) {
   std::optional<obs::ScopedTraceId> trace_scope;
   if (obs::CurrentTraceId() == 0) {
     trace_scope.emplace(obs::MintTraceId());
@@ -172,12 +234,34 @@ Result<CheckpointStats> DurableStore::Checkpoint() {
   // fire in one call) and HitCount counts each checkpoint once. A `panic`
   // action aborts here, at entry.
   const failpoint::Fault ckpt_fault = MCTDB_FAILPOINT("wal.checkpoint");
-  if (ckpt_fault == failpoint::Fault::kError) {
-    return Status::IoError("wal: injected checkpoint fault");
+  switch (ckpt_fault) {
+    case failpoint::Fault::kError:
+      return Status::IoError("wal: injected checkpoint fault");
+    case failpoint::Fault::kEnospc:
+      // The image save would fail for lack of space. Nothing is lost —
+      // the WAL keeps every record — the checkpoint just can't complete
+      // until the disk drains.
+      return Status::IoError(std::string("wal: checkpoint image save "
+                                         "failed: ") +
+                             std::strerror(ENOSPC));
+    case failpoint::Fault::kEio:
+      return Status::IoError(std::string("wal: checkpoint image save "
+                                         "failed: ") +
+                             std::strerror(EIO));
+    case failpoint::Fault::kTruncate:
+    case failpoint::Fault::kNone:
+      break;
+  }
+  // Flush any straggler batch so the image and the log agree. Commit up
+  // to the last BUFFERED lsn, not last_applied_: an insert that hit gap
+  // saturation appended its record and then failed to apply, leaving a
+  // buffered record past last_applied_ — exactly the op whose stall this
+  // urgent checkpoint is resolving. The record is harmless (replay fails
+  // it identically and skips), but Reset refuses a non-empty buffer.
+  if (const Lsn buffered = log_->buffered_lsn(); buffered != kNoLsn) {
+    MCTDB_RETURN_IF_ERROR(log_->Commit(buffered));
   }
   if (last_applied_ != kNoLsn) {
-    // Flush any straggler batch so the image and the log agree.
-    MCTDB_RETURN_IF_ERROR(log_->Commit(last_applied_));
     store_->PublishVisibleLsn(last_applied_);
   }
   CheckpointStats stats;
@@ -212,10 +296,44 @@ Result<CheckpointStats> DurableStore::Checkpoint() {
   }
   MCTDB_RETURN_IF_ERROR(log_->Reset(stats.checkpoint_lsn));
   stats.log_bytes_trimmed = log_bytes_before - log_->durable_bytes();
+  if (mode == CheckpointMode::kRebaseLive) {
+    // The interval-label rebalance: swap the live store to the compacted
+    // image, whose StoreBuilder pass relabeled every color with fresh
+    // stride gaps. The old store is retired, not destroyed — readers that
+    // resolved it before this point finish on an immutable snapshot;
+    // correctness argument in DESIGN.md §17.
+    compact->EnableVersioning();
+    if (stats.checkpoint_lsn != kNoLsn) {
+      compact->PublishVisibleLsn(stats.checkpoint_lsn);
+    }
+    storage::MctStore* fresh = compact.get();
+    retired_.push_back(std::move(store_));
+    store_ = std::move(compact);
+    live_store_.store(fresh, std::memory_order_release);
+    min_free_gap_.store(UINT32_MAX, std::memory_order_relaxed);
+    rebases_.fetch_add(1, std::memory_order_relaxed);
+    stats.rebased = true;
+  }
   flight::Record(flight::Subsystem::kCheckpoint,
                  flight::Site::kCheckpointEnd, obs::CurrentTraceId(),
                  stats.checkpoint_lsn == kNoLsn ? 0 : stats.checkpoint_lsn);
   return stats;
+}
+
+Status DurableStore::TryExitReadOnly() {
+  std::lock_guard lk(write_mu_);
+  if (!log_->degraded()) return Status::OK();
+  MCTDB_RETURN_IF_ERROR(log_->Reprobe());
+  // The parked batch is durable now; everything applied in memory while
+  // the disk was full can finally become visible to new snapshots.
+  if (last_applied_ != kNoLsn && log_->durable_lsn() >= last_applied_) {
+    store_->PublishVisibleLsn(last_applied_);
+  }
+  readonly_announced_.store(false, std::memory_order_relaxed);
+  flight::Record(flight::Subsystem::kWal, flight::Site::kReadOnlyExit,
+                 obs::CurrentTraceId(),
+                 log_->durable_lsn() == kNoLsn ? 0 : log_->durable_lsn());
+  return Status::OK();
 }
 
 }  // namespace mctdb::wal

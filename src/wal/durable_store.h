@@ -14,24 +14,55 @@
 //        op. Readers that took their snapshot earlier keep a consistent
 //        pre-commit view and never block (COW keyed by LSN).
 //
+//   When a MaintenanceManager is attached (wal/maintenance.h), an insert
+//   that exhausts its interval-label gap does not surface
+//   ResourceExhausted immediately: Apply STALLS behind an urgent
+//   gap-pressure checkpoint (which rebalances labels) and retries, up to
+//   the manager's max_stall budget — only then does the caller see
+//   ResourceExhausted, with a retry-after hint (DESIGN.md §17).
+//
 //   Open(path): load the checkpoint image, EnableVersioning, replay the
 //   log's valid prefix, truncate the torn tail (wal/recovery.h).
 //
-//   Checkpoint(): fold deltas into a fresh compact image, atomically
-//   rename it over the store file, trim the log (wal/checkpoint.h). The
-//   LIVE in-memory store keeps serving base+deltas — compaction only
-//   changes what the next open loads, so concurrent readers are never
-//   invalidated.
+//   Checkpoint(mode): fold deltas into a fresh compact image, atomically
+//   rename it over the store file, trim the log (wal/checkpoint.h).
+//     kImageOnly (the default, and the historical behavior): the LIVE
+//       in-memory store keeps serving base+deltas — compaction only
+//       changes what the next open loads, so concurrent readers are never
+//       invalidated, but saturated label gaps stay saturated until a
+//       reopen.
+//     kRebaseLive: additionally SWAPS the live store to the compacted
+//       image — the interval-label REBALANCE. The compacted store carries
+//       fresh stride gaps (StoreBuilder relabels every color), so inserts
+//       that were ResourceExhausted succeed afterwards. The previous
+//       store is RETIRED, not destroyed: readers that resolved store()
+//       before the swap finish their queries against an immutable,
+//       still-consistent snapshot; new readers resolve the rebased store
+//       at the checkpoint LSN. Callers holding raw MctStore*/pager
+//       pointers across checkpoints (the query service's buffer pools)
+//       must refresh them — the maintenance callback is the hook.
+//
+//   Degraded modes: a WAL that can no longer append or fsync makes the
+//   store refuse writes with Unavailable while reads keep serving at the
+//   last published visible_lsn. Out-of-space degradation (ENOSPC) is
+//   READ-ONLY mode: sticky until TryExitReadOnly() — called by the
+//   maintenance re-probe timer — finds the disk writable again, flushes
+//   the parked WAL batch and republishes. Hard faults require a reopen.
 //
 // Failpoint "wal.checkpoint": err -> clean failure before anything is
 // written; trunc -> the image is committed but the log is NOT trimmed,
-// exercising recovery's idempotent-replay window.
+// exercising recovery's idempotent-replay window; enospc/eio -> the
+// image save fails with the errno-faithful status (no degradation — the
+// WAL still has every record, so nothing is lost; the checkpoint is
+// simply retried later).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/lsn.h"
 #include "obs/exec_stats.h"
@@ -44,11 +75,19 @@
 
 namespace mctdb::wal {
 
+class MaintenanceManager;
+
 struct DurableStoreOptions {
   storage::StoreOptions store;
   /// Durable log size past which lint (WAL004) refuses and callers should
   /// checkpoint.
   uint64_t checkpoint_threshold_bytes = 64ull << 20;
+};
+
+/// What Checkpoint does with the live in-memory store (class comment).
+enum class CheckpointMode {
+  kImageOnly = 0,  ///< compact to disk only; live store untouched
+  kRebaseLive,     ///< also swap the live store to the compacted image
 };
 
 class DurableStore {
@@ -76,9 +115,13 @@ class DurableStore {
 
   /// The underlying store. Readers take store()->visible_lsn() as their
   /// snapshot and pass it to the versioned accessors / MergedPostingCursor.
-  storage::MctStore* store() const { return store_.get(); }
+  /// A kRebaseLive checkpoint swaps this pointer; the previous store stays
+  /// alive (retired) so already-resolved readers finish safely.
+  storage::MctStore* store() const {
+    return live_store_.load(std::memory_order_acquire);
+  }
   /// Snapshot new readers should use (last durable LSN).
-  Lsn snapshot() const { return store_->visible_lsn(); }
+  Lsn snapshot() const { return store()->visible_lsn(); }
 
   struct ApplyReceipt {
     Lsn lsn = kNoLsn;
@@ -87,11 +130,36 @@ class DurableStore {
   /// Durably applies one update op (see class comment). Thread-safe;
   /// concurrent callers share fsyncs. With `stats`, the append/commit
   /// work lands in kWal spans and the delta mutation in a kUpdate span,
-  /// so `mctc trace` shows where an update's time went.
+  /// so `mctc trace` shows where an update's time went. With a
+  /// maintenance manager attached, gap saturation stalls behind a
+  /// rebalancing checkpoint instead of failing (bounded by max_stall).
   Result<ApplyReceipt> Apply(const storage::UpdateOp& op,
                              obs::ExecStats* stats = nullptr);
 
-  Result<CheckpointStats> Checkpoint();
+  Result<CheckpointStats> Checkpoint(
+      CheckpointMode mode = CheckpointMode::kImageOnly);
+
+  /// True while the WAL is out of disk space: writes refuse with
+  /// Unavailable, reads keep serving at the last published visible_lsn.
+  bool read_only() const {
+    return log_->degrade_kind() == DegradeKind::kSpace;
+  }
+  /// Attempts to leave read-only mode: re-probes the WAL (truncate the
+  /// torn tail, flush the parked batch, fsync) and, on success, publishes
+  /// everything that was applied in memory but stuck behind the full
+  /// disk. Returns the probe error while the disk is still full;
+  /// Unavailable for hard degradation (reopen required). Called by the
+  /// maintenance re-probe timer; safe to call manually.
+  Status TryExitReadOnly();
+
+  /// The maintenance manager registers itself here (and deregisters on
+  /// destruction). It must outlive every concurrent Apply.
+  void AttachMaintenance(MaintenanceManager* mm) {
+    maintenance_.store(mm, std::memory_order_release);
+  }
+  MaintenanceManager* maintenance() const {
+    return maintenance_.load(std::memory_order_acquire);
+  }
 
   const RecoveryStats& recovery() const { return recovery_; }
   const LogWriter& log() const { return *log_; }
@@ -102,6 +170,24 @@ class DurableStore {
   const std::string& path() const { return path_; }
   const Options& options() const { return options_; }
 
+  /// Times a writer blocked behind an urgent rebalancing checkpoint.
+  uint64_t write_stalls() const {
+    return write_stalls_.load(std::memory_order_relaxed);
+  }
+  /// Inserts that hit interval-label gap saturation (before any retry).
+  uint64_t saturation_events() const {
+    return saturation_events_.load(std::memory_order_relaxed);
+  }
+  /// kRebaseLive checkpoints completed (live label rebalances).
+  uint64_t rebases() const {
+    return rebases_.load(std::memory_order_relaxed);
+  }
+  /// Low-water mark of ApplyStats::min_free_gap since the last rebase —
+  /// the maintenance gap-pressure trigger. UINT32_MAX = no pressure seen.
+  uint32_t min_free_gap_low_water() const {
+    return min_free_gap_.load(std::memory_order_relaxed);
+  }
+
   /// "<path>.wal" — the log location convention.
   static std::string WalPath(const std::string& store_path) {
     return store_path + ".wal";
@@ -110,14 +196,29 @@ class DurableStore {
  private:
   DurableStore() = default;
 
+  /// One attempt of the Apply protocol (steps 1..5 of the class comment).
+  Result<ApplyReceipt> ApplyOnce(const storage::UpdateOp& op,
+                                 obs::ExecStats* stats);
+
   std::string path_;  // empty = ephemeral
   Options options_;
   std::unique_ptr<storage::MctStore> store_;
+  std::atomic<storage::MctStore*> live_store_{nullptr};
+  /// Stores replaced by kRebaseLive checkpoints, kept alive for readers
+  /// that resolved them before the swap. Bounded by the checkpoint count.
+  std::vector<std::unique_ptr<storage::MctStore>> retired_;
   std::unique_ptr<LogWriter> log_;
   RecoveryStats recovery_;
+  std::atomic<MaintenanceManager*> maintenance_{nullptr};
 
   std::mutex write_mu_;       // serializes Apply bodies and Checkpoint
   Lsn last_applied_ = kNoLsn;  // guarded by write_mu_
+
+  std::atomic<uint64_t> write_stalls_{0};
+  std::atomic<uint64_t> saturation_events_{0};
+  std::atomic<uint64_t> rebases_{0};
+  std::atomic<uint32_t> min_free_gap_{UINT32_MAX};
+  std::atomic<bool> readonly_announced_{false};  // one Enter event per episode
 };
 
 }  // namespace mctdb::wal

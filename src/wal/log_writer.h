@@ -11,20 +11,42 @@
 // therefore cost far fewer than N fsyncs — the group-commit win the
 // tests/wal_log_test batching test pins down.
 //
-// Failure model: an I/O error during append or sync flips the writer into
-// DEGRADED mode — every later Append/Commit refuses with Unavailable, the
-// durable LSN stays wherever the last successful fsync left it, and
-// readers keep their consistent view (visible_lsn never advances past
-// durability). Recovery on next open truncates whatever torn tail the
-// failure left behind.
+// Failure model (DESIGN.md §17): an I/O error during append or sync flips
+// the writer into DEGRADED mode — every later Append/Commit refuses with
+// Unavailable, the durable LSN stays wherever the last successful fsync
+// left it, and readers keep their consistent view (visible_lsn never
+// advances past durability). Degradation comes in two kinds:
+//
+//   kSpace (errno == ENOSPC): the device is FULL, not broken. The leader
+//     RE-STASHES the failed batch at the front of the append buffer, so
+//     the buffered record stream stays contiguous with the durable file.
+//     Reprobe() — called by the maintenance re-probe timer once space may
+//     have recovered — truncates any torn tail back to the durable prefix,
+//     replays the parked batch through one write+fsync, and on success
+//     clears the degradation. An op whose Commit hit ENOSPC got
+//     Unavailable, but its record is parked: like a client timeout, the
+//     outcome is indeterminate until the probe either makes it durable
+//     (the store then publishes it) or the store is reopened (recovery
+//     truncates it). Acknowledged ops are never lost either way.
+//
+//   kHard (EIO, short writes, anything else): the media may be lying; the
+//     failed batch is dropped and the writer refuses everything until the
+//     store is reopened. Recovery on next open truncates whatever torn
+//     tail the failure left behind.
 //
 // Failpoints (DESIGN.md §12 catalog):
-//   wal.append  err   -> the append fails cleanly (nothing buffered)
-//               trunc -> half the record's bytes reach the OS (a torn tail
-//                        recovery must cut); writer degrades
-//   wal.fsync   err   -> the batch write/fsync fails; writer degrades
-//               trunc -> half the batch reaches the OS, then the sync
-//                        fails; writer degrades (torn tail on disk)
+//   wal.append  err    -> the append fails cleanly (nothing buffered)
+//               trunc  -> half the record's bytes reach the OS (a torn tail
+//                         recovery must cut); writer degrades (kHard)
+//               enospc -> clean refusal with the errno-faithful ENOSPC
+//                         status; writer degrades kSpace (re-probeable)
+//               eio    -> clean refusal, errno-faithful EIO; kHard
+//   wal.fsync   err    -> the batch write/fsync fails; writer degrades kHard
+//               trunc  -> half the batch reaches the OS, then the sync
+//                         fails; kHard (torn tail on disk)
+//               enospc -> the sync fails as a real full disk would: batch
+//                         parked, writer degrades kSpace
+//               eio    -> the sync fails with EIO; batch dropped, kHard
 //
 // An empty path runs the log IN MEMORY: appends, group commit, LSNs and
 // counters all behave identically but bytes go to a string — the workload
@@ -45,6 +67,10 @@
 #include "wal/wal_format.h"
 
 namespace mctdb::wal {
+
+/// How broken the writer is. kSpace is the recoverable out-of-disk state
+/// (Reprobe can clear it); kHard requires a reopen.
+enum class DegradeKind { kNone = 0, kSpace, kHard };
 
 class LogWriter {
  public:
@@ -74,8 +100,29 @@ class LogWriter {
   /// across checkpoints).
   Status Reset(Lsn checkpoint_lsn);
 
+  /// Attempts to exit kSpace degradation: truncates any torn tail back to
+  /// the durable prefix, rewrites the parked batch, fsyncs. On success the
+  /// parked records become durable (durable_lsn advances over them) and the
+  /// writer accepts appends again. Returns the write/sync error (and stays
+  /// degraded) while the disk is still full; kHard degradation is never
+  /// cleared here. OK and a no-op when not degraded.
+  Status Reprobe();
+
   Lsn durable_lsn() const { return durable_lsn_.load(std::memory_order_acquire); }
-  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+  /// Highest LSN ever appended, durable or still buffered. An aborted
+  /// update (append succeeded, apply failed) leaves its record buffered
+  /// past the last APPLIED lsn — checkpoints must commit up to here, not
+  /// to last_applied_, before Reset.
+  Lsn buffered_lsn() const {
+    std::lock_guard lk(append_mu_);
+    return last_buffered_;
+  }
+  DegradeKind degrade_kind() const {
+    return degrade_.load(std::memory_order_acquire);
+  }
+  bool degraded() const { return degrade_kind() != DegradeKind::kNone; }
+  /// errno of the most recent real or injected I/O failure (0 = none).
+  int last_errno() const { return last_errno_.load(std::memory_order_relaxed); }
   uint64_t appends() const { return appends_.load(std::memory_order_relaxed); }
   uint64_t fsyncs() const { return fsyncs_.load(std::memory_order_relaxed); }
   /// Bytes of durable log (header included); the checkpoint trigger.
@@ -101,12 +148,15 @@ class LogWriter {
   /// at a time (sync_in_progress_).
   Status WriteAndSync(const std::string& batch);
   Status WriteRaw(const char* data, size_t n);
+  /// Maps the most recent failure errno to a degradation kind and records
+  /// it. ENOSPC -> kSpace (never downgrades an existing kHard).
+  void DegradeFromErrno();
 
   int fd_ = -1;
   std::string mem_;  // in-memory sink when fd_ < 0
   uint64_t fingerprint_ = 0;
 
-  std::mutex append_mu_;          // guards buffer_, next_lsn_, last_buffered_
+  mutable std::mutex append_mu_;  // guards buffer_, next_lsn_, last_buffered_
   std::string buffer_;
   Lsn next_lsn_ = 1;
   Lsn last_buffered_ = kNoLsn;
@@ -116,7 +166,8 @@ class LogWriter {
   bool sync_in_progress_ = false;
 
   std::atomic<Lsn> durable_lsn_{kNoLsn};
-  std::atomic<bool> degraded_{false};
+  std::atomic<DegradeKind> degrade_{DegradeKind::kNone};
+  std::atomic<int> last_errno_{0};
   std::atomic<uint64_t> appends_{0};
   std::atomic<uint64_t> fsyncs_{0};
   std::atomic<uint64_t> durable_bytes_{0};

@@ -1,0 +1,150 @@
+// MaintenanceManager: the background thread that makes a DurableStore
+// self-maintaining (DESIGN.md §17). One manager per store. Each cycle it
+// answers three questions, in priority order:
+//
+//   1. Is the store READ-ONLY (WAL out of disk space)? Then don't
+//      checkpoint — run the timed RE-PROBE (DurableStore::TryExitReadOnly)
+//      every `reprobe_seconds` until the disk drains.
+//   2. Did a writer hit gap saturation (StallForRebalance) or did the
+//      gap-pressure low-water mark cross the threshold? Run an URGENT
+//      checkpoint in kRebaseLive mode — the compacted image's fresh
+//      stride gaps are the interval-label rebalance — then wake every
+//      stalled writer.
+//   3. Did the WAL grow past the size/record thresholds, or has the
+//      elapsed-time interval passed with new appends? Run a routine
+//      kRebaseLive checkpoint.
+//
+// Every cycle mints its own trace id (there is no ambient ScopedTraceId
+// on a background thread — the plan-cache generation bump and flight
+// events must still correlate, as trace_id.h notes) and records a
+// kMaintenanceTrigger flight event tagged with the reason.
+//
+// The completion callback fires after every attempted checkpoint (success
+// or failure) ON THE MAINTENANCE THREAD. The query service installs one
+// per durable store to bump the plan-cache generation and refresh its
+// buffer-pool view of the rebased store — library users can pass nullptr.
+//
+// Lifetime: the manager registers itself with the store on Start() and
+// deregisters on destruction; it must outlive every concurrent Apply and
+// be destroyed before the store.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "common/result.h"
+#include "wal/checkpoint.h"
+#include "wal/durable_store.h"
+
+namespace mctdb::wal {
+
+/// Why a maintenance checkpoint fired. kManual is reserved for the
+/// operator-driven path (QueryService::Checkpoint / `mctc update
+/// --checkpoint`), which does not go through the manager but shares the
+/// metric family.
+enum class CheckpointReason : uint8_t {
+  kManual = 0,
+  kWalSize,
+  kWalRecords,
+  kElapsed,
+  kGapPressure,
+};
+inline constexpr size_t kNumCheckpointReasons = 5;
+const char* ToString(CheckpointReason r);
+
+struct MaintenanceOptions {
+  /// Checkpoint when the durable WAL reaches this size. 0 disables.
+  uint64_t wal_bytes_threshold = 8ull << 20;
+  /// Checkpoint after this many records since the last checkpoint. 0
+  /// disables.
+  uint64_t wal_records_threshold = 0;
+  /// Checkpoint when this much time has passed since the last checkpoint
+  /// AND at least one record was appended in between. 0 disables.
+  double interval_seconds = 0.0;
+  /// Proactive gap-pressure trigger: checkpoint when any insert leaves a
+  /// residual interval-label gap at or below this many free values. 0
+  /// disables (reactive stalls still fire).
+  uint32_t gap_pressure_min_free = 2;
+  /// How often the thread wakes to evaluate triggers.
+  double poll_seconds = 0.05;
+  /// Total time a saturated writer may stall behind rebalancing
+  /// checkpoints before ResourceExhausted surfaces to the caller.
+  double max_stall_seconds = 2.0;
+  /// Re-probe period while the store is read-only (out of disk space).
+  double reprobe_seconds = 0.25;
+};
+
+class MaintenanceManager {
+ public:
+  struct Event {
+    CheckpointReason reason = CheckpointReason::kManual;
+    Status status = Status::OK();
+    CheckpointStats stats;  ///< valid when status.ok()
+  };
+  using Callback = std::function<void(const Event&)>;
+
+  MaintenanceManager(DurableStore* store, const MaintenanceOptions& options,
+                     Callback on_checkpoint = nullptr);
+  ~MaintenanceManager();
+
+  MaintenanceManager(const MaintenanceManager&) = delete;
+  MaintenanceManager& operator=(const MaintenanceManager&) = delete;
+
+  /// Starts the background thread and attaches to the store. Idempotent.
+  void Start();
+  /// Stops and joins the thread, waking any stalled writers. Idempotent;
+  /// also run by the destructor.
+  void Stop();
+
+  const MaintenanceOptions& options() const { return options_; }
+
+  /// Writer-side rendezvous: flags an urgent gap-pressure checkpoint and
+  /// blocks until one rebalance cycle completes (true) or `deadline`
+  /// passes / the manager stops (false). Called by DurableStore::Apply
+  /// with no store locks held.
+  bool StallForRebalance(std::chrono::steady_clock::time_point deadline);
+
+  uint64_t checkpoints(CheckpointReason r) const {
+    return by_reason_[static_cast<size_t>(r)].load(std::memory_order_relaxed);
+  }
+  uint64_t checkpoints_total() const;
+  /// Completed gap-pressure checkpoints == live label rebalances.
+  uint64_t gap_rebalances() const {
+    return checkpoints(CheckpointReason::kGapPressure);
+  }
+  uint64_t reprobes() const {
+    return reprobes_.load(std::memory_order_relaxed);
+  }
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+  /// Message of the most recent failed checkpoint/re-probe ("" = none).
+  std::string last_error() const;
+
+ private:
+  void Loop();
+  /// Runs one checkpoint, updates counters, fires the callback, wakes
+  /// stalled writers. Returns the checkpoint status.
+  Status RunCheckpoint(CheckpointReason reason);
+
+  DurableStore* store_;
+  MaintenanceOptions options_;
+  Callback on_checkpoint_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool stop_ = false;        // guarded by mu_
+  bool urgent_ = false;      // guarded by mu_: a writer is stalled
+  uint64_t rebalance_epoch_ = 0;  // guarded by mu_; bumps per checkpoint try
+  std::string last_error_;   // guarded by mu_
+
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> by_reason_[kNumCheckpointReasons] = {};
+  std::atomic<uint64_t> reprobes_{0};
+  uint64_t appends_at_last_checkpoint_ = 0;  // maintenance thread only
+};
+
+}  // namespace mctdb::wal

@@ -43,6 +43,20 @@ TEST_F(FailpointTest, TruncateActionAndExplicitProbabilityOne) {
   EXPECT_EQ(MCTDB_FAILPOINT("t.trunc"), Fault::kTruncate);
 }
 
+TEST_F(FailpointTest, EnospcAndEioActionsParse) {
+  std::string error;
+  ASSERT_TRUE(Arm("t.nospace", "enospc", &error)) << error;
+  EXPECT_EQ(MCTDB_FAILPOINT("t.nospace"), Fault::kEnospc);
+  ASSERT_TRUE(Arm("t.badmedia", "eio(1.0)", &error)) << error;
+  EXPECT_EQ(MCTDB_FAILPOINT("t.badmedia"), Fault::kEio);
+  // Probability syntax is validated for the disk faults too.
+  EXPECT_FALSE(Arm("t.nospace", "enospc(2.0)", &error));
+  EXPECT_FALSE(Arm("t.badmedia", "eio(oops)", &error));
+  // The rejected re-arms left the previous good actions in place.
+  EXPECT_EQ(MCTDB_FAILPOINT("t.nospace"), Fault::kEnospc);
+  EXPECT_EQ(MCTDB_FAILPOINT("t.badmedia"), Fault::kEio);
+}
+
 TEST_F(FailpointTest, ProbabilityZeroNeverFires) {
   std::string error;
   ASSERT_TRUE(Arm("t.never", "err(0.0)", &error)) << error;

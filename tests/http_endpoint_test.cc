@@ -56,10 +56,10 @@ std::string Get(uint16_t port, const std::string& path) {
 }
 
 TEST(HttpEndpointTest, ServesHandlerResponseOnEphemeralPort) {
-  HttpEndpoint endpoint({}, [](const std::string& path) {
+  HttpEndpoint endpoint({}, [](const HttpRequest& request) {
     HttpResponse r;
     r.content_type = "text/plain";
-    r.body = "path=" + path;
+    r.body = "path=" + request.path;
     return r;
   });
   ASSERT_TRUE(endpoint.Start().ok());
@@ -73,9 +73,9 @@ TEST(HttpEndpointTest, ServesHandlerResponseOnEphemeralPort) {
 }
 
 TEST(HttpEndpointTest, QueryStringIsStripped) {
-  HttpEndpoint endpoint({}, [](const std::string& path) {
+  HttpEndpoint endpoint({}, [](const HttpRequest& request) {
     HttpResponse r;
-    r.body = "path=" + path;
+    r.body = "path=" + request.path;
     return r;
   });
   ASSERT_TRUE(endpoint.Start().ok());
@@ -86,7 +86,7 @@ TEST(HttpEndpointTest, QueryStringIsStripped) {
 }
 
 TEST(HttpEndpointTest, HandlerStatusPropagates) {
-  HttpEndpoint endpoint({}, [](const std::string&) {
+  HttpEndpoint endpoint({}, [](const HttpRequest&) {
     HttpResponse r;
     r.status = 404;
     r.body = "{\"error\":\"not found\"}";
@@ -99,19 +99,84 @@ TEST(HttpEndpointTest, HandlerStatusPropagates) {
   endpoint.Stop();
 }
 
-TEST(HttpEndpointTest, NonGetIsRejectedWith405) {
-  HttpEndpoint endpoint({}, [](const std::string&) {
+TEST(HttpEndpointTest, UnsupportedMethodIsRejectedWith405) {
+  HttpEndpoint endpoint({}, [](const HttpRequest&) {
     return HttpResponse{};
   });
   ASSERT_TRUE(endpoint.Start().ok());
   std::string response =
-      RawRequest(endpoint.port(), "POST /metrics HTTP/1.0\r\n\r\n");
+      RawRequest(endpoint.port(), "PUT /metrics HTTP/1.0\r\n\r\n");
   EXPECT_NE(response.find("405"), std::string::npos) << response;
   endpoint.Stop();
 }
 
+TEST(HttpEndpointTest, PostDeliversMethodQueryAndBody) {
+  HttpEndpoint endpoint({}, [](const HttpRequest& request) {
+    HttpResponse r;
+    r.body = request.method + " " + request.path + " q=" + request.query +
+             " body=" + request.body;
+    return r;
+  });
+  ASSERT_TRUE(endpoint.Start().ok());
+  std::string response = RawRequest(
+      endpoint.port(),
+      "POST /update?store=AF&count=3 HTTP/1.0\r\n"
+      "Content-Length: 11\r\n\r\nhello world");
+  EXPECT_NE(response.find("POST /update q=store=AF&count=3 body=hello world"),
+            std::string::npos)
+      << response;
+  endpoint.Stop();
+}
+
+TEST(HttpEndpointTest, PostWithoutBodyReachesHandler) {
+  HttpEndpoint endpoint({}, [](const HttpRequest& request) {
+    HttpResponse r;
+    r.body = "method=" + request.method + " len=" +
+             std::to_string(request.body.size());
+    return r;
+  });
+  ASSERT_TRUE(endpoint.Start().ok());
+  std::string response =
+      RawRequest(endpoint.port(), "POST /update HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("method=POST len=0"), std::string::npos)
+      << response;
+  endpoint.Stop();
+}
+
+TEST(HttpEndpointTest, OversizedBodyIsRejectedWith413) {
+  HttpEndpoint::Options options;
+  options.max_body_bytes = 16;
+  bool handler_ran = false;
+  HttpEndpoint endpoint(options, [&handler_ran](const HttpRequest&) {
+    handler_ran = true;
+    return HttpResponse{};
+  });
+  ASSERT_TRUE(endpoint.Start().ok());
+  std::string response = RawRequest(
+      endpoint.port(),
+      "POST /update HTTP/1.0\r\nContent-Length: 64\r\n\r\n" +
+          std::string(64, 'x'));
+  EXPECT_NE(response.find("413"), std::string::npos) << response;
+  EXPECT_FALSE(handler_ran);
+  endpoint.Stop();
+}
+
+TEST(HttpEndpointTest, ContentLengthHeaderIsCaseInsensitive) {
+  HttpEndpoint endpoint({}, [](const HttpRequest& request) {
+    HttpResponse r;
+    r.body = "body=" + request.body;
+    return r;
+  });
+  ASSERT_TRUE(endpoint.Start().ok());
+  std::string response = RawRequest(
+      endpoint.port(),
+      "POST /x HTTP/1.0\r\nCONTENT-LENGTH: 4\r\n\r\nabcd");
+  EXPECT_NE(response.find("body=abcd"), std::string::npos) << response;
+  endpoint.Stop();
+}
+
 TEST(HttpEndpointTest, MalformedRequestLineIs400) {
-  HttpEndpoint endpoint({}, [](const std::string&) {
+  HttpEndpoint endpoint({}, [](const HttpRequest&) {
     return HttpResponse{};
   });
   ASSERT_TRUE(endpoint.Start().ok());
@@ -121,7 +186,7 @@ TEST(HttpEndpointTest, MalformedRequestLineIs400) {
 }
 
 TEST(HttpEndpointTest, StartAndStopAreIdempotent) {
-  HttpEndpoint endpoint({}, [](const std::string&) {
+  HttpEndpoint endpoint({}, [](const HttpRequest&) {
     return HttpResponse{};
   });
   ASSERT_TRUE(endpoint.Start().ok());
@@ -133,7 +198,7 @@ TEST(HttpEndpointTest, StartAndStopAreIdempotent) {
 }
 
 TEST(HttpEndpointTest, ServesManySequentialRequests) {
-  HttpEndpoint endpoint({}, [](const std::string&) {
+  HttpEndpoint endpoint({}, [](const HttpRequest&) {
     HttpResponse r;
     r.body = "ok";
     return r;

@@ -37,10 +37,18 @@
 //                                             in-process, write BENCH_*.json,
 //                                             and gate against baselines
 //   mctc serve    <file.er> [--port P] [--threads N] [--base N]
-//                 [--passes N] [--linger S]
+//                 [--passes N] [--linger S] [--updates] [--update-ops N]
+//                 [--label-stride N]
 //                                             run the workload through the
 //                                             query service with the live
-//                                             /metrics HTTP endpoint up
+//                                             /metrics HTTP endpoint up;
+//                                             --updates registers WAL-backed
+//                                             stores with background
+//                                             maintenance and mounts
+//                                             POST /update?store=NAME&count=K
+//                                             serving the deterministic U1-U3
+//                                             stream through the admission
+//                                             pipeline
 //   mctc update   <file.er> --store PATH [-s STRATEGY] [--base N] [--ops N]
 //                 [--take K] [--crash-after K] [--checkpoint] [--trace]
 //                                             apply the deterministic U1-U3
@@ -78,6 +86,7 @@
 #include "bench/suite.h"
 #include "common/failpoint.h"
 #include "common/log.h"
+#include "common/string_util.h"
 #include "design/designer.h"
 #include "design/feasibility.h"
 #include "design/xml_mining.h"
@@ -128,6 +137,7 @@ int Usage() {
       " [--list]\n"
       "  serve    <file.er> [--port P] [--threads N] [--base N] [--passes N]"
       " [--linger S]\n"
+      "           [--updates] [--update-ops N] [--label-stride N]\n"
       "  update   <file.er> --store PATH [-s STRATEGY] [--base N] [--ops N]"
       " [--take K]\n"
       "           [--crash-after K] [--checkpoint] [--trace]\n"
@@ -951,6 +961,22 @@ int CmdBench(int argc, char** argv) {
 // Drives the emulated workload of an ER design through the query service
 // with the HTTP observability endpoint live, so /metrics, /healthz,
 // /slowlog and /tracez can be scraped while real queries execute.
+/// Pulls `key=value` out of an HTTP query string ("store=X&count=2").
+std::string QueryParam(const std::string& query, const std::string& key) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      return query.substr(eq + 1, amp - eq - 1);
+    }
+    pos = amp + 1;
+  }
+  return std::string();
+}
+
 int CmdServe(int argc, char** argv) {
   const char* path = nullptr;
   int port = 8080;
@@ -958,6 +984,9 @@ int CmdServe(int argc, char** argv) {
   size_t base_count = 0;
   size_t passes = 2;
   double linger_seconds = 0.0;
+  bool updates = false;
+  size_t update_ops = 512;
+  uint32_t label_stride = 0;  // 0 = store default
   for (int i = 0; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--port") && i + 1 < argc) {
       char* end = nullptr;
@@ -980,6 +1009,13 @@ int CmdServe(int argc, char** argv) {
         std::fprintf(stderr, "error: bad --linger '%s'\n", argv[i]);
         return 1;
       }
+    } else if (!std::strcmp(argv[i], "--updates")) {
+      updates = true;
+    } else if (!std::strcmp(argv[i], "--update-ops") && i + 1 < argc) {
+      update_ops = std::strtoul(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--label-stride") && i + 1 < argc) {
+      label_stride =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (path == nullptr) {
       path = argv[i];
     }
@@ -1011,19 +1047,67 @@ int CmdServe(int argc, char** argv) {
   for (design::Strategy s : design::AllStrategies()) {
     schemas.push_back(designer.Design(s));
   }
+  instance::MaterializeOptions mopts;
+  if (label_stride > 0) mopts.store.label_stride = label_stride;
   std::vector<std::unique_ptr<storage::MctStore>> stores;
-  for (const mct::MctSchema& schema : schemas) {
-    stores.push_back(instance::Materialize(logical, schema));
+  std::vector<std::unique_ptr<wal::DurableStore>> durables;
+  if (updates) {
+    // WAL-backed ephemeral stores: the full write path (group commit,
+    // snapshots, maintenance) without touching the filesystem.
+    for (const mct::MctSchema& schema : schemas) {
+      auto d = wal::DurableStore::Ephemeral(
+          instance::Materialize(logical, schema, mopts));
+      if (!d.ok()) {
+        std::fprintf(stderr, "error: %s\n", d.status().ToString().c_str());
+        return 2;
+      }
+      durables.push_back(std::move(*d));
+    }
+  } else {
+    for (const mct::MctSchema& schema : schemas) {
+      stores.push_back(instance::Materialize(logical, schema, mopts));
+    }
   }
+  // POST /update state. Each store gets its own deterministic stream:
+  // the cross-schema eligibility filter keeps only ops EVERY schema can
+  // place, and for realistic diagrams that intersection contains no
+  // inserts at all (each schema nests a relationship differently), so a
+  // shared stream could never build interval-label gap pressure. When a
+  // store drains its stream the cursor wraps: the stream is regenerated
+  // with a fresh logical-id base but the same deterministic parent
+  // targets, so successive wraps stack children under the same parents
+  // until the gap-pressure maintenance trigger (or the saturation stall
+  // path) fires. The listener thread serves connections serially, so the
+  // cursors need no lock. Declared before `service` so the route
+  // handler's captures outlive the endpoint.
+  struct UpdateStream {
+    size_t schema_index = 0;
+    std::vector<storage::UpdateOp> ops;
+    size_t next = 0;
+    uint32_t wrap = 0;
+    std::shared_ptr<mctsvc::QueryService::Session> session;
+  };
+  std::map<std::string, UpdateStream> cursors;
 
   mctsvc::ServiceOptions options;
   options.num_threads = threads;
   options.http_port = port;
   options.trace_log_capacity = 16;
   options.slow_query_seconds = 1e-4;  // populate /slowlog under toy loads
+  if (updates) {
+    // Self-maintenance with toy-sized thresholds so the smoke workload
+    // crosses them in seconds, not gigabytes.
+    options.maintenance_enabled = true;
+    options.maintenance.wal_bytes_threshold = 256 << 10;
+    options.maintenance.gap_pressure_min_free = 2;
+    options.maintenance.poll_seconds = 0.02;
+  }
   mctsvc::QueryService service(options);
   for (size_t i = 0; i < schemas.size(); ++i) {
-    Status added = service.AddStore(schemas[i].name(), stores[i].get());
+    Status added =
+        updates
+            ? service.AddDurableStore(schemas[i].name(), durables[i].get())
+            : service.AddStore(schemas[i].name(), stores[i].get());
     if (!added.ok()) {
       std::fprintf(stderr, "error: %s\n", added.ToString().c_str());
       return 2;
@@ -1034,9 +1118,107 @@ int CmdServe(int argc, char** argv) {
                  port);
     return 2;
   }
+  if (updates) {
+    for (size_t i = 0; i < schemas.size(); ++i) {
+      auto session = service.OpenSession(schemas[i].name());
+      if (!session.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     session.status().ToString().c_str());
+        return 2;
+      }
+      UpdateStream& cursor = cursors[schemas[i].name()];
+      cursor.schema_index = i;
+      cursor.session = *session;
+      workload::UpdateGenOptions gen;
+      gen.num_ops = update_ops;
+      cursor.ops = workload::GenerateUpdateOps({schemas[i]}, logical, gen);
+    }
+    const std::string default_store = schemas.front().name();
+    service.AddHttpRoute(
+        "/update",
+        [&schemas, &logical, &cursors, update_ops,
+         default_store](const mctsvc::HttpRequest& req) {
+          mctsvc::HttpResponse response;
+          response.content_type = "application/json";
+          if (req.method != "POST") {
+            response.status = 405;
+            response.body = "{\"error\":\"POST only\"}\n";
+            return response;
+          }
+          std::string store = QueryParam(req.query, "store");
+          if (store.empty()) store = default_store;
+          auto it = cursors.find(store);
+          if (it == cursors.end()) {
+            response.status = 404;
+            response.body = "{\"error\":\"unknown store\"}\n";
+            return response;
+          }
+          size_t count = 1;
+          if (std::string c = QueryParam(req.query, "count"); !c.empty()) {
+            count = std::strtoul(c.c_str(), nullptr, 10);
+            if (count == 0) count = 1;
+          }
+          UpdateStream& cursor = it->second;
+          size_t applied = 0, skipped = 0;
+          std::string last_error;
+          bool unavailable = false;
+          while (count-- > 0) {
+            if (cursor.next >= cursor.ops.size()) {
+              // Wrap: fresh logical ids, same deterministic parent
+              // targets — each wrap stacks more children under the same
+              // parents, shrinking bounded label gaps.
+              workload::UpdateGenOptions gen;
+              gen.num_ops = update_ops;
+              gen.logical_id_base += ++cursor.wrap * 200000u;
+              cursor.ops = workload::GenerateUpdateOps(
+                  {schemas[cursor.schema_index]}, logical, gen);
+              cursor.next = 0;
+              if (cursor.ops.empty()) break;
+            }
+            const storage::UpdateOp& op = cursor.ops[cursor.next];
+            auto future = cursor.session->SubmitUpdate(op);
+            Result<query::UpdateExecResult> result =
+                future.ok() ? future->get()
+                            : Result<query::UpdateExecResult>(
+                                  future.status());
+            if (result.ok()) {
+              ++applied;
+              ++cursor.next;
+            } else if (result.status().IsAlreadyExists() ||
+                       result.status().IsNotFound() ||
+                       result.status().IsNotSupported()) {
+              // Deterministic stream replayed against state that already
+              // has the op (or an op no color of this schema realizes):
+              // a skip, exactly like recovery's replay rules.
+              ++skipped;
+              ++cursor.next;
+            } else {
+              // Degraded-mode refusals (read-only store, stall budget
+              // spent) leave the cursor so a later retry can succeed.
+              last_error = result.status().ToString();
+              unavailable = result.status().IsUnavailable() ||
+                            result.status().IsResourceExhausted();
+              break;
+            }
+          }
+          response.status = last_error.empty() ? 200
+                            : unavailable      ? 503
+                                               : 500;
+          response.body = mctdb::StringPrintf(
+              "{\"store\":\"%s\",\"applied\":%zu,\"skipped\":%zu,"
+              "\"index\":%zu,\"total\":%zu,\"wrap\":%u%s%s%s}\n",
+              store.c_str(), applied, skipped, cursor.next,
+              cursor.ops.size(), unsigned(cursor.wrap),
+              last_error.empty() ? "" : ",\"error\":\"",
+              last_error.empty() ? "" : obs::JsonEscape(last_error).c_str(),
+              last_error.empty() ? "" : "\"");
+          return response;
+        });
+  }
   std::printf("serving http://127.0.0.1:%u  (/metrics /metrics.json "
-              "/healthz /slowlog /tracez /statusz /flightz)\n",
-              unsigned(service.HttpPort()));
+              "/healthz /slowlog /tracez /statusz /flightz%s)\n",
+              unsigned(service.HttpPort()),
+              updates ? " POST:/update" : "");
   // Scrape scripts read the port from this line; don't sit in the stdio
   // buffer while the workload runs.
   std::fflush(stdout);
